@@ -1,0 +1,229 @@
+// Benchmarks, one per table and figure of the paper (see DESIGN.md's
+// per-experiment index). Each benchmark runs the same experiment driver as
+// cmd/relaxbench at a reduced scale and reports the headline metric of the
+// corresponding plot via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every row family the paper reports. For full-scale numbers
+// use: go run ./cmd/relaxbench -scale 1 all (recorded in EXPERIMENTS.md).
+package relaxsched_test
+
+import (
+	"testing"
+
+	"relaxsched/internal/experiments"
+)
+
+// benchConfig is sized so a single iteration takes well under a second.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 42, Trials: 1, GraphScale: 32, MaxThreads: 8}
+}
+
+// BenchmarkGraphGen regenerates the input-statistics table (Section 7's
+// sample-graph list).
+func BenchmarkGraphGen(b *testing.B) {
+	c := benchConfig()
+	var road experiments.GraphRow
+	for i := 0; i < b.N; i++ {
+		res := experiments.Graphs(c)
+		road = res.Rows[1]
+	}
+	b.ReportMetric(float64(road.HopDiameter), "road-hop-diam")
+	b.ReportMetric(road.DmaxOverWmin, "road-dmax/wmin")
+}
+
+// BenchmarkFig1Overhead regenerates Figure 1 (left): SSSP relaxation
+// overhead vs. threads. The reported metrics are the overheads at the
+// highest thread count.
+func BenchmarkFig1Overhead(b *testing.B) {
+	c := benchConfig()
+	var last experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig1(c)
+	}
+	for _, row := range last.Rows {
+		if row.Threads == c.MaxThreads {
+			b.ReportMetric(row.Overhead, row.Graph+"-overhead")
+		}
+	}
+}
+
+// BenchmarkFig1Speedup regenerates Figure 1 (right): SSSP speedup vs.
+// threads.
+func BenchmarkFig1Speedup(b *testing.B) {
+	c := benchConfig()
+	var last experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig1(c)
+	}
+	for _, row := range last.Rows {
+		if row.Threads == c.MaxThreads {
+			b.ReportMetric(row.Speedup, row.Graph+"-speedup")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: overhead vs. queue multiplier at a
+// fixed thread count; the reported metric is the road overhead at the
+// largest multiplier (the paper's most relaxation-sensitive point).
+func BenchmarkFig2(b *testing.B) {
+	c := benchConfig()
+	var last experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig2(c, []int{4})
+	}
+	for _, row := range last.Rows {
+		if row.Graph == "road" && row.Multiplier == 8 {
+			b.ReportMetric(row.Overhead, "road-mult8-overhead")
+		}
+	}
+}
+
+// BenchmarkThm33 regenerates the Theorem 3.3 table: extra steps under the
+// adversarial k-relaxed scheduler; reports the log-fit quality of the
+// n-sweep (1.0 = perfectly logarithmic growth).
+func BenchmarkThm33(b *testing.B) {
+	c := benchConfig()
+	var last experiments.Thm33Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Thm33(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.LogFitR2[experiments.AlgoSort], "sort-logfit-r2")
+	b.ReportMetric(last.LogFitR2[experiments.AlgoDelaunay], "delaunay-logfit-r2")
+}
+
+// BenchmarkThm51 regenerates the Theorem 5.1 / Claim 1 lower-bound table;
+// reports the measured adjacent-inversion rate (Claim 1 floor: 0.125).
+func BenchmarkThm51(b *testing.B) {
+	c := benchConfig()
+	var last experiments.Thm51Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Thm51(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	row := last.Rows[len(last.Rows)-1]
+	b.ReportMetric(row.InvRate, "inv-rate")
+	b.ReportMetric(row.ExtraSteps/row.LowerBound, "extra/floor")
+}
+
+// BenchmarkThm61 regenerates the Theorem 6.1 table: relaxed SSSP pop
+// counts; reports extra pops per unit of k^2*dmax/wmin for the road family
+// at the largest k (the theorem's leading term).
+func BenchmarkThm61(b *testing.B) {
+	c := benchConfig()
+	var last experiments.Thm61Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Thm61(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Graph == "road" && row.Scheduler == "k-relaxed" && row.K == 64 {
+			b.ReportMetric(row.ExtraPops, "road-k64-extra-pops")
+		}
+	}
+}
+
+// BenchmarkThm43 regenerates the Theorem 4.3 transactional-abort table;
+// reports the log-fit quality of the abort growth.
+func BenchmarkThm43(b *testing.B) {
+	c := benchConfig()
+	var last experiments.Thm43Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Thm43(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.LogFitR2, "aborts-logfit-r2")
+}
+
+// BenchmarkParInc runs the parallel incremental execution extension;
+// reports the wasted-pop rate of the Delaunay DAG at the highest thread
+// count.
+func BenchmarkParInc(b *testing.B) {
+	c := benchConfig()
+	var last experiments.ParIncResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ParInc(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Algo == experiments.AlgoDelaunay && row.Threads == c.MaxThreads {
+			b.ReportMetric(row.ExtraRate, "delaunay-extra/n")
+		}
+	}
+}
+
+// BenchmarkIterative runs the greedy MIS / coloring extension (the
+// future-work generalization named in the paper's conclusion); reports
+// MIS extra steps per ln n at the largest n.
+func BenchmarkIterative(b *testing.B) {
+	c := benchConfig()
+	var last experiments.IterativeResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Iterative(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Algo == "greedy-mis" && row.Scheduler == "k-relaxed" {
+			b.ReportMetric(row.PerLogN, "mis-extra/ln(n)")
+		}
+	}
+}
+
+// BenchmarkBnB runs the Karp-Zhang branch-and-bound extension; reports
+// the work overhead of the k=64 adversarial scheduler over exact
+// best-first search.
+func BenchmarkBnB(b *testing.B) {
+	c := benchConfig()
+	var last experiments.BnBResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BnB(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Scheduler == "k-relaxed" && row.K == 64 {
+			b.ReportMetric(row.Overhead, "k64-work-overhead")
+		}
+	}
+}
+
+// BenchmarkAblation runs the scheduler-family comparison (the extension
+// table in DESIGN.md); reports the MultiQueue mean rank at 2 choices.
+func BenchmarkAblation(b *testing.B) {
+	c := benchConfig()
+	var last experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Scheduler == "mq8-c2" {
+			b.ReportMetric(row.MeanRank, "mq8-c2-mean-rank")
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Command relaxbench regenerates every table and figure of "Efficiency
+// Guarantees for Parallel Incremental Algorithms under Relaxed Schedulers"
+// (SPAA 2019) from this repository's implementations.
+//
+// Usage:
+//
+//	relaxbench [flags] <experiment>
+//
+// Experiments:
+//
+//	graphs        input-family statistics (Section 7 sample graphs)
+//	fig1          Figure 1: SSSP overhead and speedup vs. thread count
+//	fig1-overhead Figure 1 left only
+//	fig1-speedup  Figure 1 right only
+//	fig2          Figure 2: overhead vs. queue multiplier
+//	thm33         Theorem 3.3: extra steps vs. n and k (adversarial)
+//	thm51         Theorem 5.1 / Claim 1: MultiQueue lower bound
+//	thm61         Theorem 6.1: relaxed SSSP pop counts
+//	thm43         Theorem 4.3: transactional aborts
+//	ablation      scheduler-family comparison (extension)
+//	parinc        parallel incremental execution wasted work (extension)
+//	iterative     greedy MIS / coloring under relaxed schedulers (extension)
+//	bnb           Karp-Zhang branch-and-bound under relaxation (extension)
+//	all           everything above
+//
+// Flags control workload scale; -scale 1 is the full-size run used in
+// EXPERIMENTS.md, larger values shrink the workloads proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"relaxsched/internal/experiments"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 1, "divide default workload sizes by this factor")
+		trials     = flag.Int("trials", 3, "repetitions averaged per row")
+		seed       = flag.Uint64("seed", 42, "workload random seed")
+		maxThreads = flag.Int("maxthreads", 0, "cap the thread sweep (0 = NumCPU)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: relaxbench [flags] <experiment>\nrun 'go doc relaxsched/cmd/relaxbench' for the experiment list\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		Seed:       *seed,
+		Trials:     *trials,
+		GraphScale: *scale,
+		MaxThreads: *maxThreads,
+	}
+	if err := run(flag.Arg(0), cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "relaxbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiments.Config) error {
+	switch exp {
+	case "graphs":
+		return runGraphs(cfg)
+	case "fig1":
+		return runFig1(cfg, true, true)
+	case "fig1-overhead":
+		return runFig1(cfg, true, false)
+	case "fig1-speedup":
+		return runFig1(cfg, false, true)
+	case "fig2":
+		return runFig2(cfg)
+	case "thm33":
+		return runThm33(cfg)
+	case "thm51":
+		return runThm51(cfg)
+	case "thm61":
+		return runThm61(cfg)
+	case "thm43":
+		return runThm43(cfg)
+	case "ablation":
+		return runAblation(cfg)
+	case "parinc":
+		return runParInc(cfg)
+	case "iterative":
+		return runIterative(cfg)
+	case "bnb":
+		return runBnB(cfg)
+	case "all":
+		for _, e := range []string{"graphs", "fig1", "fig2", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb"} {
+			if err := run(e, cfg); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n== %s ==\n\n", title)
+}
+
+func runGraphs(cfg experiments.Config) error {
+	section("Input families (Section 7 sample graphs)")
+	res := experiments.Graphs(cfg)
+	return res.Render(os.Stdout)
+}
+
+func runFig1(cfg experiments.Config, overheads, speedups bool) error {
+	res := experiments.Fig1(cfg)
+	if overheads {
+		section("Figure 1 (left): SSSP relaxation overhead vs. threads (queues = 2x threads)")
+		if err := res.RenderOverheads(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if speedups {
+		section("Figure 1 (right): SSSP speedup vs. threads")
+		if err := res.RenderSpeedups(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig2(cfg experiments.Config) error {
+	section("Figure 2: SSSP relaxation overhead vs. queue multiplier")
+	res := experiments.Fig2(cfg, nil)
+	return res.Render(os.Stdout)
+}
+
+func runThm33(cfg experiments.Config) error {
+	section("Theorem 3.3: extra steps under the adversarial k-relaxed scheduler")
+	res, err := experiments.Thm33(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}
+
+func runThm51(cfg experiments.Config) error {
+	section("Theorem 5.1 / Claim 1: MultiQueue lower bound (extra steps >= (1/8) ln n)")
+	res, err := experiments.Thm51(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}
+
+func runThm61(cfg experiments.Config) error {
+	section("Theorem 6.1: relaxed SSSP pops <= n + O(k^2 dmax/wmin)")
+	res, err := experiments.Thm61(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}
+
+func runThm43(cfg experiments.Config) error {
+	section("Theorem 4.3: transactional aborts O(k^2 (C+k)^2 log n)")
+	res, err := experiments.Thm43(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}
+
+func runAblation(cfg experiments.Config) error {
+	section("Ablation: scheduler families on identical workloads")
+	res, err := experiments.Ablation(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}
+
+func runBnB(cfg experiments.Config) error {
+	section("Extension: Karp-Zhang branch-and-bound under relaxed schedulers")
+	res, err := experiments.BnB(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}
+
+func runIterative(cfg experiments.Config) error {
+	section("Extension: greedy iterative algorithms (MIS, coloring) under relaxed schedulers")
+	res, err := experiments.Iterative(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}
+
+func runParInc(cfg experiments.Config) error {
+	section("Extension: parallel incremental execution (goroutines over a concurrent MultiQueue)")
+	res, err := experiments.ParInc(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}

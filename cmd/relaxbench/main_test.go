@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"relaxsched/internal/experiments"
+)
+
+// smoke runs every experiment dispatch end-to-end at a tiny scale; it is
+// the integration test for the whole harness (drivers + rendering).
+func TestRunDispatchAllExperiments(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Trials: 1, GraphScale: 128, MaxThreads: 2}
+	for _, exp := range []string{
+		"graphs", "fig1", "fig1-overhead", "fig1-speedup", "fig2",
+		"thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb",
+	} {
+		if err := run(exp, cfg); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", experiments.SmokeConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

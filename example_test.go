@@ -1,0 +1,73 @@
+package relaxsched_test
+
+import (
+	"fmt"
+
+	"relaxsched"
+)
+
+// ExampleBSTSort demonstrates the incremental comparison-sorting
+// algorithm.
+func ExampleBSTSort() {
+	fmt.Println(relaxsched.BSTSort([]int64{5, 1, 4, 2, 3}))
+	// Output: [1 2 3 4 5]
+}
+
+// ExampleRunIncremental executes a dependency chain through a relaxed
+// scheduler and reports the wasted work.
+func ExampleRunIncremental() {
+	dag := relaxsched.NewDAG(4)
+	dag.AddDep(0, 1)
+	dag.AddDep(1, 2)
+	dag.AddDep(2, 3)
+	// An exact scheduler never wastes steps, even on a chain.
+	res, err := relaxsched.RunIncremental(dag, relaxsched.NewExactScheduler(4),
+		relaxsched.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("steps=%d extra=%d\n", res.Steps, res.ExtraSteps)
+	// Output: steps=4 extra=0
+}
+
+// ExampleDijkstra computes shortest paths on a tiny weighted graph.
+func ExampleDijkstra() {
+	b := relaxsched.NewGraphBuilder(3)
+	b.AddArc(0, 1, 2)
+	b.AddArc(1, 2, 2)
+	b.AddArc(0, 2, 10)
+	g := b.Build()
+	res := relaxsched.Dijkstra(g, 0)
+	fmt.Println(res.Dist)
+	// Output: [0 2 4]
+}
+
+// ExampleTriangulate computes the Delaunay triangulation of a square.
+func ExampleTriangulate() {
+	square := []relaxsched.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	tris, err := relaxsched.Triangulate(square, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(tris), "triangles")
+	// Output: 2 triangles
+}
+
+// ExampleNewAuditor measures the relaxation a MultiQueue actually
+// exhibits.
+func ExampleNewAuditor() {
+	aud := relaxsched.NewAuditor(relaxsched.NewExactScheduler(3), 8)
+	for i := 0; i < 3; i++ {
+		aud.Insert(i, int64(i))
+	}
+	for {
+		task, _, ok := aud.ApproxGetMin()
+		if !ok {
+			break
+		}
+		aud.DeleteTask(task)
+	}
+	rep := aud.Report()
+	fmt.Printf("max rank %d, max inversions %d\n", rep.MaxRank, rep.MaxInv)
+	// Output: max rank 1, max inversions 0
+}

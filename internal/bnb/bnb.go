@@ -1,0 +1,159 @@
+// Package bnb implements best-first branch-and-bound under relaxed
+// priority scheduling — the workload with which Karp and Zhang [24] first
+// observed that schedulers may relax the strict priority order of parallel
+// backtracking without losing correctness, cited by the paper as the
+// origin of the relaxed-scheduler idea. Unlike the static-DAG incremental
+// algorithms, branch-and-bound creates tasks dynamically: expanding a node
+// inserts its children into the scheduler, and nodes worse than the
+// incumbent are pruned.
+//
+// The search tree is synthetic and deterministic in the seed: node
+// identities are path hashes, and each edge adds a pseudo-random positive
+// cost. The goal is the minimum-cost leaf at the configured depth. Since
+// edge costs are positive, the node cost is a valid lower bound, so exact
+// best-first search expands exactly the nodes with cost below the optimal
+// leaf (plus boundary ties); a k-relaxed scheduler may expand more — the
+// wasted expansions are this workload's analogue of the paper's extra
+// steps.
+package bnb
+
+import (
+	"fmt"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+// Tree describes the synthetic branch-and-bound instance.
+type Tree struct {
+	// Depth of the leaves (root is at depth 0).
+	Depth int
+	// Branch is the branching factor (>= 2).
+	Branch int
+	// MaxEdgeCost bounds the per-edge cost (costs are in [1, MaxEdgeCost]).
+	MaxEdgeCost int64
+	// Seed determines the whole tree.
+	Seed uint64
+}
+
+// edgeCost returns the deterministic cost of the c-th edge out of the node
+// identified by pathHash.
+func (t Tree) edgeCost(pathHash uint64, c int) int64 {
+	h := rng.Mix64(pathHash ^ (uint64(c+1) * 0x9e3779b97f4a7c15) ^ t.Seed)
+	return 1 + int64(h%uint64(t.MaxEdgeCost))
+}
+
+// childHash derives the c-th child's identity.
+func (t Tree) childHash(pathHash uint64, c int) uint64 {
+	return rng.Mix64(pathHash*31 + uint64(c) + 1)
+}
+
+// Result summarizes a branch-and-bound run.
+type Result struct {
+	// Best is the optimal leaf cost found.
+	Best int64
+	// Expanded counts nodes whose children were generated.
+	Expanded int64
+	// Pruned counts popped nodes discarded because their bound was not
+	// better than the incumbent at pop time.
+	Pruned int64
+	// Pops = Expanded + Pruned + leaves popped.
+	Pops int64
+}
+
+// node is the search state carried outside the scheduler, indexed by the
+// dense task id the scheduler requires.
+type node struct {
+	hash  uint64
+	cost  int64
+	depth int32
+}
+
+// Run performs best-first branch-and-bound through the given scheduler.
+// budget caps the number of task ids (scheduler slots) the search may
+// allocate; exceeding it returns an error. The scheduler must be empty and
+// sized for at least budget ids.
+func Run(t Tree, s sched.Scheduler, budget int) (Result, error) {
+	if t.Depth < 1 || t.Branch < 2 || t.MaxEdgeCost < 1 {
+		return Result{}, fmt.Errorf("bnb: invalid tree %+v", t)
+	}
+	if s.Len() != 0 {
+		return Result{}, fmt.Errorf("bnb: scheduler must start empty")
+	}
+	nodes := make([]node, 0, 1024)
+	alloc := func(n node) (int, error) {
+		if len(nodes) >= budget {
+			return 0, fmt.Errorf("bnb: exceeded node budget %d", budget)
+		}
+		nodes = append(nodes, n)
+		return len(nodes) - 1, nil
+	}
+
+	var res Result
+	incumbent := int64(1) << 62
+	root, err := alloc(node{hash: rng.Mix64(t.Seed), cost: 0, depth: 0})
+	if err != nil {
+		return res, err
+	}
+	s.Insert(root, 0)
+
+	for {
+		id, _, ok := s.ApproxGetMin()
+		if !ok {
+			break
+		}
+		s.DeleteTask(id)
+		res.Pops++
+		nd := nodes[id]
+		if nd.cost >= incumbent {
+			res.Pruned++
+			continue
+		}
+		if int(nd.depth) == t.Depth {
+			// Leaf: update the incumbent.
+			if nd.cost < incumbent {
+				incumbent = nd.cost
+			}
+			continue
+		}
+		res.Expanded++
+		for c := 0; c < t.Branch; c++ {
+			childCost := nd.cost + t.edgeCost(nd.hash, c)
+			if childCost >= incumbent {
+				continue // prune at generation
+			}
+			cid, err := alloc(node{hash: t.childHash(nd.hash, c), cost: childCost, depth: nd.depth + 1})
+			if err != nil {
+				return res, err
+			}
+			s.Insert(cid, childCost)
+		}
+	}
+	if incumbent >= int64(1)<<62 {
+		return res, fmt.Errorf("bnb: no leaf reached")
+	}
+	res.Best = incumbent
+	return res, nil
+}
+
+// Optimal computes the true optimal leaf cost by exhaustive depth-first
+// search with pruning against the running best (exact, independent of any
+// scheduler). Use small depths: the worst case is Branch^Depth nodes.
+func Optimal(t Tree) int64 {
+	best := int64(1) << 62
+	var dfs func(hash uint64, cost int64, depth int)
+	dfs = func(hash uint64, cost int64, depth int) {
+		if cost >= best {
+			return
+		}
+		if depth == t.Depth {
+			best = cost
+			return
+		}
+		for c := 0; c < t.Branch; c++ {
+			dfs(t.childHash(hash, c), cost+t.edgeCost(hash, c), depth+1)
+		}
+	}
+	dfs(rng.Mix64(t.Seed), 0, 0)
+	return best
+}

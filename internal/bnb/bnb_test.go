@@ -1,0 +1,167 @@
+package bnb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/spraylist"
+)
+
+func smallTree(seed uint64) Tree {
+	return Tree{Depth: 8, Branch: 3, MaxEdgeCost: 100, Seed: seed}
+}
+
+func TestExactFindsOptimal(t *testing.T) {
+	tree := smallTree(1)
+	want := Optimal(tree)
+	const budget = 1 << 20
+	res, err := Run(tree, sched.NewExact(budget), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != want {
+		t.Fatalf("best = %d, want %d", res.Best, want)
+	}
+	if res.Pops != res.Expanded+res.Pruned+leafPops(res) {
+		// Pops decompose into expansions, prunes and leaf pops; this holds
+		// by construction, so just sanity-check positivity.
+		t.Fatalf("inconsistent accounting: %+v", res)
+	}
+}
+
+func leafPops(r Result) int64 { return r.Pops - r.Expanded - r.Pruned }
+
+func TestRelaxedStillOptimal(t *testing.T) {
+	tree := smallTree(2)
+	want := Optimal(tree)
+	const budget = 1 << 21
+	schedulers := map[string]sched.Scheduler{
+		"krelaxed16": sched.NewKRelaxed(budget, 16),
+		"multiqueue": multiqueue.New(budget, 8, 2, multiqueue.RandomQueue, 5),
+		"spraylist":  spraylist.New(budget, 8, 5),
+		"batch8":     sched.NewBatch(budget, 8),
+	}
+	exactRes, err := Run(tree, sched.NewExact(budget), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range schedulers {
+		res, err := Run(tree, s, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Best != want {
+			t.Fatalf("%s: best = %d, want %d (relaxation broke correctness)",
+				name, res.Best, want)
+		}
+		// Relaxed runs may waste expansions but only within reason here.
+		if res.Expanded < exactRes.Expanded/2 {
+			t.Fatalf("%s: expanded %d < half of exact %d?", name, res.Expanded, exactRes.Expanded)
+		}
+	}
+}
+
+func TestRelaxationCausesExtraExpansions(t *testing.T) {
+	// With a strongly adversarial scheduler the search expands at least as
+	// many nodes as exact best-first (typically more).
+	tree := smallTree(3)
+	const budget = 1 << 21
+	exact, err := Run(tree, sched.NewExact(budget), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := Run(tree, sched.NewKRelaxed(budget, 64), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Expanded+relaxed.Pruned < exact.Expanded+exact.Pruned {
+		t.Fatalf("relaxed did less total work (%d) than exact (%d)?",
+			relaxed.Expanded+relaxed.Pruned, exact.Expanded+exact.Pruned)
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	tree := Tree{Depth: 12, Branch: 4, MaxEdgeCost: 2, Seed: 1}
+	// Tiny budget must fail cleanly.
+	if _, err := Run(tree, sched.NewExact(16), 16); err == nil {
+		t.Fatal("budget overflow not reported")
+	}
+}
+
+func TestInvalidTrees(t *testing.T) {
+	for _, tree := range []Tree{
+		{Depth: 0, Branch: 2, MaxEdgeCost: 1},
+		{Depth: 2, Branch: 1, MaxEdgeCost: 1},
+		{Depth: 2, Branch: 2, MaxEdgeCost: 0},
+	} {
+		if _, err := Run(tree, sched.NewExact(64), 64); err == nil {
+			t.Fatalf("tree %+v accepted", tree)
+		}
+	}
+}
+
+func TestNonEmptySchedulerRejected(t *testing.T) {
+	s := sched.NewExact(8)
+	s.Insert(0, 0)
+	if _, err := Run(smallTree(1), s, 8); err == nil {
+		t.Fatal("non-empty scheduler accepted")
+	}
+}
+
+func TestDeterministicTree(t *testing.T) {
+	tree := smallTree(7)
+	a, err := Run(tree, sched.NewExact(1<<20), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tree, sched.NewExact(1<<20), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same tree, different runs: %+v vs %+v", a, b)
+	}
+}
+
+// Property: every scheduler finds the same optimum on random small trees.
+func TestOptimalityProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		tree := Tree{
+			Depth:       3 + r.Intn(5),
+			Branch:      2 + r.Intn(3),
+			MaxEdgeCost: 1 + int64(r.Intn(50)),
+			Seed:        seed,
+		}
+		want := Optimal(tree)
+		const budget = 1 << 18
+		var s sched.Scheduler
+		switch r.Intn(3) {
+		case 0:
+			s = sched.NewKRelaxed(budget, 1+r.Intn(32))
+		case 1:
+			s = multiqueue.New(budget, 1+r.Intn(8), 2, multiqueue.RandomQueue, seed)
+		default:
+			s = sched.NewRandomK(budget, 1+r.Intn(32), seed)
+		}
+		res, err := Run(tree, s, budget)
+		return err == nil && res.Best == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBnBExact(b *testing.B) {
+	tree := Tree{Depth: 10, Branch: 3, MaxEdgeCost: 100, Seed: 1}
+	const budget = 1 << 22
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tree, sched.NewExact(budget), budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

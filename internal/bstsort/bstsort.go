@@ -1,0 +1,181 @@
+// Package bstsort implements the paper's second randomized incremental
+// algorithm: comparison sorting by binary-search-tree insertion. Keys are
+// inserted into an (unbalanced) BST in label order; reading the tree
+// in-order yields the sorted sequence. With a random label order the tree
+// has expected depth O(log n), and the dependency structure — task j
+// depends on its BST ancestors — satisfies p_ij <= C/i (Blelloch et al.
+// [10], Section 3), which is what Theorem 3.3 needs.
+//
+// The dependency DAG records only the parent edge for each node: a task's
+// parent is processed only after the grandparent, and so on, so "parent
+// processed" is equivalent to "all ancestors processed" in any
+// dependency-respecting execution, while keeping the DAG linear in size.
+package bstsort
+
+import (
+	"fmt"
+
+	"relaxsched/internal/core"
+)
+
+// Tree is a binary search tree over the input keys, indexed by label:
+// node i corresponds to keys[i].
+type Tree struct {
+	Keys   []int64
+	Left   []int32 // -1 when absent
+	Right  []int32
+	Parent []int32 // -1 for the root
+	Root   int32   // -1 when empty
+	size   int
+}
+
+// NewTree returns an empty tree shell for the given keys (not yet
+// inserted; use Insert).
+func NewTree(keys []int64) *Tree {
+	n := len(keys)
+	t := &Tree{
+		Keys:   keys,
+		Left:   make([]int32, n),
+		Right:  make([]int32, n),
+		Parent: make([]int32, n),
+		Root:   -1,
+	}
+	for i := 0; i < n; i++ {
+		t.Left[i], t.Right[i], t.Parent[i] = -1, -1, -1
+	}
+	return t
+}
+
+// Len returns the number of inserted nodes.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds label i to the tree by BST search on Keys[i]. Equal keys go
+// right. It returns the label of the parent node (-1 for the root).
+func (t *Tree) Insert(i int) int {
+	if t.Root < 0 {
+		t.Root = int32(i)
+		t.size++
+		return -1
+	}
+	key := t.Keys[i]
+	cur := t.Root
+	for {
+		if key < t.Keys[cur] {
+			if t.Left[cur] < 0 {
+				t.Left[cur] = int32(i)
+				t.Parent[i] = cur
+				t.size++
+				return int(cur)
+			}
+			cur = t.Left[cur]
+		} else {
+			if t.Right[cur] < 0 {
+				t.Right[cur] = int32(i)
+				t.Parent[i] = cur
+				t.size++
+				return int(cur)
+			}
+			cur = t.Right[cur]
+		}
+	}
+}
+
+// Depth returns the depth of node i (root = 0). Node must be inserted.
+func (t *Tree) Depth(i int) int {
+	d := 0
+	for t.Parent[i] >= 0 {
+		i = int(t.Parent[i])
+		d++
+	}
+	return d
+}
+
+// Height returns the height of the tree (max depth + 1; 0 when empty).
+func (t *Tree) Height() int {
+	if t.Root < 0 {
+		return 0
+	}
+	var rec func(node int32) int
+	rec = func(node int32) int {
+		if node < 0 {
+			return 0
+		}
+		l := rec(t.Left[node])
+		r := rec(t.Right[node])
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(t.Root)
+}
+
+// InOrder appends the labels in sorted-key order to dst and returns it.
+func (t *Tree) InOrder(dst []int) []int {
+	// Iterative in-order traversal to avoid deep recursion on adversarial
+	// (sorted-input) trees.
+	stack := make([]int32, 0, 64)
+	cur := t.Root
+	for cur >= 0 || len(stack) > 0 {
+		for cur >= 0 {
+			stack = append(stack, cur)
+			cur = t.Left[cur]
+		}
+		cur = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		dst = append(dst, int(cur))
+		cur = t.Right[cur]
+	}
+	return dst
+}
+
+// SortedKeys returns the keys in sorted order via an in-order traversal.
+func (t *Tree) SortedKeys() []int64 {
+	labels := t.InOrder(make([]int, 0, t.size))
+	out := make([]int64, len(labels))
+	for i, l := range labels {
+		out[i] = t.Keys[l]
+	}
+	return out
+}
+
+// BuildDAG inserts all keys in label order and returns the parent-edge
+// dependency DAG together with the finished tree. The keys slice is
+// retained by the tree.
+func BuildDAG(keys []int64) (*core.DAG, *Tree) {
+	n := len(keys)
+	t := NewTree(keys)
+	dag := core.NewDAG(n)
+	for i := 0; i < n; i++ {
+		if parent := t.Insert(i); parent >= 0 {
+			dag.AddDep(parent, i)
+		}
+	}
+	return dag, t
+}
+
+// Sort sorts keys by BST insertion (the sequential incremental algorithm,
+// Algorithm 1 specialized): it builds the tree in index order and reads it
+// back in-order. It returns a new slice.
+func Sort(keys []int64) []int64 {
+	_, t := BuildDAG(keys)
+	return t.SortedKeys()
+}
+
+// SameShape reports whether two trees over the same keys have identical
+// parent/child structure; used to verify that relaxed executions rebuild
+// exactly the sequential tree.
+func SameShape(a, b *Tree) error {
+	if len(a.Keys) != len(b.Keys) {
+		return fmt.Errorf("bstsort: different sizes")
+	}
+	if a.Root != b.Root {
+		return fmt.Errorf("bstsort: roots differ: %d vs %d", a.Root, b.Root)
+	}
+	for i := range a.Keys {
+		if a.Left[i] != b.Left[i] || a.Right[i] != b.Right[i] || a.Parent[i] != b.Parent[i] {
+			return fmt.Errorf("bstsort: node %d links differ", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package bstsort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+func randomKeys(n int, seed uint64) []int64 {
+	r := rng.New(seed)
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(r.Intn(1 << 30))
+	}
+	return keys
+}
+
+func TestSortSmall(t *testing.T) {
+	got := Sort([]int64{5, 1, 4, 2, 3})
+	want := []int64{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestSortEmptyAndSingle(t *testing.T) {
+	if len(Sort(nil)) != 0 {
+		t.Fatal("empty sort")
+	}
+	if got := Sort([]int64{42}); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single sort: %v", got)
+	}
+}
+
+func TestSortWithDuplicates(t *testing.T) {
+	got := Sort([]int64{3, 1, 3, 1, 2, 3})
+	want := []int64{1, 1, 2, 3, 3, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	check := func(seed uint64) bool {
+		keys := randomKeys(int(seed%500)+1, seed)
+		got := Sort(keys)
+		want := append([]int64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	// keys: 10, 5, 15, 7 -> root 10, left 5, right 15; 7 right child of 5.
+	_, tr := BuildDAG([]int64{10, 5, 15, 7})
+	if tr.Root != 0 {
+		t.Fatalf("root = %d", tr.Root)
+	}
+	if tr.Left[0] != 1 || tr.Right[0] != 2 {
+		t.Fatal("children of root wrong")
+	}
+	if tr.Right[1] != 3 || tr.Parent[3] != 1 {
+		t.Fatal("node 7 misplaced")
+	}
+	if tr.Depth(3) != 2 || tr.Depth(0) != 0 {
+		t.Fatal("depths wrong")
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("height = %d", tr.Height())
+	}
+}
+
+func TestDAGIsParentEdges(t *testing.T) {
+	dag, tr := BuildDAG([]int64{10, 5, 15, 7})
+	if err := dag.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < dag.N; j++ {
+		if len(dag.Preds[j]) != 1 {
+			t.Fatalf("node %d has %d preds", j, len(dag.Preds[j]))
+		}
+		if dag.Preds[j][0] != tr.Parent[j] {
+			t.Fatalf("node %d pred %d != parent %d", j, dag.Preds[j][0], tr.Parent[j])
+		}
+	}
+	if len(dag.Preds[0]) != 0 {
+		t.Fatal("root has preds")
+	}
+}
+
+func TestRandomOrderHeightLogarithmic(t *testing.T) {
+	const n = 10000
+	_, tr := BuildDAG(randomKeys(n, 7))
+	// Expected height ~ 2.99 ln n ~ 27.5; allow slack.
+	if h := tr.Height(); h > 60 {
+		t.Fatalf("height %d too large for random keys", h)
+	}
+}
+
+func TestSortedInputDegenerates(t *testing.T) {
+	// Sorted input produces a path (the well-known BST worst case); this
+	// exercises the iterative traversal's stack handling.
+	const n = 3000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	_, tr := BuildDAG(keys)
+	if h := tr.Height(); h != n {
+		t.Fatalf("height = %d, want %d", h, n)
+	}
+	sorted := tr.SortedKeys()
+	for i := range sorted {
+		if sorted[i] != int64(i) {
+			t.Fatal("traversal wrong on path tree")
+		}
+	}
+}
+
+func TestRelaxedExecutionRebuildsSameTree(t *testing.T) {
+	keys := randomKeys(500, 13)
+	dag, seqTree := BuildDAG(keys)
+	relTree := NewTree(keys)
+	res, err := core.Run(dag, sched.NewKRelaxed(dag.N, 16), core.Options{
+		OnProcess: func(label int) { relTree.Insert(label) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != int64(dag.N) {
+		t.Fatalf("processed %d", res.Processed)
+	}
+	if err := SameShape(seqTree, relTree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelaxedExecutionUnderMultiQueue(t *testing.T) {
+	keys := randomKeys(800, 17)
+	dag, seqTree := BuildDAG(keys)
+	mq := multiqueue.New(dag.N, 8, 2, multiqueue.RandomQueue, 3)
+	relTree := NewTree(keys)
+	if _, err := core.Run(dag, mq, core.Options{
+		OnProcess: func(label int) { relTree.Insert(label) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SameShape(seqTree, relTree); err != nil {
+		t.Fatal(err)
+	}
+	sorted := relTree.SortedKeys()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			t.Fatal("relaxed-built tree not sorted")
+		}
+	}
+}
+
+func TestExtraStepsSublinear(t *testing.T) {
+	// Theorem 3.3 shape check at package level.
+	const k = 4
+	for _, n := range []int{500, 2000} {
+		dag, _ := BuildDAG(randomKeys(n, uint64(n)))
+		res, err := core.Run(dag, sched.NewKRelaxed(n, k), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExtraSteps > int64(n)/2 {
+			t.Fatalf("n=%d: %d extra steps not sublinear", n, res.ExtraSteps)
+		}
+	}
+}
+
+// Property: any dependency-respecting insertion order rebuilds the same
+// tree (ancestor-closure argument); we approximate "any" by random
+// schedulers.
+func TestSameTreeProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(200)
+		keys := randomKeys(n, seed)
+		dag, seqTree := BuildDAG(keys)
+		relTree := NewTree(keys)
+		_, err := core.Run(dag, sched.NewRandomK(n, 1+r.Intn(12), seed), core.Options{
+			OnProcess: func(label int) { relTree.Insert(label) },
+		})
+		return err == nil && SameShape(seqTree, relTree) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	keys := randomKeys(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sort(keys)
+	}
+}
+
+func BenchmarkBuildDAG(b *testing.B) {
+	keys := randomKeys(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDAG(keys)
+	}
+}

@@ -1,0 +1,217 @@
+// Package core implements the paper's generic framework for executing
+// incremental algorithms through (relaxed) priority schedulers: Algorithm 1
+// (exact execution) and Algorithm 2 (relaxed execution with dependency
+// checking), together with the extra-step accounting that all of the
+// theoretical results in Sections 3 and 5 are stated in.
+//
+// An incremental algorithm is presented to the framework as a set of n
+// tasks, labelled 0..n-1 in decreasing priority order (label = priority,
+// lower is higher priority), plus a dependency DAG: task j depends on task
+// i < j if the sequential algorithm must process i before j. For the
+// algorithms the paper considers, the DAG is a function of the (random)
+// label order only, so it can be computed by one sequential pass (see the
+// bstsort and delaunay packages) and then replayed under any scheduler.
+//
+// The relaxed execution loop (Algorithm 2) repeatedly asks the scheduler
+// for a task; if the task still has unprocessed ancestors, the iteration is
+// wasted — an "extra step" — and the task remains in the scheduler;
+// otherwise the task is removed and processed. The exact execution takes
+// exactly n steps, so extra steps measure the cost of relaxation.
+package core
+
+import (
+	"fmt"
+
+	"relaxsched/internal/sched"
+)
+
+// DAG is a dependency DAG over tasks labelled 0..N-1. Preds[j] lists the
+// labels of j's immediate predecessors ("ancestors" in the paper); every
+// predecessor label must be smaller than j.
+type DAG struct {
+	N     int
+	Preds [][]int32
+}
+
+// NewDAG returns an empty DAG over n tasks (no dependencies).
+func NewDAG(n int) *DAG {
+	return &DAG{N: n, Preds: make([][]int32, n)}
+}
+
+// AddDep records that task j depends on task i (i must precede j).
+// It panics unless i < j.
+func (d *DAG) AddDep(i, j int) {
+	if i >= j {
+		panic(fmt.Sprintf("core: dependency %d -> %d must go from smaller to larger label", i, j))
+	}
+	d.Preds[j] = append(d.Preds[j], int32(i))
+}
+
+// NumDeps returns the total number of dependency edges.
+func (d *DAG) NumDeps() int {
+	total := 0
+	for _, p := range d.Preds {
+		total += len(p)
+	}
+	return total
+}
+
+// Validate checks the DAG's label invariant (all predecessors smaller) and
+// returns an error describing the first violation.
+func (d *DAG) Validate() error {
+	if len(d.Preds) != d.N {
+		return fmt.Errorf("core: Preds has %d entries, want %d", len(d.Preds), d.N)
+	}
+	for j, preds := range d.Preds {
+		for _, i := range preds {
+			if int(i) >= j || i < 0 {
+				return fmt.Errorf("core: task %d has invalid predecessor %d", j, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Result summarizes one relaxed (or exact) execution.
+type Result struct {
+	// Steps is the number of loop iterations (ApproxGetMin calls that
+	// returned a task). The exact scheduler always yields Steps == N.
+	Steps int64
+	// ExtraSteps = Steps - N: the paper's measure of wasted work.
+	ExtraSteps int64
+	// Processed is the number of tasks processed (always N on success).
+	Processed int64
+	// AdjacentInversions counts labels i such that task i+1 was first
+	// returned by the scheduler strictly before task i (the inv_{i,i+1}
+	// events of Section 5's lower bound).
+	AdjacentInversions int64
+	// BlockedByLabel[j] (optional, when CollectPerTask) counts wasted steps
+	// charged to returns of task j while it had unprocessed ancestors.
+	BlockedByLabel []int64
+	// Order (optional, when CollectOrder) is the sequence of labels in
+	// processing order.
+	Order []int32
+}
+
+// Overhead returns Steps / N, the relaxation overhead ratio reported in the
+// paper's experiments (1.0 = no wasted work).
+func (r Result) Overhead() float64 {
+	if r.Processed == 0 {
+		return 1
+	}
+	return float64(r.Steps) / float64(r.Processed)
+}
+
+// Options configure a Run.
+type Options struct {
+	// OnProcess, if non-nil, is invoked for every task in processing order;
+	// incremental algorithms use it to apply the task's state update.
+	OnProcess func(label int)
+	// CollectOrder records the processing order in Result.Order.
+	CollectOrder bool
+	// CollectPerTask records per-label blocked counts.
+	CollectPerTask bool
+	// MaxStepsFactor aborts the run (with an error) after
+	// MaxStepsFactor * N steps; it guards against schedulers that violate
+	// fairness and starve a blocked task forever. 0 means the default of
+	// 1000.
+	MaxStepsFactor int64
+}
+
+// Run executes the task set described by dag through scheduler s, which
+// must be empty; tasks are inserted with priority equal to their label
+// (Algorithm 2). It returns the execution metrics.
+//
+// The scheduler's ApproxGetMin is called once per loop iteration; the task
+// is deleted and processed only when all its predecessors have been
+// processed, matching the paper's model where a speculatively returned but
+// blocked task stays in the scheduler.
+func Run(dag *DAG, s sched.Scheduler, opts Options) (Result, error) {
+	if err := dag.Validate(); err != nil {
+		return Result{}, err
+	}
+	if s.Len() != 0 {
+		return Result{}, fmt.Errorf("core: scheduler must start empty, has %d tasks", s.Len())
+	}
+	n := dag.N
+	for i := 0; i < n; i++ {
+		s.Insert(i, int64(i))
+	}
+
+	// remaining[j] = number of unprocessed predecessors.
+	remaining := make([]int32, n)
+	succs := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		remaining[j] = int32(len(dag.Preds[j]))
+		for _, i := range dag.Preds[j] {
+			succs[i] = append(succs[i], int32(j))
+		}
+	}
+
+	var res Result
+	if opts.CollectPerTask {
+		res.BlockedByLabel = make([]int64, n)
+	}
+	if opts.CollectOrder {
+		res.Order = make([]int32, 0, n)
+	}
+	firstReturn := make([]int64, n)
+	for i := range firstReturn {
+		firstReturn[i] = -1
+	}
+
+	maxFactor := opts.MaxStepsFactor
+	if maxFactor == 0 {
+		maxFactor = 1000
+	}
+	maxSteps := maxFactor * int64(n)
+
+	for {
+		label, _, ok := s.ApproxGetMin()
+		if !ok {
+			break
+		}
+		res.Steps++
+		if res.Steps > maxSteps {
+			return res, fmt.Errorf("core: exceeded %d steps for %d tasks; scheduler may be starving a task", maxSteps, n)
+		}
+		if firstReturn[label] < 0 {
+			firstReturn[label] = res.Steps
+		}
+		if remaining[label] > 0 {
+			// Blocked: an ancestor is unprocessed. Wasted step.
+			if opts.CollectPerTask {
+				res.BlockedByLabel[label]++
+			}
+			continue
+		}
+		s.DeleteTask(label)
+		res.Processed++
+		if opts.CollectOrder {
+			res.Order = append(res.Order, int32(label))
+		}
+		if opts.OnProcess != nil {
+			opts.OnProcess(label)
+		}
+		for _, j := range succs[label] {
+			remaining[j]--
+		}
+	}
+	if res.Processed != int64(n) {
+		return res, fmt.Errorf("core: processed %d of %d tasks (scheduler emptied early)", res.Processed, n)
+	}
+	res.ExtraSteps = res.Steps - int64(n)
+	for i := 0; i+1 < n; i++ {
+		if firstReturn[i+1] >= 0 && firstReturn[i+1] < firstReturn[i] {
+			res.AdjacentInversions++
+		}
+	}
+	return res, nil
+}
+
+// RunExact executes the task set on an exact scheduler (Algorithm 1). It is
+// provided as the baseline: the result always has Steps == N and zero extra
+// steps, and the processing order is 0..N-1.
+func RunExact(dag *DAG, opts Options) (Result, error) {
+	return Run(dag, sched.NewExact(dag.N), opts)
+}

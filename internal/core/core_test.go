@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+// chainDAG builds the total-order DAG 0 <- 1 <- ... <- n-1 (each task
+// depends on its predecessor).
+func chainDAG(n int) *DAG {
+	d := NewDAG(n)
+	for j := 1; j < n; j++ {
+		d.AddDep(j-1, j)
+	}
+	return d
+}
+
+// randomDAG gives each task a random predecessor (a random recursive tree).
+func randomDAG(n int, r *rng.Xoshiro) *DAG {
+	d := NewDAG(n)
+	for j := 1; j < n; j++ {
+		d.AddDep(r.Intn(j), j)
+	}
+	return d
+}
+
+func TestExactRunNoDeps(t *testing.T) {
+	d := NewDAG(100)
+	res, err := RunExact(d, Options{CollectOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 100 || res.ExtraSteps != 0 || res.Processed != 100 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	for i, l := range res.Order {
+		if int(l) != i {
+			t.Fatalf("order[%d] = %d", i, l)
+		}
+	}
+	if res.Overhead() != 1 {
+		t.Fatalf("overhead = %f", res.Overhead())
+	}
+}
+
+func TestExactRunChainNoExtraSteps(t *testing.T) {
+	// With an exact scheduler, even a full chain causes no wasted work.
+	res, err := RunExact(chainDAG(500), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtraSteps != 0 {
+		t.Fatalf("extra steps = %d, want 0", res.ExtraSteps)
+	}
+}
+
+func TestRelaxedChainHasExtraSteps(t *testing.T) {
+	// With a k-relaxed adversarial scheduler on a chain, almost every
+	// speculative return is blocked, so extra steps must appear.
+	const n = 300
+	const k = 8
+	res, err := Run(chainDAG(n), sched.NewKRelaxed(n, k), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtraSteps == 0 {
+		t.Fatal("adversarial scheduler on a chain produced no extra steps")
+	}
+	// Trivial upper bound: the adversary wastes at most k-1 steps per task.
+	if res.ExtraSteps > int64(n)*int64(k) {
+		t.Fatalf("extra steps = %d exceed trivial bound %d", res.ExtraSteps, n*k)
+	}
+	if res.Processed != n {
+		t.Fatalf("processed = %d", res.Processed)
+	}
+}
+
+func TestRelaxedRespectsDependencyOrder(t *testing.T) {
+	const n = 200
+	r := rng.New(5)
+	d := randomDAG(n, r)
+	res, err := Run(d, sched.NewKRelaxed(n, 16), Options{CollectOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, n)
+	for i, l := range res.Order {
+		pos[l] = i
+	}
+	for j := 0; j < n; j++ {
+		for _, i := range d.Preds[j] {
+			if pos[i] > pos[j] {
+				t.Fatalf("task %d processed before its ancestor %d", j, i)
+			}
+		}
+	}
+}
+
+func TestBlockedPerTaskAccounting(t *testing.T) {
+	const n = 100
+	res, err := Run(chainDAG(n), sched.NewKRelaxed(n, 4), Options{CollectPerTask: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, b := range res.BlockedByLabel {
+		sum += b
+	}
+	if sum != res.ExtraSteps {
+		t.Fatalf("per-task blocked sum %d != extra steps %d", sum, res.ExtraSteps)
+	}
+	if res.BlockedByLabel[0] != 0 {
+		t.Fatal("task 0 can never be blocked")
+	}
+}
+
+func TestOnProcessCallbackOrder(t *testing.T) {
+	const n = 50
+	var seen []int
+	_, err := Run(chainDAG(n), sched.NewRandomK(n, 8, 3), Options{
+		OnProcess: func(label int) { seen = append(seen, label) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("callback fired %d times", len(seen))
+	}
+	// A chain forces exactly sequential processing order.
+	for i, l := range seen {
+		if l != i {
+			t.Fatalf("seen[%d] = %d", i, l)
+		}
+	}
+}
+
+func TestAdjacentInversionsExactIsZero(t *testing.T) {
+	res, err := RunExact(NewDAG(100), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdjacentInversions != 0 {
+		t.Fatalf("exact run has %d adjacent inversions", res.AdjacentInversions)
+	}
+}
+
+func TestAdjacentInversionsUnderMultiQueue(t *testing.T) {
+	// Claim 1: under a MultiQueue, Pr[inv_{i,i+1}] >= 1/8, so over n tasks
+	// we expect at least ~n/8 adjacent inversions; require a loose n/20.
+	const n = 4000
+	mq := multiqueue.New(n, 8, 2, multiqueue.RandomQueue, 11)
+	res, err := Run(NewDAG(n), mq, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdjacentInversions < n/20 {
+		t.Fatalf("only %d adjacent inversions for n=%d under MultiQueue", res.AdjacentInversions, n)
+	}
+}
+
+func TestDAGValidate(t *testing.T) {
+	d := NewDAG(3)
+	d.AddDep(0, 2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.Preds[1] = append(d.Preds[1], 2) // corrupt: predecessor larger
+	if err := d.Validate(); err == nil {
+		t.Fatal("Validate accepted invalid DAG")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddDep(2,1) should panic")
+		}
+	}()
+	d.AddDep(2, 1)
+}
+
+func TestRunRejectsNonEmptyScheduler(t *testing.T) {
+	s := sched.NewExact(5)
+	s.Insert(0, 0)
+	if _, err := Run(NewDAG(5), s, Options{}); err == nil {
+		t.Fatal("Run accepted non-empty scheduler")
+	}
+}
+
+func TestNumDeps(t *testing.T) {
+	d := chainDAG(10)
+	if d.NumDeps() != 9 {
+		t.Fatalf("NumDeps = %d", d.NumDeps())
+	}
+}
+
+// Property: for any random DAG and any scheduler in the family, the relaxed
+// run processes all tasks in a dependency-respecting order, and the exact
+// run never wastes steps.
+func TestRunProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + r.Intn(150)
+		d := randomDAG(n, r)
+		var s sched.Scheduler
+		switch r.Intn(3) {
+		case 0:
+			s = sched.NewKRelaxed(n, 1+r.Intn(10))
+		case 1:
+			s = sched.NewRandomK(n, 1+r.Intn(10), seed)
+		default:
+			s = multiqueue.New(n, 1+r.Intn(6), 2, multiqueue.RandomQueue, seed)
+		}
+		res, err := Run(d, s, Options{CollectOrder: true})
+		if err != nil || res.Processed != int64(n) {
+			return false
+		}
+		pos := make([]int, n)
+		for i, l := range res.Order {
+			pos[l] = i
+		}
+		for j := 0; j < n; j++ {
+			for _, i := range d.Preds[j] {
+				if pos[i] > pos[j] {
+					return false
+				}
+			}
+		}
+		exact, err := RunExact(d, Options{})
+		return err == nil && exact.ExtraSteps == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRunChainKRelaxed(b *testing.B) {
+	const n = 10000
+	d := chainDAG(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sched.NewKRelaxed(n, 8)
+		if _, err := Run(d, s, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core_test
+
+// Cross-module integration tests: the parallel incremental engine driving
+// the real algorithm state updates (BST construction and Delaunay mesh
+// building) through its serialized OnProcess callback.
+
+import (
+	"testing"
+
+	"relaxsched/internal/bstsort"
+	"relaxsched/internal/core"
+	"relaxsched/internal/delaunay"
+	"relaxsched/internal/geom"
+	"relaxsched/internal/rng"
+)
+
+func TestParallelRunRebuildsBST(t *testing.T) {
+	r := rng.New(41)
+	const n = 3000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(r.Intn(1 << 30))
+	}
+	dag, seqTree := bstsort.BuildDAG(keys)
+	for _, threads := range []int{2, 8} {
+		relTree := bstsort.NewTree(keys)
+		res, err := core.ParallelRun(dag, core.ParallelOptions{
+			Threads:         threads,
+			QueueMultiplier: 2,
+			Seed:            uint64(threads),
+			OnProcess:       func(label int) { relTree.Insert(label) },
+		})
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if res.Processed != n {
+			t.Fatalf("threads=%d: processed %d", threads, res.Processed)
+		}
+		if err := bstsort.SameShape(seqTree, relTree); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+func TestParallelRunRebuildsDelaunayMesh(t *testing.T) {
+	r := rng.New(43)
+	const n = 400
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	dag, seqTri, err := delaunay.BuildDAG(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relTri := delaunay.New(pts)
+	insertErr := error(nil)
+	res, err := core.ParallelRun(dag, core.ParallelOptions{
+		Threads:         6,
+		QueueMultiplier: 2,
+		Seed:            7,
+		OnProcess: func(label int) {
+			if e := relTri.Insert(label); e != nil && insertErr == nil {
+				insertErr = e
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insertErr != nil {
+		t.Fatal(insertErr)
+	}
+	if res.Processed != n {
+		t.Fatalf("processed %d", res.Processed)
+	}
+	if err := relTri.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+	if len(relTri.Triangles()) != len(seqTri.Triangles()) {
+		t.Fatalf("mesh sizes differ: %d vs %d",
+			len(relTri.Triangles()), len(seqTri.Triangles()))
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/rng"
+)
+
+// ParallelOptions configure a ParallelRun.
+type ParallelOptions struct {
+	// Threads is the number of worker goroutines (>= 1).
+	Threads int
+	// QueueMultiplier gives Threads * QueueMultiplier internal queues in
+	// the concurrent MultiQueue (>= 1; the classic configuration is 2).
+	QueueMultiplier int
+	// Seed drives the MultiQueue randomness.
+	Seed uint64
+	// OnProcess, if non-nil, is invoked once per task in processing order.
+	// Calls are serialized by an internal mutex, so the callback may touch
+	// shared algorithm state (e.g. insert into a BST or a mesh) without
+	// its own locking; the dependency order is guaranteed.
+	OnProcess func(label int)
+}
+
+// ParallelRun executes the task set concurrently: worker goroutines pop
+// labels from a concurrent MultiQueue, process them when all their
+// dependencies are satisfied, and re-insert them otherwise. This is the
+// concurrent analogue of Algorithm 2 — the regime the paper's Section 4
+// transactional model abstracts — with re-insertion playing the role of
+// the sequential model's "task stays in the scheduler".
+//
+// The returned Result counts every pop as a step, so ExtraSteps again
+// measures wasted work: pops of tasks that could not be processed yet.
+// AdjacentInversions is not measured in the concurrent run (first-return
+// order is not well defined across racing workers) and is reported as 0.
+func ParallelRun(dag *DAG, opts ParallelOptions) (Result, error) {
+	if err := dag.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.Threads < 1 {
+		return Result{}, fmt.Errorf("core: ParallelRun needs Threads >= 1")
+	}
+	if opts.QueueMultiplier < 1 {
+		return Result{}, fmt.Errorf("core: ParallelRun needs QueueMultiplier >= 1")
+	}
+	n := dag.N
+	remaining := make([]atomic.Int32, n)
+	succs := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		remaining[j].Store(int32(len(dag.Preds[j])))
+		for _, i := range dag.Preds[j] {
+			succs[i] = append(succs[i], int32(j))
+		}
+	}
+
+	mq := multiqueue.NewConcurrent(opts.Threads * opts.QueueMultiplier)
+	seedRng := rng.New(opts.Seed)
+	for i := 0; i < n; i++ {
+		mq.Push(seedRng, int64(i), int64(i))
+	}
+
+	var pending atomic.Int64
+	pending.Store(int64(n))
+	var steps, processedCount atomic.Int64
+	var procMu sync.Mutex // serializes OnProcess and order collection
+	order := make([]int32, 0, n)
+
+	var wg sync.WaitGroup
+	for t := 0; t < opts.Threads; t++ {
+		wg.Add(1)
+		go func(r *rng.Xoshiro) {
+			defer wg.Done()
+			var localSteps int64
+			for {
+				label64, prio, ok := mq.Pop(r)
+				if !ok {
+					if pending.Load() == 0 {
+						break
+					}
+					runtime.Gosched()
+					continue
+				}
+				localSteps++
+				label := int(label64)
+				if remaining[label].Load() > 0 {
+					// Blocked: a dependency is unprocessed. Re-insert and
+					// count the wasted step. Each label has exactly one
+					// live copy, carried by this worker between the pop
+					// and the re-push.
+					mq.Push(r, label64, prio)
+					// Yield so this worker does not hot-spin re-popping the
+					// same blocked task while its dependencies are mid-flight.
+					runtime.Gosched()
+					continue
+				}
+				procMu.Lock()
+				order = append(order, int32(label))
+				if opts.OnProcess != nil {
+					opts.OnProcess(label)
+				}
+				procMu.Unlock()
+				processedCount.Add(1)
+				for _, j := range succs[label] {
+					remaining[j].Add(-1)
+				}
+				pending.Add(-1)
+			}
+			steps.Add(localSteps)
+		}(seedRng.Split())
+	}
+	wg.Wait()
+
+	res := Result{
+		Steps:     steps.Load(),
+		Processed: processedCount.Load(),
+		Order:     order,
+	}
+	if res.Processed != int64(n) {
+		return res, fmt.Errorf("core: parallel run processed %d of %d tasks", res.Processed, n)
+	}
+	res.ExtraSteps = res.Steps - int64(n)
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+func TestParallelRunNoDeps(t *testing.T) {
+	d := NewDAG(2000)
+	res, err := ParallelRun(d, ParallelOptions{Threads: 8, QueueMultiplier: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != 2000 {
+		t.Fatalf("processed %d", res.Processed)
+	}
+	if res.ExtraSteps != 0 {
+		t.Fatalf("independent tasks wasted %d steps", res.ExtraSteps)
+	}
+	if len(res.Order) != 2000 {
+		t.Fatalf("order has %d entries", len(res.Order))
+	}
+}
+
+func TestParallelRunRespectsDependencies(t *testing.T) {
+	r := rng.New(3)
+	const n = 1500
+	d := randomDAG(n, r)
+	res, err := ParallelRun(d, ParallelOptions{Threads: 8, QueueMultiplier: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, n)
+	for i, l := range res.Order {
+		pos[l] = i
+	}
+	for j := 0; j < n; j++ {
+		for _, i := range d.Preds[j] {
+			if pos[i] > pos[j] {
+				t.Fatalf("task %d processed before ancestor %d", j, i)
+			}
+		}
+	}
+}
+
+func TestParallelRunChainIsSerial(t *testing.T) {
+	// A chain admits no parallelism; the run must still complete, in
+	// exactly sequential order, with (possibly many) wasted steps.
+	const n = 300
+	res, err := ParallelRun(chainDAG(n), ParallelOptions{Threads: 4, QueueMultiplier: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range res.Order {
+		if int(l) != i {
+			t.Fatalf("order[%d] = %d", i, l)
+		}
+	}
+}
+
+func TestParallelRunOnProcessSerialized(t *testing.T) {
+	// The callback may mutate shared state without extra locking.
+	const n = 2000
+	r := rng.New(9)
+	d := randomDAG(n, r)
+	sum := 0
+	var seen []int
+	res, err := ParallelRun(d, ParallelOptions{
+		Threads: 8, QueueMultiplier: 2, Seed: 7,
+		OnProcess: func(label int) {
+			sum += label
+			seen = append(seen, label)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != n || len(seen) != n {
+		t.Fatalf("processed %d, callback %d", res.Processed, len(seen))
+	}
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d (lost or duplicated callbacks)", sum, want)
+	}
+	sort.Ints(seen)
+	for i, v := range seen {
+		if v != i {
+			t.Fatal("callback labels not a permutation")
+		}
+	}
+}
+
+func TestParallelRunSingleThreadMatchesModelSemantics(t *testing.T) {
+	// One thread, one queue: pops are exact by priority, so no wasted
+	// steps can occur (the minimum pending label is never blocked).
+	const n = 500
+	r := rng.New(11)
+	d := randomDAG(n, r)
+	res, err := ParallelRun(d, ParallelOptions{Threads: 1, QueueMultiplier: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtraSteps != 0 {
+		t.Fatalf("exact single queue wasted %d steps", res.ExtraSteps)
+	}
+	for i, l := range res.Order {
+		if int(l) != i {
+			t.Fatalf("order[%d] = %d", i, l)
+		}
+	}
+}
+
+func TestParallelRunInvalidOptions(t *testing.T) {
+	d := NewDAG(5)
+	if _, err := ParallelRun(d, ParallelOptions{Threads: 0, QueueMultiplier: 1}); err == nil {
+		t.Fatal("Threads 0 accepted")
+	}
+	if _, err := ParallelRun(d, ParallelOptions{Threads: 1, QueueMultiplier: 0}); err == nil {
+		t.Fatal("QueueMultiplier 0 accepted")
+	}
+	bad := NewDAG(3)
+	bad.Preds[1] = append(bad.Preds[1], 2)
+	if _, err := ParallelRun(bad, ParallelOptions{Threads: 1, QueueMultiplier: 1}); err == nil {
+		t.Fatal("invalid DAG accepted")
+	}
+}
+
+// Property: parallel runs complete every task exactly once in a
+// dependency-respecting order for random DAGs, thread counts and seeds.
+func TestParallelRunProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 50 + r.Intn(400)
+		d := randomDAG(n, r)
+		res, err := ParallelRun(d, ParallelOptions{
+			Threads:         1 + r.Intn(8),
+			QueueMultiplier: 1 + r.Intn(3),
+			Seed:            seed,
+		})
+		if err != nil || res.Processed != int64(n) {
+			return false
+		}
+		pos := make([]int, n)
+		for i, l := range res.Order {
+			pos[l] = i
+		}
+		for j := 0; j < n; j++ {
+			for _, i := range d.Preds[j] {
+				if pos[i] > pos[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParallelRunRandomDAG(b *testing.B) {
+	r := rng.New(1)
+	const n = 20000
+	d := randomDAG(n, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelRun(d, ParallelOptions{Threads: 8, QueueMultiplier: 2, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

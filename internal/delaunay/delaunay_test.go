@@ -1,0 +1,336 @@
+package delaunay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/geom"
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+func randomPoints(n int, seed uint64) []geom.Point {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return pts
+}
+
+func TestTriangleCounts(t *testing.T) {
+	// A triangulation of n points with h hull points has 2n - h - 2
+	// triangles; for a square it is 2 triangles either way.
+	square := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	tris, err := Triangulate(square, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 2 {
+		t.Fatalf("square triangulated into %d triangles, want 2", len(tris))
+	}
+}
+
+func TestSingleTriangle(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 1, Y: 2}}
+	tris, err := Triangulate(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 1 {
+		t.Fatalf("%d triangles, want 1", len(tris))
+	}
+	tr := tris[0]
+	a, b, c := pts[tr.A], pts[tr.B], pts[tr.C]
+	if geom.Orient2D(a, b, c) != geom.Positive {
+		t.Fatal("triangle not CCW")
+	}
+}
+
+func TestFewPoints(t *testing.T) {
+	for n := 0; n <= 2; n++ {
+		tris, err := Triangulate(randomPoints(n, 5), nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(tris) != 0 {
+			t.Fatalf("n=%d: %d triangles", n, len(tris))
+		}
+	}
+}
+
+func TestDelaunayPropertyRandom(t *testing.T) {
+	for _, n := range []int{10, 50, 200} {
+		pts := randomPoints(n, uint64(n))
+		tri := New(pts)
+		for i := range pts {
+			if err := tri.Insert(i); err != nil {
+				t.Fatalf("n=%d insert %d: %v", n, i, err)
+			}
+		}
+		if err := tri.CheckDelaunay(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Euler: 2n - h - 2 triangles; bound loosely.
+		tris := tri.Triangles()
+		if len(tris) < n-2 || len(tris) > 2*n {
+			t.Fatalf("n=%d: %d triangles out of plausible range", n, len(tris))
+		}
+	}
+}
+
+func TestInsertionOrderIrrelevant(t *testing.T) {
+	// The Delaunay triangulation of points in general position is unique,
+	// so any insertion order yields the same triangle set.
+	pts := randomPoints(60, 77)
+	canon := func(tris []Triangle) map[[3]int]bool {
+		m := make(map[[3]int]bool, len(tris))
+		for _, tr := range tris {
+			k := [3]int{tr.A, tr.B, tr.C}
+			// rotate smallest first (orientation preserved)
+			for k[0] > k[1] || k[0] > k[2] {
+				k[0], k[1], k[2] = k[1], k[2], k[0]
+			}
+			m[k] = true
+		}
+		return m
+	}
+	base, err := Triangulate(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSet := canon(base)
+	r := rng.New(123)
+	for trial := 0; trial < 3; trial++ {
+		order := r.Perm(len(pts))
+		got, err := Triangulate(pts, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet := canon(got)
+		if len(gotSet) != len(baseSet) {
+			t.Fatalf("trial %d: %d vs %d triangles", trial, len(gotSet), len(baseSet))
+		}
+		for k := range baseSet {
+			if !gotSet[k] {
+				t.Fatalf("trial %d: triangle %v missing", trial, k)
+			}
+		}
+	}
+}
+
+func TestDuplicatePointRejected(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 0}}
+	_, err := Triangulate(pts, nil)
+	if err == nil {
+		t.Fatal("duplicate point not rejected")
+	}
+}
+
+func TestCollinearPoints(t *testing.T) {
+	// All points on a line: no real triangles, but insertion must succeed.
+	pts := make([]geom.Point, 10)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i), Y: 0}
+	}
+	tris, err := Triangulate(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 0 {
+		t.Fatalf("collinear points produced %d triangles", len(tris))
+	}
+}
+
+func TestCocircularGrid(t *testing.T) {
+	// A regular grid has many cocircular quadruples; exact predicates must
+	// keep the algorithm consistent.
+	var pts []geom.Point
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			pts = append(pts, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	tri := New(pts)
+	for i := range pts {
+		if err := tri.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5x5 grid: hull is the 16 boundary points, 2*25-16-2 = 32 triangles.
+	if got := len(tri.Triangles()); got != 32 {
+		t.Fatalf("grid triangulated into %d triangles, want 32", got)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	pts := randomPoints(5, 3)
+	tri := New(pts)
+	if err := tri.Insert(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if err := tri.Insert(5); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if err := tri.Insert(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tri.Insert(2); err == nil {
+		t.Fatal("double insert accepted")
+	}
+	if tri.NumInserted() != 1 {
+		t.Fatalf("NumInserted = %d", tri.NumInserted())
+	}
+}
+
+func TestTriangulateOrderLengthMismatch(t *testing.T) {
+	if _, err := Triangulate(randomPoints(4, 1), []int{0, 1}); err == nil {
+		t.Fatal("short order accepted")
+	}
+}
+
+func TestBuildDAGValidAndNonTrivial(t *testing.T) {
+	pts := randomPoints(300, 9)
+	dag, tri, err := BuildDAG(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tri.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+	if dag.NumDeps() == 0 {
+		t.Fatal("no dependencies recorded")
+	}
+	// Every point after the first few should depend on something: the
+	// in-circumcircle relation is dense early on.
+	withDeps := 0
+	for j := 1; j < dag.N; j++ {
+		if len(dag.Preds[j]) > 0 {
+			withDeps++
+		}
+	}
+	if withDeps < dag.N/2 {
+		t.Fatalf("only %d/%d points have dependencies", withDeps, dag.N)
+	}
+}
+
+func TestDAGFirstPointDominates(t *testing.T) {
+	// Point 0's insertion destroys the root triangle whose conflict list
+	// holds everything, so every other point depends on point 0.
+	pts := randomPoints(50, 4)
+	dag, _, err := BuildDAG(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < dag.N; j++ {
+		found := false
+		for _, p := range dag.Preds[j] {
+			if p == 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("point %d does not depend on point 0", j)
+		}
+	}
+}
+
+func TestRelaxedExecutionMatchesSequentialMesh(t *testing.T) {
+	// Execute the incremental algorithm through a relaxed scheduler,
+	// inserting points into a second triangulation in the relaxed order;
+	// the final mesh must be Delaunay and identical in size.
+	pts := randomPoints(150, 31)
+	dag, seqTri, err := BuildDAG(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relTri := New(pts)
+	res, err := core.Run(dag, sched.NewKRelaxed(dag.N, 8), core.Options{
+		OnProcess: func(label int) {
+			if err := relTri.Insert(label); err != nil {
+				t.Fatalf("relaxed insert %d: %v", label, err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != int64(dag.N) {
+		t.Fatalf("processed %d", res.Processed)
+	}
+	if err := relTri.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+	if len(relTri.Triangles()) != len(seqTri.Triangles()) {
+		t.Fatalf("mesh sizes differ: %d vs %d", len(relTri.Triangles()), len(seqTri.Triangles()))
+	}
+}
+
+func TestExtraStepsGrowSlowlyWithN(t *testing.T) {
+	// Theorem 3.3: extra steps are O(k^4 log n) — in particular sublinear
+	// in n. Check extra steps stay far below n for a moderate k.
+	const k = 4
+	for _, n := range []int{200, 800} {
+		pts := randomPoints(n, uint64(n)*7)
+		dag, _, err := BuildDAG(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(dag, sched.NewKRelaxed(n, k), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExtraSteps > int64(n) {
+			t.Fatalf("n=%d: extra steps %d not sublinear", n, res.ExtraSteps)
+		}
+	}
+}
+
+// Property: random point sets triangulate to valid Delaunay meshes with a
+// valid dependency DAG, under random relaxed executions.
+func TestDelaunayPipelineProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(80)
+		pts := randomPoints(n, seed)
+		dag, tri, err := BuildDAG(pts)
+		if err != nil || dag.Validate() != nil {
+			return false
+		}
+		if tri.CheckDelaunay() != nil {
+			return false
+		}
+		mq := multiqueue.New(n, 1+r.Intn(4), 2, multiqueue.RandomQueue, seed)
+		res, err := core.Run(dag, mq, core.Options{})
+		return err == nil && res.Processed == int64(n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTriangulate(b *testing.B) {
+	pts := randomPoints(2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Triangulate(pts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildDAG(b *testing.B) {
+	pts := randomPoints(2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildDAG(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"io"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/spraylist"
+	"relaxsched/internal/sssp"
+	"relaxsched/internal/stats"
+)
+
+// AblationRow compares scheduler families on the same workload: the
+// sorting-by-insertion DAG (extra steps) and sequential-model SSSP on the
+// random graph (pops). It quantifies the design choices DESIGN.md calls
+// out: probing width of the MultiQueue, spray vs. multiqueue vs. the
+// deterministic batch queue.
+type AblationRow struct {
+	Scheduler  string
+	MeanRank   float64 // audited mean rank on a drain of n tasks
+	MaxRank    int
+	SortExtra  float64 // extra steps on the BST-sort DAG
+	SSSPPops   float64 // pops of relaxed sequential SSSP on the random graph
+	SSSPPopsSE float64
+}
+
+// AblationResult holds the scheduler-comparison table.
+type AblationResult struct {
+	N    int
+	Rows []AblationRow
+}
+
+// schedulerZoo lists the compared configurations. DecreaseKey-capable
+// schedulers are required, so the MultiQueue variants use hashed insertion.
+func schedulerZoo(n int, seed uint64) []struct {
+	name string
+	mk   func() sssp.RelaxedScheduler
+} {
+	return []struct {
+		name string
+		mk   func() sssp.RelaxedScheduler
+	}{
+		{"exact", func() sssp.RelaxedScheduler { return sched.NewExact(n) }},
+		{"k-relaxed-16", func() sssp.RelaxedScheduler { return sched.NewKRelaxed(n, 16) }},
+		{"random-16", func() sssp.RelaxedScheduler { return sched.NewRandomK(n, 16, seed) }},
+		{"batch-8", func() sssp.RelaxedScheduler { return sched.NewBatch(n, 8) }},
+		{"mq8-c1", func() sssp.RelaxedScheduler { return multiqueue.New(n, 8, 1, multiqueue.HashedQueue, seed) }},
+		{"mq8-c2", func() sssp.RelaxedScheduler { return multiqueue.New(n, 8, 2, multiqueue.HashedQueue, seed) }},
+		{"mq8-c4", func() sssp.RelaxedScheduler { return multiqueue.New(n, 8, 4, multiqueue.HashedQueue, seed) }},
+		{"spray-8", func() sssp.RelaxedScheduler { return spraylist.New(n, 8, seed) }},
+	}
+}
+
+// Ablation runs the scheduler comparison at a size derived from the config.
+func Ablation(c Config) (AblationResult, error) {
+	n := 32000 / c.scale()
+	if n < 500 {
+		n = 500
+	}
+	res := AblationResult{N: n}
+	g := Families()[0].Gen(Config{GraphScale: c.scale() * 16, Seed: c.Seed}, c.Seed)
+	exact := sssp.Dijkstra(g, 0)
+	for _, entry := range schedulerZoo(n, c.Seed) {
+		row := AblationRow{Scheduler: entry.name}
+
+		// 1. Audited rank quality on a plain drain.
+		aud := sched.NewAuditor(entry.mk(), 1024)
+		for i := 0; i < n; i++ {
+			aud.Insert(i, int64(i))
+		}
+		for {
+			task, _, ok := aud.ApproxGetMin()
+			if !ok {
+				break
+			}
+			aud.DeleteTask(task)
+		}
+		rep := aud.Report()
+		row.MeanRank = rep.MeanRank
+		row.MaxRank = rep.MaxRank
+
+		// 2. Extra steps on the BST-sort DAG.
+		dag, err := buildDAG(AlgoSort, n, c.Seed^0x50f7)
+		if err != nil {
+			return res, err
+		}
+		run, err := core.Run(dag, entry.mk(), core.Options{})
+		if err != nil {
+			return res, err
+		}
+		row.SortExtra = float64(run.ExtraSteps)
+
+		// 3. Sequential-model SSSP pops. The ablation graph is smaller than
+		// n, so scheduler capacity n suffices; rebuild at graph size.
+		var pops stats.Sample
+		for trial := 0; trial < c.trials(); trial++ {
+			q := rebuildAt(entry.name, g.NumNodes, c.Seed+uint64(trial))
+			sr, err := sssp.Relaxed(g, 0, q)
+			if err != nil {
+				return res, err
+			}
+			if !sssp.Equal(sr.Dist, exact.Dist) {
+				panic("experiments: ablation SSSP wrong distances")
+			}
+			pops.Add(float64(sr.Pops))
+		}
+		row.SSSPPops = pops.Mean()
+		row.SSSPPopsSE = pops.StdErr()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// rebuildAt constructs the named zoo scheduler sized for nn tasks.
+func rebuildAt(name string, nn int, seed uint64) sssp.RelaxedScheduler {
+	for _, e := range schedulerZoo(nn, seed) {
+		if e.name == name {
+			return e.mk()
+		}
+	}
+	panic("experiments: unknown scheduler " + name)
+}
+
+// Render writes the ablation table.
+func (r AblationResult) Render(w io.Writer) error {
+	t := stats.NewTable("scheduler", "mean-rank", "max-rank",
+		"sort-extra-steps", "sssp-pops", "stderr")
+	for _, row := range r.Rows {
+		t.AddRow(row.Scheduler, row.MeanRank, row.MaxRank,
+			row.SortExtra, row.SSSPPops, row.SSSPPopsSE)
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"io"
+
+	"relaxsched/internal/bnb"
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/stats"
+)
+
+// BnBRow is one measurement of the Karp-Zhang-style branch-and-bound
+// extension: nodes expanded/pruned under a relaxed scheduler relative to
+// exact best-first search.
+type BnBRow struct {
+	Scheduler string
+	K         int
+	Expanded  float64
+	Pruned    float64
+	Overhead  float64 // expanded+pruned relative to exact best-first
+	StdErr    float64
+}
+
+// BnBResult holds the scheduler sweep.
+type BnBResult struct {
+	ExactExpanded float64
+	Rows          []BnBRow
+}
+
+// BnB sweeps relaxation factors for best-first branch-and-bound on a
+// deterministic synthetic search tree.
+func BnB(c Config) (BnBResult, error) {
+	var res BnBResult
+	depth := 10
+	if c.scale() >= 16 {
+		depth = 8
+	}
+	const budget = 1 << 22
+	tree := bnb.Tree{Depth: depth, Branch: 3, MaxEdgeCost: 100, Seed: c.Seed}
+	exact, err := bnb.Run(tree, sched.NewExact(budget), budget)
+	if err != nil {
+		return res, err
+	}
+	res.ExactExpanded = float64(exact.Expanded)
+	exactWork := float64(exact.Expanded + exact.Pruned)
+
+	for _, k := range []int{4, 16, 64} {
+		var work, exp, prn stats.Sample
+		for trial := 0; trial < c.trials(); trial++ {
+			r, err := bnb.Run(tree, sched.NewKRelaxed(budget, k), budget)
+			if err != nil {
+				return res, err
+			}
+			if r.Best != exact.Best {
+				return res, errWrongOptimum
+			}
+			work.Add(float64(r.Expanded+r.Pruned) / exactWork)
+			exp.Add(float64(r.Expanded))
+			prn.Add(float64(r.Pruned))
+		}
+		res.Rows = append(res.Rows, BnBRow{
+			Scheduler: "k-relaxed", K: k,
+			Expanded: exp.Mean(), Pruned: prn.Mean(),
+			Overhead: work.Mean(), StdErr: work.StdErr(),
+		})
+	}
+	for _, q := range []int{4, 16} {
+		var work, exp, prn stats.Sample
+		for trial := 0; trial < c.trials(); trial++ {
+			mq := multiqueue.New(budget, q, 2, multiqueue.RandomQueue, c.Seed+uint64(trial))
+			r, err := bnb.Run(tree, mq, budget)
+			if err != nil {
+				return res, err
+			}
+			if r.Best != exact.Best {
+				return res, errWrongOptimum
+			}
+			work.Add(float64(r.Expanded+r.Pruned) / exactWork)
+			exp.Add(float64(r.Expanded))
+			prn.Add(float64(r.Pruned))
+		}
+		res.Rows = append(res.Rows, BnBRow{
+			Scheduler: "multiqueue", K: q,
+			Expanded: exp.Mean(), Pruned: prn.Mean(),
+			Overhead: work.Mean(), StdErr: work.StdErr(),
+		})
+	}
+	return res, nil
+}
+
+type wrongOptimumError struct{}
+
+func (wrongOptimumError) Error() string {
+	return "experiments: relaxed branch-and-bound missed the optimum"
+}
+
+var errWrongOptimum = wrongOptimumError{}
+
+// Render writes the branch-and-bound table.
+func (r BnBResult) Render(w io.Writer) error {
+	t := stats.NewTable("scheduler", "k/queues", "expanded", "pruned", "work-overhead", "stderr")
+	for _, row := range r.Rows {
+		t.AddRow(row.Scheduler, row.K, row.Expanded, row.Pruned, row.Overhead, row.StdErr)
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"relaxsched/internal/sssp"
+	"relaxsched/internal/stats"
+)
+
+// Fig1Row is one point of Figure 1: parallel SSSP over a MultiQueue with
+// queues = 2 x threads, on one graph family at one thread count.
+type Fig1Row struct {
+	Graph     string
+	Threads   int
+	Overhead  float64 // tasks processed relaxed / tasks processed exact
+	OverheadE float64 // standard error over trials
+	Speedup   float64 // sequential Dijkstra time / parallel time
+	SpeedupE  float64
+	Millis    float64 // mean parallel wall time
+}
+
+// Fig1Result holds the full sweep for Figure 1 (left: overheads; right:
+// speedups).
+type Fig1Result struct {
+	Rows []Fig1Row
+}
+
+// Fig1 reproduces Figure 1: for each graph family and thread count, the
+// relaxation overhead (left plot) and the speedup over sequential Dijkstra
+// (right plot). The MultiQueue uses 2 queues per thread, as in the paper.
+func Fig1(c Config) Fig1Result {
+	var res Fig1Result
+	for fi, fam := range Families() {
+		g := fam.Gen(c, c.Seed+uint64(fi))
+		exact := sssp.Dijkstra(g, 0)
+		seqTime := timeIt(func() { sssp.Dijkstra(g, 0) })
+		for _, threads := range c.threadSweep() {
+			var ov, sp, ms stats.Sample
+			for trial := 0; trial < c.trials(); trial++ {
+				seed := c.Seed ^ uint64(trial*1000+threads)
+				var pr sssp.ParallelResult
+				elapsed := timeIt(func() { pr = sssp.Parallel(g, 0, threads, 2, seed) })
+				if !sssp.Equal(pr.Dist, exact.Dist) {
+					panic("experiments: parallel SSSP produced wrong distances")
+				}
+				ov.Add(float64(pr.Processed) / float64(exact.Reached))
+				sp.Add(seqTime.Seconds() / elapsed.Seconds())
+				ms.Add(float64(elapsed.Milliseconds()))
+			}
+			res.Rows = append(res.Rows, Fig1Row{
+				Graph:     fam.Name,
+				Threads:   threads,
+				Overhead:  ov.Mean(),
+				OverheadE: ov.StdErr(),
+				Speedup:   sp.Mean(),
+				SpeedupE:  sp.StdErr(),
+				Millis:    ms.Mean(),
+			})
+		}
+	}
+	return res
+}
+
+// RenderOverheads writes the Figure 1 (left) table.
+func (r Fig1Result) RenderOverheads(w io.Writer) error {
+	t := stats.NewTable("graph", "threads", "overhead", "stderr")
+	for _, row := range r.Rows {
+		t.AddRow(row.Graph, row.Threads, row.Overhead, row.OverheadE)
+	}
+	return t.Render(w)
+}
+
+// RenderSpeedups writes the Figure 1 (right) table.
+func (r Fig1Result) RenderSpeedups(w io.Writer) error {
+	t := stats.NewTable("graph", "threads", "speedup", "stderr", "ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Graph, row.Threads, row.Speedup, row.SpeedupE, row.Millis)
+	}
+	return t.Render(w)
+}
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

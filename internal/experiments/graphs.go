@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"io"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/sssp"
+	"relaxsched/internal/stats"
+)
+
+// GraphRow is one row of the input-statistics table (the paper's "sample
+// graphs" list with diameter figures from Section 7).
+type GraphRow struct {
+	Name         string
+	Nodes        int
+	Arcs         int
+	WMin         int64
+	WMax         int64
+	HopDiameter  int
+	MaxDegree    int
+	MeanDegree   float64
+	DMax         int64
+	DmaxOverWmin float64
+}
+
+// GraphsResult holds the statistics for the three families.
+type GraphsResult struct {
+	Rows []GraphRow
+}
+
+// Graphs generates the three input families at the configured scale and
+// reports the structural statistics that drive the paper's analysis
+// (diameter for the Section 7 discussion, d_max/w_min for Theorem 6.1).
+func Graphs(c Config) GraphsResult {
+	var res GraphsResult
+	for fi, fam := range Families() {
+		g := fam.Gen(c, c.Seed+uint64(fi))
+		res.Rows = append(res.Rows, describeGraph(fam.Name, g))
+	}
+	return res
+}
+
+func describeGraph(name string, g *graph.Graph) GraphRow {
+	wmin, wmax := g.WeightBounds()
+	_, maxDeg, meanDeg := graph.DegreeStats(g)
+	exact := sssp.Dijkstra(g, 0)
+	dmax := sssp.MaxDistance(exact.Dist)
+	ratio := 0.0
+	if wmin > 0 {
+		ratio = float64(dmax) / float64(wmin)
+	}
+	return GraphRow{
+		Name:  name,
+		Nodes: g.NumNodes, Arcs: g.NumEdges(),
+		WMin: wmin, WMax: wmax,
+		HopDiameter: graph.HopDiameterEstimate(g, 0),
+		MaxDegree:   maxDeg, MeanDegree: meanDeg,
+		DMax: dmax, DmaxOverWmin: ratio,
+	}
+}
+
+// Render writes the graph-statistics table.
+func (r GraphsResult) Render(w io.Writer) error {
+	t := stats.NewTable("graph", "nodes", "arcs", "wmin", "wmax",
+		"hop-diam", "max-deg", "mean-deg", "dmax", "dmax/wmin")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.Nodes, row.Arcs, row.WMin, row.WMax,
+			row.HopDiameter, row.MaxDegree, row.MeanDegree, row.DMax, row.DmaxOverWmin)
+	}
+	return t.Render(w)
+}

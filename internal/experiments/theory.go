@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"relaxsched/internal/bstsort"
+	"relaxsched/internal/core"
+	"relaxsched/internal/delaunay"
+	"relaxsched/internal/geom"
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/sssp"
+	"relaxsched/internal/stats"
+	"relaxsched/internal/txn"
+)
+
+// Algorithm names one of the two randomized incremental algorithms the
+// upper and lower bounds of Sections 3 and 5 cover.
+type Algorithm string
+
+// The two incremental algorithms analyzed by Theorems 3.3 and 5.1.
+const (
+	AlgoSort     Algorithm = "bst-sort"
+	AlgoDelaunay Algorithm = "delaunay"
+)
+
+// buildDAG constructs the dependency DAG for an algorithm at size n.
+func buildDAG(algo Algorithm, n int, seed uint64) (*core.DAG, error) {
+	switch algo {
+	case AlgoSort:
+		r := rng.New(seed)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = r.Int63()
+		}
+		dag, _ := bstsort.BuildDAG(keys)
+		return dag, nil
+	case AlgoDelaunay:
+		r := rng.New(seed)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: r.Float64(), Y: r.Float64()}
+		}
+		dag, _, err := delaunay.BuildDAG(pts)
+		return dag, err
+	default:
+		return nil, fmt.Errorf("experiments: unknown algorithm %q", algo)
+	}
+}
+
+// Thm33Row is one measurement of extra steps under the adversarial
+// k-relaxed scheduler (Theorem 3.3: expected extra steps O(k^4 log n)).
+type Thm33Row struct {
+	Algo       Algorithm
+	N          int
+	K          int
+	ExtraSteps float64
+	StdErr     float64
+	PerLogN    float64 // ExtraSteps / ln n, flat if growth is logarithmic
+}
+
+// Thm33Result holds the n-sweep and k-sweep for Theorem 3.3.
+type Thm33Result struct {
+	Rows []Thm33Row
+	// LogFitR2 per algorithm: r^2 of ExtraSteps against ln n at fixed k.
+	LogFitR2 map[Algorithm]float64
+}
+
+// Thm33 validates the Theorem 3.3 shape: at fixed k, extra steps grow like
+// log n; at fixed n they grow polynomially in k.
+func Thm33(c Config) (Thm33Result, error) {
+	res := Thm33Result{LogFitR2: map[Algorithm]float64{}}
+	baseN := 16000 / c.scale()
+	if baseN < 250 {
+		baseN = 250
+	}
+	const fixedK = 4
+	for _, algo := range []Algorithm{AlgoSort, AlgoDelaunay} {
+		// n sweep at fixed k.
+		var xs, ys []float64
+		for _, n := range []int{baseN / 8, baseN / 4, baseN / 2, baseN} {
+			var s stats.Sample
+			for trial := 0; trial < c.trials(); trial++ {
+				dag, err := buildDAG(algo, n, c.Seed+uint64(trial*7919+n))
+				if err != nil {
+					return res, err
+				}
+				run, err := core.Run(dag, sched.NewKRelaxed(n, fixedK), core.Options{})
+				if err != nil {
+					return res, err
+				}
+				s.Add(float64(run.ExtraSteps))
+			}
+			res.Rows = append(res.Rows, Thm33Row{
+				Algo: algo, N: n, K: fixedK,
+				ExtraSteps: s.Mean(), StdErr: s.StdErr(),
+				PerLogN: s.Mean() / math.Log(float64(n)),
+			})
+			xs = append(xs, float64(n))
+			ys = append(ys, s.Mean())
+		}
+		_, _, r2 := stats.LogFit(xs, ys)
+		res.LogFitR2[algo] = r2
+		// k sweep at fixed n.
+		nFixed := baseN / 2
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			var s stats.Sample
+			for trial := 0; trial < c.trials(); trial++ {
+				dag, err := buildDAG(algo, nFixed, c.Seed+uint64(trial*104729+k))
+				if err != nil {
+					return res, err
+				}
+				run, err := core.Run(dag, sched.NewKRelaxed(nFixed, k), core.Options{})
+				if err != nil {
+					return res, err
+				}
+				s.Add(float64(run.ExtraSteps))
+			}
+			res.Rows = append(res.Rows, Thm33Row{
+				Algo: algo, N: nFixed, K: k,
+				ExtraSteps: s.Mean(), StdErr: s.StdErr(),
+				PerLogN: s.Mean() / math.Log(float64(nFixed)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the Theorem 3.3 table.
+func (r Thm33Result) Render(w io.Writer) error {
+	t := stats.NewTable("algo", "n", "k", "extra-steps", "stderr", "extra/ln(n)")
+	for _, row := range r.Rows {
+		t.AddRow(string(row.Algo), row.N, row.K, row.ExtraSteps, row.StdErr, row.PerLogN)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	for algo, r2 := range r.LogFitR2 {
+		if _, err := fmt.Fprintf(w, "log-fit r^2 (%s, k=4 n-sweep): %.3f\n", algo, r2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Thm51Row is one measurement of the Section 5 lower bound: extra steps
+// and adjacent-label inversions under a (benign) MultiQueue scheduler.
+type Thm51Row struct {
+	Algo        Algorithm
+	N           int
+	Queues      int
+	ExtraSteps  float64
+	StdErr      float64
+	LowerBound  float64 // (1/8) ln n, Theorem 5.1's floor
+	InvRate     float64 // measured Pr[inv_{i,i+1}]; Claim 1 says >= 1/8
+	InvRateErr  float64
+	ExtraPerLog float64
+}
+
+// Thm51Result holds the lower-bound sweep.
+type Thm51Result struct {
+	Rows []Thm51Row
+}
+
+// Thm51 validates the Section 5 lower bound: under a MultiQueue, extra
+// steps are at least (1/8) ln n and adjacent inversions occur with
+// probability at least 1/8 (Claim 1).
+func Thm51(c Config) (Thm51Result, error) {
+	var res Thm51Result
+	baseN := 16000 / c.scale()
+	if baseN < 250 {
+		baseN = 250
+	}
+	const queues = 8
+	for _, algo := range []Algorithm{AlgoSort, AlgoDelaunay} {
+		for _, n := range []int{baseN / 4, baseN / 2, baseN} {
+			var extra, inv stats.Sample
+			for trial := 0; trial < c.trials(); trial++ {
+				dag, err := buildDAG(algo, n, c.Seed+uint64(trial*31+n))
+				if err != nil {
+					return res, err
+				}
+				mq := multiqueue.New(n, queues, 2, multiqueue.RandomQueue, c.Seed+uint64(trial))
+				run, err := core.Run(dag, mq, core.Options{})
+				if err != nil {
+					return res, err
+				}
+				extra.Add(float64(run.ExtraSteps))
+				inv.Add(float64(run.AdjacentInversions) / float64(n-1))
+			}
+			res.Rows = append(res.Rows, Thm51Row{
+				Algo: algo, N: n, Queues: queues,
+				ExtraSteps: extra.Mean(), StdErr: extra.StdErr(),
+				LowerBound:  math.Log(float64(n)) / 8,
+				InvRate:     inv.Mean(),
+				InvRateErr:  inv.StdErr(),
+				ExtraPerLog: extra.Mean() / math.Log(float64(n)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the Theorem 5.1 table.
+func (r Thm51Result) Render(w io.Writer) error {
+	t := stats.NewTable("algo", "n", "queues", "extra-steps", "stderr",
+		"(1/8)ln(n)", "inv-rate", "extra/ln(n)")
+	for _, row := range r.Rows {
+		t.AddRow(string(row.Algo), row.N, row.Queues, row.ExtraSteps, row.StdErr,
+			row.LowerBound, row.InvRate, row.ExtraPerLog)
+	}
+	return t.Render(w)
+}
+
+// Thm61Row is one measurement of Theorem 6.1: pop operations of the
+// sequential-model relaxed SSSP (Algorithm 3) versus the bound
+// n + O(k^2 d_max/w_min).
+type Thm61Row struct {
+	Graph        string
+	Scheduler    string
+	K            int
+	Reached      int64
+	Pops         float64
+	ExtraPops    float64
+	StdErr       float64
+	DmaxOverWmin float64
+}
+
+// Thm61Result holds the k sweep per graph family.
+type Thm61Result struct {
+	Rows []Thm61Row
+}
+
+// Thm61 validates the Theorem 6.1 shape in the sequential model: extra
+// pops grow with k and with d_max/w_min, and stay far below the trivial
+// k*n bound. It runs the adversarial k-relaxed scheduler and, for
+// reference, a hashed MultiQueue with ~k/2 queues.
+func Thm61(c Config) (Thm61Result, error) {
+	var res Thm61Result
+	sub := c
+	if sub.GraphScale < 8 {
+		sub.GraphScale = 8 * c.scale() // sequential-model runs are slower
+	}
+	for fi, fam := range Families() {
+		g := fam.Gen(sub, c.Seed+uint64(fi))
+		exact := sssp.Dijkstra(g, 0)
+		wmin, _ := g.WeightBounds()
+		dmax := sssp.MaxDistance(exact.Dist)
+		ratio := float64(dmax) / float64(wmin)
+		for _, k := range []int{1, 4, 16, 64} {
+			var pops stats.Sample
+			for trial := 0; trial < c.trials(); trial++ {
+				q := sched.NewKRelaxed(g.NumNodes, k)
+				run, err := sssp.Relaxed(g, 0, q)
+				if err != nil {
+					return res, err
+				}
+				if !sssp.Equal(run.Dist, exact.Dist) {
+					return res, fmt.Errorf("experiments: relaxed SSSP wrong on %s", fam.Name)
+				}
+				pops.Add(float64(run.Pops))
+			}
+			res.Rows = append(res.Rows, Thm61Row{
+				Graph: fam.Name, Scheduler: "k-relaxed", K: k,
+				Reached: exact.Reached, Pops: pops.Mean(),
+				ExtraPops: pops.Mean() - float64(exact.Reached),
+				StdErr:    pops.StdErr(), DmaxOverWmin: ratio,
+			})
+		}
+		for _, queues := range []int{2, 8, 32} {
+			var pops stats.Sample
+			for trial := 0; trial < c.trials(); trial++ {
+				q := multiqueue.New(g.NumNodes, queues, 2, multiqueue.HashedQueue,
+					c.Seed+uint64(trial*13+queues))
+				run, err := sssp.Relaxed(g, 0, q)
+				if err != nil {
+					return res, err
+				}
+				if !sssp.Equal(run.Dist, exact.Dist) {
+					return res, fmt.Errorf("experiments: relaxed SSSP wrong on %s", fam.Name)
+				}
+				pops.Add(float64(run.Pops))
+			}
+			res.Rows = append(res.Rows, Thm61Row{
+				Graph: fam.Name, Scheduler: "multiqueue", K: queues,
+				Reached: exact.Reached, Pops: pops.Mean(),
+				ExtraPops: pops.Mean() - float64(exact.Reached),
+				StdErr:    pops.StdErr(), DmaxOverWmin: ratio,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the Theorem 6.1 table.
+func (r Thm61Result) Render(w io.Writer) error {
+	t := stats.NewTable("graph", "scheduler", "k/queues", "reached", "pops",
+		"extra-pops", "stderr", "dmax/wmin")
+	for _, row := range r.Rows {
+		t.AddRow(row.Graph, row.Scheduler, row.K, row.Reached, row.Pops,
+			row.ExtraPops, row.StdErr, row.DmaxOverWmin)
+	}
+	return t.Render(w)
+}
+
+// Thm43Row is one measurement of the transactional model (Theorem 4.3).
+type Thm43Row struct {
+	Algo    Algorithm
+	N       int
+	K       int
+	Workers int
+	Aborts  float64
+	StdErr  float64
+	PerLogN float64
+}
+
+// Thm43Result holds the transactional sweeps.
+type Thm43Result struct {
+	Rows []Thm43Row
+	// LogFitR2 is the r^2 of aborts against ln n at fixed k, workers.
+	LogFitR2 float64
+}
+
+// Thm43 validates the Theorem 4.3 shape: aborted transactions grow like
+// log n at fixed k and C, and polynomially with k and the concurrency.
+func Thm43(c Config) (Thm43Result, error) {
+	var res Thm43Result
+	baseN := 32000 / c.scale()
+	if baseN < 500 {
+		baseN = 500
+	}
+	const (
+		fixedK = 4
+		fixedW = 4
+		maxDur = 2
+	)
+	var xs, ys []float64
+	for _, n := range []int{baseN / 8, baseN / 4, baseN / 2, baseN} {
+		var s stats.Sample
+		for trial := 0; trial < c.trials(); trial++ {
+			dag, err := buildDAG(AlgoSort, n, c.Seed+uint64(trial*67+n))
+			if err != nil {
+				return res, err
+			}
+			r, err := txn.Simulate(dag, txn.Config{
+				K: fixedK, Workers: fixedW, MaxDuration: maxDur,
+				Seed: c.Seed + uint64(trial),
+			})
+			if err != nil {
+				return res, err
+			}
+			s.Add(float64(r.Aborts))
+		}
+		res.Rows = append(res.Rows, Thm43Row{
+			Algo: AlgoSort, N: n, K: fixedK, Workers: fixedW,
+			Aborts: s.Mean(), StdErr: s.StdErr(),
+			PerLogN: s.Mean() / math.Log(float64(n)),
+		})
+		xs = append(xs, float64(n))
+		ys = append(ys, s.Mean())
+	}
+	_, _, res.LogFitR2 = stats.LogFit(xs, ys)
+	// k sweep at fixed n.
+	nFixed := baseN / 2
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		var s stats.Sample
+		for trial := 0; trial < c.trials(); trial++ {
+			dag, err := buildDAG(AlgoSort, nFixed, c.Seed+uint64(trial*89+k))
+			if err != nil {
+				return res, err
+			}
+			r, err := txn.Simulate(dag, txn.Config{
+				K: k, Workers: fixedW, MaxDuration: maxDur,
+				Seed: c.Seed + uint64(trial),
+			})
+			if err != nil {
+				return res, err
+			}
+			s.Add(float64(r.Aborts))
+		}
+		res.Rows = append(res.Rows, Thm43Row{
+			Algo: AlgoSort, N: nFixed, K: k, Workers: fixedW,
+			Aborts: s.Mean(), StdErr: s.StdErr(),
+			PerLogN: s.Mean() / math.Log(float64(nFixed)),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the Theorem 4.3 table.
+func (r Thm43Result) Render(w io.Writer) error {
+	t := stats.NewTable("algo", "n", "k", "workers", "aborts", "stderr", "aborts/ln(n)")
+	for _, row := range r.Rows {
+		t.AddRow(string(row.Algo), row.N, row.K, row.Workers, row.Aborts, row.StdErr, row.PerLogN)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "log-fit r^2 (n-sweep): %.3f\n", r.LogFitR2)
+	return err
+}

@@ -1,0 +1,214 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+func TestOrient2DBasic(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{1, 0}
+	if Orient2D(a, b, Point{0, 1}) != Positive {
+		t.Fatal("CCW not positive")
+	}
+	if Orient2D(a, b, Point{0, -1}) != Negative {
+		t.Fatal("CW not negative")
+	}
+	if Orient2D(a, b, Point{2, 0}) != Zero {
+		t.Fatal("collinear not zero")
+	}
+}
+
+func TestOrient2DAntisymmetry(t *testing.T) {
+	check := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Point{ax, ay}, Point{bx, by}, Point{cx, cy}
+		return Orient2D(a, b, c) == -Orient2D(b, a, c)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrient2DCyclicInvariance(t *testing.T) {
+	check := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Point{ax, ay}, Point{bx, by}, Point{cx, cy}
+		s := Orient2D(a, b, c)
+		return s == Orient2D(b, c, a) && s == Orient2D(c, a, b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrient2DNearDegenerate(t *testing.T) {
+	// Points that are collinear in exact arithmetic but stress the filter:
+	// tiny perturbations of a line must produce consistent exact signs.
+	a := Point{0, 0}
+	b := Point{1e-30, 1e-30}
+	c := Point{2e-30, 2e-30}
+	if Orient2D(a, b, c) != Zero {
+		t.Fatal("exactly collinear tiny points not Zero")
+	}
+	// A couple of ulps above/below the line (1e-17 would round away; the
+	// ulp of 0.5 is ~1.1e-16).
+	d := Point{0.5, 0.5 + 3e-16}
+	got := Orient2D(Point{0, 0}, Point{1, 1}, d)
+	if got != Positive {
+		t.Fatalf("point above line: got %d", got)
+	}
+	e := Point{0.5, 0.5 - 3e-16}
+	if Orient2D(Point{0, 0}, Point{1, 1}, e) != Negative {
+		t.Fatal("point below line not Negative")
+	}
+}
+
+func TestInCircleBasic(t *testing.T) {
+	// Unit circle through (1,0), (0,1), (-1,0); CCW.
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	if InCircle(a, b, c, Point{0, 0}) != Positive {
+		t.Fatal("center not inside")
+	}
+	if InCircle(a, b, c, Point{2, 2}) != Negative {
+		t.Fatal("far point not outside")
+	}
+	if InCircle(a, b, c, Point{0, -1}) != Zero {
+		t.Fatal("cocircular point not Zero")
+	}
+}
+
+func TestInCircleOrientationConvention(t *testing.T) {
+	// Swapping two triangle vertices (making it CW) flips the sign.
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	inside := Point{0.1, 0.2}
+	if InCircle(a, b, c, inside) != Positive {
+		t.Fatal("inside point not Positive for CCW triangle")
+	}
+	if InCircle(b, a, c, inside) != Negative {
+		t.Fatal("sign did not flip for CW triangle")
+	}
+}
+
+func TestInCircleNearBoundary(t *testing.T) {
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	// Slightly inside and outside the unit circle along the x axis.
+	just := 1e-14
+	if InCircle(a, b, c, Point{0, -(1 - just)}) != Positive {
+		t.Fatal("just-inside not Positive")
+	}
+	if InCircle(a, b, c, Point{0, -(1 + just)}) != Negative {
+		t.Fatal("just-outside not Negative")
+	}
+}
+
+func TestInCircleAgainstNaiveOnRandom(t *testing.T) {
+	// On well-separated random points the filtered predicate must agree
+	// with the naive float computation.
+	r := rng.New(8)
+	for i := 0; i < 2000; i++ {
+		pts := make([]Point, 4)
+		for j := range pts {
+			pts[j] = Point{r.Float64() * 100, r.Float64() * 100}
+		}
+		a, b, c, d := pts[0], pts[1], pts[2], pts[3]
+		if Orient2D(a, b, c) != Positive {
+			a, b = b, a
+		}
+		if Orient2D(a, b, c) != Positive {
+			continue // degenerate draw
+		}
+		got := InCircle(a, b, c, d)
+		naive := naiveInCircle(a, b, c, d)
+		// The naive result is only trustworthy away from zero.
+		if naive > 1e-6 && got != Positive {
+			t.Fatalf("disagrees with naive: det=%g got=%d", naive, got)
+		}
+		if naive < -1e-6 && got != Negative {
+			t.Fatalf("disagrees with naive: det=%g got=%d", naive, got)
+		}
+	}
+}
+
+func naiveInCircle(a, b, c, d Point) float64 {
+	adx, ady := a.X-d.X, a.Y-d.Y
+	bdx, bdy := b.X-d.X, b.Y-d.Y
+	cdx, cdy := c.X-d.X, c.Y-d.Y
+	return (adx*adx+ady*ady)*(bdx*cdy-cdx*bdy) +
+		(bdx*bdx+bdy*bdy)*(cdx*ady-adx*cdy) +
+		(cdx*cdx+cdy*cdy)*(adx*bdy-bdx*ady)
+}
+
+func TestInCircleCoincidentPoints(t *testing.T) {
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	// A point coincident with a triangle vertex is cocircular.
+	if InCircle(a, b, c, a) != Zero {
+		t.Fatal("vertex not cocircular with its own circle")
+	}
+}
+
+func TestInTriangle(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{4, 0}, Point{0, 4}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{1, 1}, true},
+		{Point{0, 0}, true},  // vertex
+		{Point{2, 0}, true},  // on edge
+		{Point{3, 3}, false}, // outside hypotenuse
+		{Point{-1, 1}, false},
+	}
+	for _, tc := range cases {
+		if got := InTriangle(a, b, c, tc.p); got != tc.want {
+			t.Fatalf("InTriangle(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+// Property: InCircle is invariant under cyclic rotation of the CCW
+// triangle's vertices.
+func TestInCircleCyclicProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := Point{r.Float64(), r.Float64()}
+		b := Point{r.Float64(), r.Float64()}
+		c := Point{r.Float64(), r.Float64()}
+		d := Point{r.Float64(), r.Float64()}
+		if Orient2D(a, b, c) != Positive {
+			a, b = b, a
+		}
+		if Orient2D(a, b, c) != Positive {
+			return true // degenerate; skip
+		}
+		s := InCircle(a, b, c, d)
+		return s == InCircle(b, c, a, d) && s == InCircle(c, a, b, d)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOrient2D(b *testing.B) {
+	r := rng.New(1)
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Orient2D(pts[i%100], pts[100+i%100], pts[200+i%100])
+	}
+}
+
+func BenchmarkInCircle(b *testing.B) {
+	r := rng.New(1)
+	pts := make([]Point, 400)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InCircle(pts[i%100], pts[100+i%100], pts[200+i%100], pts[300+i%100])
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+// BFS computes hop distances from src; unreachable nodes get -1.
+func BFS(g *Graph, src int) []int32 {
+	dist := make([]int32, g.NumNodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, 1024)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		targets, _ := g.OutEdges(int(u))
+		for _, v := range targets {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// HopDiameterEstimate estimates the hop diameter by the double-sweep
+// heuristic: BFS from src, then BFS from the farthest reached node. The
+// returned value is a lower bound on the true diameter and is exact on
+// trees; it is the standard cheap estimator for the "diameter" column the
+// paper reports for its inputs.
+func HopDiameterEstimate(g *Graph, src int) int {
+	d1 := BFS(g, src)
+	far, best := src, int32(0)
+	for v, d := range d1 {
+		if d > best {
+			best, far = d, v
+		}
+	}
+	d2 := BFS(g, far)
+	best = 0
+	for _, d := range d2 {
+		if d > best {
+			best = d
+		}
+	}
+	return int(best)
+}
+
+// LargestReachable returns the number of nodes reachable from src
+// (including src). The experiments run SSSP from node 0, so generators are
+// expected to produce graphs where this is close to NumNodes.
+func LargestReachable(g *Graph, src int) int {
+	dist := BFS(g, src)
+	count := 0
+	for _, d := range dist {
+		if d >= 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// DegreeStats returns the minimum, maximum and mean out-degree.
+func DegreeStats(g *Graph) (minDeg, maxDeg int, mean float64) {
+	if g.NumNodes == 0 {
+		return 0, 0, 0
+	}
+	minDeg = g.OutDegree(0)
+	for u := 0; u < g.NumNodes; u++ {
+		d := g.OutDegree(u)
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean = float64(g.NumEdges()) / float64(g.NumNodes)
+	return minDeg, maxDeg, mean
+}

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS checks that the parser never panics and that every
+// successfully parsed graph validates and round-trips.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p sp 3 2\na 1 2 5\na 2 3 7\n")
+	f.Add("c comment\np sp 1 0\n")
+	f.Add("p sp 2 1\na 1 2 1000000\n")
+	f.Add("a 1 2 3\n")
+	f.Add("p sp 0 0\n")
+	f.Add("p sp 2 1\na 2 1 0\n")
+	f.Add(strings.Repeat("c x\n", 50) + "p sp 4 1\na 4 4 9\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		g2, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumNodes != g.NumNodes || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

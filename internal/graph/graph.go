@@ -1,0 +1,149 @@
+// Package graph provides the weighted-graph substrate for the SSSP
+// experiments: a compact CSR (compressed sparse row) representation,
+// generators for the paper's three input families (uniform random, road
+// network, social network), a DIMACS ".gr" parser for users who have the
+// real USA-road files, and structural utilities (BFS, diameter estimation,
+// weight bounds) used to report the d_max/w_min quantities that drive
+// Theorem 6.1.
+package graph
+
+import (
+	"fmt"
+)
+
+// Graph is a directed weighted graph in CSR form. Undirected inputs are
+// stored as two arcs. Weights are strictly positive.
+type Graph struct {
+	// NumNodes is the number of vertices, identified as 0..NumNodes-1.
+	NumNodes int
+	// Offsets has length NumNodes+1; the out-edges of u are the index range
+	// [Offsets[u], Offsets[u+1]) into Targets and Weights.
+	Offsets []int64
+	// Targets holds edge heads.
+	Targets []int32
+	// Weights holds strictly positive edge weights.
+	Weights []int32
+}
+
+// NumEdges returns the number of stored arcs.
+func (g *Graph) NumEdges() int { return len(g.Targets) }
+
+// OutEdges returns the targets and weights of u's out-edges as sub-slices
+// (not copies).
+func (g *Graph) OutEdges(u int) ([]int32, []int32) {
+	lo, hi := g.Offsets[u], g.Offsets[u+1]
+	return g.Targets[lo:hi], g.Weights[lo:hi]
+}
+
+// OutDegree returns the number of out-edges of u.
+func (g *Graph) OutDegree(u int) int {
+	return int(g.Offsets[u+1] - g.Offsets[u])
+}
+
+// Validate checks structural invariants: monotone offsets, in-range
+// targets, positive weights.
+func (g *Graph) Validate() error {
+	if len(g.Offsets) != g.NumNodes+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.Offsets), g.NumNodes+1)
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d", g.Offsets[0])
+	}
+	for u := 0; u < g.NumNodes; u++ {
+		if g.Offsets[u+1] < g.Offsets[u] {
+			return fmt.Errorf("graph: offsets not monotone at %d", u)
+		}
+	}
+	if g.Offsets[g.NumNodes] != int64(len(g.Targets)) || len(g.Targets) != len(g.Weights) {
+		return fmt.Errorf("graph: edge arrays inconsistent")
+	}
+	for i, t := range g.Targets {
+		if t < 0 || int(t) >= g.NumNodes {
+			return fmt.Errorf("graph: target %d out of range at arc %d", t, i)
+		}
+		if g.Weights[i] <= 0 {
+			return fmt.Errorf("graph: non-positive weight %d at arc %d", g.Weights[i], i)
+		}
+	}
+	return nil
+}
+
+// WeightBounds returns the minimum and maximum edge weight; it returns
+// (0, 0) for edgeless graphs.
+func (g *Graph) WeightBounds() (wmin, wmax int64) {
+	if len(g.Weights) == 0 {
+		return 0, 0
+	}
+	wmin, wmax = int64(g.Weights[0]), int64(g.Weights[0])
+	for _, w := range g.Weights[1:] {
+		if int64(w) < wmin {
+			wmin = int64(w)
+		}
+		if int64(w) > wmax {
+			wmax = int64(w)
+		}
+	}
+	return wmin, wmax
+}
+
+// Builder accumulates an edge list and produces a CSR graph.
+type Builder struct {
+	n    int
+	from []int32
+	to   []int32
+	w    []int32
+}
+
+// NewBuilder returns a builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// AddArc adds the directed arc u -> v with weight w (w > 0).
+func (b *Builder) AddArc(u, v int, w int64) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: arc (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if w <= 0 {
+		panic("graph: non-positive weight")
+	}
+	if w > 1<<30 {
+		panic("graph: weight exceeds 2^30")
+	}
+	b.from = append(b.from, int32(u))
+	b.to = append(b.to, int32(v))
+	b.w = append(b.w, int32(w))
+}
+
+// AddEdge adds the undirected edge {u, v} as two arcs.
+func (b *Builder) AddEdge(u, v int, w int64) {
+	b.AddArc(u, v, w)
+	b.AddArc(v, u, w)
+}
+
+// NumArcs returns the number of arcs added so far.
+func (b *Builder) NumArcs() int { return len(b.from) }
+
+// Build produces the CSR graph via a counting sort by source.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		NumNodes: b.n,
+		Offsets:  make([]int64, b.n+1),
+		Targets:  make([]int32, len(b.to)),
+		Weights:  make([]int32, len(b.w)),
+	}
+	for _, u := range b.from {
+		g.Offsets[u+1]++
+	}
+	for u := 0; u < b.n; u++ {
+		g.Offsets[u+1] += g.Offsets[u]
+	}
+	cursor := make([]int64, b.n)
+	copy(cursor, g.Offsets[:b.n])
+	for i := range b.from {
+		u := b.from[i]
+		c := cursor[u]
+		g.Targets[c] = b.to[i]
+		g.Weights[c] = b.w[i]
+		cursor[u]++
+	}
+	return g
+}

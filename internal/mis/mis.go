@@ -1,0 +1,177 @@
+// Package mis implements the greedy iterative graph algorithms analyzed in
+// the predecessor paper (Alistarh, Brown, Kopinsky, Nadiradze, PODC 2018
+// [3], cited as the origin of the scheduling model): greedy maximal
+// independent set and greedy graph coloring over a random vertex
+// permutation. The SPAA 2019 paper's conclusion names generalizing its
+// techniques to further iterative algorithms as future work; these two
+// algorithms slot directly into the same relaxed execution framework
+// (package core), because their dependency structure is "a vertex depends
+// on its earlier-ordered neighbours".
+//
+// Tasks are vertices labelled by a random permutation; task j depends on
+// task i < j iff the vertices are adjacent. Under an exact scheduler the
+// execution reproduces the sequential greedy algorithm; under a k-relaxed
+// scheduler the framework counts the wasted steps, which [3] bounds by
+// O(poly(k) log^2 n / poly(log log n)) for MIS on random orders.
+package mis
+
+import (
+	"fmt"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+// Workload is a greedy-iterative task system over a graph: a random
+// permutation of the vertices plus the induced dependency DAG.
+type Workload struct {
+	G *graph.Graph
+	// Perm maps label -> vertex id (Perm[i] is the i-th vertex in the
+	// random order).
+	Perm []int
+	// LabelOf maps vertex id -> label.
+	LabelOf []int
+	// DAG is the dependency DAG over labels: j depends on i < j iff
+	// Perm[i] and Perm[j] are adjacent.
+	DAG *core.DAG
+}
+
+// NewWorkload builds the random-order workload for g. The permutation is
+// drawn from seed.
+func NewWorkload(g *graph.Graph, seed uint64) *Workload {
+	n := g.NumNodes
+	r := rng.New(seed)
+	perm := r.Perm(n)
+	labelOf := make([]int, n)
+	for label, v := range perm {
+		labelOf[v] = label
+	}
+	dag := core.NewDAG(n)
+	for j := 0; j < n; j++ {
+		v := perm[j]
+		targets, _ := g.OutEdges(v)
+		for _, u := range targets {
+			if i := labelOf[u]; i < j {
+				dag.AddDep(i, j)
+			}
+		}
+	}
+	return &Workload{G: g, Perm: perm, LabelOf: labelOf, DAG: dag}
+}
+
+// GreedyMIS runs greedy maximal independent set over the workload through
+// the given scheduler and returns the membership vector (indexed by vertex
+// id) together with the framework's execution metrics.
+func GreedyMIS(w *Workload, s sched.Scheduler) ([]bool, core.Result, error) {
+	inMIS := make([]bool, w.G.NumNodes)
+	res, err := core.Run(w.DAG, s, core.Options{
+		OnProcess: func(label int) {
+			v := w.Perm[label]
+			targets, _ := w.G.OutEdges(v)
+			for _, u := range targets {
+				if inMIS[u] {
+					return
+				}
+			}
+			inMIS[v] = true
+		},
+	})
+	return inMIS, res, err
+}
+
+// GreedyColoring runs greedy (first-fit) coloring over the workload
+// through the given scheduler. It returns the color of each vertex
+// (indexed by vertex id, colors from 0) and the execution metrics.
+func GreedyColoring(w *Workload, s sched.Scheduler) ([]int32, core.Result, error) {
+	n := w.G.NumNodes
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var scratch []bool
+	res, err := core.Run(w.DAG, s, core.Options{
+		OnProcess: func(label int) {
+			v := w.Perm[label]
+			targets, _ := w.G.OutEdges(v)
+			deg := len(targets)
+			if cap(scratch) < deg+1 {
+				scratch = make([]bool, deg+1)
+			}
+			used := scratch[:deg+1]
+			for i := range used {
+				used[i] = false
+			}
+			for _, u := range targets {
+				if c := colors[u]; c >= 0 && int(c) <= deg {
+					used[c] = true
+				}
+			}
+			for c := range used {
+				if !used[c] {
+					colors[v] = int32(c)
+					return
+				}
+			}
+		},
+	})
+	return colors, res, err
+}
+
+// VerifyMIS checks that the membership vector is an independent set and
+// maximal (every non-member has a member neighbour).
+func VerifyMIS(g *graph.Graph, inMIS []bool) error {
+	for v := 0; v < g.NumNodes; v++ {
+		targets, _ := g.OutEdges(v)
+		if inMIS[v] {
+			for _, u := range targets {
+				if inMIS[u] {
+					return fmt.Errorf("mis: adjacent members %d and %d", v, u)
+				}
+			}
+			continue
+		}
+		covered := false
+		for _, u := range targets {
+			if inMIS[u] {
+				covered = true
+				break
+			}
+		}
+		if !covered && g.OutDegree(v) > 0 {
+			return fmt.Errorf("mis: vertex %d could be added (not maximal)", v)
+		}
+		if g.OutDegree(v) == 0 && !inMIS[v] {
+			return fmt.Errorf("mis: isolated vertex %d not in MIS", v)
+		}
+	}
+	return nil
+}
+
+// VerifyColoring checks that the coloring is proper and complete.
+func VerifyColoring(g *graph.Graph, colors []int32) error {
+	for v := 0; v < g.NumNodes; v++ {
+		if colors[v] < 0 {
+			return fmt.Errorf("mis: vertex %d uncolored", v)
+		}
+		targets, _ := g.OutEdges(v)
+		for _, u := range targets {
+			if colors[v] == colors[u] {
+				return fmt.Errorf("mis: edge (%d,%d) monochromatic", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// NumColors returns the number of distinct colors used.
+func NumColors(colors []int32) int {
+	maxC := int32(-1)
+	for _, c := range colors {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return int(maxC + 1)
+}

@@ -1,0 +1,208 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+func testGraph(n int, seed uint64) *graph.Graph {
+	return graph.Random(n, n*3, 10, seed)
+}
+
+func TestWorkloadDAGMatchesAdjacency(t *testing.T) {
+	g := testGraph(200, 1)
+	w := NewWorkload(g, 2)
+	if err := w.DAG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every dependency edge corresponds to a graph edge.
+	for j := 0; j < w.DAG.N; j++ {
+		vj := w.Perm[j]
+		for _, i := range w.DAG.Preds[j] {
+			vi := w.Perm[i]
+			targets, _ := g.OutEdges(vj)
+			found := false
+			for _, u := range targets {
+				if int(u) == vi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("dep %d->%d has no graph edge", i, j)
+			}
+		}
+	}
+	// Permutation is a bijection.
+	seen := make([]bool, g.NumNodes)
+	for _, v := range w.Perm {
+		if seen[v] {
+			t.Fatal("permutation repeats vertex")
+		}
+		seen[v] = true
+	}
+}
+
+func TestGreedyMISValidExact(t *testing.T) {
+	g := testGraph(500, 3)
+	w := NewWorkload(g, 4)
+	inMIS, res, err := GreedyMIS(w, sched.NewExact(w.DAG.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtraSteps != 0 {
+		t.Fatalf("exact run wasted %d steps", res.ExtraSteps)
+	}
+	if err := VerifyMIS(g, inMIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyMISSameResultUnderRelaxation(t *testing.T) {
+	// The greedy MIS for a fixed permutation is unique, so any
+	// dependency-respecting execution must produce the same set.
+	g := testGraph(400, 5)
+	w := NewWorkload(g, 6)
+	exactSet, _, err := GreedyMIS(w, sched.NewExact(w.DAG.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]sched.Scheduler{
+		"krelaxed8":  sched.NewKRelaxed(w.DAG.N, 8),
+		"multiqueue": multiqueue.New(w.DAG.N, 4, 2, multiqueue.RandomQueue, 7),
+	} {
+		got, res, err := GreedyMIS(w, s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Processed != int64(w.DAG.N) {
+			t.Fatalf("%s: processed %d", name, res.Processed)
+		}
+		for v := range got {
+			if got[v] != exactSet[v] {
+				t.Fatalf("%s: MIS differs at vertex %d", name, v)
+			}
+		}
+	}
+}
+
+func TestGreedyColoringValidAndDeterministic(t *testing.T) {
+	g := testGraph(400, 9)
+	w := NewWorkload(g, 10)
+	exactColors, _, err := GreedyColoring(w, sched.NewExact(w.DAG.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoring(g, exactColors); err != nil {
+		t.Fatal(err)
+	}
+	relColors, res, err := GreedyColoring(w, sched.NewKRelaxed(w.DAG.N, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtraSteps == 0 {
+		t.Log("note: no extra steps under k=16 (possible but unusual)")
+	}
+	for v := range relColors {
+		if relColors[v] != exactColors[v] {
+			t.Fatalf("coloring differs at vertex %d under relaxation", v)
+		}
+	}
+	// Greedy uses at most maxdeg+1 colors.
+	_, maxDeg, _ := graph.DegreeStats(g)
+	if NumColors(exactColors) > maxDeg+1 {
+		t.Fatalf("%d colors exceed maxdeg+1 = %d", NumColors(exactColors), maxDeg+1)
+	}
+}
+
+func TestVerifiersRejectInvalid(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.Build()
+	// Adjacent members.
+	if err := VerifyMIS(g, []bool{true, true, false}); err == nil {
+		t.Fatal("adjacent members accepted")
+	}
+	// Not maximal: nothing selected.
+	if err := VerifyMIS(g, []bool{false, false, false}); err == nil {
+		t.Fatal("non-maximal set accepted")
+	}
+	// Valid: {0, 2}.
+	if err := VerifyMIS(g, []bool{true, false, true}); err != nil {
+		t.Fatal(err)
+	}
+	// Monochromatic edge.
+	if err := VerifyColoring(g, []int32{0, 0, 1}); err == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+	// Uncolored vertex.
+	if err := VerifyColoring(g, []int32{0, -1, 0}); err == nil {
+		t.Fatal("uncolored vertex accepted")
+	}
+	if err := VerifyColoring(g, []int32{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolatedVerticesJoinMIS(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	g := b.Build() // 2, 3 isolated
+	w := NewWorkload(g, 3)
+	inMIS, _, err := GreedyMIS(w, sched.NewExact(w.DAG.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inMIS[2] || !inMIS[3] {
+		t.Fatal("isolated vertices missing from MIS")
+	}
+	if err := VerifyMIS(g, inMIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MIS and coloring are valid and scheduler-independent across
+// random graphs, permutations and schedulers.
+func TestGreedyProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + r.Intn(200)
+		g := graph.Random(n, n*2, 5, seed)
+		w := NewWorkload(g, seed^0xfeed)
+		exactSet, _, err := GreedyMIS(w, sched.NewExact(n))
+		if err != nil || VerifyMIS(g, exactSet) != nil {
+			return false
+		}
+		relSet, _, err := GreedyMIS(w, sched.NewRandomK(n, 1+r.Intn(10), seed))
+		if err != nil {
+			return false
+		}
+		for v := range relSet {
+			if relSet[v] != exactSet[v] {
+				return false
+			}
+		}
+		colors, _, err := GreedyColoring(w, sched.NewKRelaxed(n, 1+r.Intn(10)))
+		return err == nil && VerifyColoring(g, colors) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGreedyMISRelaxed(b *testing.B) {
+	g := testGraph(10000, 1)
+	w := NewWorkload(g, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GreedyMIS(w, sched.NewKRelaxed(w.DAG.N, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

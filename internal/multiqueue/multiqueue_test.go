@@ -1,0 +1,306 @@
+package multiqueue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+func TestMultiQueueDrainsAllTasks(t *testing.T) {
+	for _, policy := range []InsertPolicy{RandomQueue, HashedQueue} {
+		const n = 1000
+		m := New(n, 8, 2, policy, 42)
+		for i := 0; i < n; i++ {
+			m.Insert(i, int64(i))
+		}
+		if m.Len() != n {
+			t.Fatalf("Len = %d", m.Len())
+		}
+		seen := make([]bool, n)
+		count := 0
+		for {
+			task, _, ok := m.ApproxGetMin()
+			if !ok {
+				break
+			}
+			if seen[task] {
+				t.Fatalf("task %d returned after deletion", task)
+			}
+			m.DeleteTask(task)
+			seen[task] = true
+			count++
+		}
+		if count != n {
+			t.Fatalf("policy %v: drained %d, want %d", policy, count, n)
+		}
+	}
+}
+
+func TestMultiQueueSingleQueueIsExact(t *testing.T) {
+	// With one queue and one choice, the MultiQueue degenerates to an exact
+	// priority queue.
+	const n = 200
+	m := New(n, 1, 1, RandomQueue, 1)
+	for i := n - 1; i >= 0; i-- {
+		m.Insert(i, int64(i))
+	}
+	for want := 0; want < n; want++ {
+		task, _, ok := m.ApproxGetMin()
+		if !ok || task != want {
+			t.Fatalf("got %d (ok=%v), want %d", task, ok, want)
+		}
+		m.DeleteTask(task)
+	}
+}
+
+func TestMultiQueueApproximationQuality(t *testing.T) {
+	// Audited mean rank should be modest relative to q log q.
+	const n = 2000
+	const q = 8
+	a := sched.NewAuditor(New(n, q, 2, RandomQueue, 3), 256)
+	for i := 0; i < n; i++ {
+		a.Insert(i, int64(i))
+	}
+	for {
+		task, _, ok := a.ApproxGetMin()
+		if !ok {
+			break
+		}
+		a.DeleteTask(task)
+	}
+	r := a.Report()
+	if r.MeanRank > 3*q {
+		t.Fatalf("mean rank %.2f too large for q=%d", r.MeanRank, q)
+	}
+	if r.MeanRank < 1 {
+		t.Fatalf("mean rank %.2f < 1", r.MeanRank)
+	}
+}
+
+func TestMultiQueueDecreaseKeyHashed(t *testing.T) {
+	m := New(10, 4, 2, HashedQueue, 5)
+	m.Insert(3, 100)
+	m.Insert(7, 50)
+	m.DecreaseKey(3, 1)
+	// Task 3 is now the global minimum; with full probing it must
+	// eventually surface.
+	found := false
+	for i := 0; i < 100; i++ {
+		task, p, ok := m.ApproxGetMin()
+		if !ok {
+			t.Fatal("unexpectedly empty")
+		}
+		if task == 3 {
+			if p != 1 {
+				t.Fatalf("task 3 priority = %d, want 1", p)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("task 3 never returned after DecreaseKey")
+	}
+}
+
+func TestMultiQueueDecreaseKeyRandomPanics(t *testing.T) {
+	m := New(2, 2, 2, RandomQueue, 1)
+	m.Insert(0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.DecreaseKey(0, 5)
+}
+
+func TestMultiQueuePanicsOnMisuse(t *testing.T) {
+	m := New(4, 2, 2, HashedQueue, 1)
+	m.Insert(0, 1)
+	for name, f := range map[string]func(){
+		"dup insert":    func() { m.Insert(0, 2) },
+		"delete absent": func() { m.DeleteTask(1) },
+		"dk absent":     func() { m.DecreaseKey(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMultiQueueRankBoundedByLiveTasks(t *testing.T) {
+	// Whatever the randomness does, the returned task is always pending and
+	// rank <= Len.
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 100
+		m := New(n, 1+r.Intn(8), 1+r.Intn(3), RandomQueue, seed)
+		live := map[int]bool{}
+		next := 0
+		for steps := 0; steps < 500; steps++ {
+			if next < n && (r.Intn(2) == 0 || len(live) == 0) {
+				m.Insert(next, int64(r.Intn(50)))
+				live[next] = true
+				next++
+				continue
+			}
+			task, _, ok := m.ApproxGetMin()
+			if ok != (len(live) > 0) {
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if !live[task] {
+				return false
+			}
+			m.DeleteTask(task)
+			delete(live, task)
+		}
+		return m.Len() == len(live)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSequentialUse(t *testing.T) {
+	c := NewConcurrent(4)
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		c.Push(r, int64(i), int64(100-i))
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	seen := 0
+	for {
+		_, _, ok := c.Pop(r)
+		if !ok {
+			break
+		}
+		seen++
+	}
+	if seen != 100 {
+		t.Fatalf("popped %d, want 100", seen)
+	}
+}
+
+func TestConcurrentSingleQueueOrdering(t *testing.T) {
+	c := NewConcurrent(1)
+	r := rng.New(2)
+	prios := []int64{5, 1, 4, 2, 3}
+	for _, p := range prios {
+		c.Push(r, p, p)
+	}
+	for want := int64(1); want <= 5; want++ {
+		_, p, ok := c.Pop(r)
+		if !ok || p != want {
+			t.Fatalf("got %d (ok=%v), want %d", p, ok, want)
+		}
+	}
+}
+
+func TestConcurrentParallelStress(t *testing.T) {
+	// Many goroutines push and pop; totals must balance and nothing may be
+	// lost. Run with -race in CI for the full effect.
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	c := NewConcurrent(2 * goroutines)
+	var wg sync.WaitGroup
+	var popped [goroutines]int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(g) + 1)
+			for i := 0; i < perG; i++ {
+				c.Push(r, int64(g*perG+i), int64(r.Intn(1<<20)))
+				if i%2 == 1 {
+					if _, _, ok := c.Pop(r); ok {
+						popped[g]++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for g := range popped {
+		total += popped[g]
+	}
+	// Drain the rest.
+	r := rng.New(99)
+	for {
+		_, _, ok := c.Pop(r)
+		if !ok {
+			break
+		}
+		total++
+	}
+	if total != goroutines*perG {
+		t.Fatalf("popped %d total, want %d", total, goroutines*perG)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after drain", c.Len())
+	}
+}
+
+func TestConcurrentValuesPreserved(t *testing.T) {
+	c := NewConcurrent(4)
+	r := rng.New(7)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		c.Push(r, int64(i), int64(i%7))
+	}
+	seen := make([]bool, n)
+	for {
+		v, _, ok := c.Pop(r)
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("value %d lost", i)
+		}
+	}
+}
+
+func TestConcurrentReservedPriorityPanics(t *testing.T) {
+	c := NewConcurrent(1)
+	r := rng.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Push(r, 0, emptyTop)
+}
+
+func BenchmarkConcurrentPushPop(b *testing.B) {
+	c := NewConcurrent(16)
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(uint64(b.N) + 12345)
+		i := int64(0)
+		for pb.Next() {
+			c.Push(r, i, i%1024)
+			c.Pop(r)
+			i++
+		}
+	})
+}

@@ -1,0 +1,225 @@
+// Package ostree implements an order-statistic treap: a randomized balanced
+// binary search tree over (priority, id) pairs that supports rank queries in
+// O(log n) expected time. It is the measurement substrate for the scheduler
+// auditor, which needs to know the exact rank of every task a relaxed
+// scheduler returns in order to verify the paper's RankBound property.
+//
+// Keys are ordered by (priority, id): ties in priority are broken by id so
+// every key is unique and ranks are well defined.
+package ostree
+
+import "relaxsched/internal/rng"
+
+type node struct {
+	prio     int64
+	id       int64
+	heapKey  uint64 // treap heap priority
+	size     int32
+	from, to *node // left, right children
+}
+
+// Tree is an order-statistic treap. The zero value is not usable; construct
+// with New.
+type Tree struct {
+	root *node
+	rand *rng.Xoshiro
+}
+
+// New returns an empty tree whose internal balancing randomness is seeded
+// with seed (results are deterministic for a fixed seed and op sequence).
+func New(seed uint64) *Tree {
+	return &Tree{rand: rng.New(seed)}
+}
+
+// Len reports the number of keys in the tree.
+func (t *Tree) Len() int { return size(t.root) }
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return int(n.size)
+}
+
+func (n *node) update() {
+	n.size = int32(1 + size(n.from) + size(n.to))
+}
+
+// less orders keys by (prio, id).
+func less(p1, i1, p2, i2 int64) bool {
+	if p1 != p2 {
+		return p1 < p2
+	}
+	return i1 < i2
+}
+
+// Insert adds the key (priority, id). It panics if the key already exists.
+func (t *Tree) Insert(priority, id int64) {
+	t.root = t.insert(t.root, &node{prio: priority, id: id, heapKey: t.rand.Uint64(), size: 1})
+}
+
+func (t *Tree) insert(n, x *node) *node {
+	if n == nil {
+		return x
+	}
+	if x.prio == n.prio && x.id == n.id {
+		panic("ostree: Insert of existing key")
+	}
+	if x.heapKey < n.heapKey {
+		// x becomes the new subtree root; split n's subtree around x's key.
+		x.from, x.to = t.split(n, x.prio, x.id)
+		x.update()
+		return x
+	}
+	if less(x.prio, x.id, n.prio, n.id) {
+		n.from = t.insert(n.from, x)
+	} else {
+		n.to = t.insert(n.to, x)
+	}
+	n.update()
+	return n
+}
+
+// split partitions subtree n into (< key, >= key). Panics if key present.
+func (t *Tree) split(n *node, priority, id int64) (*node, *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if priority == n.prio && id == n.id {
+		panic("ostree: split hit existing key")
+	}
+	if less(n.prio, n.id, priority, id) {
+		l, r := t.split(n.to, priority, id)
+		n.to = l
+		n.update()
+		return n, r
+	}
+	l, r := t.split(n.from, priority, id)
+	n.from = r
+	n.update()
+	return l, n
+}
+
+// Delete removes the key (priority, id). It panics if the key is absent.
+func (t *Tree) Delete(priority, id int64) {
+	t.root = t.delete(t.root, priority, id)
+}
+
+func (t *Tree) delete(n *node, priority, id int64) *node {
+	if n == nil {
+		panic("ostree: Delete of absent key")
+	}
+	if priority == n.prio && id == n.id {
+		return t.merge(n.from, n.to)
+	}
+	if less(priority, id, n.prio, n.id) {
+		n.from = t.delete(n.from, priority, id)
+	} else {
+		n.to = t.delete(n.to, priority, id)
+	}
+	n.update()
+	return n
+}
+
+// merge joins two subtrees where every key in a precedes every key in b.
+func (t *Tree) merge(a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.heapKey < b.heapKey {
+		a.to = t.merge(a.to, b)
+		a.update()
+		return a
+	}
+	b.from = t.merge(a, b.from)
+	b.update()
+	return b
+}
+
+// Rank returns the 1-based rank of the key (priority, id): 1 means it is the
+// minimum. It panics if the key is absent.
+func (t *Tree) Rank(priority, id int64) int {
+	rank := 1
+	n := t.root
+	for n != nil {
+		switch {
+		case priority == n.prio && id == n.id:
+			return rank + size(n.from)
+		case less(priority, id, n.prio, n.id):
+			n = n.from
+		default:
+			rank += size(n.from) + 1
+			n = n.to
+		}
+	}
+	panic("ostree: Rank of absent key")
+}
+
+// CountLess returns the number of keys with priority strictly less than
+// priority. This yields a tie-tolerant rank: CountLess(p)+1 is the best
+// possible rank of any key with priority p.
+func (t *Tree) CountLess(priority int64) int {
+	count := 0
+	n := t.root
+	for n != nil {
+		if n.prio < priority {
+			count += size(n.from) + 1
+			n = n.to
+		} else {
+			n = n.from
+		}
+	}
+	return count
+}
+
+// Contains reports whether the key (priority, id) is in the tree.
+func (t *Tree) Contains(priority, id int64) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case priority == n.prio && id == n.id:
+			return true
+		case less(priority, id, n.prio, n.id):
+			n = n.from
+		default:
+			n = n.to
+		}
+	}
+	return false
+}
+
+// Min returns the minimum key. It panics on an empty tree.
+func (t *Tree) Min() (priority, id int64) {
+	n := t.root
+	if n == nil {
+		panic("ostree: Min of empty tree")
+	}
+	for n.from != nil {
+		n = n.from
+	}
+	return n.prio, n.id
+}
+
+// Kth returns the k-th smallest key (1-based). It panics if k is out of
+// range.
+func (t *Tree) Kth(k int) (priority, id int64) {
+	if k < 1 || k > t.Len() {
+		panic("ostree: Kth out of range")
+	}
+	n := t.root
+	for {
+		l := size(n.from)
+		switch {
+		case k == l+1:
+			return n.prio, n.id
+		case k <= l:
+			n = n.from
+		default:
+			k -= l + 1
+			n = n.to
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package ostree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+type key struct{ prio, id int64 }
+
+func sortedKeys(m map[key]bool) []key {
+	ks := make([]key, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].prio != ks[j].prio {
+			return ks[i].prio < ks[j].prio
+		}
+		return ks[i].id < ks[j].id
+	})
+	return ks
+}
+
+func TestInsertRankDelete(t *testing.T) {
+	tr := New(1)
+	tr.Insert(10, 0)
+	tr.Insert(5, 1)
+	tr.Insert(20, 2)
+	if got := tr.Rank(5, 1); got != 1 {
+		t.Fatalf("Rank(5) = %d, want 1", got)
+	}
+	if got := tr.Rank(10, 0); got != 2 {
+		t.Fatalf("Rank(10) = %d, want 2", got)
+	}
+	if got := tr.Rank(20, 2); got != 3 {
+		t.Fatalf("Rank(20) = %d, want 3", got)
+	}
+	tr.Delete(10, 0)
+	if got := tr.Rank(20, 2); got != 2 {
+		t.Fatalf("after delete, Rank(20) = %d, want 2", got)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestTiesBrokenByID(t *testing.T) {
+	tr := New(2)
+	tr.Insert(7, 3)
+	tr.Insert(7, 1)
+	tr.Insert(7, 2)
+	if got := tr.Rank(7, 1); got != 1 {
+		t.Fatalf("Rank(7,1) = %d", got)
+	}
+	if got := tr.Rank(7, 2); got != 2 {
+		t.Fatalf("Rank(7,2) = %d", got)
+	}
+	if got := tr.Rank(7, 3); got != 3 {
+		t.Fatalf("Rank(7,3) = %d", got)
+	}
+}
+
+func TestMinAndKth(t *testing.T) {
+	tr := New(3)
+	vals := []int64{50, 10, 40, 20, 30}
+	for i, v := range vals {
+		tr.Insert(v, int64(i))
+	}
+	p, _ := tr.Min()
+	if p != 10 {
+		t.Fatalf("Min = %d, want 10", p)
+	}
+	for k, want := range []int64{10, 20, 30, 40, 50} {
+		p, _ := tr.Kth(k + 1)
+		if p != want {
+			t.Fatalf("Kth(%d) = %d, want %d", k+1, p, want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	tr := New(4)
+	tr.Insert(1, 1)
+	for name, f := range map[string]func(){
+		"dup insert":    func() { tr.Insert(1, 1) },
+		"delete absent": func() { tr.Delete(2, 2) },
+		"rank absent":   func() { tr.Rank(2, 2) },
+		"kth 0":         func() { tr.Kth(0) },
+		"kth too big":   func() { tr.Kth(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if tr.Contains(2, 2) {
+		t.Fatal("Contains(absent) = true")
+	}
+	if !tr.Contains(1, 1) {
+		t.Fatal("Contains(present) = false")
+	}
+}
+
+func TestEmptyMinPanics(t *testing.T) {
+	tr := New(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min on empty should panic")
+		}
+	}()
+	tr.Min()
+}
+
+// Property: ranks always agree with a sorted reference slice under random
+// insert/delete sequences.
+func TestRankAgainstReference(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		tr := New(seed ^ 0xabc)
+		live := map[key]bool{}
+		for step := 0; step < 300; step++ {
+			if r.Intn(3) != 0 || len(live) == 0 {
+				k := key{int64(r.Intn(50)), int64(r.Intn(50))}
+				if live[k] {
+					continue
+				}
+				tr.Insert(k.prio, k.id)
+				live[k] = true
+			} else {
+				ks := sortedKeys(live)
+				k := ks[r.Intn(len(ks))]
+				tr.Delete(k.prio, k.id)
+				delete(live, k)
+			}
+			// Verify every rank.
+			ks := sortedKeys(live)
+			if tr.Len() != len(ks) {
+				return false
+			}
+			for i, k := range ks {
+				if tr.Rank(k.prio, k.id) != i+1 {
+					return false
+				}
+				p, id := tr.Kth(i + 1)
+				if p != k.prio || id != k.id {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSequential(t *testing.T) {
+	tr := New(6)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int64(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Rank(n/2, n/2); got != n/2+1 {
+		t.Fatalf("Rank mid = %d", got)
+	}
+	for i := 0; i < n; i += 2 {
+		tr.Delete(int64(i), int64(i))
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	if got := tr.Rank(1, 1); got != 1 {
+		t.Fatalf("Rank(1) = %d", got)
+	}
+}
+
+func BenchmarkInsertDeleteRank(b *testing.B) {
+	tr := New(7)
+	const window = 4096
+	for i := 0; i < window; i++ {
+		tr.Insert(int64(i), int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := int64(window + i)
+		tr.Insert(v, v)
+		tr.Rank(v, v)
+		tr.Delete(int64(i), int64(i))
+	}
+}

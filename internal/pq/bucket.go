@@ -1,0 +1,143 @@
+package pq
+
+// BucketQueue is a monotone bucket priority queue in the style of
+// Delta-stepping (Meyer & Sanders): item priorities are mapped to buckets of
+// width delta, and items are drained bucket by bucket in increasing order.
+// It supports DecreaseKey by tracking each id's current bucket. Priorities
+// must be non-negative, and Pop order is only bucket-accurate: within a
+// bucket, items come out in arbitrary order, which is exactly the relaxation
+// Delta-stepping tolerates.
+//
+// The queue is "monotone": once a bucket has been fully drained and passed,
+// pushing into it again is still correct (the cursor moves back), but
+// typical SSSP usage never needs that.
+type BucketQueue struct {
+	delta   int64
+	buckets [][]int32 // bucket index -> ids (may contain stale entries)
+	where   []int32   // id -> bucket index, or -1 when absent
+	prio    []int64   // id -> current priority (valid when where >= 0)
+	cur     int       // lowest possibly-non-empty bucket
+	size    int
+}
+
+// NewBucketQueue returns a bucket queue for ids in [0, n) with bucket
+// width delta. delta must be positive.
+func NewBucketQueue(n int, delta int64) *BucketQueue {
+	if delta <= 0 {
+		panic("pq: NewBucketQueue with non-positive delta")
+	}
+	where := make([]int32, n)
+	for i := range where {
+		where[i] = -1
+	}
+	return &BucketQueue{
+		delta: delta,
+		where: where,
+		prio:  make([]int64, n),
+	}
+}
+
+// Len reports the number of live items in the queue.
+func (b *BucketQueue) Len() int { return b.size }
+
+// Empty reports whether the queue holds no live items.
+func (b *BucketQueue) Empty() bool { return b.size == 0 }
+
+// Contains reports whether id is currently queued.
+func (b *BucketQueue) Contains(id int) bool { return b.where[id] >= 0 }
+
+// Priority returns id's current priority; it panics if id is absent.
+func (b *BucketQueue) Priority(id int) int64 {
+	if b.where[id] < 0 {
+		panic("pq: Priority of absent id")
+	}
+	return b.prio[id]
+}
+
+func (b *BucketQueue) bucketOf(priority int64) int {
+	if priority < 0 {
+		panic("pq: negative priority in bucket queue")
+	}
+	return int(priority / b.delta)
+}
+
+func (b *BucketQueue) ensure(idx int) {
+	for len(b.buckets) <= idx {
+		b.buckets = append(b.buckets, nil)
+	}
+}
+
+// Push inserts id with the given priority, or updates it if already present
+// (both increases and decreases are accepted).
+func (b *BucketQueue) Push(id int, priority int64) {
+	idx := b.bucketOf(priority)
+	if w := b.where[id]; w >= 0 {
+		b.prio[id] = priority
+		if int(w) == idx {
+			return
+		}
+		// Leave the stale entry in the old bucket; it is skipped on Pop
+		// because where[id] no longer matches.
+		b.where[id] = int32(idx)
+	} else {
+		b.where[id] = int32(idx)
+		b.prio[id] = priority
+		b.size++
+	}
+	b.ensure(idx)
+	b.buckets[idx] = append(b.buckets[idx], int32(id))
+	if idx < b.cur {
+		b.cur = idx
+	}
+}
+
+// DecreaseKey lowers id's priority. It panics if id is absent or the new
+// priority is larger than the current one.
+func (b *BucketQueue) DecreaseKey(id int, priority int64) {
+	if b.where[id] < 0 {
+		panic("pq: DecreaseKey of absent id")
+	}
+	if priority > b.prio[id] {
+		panic("pq: DecreaseKey would increase priority")
+	}
+	b.Push(id, priority)
+}
+
+// Pop removes and returns an item from the lowest non-empty bucket.
+// Within a bucket the order is LIFO over live entries. It panics when empty.
+func (b *BucketQueue) Pop() (id int, priority int64) {
+	if b.size == 0 {
+		panic("pq: Pop of empty bucket queue")
+	}
+	for {
+		for b.cur < len(b.buckets) && len(b.buckets[b.cur]) == 0 {
+			b.cur++
+		}
+		if b.cur >= len(b.buckets) {
+			panic("pq: bucket queue size accounting corrupted")
+		}
+		bk := b.buckets[b.cur]
+		cand := int(bk[len(bk)-1])
+		b.buckets[b.cur] = bk[:len(bk)-1]
+		if int(b.where[cand]) != b.cur {
+			continue // stale entry left behind by a Push move
+		}
+		b.where[cand] = -1
+		b.size--
+		return cand, b.prio[cand]
+	}
+}
+
+// Remove deletes id from the queue; it panics if absent. The bucket entry is
+// left behind as a stale record and skipped lazily.
+func (b *BucketQueue) Remove(id int) {
+	if b.where[id] < 0 {
+		panic("pq: Remove of absent id")
+	}
+	b.where[id] = -1
+	b.size--
+}
+
+// CurrentBucket returns the index of the lowest possibly-non-empty bucket;
+// useful for Delta-stepping phase boundaries.
+func (b *BucketQueue) CurrentBucket() int { return b.cur }

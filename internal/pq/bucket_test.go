@@ -1,0 +1,178 @@
+package pq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+func TestBucketQueueBasic(t *testing.T) {
+	b := NewBucketQueue(10, 10)
+	b.Push(0, 95)
+	b.Push(1, 5)
+	b.Push(2, 42)
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	id, p := b.Pop()
+	if id != 1 || p != 5 {
+		t.Fatalf("first pop (%d,%d), want (1,5)", id, p)
+	}
+	id, _ = b.Pop()
+	if id != 2 {
+		t.Fatalf("second pop id %d, want 2", id)
+	}
+	id, _ = b.Pop()
+	if id != 0 {
+		t.Fatalf("third pop id %d, want 0", id)
+	}
+	if !b.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestBucketQueueBucketAccuracy(t *testing.T) {
+	// Items within a bucket may come out in any order, but buckets are
+	// strictly increasing for a monotone workload.
+	r := rng.New(9)
+	const n = 500
+	const delta = int64(16)
+	b := NewBucketQueue(n, delta)
+	for i := 0; i < n; i++ {
+		b.Push(i, int64(r.Intn(1000)))
+	}
+	prevBucket := -1
+	for !b.Empty() {
+		_, p := b.Pop()
+		bk := int(p / delta)
+		if bk < prevBucket {
+			t.Fatalf("bucket went backwards: %d after %d", bk, prevBucket)
+		}
+		prevBucket = bk
+	}
+}
+
+func TestBucketQueueDecreaseKey(t *testing.T) {
+	b := NewBucketQueue(4, 10)
+	b.Push(0, 99)
+	b.Push(1, 50)
+	b.DecreaseKey(0, 1)
+	id, p := b.Pop()
+	if id != 0 || p != 1 {
+		t.Fatalf("pop (%d,%d), want (0,1)", id, p)
+	}
+	mustPanic(t, "increase", func() { b.DecreaseKey(1, 60) })
+	mustPanic(t, "absent", func() { b.DecreaseKey(2, 1) })
+}
+
+func TestBucketQueueUpdateSameBucket(t *testing.T) {
+	b := NewBucketQueue(2, 10)
+	b.Push(0, 15)
+	b.Push(0, 12) // same bucket, just update priority
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	_, p := b.Pop()
+	if p != 12 {
+		t.Fatalf("priority %d, want 12", p)
+	}
+}
+
+func TestBucketQueueRemove(t *testing.T) {
+	b := NewBucketQueue(3, 5)
+	b.Push(0, 1)
+	b.Push(1, 2)
+	b.Push(2, 3)
+	b.Remove(1)
+	if b.Contains(1) {
+		t.Fatal("Contains after Remove")
+	}
+	seen := map[int]bool{}
+	for !b.Empty() {
+		id, _ := b.Pop()
+		seen[id] = true
+	}
+	if seen[1] || !seen[0] || !seen[2] {
+		t.Fatalf("wrong survivors: %v", seen)
+	}
+	mustPanic(t, "remove absent", func() { b.Remove(1) })
+}
+
+func TestBucketQueueStaleEntriesSkipped(t *testing.T) {
+	b := NewBucketQueue(2, 10)
+	b.Push(0, 95) // bucket 9
+	b.Push(0, 5)  // moves to bucket 0, stale entry remains in bucket 9
+	b.Push(1, 97)
+	id, p := b.Pop()
+	if id != 0 || p != 5 {
+		t.Fatalf("pop (%d,%d), want (0,5)", id, p)
+	}
+	id, _ = b.Pop()
+	if id != 1 {
+		t.Fatalf("pop id %d, want 1 (stale 0 must be skipped)", id)
+	}
+	if !b.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestBucketQueueNegativePriorityPanics(t *testing.T) {
+	b := NewBucketQueue(1, 10)
+	mustPanic(t, "negative", func() { b.Push(0, -1) })
+}
+
+func TestBucketQueueZeroDeltaPanics(t *testing.T) {
+	mustPanic(t, "zero delta", func() { NewBucketQueue(1, 0) })
+}
+
+// Property: for monotone workloads (pops never below the current bucket),
+// a BucketQueue drains every id exactly once with its latest priority.
+func TestBucketQueueDrainProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(100)
+		delta := int64(1 + r.Intn(20))
+		b := NewBucketQueue(n, delta)
+		latest := make(map[int]int64)
+		for i := 0; i < n; i++ {
+			p := int64(r.Intn(500))
+			b.Push(i, p)
+			latest[i] = p
+			// Occasionally decrease.
+			if r.Intn(3) == 0 {
+				np := p / 2
+				b.Push(i, np)
+				latest[i] = np
+			}
+		}
+		seen := map[int]bool{}
+		for !b.Empty() {
+			id, p := b.Pop()
+			if seen[id] || latest[id] != p {
+				return false
+			}
+			seen[id] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBucketQueue(b *testing.B) {
+	r := rng.New(1)
+	n := 1 << 16
+	q := NewBucketQueue(n, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % n
+		if !q.Contains(id) {
+			q.Push(id, int64(r.Intn(1<<20)))
+		}
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package pq provides the exact priority-queue substrates used by the
+// schedulers and baselines in this repository: an indexed binary min-heap
+// with DecreaseKey (the exact scheduler and sequential Dijkstra), a pairing
+// heap (an alternative exact queue with cheap melds), and a monotone bucket
+// queue (the Delta-stepping baseline of Meyer & Sanders).
+//
+// Throughout the package, priorities are int64 values where smaller means
+// higher priority, matching the paper's convention that a lower label or a
+// smaller tentative distance is scheduled first.
+package pq
+
+// Heap is an indexed binary min-heap over a dense id space [0, n).
+// Each id may be present at most once; DecreaseKey and Remove are O(log n)
+// thanks to the id -> position index. The zero value is not usable;
+// construct with NewHeap.
+type Heap struct {
+	ids  []int32 // heap slots -> id
+	prio []int64 // heap slots -> priority
+	pos  []int32 // id -> heap slot, or -1 when absent
+}
+
+// NewHeap returns an empty heap able to hold ids in [0, n).
+func NewHeap(n int) *Heap {
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &Heap{pos: pos}
+}
+
+// Len reports the number of items currently in the heap.
+func (h *Heap) Len() int { return len(h.ids) }
+
+// Empty reports whether the heap holds no items.
+func (h *Heap) Empty() bool { return len(h.ids) == 0 }
+
+// Contains reports whether id is currently in the heap.
+func (h *Heap) Contains(id int) bool { return h.pos[id] >= 0 }
+
+// Priority returns the current priority of id. It panics if id is absent.
+func (h *Heap) Priority(id int) int64 {
+	p := h.pos[id]
+	if p < 0 {
+		panic("pq: Priority of absent id")
+	}
+	return h.prio[p]
+}
+
+// Push inserts id with the given priority. It panics if id is already
+// present; use DecreaseKey or Update to change an existing priority.
+func (h *Heap) Push(id int, priority int64) {
+	if h.pos[id] >= 0 {
+		panic("pq: Push of id already in heap")
+	}
+	h.ids = append(h.ids, int32(id))
+	h.prio = append(h.prio, priority)
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.siftUp(len(h.ids) - 1)
+}
+
+// Peek returns the minimum-priority item without removing it.
+// It panics on an empty heap.
+func (h *Heap) Peek() (id int, priority int64) {
+	if len(h.ids) == 0 {
+		panic("pq: Peek of empty heap")
+	}
+	return int(h.ids[0]), h.prio[0]
+}
+
+// Pop removes and returns the minimum-priority item.
+// It panics on an empty heap.
+func (h *Heap) Pop() (id int, priority int64) {
+	if len(h.ids) == 0 {
+		panic("pq: Pop of empty heap")
+	}
+	id, priority = int(h.ids[0]), h.prio[0]
+	h.removeAt(0)
+	return id, priority
+}
+
+// DecreaseKey lowers the priority of id to priority. It panics if id is
+// absent or if priority is larger than the current one.
+func (h *Heap) DecreaseKey(id int, priority int64) {
+	p := h.pos[id]
+	if p < 0 {
+		panic("pq: DecreaseKey of absent id")
+	}
+	if priority > h.prio[p] {
+		panic("pq: DecreaseKey would increase priority")
+	}
+	h.prio[p] = priority
+	h.siftUp(int(p))
+}
+
+// Update sets the priority of id, inserting it if absent. It supports both
+// increases and decreases and is the convenience entry point for schedulers.
+func (h *Heap) Update(id int, priority int64) {
+	p := h.pos[id]
+	if p < 0 {
+		h.Push(id, priority)
+		return
+	}
+	old := h.prio[p]
+	h.prio[p] = priority
+	if priority < old {
+		h.siftUp(int(p))
+	} else if priority > old {
+		h.siftDown(int(p))
+	}
+}
+
+// Remove deletes id from the heap. It panics if id is absent.
+func (h *Heap) Remove(id int) {
+	p := h.pos[id]
+	if p < 0 {
+		panic("pq: Remove of absent id")
+	}
+	h.removeAt(int(p))
+}
+
+// Slot returns the id and priority stored at heap slot i (0 is the min).
+// It is intended for schedulers that need to inspect the top of the heap;
+// slots beyond 0 are in no particular order. It panics if i is out of range.
+func (h *Heap) Slot(i int) (id int, priority int64) {
+	return int(h.ids[i]), h.prio[i]
+}
+
+func (h *Heap) removeAt(i int) {
+	last := len(h.ids) - 1
+	h.pos[h.ids[i]] = -1
+	if i != last {
+		h.ids[i] = h.ids[last]
+		h.prio[i] = h.prio[last]
+		h.pos[h.ids[i]] = int32(i)
+	}
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	if i < last {
+		// The moved element may need to go either direction.
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+}
+
+func (h *Heap) siftUp(i int) {
+	id, pr := h.ids[i], h.prio[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= pr {
+			break
+		}
+		h.ids[i], h.prio[i] = h.ids[parent], h.prio[parent]
+		h.pos[h.ids[i]] = int32(i)
+		i = parent
+	}
+	h.ids[i], h.prio[i] = id, pr
+	h.pos[id] = int32(i)
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.ids)
+	id, pr := h.ids[i], h.prio[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.prio[right] < h.prio[left] {
+			child = right
+		}
+		if pr <= h.prio[child] {
+			break
+		}
+		h.ids[i], h.prio[i] = h.ids[child], h.prio[child]
+		h.pos[h.ids[i]] = int32(i)
+		i = child
+	}
+	h.ids[i], h.prio[i] = id, pr
+	h.pos[id] = int32(i)
+}

@@ -1,0 +1,252 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+func TestHeapBasicOrder(t *testing.T) {
+	h := NewHeap(10)
+	prios := []int64{5, 3, 8, 1, 9, 2, 7, 0, 6, 4}
+	for id, p := range prios {
+		h.Push(id, p)
+	}
+	if h.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", h.Len())
+	}
+	for want := int64(0); want < 10; want++ {
+		_, p := h.Pop()
+		if p != want {
+			t.Fatalf("popped priority %d, want %d", p, want)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	h := NewHeap(3)
+	h.Push(0, 5)
+	h.Push(1, 2)
+	h.Push(2, 9)
+	id, p := h.Peek()
+	if id != 1 || p != 2 {
+		t.Fatalf("Peek = (%d,%d), want (1,2)", id, p)
+	}
+	if h.Len() != 3 {
+		t.Fatal("Peek must not remove")
+	}
+}
+
+func TestHeapDecreaseKey(t *testing.T) {
+	h := NewHeap(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.Push(3, 40)
+	h.DecreaseKey(3, 5)
+	id, p := h.Pop()
+	if id != 3 || p != 5 {
+		t.Fatalf("after DecreaseKey, Pop = (%d,%d), want (3,5)", id, p)
+	}
+}
+
+func TestHeapDecreaseKeyPanics(t *testing.T) {
+	h := NewHeap(2)
+	h.Push(0, 10)
+	mustPanic(t, "increase via DecreaseKey", func() { h.DecreaseKey(0, 20) })
+	mustPanic(t, "DecreaseKey of absent", func() { h.DecreaseKey(1, 1) })
+}
+
+func TestHeapPushDuplicatePanics(t *testing.T) {
+	h := NewHeap(2)
+	h.Push(0, 1)
+	mustPanic(t, "duplicate Push", func() { h.Push(0, 2) })
+}
+
+func TestHeapPopEmptyPanics(t *testing.T) {
+	h := NewHeap(1)
+	mustPanic(t, "Pop empty", func() { h.Pop() })
+	mustPanic(t, "Peek empty", func() { h.Peek() })
+}
+
+func TestHeapUpdateBothDirections(t *testing.T) {
+	h := NewHeap(3)
+	h.Update(0, 10) // insert
+	h.Update(1, 20)
+	h.Update(2, 30)
+	h.Update(0, 40) // increase
+	h.Update(2, 1)  // decrease
+	id, _ := h.Pop()
+	if id != 2 {
+		t.Fatalf("first pop id = %d, want 2", id)
+	}
+	id, _ = h.Pop()
+	if id != 1 {
+		t.Fatalf("second pop id = %d, want 1", id)
+	}
+	id, p := h.Pop()
+	if id != 0 || p != 40 {
+		t.Fatalf("third pop = (%d,%d), want (0,40)", id, p)
+	}
+}
+
+func TestHeapRemove(t *testing.T) {
+	h := NewHeap(5)
+	for i := 0; i < 5; i++ {
+		h.Push(i, int64(i))
+	}
+	h.Remove(0) // remove current min
+	h.Remove(3) // remove middle
+	var got []int64
+	for !h.Empty() {
+		_, p := h.Pop()
+		got = append(got, p)
+	}
+	want := []int64{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestHeapContainsAndPriority(t *testing.T) {
+	h := NewHeap(3)
+	h.Push(1, 42)
+	if !h.Contains(1) || h.Contains(0) {
+		t.Fatal("Contains wrong")
+	}
+	if h.Priority(1) != 42 {
+		t.Fatalf("Priority = %d, want 42", h.Priority(1))
+	}
+	h.Pop()
+	if h.Contains(1) {
+		t.Fatal("Contains after Pop")
+	}
+}
+
+// TestHeapSortProperty: pushing any set of priorities and draining yields
+// sorted order (heapsort property), under random DecreaseKey operations.
+func TestHeapSortProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(200)
+		h := NewHeap(n)
+		prios := make([]int64, n)
+		for i := 0; i < n; i++ {
+			prios[i] = int64(r.Intn(1000))
+			h.Push(i, prios[i])
+		}
+		// Random decrease-keys.
+		for i := 0; i < n/2; i++ {
+			id := r.Intn(n)
+			if !h.Contains(id) {
+				continue
+			}
+			np := prios[id] - int64(r.Intn(100))
+			h.DecreaseKey(id, np)
+			prios[id] = np
+		}
+		sorted := append([]int64(nil), prios...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := 0; i < n; i++ {
+			_, p := h.Pop()
+			if p != sorted[i] {
+				return false
+			}
+		}
+		return h.Empty()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapAgainstReferenceModel runs a random op sequence against a naive
+// slice-based model and compares observable behaviour.
+func TestHeapAgainstReferenceModel(t *testing.T) {
+	r := rng.New(777)
+	const n = 64
+	h := NewHeap(n)
+	model := map[int]int64{}
+	for step := 0; step < 20000; step++ {
+		op := r.Intn(4)
+		switch {
+		case op == 0: // push absent id
+			id := r.Intn(n)
+			if _, ok := model[id]; !ok {
+				p := int64(r.Intn(10000))
+				h.Push(id, p)
+				model[id] = p
+			}
+		case op == 1 && len(model) > 0: // pop
+			id, p := h.Pop()
+			mp, ok := model[id]
+			if !ok || mp != p {
+				t.Fatalf("step %d: pop (%d,%d) not in model (%v)", step, id, p, ok)
+			}
+			// Must be a minimum.
+			for _, v := range model {
+				if v < p {
+					t.Fatalf("step %d: popped %d but model has smaller %d", step, p, v)
+				}
+			}
+			delete(model, id)
+		case op == 2: // decrease random present id
+			id := r.Intn(n)
+			if mp, ok := model[id]; ok {
+				np := mp - int64(r.Intn(50))
+				h.DecreaseKey(id, np)
+				model[id] = np
+			}
+		case op == 3: // remove random present id
+			id := r.Intn(n)
+			if _, ok := model[id]; ok {
+				h.Remove(id)
+				delete(model, id)
+			}
+		}
+		if h.Len() != len(model) {
+			t.Fatalf("step %d: Len=%d model=%d", step, h.Len(), len(model))
+		}
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	r := rng.New(1)
+	n := 1 << 16
+	h := NewHeap(n)
+	prios := make([]int64, n)
+	for i := range prios {
+		prios[i] = int64(r.Intn(1 << 30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % n
+		if h.Contains(id) {
+			continue
+		}
+		h.Push(id, prios[id])
+		if h.Len() > 1024 {
+			h.Pop()
+		}
+	}
+}

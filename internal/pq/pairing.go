@@ -1,0 +1,156 @@
+package pq
+
+// Pairing is a pairing heap: an exact min-priority queue with O(1) Insert
+// and Meld, O(1) amortized DecreaseKey, and O(log n) amortized DeleteMin.
+// Unlike Heap it does not require a dense id space: callers keep the *Node
+// handle returned by Insert. The zero value is an empty heap ready to use.
+type Pairing struct {
+	root *Node
+	size int
+}
+
+// Node is a handle to an element stored in a Pairing heap.
+type Node struct {
+	// Value is an arbitrary payload carried with the node.
+	Value int64
+	prio  int64
+
+	child, sibling, prev *Node // prev is parent for first child, left sibling otherwise
+}
+
+// Priority returns the node's current priority.
+func (n *Node) Priority() int64 { return n.prio }
+
+// Len reports the number of elements in the heap.
+func (p *Pairing) Len() int { return p.size }
+
+// Empty reports whether the heap holds no elements.
+func (p *Pairing) Empty() bool { return p.size == 0 }
+
+// Insert adds a value with the given priority and returns its handle.
+func (p *Pairing) Insert(value, priority int64) *Node {
+	n := &Node{Value: value, prio: priority}
+	p.root = meld(p.root, n)
+	p.size++
+	return n
+}
+
+// Min returns the minimum node without removing it, or nil if empty.
+func (p *Pairing) Min() *Node { return p.root }
+
+// DeleteMin removes and returns the minimum node. It panics on empty heaps.
+func (p *Pairing) DeleteMin() *Node {
+	if p.root == nil {
+		panic("pq: DeleteMin of empty pairing heap")
+	}
+	min := p.root
+	p.root = mergePairs(min.child)
+	if p.root != nil {
+		p.root.prev = nil
+	}
+	min.child, min.sibling, min.prev = nil, nil, nil
+	p.size--
+	return min
+}
+
+// DecreaseKey lowers the priority of n to priority. It panics if the new
+// priority is larger than the current one. The node must be in this heap.
+func (p *Pairing) DecreaseKey(n *Node, priority int64) {
+	if priority > n.prio {
+		panic("pq: DecreaseKey would increase priority")
+	}
+	n.prio = priority
+	if n == p.root {
+		return
+	}
+	p.cut(n)
+	p.root = meld(p.root, n)
+}
+
+// Remove deletes node n from the heap. The node must be in this heap.
+func (p *Pairing) Remove(n *Node) {
+	if n == p.root {
+		p.DeleteMin()
+		return
+	}
+	p.cut(n)
+	sub := mergePairs(n.child)
+	n.child = nil
+	if sub != nil {
+		sub.prev = nil
+		p.root = meld(p.root, sub)
+	}
+	p.size--
+}
+
+// Meld merges other into p, emptying other. Handles from other remain valid
+// and now belong to p.
+func (p *Pairing) Meld(other *Pairing) {
+	p.root = meld(p.root, other.root)
+	p.size += other.size
+	other.root, other.size = nil, 0
+}
+
+// cut detaches n (not the root) from its parent's child list.
+func (p *Pairing) cut(n *Node) {
+	if n.prev == nil {
+		panic("pq: cut of detached pairing node")
+	}
+	if n.prev.child == n {
+		n.prev.child = n.sibling
+	} else {
+		n.prev.sibling = n.sibling
+	}
+	if n.sibling != nil {
+		n.sibling.prev = n.prev
+	}
+	n.prev, n.sibling = nil, nil
+}
+
+func meld(a, b *Node) *Node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.prio < a.prio {
+		a, b = b, a
+	}
+	// b becomes the first child of a.
+	b.prev = a
+	b.sibling = a.child
+	if a.child != nil {
+		a.child.prev = b
+	}
+	a.child = b
+	return a
+}
+
+// mergePairs performs the two-pass pairing of a sibling list.
+func mergePairs(first *Node) *Node {
+	if first == nil || first.sibling == nil {
+		return first
+	}
+	// First pass: meld adjacent pairs, collecting results.
+	var pairs []*Node
+	for first != nil {
+		a := first
+		b := first.sibling
+		if b == nil {
+			a.prev, a.sibling = nil, nil
+			pairs = append(pairs, a)
+			break
+		}
+		first = b.sibling
+		a.prev, a.sibling = nil, nil
+		b.prev, b.sibling = nil, nil
+		pairs = append(pairs, meld(a, b))
+	}
+	// Second pass: meld right to left.
+	result := pairs[len(pairs)-1]
+	for i := len(pairs) - 2; i >= 0; i-- {
+		result = meld(pairs[i], result)
+	}
+	return result
+}

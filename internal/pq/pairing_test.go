@@ -1,0 +1,215 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+func TestPairingBasicOrder(t *testing.T) {
+	var p Pairing
+	prios := []int64{5, 3, 8, 1, 9, 2, 7, 0, 6, 4}
+	for _, pr := range prios {
+		p.Insert(pr*10, pr)
+	}
+	if p.Len() != len(prios) {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for want := int64(0); want < 10; want++ {
+		n := p.DeleteMin()
+		if n.Priority() != want {
+			t.Fatalf("popped %d, want %d", n.Priority(), want)
+		}
+		if n.Value != want*10 {
+			t.Fatalf("value %d, want %d", n.Value, want*10)
+		}
+	}
+	if !p.Empty() {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestPairingMinNoRemove(t *testing.T) {
+	var p Pairing
+	p.Insert(1, 7)
+	p.Insert(2, 3)
+	if p.Min().Priority() != 3 {
+		t.Fatalf("Min = %d, want 3", p.Min().Priority())
+	}
+	if p.Len() != 2 {
+		t.Fatal("Min must not remove")
+	}
+}
+
+func TestPairingDecreaseKey(t *testing.T) {
+	var p Pairing
+	a := p.Insert(1, 100)
+	b := p.Insert(2, 50)
+	c := p.Insert(3, 75)
+	p.DecreaseKey(a, 10)
+	if p.Min() != a {
+		t.Fatal("a should be min after DecreaseKey")
+	}
+	p.DecreaseKey(c, 20)
+	if got := p.DeleteMin(); got != a {
+		t.Fatal("expected a first")
+	}
+	if got := p.DeleteMin(); got != c {
+		t.Fatal("expected c second")
+	}
+	if got := p.DeleteMin(); got != b {
+		t.Fatal("expected b third")
+	}
+}
+
+func TestPairingDecreaseKeyOnRoot(t *testing.T) {
+	var p Pairing
+	a := p.Insert(1, 5)
+	p.Insert(2, 10)
+	p.DecreaseKey(a, 1)
+	if p.Min() != a || a.Priority() != 1 {
+		t.Fatal("root DecreaseKey failed")
+	}
+}
+
+func TestPairingDecreaseKeyIncreasePanics(t *testing.T) {
+	var p Pairing
+	a := p.Insert(1, 5)
+	mustPanic(t, "increase", func() { p.DecreaseKey(a, 6) })
+}
+
+func TestPairingDeleteMinEmptyPanics(t *testing.T) {
+	var p Pairing
+	mustPanic(t, "empty DeleteMin", func() { p.DeleteMin() })
+}
+
+func TestPairingRemove(t *testing.T) {
+	var p Pairing
+	nodes := make([]*Node, 10)
+	for i := range nodes {
+		nodes[i] = p.Insert(int64(i), int64(i))
+	}
+	p.Remove(nodes[0]) // root
+	p.Remove(nodes[5]) // internal
+	p.Remove(nodes[9])
+	var got []int64
+	for !p.Empty() {
+		got = append(got, p.DeleteMin().Priority())
+	}
+	want := []int64{1, 2, 3, 4, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPairingMeld(t *testing.T) {
+	var a, b Pairing
+	a.Insert(1, 5)
+	a.Insert(2, 1)
+	b.Insert(3, 3)
+	b.Insert(4, 0)
+	a.Meld(&b)
+	if a.Len() != 4 || b.Len() != 0 {
+		t.Fatalf("after meld: a=%d b=%d", a.Len(), b.Len())
+	}
+	want := []int64{0, 1, 3, 5}
+	for _, w := range want {
+		if got := a.DeleteMin().Priority(); got != w {
+			t.Fatalf("got %d, want %d", got, w)
+		}
+	}
+}
+
+func TestPairingSortProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(300)
+		var p Pairing
+		nodes := make([]*Node, 0, n)
+		prios := make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			pr := int64(r.Intn(1000))
+			nodes = append(nodes, p.Insert(int64(i), pr))
+			prios = append(prios, pr)
+		}
+		for i := 0; i < n/3; i++ {
+			j := r.Intn(len(nodes))
+			np := prios[j] - int64(r.Intn(100))
+			p.DecreaseKey(nodes[j], np)
+			prios[j] = np
+		}
+		sort.Slice(prios, func(i, j int) bool { return prios[i] < prios[j] })
+		for i := 0; i < n; i++ {
+			if p.DeleteMin().Priority() != prios[i] {
+				return false
+			}
+		}
+		return p.Empty()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairingRandomRemovals(t *testing.T) {
+	r := rng.New(4242)
+	var p Pairing
+	live := map[*Node]int64{}
+	var handles []*Node
+	for step := 0; step < 5000; step++ {
+		switch r.Intn(3) {
+		case 0:
+			pr := int64(r.Intn(100000))
+			n := p.Insert(pr, pr)
+			live[n] = pr
+			handles = append(handles, n)
+		case 1:
+			if p.Empty() {
+				continue
+			}
+			n := p.DeleteMin()
+			want, ok := live[n]
+			if !ok {
+				t.Fatalf("step %d: DeleteMin returned dead node", step)
+			}
+			for _, v := range live {
+				if v < want {
+					t.Fatalf("step %d: popped %d, live has %d", step, want, v)
+				}
+			}
+			delete(live, n)
+		case 2:
+			if len(handles) == 0 {
+				continue
+			}
+			n := handles[r.Intn(len(handles))]
+			if _, ok := live[n]; !ok {
+				continue
+			}
+			p.Remove(n)
+			delete(live, n)
+		}
+		if p.Len() != len(live) {
+			t.Fatalf("step %d: Len=%d live=%d", step, p.Len(), len(live))
+		}
+	}
+}
+
+func BenchmarkPairingInsertDeleteMin(b *testing.B) {
+	r := rng.New(1)
+	var p Pairing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Insert(int64(i), int64(r.Intn(1<<30)))
+		if p.Len() > 1024 {
+			p.DeleteMin()
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs of the canonical splitmix64 with seed 0.
+	z := NewSplitMix64(0)
+	if got := z.Next(); got != 0xE220A8397B1DCDAF {
+		t.Fatalf("splitmix64(0) first output = %#x, want 0xE220A8397B1DCDAF", got)
+	}
+	if got := z.Next(); got != 0x6E789E6AA1B965F4 {
+		t.Fatalf("splitmix64(0) second output = %#x, want 0x6E789E6AA1B965F4", got)
+	}
+}
+
+func TestMix64MatchesStateless(t *testing.T) {
+	for _, x := range []uint64{0, 1, 2, 42, math.MaxUint64, 1 << 40} {
+		s := NewSplitMix64(x)
+		if got, want := Mix64(x), s.Next(); got != want {
+			t.Fatalf("Mix64(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(99)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("two Split children produced the same first output")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	for n := 1; n < 100; n++ {
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check: 10 buckets, 100k draws, each bucket
+	// should be within 5% of expectation.
+	r := New(11)
+	const buckets = 10
+	const draws = 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := draws / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > 0.05*float64(want) {
+			t.Fatalf("bucket %d has %d draws, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		r := New(seed)
+		p := r.Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleCoversArrangements(t *testing.T) {
+	// All 6 permutations of 3 elements should appear over many shuffles.
+	r := New(17)
+	seen := map[[3]int]bool{}
+	for i := 0; i < 2000; i++ {
+		a := [3]int{0, 1, 2}
+		r.Shuffle(3, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		seen[a] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("saw %d/6 permutations of 3 elements", len(seen))
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(23)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestUint32NotConstant(t *testing.T) {
+	r := New(31)
+	first := r.Uint32()
+	for i := 0; i < 100; i++ {
+		if r.Uint32() != first {
+			return
+		}
+	}
+	t.Fatal("Uint32 returned the same value 100 times")
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 10000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative value")
+		}
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkXoshiroIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(1000)
+	}
+	_ = sink
+}

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"relaxsched/internal/ostree"
+)
+
+// Auditor wraps a Scheduler and measures, for every ApproxGetMin, the exact
+// rank of the returned task (via an order-statistic tree mirror) and the
+// realized priority inversions of the minimum task. It is how the
+// experiments report the *achieved* relaxation factor of MultiQueues and
+// other structures whose k is only known distributionally.
+//
+// Auditing costs O(log n) per operation and is intended for measurement
+// runs, not throughput benchmarks.
+type Auditor struct {
+	inner Scheduler
+	tree  *ostree.Tree
+	prio  map[int]int64 // pending task -> priority (mirror)
+
+	// Rank statistics.
+	calls     int64
+	rankSum   int64
+	maxRank   int
+	rankHist  []int64 // rankHist[min(rank-1, len-1)] counts
+	histWidth int
+
+	// Fairness statistics: track the current minimum and how many returns
+	// it has waited through.
+	minTask  int64
+	minPrio  int64
+	minValid bool
+	minWait  int
+	maxInv   int
+}
+
+// NewAuditor wraps inner. histWidth bounds the rank histogram size (ranks
+// beyond histWidth are clamped into the last bucket).
+func NewAuditor(inner Scheduler, histWidth int) *Auditor {
+	if histWidth < 1 {
+		histWidth = 1
+	}
+	return &Auditor{
+		inner:     inner,
+		tree:      ostree.New(0xa0d1707),
+		prio:      make(map[int]int64),
+		rankHist:  make([]int64, histWidth),
+		histWidth: histWidth,
+	}
+}
+
+// Empty reports whether no tasks are pending.
+func (a *Auditor) Empty() bool { return a.inner.Empty() }
+
+// Len reports the number of pending tasks.
+func (a *Auditor) Len() int { return a.inner.Len() }
+
+// refreshMin updates fairness bookkeeping against the current true minimum.
+func (a *Auditor) refreshMin() {
+	if a.tree.Len() == 0 {
+		a.minValid = false
+		return
+	}
+	p, id := a.tree.Min()
+	if !a.minValid || id != a.minTask || p != a.minPrio {
+		a.minTask, a.minPrio = id, p
+		a.minValid = true
+		a.minWait = 0
+	}
+}
+
+// ApproxGetMin forwards to the wrapped scheduler and records the true rank
+// of the returned task and fairness violations.
+func (a *Auditor) ApproxGetMin() (int, int64, bool) {
+	a.refreshMin()
+	task, priority, ok := a.inner.ApproxGetMin()
+	if !ok {
+		return task, priority, ok
+	}
+	// Tie-tolerant rank: tasks with equal priority are interchangeable in
+	// the paper's model, so rank counts only strictly smaller priorities.
+	rank := a.tree.CountLess(priority) + 1
+	a.calls++
+	a.rankSum += int64(rank)
+	if rank > a.maxRank {
+		a.maxRank = rank
+	}
+	b := rank - 1
+	if b >= a.histWidth {
+		b = a.histWidth - 1
+	}
+	a.rankHist[b]++
+	if a.minValid {
+		// Returning any task of minimum priority counts as serving the
+		// minimum: equal priorities are not inversions.
+		if priority <= a.minPrio {
+			if a.minWait > a.maxInv {
+				a.maxInv = a.minWait
+			}
+			a.minWait = 0
+		} else {
+			a.minWait++
+			if a.minWait > a.maxInv {
+				a.maxInv = a.minWait
+			}
+		}
+	}
+	return task, priority, ok
+}
+
+// DeleteTask removes task from both the wrapped scheduler and the mirror.
+func (a *Auditor) DeleteTask(task int) {
+	p, ok := a.prio[task]
+	if !ok {
+		panic("sched: Auditor.DeleteTask of unknown task")
+	}
+	a.tree.Delete(p, int64(task))
+	delete(a.prio, task)
+	a.inner.DeleteTask(task)
+	if a.minValid && int64(task) == a.minTask {
+		a.minValid = false
+	}
+}
+
+// Insert adds a task to both the wrapped scheduler and the mirror.
+func (a *Auditor) Insert(task int, priority int64) {
+	if _, dup := a.prio[task]; dup {
+		panic("sched: Auditor.Insert duplicate task")
+	}
+	a.prio[task] = priority
+	a.tree.Insert(priority, int64(task))
+	a.inner.Insert(task, priority)
+}
+
+// DecreaseKey forwards a DecreaseKey if the wrapped scheduler supports it.
+func (a *Auditor) DecreaseKey(task int, priority int64) {
+	dk, ok := a.inner.(DecreaseKeyer)
+	if !ok {
+		panic("sched: Auditor.DecreaseKey on scheduler without DecreaseKey")
+	}
+	p, present := a.prio[task]
+	if !present {
+		panic("sched: Auditor.DecreaseKey of unknown task")
+	}
+	a.tree.Delete(p, int64(task))
+	a.tree.Insert(priority, int64(task))
+	a.prio[task] = priority
+	dk.DecreaseKey(task, priority)
+	if a.minValid && int64(task) == a.minTask {
+		a.minValid = false // priority changed; re-establish lazily
+	}
+}
+
+// Contains reports whether task is pending.
+func (a *Auditor) Contains(task int) bool {
+	_, ok := a.prio[task]
+	return ok
+}
+
+// Report summarizes the measurements taken so far.
+type Report struct {
+	Calls    int64   // number of ApproxGetMin calls that returned a task
+	MeanRank float64 // average rank of returned tasks (1 = exact)
+	MaxRank  int     // maximum observed rank (empirical RankBound)
+	MaxInv   int     // maximum observed inversions of the minimum (Fairness)
+	RankHist []int64 // rank histogram, bucket i = rank i+1 (last = overflow)
+}
+
+// Report returns a snapshot of the audit statistics.
+func (a *Auditor) Report() Report {
+	mean := 0.0
+	if a.calls > 0 {
+		mean = float64(a.rankSum) / float64(a.calls)
+	}
+	hist := make([]int64, len(a.rankHist))
+	copy(hist, a.rankHist)
+	return Report{
+		Calls:    a.calls,
+		MeanRank: mean,
+		MaxRank:  a.maxRank,
+		MaxInv:   a.maxInv,
+		RankHist: hist,
+	}
+}
+
+var _ Scheduler = (*Auditor)(nil)
+var _ DecreaseKeyer = (*Auditor)(nil)

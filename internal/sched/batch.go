@@ -1,0 +1,171 @@
+package sched
+
+import "relaxsched/internal/pq"
+
+// Batch is a deterministic relaxed scheduler in the spirit of the k-LSM
+// [Wimmer et al.]: it repeatedly extracts a batch of up to k minimum tasks
+// from an exact heap into a buffer and serves the buffer in *reverse*
+// (largest first) order. New insertions go to the heap, not the live buffer.
+//
+// Guarantees (documented, and checked by the Auditor tests):
+//   - RankBound with factor 2k-1: a served task was among the k smallest
+//     when its batch was formed; since then at most k-1 smaller tasks can
+//     have been inserted before the buffer drains... more precisely, an
+//     element of the buffer has rank at most (buffer position) + (number of
+//     pending smaller inserts), which is bounded by 2k-1 because a batch
+//     refill happens every <= k serves.
+//   - Fairness with factor 2k-1: the overall minimum is served at worst at
+//     the end of the current batch plus its own batch, i.e. after <= 2(k-1)
+//     other serves.
+//
+// Batch therefore is a (2k-1)-relaxed scheduler in the paper's terms; use
+// EffectiveK for the factor to plug into the theorems.
+type Batch struct {
+	h   *pq.Heap
+	k   int
+	buf []batchItem // served from the end (largest priority first)
+	pos map[int]int // task -> index in buf, for DeleteTask of buffered tasks
+
+	// stall counts consecutive ApproxGetMin calls with no intervening
+	// DeleteTask. The incremental-algorithm framework may decline to
+	// process a returned task (it is "blocked" on a dependency); a purely
+	// deterministic policy would then re-serve the same task forever, so
+	// after a stalled full rotation of the buffer the scheduler serves the
+	// global minimum, which is never blocked.
+	stall int
+}
+
+type batchItem struct {
+	task int
+	prio int64
+	dead bool // tombstone: deleted or decreased while buffered
+}
+
+// NewBatch returns a deterministic batch scheduler with batch size k for
+// task ids in [0, n).
+func NewBatch(n, k int) *Batch {
+	if k < 1 {
+		panic("sched: NewBatch with k < 1")
+	}
+	return &Batch{h: pq.NewHeap(n), k: k, pos: make(map[int]int)}
+}
+
+// K returns the configured batch size.
+func (s *Batch) K() int { return s.k }
+
+// EffectiveK returns the relaxation factor this scheduler guarantees in the
+// paper's model (2k-1).
+func (s *Batch) EffectiveK() int { return 2*s.k - 1 }
+
+// Empty reports whether no tasks are pending.
+func (s *Batch) Empty() bool { return s.Len() == 0 }
+
+// Len reports the number of pending tasks.
+func (s *Batch) Len() int { return s.h.Len() + len(s.pos) }
+
+// compact drops trailing tombstones so the buffer end is live.
+func (s *Batch) compact() {
+	for len(s.buf) > 0 && s.buf[len(s.buf)-1].dead {
+		s.buf = s.buf[:len(s.buf)-1]
+	}
+}
+
+// refill forms a new batch when the buffer is exhausted.
+func (s *Batch) refill() {
+	s.compact()
+	if len(s.buf) > 0 {
+		return
+	}
+	s.buf = s.buf[:0]
+	for i := 0; i < s.k && !s.h.Empty(); i++ {
+		id, p := s.h.Pop()
+		s.pos[id] = len(s.buf)
+		s.buf = append(s.buf, batchItem{task: id, prio: p})
+	}
+}
+
+// ApproxGetMin serves the current batch largest-first. Repeated calls with
+// no deletion rotate through the batch and eventually fall back to the
+// global minimum, guaranteeing progress for blocked-task workloads.
+func (s *Batch) ApproxGetMin() (int, int64, bool) {
+	s.refill()
+	if len(s.buf) == 0 {
+		return 0, 0, false
+	}
+	live := make([]int, 0, len(s.buf))
+	for i := range s.buf {
+		if !s.buf[i].dead {
+			live = append(live, i)
+		}
+	}
+	if s.stall >= len(live) {
+		// Stalled a full rotation: serve the global minimum.
+		best := -1
+		bestPrio := int64(0)
+		for _, i := range live {
+			if best < 0 || s.buf[i].prio < bestPrio {
+				best, bestPrio = i, s.buf[i].prio
+			}
+		}
+		if !s.h.Empty() {
+			if id, p := s.h.Peek(); best < 0 || p < bestPrio {
+				s.stall++
+				return id, p, true
+			}
+		}
+		s.stall++
+		return s.buf[best].task, s.buf[best].prio, true
+	}
+	idx := live[len(live)-1-(s.stall%len(live))]
+	s.stall++
+	it := s.buf[idx]
+	return it.task, it.prio, true
+}
+
+// DeleteTask removes task, whether buffered or still in the heap.
+func (s *Batch) DeleteTask(task int) {
+	s.stall = 0
+	if i, ok := s.pos[task]; ok {
+		s.buf[i].dead = true
+		delete(s.pos, task)
+		s.compact()
+		return
+	}
+	s.h.Remove(task)
+}
+
+// Insert adds a task to the backing heap.
+func (s *Batch) Insert(task int, priority int64) {
+	if _, ok := s.pos[task]; ok {
+		panic("sched: Batch.Insert of buffered task")
+	}
+	s.h.Push(task, priority)
+}
+
+// DecreaseKey lowers task's priority. If the task is buffered it is moved
+// back to the heap with the new priority (a tombstone remains in the
+// buffer), which preserves the rank bound.
+func (s *Batch) DecreaseKey(task int, priority int64) {
+	if i, ok := s.pos[task]; ok {
+		if priority > s.buf[i].prio {
+			panic("sched: DecreaseKey would increase priority")
+		}
+		s.buf[i].dead = true
+		delete(s.pos, task)
+		s.compact()
+		s.h.Push(task, priority)
+		return
+	}
+	s.h.DecreaseKey(task, priority)
+}
+
+// Contains reports whether task is pending.
+func (s *Batch) Contains(task int) bool {
+	if _, ok := s.pos[task]; ok {
+		return true
+	}
+	return s.h.Contains(task)
+}
+
+var _ Scheduler = (*Batch)(nil)
+var _ DecreaseKeyer = (*Batch)(nil)

@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"relaxsched/internal/pq"
+	"relaxsched/internal/rng"
+)
+
+// KRelaxed is an adversarial k-relaxed scheduler: among the behaviours that
+// satisfy RankBound (returned rank <= k) and Fairness (the minimum is
+// returned after at most k-1 other returns), it picks the one that causes
+// the most disruption — it always returns the *largest*-priority task among
+// the k smallest, except when fairness forces it to return the minimum.
+//
+// This realizes the adversary the paper's upper bounds (Theorems 3.3, 6.1)
+// are proved against, so measured extra work under KRelaxed is an empirical
+// upper envelope for well-behaved schedulers of the same k.
+type KRelaxed struct {
+	h *pq.Heap
+	k int
+
+	// Fairness bookkeeping: minTask is the task currently of minimum
+	// priority, minReturns counts ApproxGetMin calls that returned a task
+	// other than minTask since it became the minimum.
+	minTask    int
+	minValid   bool
+	minReturns int
+
+	// scratch space for extracting the top-k.
+	topIDs  []int
+	topPrio []int64
+}
+
+// NewKRelaxed returns an adversarial k-relaxed scheduler for task ids in
+// [0, n). k must be at least 1; k = 1 degenerates to an exact scheduler.
+func NewKRelaxed(n, k int) *KRelaxed {
+	if k < 1 {
+		panic("sched: NewKRelaxed with k < 1")
+	}
+	return &KRelaxed{h: pq.NewHeap(n), k: k}
+}
+
+// K returns the relaxation factor.
+func (s *KRelaxed) K() int { return s.k }
+
+// Empty reports whether no tasks are pending.
+func (s *KRelaxed) Empty() bool { return s.h.Empty() }
+
+// Len reports the number of pending tasks.
+func (s *KRelaxed) Len() int { return s.h.Len() }
+
+// refreshMin re-establishes fairness bookkeeping after structural changes.
+func (s *KRelaxed) refreshMin() {
+	if s.h.Empty() {
+		s.minValid = false
+		return
+	}
+	id, _ := s.h.Peek()
+	if !s.minValid || id != s.minTask {
+		s.minTask = id
+		s.minValid = true
+		s.minReturns = 0
+	}
+}
+
+// ApproxGetMin returns the worst allowed task: the k-th smallest (or the
+// largest available if fewer than k remain), unless fairness forces the
+// minimum to be returned.
+func (s *KRelaxed) ApproxGetMin() (int, int64, bool) {
+	if s.h.Empty() {
+		return 0, 0, false
+	}
+	s.refreshMin()
+	minID, minPrio := s.h.Peek()
+	// Fairness: after k-1 returns of other tasks, the minimum must go out.
+	if s.minReturns >= s.k-1 {
+		return minID, minPrio, true
+	}
+	// Adversarial choice: the largest among the k smallest.
+	m := s.k
+	if l := s.h.Len(); l < m {
+		m = l
+	}
+	s.topIDs = s.topIDs[:0]
+	s.topPrio = s.topPrio[:0]
+	for i := 0; i < m; i++ {
+		id, p := s.h.Pop()
+		s.topIDs = append(s.topIDs, id)
+		s.topPrio = append(s.topPrio, p)
+	}
+	for i := range s.topIDs {
+		s.h.Push(s.topIDs[i], s.topPrio[i])
+	}
+	pick := len(s.topIDs) - 1
+	id, p := s.topIDs[pick], s.topPrio[pick]
+	if id != minID {
+		s.minReturns++
+	}
+	return id, p, true
+}
+
+// DeleteTask removes task.
+func (s *KRelaxed) DeleteTask(task int) {
+	s.h.Remove(task)
+	if s.minValid && task == s.minTask {
+		s.minValid = false
+	}
+}
+
+// Insert adds a task.
+func (s *KRelaxed) Insert(task int, priority int64) {
+	s.h.Push(task, priority)
+	// A new smaller element becomes the new minimum; bookkeeping refreshes
+	// lazily on the next ApproxGetMin.
+}
+
+// DecreaseKey lowers task's priority.
+func (s *KRelaxed) DecreaseKey(task int, priority int64) {
+	s.h.DecreaseKey(task, priority)
+}
+
+// Contains reports whether task is pending.
+func (s *KRelaxed) Contains(task int) bool { return s.h.Contains(task) }
+
+var _ Scheduler = (*KRelaxed)(nil)
+var _ DecreaseKeyer = (*KRelaxed)(nil)
+
+// RandomK is a benign k-relaxed scheduler: it returns a uniformly random
+// task among the k smallest, with the same fairness fallback as KRelaxed.
+// It models well-behaved relaxed structures without MultiQueue-specific
+// dynamics.
+type RandomK struct {
+	h    *pq.Heap
+	k    int
+	rand *rng.Xoshiro
+
+	minTask    int
+	minValid   bool
+	minReturns int
+
+	topIDs  []int
+	topPrio []int64
+}
+
+// NewRandomK returns a uniform-over-top-k scheduler for ids in [0, n).
+func NewRandomK(n, k int, seed uint64) *RandomK {
+	if k < 1 {
+		panic("sched: NewRandomK with k < 1")
+	}
+	return &RandomK{h: pq.NewHeap(n), k: k, rand: rng.New(seed)}
+}
+
+// K returns the relaxation factor.
+func (s *RandomK) K() int { return s.k }
+
+// Empty reports whether no tasks are pending.
+func (s *RandomK) Empty() bool { return s.h.Empty() }
+
+// Len reports the number of pending tasks.
+func (s *RandomK) Len() int { return s.h.Len() }
+
+// ApproxGetMin returns a uniform task among the k smallest, subject to
+// fairness.
+func (s *RandomK) ApproxGetMin() (int, int64, bool) {
+	if s.h.Empty() {
+		return 0, 0, false
+	}
+	id, _ := s.h.Peek()
+	if !s.minValid || id != s.minTask {
+		s.minTask = id
+		s.minValid = true
+		s.minReturns = 0
+	}
+	minID, minPrio := s.h.Peek()
+	if s.minReturns >= s.k-1 {
+		return minID, minPrio, true
+	}
+	m := s.k
+	if l := s.h.Len(); l < m {
+		m = l
+	}
+	s.topIDs = s.topIDs[:0]
+	s.topPrio = s.topPrio[:0]
+	for i := 0; i < m; i++ {
+		id, p := s.h.Pop()
+		s.topIDs = append(s.topIDs, id)
+		s.topPrio = append(s.topPrio, p)
+	}
+	for i := range s.topIDs {
+		s.h.Push(s.topIDs[i], s.topPrio[i])
+	}
+	pick := s.rand.Intn(len(s.topIDs))
+	rid, rp := s.topIDs[pick], s.topPrio[pick]
+	if rid != minID {
+		s.minReturns++
+	}
+	return rid, rp, true
+}
+
+// DeleteTask removes task.
+func (s *RandomK) DeleteTask(task int) {
+	s.h.Remove(task)
+	if s.minValid && task == s.minTask {
+		s.minValid = false
+	}
+}
+
+// Insert adds a task.
+func (s *RandomK) Insert(task int, priority int64) { s.h.Push(task, priority) }
+
+// DecreaseKey lowers task's priority.
+func (s *RandomK) DecreaseKey(task int, priority int64) { s.h.DecreaseKey(task, priority) }
+
+// Contains reports whether task is pending.
+func (s *RandomK) Contains(task int) bool { return s.h.Contains(task) }
+
+var _ Scheduler = (*RandomK)(nil)
+var _ DecreaseKeyer = (*RandomK)(nil)

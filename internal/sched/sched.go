@@ -1,0 +1,97 @@
+// Package sched defines the sequential model of relaxed priority schedulers
+// from Section 2 of Alistarh, Koval & Nadiradze (SPAA 2019), together with
+// several concrete schedulers:
+//
+//   - Exact: a strict priority queue (relaxation factor k = 1);
+//   - KRelaxed: an adversarial k-relaxed scheduler that maximizes priority
+//     inversions while provably respecting the RankBound and Fairness
+//     properties — this is the worst case the paper's upper bounds allow;
+//   - RandomK: a benign k-relaxed scheduler returning a uniform element
+//     among the k smallest;
+//   - Batch: a deterministic k-LSM-style scheduler that drains the queue in
+//     reversed batches of size k.
+//
+// A scheduler stores <task, priority> pairs. ApproxGetMin returns a pair
+// without deleting it (Algorithm 2 in the paper calls ApproxGetMin, checks
+// dependencies, and only then DeleteTask). A k-relaxed scheduler must
+// satisfy, at every step t:
+//
+//	RankBound: rank(t) <= k         (the returned task is among the k
+//	                                 highest-priority tasks present), and
+//	Fairness:  inv(u) <= k-1        (the highest-priority task u is returned
+//	                                 after at most k-1 other returns).
+//
+// The Auditor in this package wraps any scheduler and measures both
+// quantities exactly, so experiments can report the *achieved* relaxation
+// factor rather than trusting the implementation.
+package sched
+
+import "relaxsched/internal/pq"
+
+// Scheduler is the sequential relaxed-scheduler model (Section 2).
+// Lower priority values are scheduled first.
+type Scheduler interface {
+	// Empty reports whether no tasks are pending.
+	Empty() bool
+	// Len reports the number of pending tasks.
+	Len() int
+	// ApproxGetMin returns a pending <task, priority> pair without removing
+	// it. ok is false iff the scheduler is empty. A k-relaxed scheduler
+	// returns one of the k smallest-priority pairs.
+	ApproxGetMin() (task int, priority int64, ok bool)
+	// DeleteTask removes the given task (typically one just returned by
+	// ApproxGetMin). It panics if the task is not pending.
+	DeleteTask(task int)
+	// Insert adds a new <task, priority> pair. Task ids must be unique among
+	// pending tasks and must lie in [0, n) for the n given at construction.
+	Insert(task int, priority int64)
+}
+
+// DecreaseKeyer is implemented by schedulers that support atomically
+// lowering the priority of a pending task, as required by the relaxed SSSP
+// algorithm (Algorithm 3).
+type DecreaseKeyer interface {
+	// DecreaseKey lowers task's priority to priority. It panics if the task
+	// is absent or the priority would increase.
+	DecreaseKey(task int, priority int64)
+	// Contains reports whether the task is pending.
+	Contains(task int) bool
+}
+
+// Exact is a strict (k = 1) scheduler backed by a binary heap.
+type Exact struct {
+	h *pq.Heap
+}
+
+// NewExact returns an exact scheduler for task ids in [0, n).
+func NewExact(n int) *Exact { return &Exact{h: pq.NewHeap(n)} }
+
+// Empty reports whether no tasks are pending.
+func (e *Exact) Empty() bool { return e.h.Empty() }
+
+// Len reports the number of pending tasks.
+func (e *Exact) Len() int { return e.h.Len() }
+
+// ApproxGetMin returns the exact minimum.
+func (e *Exact) ApproxGetMin() (int, int64, bool) {
+	if e.h.Empty() {
+		return 0, 0, false
+	}
+	t, p := e.h.Peek()
+	return t, p, true
+}
+
+// DeleteTask removes task.
+func (e *Exact) DeleteTask(task int) { e.h.Remove(task) }
+
+// Insert adds a task.
+func (e *Exact) Insert(task int, priority int64) { e.h.Push(task, priority) }
+
+// DecreaseKey lowers task's priority.
+func (e *Exact) DecreaseKey(task int, priority int64) { e.h.DecreaseKey(task, priority) }
+
+// Contains reports whether task is pending.
+func (e *Exact) Contains(task int) bool { return e.h.Contains(task) }
+
+var _ Scheduler = (*Exact)(nil)
+var _ DecreaseKeyer = (*Exact)(nil)

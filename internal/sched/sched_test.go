@@ -1,0 +1,395 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+// drain repeatedly calls ApproxGetMin + DeleteTask until empty, returning
+// the task order.
+func drain(s Scheduler) []int {
+	var order []int
+	for {
+		t, _, ok := s.ApproxGetMin()
+		if !ok {
+			break
+		}
+		s.DeleteTask(t)
+		order = append(order, t)
+	}
+	return order
+}
+
+// fill inserts n tasks with priority == id.
+func fill(s Scheduler, n int) {
+	for i := 0; i < n; i++ {
+		s.Insert(i, int64(i))
+	}
+}
+
+func TestExactIsStrict(t *testing.T) {
+	e := NewExact(100)
+	fill(e, 100)
+	order := drain(e)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("exact scheduler out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestExactEmptyReturnsNotOK(t *testing.T) {
+	e := NewExact(1)
+	if _, _, ok := e.ApproxGetMin(); ok {
+		t.Fatal("empty scheduler returned ok")
+	}
+	if !e.Empty() || e.Len() != 0 {
+		t.Fatal("Empty/Len wrong")
+	}
+}
+
+func TestExactDecreaseKey(t *testing.T) {
+	e := NewExact(3)
+	e.Insert(0, 30)
+	e.Insert(1, 20)
+	e.Insert(2, 10)
+	e.DecreaseKey(0, 5)
+	task, p, _ := e.ApproxGetMin()
+	if task != 0 || p != 5 {
+		t.Fatalf("min = (%d,%d), want (0,5)", task, p)
+	}
+	if !e.Contains(0) || !e.Contains(1) || !e.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+// Every scheduler must return each task exactly once when drained.
+func TestAllSchedulersDrainCompletely(t *testing.T) {
+	const n = 500
+	mks := map[string]func() Scheduler{
+		"exact":     func() Scheduler { return NewExact(n) },
+		"krelaxed4": func() Scheduler { return NewKRelaxed(n, 4) },
+		"krelaxed1": func() Scheduler { return NewKRelaxed(n, 1) },
+		"random8":   func() Scheduler { return NewRandomK(n, 8, 42) },
+		"batch8":    func() Scheduler { return NewBatch(n, 8) },
+	}
+	for name, mk := range mks {
+		s := mk()
+		fill(s, n)
+		order := drain(s)
+		if len(order) != n {
+			t.Fatalf("%s: drained %d tasks, want %d", name, len(order), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range order {
+			if seen[v] {
+				t.Fatalf("%s: task %d returned twice", name, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestKRelaxed1IsExact(t *testing.T) {
+	s := NewKRelaxed(50, 1)
+	fill(s, 50)
+	order := drain(s)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("k=1 scheduler inverted at %d: got %d", i, v)
+		}
+	}
+}
+
+// The adversarial scheduler must still respect RankBound and Fairness.
+func TestKRelaxedRespectsBoundsUnderAudit(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		const n = 400
+		a := NewAuditor(NewKRelaxed(n, k), 64)
+		fill(a, n)
+		drain(a)
+		r := a.Report()
+		if r.MaxRank > k {
+			t.Fatalf("k=%d: MaxRank = %d violates RankBound", k, r.MaxRank)
+		}
+		if r.MaxInv > k-1 {
+			t.Fatalf("k=%d: MaxInv = %d violates Fairness", k, r.MaxInv)
+		}
+		if k > 1 && r.MaxRank < 2 {
+			t.Fatalf("k=%d: adversary produced no inversions at all", k)
+		}
+	}
+}
+
+func TestRandomKRespectsBoundsUnderAudit(t *testing.T) {
+	for _, k := range []int{2, 8} {
+		const n = 300
+		a := NewAuditor(NewRandomK(n, k, 7), 64)
+		fill(a, n)
+		drain(a)
+		r := a.Report()
+		if r.MaxRank > k {
+			t.Fatalf("k=%d: MaxRank = %d", k, r.MaxRank)
+		}
+		if r.MaxInv > k-1 {
+			t.Fatalf("k=%d: MaxInv = %d", k, r.MaxInv)
+		}
+	}
+}
+
+func TestBatchRespectsDocumentedBounds(t *testing.T) {
+	for _, k := range []int{1, 2, 8} {
+		const n = 300
+		b := NewBatch(n, k)
+		a := NewAuditor(b, 128)
+		fill(a, n)
+		drain(a)
+		r := a.Report()
+		if r.MaxRank > b.EffectiveK() {
+			t.Fatalf("k=%d: MaxRank = %d > EffectiveK %d", k, r.MaxRank, b.EffectiveK())
+		}
+		if r.MaxInv > b.EffectiveK()-1 {
+			t.Fatalf("k=%d: MaxInv = %d > EffectiveK-1", k, r.MaxInv)
+		}
+	}
+}
+
+func TestBatchServesReversedBatches(t *testing.T) {
+	s := NewBatch(10, 5)
+	fill(s, 10)
+	order := drain(s)
+	want := []int{4, 3, 2, 1, 0, 9, 8, 7, 6, 5}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBatchDeleteBuffered(t *testing.T) {
+	s := NewBatch(6, 3)
+	fill(s, 6)
+	task, _, _ := s.ApproxGetMin() // forms batch {0,1,2}, returns 2
+	if task != 2 {
+		t.Fatalf("first = %d, want 2", task)
+	}
+	s.DeleteTask(1) // delete from the middle of the buffer
+	order := drain(s)
+	want := []int{2, 0, 5, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBatchDecreaseKeyBuffered(t *testing.T) {
+	s := NewBatch(6, 3)
+	fill(s, 6)
+	s.ApproxGetMin() // batch {0,1,2}
+	s.DecreaseKey(5, -1)
+	if !s.Contains(5) {
+		t.Fatal("Contains(5) after DecreaseKey")
+	}
+	// 5 should now surface in a later batch as the minimum of the heap.
+	order := drain(s)
+	if len(order) != 6 {
+		t.Fatalf("drained %d, want 6", len(order))
+	}
+}
+
+func TestBatchStallRotatesAndFallsBack(t *testing.T) {
+	// Simulate the blocked-task pattern of the incremental framework:
+	// repeated ApproxGetMin without DeleteTask must rotate through the
+	// batch and eventually serve the global minimum.
+	s := NewBatch(10, 3)
+	fill(s, 10)
+	seen := map[int]bool{}
+	servedMin := false
+	for i := 0; i < 12; i++ {
+		task, _, ok := s.ApproxGetMin()
+		if !ok {
+			t.Fatal("empty")
+		}
+		seen[task] = true
+		if task == 0 {
+			servedMin = true
+		}
+	}
+	if !servedMin {
+		t.Fatal("stalled batch never served the global minimum")
+	}
+	if len(seen) < 3 {
+		t.Fatalf("rotation served only %v", seen)
+	}
+}
+
+func TestBatchStallServesHeapMinWhenSmaller(t *testing.T) {
+	// Form a batch, then insert a smaller task into the heap; a stalled
+	// rotation must eventually serve it even though it is not buffered.
+	s := NewBatch(10, 3)
+	s.Insert(5, 5)
+	s.Insert(6, 6)
+	s.Insert(7, 7)
+	s.ApproxGetMin() // batch = {5,6,7}
+	s.Insert(1, 1)   // new global min goes to the heap
+	servedNew := false
+	for i := 0; i < 10; i++ {
+		task, _, _ := s.ApproxGetMin()
+		if task == 1 {
+			servedNew = true
+			break
+		}
+	}
+	if !servedNew {
+		t.Fatal("stalled batch never served the smaller heap task")
+	}
+	// Deleting it must work even though it was served from the heap.
+	s.DeleteTask(1)
+	if s.Contains(1) {
+		t.Fatal("task 1 still pending")
+	}
+}
+
+func TestBatchProgressUnderBlockedWorkload(t *testing.T) {
+	// End-to-end guard against the livelock fixed in ApproxGetMin: a
+	// chain DAG forces every non-minimum return to be blocked.
+	const n = 100
+	s := NewBatch(n, 8)
+	fill(s, n)
+	processed := make([]bool, n)
+	count := 0
+	for steps := 0; count < n; steps++ {
+		if steps > 100*n {
+			t.Fatal("livelock: batch scheduler made no progress")
+		}
+		task, _, ok := s.ApproxGetMin()
+		if !ok {
+			break
+		}
+		// Chain dependency: task is processable only if task-1 processed.
+		if task > 0 && !processed[task-1] {
+			continue
+		}
+		s.DeleteTask(task)
+		processed[task] = true
+		count++
+	}
+	if count != n {
+		t.Fatalf("processed %d of %d", count, n)
+	}
+}
+
+func TestAuditorMeanRankExactIsOne(t *testing.T) {
+	a := NewAuditor(NewExact(100), 16)
+	fill(a, 100)
+	drain(a)
+	r := a.Report()
+	if r.MeanRank != 1 || r.MaxRank != 1 || r.MaxInv != 0 {
+		t.Fatalf("exact audit: %+v", r)
+	}
+	if r.RankHist[0] != 100 {
+		t.Fatalf("hist = %v", r.RankHist)
+	}
+}
+
+func TestAuditorTracksDecreaseKey(t *testing.T) {
+	a := NewAuditor(NewExact(4), 8)
+	a.Insert(0, 100)
+	a.Insert(1, 50)
+	a.DecreaseKey(0, 10)
+	task, p, _ := a.ApproxGetMin()
+	if task != 0 || p != 10 {
+		t.Fatalf("min = (%d,%d)", task, p)
+	}
+	a.DeleteTask(0)
+	a.DeleteTask(1)
+	if !a.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestAuditorPanicsOnUnknownOps(t *testing.T) {
+	a := NewAuditor(NewExact(4), 8)
+	a.Insert(0, 1)
+	for name, f := range map[string]func(){
+		"dup insert":     func() { a.Insert(0, 2) },
+		"delete unknown": func() { a.DeleteTask(3) },
+		"dk unknown":     func() { a.DecreaseKey(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: with dynamic insertions interleaved, schedulers never lose or
+// duplicate tasks and the auditor bounds hold for KRelaxed.
+func TestDynamicWorkloadProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 1 + r.Intn(8)
+		const n = 200
+		a := NewAuditor(NewKRelaxed(n, k), 64)
+		inserted := 0
+		removed := map[int]bool{}
+		// Interleave inserts and removals.
+		for inserted < n || !a.Empty() {
+			if inserted < n && (r.Intn(2) == 0 || a.Empty()) {
+				a.Insert(inserted, int64(r.Intn(1000)))
+				inserted++
+				continue
+			}
+			task, _, ok := a.ApproxGetMin()
+			if !ok {
+				continue
+			}
+			if removed[task] {
+				return false
+			}
+			// Sometimes simulate a blocked task: don't delete.
+			if r.Intn(4) == 0 {
+				continue
+			}
+			a.DeleteTask(task)
+			removed[task] = true
+		}
+		rep := a.Report()
+		return len(removed) == n && rep.MaxRank <= k && rep.MaxInv <= k-1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKRelaxedGetDelete(b *testing.B) {
+	const n = 1 << 14
+	s := NewKRelaxed(n, 16)
+	for i := 0; i < n; i++ {
+		s.Insert(i, int64(rng.Mix64(uint64(i))%(1<<20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task, p, ok := s.ApproxGetMin()
+		if !ok {
+			b.StopTimer()
+			for j := 0; j < n; j++ {
+				s.Insert(j, int64(rng.Mix64(uint64(j+i))%(1<<20)))
+			}
+			b.StartTimer()
+			continue
+		}
+		s.DeleteTask(task)
+		_ = p
+	}
+}

@@ -1,0 +1,212 @@
+// Package spraylist implements a sequential-model SprayList (Alistarh,
+// Kopinsky, Li & Shavit, PPoPP 2015): a skiplist-based relaxed priority
+// queue whose DeleteMin performs a randomized "spray" walk instead of
+// removing the head, spreading deletions over the O(p log^3 p) smallest
+// elements and thereby avoiding the head contention of an exact queue.
+//
+// This implementation models the data structure in the paper's sequential
+// scheduler framework (Section 2): ApproxGetMin sprays to select a small-
+// rank element and returns it without deleting; DeleteTask removes an
+// element by task id; DecreaseKey is delete + reinsert, which is how a
+// skiplist supports it naturally. The spray parameters follow the original
+// paper's shape: starting height ~log2(p), uniform jumps of length up to
+// max(1, log2(p)) per level, descending two levels per hop.
+package spraylist
+
+import (
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+const maxHeight = 32
+
+type node struct {
+	prio int64
+	task int64
+	next []*node
+}
+
+// SprayList is a sequential-model spray-based relaxed scheduler.
+type SprayList struct {
+	head   *node
+	height int
+	size   int
+	p      int // simulated thread count; controls spray width
+	rand   *rng.Xoshiro
+	nodes  []*node // task -> node, nil when absent
+}
+
+// New returns a SprayList for task ids in [0, n), tuned for p simulated
+// threads (p >= 1; p = 1 sprays not at all and behaves exactly).
+func New(n, p int, seed uint64) *SprayList {
+	if p < 1 {
+		panic("spraylist: p must be >= 1")
+	}
+	return &SprayList{
+		head:   &node{prio: -1 << 62, task: -1, next: make([]*node, maxHeight)},
+		height: 1,
+		p:      p,
+		rand:   rng.New(seed),
+		nodes:  make([]*node, n),
+	}
+}
+
+// Empty reports whether no tasks are pending.
+func (s *SprayList) Empty() bool { return s.size == 0 }
+
+// Len reports the number of pending tasks.
+func (s *SprayList) Len() int { return s.size }
+
+// Contains reports whether task is pending.
+func (s *SprayList) Contains(task int) bool { return s.nodes[task] != nil }
+
+// less orders nodes by (priority, task id).
+func (n *node) less(prio, task int64) bool {
+	if n.prio != prio {
+		return n.prio < prio
+	}
+	return n.task < task
+}
+
+// randomHeight draws a geometric(1/2) height in [1, maxHeight].
+func (s *SprayList) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rand.Uint64()&1 == 1 {
+		h++
+	}
+	return h
+}
+
+// Insert adds a task with the given priority.
+func (s *SprayList) Insert(task int, priority int64) {
+	if s.nodes[task] != nil {
+		panic("spraylist: Insert of pending task")
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		s.height = h
+	}
+	nn := &node{prio: priority, task: int64(task), next: make([]*node, h)}
+	x := s.head
+	for lvl := s.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && x.next[lvl].less(priority, int64(task)) {
+			x = x.next[lvl]
+		}
+		if lvl < h {
+			nn.next[lvl] = x.next[lvl]
+			x.next[lvl] = nn
+		}
+	}
+	s.nodes[task] = nn
+	s.size++
+}
+
+// DeleteTask removes a pending task.
+func (s *SprayList) DeleteTask(task int) {
+	nn := s.nodes[task]
+	if nn == nil {
+		panic("spraylist: DeleteTask of absent task")
+	}
+	x := s.head
+	for lvl := s.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && x.next[lvl].less(nn.prio, nn.task) {
+			x = x.next[lvl]
+		}
+		if lvl < len(nn.next) && x.next[lvl] == nn {
+			x.next[lvl] = nn.next[lvl]
+		}
+	}
+	for s.height > 1 && s.head.next[s.height-1] == nil {
+		s.height--
+	}
+	s.nodes[task] = nil
+	s.size--
+}
+
+// DecreaseKey lowers a pending task's priority by removing and reinserting.
+func (s *SprayList) DecreaseKey(task int, priority int64) {
+	nn := s.nodes[task]
+	if nn == nil {
+		panic("spraylist: DecreaseKey of absent task")
+	}
+	if priority > nn.prio {
+		panic("spraylist: DecreaseKey would increase priority")
+	}
+	s.DeleteTask(task)
+	s.Insert(task, priority)
+}
+
+// log2ceil returns ceil(log2(x)) for x >= 1.
+func log2ceil(x int) int {
+	l := 0
+	for v := 1; v < x; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+// ApproxGetMin performs a spray walk and returns the landed-on task without
+// removing it. With p = 1 it returns the exact minimum.
+func (s *SprayList) ApproxGetMin() (int, int64, bool) {
+	if s.size == 0 {
+		return 0, 0, false
+	}
+	if s.p == 1 {
+		n := s.head.next[0]
+		return int(n.task), n.prio, true
+	}
+	// Cleaner: with probability 1/p an operation behaves exactly, consuming
+	// the true front of the list. Without this, low-height nodes pile up in
+	// front of the first tall node and become unreachable by sprays; the
+	// original SprayList dedicates cleaner threads for the same reason.
+	if s.rand.Intn(s.p) == 0 {
+		n := s.head.next[0]
+		return int(n.task), n.prio, true
+	}
+	logp := log2ceil(s.p)
+	startLvl := logp
+	if startLvl > s.height-1 {
+		startLvl = s.height - 1
+	}
+	maxJump := logp
+	if maxJump < 1 {
+		maxJump = 1
+	}
+	x := s.head
+	lvl := startLvl
+	for {
+		jumps := s.rand.Intn(maxJump + 1)
+		for j := 0; j < jumps; j++ {
+			if x == s.head {
+				if s.head.next[lvl] == nil {
+					break
+				}
+				x = s.head.next[lvl]
+				continue
+			}
+			if lvl < len(x.next) && x.next[lvl] != nil {
+				x = x.next[lvl]
+			} else {
+				break
+			}
+		}
+		// Descend two levels per hop, but always finish with a walk at
+		// level 0 so that height-1 nodes are reachable by sprays.
+		if lvl == 0 {
+			break
+		}
+		lvl -= 2
+		if lvl < 0 {
+			lvl = 0
+		}
+	}
+	if x == s.head {
+		x = s.head.next[0]
+	}
+	// The walk may have landed on a node whose level-0 successor chain is
+	// what we want; x is always a valid pending node here.
+	return int(x.task), x.prio, true
+}
+
+var _ sched.Scheduler = (*SprayList)(nil)
+var _ sched.DecreaseKeyer = (*SprayList)(nil)

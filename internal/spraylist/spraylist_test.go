@@ -1,0 +1,194 @@
+package spraylist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+func TestP1IsExact(t *testing.T) {
+	const n = 300
+	s := New(n, 1, 1)
+	for i := n - 1; i >= 0; i-- {
+		s.Insert(i, int64(i))
+	}
+	for want := 0; want < n; want++ {
+		task, p, ok := s.ApproxGetMin()
+		if !ok || task != want || p != int64(want) {
+			t.Fatalf("got (%d,%d,%v), want (%d,%d,true)", task, p, ok, want, want)
+		}
+		s.DeleteTask(task)
+	}
+	if !s.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestDrainsAllTasks(t *testing.T) {
+	const n = 2000
+	s := New(n, 8, 7)
+	for i := 0; i < n; i++ {
+		s.Insert(i, int64(rng.Mix64(uint64(i))%100000))
+	}
+	seen := make([]bool, n)
+	for count := 0; count < n; count++ {
+		task, _, ok := s.ApproxGetMin()
+		if !ok {
+			t.Fatalf("empty after %d of %d", count, n)
+		}
+		if seen[task] {
+			t.Fatalf("task %d returned after deletion", task)
+		}
+		s.DeleteTask(task)
+		seen[task] = true
+	}
+	if _, _, ok := s.ApproxGetMin(); ok {
+		t.Fatal("returned task from empty list")
+	}
+}
+
+func TestSprayStaysNearFront(t *testing.T) {
+	// With p threads, sprayed ranks should be small relative to n.
+	const n = 10000
+	const p = 8
+	a := sched.NewAuditor(New(n, p, 3), 4096)
+	for i := 0; i < n; i++ {
+		a.Insert(i, int64(i))
+	}
+	for i := 0; i < 2000; i++ {
+		task, _, ok := a.ApproxGetMin()
+		if !ok {
+			break
+		}
+		a.DeleteTask(task)
+	}
+	r := a.Report()
+	// Spray width is O(log^2 p * jumps); for p=8 it is tiny vs n.
+	if r.MaxRank > 200 {
+		t.Fatalf("MaxRank = %d, spray wandered too far", r.MaxRank)
+	}
+	if r.MeanRank < 1 {
+		t.Fatalf("MeanRank = %f", r.MeanRank)
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	s := New(10, 4, 5)
+	s.Insert(3, 1000)
+	s.Insert(4, 500)
+	s.DecreaseKey(3, 1)
+	if !s.Contains(3) {
+		t.Fatal("task 3 lost")
+	}
+	// With p=4 the spray may overshoot, but over many tries the minimum
+	// must be returned at least once.
+	found := false
+	for i := 0; i < 200 && !found; i++ {
+		task, p, _ := s.ApproxGetMin()
+		if task == 3 && p == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("minimum never sprayed")
+	}
+}
+
+func TestDecreaseKeyIncreasePanics(t *testing.T) {
+	s := New(2, 2, 1)
+	s.Insert(0, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.DecreaseKey(0, 10)
+}
+
+func TestMisusePanics(t *testing.T) {
+	s := New(4, 2, 1)
+	s.Insert(0, 1)
+	for name, f := range map[string]func(){
+		"dup insert":    func() { s.Insert(0, 2) },
+		"delete absent": func() { s.DeleteTask(1) },
+		"dk absent":     func() { s.DecreaseKey(1, 0) },
+		"p0":            func() { New(1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTiesHandled(t *testing.T) {
+	s := New(100, 2, 9)
+	for i := 0; i < 100; i++ {
+		s.Insert(i, 7) // all equal priorities
+	}
+	count := 0
+	for !s.Empty() {
+		task, p, _ := s.ApproxGetMin()
+		if p != 7 {
+			t.Fatalf("priority %d, want 7", p)
+		}
+		s.DeleteTask(task)
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("drained %d", count)
+	}
+}
+
+// Property: random interleavings of insert/spray/delete never lose tasks.
+func TestRandomOpsProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 120
+		s := New(n, 1+r.Intn(16), seed)
+		live := map[int]bool{}
+		next := 0
+		for step := 0; step < 600; step++ {
+			switch {
+			case next < n && (r.Intn(2) == 0 || len(live) == 0):
+				s.Insert(next, int64(r.Intn(100)))
+				live[next] = true
+				next++
+			case len(live) > 0:
+				task, _, ok := s.ApproxGetMin()
+				if !ok || !live[task] {
+					return false
+				}
+				if r.Intn(3) > 0 {
+					s.DeleteTask(task)
+					delete(live, task)
+				}
+			}
+			if s.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSprayGetMin(b *testing.B) {
+	const n = 1 << 16
+	s := New(n, 64, 1)
+	for i := 0; i < n; i++ {
+		s.Insert(i, int64(rng.Mix64(uint64(i))%(1<<30)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ApproxGetMin()
+	}
+}

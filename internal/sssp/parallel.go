@@ -1,0 +1,129 @@
+package sssp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/rng"
+)
+
+// ParallelResult carries the output and work accounting of a concurrent
+// SSSP run (Section 7 of the paper).
+type ParallelResult struct {
+	// Dist[v] is the shortest-path distance from the source, or Inf.
+	Dist []int64
+	// Popped is the total number of pop operations across all workers.
+	Popped int64
+	// Processed is the number of pops that passed the staleness check and
+	// performed edge relaxations — the paper's "tasks executed". In a
+	// sequential exact execution this equals the number of reachable
+	// vertices, so Processed / Reached is the relaxation overhead plotted
+	// in Figure 1 (left) and Figure 2.
+	Processed int64
+	// Reached is the number of vertices with finite distance.
+	Reached int64
+}
+
+// Overhead returns Processed / Reached, the paper's overhead metric.
+func (r ParallelResult) Overhead() float64 {
+	if r.Reached == 0 {
+		return 1
+	}
+	return float64(r.Processed) / float64(r.Reached)
+}
+
+// Parallel runs SSSP from src with the given number of worker goroutines
+// over a concurrent MultiQueue with queueMultiplier*threads internal queues
+// (the paper uses multiplier 2 for Figure 1 and sweeps it in Figure 2).
+//
+// Workers share an atomic tentative-distance array. Since the concurrent
+// MultiQueue has no DecreaseKey, an improved distance inserts a fresh
+// (vertex, dist) pair and stale pairs are discarded on pop via the
+// curDist > dist[v] check of Algorithm 3. Termination uses an in-flight
+// task counter: a worker exits only when the queue looks empty and no task
+// is pending anywhere.
+func Parallel(g *graph.Graph, src, threads, queueMultiplier int, seed uint64) ParallelResult {
+	if threads < 1 {
+		panic("sssp: Parallel needs threads >= 1")
+	}
+	if queueMultiplier < 1 {
+		panic("sssp: Parallel needs queueMultiplier >= 1")
+	}
+	n := g.NumNodes
+	dist := make([]atomic.Int64, n)
+	for i := range dist {
+		dist[i].Store(Inf)
+	}
+	dist[src].Store(0)
+
+	mq := multiqueue.NewConcurrent(threads * queueMultiplier)
+	seedRng := rng.New(seed)
+	mq.Push(seedRng, int64(src), 0)
+
+	var pending atomic.Int64 // queued-but-unprocessed pairs
+	pending.Store(1)
+	var popped, processed atomic.Int64
+
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(r *rng.Xoshiro) {
+			defer wg.Done()
+			var localPopped, localProcessed int64
+			for {
+				v64, curDist, ok := mq.Pop(r)
+				if !ok {
+					if pending.Load() == 0 {
+						break
+					}
+					runtime.Gosched()
+					continue
+				}
+				localPopped++
+				v := int(v64)
+				if curDist > dist[v].Load() {
+					pending.Add(-1) // stale duplicate
+					continue
+				}
+				localProcessed++
+				targets, weights := g.OutEdges(v)
+				for i := range targets {
+					u := int(targets[i])
+					nd := curDist + int64(weights[i])
+					for {
+						cur := dist[u].Load()
+						if nd >= cur {
+							break
+						}
+						if dist[u].CompareAndSwap(cur, nd) {
+							pending.Add(1)
+							mq.Push(r, int64(u), nd)
+							break
+						}
+					}
+				}
+				pending.Add(-1)
+			}
+			popped.Add(localPopped)
+			processed.Add(localProcessed)
+		}(seedRng.Split())
+	}
+	wg.Wait()
+
+	res := ParallelResult{
+		Dist:      make([]int64, n),
+		Popped:    popped.Load(),
+		Processed: processed.Load(),
+	}
+	for i := range dist {
+		d := dist[i].Load()
+		res.Dist[i] = d
+		if d < Inf {
+			res.Reached++
+		}
+	}
+	return res
+}

@@ -1,0 +1,216 @@
+// Package sssp implements single-source shortest paths four ways:
+//
+//   - Dijkstra: the exact sequential baseline (binary heap + DecreaseKey),
+//     whose pop count (= number of reachable vertices) is the denominator of
+//     every overhead ratio in the paper's experiments;
+//   - DeltaStepping: the bucket-based relaxation of Meyer & Sanders [27],
+//     whose analysis Theorem 6.1 adapts;
+//   - Relaxed: Algorithm 3 of the paper — Dijkstra driven by a relaxed
+//     scheduler supporting DecreaseKey, in the sequential model, counting
+//     pop operations (Theorem 6.1 bounds these by n + O(k^2 d_max/w_min));
+//   - Parallel (parallel.go): the Section 7 implementation over a
+//     concurrent MultiQueue with goroutines and atomic distances.
+package sssp
+
+import (
+	"fmt"
+	"math"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/pq"
+	"relaxsched/internal/sched"
+)
+
+// Inf is the distance assigned to unreachable vertices.
+const Inf = math.MaxInt64
+
+// Result carries the output of a sequential-model SSSP run.
+type Result struct {
+	// Dist[v] is the shortest-path distance from the source, or Inf.
+	Dist []int64
+	// Pops is the number of pop operations performed (the quantity bounded
+	// by Theorem 6.1).
+	Pops int64
+	// Relaxations counts edge relaxations that improved a distance.
+	Relaxations int64
+	// Reached is the number of vertices with finite distance.
+	Reached int64
+}
+
+// Overhead returns Pops divided by Reached: 1.0 means no wasted pops.
+func (r Result) Overhead() float64 {
+	if r.Reached == 0 {
+		return 1
+	}
+	return float64(r.Pops) / float64(r.Reached)
+}
+
+// Dijkstra computes exact shortest paths from src with a binary heap and
+// DecreaseKey; every reachable vertex is popped exactly once.
+func Dijkstra(g *graph.Graph, src int) Result {
+	n := g.NumNodes
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	h := pq.NewHeap(n)
+	h.Push(src, 0)
+	res := Result{Dist: dist}
+	for !h.Empty() {
+		v, d := h.Pop()
+		res.Pops++
+		targets, weights := g.OutEdges(v)
+		for i := range targets {
+			u := int(targets[i])
+			nd := d + int64(weights[i])
+			if nd < dist[u] {
+				dist[u] = nd
+				res.Relaxations++
+				if h.Contains(u) {
+					h.DecreaseKey(u, nd)
+				} else {
+					h.Push(u, nd)
+				}
+			}
+		}
+	}
+	for _, d := range dist {
+		if d < Inf {
+			res.Reached++
+		}
+	}
+	return res
+}
+
+// DeltaStepping computes exact shortest paths using a monotone bucket queue
+// with bucket width delta. With delta = w_min it is the variant whose
+// bucket argument Theorem 6.1 reuses; larger deltas trade pop count for
+// re-relaxations. Pops counts bucket-queue pops.
+func DeltaStepping(g *graph.Graph, src int, delta int64) Result {
+	if delta <= 0 {
+		panic("sssp: DeltaStepping needs delta > 0")
+	}
+	n := g.NumNodes
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	bq := pq.NewBucketQueue(n, delta)
+	bq.Push(src, 0)
+	res := Result{Dist: dist}
+	for !bq.Empty() {
+		v, d := bq.Pop()
+		res.Pops++
+		if d > dist[v] {
+			continue // outdated entry superseded by a DecreaseKey move
+		}
+		targets, weights := g.OutEdges(v)
+		for i := range targets {
+			u := int(targets[i])
+			nd := dist[v] + int64(weights[i])
+			if nd < dist[u] {
+				dist[u] = nd
+				res.Relaxations++
+				bq.Push(u, nd) // Push doubles as DecreaseKey
+			}
+		}
+	}
+	for _, d := range dist {
+		if d < Inf {
+			res.Reached++
+		}
+	}
+	return res
+}
+
+// RelaxedScheduler is the scheduler contract Algorithm 3 needs: the
+// sequential-model operations plus DecreaseKey.
+type RelaxedScheduler interface {
+	sched.Scheduler
+	sched.DecreaseKeyer
+}
+
+// Relaxed runs Algorithm 3: Dijkstra driven by the given relaxed scheduler.
+// The scheduler must be empty. Each loop iteration pops (ApproxGetMin +
+// DeleteTask) one vertex; because the scheduler is relaxed, a vertex can be
+// popped at a non-optimal tentative distance and may have to be re-inserted
+// and popped again later, which is exactly the extra work Theorem 6.1
+// bounds by O(k^2 d_max / w_min).
+func Relaxed(g *graph.Graph, src int, q RelaxedScheduler) (Result, error) {
+	if q.Len() != 0 {
+		return Result{}, fmt.Errorf("sssp: scheduler must start empty, has %d tasks", q.Len())
+	}
+	if capable, ok := q.(interface{ SupportsDecreaseKey() bool }); ok && !capable.SupportsDecreaseKey() {
+		return Result{}, fmt.Errorf("sssp: scheduler does not support DecreaseKey in its current configuration")
+	}
+	n := g.NumNodes
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	q.Insert(src, 0)
+	res := Result{Dist: dist}
+	for {
+		v, curDist, ok := q.ApproxGetMin()
+		if !ok {
+			break
+		}
+		q.DeleteTask(v)
+		res.Pops++
+		if curDist > dist[v] {
+			// Outdated: cannot happen with a well-behaved DecreaseKey
+			// scheduler (the stored priority tracks dist), but Algorithm 3
+			// keeps the check for robustness.
+			continue
+		}
+		targets, weights := g.OutEdges(v)
+		for i := range targets {
+			u := int(targets[i])
+			nd := curDist + int64(weights[i])
+			if nd < dist[u] {
+				dist[u] = nd
+				res.Relaxations++
+				if q.Contains(u) {
+					q.DecreaseKey(u, nd)
+				} else {
+					q.Insert(u, nd)
+				}
+			}
+		}
+	}
+	for _, d := range dist {
+		if d < Inf {
+			res.Reached++
+		}
+	}
+	return res, nil
+}
+
+// MaxDistance returns d_max = max over reachable vertices of Dist, or 0 if
+// only the source is reachable. Together with the graph's w_min it gives
+// the d_max/w_min factor in Theorem 6.1.
+func MaxDistance(dist []int64) int64 {
+	var dmax int64
+	for _, d := range dist {
+		if d != Inf && d > dmax {
+			dmax = d
+		}
+	}
+	return dmax
+}
+
+// Equal reports whether two distance vectors agree everywhere.
+func Equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

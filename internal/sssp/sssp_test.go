@@ -1,0 +1,258 @@
+package sssp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/spraylist"
+)
+
+// lineGraph returns a weighted path 0-1-...-n-1 with weight w.
+func lineGraph(n int, w int64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, w)
+	}
+	return b.Build()
+}
+
+func TestDijkstraOnPath(t *testing.T) {
+	g := lineGraph(10, 3)
+	res := Dijkstra(g, 0)
+	for v := 0; v < 10; v++ {
+		if res.Dist[v] != int64(v)*3 {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], v*3)
+		}
+	}
+	if res.Pops != 10 || res.Reached != 10 {
+		t.Fatalf("pops=%d reached=%d", res.Pops, res.Reached)
+	}
+	if res.Overhead() != 1 {
+		t.Fatalf("overhead = %f", res.Overhead())
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 5)
+	// 2, 3 disconnected.
+	g := b.Build()
+	res := Dijkstra(g, 0)
+	if res.Dist[2] != Inf || res.Dist[3] != Inf {
+		t.Fatal("unreachable vertices should have Inf distance")
+	}
+	if res.Reached != 2 {
+		t.Fatalf("reached = %d", res.Reached)
+	}
+}
+
+func TestDijkstraPicksShorterOfTwoPaths(t *testing.T) {
+	// 0 -> 1 -> 2 costs 2+2=4; direct 0 -> 2 costs 10.
+	b := graph.NewBuilder(3)
+	b.AddArc(0, 1, 2)
+	b.AddArc(1, 2, 2)
+	b.AddArc(0, 2, 10)
+	g := b.Build()
+	res := Dijkstra(g, 0)
+	if res.Dist[2] != 4 {
+		t.Fatalf("dist[2] = %d, want 4", res.Dist[2])
+	}
+}
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	for _, delta := range []int64{1, 5, 50, 1000} {
+		g := graph.Random(500, 2500, 100, 7)
+		exact := Dijkstra(g, 0)
+		ds := DeltaStepping(g, 0, delta)
+		if !Equal(exact.Dist, ds.Dist) {
+			t.Fatalf("delta=%d: distances differ from Dijkstra", delta)
+		}
+	}
+}
+
+func TestRelaxedWithExactSchedulerIsDijkstra(t *testing.T) {
+	g := graph.Random(400, 2000, 100, 3)
+	exact := Dijkstra(g, 0)
+	res, err := Relaxed(g, 0, sched.NewExact(g.NumNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(exact.Dist, res.Dist) {
+		t.Fatal("distances differ")
+	}
+	if res.Pops != exact.Pops {
+		t.Fatalf("exact-scheduler relaxed run popped %d, Dijkstra %d", res.Pops, exact.Pops)
+	}
+}
+
+func TestRelaxedCorrectUnderAllSchedulers(t *testing.T) {
+	g := graph.Random(600, 3000, 100, 11)
+	exact := Dijkstra(g, 0)
+	n := g.NumNodes
+	schedulers := map[string]RelaxedScheduler{
+		"krelaxed8":  sched.NewKRelaxed(n, 8),
+		"krelaxed64": sched.NewKRelaxed(n, 64),
+		"random16":   sched.NewRandomK(n, 16, 5),
+		"batch8":     sched.NewBatch(n, 8),
+		"multiqueue": multiqueue.New(n, 8, 2, multiqueue.HashedQueue, 5),
+		"spraylist":  spraylist.New(n, 8, 5),
+	}
+	for name, q := range schedulers {
+		res, err := Relaxed(g, 0, q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !Equal(exact.Dist, res.Dist) {
+			t.Fatalf("%s: wrong distances", name)
+		}
+		if res.Pops < exact.Pops {
+			t.Fatalf("%s: fewer pops (%d) than vertices (%d)?", name, res.Pops, exact.Pops)
+		}
+	}
+}
+
+func TestRelaxedPopsBoundedByTheorem61Shape(t *testing.T) {
+	// On a uniform-weight path, d_max/w_min = n-1; with an adversarial
+	// k-relaxed scheduler, pops <= n + c*k^2*(d_max/w_min) for a modest c.
+	const n = 400
+	const k = 4
+	g := lineGraph(n, 7)
+	res, err := Relaxed(g, 0, sched.NewKRelaxed(n, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmaxOverWmin := int64(n - 1) // weights uniform -> ratio = hops
+	bound := int64(n) + 16*int64(k)*int64(k)*dmaxOverWmin
+	if res.Pops > bound {
+		t.Fatalf("pops %d exceed generous Theorem 6.1 envelope %d", res.Pops, bound)
+	}
+}
+
+func TestRelaxedRejectsNonEmptyScheduler(t *testing.T) {
+	g := lineGraph(3, 1)
+	q := sched.NewExact(3)
+	q.Insert(1, 1)
+	if _, err := Relaxed(g, 0, q); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMaxDistance(t *testing.T) {
+	if MaxDistance([]int64{0, 5, Inf, 3}) != 5 {
+		t.Fatal("MaxDistance wrong")
+	}
+	if MaxDistance([]int64{Inf, Inf}) != 0 {
+		t.Fatal("MaxDistance of unreachable-only should be 0")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal([]int64{1, 2}, []int64{1, 2}) {
+		t.Fatal("Equal false negative")
+	}
+	if Equal([]int64{1}, []int64{1, 2}) || Equal([]int64{1, 2}, []int64{1, 3}) {
+		t.Fatal("Equal false positive")
+	}
+}
+
+func TestParallelMatchesDijkstraAllFamilies(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"random": graph.Random(2000, 10000, 100, 21),
+		"road":   graph.Road(40, 50, 1000, 100, 22),
+		"social": graph.Social(2000, 5, 100, 23),
+	}
+	for name, g := range graphs {
+		exact := Dijkstra(g, 0)
+		for _, threads := range []int{1, 4, 8} {
+			res := Parallel(g, 0, threads, 2, 99)
+			if !Equal(exact.Dist, res.Dist) {
+				t.Fatalf("%s @%d threads: wrong distances", name, threads)
+			}
+			if res.Processed < exact.Reached {
+				t.Fatalf("%s @%d threads: processed %d < reachable %d",
+					name, threads, res.Processed, exact.Reached)
+			}
+			if res.Overhead() > 3 {
+				t.Fatalf("%s @%d threads: overhead %.2f implausibly large",
+					name, threads, res.Overhead())
+			}
+		}
+	}
+}
+
+func TestParallelSingleThreadLowOverhead(t *testing.T) {
+	// One thread + multiplier 1 = one queue = exact order; only duplicate
+	// insertions (no DecreaseKey) can add processed tasks, and those are
+	// filtered as stale, so overhead should be exactly 1.
+	g := graph.Random(1000, 5000, 100, 31)
+	exact := Dijkstra(g, 0)
+	res := Parallel(g, 0, 1, 1, 7)
+	if !Equal(exact.Dist, res.Dist) {
+		t.Fatal("wrong distances")
+	}
+	if res.Processed != exact.Reached {
+		t.Fatalf("single-queue processed %d, want %d", res.Processed, exact.Reached)
+	}
+}
+
+// Property: relaxed SSSP agrees with Dijkstra on random graphs under a
+// randomly chosen scheduler and seed.
+func TestRelaxedAgreesProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 50 + r.Intn(300)
+		g := graph.Random(n, n*3, 1+int64(r.Intn(200)), seed)
+		src := r.Intn(n)
+		exact := Dijkstra(g, src)
+		var q RelaxedScheduler
+		switch r.Intn(3) {
+		case 0:
+			q = sched.NewKRelaxed(n, 1+r.Intn(16))
+		case 1:
+			q = multiqueue.New(n, 1+r.Intn(8), 2, multiqueue.HashedQueue, seed)
+		default:
+			q = spraylist.New(n, 1+r.Intn(8), seed)
+		}
+		res, err := Relaxed(g, src, q)
+		return err == nil && Equal(exact.Dist, res.Dist)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parallel SSSP agrees with Dijkstra for random thread counts.
+func TestParallelAgreesProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 100 + r.Intn(500)
+		g := graph.Random(n, n*4, 1+int64(r.Intn(100)), seed)
+		src := r.Intn(n)
+		exact := Dijkstra(g, src)
+		res := Parallel(g, src, 1+r.Intn(8), 1+r.Intn(3), seed)
+		return Equal(exact.Dist, res.Dist)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDijkstraRandom(b *testing.B) {
+	g := graph.Random(20000, 100000, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, 0)
+	}
+}
+
+func BenchmarkParallelRandom8(b *testing.B) {
+	g := graph.Random(20000, 100000, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parallel(g, 0, 8, 2, uint64(i))
+	}
+}

@@ -1,0 +1,72 @@
+package sssp
+
+import (
+	"relaxsched/internal/graph"
+	"relaxsched/internal/pq"
+)
+
+// DijkstraTree computes exact shortest paths from src like Dijkstra and
+// additionally returns the shortest-path tree as a parent array:
+// parent[v] is the predecessor of v on a shortest path from src, -1 for
+// the source itself and for unreachable vertices.
+func DijkstraTree(g *graph.Graph, src int) (Result, []int32) {
+	n := g.NumNodes
+	dist := make([]int64, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	h := pq.NewHeap(n)
+	h.Push(src, 0)
+	res := Result{Dist: dist}
+	for !h.Empty() {
+		v, d := h.Pop()
+		res.Pops++
+		targets, weights := g.OutEdges(v)
+		for i := range targets {
+			u := int(targets[i])
+			nd := d + int64(weights[i])
+			if nd < dist[u] {
+				dist[u] = nd
+				parent[u] = int32(v)
+				res.Relaxations++
+				if h.Contains(u) {
+					h.DecreaseKey(u, nd)
+				} else {
+					h.Push(u, nd)
+				}
+			}
+		}
+	}
+	for _, d := range dist {
+		if d < Inf {
+			res.Reached++
+		}
+	}
+	return res, parent
+}
+
+// PathTo reconstructs the shortest path from the tree's source to v using
+// a parent array from DijkstraTree. It returns nil if v is unreachable.
+// The returned path starts at the source and ends at v.
+func PathTo(parent []int32, src, v int) []int {
+	if v != src && parent[v] < 0 {
+		return nil
+	}
+	var rev []int
+	for cur := v; ; cur = int(parent[cur]) {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+		if parent[cur] < 0 {
+			return nil // disconnected parent chain (corrupt input)
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,113 @@
+package sssp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+func TestDijkstraTreeMatchesDijkstra(t *testing.T) {
+	g := graph.Random(800, 4000, 100, 5)
+	plain := Dijkstra(g, 0)
+	withTree, parent := DijkstraTree(g, 0)
+	if !Equal(plain.Dist, withTree.Dist) {
+		t.Fatal("distances differ")
+	}
+	if parent[0] != -1 {
+		t.Fatal("source has a parent")
+	}
+}
+
+func TestPathToReconstructsValidPaths(t *testing.T) {
+	g := graph.Random(500, 2500, 100, 9)
+	res, parent := DijkstraTree(g, 0)
+	// Weight lookup for edge validation.
+	edgeWeight := func(u, v int) (int64, bool) {
+		targets, weights := g.OutEdges(u)
+		best := int64(-1)
+		for i := range targets {
+			if int(targets[i]) == v {
+				if best < 0 || int64(weights[i]) < best {
+					best = int64(weights[i])
+				}
+			}
+		}
+		return best, best >= 0
+	}
+	checked := 0
+	for v := 0; v < g.NumNodes && checked < 50; v++ {
+		if res.Dist[v] == Inf || v == 0 {
+			continue
+		}
+		path := PathTo(parent, 0, v)
+		if path == nil || path[0] != 0 || path[len(path)-1] != v {
+			t.Fatalf("bad path endpoints for %d: %v", v, path)
+		}
+		var total int64
+		for i := 1; i < len(path); i++ {
+			w, ok := edgeWeight(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("path uses nonexistent edge %d->%d", path[i-1], path[i])
+			}
+			total += w
+		}
+		if total != res.Dist[v] {
+			t.Fatalf("path to %d sums to %d, dist is %d", v, total, res.Dist[v])
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no paths checked")
+	}
+}
+
+func TestPathToUnreachable(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	g := b.Build()
+	_, parent := DijkstraTree(g, 0)
+	if PathTo(parent, 0, 2) != nil {
+		t.Fatal("path to unreachable vertex")
+	}
+	if p := PathTo(parent, 0, 0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("path to source: %v", p)
+	}
+}
+
+// Property: every parent edge is a real edge and parent distances are
+// consistent (dist[v] = dist[parent[v]] + w for some edge weight w).
+func TestTreeConsistencyProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + r.Intn(200)
+		g := graph.Random(n, n*3, 1+int64(r.Intn(50)), seed)
+		src := r.Intn(n)
+		res, parent := DijkstraTree(g, src)
+		for v := 0; v < n; v++ {
+			if v == src || res.Dist[v] == Inf {
+				continue
+			}
+			p := int(parent[v])
+			if p < 0 {
+				return false
+			}
+			targets, weights := g.OutEdges(p)
+			ok := false
+			for i := range targets {
+				if int(targets[i]) == v && res.Dist[p]+int64(weights[i]) == res.Dist[v] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

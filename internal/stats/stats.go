@@ -1,0 +1,188 @@
+// Package stats provides the small statistical and formatting toolkit the
+// experiment harness uses: repeated-trial aggregation (mean, standard
+// error), least-squares fits against log n (to check the O(log n) shapes of
+// Theorems 3.3, 4.3 and 5.1), and fixed-width table rendering so that
+// cmd/relaxbench and the benchmarks print the same rows the paper reports.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Sample aggregates observations incrementally (Welford's algorithm).
+type Sample struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Stddev() / math.Sqrt(float64(s.n))
+}
+
+// LinearFit fits y = a + b*x by least squares and returns (a, b, r2).
+// It panics unless len(x) == len(y) >= 2.
+func LinearFit(x, y []float64) (a, b, r2 float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		panic("stats: LinearFit needs two equal-length samples of size >= 2")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return my, 0, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1
+	}
+	r2 = (sxy * sxy) / (sxx * syy)
+	return a, b, r2
+}
+
+// LogFit fits y = a + b*ln(x) and returns (a, b, r2). All x must be > 0.
+// A high r2 with b > 0 is the signature of the paper's O(log n) growth.
+func LogFit(x, y []float64) (a, b, r2 float64) {
+	lx := make([]float64, len(x))
+	for i, v := range x {
+		if v <= 0 {
+			panic("stats: LogFit needs positive x")
+		}
+		lx[i] = math.Log(v)
+	}
+	return LinearFit(lx, y)
+}
+
+// Table renders aligned rows of experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return sb.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %f", s.Mean())
+	}
+	// Population stddev is 2; sample stddev = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev = %f, want %f", s.Stddev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if math.Abs(s.StdErr()-want/math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("stderr = %f", s.StdErr())
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty sample stats non-zero")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 {
+		t.Fatal("single sample stats wrong")
+	}
+}
+
+func TestSampleMatchesNaive(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(100)
+		var s Sample
+		xs := make([]float64, n)
+		var sum float64
+		for i := range xs {
+			xs[i] = r.Float64()*200 - 100
+			s.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-naiveVar) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, r2 := LinearFit(x, y)
+	if math.Abs(a-3) > 1e-12 || math.Abs(b-2) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("a=%f b=%f r2=%f", a, b, r2)
+	}
+}
+
+func TestLinearFitNoise(t *testing.T) {
+	r := rng.New(3)
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xv := float64(i)
+		x = append(x, xv)
+		y = append(y, 1.5*xv-4+r.NormFloat64())
+	}
+	a, b, r2 := LinearFit(x, y)
+	if math.Abs(b-1.5) > 0.01 || math.Abs(a+4) > 1 {
+		t.Fatalf("a=%f b=%f", a, b)
+	}
+	if r2 < 0.99 {
+		t.Fatalf("r2 = %f", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	// Constant x: slope undefined, returns b=0.
+	_, b, r2 := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if b != 0 || r2 != 0 {
+		t.Fatalf("b=%f r2=%f", b, r2)
+	}
+	// Constant y: perfect fit with zero slope.
+	_, b, r2 = LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if b != 0 || r2 != 1 {
+		t.Fatalf("b=%f r2=%f", b, r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mismatch": func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		"short":    func() { LinearFit([]float64{1}, []float64{1}) },
+		"logfit<0": func() { LogFit([]float64{-1, 2}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogFitRecoversLogCurve(t *testing.T) {
+	var x, y []float64
+	for _, n := range []float64{100, 1000, 10000, 100000} {
+		x = append(x, n)
+		y = append(y, 2+7*math.Log(n))
+	}
+	a, b, r2 := LogFit(x, y)
+	if math.Abs(a-2) > 1e-9 || math.Abs(b-7) > 1e-9 || r2 < 0.999999 {
+		t.Fatalf("a=%f b=%f r2=%f", a, b, r2)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("graph", "threads", "overhead")
+	tb.AddRow("random", 4, 1.0123456)
+	tb.AddRow("road", 16, 1.25)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "graph") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.012") {
+		t.Fatalf("float formatting: %q", lines[2])
+	}
+	// Columns aligned: "threads" column starts at same offset in all rows.
+	idx := strings.Index(lines[0], "threads")
+	if !strings.HasPrefix(lines[2][idx:], "4") && !strings.Contains(lines[2], "  4") {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+}

@@ -1,0 +1,258 @@
+// Package txn simulates the paper's transactional execution model
+// (Section 4): n labelled transactions run concurrently under a relaxed
+// transactional scheduler, and a transaction aborts iff it executes
+// concurrently with a transaction it depends on (conflicts are resolved in
+// favor of the higher-priority transaction). Theorem 4.3 bounds the
+// expected number of aborts by O(k^2 (C+k)^2 log n), where C bounds the
+// interval contention.
+//
+// The simulator is a discrete-event loop. Up to `workers` transactions run
+// at a time, each for a random duration in [1, maxDuration] ticks, so the
+// interval contention of a transaction is at most
+// C = workers * maxDuration. The scheduler enforces the transactional
+// RankBound (a transaction with label l becomes available only once at
+// most k uncommitted transactions have smaller labels — equivalently, the
+// eligible set is the k+1 smallest uncommitted labels) and Fairness (the
+// smallest eligible pending label is started after at most k-1 other
+// starts). Within those constraints the picker is adversarial: it always
+// starts the largest eligible pending label.
+//
+// Dependencies are given as a core.DAG; the conflict rule uses direct
+// predecessor edges: a transaction aborts if a direct predecessor runs
+// concurrently with it, or if a direct predecessor is still uncommitted
+// when it finishes (it must then retry, which is the transactional
+// analogue of the sequential model's wasted steps).
+package txn
+
+import (
+	"fmt"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/ostree"
+)
+
+// Config parameterizes a transactional simulation.
+type Config struct {
+	// K is the scheduler's relaxation factor (>= 1).
+	K int
+	// Workers is the number of concurrently running transactions (>= 1).
+	Workers int
+	// MaxDuration is the maximum transaction duration in ticks (>= 1).
+	// Interval contention is bounded by Workers * MaxDuration.
+	MaxDuration int
+	// Seed drives the duration randomness.
+	Seed uint64
+	// MaxStartsFactor aborts the simulation after MaxStartsFactor * N
+	// transaction starts (guard against livelock); 0 means 1000.
+	MaxStartsFactor int64
+}
+
+// Result summarizes a transactional simulation.
+type Result struct {
+	// Commits is the number of committed transactions (= N on success).
+	Commits int64
+	// Aborts is the number of aborted executions (Theorem 4.3's quantity).
+	Aborts int64
+	// Starts = Commits + Aborts.
+	Starts int64
+	// Ticks is the simulated makespan.
+	Ticks int64
+}
+
+// AbortRatio returns Aborts / Commits.
+func (r Result) AbortRatio() float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(r.Commits)
+}
+
+type running struct {
+	label   int32
+	endTick int64
+	doomed  bool // a dependency ran concurrently
+}
+
+// Simulate runs the transactional model over the dependency DAG.
+func Simulate(dag *core.DAG, cfg Config) (Result, error) {
+	if cfg.K < 1 || cfg.Workers < 1 || cfg.MaxDuration < 1 {
+		return Result{}, fmt.Errorf("txn: invalid config %+v", cfg)
+	}
+	if err := dag.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := dag.N
+	maxStarts := cfg.MaxStartsFactor
+	if maxStarts == 0 {
+		maxStarts = 1000
+	}
+	maxStarts *= int64(n)
+
+	// succs for concurrent-descendant checks.
+	succs := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		for _, i := range dag.Preds[j] {
+			succs[i] = append(succs[i], int32(j))
+		}
+	}
+
+	committed := make([]bool, n)
+	pending := make([]bool, n) // not running, not committed
+	for i := range pending {
+		pending[i] = true
+	}
+	isRunning := make([]int32, n) // index into run slice + 1, 0 = not running
+	uncommitted := ostree.New(cfg.Seed ^ 0x7ab)
+	for i := 0; i < n; i++ {
+		uncommitted.Insert(int64(i), int64(i))
+	}
+
+	rnd := newDurationRand(cfg.Seed)
+	var run []running
+	var res Result
+	var now int64
+	fairWait := 0 // starts since the smallest eligible pending label was passed over
+
+	smallestEligiblePending := func() int {
+		limit := cfg.K + 1
+		if l := uncommitted.Len(); l < limit {
+			limit = l
+		}
+		for r := 1; r <= limit; r++ {
+			_, id := uncommitted.Kth(r)
+			if pending[id] {
+				return int(id)
+			}
+		}
+		return -1
+	}
+	largestEligiblePending := func() int {
+		limit := cfg.K + 1
+		if l := uncommitted.Len(); l < limit {
+			limit = l
+		}
+		for r := limit; r >= 1; r-- {
+			_, id := uncommitted.Kth(r)
+			if pending[id] {
+				return int(id)
+			}
+		}
+		return -1
+	}
+
+	start := func(label int) {
+		dur := 1 + rnd.Intn(cfg.MaxDuration)
+		// Starting a transaction dooms any running descendant (the
+		// descendant is now concurrent with a transaction it depends on;
+		// the conflict resolves in favor of this higher-priority one).
+		for _, s := range succs[label] {
+			if ri := isRunning[s]; ri > 0 {
+				run[ri-1].doomed = true
+			}
+		}
+		// Symmetrically, if any direct predecessor is currently running,
+		// this transaction is doomed from the start.
+		doomed := false
+		for _, p := range dag.Preds[label] {
+			if isRunning[p] > 0 {
+				doomed = true
+				break
+			}
+		}
+		run = append(run, running{label: int32(label), endTick: now + int64(dur), doomed: doomed})
+		isRunning[label] = int32(len(run))
+		pending[label] = false
+		res.Starts++
+	}
+
+	finish := func(idx int) {
+		tr := run[idx]
+		label := int(tr.label)
+		ok := !tr.doomed
+		if ok {
+			for _, p := range dag.Preds[label] {
+				if !committed[p] {
+					ok = false // premature execution; retry
+					break
+				}
+			}
+		}
+		if ok {
+			committed[label] = true
+			uncommitted.Delete(int64(label), int64(label))
+			res.Commits++
+		} else {
+			pending[label] = true
+			res.Aborts++
+		}
+		// Remove from run slice (swap with last, fix index map).
+		last := len(run) - 1
+		isRunning[label] = 0
+		if idx != last {
+			run[idx] = run[last]
+			isRunning[run[idx].label] = int32(idx + 1)
+		}
+		run = run[:last]
+	}
+
+	for res.Commits < int64(n) {
+		// Fill free worker slots.
+		for len(run) < cfg.Workers {
+			smallest := smallestEligiblePending()
+			if smallest < 0 {
+				break // nothing eligible and pending
+			}
+			pick := largestEligiblePending()
+			if fairWait >= cfg.K-1 {
+				pick = smallest
+			}
+			if pick != smallest {
+				fairWait++
+			} else {
+				fairWait = 0
+			}
+			start(pick)
+			if res.Starts > maxStarts {
+				return res, fmt.Errorf("txn: exceeded %d starts; livelock?", maxStarts)
+			}
+		}
+		if len(run) == 0 {
+			return res, fmt.Errorf("txn: deadlock with %d commits of %d", res.Commits, n)
+		}
+		// Advance time to the next completion and finish everything due.
+		next := run[0].endTick
+		for _, tr := range run[1:] {
+			if tr.endTick < next {
+				next = tr.endTick
+			}
+		}
+		now = next
+		for idx := 0; idx < len(run); {
+			if run[idx].endTick <= now {
+				finish(idx) // finish swaps in a new element at idx
+			} else {
+				idx++
+			}
+		}
+	}
+	res.Ticks = now
+	return res, nil
+}
+
+// durationRand is a minimal xorshift to avoid importing rng here and
+// keep the simulator's randomness isolated from workload randomness.
+type durationRand struct{ s uint64 }
+
+func newDurationRand(seed uint64) *durationRand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &durationRand{s: seed}
+}
+
+func (d *durationRand) Intn(n int) int {
+	d.s ^= d.s << 13
+	d.s ^= d.s >> 7
+	d.s ^= d.s << 17
+	return int(d.s % uint64(n))
+}

@@ -1,0 +1,219 @@
+package txn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/bstsort"
+	"relaxsched/internal/core"
+	"relaxsched/internal/rng"
+)
+
+func chainDAG(n int) *core.DAG {
+	d := core.NewDAG(n)
+	for j := 1; j < n; j++ {
+		d.AddDep(j-1, j)
+	}
+	return d
+}
+
+func randomKeys(n int, seed uint64) []int64 {
+	r := rng.New(seed)
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(r.Intn(1 << 30))
+	}
+	return keys
+}
+
+func TestAllCommitNoDeps(t *testing.T) {
+	res, err := Simulate(core.NewDAG(500), Config{K: 8, Workers: 4, MaxDuration: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 500 {
+		t.Fatalf("commits = %d", res.Commits)
+	}
+	if res.Aborts != 0 {
+		t.Fatalf("aborts = %d on an independent task set", res.Aborts)
+	}
+	if res.Starts != res.Commits+res.Aborts {
+		t.Fatal("starts accounting wrong")
+	}
+}
+
+func TestSerialWorkerNoConcurrencyAborts(t *testing.T) {
+	// One worker, k=1 (exact): execution is fully serial in label order,
+	// so nothing can ever run concurrently with a dependency.
+	dag, _ := bstsort.BuildDAG(randomKeys(300, 2))
+	res, err := Simulate(dag, Config{K: 1, Workers: 1, MaxDuration: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborts != 0 {
+		t.Fatalf("serial exact execution aborted %d times", res.Aborts)
+	}
+	if res.Commits != 300 {
+		t.Fatalf("commits = %d", res.Commits)
+	}
+}
+
+func TestChainCausesAborts(t *testing.T) {
+	// A chain with relaxed concurrent execution must see conflicts.
+	res, err := Simulate(chainDAG(200), Config{K: 4, Workers: 4, MaxDuration: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 200 {
+		t.Fatalf("commits = %d", res.Commits)
+	}
+	if res.Aborts == 0 {
+		t.Fatal("chain under concurrent relaxed execution produced no aborts")
+	}
+}
+
+func TestBSTAbortsLogarithmicShape(t *testing.T) {
+	// Theorem 4.3: aborts = O(k^2 (C+k)^2 log n). For fixed k, C the
+	// aborts should grow like log n, i.e. far sublinearly. Compare n and
+	// 8n: abort growth should be well under 8x (allow 4x = log-ish slack).
+	cfg := Config{K: 4, Workers: 4, MaxDuration: 2, Seed: 7}
+	small, err := Simulate(mustDAG(1000, 11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Simulate(mustDAG(8000, 13), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Aborts == 0 {
+		t.Skip("no aborts at n=1000; nothing to compare")
+	}
+	growth := float64(big.Aborts) / float64(small.Aborts)
+	if growth > 6 {
+		t.Fatalf("aborts grew %.1fx for 8x tasks (small=%d big=%d); not logarithmic",
+			growth, small.Aborts, big.Aborts)
+	}
+	// Sanity on the constant too: aborts should be a small multiple of
+	// k^2 (C+k)^2 log n.
+	k := float64(cfg.K)
+	c := float64(cfg.Workers * cfg.MaxDuration)
+	bound := k * k * (c + k) * (c + k) * math.Log(8000)
+	if float64(big.Aborts) > bound {
+		t.Fatalf("aborts %d exceed theorem envelope %.0f", big.Aborts, bound)
+	}
+}
+
+func mustDAG(n int, seed uint64) *core.DAG {
+	dag, _ := bstsort.BuildDAG(randomKeys(n, seed))
+	return dag
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	dag := core.NewDAG(10)
+	for _, cfg := range []Config{
+		{K: 0, Workers: 1, MaxDuration: 1},
+		{K: 1, Workers: 0, MaxDuration: 1},
+		{K: 1, Workers: 1, MaxDuration: 0},
+	} {
+		if _, err := Simulate(dag, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestInvalidDAGRejected(t *testing.T) {
+	dag := core.NewDAG(3)
+	dag.Preds[1] = append(dag.Preds[1], 2)
+	if _, err := Simulate(dag, Config{K: 1, Workers: 1, MaxDuration: 1}); err == nil {
+		t.Fatal("invalid DAG accepted")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	dag := mustDAG(400, 21)
+	cfg := Config{K: 4, Workers: 3, MaxDuration: 3, Seed: 9}
+	a, err := Simulate(dag, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(dag, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestMakespanShrinksWithWorkers(t *testing.T) {
+	dag := core.NewDAG(2000) // independent tasks parallelize perfectly
+	cfg1 := Config{K: 16, Workers: 1, MaxDuration: 3, Seed: 2}
+	cfg8 := Config{K: 16, Workers: 8, MaxDuration: 3, Seed: 2}
+	r1, err := Simulate(dag, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Simulate(dag, cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(r8.Ticks) > float64(r1.Ticks)/4 {
+		t.Fatalf("8 workers not faster: %d vs %d ticks", r8.Ticks, r1.Ticks)
+	}
+}
+
+// Property: every simulation commits all transactions, never loses any,
+// and Starts = Commits + Aborts, across random DAGs and configs.
+func TestSimulationCompletesProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + r.Intn(300)
+		var dag *core.DAG
+		if r.Intn(2) == 0 {
+			dag, _ = bstsort.BuildDAG(randomKeys(n, seed))
+		} else {
+			dag = core.NewDAG(n)
+			for j := 1; j < n; j++ {
+				if r.Intn(3) > 0 {
+					dag.AddDep(r.Intn(j), j)
+				}
+			}
+		}
+		cfg := Config{
+			K:           1 + r.Intn(8),
+			Workers:     1 + r.Intn(6),
+			MaxDuration: 1 + r.Intn(4),
+			Seed:        seed,
+		}
+		res, err := Simulate(dag, cfg)
+		return err == nil &&
+			res.Commits == int64(n) &&
+			res.Starts == res.Commits+res.Aborts &&
+			res.Ticks > 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortRatio(t *testing.T) {
+	r := Result{Commits: 100, Aborts: 25}
+	if r.AbortRatio() != 0.25 {
+		t.Fatalf("ratio = %f", r.AbortRatio())
+	}
+	if (Result{}).AbortRatio() != 0 {
+		t.Fatal("empty ratio")
+	}
+}
+
+func BenchmarkSimulateBST(b *testing.B) {
+	dag := mustDAG(5000, 1)
+	cfg := Config{K: 8, Workers: 8, MaxDuration: 2, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(dag, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package relaxsched
+
+import (
+	"io"
+
+	"relaxsched/internal/bnb"
+	"relaxsched/internal/bstsort"
+	"relaxsched/internal/core"
+	"relaxsched/internal/delaunay"
+	"relaxsched/internal/geom"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/mis"
+	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/spraylist"
+	"relaxsched/internal/sssp"
+	"relaxsched/internal/txn"
+)
+
+// Scheduler is the sequential relaxed-scheduler model of the paper
+// (Section 2): a priority multiset with approximate minimum retrieval.
+// Lower priorities are returned first.
+type Scheduler = sched.Scheduler
+
+// DecreaseKeyer is implemented by schedulers that can lower a pending
+// task's priority in place (required by relaxed SSSP).
+type DecreaseKeyer = sched.DecreaseKeyer
+
+// AuditReport summarizes the measured rank and fairness behaviour of a
+// scheduler wrapped by NewAuditor.
+type AuditReport = sched.Report
+
+// NewExactScheduler returns a strict (k = 1) scheduler over task ids
+// [0, n).
+func NewExactScheduler(n int) Scheduler { return sched.NewExact(n) }
+
+// NewKRelaxedScheduler returns the adversarial k-relaxed scheduler: it
+// respects RankBound and Fairness but otherwise maximizes priority
+// inversions. Use it to measure worst-case relaxation costs.
+func NewKRelaxedScheduler(n, k int) Scheduler { return sched.NewKRelaxed(n, k) }
+
+// NewRandomKScheduler returns a benign k-relaxed scheduler that serves a
+// uniformly random task among the k smallest.
+func NewRandomKScheduler(n, k int, seed uint64) Scheduler { return sched.NewRandomK(n, k, seed) }
+
+// NewBatchScheduler returns the deterministic k-LSM-style batch scheduler;
+// it is (2k-1)-relaxed in the paper's model.
+func NewBatchScheduler(n, k int) Scheduler { return sched.NewBatch(n, k) }
+
+// NewMultiQueue returns a sequential-model MultiQueue with q internal
+// queues and c-choice probing (classic configuration: c = 2). With hashed
+// insertion (hashed = true) it supports DecreaseKey and can drive
+// RelaxedSSSP.
+func NewMultiQueue(n, q, c int, hashed bool, seed uint64) Scheduler {
+	policy := multiqueue.RandomQueue
+	if hashed {
+		policy = multiqueue.HashedQueue
+	}
+	return multiqueue.New(n, q, c, policy, seed)
+}
+
+// NewSprayList returns a sequential-model SprayList tuned for p simulated
+// threads.
+func NewSprayList(n, p int, seed uint64) Scheduler { return spraylist.New(n, p, seed) }
+
+// Auditor wraps a scheduler and measures the rank of every returned task
+// and the inversions suffered by the minimum, i.e. the empirical
+// relaxation factor.
+type Auditor = sched.Auditor
+
+// NewAuditor wraps inner with rank/fairness measurement. histWidth bounds
+// the rank histogram.
+func NewAuditor(inner Scheduler, histWidth int) *Auditor { return sched.NewAuditor(inner, histWidth) }
+
+// DAG is a dependency DAG over tasks labelled 0..N-1 in priority order.
+type DAG = core.DAG
+
+// NewDAG returns a DAG over n tasks with no dependencies.
+func NewDAG(n int) *DAG { return core.NewDAG(n) }
+
+// RunOptions configures RunIncremental.
+type RunOptions = core.Options
+
+// RunResult reports the steps, extra steps and inversions of a relaxed
+// incremental execution.
+type RunResult = core.Result
+
+// RunIncremental executes the task set described by dag through s
+// (Algorithm 2 of the paper) and returns the wasted-work accounting.
+func RunIncremental(dag *DAG, s Scheduler, opts RunOptions) (RunResult, error) {
+	return core.Run(dag, s, opts)
+}
+
+// ParallelRunOptions configure RunIncrementalParallel.
+type ParallelRunOptions = core.ParallelOptions
+
+// RunIncrementalParallel executes the task set with worker goroutines over
+// a concurrent MultiQueue — the concurrent analogue of Algorithm 2.
+// Blocked tasks are re-inserted, and every pop counts as a step, so
+// ExtraSteps again measures speculation waste.
+func RunIncrementalParallel(dag *DAG, opts ParallelRunOptions) (RunResult, error) {
+	return core.ParallelRun(dag, opts)
+}
+
+// Graph is a weighted directed graph in CSR form.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates arcs and builds a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// RandomGraph generates an undirected uniform G(n, m) graph with weights
+// in [1, maxW].
+func RandomGraph(n, m int, maxW int64, seed uint64) *Graph {
+	return graph.Random(n, m, maxW, seed)
+}
+
+// RoadGraph generates a road-network-like grid graph (high diameter,
+// distance-like weights in [1, maxW], dropPerMille/1000 of the vertical
+// edges removed).
+func RoadGraph(width, height int, maxW int64, dropPerMille int, seed uint64) *Graph {
+	return graph.Road(width, height, maxW, dropPerMille, seed)
+}
+
+// SocialGraph generates a social-network-like preferential-attachment
+// graph with deg edges per arriving node and weights in [1, maxW].
+func SocialGraph(n, deg int, maxW int64, seed uint64) *Graph {
+	return graph.Social(n, deg, maxW, seed)
+}
+
+// ParseDIMACS reads a graph in the DIMACS shortest-path ".gr" format.
+func ParseDIMACS(r io.Reader) (*Graph, error) { return graph.ParseDIMACS(r) }
+
+// WriteDIMACS writes a graph in the DIMACS ".gr" format.
+func WriteDIMACS(w io.Writer, g *Graph) error { return graph.WriteDIMACS(w, g) }
+
+// SSSPResult is the output of the sequential SSSP variants.
+type SSSPResult = sssp.Result
+
+// ParallelSSSPResult is the output of ParallelSSSP.
+type ParallelSSSPResult = sssp.ParallelResult
+
+// InfDistance is the distance reported for unreachable vertices.
+const InfDistance = sssp.Inf
+
+// Dijkstra computes exact shortest paths from src.
+func Dijkstra(g *Graph, src int) SSSPResult { return sssp.Dijkstra(g, src) }
+
+// DeltaStepping computes exact shortest paths with a monotone bucket queue
+// of width delta.
+func DeltaStepping(g *Graph, src int, delta int64) SSSPResult {
+	return sssp.DeltaStepping(g, src, delta)
+}
+
+// DijkstraTree computes exact shortest paths and the shortest-path tree:
+// parents[v] is v's predecessor on a shortest path (-1 for the source and
+// for unreachable vertices).
+func DijkstraTree(g *Graph, src int) (SSSPResult, []int32) { return sssp.DijkstraTree(g, src) }
+
+// ShortestPathTo reconstructs the path from src to v out of a parent array
+// returned by DijkstraTree; nil if unreachable.
+func ShortestPathTo(parents []int32, src, v int) []int { return sssp.PathTo(parents, src, v) }
+
+// RelaxedSSSP runs the paper's Algorithm 3: Dijkstra through a relaxed
+// scheduler supporting DecreaseKey (e.g. NewMultiQueue with hashed = true,
+// NewSprayList, or NewKRelaxedScheduler). The pop count in the result is
+// the quantity Theorem 6.1 bounds.
+func RelaxedSSSP(g *Graph, src int, q Scheduler) (SSSPResult, error) {
+	rq, ok := q.(sssp.RelaxedScheduler)
+	if !ok {
+		return SSSPResult{}, errNoDecreaseKey
+	}
+	return sssp.Relaxed(g, src, rq)
+}
+
+type noDecreaseKeyError struct{}
+
+func (noDecreaseKeyError) Error() string {
+	return "relaxsched: scheduler does not support DecreaseKey"
+}
+
+var errNoDecreaseKey = noDecreaseKeyError{}
+
+// ParallelSSSP runs SSSP with the given number of goroutines over a
+// concurrent MultiQueue with queueMultiplier queues per thread (the
+// paper's Section 7 implementation).
+func ParallelSSSP(g *Graph, src, threads, queueMultiplier int, seed uint64) ParallelSSSPResult {
+	return sssp.Parallel(g, src, threads, queueMultiplier, seed)
+}
+
+// Point is a point in the plane.
+type Point = geom.Point
+
+// Triangle is one triangle of a Delaunay mesh, as indices into the input
+// point slice.
+type Triangle = delaunay.Triangle
+
+// Triangulate computes the Delaunay triangulation of points (incremental
+// Bowyer-Watson with exact predicates). Pass a non-nil order to control
+// the insertion sequence.
+func Triangulate(points []Point, order []int) ([]Triangle, error) {
+	return delaunay.Triangulate(points, order)
+}
+
+// DelaunayDAG runs the sequential randomized incremental triangulation in
+// label order and returns the dependency DAG used by the paper's framework
+// (points should be pre-shuffled for a random order).
+func DelaunayDAG(points []Point) (*DAG, error) {
+	dag, _, err := delaunay.BuildDAG(points)
+	return dag, err
+}
+
+// BSTSort sorts keys by binary-search-tree insertion (the paper's
+// comparison-sorting incremental algorithm).
+func BSTSort(keys []int64) []int64 { return bstsort.Sort(keys) }
+
+// BSTSortDAG returns the ancestor dependency DAG of the BST built by
+// inserting keys in order.
+func BSTSortDAG(keys []int64) *DAG {
+	dag, _ := bstsort.BuildDAG(keys)
+	return dag
+}
+
+// GreedyWorkload is a random-order greedy-iterative task system over a
+// graph (vertices in a random permutation; a vertex depends on its
+// earlier-ordered neighbours).
+type GreedyWorkload = mis.Workload
+
+// NewGreedyWorkload draws the random vertex order for g from seed and
+// builds the dependency DAG.
+func NewGreedyWorkload(g *Graph, seed uint64) *GreedyWorkload { return mis.NewWorkload(g, seed) }
+
+// GreedyMIS computes the greedy maximal independent set of the workload's
+// permutation through the given scheduler; the result is scheduler-
+// independent, only the wasted work varies.
+func GreedyMIS(w *GreedyWorkload, s Scheduler) ([]bool, RunResult, error) {
+	return mis.GreedyMIS(w, s)
+}
+
+// GreedyColoring computes the greedy (first-fit) coloring of the
+// workload's permutation through the given scheduler.
+func GreedyColoring(w *GreedyWorkload, s Scheduler) ([]int32, RunResult, error) {
+	return mis.GreedyColoring(w, s)
+}
+
+// VerifyMIS checks independence and maximality.
+func VerifyMIS(g *Graph, inMIS []bool) error { return mis.VerifyMIS(g, inMIS) }
+
+// VerifyColoring checks that a coloring is proper and complete.
+func VerifyColoring(g *Graph, colors []int32) error { return mis.VerifyColoring(g, colors) }
+
+// BnBTree describes a synthetic branch-and-bound search tree (Karp-Zhang
+// style parallel backtracking, the origin of relaxed scheduling).
+type BnBTree = bnb.Tree
+
+// BnBResult summarizes a branch-and-bound run.
+type BnBResult = bnb.Result
+
+// BranchAndBound performs best-first branch-and-bound through the given
+// scheduler; relaxation may expand extra nodes but never changes the
+// optimum. budget caps scheduler slots (size the scheduler accordingly).
+func BranchAndBound(t BnBTree, s Scheduler, budget int) (BnBResult, error) {
+	return bnb.Run(t, s, budget)
+}
+
+// TxnConfig parameterizes the transactional-model simulation.
+type TxnConfig = txn.Config
+
+// TxnResult reports commits, aborts and makespan of a transactional
+// simulation.
+type TxnResult = txn.Result
+
+// SimulateTransactions runs the paper's transactional model (Section 4)
+// over the dependency DAG: concurrent optimistic execution where a
+// transaction aborts iff it runs concurrently with a dependency.
+func SimulateTransactions(dag *DAG, cfg TxnConfig) (TxnResult, error) {
+	return txn.Simulate(dag, cfg)
+}

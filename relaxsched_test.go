@@ -1,0 +1,238 @@
+package relaxsched_test
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"relaxsched"
+)
+
+func TestFacadeSchedulers(t *testing.T) {
+	for name, s := range map[string]relaxsched.Scheduler{
+		"exact":      relaxsched.NewExactScheduler(100),
+		"k-relaxed":  relaxsched.NewKRelaxedScheduler(100, 4),
+		"random-k":   relaxsched.NewRandomKScheduler(100, 4, 1),
+		"batch":      relaxsched.NewBatchScheduler(100, 4),
+		"multiqueue": relaxsched.NewMultiQueue(100, 4, 2, false, 1),
+		"spraylist":  relaxsched.NewSprayList(100, 4, 1),
+	} {
+		for i := 0; i < 100; i++ {
+			s.Insert(i, int64(i))
+		}
+		count := 0
+		for {
+			task, _, ok := s.ApproxGetMin()
+			if !ok {
+				break
+			}
+			s.DeleteTask(task)
+			count++
+		}
+		if count != 100 {
+			t.Fatalf("%s drained %d tasks", name, count)
+		}
+	}
+}
+
+func TestFacadeAuditor(t *testing.T) {
+	a := relaxsched.NewAuditor(relaxsched.NewExactScheduler(50), 8)
+	for i := 0; i < 50; i++ {
+		a.Insert(i, int64(i))
+	}
+	for {
+		task, _, ok := a.ApproxGetMin()
+		if !ok {
+			break
+		}
+		a.DeleteTask(task)
+	}
+	rep := a.Report()
+	if rep.MaxRank != 1 || rep.Calls != 50 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestFacadeIncrementalRun(t *testing.T) {
+	dag := relaxsched.NewDAG(100)
+	for j := 1; j < 100; j++ {
+		dag.AddDep(j-1, j)
+	}
+	res, err := relaxsched.RunIncremental(dag, relaxsched.NewKRelaxedScheduler(100, 4),
+		relaxsched.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != 100 {
+		t.Fatalf("processed %d", res.Processed)
+	}
+	if res.ExtraSteps == 0 {
+		t.Fatal("chain under relaxation should waste steps")
+	}
+}
+
+func TestFacadeSSSPPipeline(t *testing.T) {
+	g := relaxsched.RandomGraph(500, 2500, 100, 7)
+	exact := relaxsched.Dijkstra(g, 0)
+	ds := relaxsched.DeltaStepping(g, 0, 10)
+	for i := range exact.Dist {
+		if exact.Dist[i] != ds.Dist[i] {
+			t.Fatal("delta-stepping disagrees")
+		}
+	}
+	rel, err := relaxsched.RelaxedSSSP(g, 0, relaxsched.NewMultiQueue(500, 4, 2, true, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := relaxsched.ParallelSSSP(g, 0, 4, 2, 9)
+	for i := range exact.Dist {
+		if rel.Dist[i] != exact.Dist[i] || par.Dist[i] != exact.Dist[i] {
+			t.Fatal("relaxed/parallel disagree with Dijkstra")
+		}
+	}
+	if par.Overhead() < 1 {
+		t.Fatalf("overhead %f", par.Overhead())
+	}
+}
+
+func TestFacadeRelaxedSSSPRejectsNonDecreaseKey(t *testing.T) {
+	g := relaxsched.RandomGraph(50, 100, 10, 1)
+	// Random-insertion MultiQueue cannot DecreaseKey.
+	_, err := relaxsched.RelaxedSSSP(g, 0, relaxsched.NewMultiQueue(50, 2, 2, false, 1))
+	if err == nil {
+		t.Fatal("expected error for scheduler without DecreaseKey")
+	}
+	if !strings.Contains(err.Error(), "DecreaseKey") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestFacadeGraphGeneratorsAndDIMACS(t *testing.T) {
+	road := relaxsched.RoadGraph(10, 10, 100, 50, 2)
+	social := relaxsched.SocialGraph(200, 4, 100, 2)
+	if road.NumNodes != 100 || social.NumNodes != 200 {
+		t.Fatal("generator sizes wrong")
+	}
+	var buf bytes.Buffer
+	if err := relaxsched.WriteDIMACS(&buf, road); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := relaxsched.ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumNodes != road.NumNodes || parsed.NumEdges() != road.NumEdges() {
+		t.Fatal("DIMACS round trip changed the graph")
+	}
+}
+
+func TestFacadeBSTSort(t *testing.T) {
+	keys := []int64{9, 3, 7, 1, 5}
+	got := relaxsched.BSTSort(keys)
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	dag := relaxsched.BSTSortDAG(keys)
+	if dag.N != 5 {
+		t.Fatalf("dag size %d", dag.N)
+	}
+}
+
+func TestFacadeDelaunay(t *testing.T) {
+	pts := []relaxsched.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}, {X: 0.5, Y: 0.5}}
+	tris, err := relaxsched.Triangulate(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 4 {
+		t.Fatalf("%d triangles, want 4", len(tris))
+	}
+	dag, err := relaxsched.DelaunayDAG(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.N != 5 {
+		t.Fatalf("dag size %d", dag.N)
+	}
+}
+
+func TestFacadeGreedyAlgorithms(t *testing.T) {
+	g := relaxsched.RandomGraph(300, 900, 10, 5)
+	w := relaxsched.NewGreedyWorkload(g, 6)
+	inMIS, res, err := relaxsched.GreedyMIS(w, relaxsched.NewKRelaxedScheduler(g.NumNodes, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != int64(g.NumNodes) {
+		t.Fatalf("processed %d", res.Processed)
+	}
+	if err := relaxsched.VerifyMIS(g, inMIS); err != nil {
+		t.Fatal(err)
+	}
+	colors, _, err := relaxsched.GreedyColoring(w, relaxsched.NewExactScheduler(g.NumNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relaxsched.VerifyColoring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeParallelIncrementalAndTree(t *testing.T) {
+	dag := relaxsched.BSTSortDAG([]int64{5, 2, 8, 1, 9, 3, 7, 4, 6, 0})
+	res, err := relaxsched.RunIncrementalParallel(dag, relaxsched.ParallelRunOptions{
+		Threads: 4, QueueMultiplier: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != 10 {
+		t.Fatalf("processed %d", res.Processed)
+	}
+	g := relaxsched.RandomGraph(200, 800, 50, 8)
+	sr, parents := relaxsched.DijkstraTree(g, 0)
+	for v := 1; v < g.NumNodes; v++ {
+		if sr.Dist[v] == relaxsched.InfDistance {
+			continue
+		}
+		p := relaxsched.ShortestPathTo(parents, 0, v)
+		if len(p) < 2 || p[0] != 0 || p[len(p)-1] != v {
+			t.Fatalf("bad path to %d: %v", v, p)
+		}
+		break
+	}
+}
+
+func TestFacadeBranchAndBound(t *testing.T) {
+	tree := relaxsched.BnBTree{Depth: 6, Branch: 3, MaxEdgeCost: 50, Seed: 4}
+	const budget = 1 << 16
+	exact, err := relaxsched.BranchAndBound(tree, relaxsched.NewExactScheduler(budget), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := relaxsched.BranchAndBound(tree, relaxsched.NewKRelaxedScheduler(budget, 16), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Best != relaxed.Best {
+		t.Fatalf("relaxation changed the optimum: %d vs %d", exact.Best, relaxed.Best)
+	}
+}
+
+func TestFacadeTransactions(t *testing.T) {
+	dag := relaxsched.BSTSortDAG([]int64{5, 2, 8, 1, 9, 3, 7, 4, 6, 0})
+	res, err := relaxsched.SimulateTransactions(dag, relaxsched.TxnConfig{
+		K: 2, Workers: 2, MaxDuration: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 10 {
+		t.Fatalf("commits %d", res.Commits)
+	}
+}
