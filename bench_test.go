@@ -227,3 +227,20 @@ func BenchmarkAblation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBackends compares the concurrent queue backends head-to-head on
+// parallel SSSP (the cq design axis); the reported metrics are each
+// backend's road-graph overhead and ops/sec at the highest thread count.
+func BenchmarkBackends(b *testing.B) {
+	c := benchConfig()
+	var last experiments.BackendsResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Backends(c)
+	}
+	for _, row := range last.Rows {
+		if row.Threads == c.MaxThreads && row.Graph == "road" {
+			b.ReportMetric(row.Overhead, row.Backend+"-overhead")
+			b.ReportMetric(row.OpsPerSec, row.Backend+"-ops/sec")
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	fig1-overhead Figure 1 left only
 //	fig1-speedup  Figure 1 right only
 //	fig2          Figure 2: overhead vs. queue multiplier
+//	backends      concurrent queue backends head-to-head on parallel SSSP
 //	thm33         Theorem 3.3: extra steps vs. n and k (adversarial)
 //	thm51         Theorem 5.1 / Claim 1: MultiQueue lower bound
 //	thm61         Theorem 6.1: relaxed SSSP pop counts
@@ -25,13 +26,20 @@
 //
 // Flags control workload scale; -scale 1 is the full-size run used in
 // EXPERIMENTS.md, larger values shrink the workloads proportionally.
+// -backend runs the parallel experiments on a specific concurrent queue
+// (the backends experiment always sweeps all of them), and -json replaces
+// the text tables with one machine-readable JSON object per experiment on
+// stdout, suitable for recording BENCH_*.json trajectories.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"relaxsched/internal/cq"
 	"relaxsched/internal/experiments"
 )
 
@@ -41,6 +49,8 @@ func main() {
 		trials     = flag.Int("trials", 3, "repetitions averaged per row")
 		seed       = flag.Uint64("seed", 42, "workload random seed")
 		maxThreads = flag.Int("maxthreads", 0, "cap the thread sweep (0 = NumCPU)")
+		backend    = flag.String("backend", "", fmt.Sprintf("concurrent queue backend for parallel experiments (%v; empty = default)", cq.Backends()))
+		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: relaxbench [flags] <experiment>\nrun 'go doc relaxsched/cmd/relaxbench' for the experiment list\n")
@@ -51,159 +61,139 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if !cq.Backend(*backend).Valid() {
+		fmt.Fprintf(os.Stderr, "relaxbench: unknown backend %q (have %v)\n", *backend, cq.Backends())
+		os.Exit(2)
+	}
 	cfg := experiments.Config{
 		Seed:       *seed,
 		Trials:     *trials,
 		GraphScale: *scale,
 		MaxThreads: *maxThreads,
+		Backend:    cq.Backend(*backend),
 	}
-	if err := run(flag.Arg(0), cfg); err != nil {
+	if err := run(flag.Arg(0), cfg, output{json: *jsonOut, w: os.Stdout}); err != nil {
 		fmt.Fprintf(os.Stderr, "relaxbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg experiments.Config) error {
+// output selects between human-readable tables and machine-readable JSON.
+type output struct {
+	json bool
+	w    io.Writer
+}
+
+// renderable is any experiment result that can print itself as a table.
+type renderable interface {
+	Render(w io.Writer) error
+}
+
+// emit writes one experiment result: a titled text table, or in JSON mode a
+// single {"experiment": ..., "rows"/...: ...} object per line, so `relaxbench
+// -json all` produces a JSON-lines stream.
+func (o output) emit(name, title string, res renderable) error {
+	if o.json {
+		return o.emitJSON(name, res)
+	}
+	fmt.Fprintf(o.w, "\n== %s ==\n\n", title)
+	return res.Render(o.w)
+}
+
+func (o output) emitJSON(name string, result any) error {
+	return json.NewEncoder(o.w).Encode(struct {
+		Experiment string `json:"experiment"`
+		Result     any    `json:"result"`
+	}{Experiment: name, Result: result})
+}
+
+// experimentSpec couples an experiment driver with its table title.
+type experimentSpec struct {
+	title string
+	run   func(experiments.Config) (renderable, error)
+}
+
+// noErr adapts an error-free experiment driver to the common shape.
+func noErr[R renderable](f func(experiments.Config) R) func(experiments.Config) (renderable, error) {
+	return func(c experiments.Config) (renderable, error) { return f(c), nil }
+}
+
+// withErr adapts a fallible experiment driver to the common shape.
+func withErr[R renderable](f func(experiments.Config) (R, error)) func(experiments.Config) (renderable, error) {
+	return func(c experiments.Config) (renderable, error) { return f(c) }
+}
+
+// experimentTable maps experiment names to drivers; fig1 and its variants
+// are dispatched separately (one sweep renders two tables).
+var experimentTable = map[string]experimentSpec{
+	"graphs":    {"Input families (Section 7 sample graphs)", noErr(experiments.Graphs)},
+	"fig2":      {"Figure 2: SSSP relaxation overhead vs. queue multiplier", noErr(func(c experiments.Config) experiments.Fig2Result { return experiments.Fig2(c, nil) })},
+	"backends":  {"Concurrent queue backends head-to-head (parallel SSSP)", noErr(experiments.Backends)},
+	"thm33":     {"Theorem 3.3: extra steps under the adversarial k-relaxed scheduler", withErr(experiments.Thm33)},
+	"thm51":     {"Theorem 5.1 / Claim 1: MultiQueue lower bound (extra steps >= (1/8) ln n)", withErr(experiments.Thm51)},
+	"thm61":     {"Theorem 6.1: relaxed SSSP pops <= n + O(k^2 dmax/wmin)", withErr(experiments.Thm61)},
+	"thm43":     {"Theorem 4.3: transactional aborts O(k^2 (C+k)^2 log n)", withErr(experiments.Thm43)},
+	"ablation":  {"Ablation: scheduler families on identical workloads", withErr(experiments.Ablation)},
+	"parinc":    {"Extension: parallel incremental execution (goroutines over concurrent relaxed queues)", withErr(experiments.ParInc)},
+	"iterative": {"Extension: greedy iterative algorithms (MIS, coloring) under relaxed schedulers", withErr(experiments.Iterative)},
+	"bnb":       {"Extension: Karp-Zhang branch-and-bound under relaxed schedulers", withErr(experiments.BnB)},
+}
+
+// allOrder is the order `relaxbench all` runs experiments in.
+var allOrder = []string{"graphs", "fig1", "fig2", "backends", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb"}
+
+func run(exp string, cfg experiments.Config, out output) error {
 	switch exp {
-	case "graphs":
-		return runGraphs(cfg)
 	case "fig1":
-		return runFig1(cfg, true, true)
+		return runFig1(cfg, out, true, true)
 	case "fig1-overhead":
-		return runFig1(cfg, true, false)
+		return runFig1(cfg, out, true, false)
 	case "fig1-speedup":
-		return runFig1(cfg, false, true)
-	case "fig2":
-		return runFig2(cfg)
-	case "thm33":
-		return runThm33(cfg)
-	case "thm51":
-		return runThm51(cfg)
-	case "thm61":
-		return runThm61(cfg)
-	case "thm43":
-		return runThm43(cfg)
-	case "ablation":
-		return runAblation(cfg)
-	case "parinc":
-		return runParInc(cfg)
-	case "iterative":
-		return runIterative(cfg)
-	case "bnb":
-		return runBnB(cfg)
+		return runFig1(cfg, out, false, true)
 	case "all":
-		for _, e := range []string{"graphs", "fig1", "fig2", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb"} {
-			if err := run(e, cfg); err != nil {
+		for _, e := range allOrder {
+			if err := run(e, cfg, out); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
 		}
 		return nil
-	default:
+	}
+	spec, ok := experimentTable[exp]
+	if !ok {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	res, err := spec.run(cfg)
+	if err != nil {
+		return err
+	}
+	return out.emit(exp, spec.title, res)
 }
 
-func section(title string) {
-	fmt.Printf("\n== %s ==\n\n", title)
-}
-
-func runGraphs(cfg experiments.Config) error {
-	section("Input families (Section 7 sample graphs)")
-	res := experiments.Graphs(cfg)
-	return res.Render(os.Stdout)
-}
-
-func runFig1(cfg experiments.Config, overheads, speedups bool) error {
+// runFig1 handles Figure 1's two tables (left: overheads, right: speedups)
+// sharing one sweep.
+func runFig1(cfg experiments.Config, out output, overheads, speedups bool) error {
 	res := experiments.Fig1(cfg)
+	if out.json {
+		name := "fig1"
+		switch {
+		case overheads && !speedups:
+			name = "fig1-overhead"
+		case speedups && !overheads:
+			name = "fig1-speedup"
+		}
+		return out.emitJSON(name, res)
+	}
 	if overheads {
-		section("Figure 1 (left): SSSP relaxation overhead vs. threads (queues = 2x threads)")
-		if err := res.RenderOverheads(os.Stdout); err != nil {
+		fmt.Fprintf(out.w, "\n== %s ==\n\n", "Figure 1 (left): SSSP relaxation overhead vs. threads (queues = 2x threads)")
+		if err := res.RenderOverheads(out.w); err != nil {
 			return err
 		}
 	}
 	if speedups {
-		section("Figure 1 (right): SSSP speedup vs. threads")
-		if err := res.RenderSpeedups(os.Stdout); err != nil {
+		fmt.Fprintf(out.w, "\n== %s ==\n\n", "Figure 1 (right): SSSP speedup vs. threads")
+		if err := res.RenderSpeedups(out.w); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-func runFig2(cfg experiments.Config) error {
-	section("Figure 2: SSSP relaxation overhead vs. queue multiplier")
-	res := experiments.Fig2(cfg, nil)
-	return res.Render(os.Stdout)
-}
-
-func runThm33(cfg experiments.Config) error {
-	section("Theorem 3.3: extra steps under the adversarial k-relaxed scheduler")
-	res, err := experiments.Thm33(cfg)
-	if err != nil {
-		return err
-	}
-	return res.Render(os.Stdout)
-}
-
-func runThm51(cfg experiments.Config) error {
-	section("Theorem 5.1 / Claim 1: MultiQueue lower bound (extra steps >= (1/8) ln n)")
-	res, err := experiments.Thm51(cfg)
-	if err != nil {
-		return err
-	}
-	return res.Render(os.Stdout)
-}
-
-func runThm61(cfg experiments.Config) error {
-	section("Theorem 6.1: relaxed SSSP pops <= n + O(k^2 dmax/wmin)")
-	res, err := experiments.Thm61(cfg)
-	if err != nil {
-		return err
-	}
-	return res.Render(os.Stdout)
-}
-
-func runThm43(cfg experiments.Config) error {
-	section("Theorem 4.3: transactional aborts O(k^2 (C+k)^2 log n)")
-	res, err := experiments.Thm43(cfg)
-	if err != nil {
-		return err
-	}
-	return res.Render(os.Stdout)
-}
-
-func runAblation(cfg experiments.Config) error {
-	section("Ablation: scheduler families on identical workloads")
-	res, err := experiments.Ablation(cfg)
-	if err != nil {
-		return err
-	}
-	return res.Render(os.Stdout)
-}
-
-func runBnB(cfg experiments.Config) error {
-	section("Extension: Karp-Zhang branch-and-bound under relaxed schedulers")
-	res, err := experiments.BnB(cfg)
-	if err != nil {
-		return err
-	}
-	return res.Render(os.Stdout)
-}
-
-func runIterative(cfg experiments.Config) error {
-	section("Extension: greedy iterative algorithms (MIS, coloring) under relaxed schedulers")
-	res, err := experiments.Iterative(cfg)
-	if err != nil {
-		return err
-	}
-	return res.Render(os.Stdout)
-}
-
-func runParInc(cfg experiments.Config) error {
-	section("Extension: parallel incremental execution (goroutines over a concurrent MultiQueue)")
-	res, err := experiments.ParInc(cfg)
-	if err != nil {
-		return err
-	}
-	return res.Render(os.Stdout)
 }

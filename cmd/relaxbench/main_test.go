@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
 	"testing"
 
+	"relaxsched/internal/cq"
 	"relaxsched/internal/experiments"
 )
 
@@ -11,17 +16,85 @@ import (
 func TestRunDispatchAllExperiments(t *testing.T) {
 	cfg := experiments.Config{Seed: 1, Trials: 1, GraphScale: 128, MaxThreads: 2}
 	for _, exp := range []string{
-		"graphs", "fig1", "fig1-overhead", "fig1-speedup", "fig2",
+		"graphs", "fig1", "fig1-overhead", "fig1-speedup", "fig2", "backends",
 		"thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb",
 	} {
-		if err := run(exp, cfg); err != nil {
+		if err := run(exp, cfg, output{w: io.Discard}); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
 }
 
+// The parallel experiments must accept every queue backend.
+func TestRunHonorsBackendConfig(t *testing.T) {
+	for _, b := range cq.Backends() {
+		cfg := experiments.Config{Seed: 1, Trials: 1, GraphScale: 256, MaxThreads: 2, Backend: b}
+		for _, exp := range []string{"fig1-overhead", "fig2"} {
+			if err := run(exp, cfg, output{w: io.Discard}); err != nil {
+				t.Fatalf("%s on %s: %v", exp, b, err)
+			}
+		}
+	}
+}
+
+// -json mode must emit one well-formed JSON object per experiment, keyed by
+// experiment name.
+func TestRunJSONOutput(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Trials: 1, GraphScale: 256, MaxThreads: 2}
+	var buf bytes.Buffer
+	exps := []string{"graphs", "fig1", "backends", "parinc"}
+	for _, exp := range exps {
+		if err := run(exp, cfg, output{json: true, w: &buf}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var seen []string
+	for sc.Scan() {
+		var env struct {
+			Experiment string          `json:"experiment"`
+			Result     json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("bad JSON line: %v\n%s", err, sc.Text())
+		}
+		if len(env.Result) == 0 || string(env.Result) == "null" {
+			t.Fatalf("%s: empty result payload", env.Experiment)
+		}
+		seen = append(seen, env.Experiment)
+	}
+	if len(seen) != len(exps) {
+		t.Fatalf("got %d JSON objects %v, want %d", len(seen), seen, len(exps))
+	}
+	for i, exp := range exps {
+		if seen[i] != exp {
+			t.Fatalf("object %d is %q, want %q", i, seen[i], exp)
+		}
+	}
+}
+
+// The backends experiment must report every registered backend so recorded
+// trajectories always compare the full design space.
+func TestBackendsExperimentCoversAllBackends(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Trials: 1, GraphScale: 256, MaxThreads: 2}
+	res := experiments.Backends(cfg)
+	got := map[string]bool{}
+	for _, row := range res.Rows {
+		got[row.Backend] = true
+		if row.OpsPerSec <= 0 {
+			t.Fatalf("%s/%s: non-positive ops/sec", row.Graph, row.Backend)
+		}
+	}
+	for _, b := range cq.Backends() {
+		if !got[string(b)] {
+			t.Fatalf("backend %s missing from results", b)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", experiments.SmokeConfig()); err == nil {
+	if err := run("nope", experiments.SmokeConfig(), output{w: io.Discard}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

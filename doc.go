@@ -16,8 +16,12 @@
 //   - the relaxed scheduler model and several implementations: an exact
 //     heap-backed scheduler, an adversarial k-relaxed scheduler, a uniform
 //     top-k scheduler, a deterministic k-LSM-style batch scheduler, the
-//     MultiQueue (sequential model and a concurrent lock-per-queue
-//     variant), and a SprayList;
+//     MultiQueue, and a SprayList;
+//   - a pluggable concurrent relaxed-queue layer (internal/cq) with two
+//     backends — the lock-per-queue MultiQueue with 2-choice pops and a
+//     lazy lock-based skip list with spray-height pops — selectable on
+//     every parallel path via a QueueBackend, plus a shared conformance
+//     and race-stress suite (cqtest) that any future backend must pass;
 //   - a rank/fairness Auditor measuring the relaxation any scheduler
 //     actually achieves;
 //   - the generic relaxed execution framework for incremental algorithms
@@ -27,7 +31,7 @@
 //     (Bowyer-Watson with a conflict graph and exact predicates);
 //   - SSSP four ways: Dijkstra, Delta-stepping, relaxed sequential-model
 //     Dijkstra (the paper's Algorithm 3), and a parallel goroutine
-//     implementation over a concurrent MultiQueue;
+//     implementation over any concurrent queue backend;
 //   - a transactional-model simulator (aborts under optimistic concurrent
 //     execution, Section 4 of the paper);
 //   - graph generators (uniform random, road-like grid, social-like
@@ -38,6 +42,12 @@
 //	g := relaxsched.RandomGraph(100000, 500000, 100, 1)
 //	res := relaxsched.ParallelSSSP(g, 0, 8, 2, 42)
 //	fmt.Printf("overhead %.3f\n", res.Overhead())
+//
+// To run the same computation over a different concurrent queue design:
+//
+//	res = relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{
+//		Threads: 8, QueueMultiplier: 2, Backend: relaxsched.BackendSprayList, Seed: 42,
+//	})
 //
 // See examples/ for runnable programs and cmd/relaxbench for the
 // experiment harness that regenerates every table and figure of the paper.

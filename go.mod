@@ -1,0 +1,3 @@
+module relaxsched
+
+go 1.24

@@ -6,7 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"relaxsched/internal/multiqueue"
+	"relaxsched/internal/cq"
 	"relaxsched/internal/rng"
 )
 
@@ -14,10 +14,14 @@ import (
 type ParallelOptions struct {
 	// Threads is the number of worker goroutines (>= 1).
 	Threads int
-	// QueueMultiplier gives Threads * QueueMultiplier internal queues in
-	// the concurrent MultiQueue (>= 1; the classic configuration is 2).
+	// QueueMultiplier is the relaxation multiplier of the concurrent queue
+	// (>= 1; the classic MultiQueue configuration is 2, giving
+	// Threads * QueueMultiplier internal queues).
 	QueueMultiplier int
-	// Seed drives the MultiQueue randomness.
+	// Backend selects the concurrent queue implementation; the zero value
+	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
+	Backend cq.Backend
+	// Seed drives the queue randomness.
 	Seed uint64
 	// OnProcess, if non-nil, is invoked once per task in processing order.
 	// Calls are serialized by an internal mutex, so the callback may touch
@@ -27,8 +31,9 @@ type ParallelOptions struct {
 }
 
 // ParallelRun executes the task set concurrently: worker goroutines pop
-// labels from a concurrent MultiQueue, process them when all their
-// dependencies are satisfied, and re-insert them otherwise. This is the
+// labels from a concurrent relaxed queue (any cq backend), process them
+// when all their dependencies are satisfied, and re-insert them otherwise.
+// This is the
 // concurrent analogue of Algorithm 2 — the regime the paper's Section 4
 // transactional model abstracts — with re-insertion playing the role of
 // the sequential model's "task stays in the scheduler".
@@ -47,6 +52,10 @@ func ParallelRun(dag *DAG, opts ParallelOptions) (Result, error) {
 	if opts.QueueMultiplier < 1 {
 		return Result{}, fmt.Errorf("core: ParallelRun needs QueueMultiplier >= 1")
 	}
+	mq, err := cq.New(opts.Backend, opts.Threads, opts.QueueMultiplier)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
 	n := dag.N
 	remaining := make([]atomic.Int32, n)
 	succs := make([][]int32, n)
@@ -57,7 +66,6 @@ func ParallelRun(dag *DAG, opts ParallelOptions) (Result, error) {
 		}
 	}
 
-	mq := multiqueue.NewConcurrent(opts.Threads * opts.QueueMultiplier)
 	seedRng := rng.New(opts.Seed)
 	for i := 0; i < n; i++ {
 		mq.Push(seedRng, int64(i), int64(i))

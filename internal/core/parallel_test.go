@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"relaxsched/internal/cq"
 	"relaxsched/internal/rng"
 )
 
@@ -169,5 +170,44 @@ func BenchmarkParallelRunRandomDAG(b *testing.B) {
 		if _, err := ParallelRun(d, ParallelOptions{Threads: 8, QueueMultiplier: 2, Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestParallelRunAcrossBackends(t *testing.T) {
+	// Every cq backend must drive the runtime to a dependency-respecting
+	// completion; only the wasted work may differ.
+	r := rng.New(11)
+	const n = 1200
+	d := randomDAG(n, r)
+	for _, backend := range cq.Backends() {
+		res, err := ParallelRun(d, ParallelOptions{
+			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 9,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if res.Processed != n {
+			t.Fatalf("%s: processed %d of %d", backend, res.Processed, n)
+		}
+		pos := make([]int, n)
+		for i, l := range res.Order {
+			pos[l] = i
+		}
+		for j := 0; j < n; j++ {
+			for _, i := range d.Preds[j] {
+				if pos[i] > pos[j] {
+					t.Fatalf("%s: task %d processed before ancestor %d", backend, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRunUnknownBackend(t *testing.T) {
+	_, err := ParallelRun(NewDAG(10), ParallelOptions{
+		Threads: 2, QueueMultiplier: 2, Backend: "no-such-queue", Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

@@ -1,0 +1,93 @@
+package cq_test
+
+import (
+	"testing"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/cq/cqtest"
+	"relaxsched/internal/rng"
+)
+
+// Every registered backend must pass the shared conformance + race suite.
+func TestBackendConformance(t *testing.T) {
+	for _, b := range cq.Backends() {
+		t.Run(string(b), func(t *testing.T) {
+			cqtest.Run(t, cqtest.ForBackend(b))
+		})
+	}
+}
+
+func TestNewDefaultsToMultiQueue(t *testing.T) {
+	q, err := cq.New("", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, ok := q.(*cq.MultiQueue)
+	if !ok {
+		t.Fatalf("New(\"\") built %T, want *cq.MultiQueue", q)
+	}
+	if mq.NumQueues() != 6 {
+		t.Fatalf("NumQueues = %d, want threads*multiplier = 6", mq.NumQueues())
+	}
+}
+
+func TestNewSprayListSingleStructure(t *testing.T) {
+	q, err := cq.New(cq.SprayListBackend, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.(*cq.SprayList); !ok {
+		t.Fatalf("built %T, want *cq.SprayList", q)
+	}
+	if q.NumQueues() != 1 {
+		t.Fatalf("NumQueues = %d, want 1", q.NumQueues())
+	}
+}
+
+func TestNewRejectsBadArguments(t *testing.T) {
+	if _, err := cq.New("fancy-lsm", 2, 2); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := cq.New(cq.MultiQueueBackend, 0, 2); err == nil {
+		t.Fatal("threads = 0 accepted")
+	}
+	if _, err := cq.New(cq.SprayListBackend, 2, 0); err == nil {
+		t.Fatal("queueMultiplier = 0 accepted")
+	}
+}
+
+func TestBackendValid(t *testing.T) {
+	for _, b := range cq.Backends() {
+		if !b.Valid() {
+			t.Fatalf("registered backend %q reported invalid", b)
+		}
+	}
+	if !cq.Backend("").Valid() {
+		t.Fatal("empty backend (default) reported invalid")
+	}
+	if cq.Backend("nope").Valid() {
+		t.Fatal("unknown backend reported valid")
+	}
+}
+
+// BenchmarkPushPop compares the backends head-to-head on the mixed
+// push/pop hot path at NumCPU contention.
+func BenchmarkPushPop(b *testing.B) {
+	for _, backend := range cq.Backends() {
+		b.Run(string(backend), func(b *testing.B) {
+			q, err := cq.New(backend, 8, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				r := rng.New(uint64(b.N) + 12345)
+				i := int64(0)
+				for pb.Next() {
+					q.Push(r, i, i%1024)
+					q.Pop(r)
+					i++
+				}
+			})
+		})
+	}
+}

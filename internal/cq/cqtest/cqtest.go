@@ -1,0 +1,283 @@
+// Package cqtest is the shared conformance and race-stress suite for cq
+// backends. Every backend must pass it (run the suite with -race in CI):
+// future backends are drop-in exactly when cqtest.Run accepts them.
+//
+// The suite checks the contract documented on cq.Queue: no element lost or
+// duplicated under concurrent push/pop, exactness in the unrelaxed
+// configuration, approximate-minimum quality of relaxed pops, panics on the
+// reserved priority, and — the subtlest clause — termination under the
+// in-flight-counter protocol when poppers race pushers, i.e. when Pop
+// transiently reports empty while an element is mid-push (the
+// Pop/scanPop empty-vs-racing-pusher edge that core.ParallelRun and
+// sssp.Parallel rely on).
+package cqtest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/rng"
+)
+
+// Factory builds a fresh queue for a simulated run shape, mirroring
+// cq.New's sizing parameters. The passed t is the invoking subtest's, so
+// construction failures are reported on the right test.
+type Factory func(t *testing.T, threads, queueMultiplier int) cq.Queue
+
+// ForBackend adapts cq.New for a named backend into a Factory, failing the
+// invoking subtest on construction errors.
+func ForBackend(b cq.Backend) Factory {
+	return func(t *testing.T, threads, queueMultiplier int) cq.Queue {
+		t.Helper()
+		q, err := cq.New(b, threads, queueMultiplier)
+		if err != nil {
+			t.Fatalf("cq.New(%q, %d, %d): %v", b, threads, queueMultiplier, err)
+		}
+		return q
+	}
+}
+
+// Run executes the full conformance and stress suite against the backend.
+func Run(t *testing.T, newQueue Factory) {
+	t.Run("EmptyPop", func(t *testing.T) { testEmptyPop(t, newQueue) })
+	t.Run("ExactWhenUnrelaxed", func(t *testing.T) { testExactWhenUnrelaxed(t, newQueue) })
+	t.Run("ValuesPreservedSequential", func(t *testing.T) { testValuesPreservedSequential(t, newQueue) })
+	t.Run("ApproxMin", func(t *testing.T) { testApproxMin(t, newQueue) })
+	t.Run("ReservedPriorityPanics", func(t *testing.T) { testReservedPriorityPanics(t, newQueue) })
+	t.Run("ConcurrentValuesPreserved", func(t *testing.T) { testConcurrentValuesPreserved(t, newQueue) })
+	t.Run("RacingPushersTermination", func(t *testing.T) { testRacingPushersTermination(t, newQueue) })
+}
+
+// stressTimeout bounds every concurrent subtest so a termination bug shows
+// up as a failure, not a hung test binary.
+const stressTimeout = 60 * time.Second
+
+// waitOrFatal waits for wg or fails the test after stressTimeout.
+func waitOrFatal(t *testing.T, wg *sync.WaitGroup, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(stressTimeout):
+		t.Fatalf("%s did not finish within %v (termination bug?)", what, stressTimeout)
+	}
+}
+
+func testEmptyPop(t *testing.T, newQueue Factory) {
+	q := newQueue(t, 2, 2)
+	r := rng.New(1)
+	if _, _, ok := q.Pop(r); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	if n := q.Len(); n != 0 {
+		t.Fatalf("Len = %d on empty queue", n)
+	}
+	if nq := q.NumQueues(); nq < 1 {
+		t.Fatalf("NumQueues = %d, want >= 1", nq)
+	}
+}
+
+func testExactWhenUnrelaxed(t *testing.T, newQueue Factory) {
+	// threads = 1, multiplier = 1 must degenerate to an exact queue under
+	// sequential use: this anchors every backend's relaxation knob to the
+	// same origin, so backend comparisons sweep from a common baseline.
+	q := newQueue(t, 1, 1)
+	r := rng.New(7)
+	const n = 512
+	for _, p := range r.Perm(n) {
+		q.Push(r, int64(p), int64(p))
+	}
+	for want := 0; want < n; want++ {
+		v, p, ok := q.Pop(r)
+		if !ok {
+			t.Fatalf("queue empty after %d of %d pops", want, n)
+		}
+		if p != int64(want) || v != int64(want) {
+			t.Fatalf("pop %d returned (v=%d, p=%d), want (%d, %d)", want, v, p, want, want)
+		}
+	}
+	if _, _, ok := q.Pop(r); ok {
+		t.Fatal("pop after drain returned ok")
+	}
+}
+
+func testValuesPreservedSequential(t *testing.T, newQueue Factory) {
+	q := newQueue(t, 2, 2)
+	r := rng.New(3)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		q.Push(r, int64(i), int64(i%7)) // duplicate priorities allowed
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	seen := make([]bool, n)
+	for {
+		v, _, ok := q.Pop(r)
+		if !ok {
+			break
+		}
+		if v < 0 || v >= n {
+			t.Fatalf("popped alien value %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("value %d lost", i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func testApproxMin(t *testing.T, newQueue Factory) {
+	// A relaxed pop need not return the minimum, but it must return a
+	// small-rank element. N/4 is an extremely generous bound: the
+	// MultiQueue's 2-choice pop and the SprayList's spray both land within
+	// O(poly(p) polylog(N)) of the front with overwhelming probability.
+	const (
+		n      = 4096
+		trials = 3
+	)
+	for trial := 0; trial < trials; trial++ {
+		q := newQueue(t, 4, 2)
+		r := rng.New(100 + uint64(trial))
+		for _, p := range r.Perm(n) {
+			q.Push(r, int64(p), int64(p))
+		}
+		_, p, ok := q.Pop(r)
+		if !ok {
+			t.Fatal("pop of full queue returned !ok")
+		}
+		if p >= n/4 {
+			t.Fatalf("trial %d: first pop rank %d of %d — not an approximate min", trial, p, n)
+		}
+	}
+}
+
+func testReservedPriorityPanics(t *testing.T, newQueue Factory) {
+	q := newQueue(t, 1, 1)
+	r := rng.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push(ReservedPriority) did not panic")
+		}
+	}()
+	q.Push(r, 0, cq.ReservedPriority)
+}
+
+func testConcurrentValuesPreserved(t *testing.T, newQueue Factory) {
+	// Mixed concurrent push/pop; afterwards every value must have been
+	// popped exactly once. Run with -race for the full effect.
+	const (
+		goroutines = 8
+		perG       = 4000
+	)
+	q := newQueue(t, goroutines, 2)
+	seen := make([]atomic.Bool, goroutines*perG)
+	var popped atomic.Int64
+	record := func(v int64) {
+		if seen[v].Swap(true) {
+			t.Errorf("value %d popped twice", v)
+		}
+		popped.Add(1)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(g) + 1)
+			for i := 0; i < perG; i++ {
+				q.Push(r, int64(g*perG+i), int64(r.Intn(1<<20)))
+				if i%2 == 1 {
+					if v, _, ok := q.Pop(r); ok {
+						record(v)
+					}
+				}
+			}
+		}(g)
+	}
+	waitOrFatal(t, &wg, "concurrent push/pop stress")
+	r := rng.New(99)
+	for {
+		v, _, ok := q.Pop(r)
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if got := popped.Load(); got != goroutines*perG {
+		t.Fatalf("popped %d values total, want %d", got, goroutines*perG)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func testRacingPushersTermination(t *testing.T, newQueue Factory) {
+	// The empty-vs-racing-pusher edge: Pop may report empty while an
+	// element is mid-push, so consumers terminate via an in-flight counter
+	// (exactly core.ParallelRun's and sssp.Parallel's protocol). With that
+	// protocol, poppers racing live pushers must still drain every element
+	// and exit.
+	const (
+		pushers = 4
+		poppers = 4
+		perP    = 3000
+		total   = pushers * perP
+	)
+	q := newQueue(t, poppers, 2)
+	var pending atomic.Int64 // un-popped elements, counted up-front
+	pending.Store(total)
+	var popped atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(g) + 1)
+			for i := 0; i < perP; i++ {
+				q.Push(r, int64(g*perP+i), int64(r.Intn(1<<16)))
+			}
+		}(g)
+	}
+	for g := 0; g < poppers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(1000 + g))
+			for {
+				_, _, ok := q.Pop(r)
+				if !ok {
+					if pending.Load() == 0 {
+						return
+					}
+					// Transiently empty: elements are still in flight.
+					continue
+				}
+				popped.Add(1)
+				pending.Add(-1)
+			}
+		}(g)
+	}
+	waitOrFatal(t, &wg, "racing pushers/poppers")
+	if got := popped.Load(); got != total {
+		t.Fatalf("poppers drained %d of %d elements", got, total)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}

@@ -1,14 +1,13 @@
-package multiqueue
+package cq
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 
 	"relaxsched/internal/rng"
 )
 
-// Concurrent is a lock-per-queue concurrent MultiQueue storing (value,
+// MultiQueue is a lock-per-queue concurrent MultiQueue storing (value,
 // priority) pairs. Unlike the sequential-model MultiQueue it permits
 // duplicate values (parallel SSSP inserts a fresh pair per relaxation and
 // filters stale ones on pop, exactly as the check in Algorithm 3 line 8),
@@ -18,16 +17,16 @@ import (
 // comparison does not need to take locks; locks are only taken to mutate
 // the chosen queue, using TryLock with rerandomization on contention, the
 // standard MultiQueue protocol.
-// Concurrent deliberately keeps no global element counter: a shared
+// MultiQueue deliberately keeps no global element counter: a shared
 // atomic incremented on every push/pop becomes the dominant cache-line
 // hot-spot at scale. Len locks queues and is for tests/diagnostics only;
 // concurrent algorithms must track their own in-flight counts.
-type Concurrent struct {
+type MultiQueue struct {
 	queues []cqueue
 }
 
 // emptyTop is the cached top priority of an empty queue.
-const emptyTop = math.MaxInt64
+const emptyTop = ReservedPriority
 
 type cqueue struct {
 	_   [64]byte // pad to keep hot mutexes on separate cache lines
@@ -37,12 +36,12 @@ type cqueue struct {
 	_   [64]byte
 }
 
-// NewConcurrent returns a concurrent MultiQueue with q internal queues.
-func NewConcurrent(q int) *Concurrent {
+// NewMultiQueue returns a concurrent MultiQueue with q internal queues.
+func NewMultiQueue(q int) *MultiQueue {
 	if q < 1 {
-		panic("multiqueue: need at least one queue")
+		panic("cq: need at least one queue")
 	}
-	c := &Concurrent{queues: make([]cqueue, q)}
+	c := &MultiQueue{queues: make([]cqueue, q)}
 	for i := range c.queues {
 		c.queues[i].top.Store(emptyTop)
 	}
@@ -50,11 +49,11 @@ func NewConcurrent(q int) *Concurrent {
 }
 
 // NumQueues returns the number of internal queues.
-func (c *Concurrent) NumQueues() int { return len(c.queues) }
+func (c *MultiQueue) NumQueues() int { return len(c.queues) }
 
 // Len reports the number of stored pairs by locking each queue in turn.
 // It is intended for tests and quiescent diagnostics, not hot paths.
-func (c *Concurrent) Len() int {
+func (c *MultiQueue) Len() int {
 	total := 0
 	for qi := range c.queues {
 		q := &c.queues[qi]
@@ -67,9 +66,9 @@ func (c *Concurrent) Len() int {
 
 // Push inserts a (value, priority) pair into a random queue. r must be a
 // goroutine-local generator.
-func (c *Concurrent) Push(r *rng.Xoshiro, value int64, priority int64) {
-	if priority == emptyTop {
-		panic("multiqueue: priority MaxInt64 is reserved")
+func (c *MultiQueue) Push(r *rng.Xoshiro, value int64, priority int64) {
+	if priority == ReservedPriority {
+		panic("cq: priority MaxInt64 is reserved")
 	}
 	for {
 		q := &c.queues[r.Intn(len(c.queues))]
@@ -87,7 +86,7 @@ func (c *Concurrent) Push(r *rng.Xoshiro, value int64, priority int64) {
 // ok is false if the structure appeared empty; with concurrent pushers,
 // callers must use their own termination protocol (e.g. an in-flight
 // counter) rather than trusting a single !ok.
-func (c *Concurrent) Pop(r *rng.Xoshiro) (value int64, priority int64, ok bool) {
+func (c *MultiQueue) Pop(r *rng.Xoshiro) (value int64, priority int64, ok bool) {
 	const attempts = 8
 	nq := len(c.queues)
 	for try := 0; try < attempts; try++ {
@@ -127,7 +126,7 @@ func (c *Concurrent) Pop(r *rng.Xoshiro) (value int64, priority int64, ok bool) 
 
 // scanPop walks all queues, inspecting the cached tops lock-free and
 // locking only queues that look non-empty.
-func (c *Concurrent) scanPop() (int64, int64, bool) {
+func (c *MultiQueue) scanPop() (int64, int64, bool) {
 	for qi := range c.queues {
 		q := &c.queues[qi]
 		if q.top.Load() == emptyTop {
@@ -211,3 +210,5 @@ func (h *pairHeap) pop() pair {
 	}
 	return top
 }
+
+var _ Queue = (*MultiQueue)(nil)

@@ -1,0 +1,310 @@
+package cq
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"relaxsched/internal/rng"
+)
+
+// SprayList is a concurrent relaxed priority queue backed by a single lazy
+// lock-based skip list (Herlihy & Shavit's fine-grained-locking skip list:
+// lock-free wait-free traversals over atomic next pointers, per-node locks
+// and logical-deletion marks for updates). Pop does not remove the head:
+// it performs the SprayList spray walk (Alistarh, Kopinsky, Li & Shavit,
+// PPoPP 2015) — start ~log2(p) levels up, take uniform jumps of length up
+// to log2(p), descend two levels per hop — landing on one of the roughly
+// O(p log^3 p) smallest elements with high probability. Relaxation thus
+// comes from randomized *selection inside one structure*, where the
+// MultiQueue gets it from two-choice probing *across shards*; the two
+// backends bracket the design space the paper's Section 7 discusses.
+//
+// Like the original, a pop behaves exactly (takes the true front) with
+// probability 1/p, playing the role of the paper's cleaner threads: without
+// it, short nodes pile up in front of the first tall node and become
+// unreachable by sprays. p = 1 therefore degenerates to an exact queue.
+//
+// Elements are ordered by (priority, unique sequence number), so duplicate
+// values and equal priorities are fine. There is no global size counter
+// (same rationale as MultiQueue: it would be the dominant cache-line
+// hot-spot); Len traverses and is for tests/diagnostics only.
+type SprayList struct {
+	head *snode
+	tail *snode
+	seq  atomic.Uint64
+	p    int // simulated contention width; tunes spray height and cleaner rate
+}
+
+// sprayMaxHeight bounds skip-list towers; 2^24 expected elements.
+const sprayMaxHeight = 24
+
+// snode is a skip-list node. next pointers are atomic so traversals run
+// without locks; mu guards structural changes at this node, marked is the
+// logical-deletion flag and fullyLinked flips once every level is linked.
+type snode struct {
+	prio int64
+	val  int64
+	seq  uint64 // unique; (prio, seq) totally orders nodes
+
+	mu          sync.Mutex
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	next        []atomic.Pointer[snode] // length = topLevel+1
+}
+
+// before reports whether n orders strictly before the key (prio, seq).
+func (n *snode) before(prio int64, seq uint64) bool {
+	if n.prio != prio {
+		return n.prio < prio
+	}
+	return n.seq < seq
+}
+
+// NewSprayList returns a concurrent SprayList tuned for contention width p
+// (typically threads x queueMultiplier; p = 1 behaves exactly).
+func NewSprayList(p int) *SprayList {
+	if p < 1 {
+		panic("cq: need spray width p >= 1")
+	}
+	s := &SprayList{
+		head: &snode{prio: math.MinInt64, seq: 0, next: make([]atomic.Pointer[snode], sprayMaxHeight)},
+		tail: &snode{prio: math.MaxInt64, seq: math.MaxUint64},
+		p:    p,
+	}
+	s.head.fullyLinked.Store(true)
+	s.tail.fullyLinked.Store(true)
+	for lvl := range s.head.next {
+		s.head.next[lvl].Store(s.tail)
+	}
+	return s
+}
+
+// NumQueues reports 1: the SprayList is a single shared structure.
+func (s *SprayList) NumQueues() int { return 1 }
+
+// Len counts live nodes by traversing level 0. Only meaningful at
+// quiescence; tests and diagnostics only.
+func (s *SprayList) Len() int {
+	n := 0
+	for x := s.head.next[0].Load(); x != s.tail; x = x.next[0].Load() {
+		if !x.marked.Load() && x.fullyLinked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// find locates the predecessor and successor of key (prio, seq) at every
+// level, without locking. preds[lvl] is the rightmost node before the key,
+// succs[lvl] the following node (possibly tail).
+func (s *SprayList) find(prio int64, seq uint64, preds, succs *[sprayMaxHeight]*snode) {
+	pred := s.head
+	for lvl := sprayMaxHeight - 1; lvl >= 0; lvl-- {
+		curr := pred.next[lvl].Load()
+		for curr != s.tail && curr.before(prio, seq) {
+			pred = curr
+			curr = pred.next[lvl].Load()
+		}
+		preds[lvl] = pred
+		succs[lvl] = curr
+	}
+}
+
+// randomLevel draws a geometric(1/2) tower height in [0, sprayMaxHeight-1].
+func randomLevel(r *rng.Xoshiro) int {
+	lvl := bits.TrailingZeros64(r.Uint64() | 1<<(sprayMaxHeight-1))
+	return lvl
+}
+
+// unlockPreds releases the distinct pred locks acquired for levels
+// [0, highest], mirroring the consecutive-dedup order they were taken in.
+func unlockPreds(preds *[sprayMaxHeight]*snode, highest int) {
+	var prev *snode
+	for lvl := 0; lvl <= highest; lvl++ {
+		if preds[lvl] != prev {
+			preds[lvl].mu.Unlock()
+			prev = preds[lvl]
+		}
+	}
+}
+
+// Push inserts a (value, priority) pair. r must be goroutine-local; it
+// drives the tower height. Locks are acquired per level in descending key
+// order (the same global order remove uses), so Push cannot deadlock.
+func (s *SprayList) Push(r *rng.Xoshiro, value, priority int64) {
+	if priority == ReservedPriority {
+		panic("cq: priority MaxInt64 is reserved")
+	}
+	seq := s.seq.Add(1)
+	topLevel := randomLevel(r)
+	var preds, succs [sprayMaxHeight]*snode
+	for {
+		s.find(priority, seq, &preds, &succs)
+		// Lock the distinct predecessors bottom-up (preds are non-increasing
+		// in key as the level rises, so equal preds are level-consecutive and
+		// the acquisition order is globally consistent: descending key).
+		highestLocked := -1
+		var prevPred *snode
+		valid := true
+		for lvl := 0; valid && lvl <= topLevel; lvl++ {
+			pred, succ := preds[lvl], succs[lvl]
+			if pred != prevPred {
+				pred.mu.Lock()
+				highestLocked = lvl
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && !succ.marked.Load() && pred.next[lvl].Load() == succ
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue // a neighbour changed underneath us; re-search
+		}
+		nn := &snode{prio: priority, val: value, seq: seq, next: make([]atomic.Pointer[snode], topLevel+1)}
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			nn.next[lvl].Store(succs[lvl])
+		}
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			preds[lvl].next[lvl].Store(nn)
+		}
+		nn.fullyLinked.Store(true)
+		unlockPreds(&preds, highestLocked)
+		return
+	}
+}
+
+// remove logically then physically deletes victim. It returns false if
+// another pop already claimed it. The victim's lock is held while its
+// predecessors are locked; victim orders after every predecessor, so the
+// global descending-key lock order is preserved and remove cannot deadlock
+// with Push or other removes.
+func (s *SprayList) remove(victim *snode) bool {
+	if !victim.fullyLinked.Load() {
+		return false
+	}
+	victim.mu.Lock()
+	if victim.marked.Load() {
+		victim.mu.Unlock()
+		return false
+	}
+	victim.marked.Store(true) // claimed; no competing pop can return it now
+	topLevel := len(victim.next) - 1
+	var preds, succs [sprayMaxHeight]*snode
+	for {
+		s.find(victim.prio, victim.seq, &preds, &succs)
+		highestLocked := -1
+		var prevPred *snode
+		valid := true
+		for lvl := 0; valid && lvl <= topLevel; lvl++ {
+			pred := preds[lvl]
+			if pred != prevPred {
+				pred.mu.Lock()
+				highestLocked = lvl
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && pred.next[lvl].Load() == victim
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue
+		}
+		for lvl := topLevel; lvl >= 0; lvl-- {
+			preds[lvl].next[lvl].Store(victim.next[lvl].Load())
+		}
+		unlockPreds(&preds, highestLocked)
+		victim.mu.Unlock()
+		return true
+	}
+}
+
+// Pop removes and returns a small-rank pair via a spray walk. With
+// probability 1/p it instead takes the true front (the cleaner role). ok
+// is false if the list appeared empty; as with every cq backend, racing
+// pushers require a caller-side termination protocol.
+func (s *SprayList) Pop(r *rng.Xoshiro) (value, priority int64, ok bool) {
+	if s.p == 1 || r.Intn(s.p) == 0 {
+		return s.popFront()
+	}
+	const attempts = 4
+	for try := 0; try < attempts; try++ {
+		n := s.spray(r)
+		if n == nil {
+			break // looked empty; let popFront decide
+		}
+		if s.remove(n) {
+			return n.val, n.prio, true
+		}
+		// Another pop claimed the landed-on node; respray.
+	}
+	return s.popFront()
+}
+
+// popFront removes the first live node — the exact DeleteMin.
+func (s *SprayList) popFront() (int64, int64, bool) {
+	for {
+		x := s.head.next[0].Load()
+		for x != s.tail && (x.marked.Load() || !x.fullyLinked.Load()) {
+			x = x.next[0].Load()
+		}
+		if x == s.tail {
+			return 0, 0, false
+		}
+		if s.remove(x) {
+			return x.val, x.prio, true
+		}
+		// Lost the race for the front node; rescan from the head.
+	}
+}
+
+// spray performs the randomized walk and returns a candidate live node, or
+// nil if the list looked empty from where the walk ended. Parameters follow
+// the original paper's shape (and the sequential model in
+// internal/spraylist): start ~log2(p) levels up, uniform jumps of up to
+// max(1, log2(p)) nodes per level, descend two levels per hop, always
+// finishing with a level-0 hop so height-1 nodes stay reachable.
+func (s *SprayList) spray(r *rng.Xoshiro) *snode {
+	logp := bits.Len(uint(s.p - 1)) // ceil(log2 p)
+	maxJump := logp
+	if maxJump < 1 {
+		maxJump = 1
+	}
+	lvl := logp
+	if lvl > sprayMaxHeight-1 {
+		lvl = sprayMaxHeight - 1
+	}
+	x := s.head
+	for {
+		jumps := r.Intn(maxJump + 1)
+		for j := 0; j < jumps; j++ {
+			if lvl >= len(x.next) {
+				break
+			}
+			nxt := x.next[lvl].Load()
+			if nxt == s.tail {
+				break
+			}
+			x = nxt
+		}
+		if lvl == 0 {
+			break
+		}
+		lvl -= 2
+		if lvl < 0 {
+			lvl = 0
+		}
+	}
+	if x == s.head {
+		x = s.head.next[0].Load()
+	}
+	// Step over logically deleted or half-linked nodes at the bottom level.
+	for x != s.tail && (x.marked.Load() || !x.fullyLinked.Load()) {
+		x = x.next[0].Load()
+	}
+	if x == s.tail {
+		return nil
+	}
+	return x
+}
+
+var _ Queue = (*SprayList)(nil)

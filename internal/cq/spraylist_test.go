@@ -1,0 +1,79 @@
+package cq
+
+import (
+	"testing"
+
+	"relaxsched/internal/rng"
+)
+
+func TestRandomLevelBounds(t *testing.T) {
+	r := rng.New(1)
+	counts := make([]int, sprayMaxHeight)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		lvl := randomLevel(r)
+		if lvl < 0 || lvl >= sprayMaxHeight {
+			t.Fatalf("randomLevel = %d outside [0, %d)", lvl, sprayMaxHeight)
+		}
+		counts[lvl]++
+	}
+	// Geometric(1/2): level 0 should hold about half the draws.
+	if counts[0] < draws/3 || counts[0] > 2*draws/3 {
+		t.Fatalf("level-0 frequency %d of %d; want roughly half", counts[0], draws)
+	}
+}
+
+func TestSprayListFindOrdersBySeqOnEqualPriority(t *testing.T) {
+	s := NewSprayList(1)
+	r := rng.New(2)
+	// Equal priorities must coexist (distinct seq) and FIFO-drain by seq.
+	for i := 0; i < 10; i++ {
+		s.Push(r, int64(i), 5)
+	}
+	for want := int64(0); want < 10; want++ {
+		v, p, ok := s.Pop(r)
+		if !ok || p != 5 || v != want {
+			t.Fatalf("got (v=%d p=%d ok=%v), want (%d, 5, true)", v, p, ok, want)
+		}
+	}
+}
+
+func TestSprayListSprayReturnsLiveNode(t *testing.T) {
+	s := NewSprayList(8)
+	r := rng.New(3)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Push(r, int64(i), int64(i))
+	}
+	for i := 0; i < 200; i++ {
+		x := s.spray(r)
+		if x == nil {
+			t.Fatal("spray reported empty on a full list")
+		}
+		if x == s.head || x == s.tail {
+			t.Fatal("spray landed on a sentinel")
+		}
+		if x.marked.Load() || !x.fullyLinked.Load() {
+			t.Fatal("spray returned a dead or half-linked node")
+		}
+	}
+}
+
+func TestSprayListRemoveClaimsOnce(t *testing.T) {
+	s := NewSprayList(2)
+	r := rng.New(4)
+	s.Push(r, 42, 7)
+	victim := s.head.next[0].Load()
+	if victim == s.tail {
+		t.Fatal("pushed node not linked")
+	}
+	if !s.remove(victim) {
+		t.Fatal("first remove failed")
+	}
+	if s.remove(victim) {
+		t.Fatal("second remove of the same node succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after remove", s.Len())
+	}
+}

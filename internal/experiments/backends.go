@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"io"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/sssp"
+	"relaxsched/internal/stats"
+)
+
+// BackendsRow is one point of the backend comparison: parallel SSSP through
+// one concurrent queue backend, on one graph family at one thread count.
+// OpsPerSec counts pops (the queue's hot operation) per second of wall
+// time, so it folds the backend's raw throughput and its relaxation waste
+// into one number; Overhead isolates the waste.
+type BackendsRow struct {
+	Graph     string
+	Backend   string
+	Threads   int
+	Overhead  float64 // tasks processed relaxed / tasks processed exact
+	OverheadE float64
+	OpsPerSec float64 // pops per second across all workers
+	Speedup   float64 // sequential Dijkstra time / parallel time
+	Millis    float64 // mean parallel wall time
+}
+
+// BackendsResult holds the full backend x family x threads sweep.
+type BackendsResult struct {
+	Rows []BackendsRow
+}
+
+// Backends compares every registered cq backend head-to-head on parallel
+// SSSP: same graphs, same seeds, same thread counts — only the concurrent
+// queue differs. This is the experiment the pluggable cq layer exists for;
+// the paper's own figures fix the MultiQueue, this sweeps the design axis.
+func Backends(c Config) BackendsResult {
+	var res BackendsResult
+	for fi, fam := range Families() {
+		g := fam.Gen(c, c.Seed+uint64(fi))
+		exact := sssp.Dijkstra(g, 0)
+		seqTime := timeIt(func() { sssp.Dijkstra(g, 0) })
+		for _, backend := range cq.Backends() {
+			for _, threads := range c.threadSweep() {
+				var ov, ops, sp, ms stats.Sample
+				for trial := 0; trial < c.trials(); trial++ {
+					seed := c.Seed ^ uint64(trial*1000+threads)
+					var pr sssp.ParallelResult
+					elapsed := timeIt(func() {
+						pr = sssp.ParallelWith(g, 0, sssp.ParallelOptions{
+							Threads:         threads,
+							QueueMultiplier: 2,
+							Backend:         backend,
+							Seed:            seed,
+						})
+					})
+					if !sssp.Equal(pr.Dist, exact.Dist) {
+						panic("experiments: parallel SSSP produced wrong distances")
+					}
+					ov.Add(float64(pr.Processed) / float64(exact.Reached))
+					ops.Add(float64(pr.Popped) / elapsed.Seconds())
+					sp.Add(seqTime.Seconds() / elapsed.Seconds())
+					ms.Add(float64(elapsed.Milliseconds()))
+				}
+				res.Rows = append(res.Rows, BackendsRow{
+					Graph:     fam.Name,
+					Backend:   string(backend),
+					Threads:   threads,
+					Overhead:  ov.Mean(),
+					OverheadE: ov.StdErr(),
+					OpsPerSec: ops.Mean(),
+					Speedup:   sp.Mean(),
+					Millis:    ms.Mean(),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// Render writes the backend-comparison table.
+func (r BackendsResult) Render(w io.Writer) error {
+	t := stats.NewTable("graph", "backend", "threads", "overhead", "stderr", "ops/sec", "speedup", "ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Graph, row.Backend, row.Threads, row.Overhead, row.OverheadE, row.OpsPerSec, row.Speedup, row.Millis)
+	}
+	return t.Render(w)
+}

@@ -9,6 +9,7 @@ package experiments
 import (
 	"runtime"
 
+	"relaxsched/internal/cq"
 	"relaxsched/internal/graph"
 )
 
@@ -24,6 +25,10 @@ type Config struct {
 	GraphScale int
 	// MaxThreads caps the thread sweep (0 = runtime.NumCPU()).
 	MaxThreads int
+	// Backend selects the concurrent queue the parallel experiments run on
+	// (zero value = the default MultiQueue). The Backends experiment
+	// ignores this and sweeps every backend.
+	Backend cq.Backend
 }
 
 // DefaultConfig returns the full-scale configuration.

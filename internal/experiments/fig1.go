@@ -40,7 +40,14 @@ func Fig1(c Config) Fig1Result {
 			for trial := 0; trial < c.trials(); trial++ {
 				seed := c.Seed ^ uint64(trial*1000+threads)
 				var pr sssp.ParallelResult
-				elapsed := timeIt(func() { pr = sssp.Parallel(g, 0, threads, 2, seed) })
+				elapsed := timeIt(func() {
+					pr = sssp.ParallelWith(g, 0, sssp.ParallelOptions{
+						Threads:         threads,
+						QueueMultiplier: 2,
+						Backend:         c.Backend,
+						Seed:            seed,
+					})
+				})
 				if !sssp.Equal(pr.Dist, exact.Dist) {
 					panic("experiments: parallel SSSP produced wrong distances")
 				}

@@ -4,18 +4,21 @@ import (
 	"io"
 
 	"relaxsched/internal/core"
+	"relaxsched/internal/cq"
 	"relaxsched/internal/stats"
 )
 
 // ParIncRow is one point of the parallel-incremental-execution experiment
 // (extension): the two randomized incremental algorithms executed by
-// goroutines over a concurrent MultiQueue, with wasted pops counted. This
-// is the concurrent regime the paper's Section 4 abstracts; the expected
-// shape is the same as the sequential model's (waste grows with the
-// effective relaxation, i.e. with threads x multiplier, and stays small
-// relative to n for these shallow-dependency algorithms).
+// goroutines over a concurrent relaxed queue, with wasted pops counted.
+// This is the concurrent regime the paper's Section 4 abstracts; the
+// expected shape is the same as the sequential model's (waste grows with
+// the effective relaxation, i.e. with threads x multiplier, and stays small
+// relative to n for these shallow-dependency algorithms). The Backend
+// column makes the queue designs directly comparable on identical DAGs.
 type ParIncRow struct {
 	Algo      Algorithm
+	Backend   string
 	N         int
 	Threads   int
 	Extra     float64
@@ -23,41 +26,56 @@ type ParIncRow struct {
 	ExtraRate float64 // Extra / N
 }
 
-// ParIncResult holds the thread sweep per algorithm.
+// ParIncResult holds the thread sweep per algorithm and backend.
 type ParIncResult struct {
 	Rows []ParIncRow
 }
 
-// ParInc sweeps thread counts for both incremental algorithms.
+// ParInc sweeps thread counts for both incremental algorithms across every
+// concurrent queue backend (or only c.Backend when one is selected).
 func ParInc(c Config) (ParIncResult, error) {
 	var res ParIncResult
 	n := 64000 / c.scale()
 	if n < 500 {
 		n = 500
 	}
+	backends := cq.Backends()
+	if c.Backend != "" {
+		backends = []cq.Backend{c.Backend}
+	}
 	for _, algo := range []Algorithm{AlgoSort, AlgoDelaunay} {
-		for _, threads := range c.threadSweep() {
-			var s stats.Sample
-			for trial := 0; trial < c.trials(); trial++ {
-				dag, err := buildDAG(algo, n, c.Seed+uint64(trial*4999+1))
-				if err != nil {
-					return res, err
-				}
-				run, err := core.ParallelRun(dag, core.ParallelOptions{
-					Threads:         threads,
-					QueueMultiplier: 2,
-					Seed:            c.Seed + uint64(trial*31+threads),
-				})
-				if err != nil {
-					return res, err
-				}
-				s.Add(float64(run.ExtraSteps))
+		// DAGs are deterministic per (algo, trial) and read-only in
+		// ParallelRun; build each once and share it across the backend and
+		// thread sweeps.
+		dags := make([]*core.DAG, c.trials())
+		for trial := range dags {
+			dag, err := buildDAG(algo, n, c.Seed+uint64(trial*4999+1))
+			if err != nil {
+				return res, err
 			}
-			res.Rows = append(res.Rows, ParIncRow{
-				Algo: algo, N: n, Threads: threads,
-				Extra: s.Mean(), ExtraErr: s.StdErr(),
-				ExtraRate: s.Mean() / float64(n),
-			})
+			dags[trial] = dag
+		}
+		for _, backend := range backends {
+			for _, threads := range c.threadSweep() {
+				var s stats.Sample
+				for trial := 0; trial < c.trials(); trial++ {
+					run, err := core.ParallelRun(dags[trial], core.ParallelOptions{
+						Threads:         threads,
+						QueueMultiplier: 2,
+						Backend:         backend,
+						Seed:            c.Seed + uint64(trial*31+threads),
+					})
+					if err != nil {
+						return res, err
+					}
+					s.Add(float64(run.ExtraSteps))
+				}
+				res.Rows = append(res.Rows, ParIncRow{
+					Algo: algo, Backend: string(backend), N: n, Threads: threads,
+					Extra: s.Mean(), ExtraErr: s.StdErr(),
+					ExtraRate: s.Mean() / float64(n),
+				})
+			}
 		}
 	}
 	return res, nil
@@ -65,9 +83,9 @@ func ParInc(c Config) (ParIncResult, error) {
 
 // Render writes the parallel-incremental table.
 func (r ParIncResult) Render(w io.Writer) error {
-	t := stats.NewTable("algo", "n", "threads", "extra-pops", "stderr", "extra/n")
+	t := stats.NewTable("algo", "backend", "n", "threads", "extra-pops", "stderr", "extra/n")
 	for _, row := range r.Rows {
-		t.AddRow(string(row.Algo), row.N, row.Threads, row.Extra, row.ExtraErr, row.ExtraRate)
+		t.AddRow(string(row.Algo), row.Backend, row.N, row.Threads, row.Extra, row.ExtraErr, row.ExtraRate)
 	}
 	return t.Render(w)
 }

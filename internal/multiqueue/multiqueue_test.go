@@ -1,7 +1,6 @@
 package multiqueue
 
 import (
-	"sync"
 	"testing"
 	"testing/quick"
 
@@ -170,137 +169,4 @@ func TestMultiQueueRankBoundedByLiveTasks(t *testing.T) {
 	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
 	}
-}
-
-func TestConcurrentSequentialUse(t *testing.T) {
-	c := NewConcurrent(4)
-	r := rng.New(1)
-	for i := 0; i < 100; i++ {
-		c.Push(r, int64(i), int64(100-i))
-	}
-	if c.Len() != 100 {
-		t.Fatalf("Len = %d", c.Len())
-	}
-	seen := 0
-	for {
-		_, _, ok := c.Pop(r)
-		if !ok {
-			break
-		}
-		seen++
-	}
-	if seen != 100 {
-		t.Fatalf("popped %d, want 100", seen)
-	}
-}
-
-func TestConcurrentSingleQueueOrdering(t *testing.T) {
-	c := NewConcurrent(1)
-	r := rng.New(2)
-	prios := []int64{5, 1, 4, 2, 3}
-	for _, p := range prios {
-		c.Push(r, p, p)
-	}
-	for want := int64(1); want <= 5; want++ {
-		_, p, ok := c.Pop(r)
-		if !ok || p != want {
-			t.Fatalf("got %d (ok=%v), want %d", p, ok, want)
-		}
-	}
-}
-
-func TestConcurrentParallelStress(t *testing.T) {
-	// Many goroutines push and pop; totals must balance and nothing may be
-	// lost. Run with -race in CI for the full effect.
-	const (
-		goroutines = 8
-		perG       = 5000
-	)
-	c := NewConcurrent(2 * goroutines)
-	var wg sync.WaitGroup
-	var popped [goroutines]int64
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			r := rng.New(uint64(g) + 1)
-			for i := 0; i < perG; i++ {
-				c.Push(r, int64(g*perG+i), int64(r.Intn(1<<20)))
-				if i%2 == 1 {
-					if _, _, ok := c.Pop(r); ok {
-						popped[g]++
-					}
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
-	var total int64
-	for g := range popped {
-		total += popped[g]
-	}
-	// Drain the rest.
-	r := rng.New(99)
-	for {
-		_, _, ok := c.Pop(r)
-		if !ok {
-			break
-		}
-		total++
-	}
-	if total != goroutines*perG {
-		t.Fatalf("popped %d total, want %d", total, goroutines*perG)
-	}
-	if c.Len() != 0 {
-		t.Fatalf("Len = %d after drain", c.Len())
-	}
-}
-
-func TestConcurrentValuesPreserved(t *testing.T) {
-	c := NewConcurrent(4)
-	r := rng.New(7)
-	const n = 2000
-	for i := 0; i < n; i++ {
-		c.Push(r, int64(i), int64(i%7))
-	}
-	seen := make([]bool, n)
-	for {
-		v, _, ok := c.Pop(r)
-		if !ok {
-			break
-		}
-		if seen[v] {
-			t.Fatalf("value %d popped twice", v)
-		}
-		seen[v] = true
-	}
-	for i, s := range seen {
-		if !s {
-			t.Fatalf("value %d lost", i)
-		}
-	}
-}
-
-func TestConcurrentReservedPriorityPanics(t *testing.T) {
-	c := NewConcurrent(1)
-	r := rng.New(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	c.Push(r, 0, emptyTop)
-}
-
-func BenchmarkConcurrentPushPop(b *testing.B) {
-	c := NewConcurrent(16)
-	b.RunParallel(func(pb *testing.PB) {
-		r := rng.New(uint64(b.N) + 12345)
-		i := int64(0)
-		for pb.Next() {
-			c.Push(r, i, i%1024)
-			c.Pop(r)
-			i++
-		}
-	})
 }

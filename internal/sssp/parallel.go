@@ -5,10 +5,24 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"relaxsched/internal/cq"
 	"relaxsched/internal/graph"
-	"relaxsched/internal/multiqueue"
 	"relaxsched/internal/rng"
 )
+
+// ParallelOptions configure a concurrent SSSP run.
+type ParallelOptions struct {
+	// Threads is the number of worker goroutines (>= 1).
+	Threads int
+	// QueueMultiplier is the relaxation multiplier of the concurrent queue
+	// (>= 1; the paper uses 2 for Figure 1 and sweeps it in Figure 2).
+	QueueMultiplier int
+	// Backend selects the concurrent queue implementation; the zero value
+	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
+	Backend cq.Backend
+	// Seed drives the queue randomness.
+	Seed uint64
+}
 
 // ParallelResult carries the output and work accounting of a concurrent
 // SSSP run (Section 7 of the paper).
@@ -35,22 +49,37 @@ func (r ParallelResult) Overhead() float64 {
 	return float64(r.Processed) / float64(r.Reached)
 }
 
-// Parallel runs SSSP from src with the given number of worker goroutines
-// over a concurrent MultiQueue with queueMultiplier*threads internal queues
-// (the paper uses multiplier 2 for Figure 1 and sweeps it in Figure 2).
+// Parallel runs SSSP from src with worker goroutines over a concurrent
+// MultiQueue — the paper's Section 7 configuration. It is shorthand for
+// ParallelWith with the default backend.
+func Parallel(g *graph.Graph, src, threads, queueMultiplier int, seed uint64) ParallelResult {
+	return ParallelWith(g, src, ParallelOptions{
+		Threads:         threads,
+		QueueMultiplier: queueMultiplier,
+		Seed:            seed,
+	})
+}
+
+// ParallelWith runs SSSP from src with opts.Threads worker goroutines over
+// the selected concurrent relaxed queue backend.
 //
 // Workers share an atomic tentative-distance array. Since the concurrent
-// MultiQueue has no DecreaseKey, an improved distance inserts a fresh
+// queues have no DecreaseKey, an improved distance inserts a fresh
 // (vertex, dist) pair and stale pairs are discarded on pop via the
 // curDist > dist[v] check of Algorithm 3. Termination uses an in-flight
 // task counter: a worker exits only when the queue looks empty and no task
 // is pending anywhere.
-func Parallel(g *graph.Graph, src, threads, queueMultiplier int, seed uint64) ParallelResult {
+func ParallelWith(g *graph.Graph, src int, opts ParallelOptions) ParallelResult {
+	threads := opts.Threads
 	if threads < 1 {
 		panic("sssp: Parallel needs threads >= 1")
 	}
-	if queueMultiplier < 1 {
+	if opts.QueueMultiplier < 1 {
 		panic("sssp: Parallel needs queueMultiplier >= 1")
+	}
+	mq, err := cq.New(opts.Backend, threads, opts.QueueMultiplier)
+	if err != nil {
+		panic("sssp: " + err.Error())
 	}
 	n := g.NumNodes
 	dist := make([]atomic.Int64, n)
@@ -59,8 +88,7 @@ func Parallel(g *graph.Graph, src, threads, queueMultiplier int, seed uint64) Pa
 	}
 	dist[src].Store(0)
 
-	mq := multiqueue.NewConcurrent(threads * queueMultiplier)
-	seedRng := rng.New(seed)
+	seedRng := rng.New(opts.Seed)
 	mq.Push(seedRng, int64(src), 0)
 
 	var pending atomic.Int64 // queued-but-unprocessed pairs

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"relaxsched/internal/cq"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/multiqueue"
 	"relaxsched/internal/rng"
@@ -254,5 +255,26 @@ func BenchmarkParallelRandom8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Parallel(g, 0, 8, 2, uint64(i))
+	}
+}
+
+func TestParallelWithAcrossBackends(t *testing.T) {
+	// Every cq backend must produce exact distances; only overhead and
+	// timing may differ between them.
+	g := graph.Random(3000, 12000, 100, 77)
+	exact := Dijkstra(g, 0)
+	for _, backend := range cq.Backends() {
+		for _, threads := range []int{1, 4} {
+			res := ParallelWith(g, 0, ParallelOptions{
+				Threads: threads, QueueMultiplier: 2, Backend: backend, Seed: 5,
+			})
+			if !Equal(exact.Dist, res.Dist) {
+				t.Fatalf("%s @%d threads: wrong distances", backend, threads)
+			}
+			if res.Processed < exact.Reached {
+				t.Fatalf("%s @%d threads: processed %d < reachable %d",
+					backend, threads, res.Processed, exact.Reached)
+			}
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"relaxsched/internal/bnb"
 	"relaxsched/internal/bstsort"
 	"relaxsched/internal/core"
+	"relaxsched/internal/cq"
 	"relaxsched/internal/delaunay"
 	"relaxsched/internal/geom"
 	"relaxsched/internal/graph"
@@ -91,11 +92,30 @@ func RunIncremental(dag *DAG, s Scheduler, opts RunOptions) (RunResult, error) {
 	return core.Run(dag, s, opts)
 }
 
-// ParallelRunOptions configure RunIncrementalParallel.
+// QueueBackend names a concurrent relaxed-queue implementation used by the
+// parallel execution paths (RunIncrementalParallel, ParallelSSSP). The zero
+// value selects the default backend.
+type QueueBackend = cq.Backend
+
+const (
+	// BackendMultiQueue is the lock-per-queue MultiQueue with 2-choice pops
+	// (the paper's Section 7 structure; the default).
+	BackendMultiQueue = cq.MultiQueueBackend
+	// BackendSprayList is the lazy lock-based skip list with spray-height
+	// pops (SprayList, PPoPP 2015).
+	BackendSprayList = cq.SprayListBackend
+)
+
+// QueueBackends returns every available concurrent queue backend, default
+// first.
+func QueueBackends() []QueueBackend { return cq.Backends() }
+
+// ParallelRunOptions configure RunIncrementalParallel. Its Backend field
+// selects the concurrent queue implementation.
 type ParallelRunOptions = core.ParallelOptions
 
 // RunIncrementalParallel executes the task set with worker goroutines over
-// a concurrent MultiQueue — the concurrent analogue of Algorithm 2.
+// a concurrent relaxed queue — the concurrent analogue of Algorithm 2.
 // Blocked tasks are re-inserted, and every pop counts as a step, so
 // ExtraSteps again measures speculation waste.
 func RunIncrementalParallel(dag *DAG, opts ParallelRunOptions) (RunResult, error) {
@@ -185,9 +205,22 @@ var errNoDecreaseKey = noDecreaseKeyError{}
 
 // ParallelSSSP runs SSSP with the given number of goroutines over a
 // concurrent MultiQueue with queueMultiplier queues per thread (the
-// paper's Section 7 implementation).
+// paper's Section 7 implementation). Use ParallelSSSPWith to select a
+// different queue backend.
 func ParallelSSSP(g *Graph, src, threads, queueMultiplier int, seed uint64) ParallelSSSPResult {
 	return sssp.Parallel(g, src, threads, queueMultiplier, seed)
+}
+
+// ParallelSSSPOptions configure ParallelSSSPWith; the Backend field selects
+// the concurrent queue implementation.
+type ParallelSSSPOptions = sssp.ParallelOptions
+
+// ParallelSSSPWith runs SSSP with worker goroutines over the selected
+// concurrent relaxed-queue backend. Like ParallelSSSP it panics on invalid
+// options (Threads or QueueMultiplier < 1, unknown Backend); validate
+// runtime input with QueueBackend.Valid first.
+func ParallelSSSPWith(g *Graph, src int, opts ParallelSSSPOptions) ParallelSSSPResult {
+	return sssp.ParallelWith(g, src, opts)
 }
 
 // Point is a point in the plane.

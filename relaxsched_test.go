@@ -236,3 +236,39 @@ func TestFacadeTransactions(t *testing.T) {
 		t.Fatalf("commits %d", res.Commits)
 	}
 }
+
+func TestFacadeQueueBackends(t *testing.T) {
+	backends := relaxsched.QueueBackends()
+	if len(backends) < 2 {
+		t.Fatalf("QueueBackends returned %d backends, want >= 2", len(backends))
+	}
+	if backends[0] != relaxsched.BackendMultiQueue {
+		t.Fatalf("default backend is %q, want %q", backends[0], relaxsched.BackendMultiQueue)
+	}
+	g := relaxsched.RandomGraph(400, 2000, 100, 7)
+	exact := relaxsched.Dijkstra(g, 0)
+	for _, backend := range backends {
+		par := relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{
+			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 9,
+		})
+		for i := range exact.Dist {
+			if par.Dist[i] != exact.Dist[i] {
+				t.Fatalf("%s: parallel disagrees with Dijkstra", backend)
+			}
+		}
+		keys := make([]int64, 500)
+		for i := range keys {
+			keys[i] = int64((i * 2654435761) % 100003)
+		}
+		dag := relaxsched.BSTSortDAG(keys)
+		run, err := relaxsched.RunIncrementalParallel(dag, relaxsched.ParallelRunOptions{
+			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if run.Processed != 500 {
+			t.Fatalf("%s: processed %d of 500", backend, run.Processed)
+		}
+	}
+}
