@@ -10,8 +10,10 @@
 package relaxsched_test
 
 import (
+	"fmt"
 	"testing"
 
+	"relaxsched"
 	"relaxsched/internal/experiments"
 )
 
@@ -224,6 +226,58 @@ func BenchmarkAblation(b *testing.B) {
 	for _, row := range last.Rows {
 		if row.Scheduler == "mq8-c2" {
 			b.ReportMetric(row.MeanRank, "mq8-c2-mean-rank")
+		}
+	}
+}
+
+// BenchmarkParallelSSSP sweeps the parallel engine's two hot-path axes —
+// queue backend and worker batch size — on one road-like graph, so
+// `go test -bench=ParallelSSSP` shows the batch amortization before/after
+// locally. Batch 1 is the per-element PR-1 protocol; larger batches
+// amortize one lock acquisition or CAS per batch. The reported metric is
+// pops per second of wall time (the same ops/sec the batchsweep experiment
+// records in BENCH_PR2.json).
+func BenchmarkParallelSSSP(b *testing.B) {
+	g := relaxsched.RoadGraph(120, 120, 1000, 100, 7)
+	for _, backend := range relaxsched.QueueBackends() {
+		for _, batch := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/batch%d", backend, batch), func(b *testing.B) {
+				var popped int64
+				for i := 0; i < b.N; i++ {
+					res := relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{
+						Threads:         4,
+						QueueMultiplier: 2,
+						Backend:         backend,
+						BatchSize:       batch,
+						Seed:            uint64(i),
+					})
+					popped += res.Popped
+				}
+				b.ReportMetric(float64(popped)/b.Elapsed().Seconds(), "pops/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkBatchSweep regenerates the batchsweep experiment (the
+// BENCH_PR2.json trajectory) at benchmark scale; the reported metrics are
+// the road-graph ops/sec of the default backend unbatched vs. at the
+// largest batch, i.e. the headline amortization win.
+func BenchmarkBatchSweep(b *testing.B) {
+	c := benchConfig()
+	var last experiments.BatchSweepResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.BatchSweep(c)
+	}
+	maxBatch := experiments.BatchSweepSizes[len(experiments.BatchSweepSizes)-1]
+	for _, row := range last.Rows {
+		if row.Threads == c.MaxThreads && row.Graph == "road" && row.Backend == "multiqueue" {
+			switch row.Batch {
+			case 1:
+				b.ReportMetric(row.OpsPerSec, "unbatched-ops/sec")
+			case maxBatch:
+				b.ReportMetric(row.OpsPerSec, fmt.Sprintf("batch%d-ops/sec", maxBatch))
+			}
 		}
 	}
 }

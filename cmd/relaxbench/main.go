@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	relaxbench [flags] <experiment>
+//	relaxbench [flags] <experiment> [<experiment>...]
 //
 // Experiments:
 //
@@ -14,6 +14,7 @@
 //	fig1-speedup  Figure 1 right only
 //	fig2          Figure 2: overhead vs. queue multiplier
 //	backends      concurrent queue backends head-to-head on parallel SSSP
+//	batchsweep    batch size x backend x threads on parallel SSSP
 //	thm33         Theorem 3.3: extra steps vs. n and k (adversarial)
 //	thm51         Theorem 5.1 / Claim 1: MultiQueue lower bound
 //	thm61         Theorem 6.1: relaxed SSSP pop counts
@@ -27,9 +28,11 @@
 // Flags control workload scale; -scale 1 is the full-size run used in
 // EXPERIMENTS.md, larger values shrink the workloads proportionally.
 // -backend runs the parallel experiments on a specific concurrent queue
-// (the backends experiment always sweeps all of them), and -json replaces
-// the text tables with one machine-readable JSON object per experiment on
-// stdout, suitable for recording BENCH_*.json trajectories.
+// (the backends and batchsweep experiments always sweep all of them), and
+// -json replaces the text tables with one machine-readable JSON object per
+// experiment on stdout. -out FILE additionally writes the same JSON-lines
+// stream to FILE regardless of -json, which is how the per-PR BENCH_*.json
+// trajectories at the repository root are recorded (see scripts/bench.sh).
 package main
 
 import (
@@ -51,13 +54,14 @@ func main() {
 		maxThreads = flag.Int("maxthreads", 0, "cap the thread sweep (0 = NumCPU)")
 		backend    = flag.String("backend", "", fmt.Sprintf("concurrent queue backend for parallel experiments (%v; empty = default)", cq.Backends()))
 		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
+		outPath    = flag.String("out", "", "also write the JSON-lines stream to this file (e.g. BENCH_PR2.json)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: relaxbench [flags] <experiment>\nrun 'go doc relaxsched/cmd/relaxbench' for the experiment list\n")
+		fmt.Fprintf(os.Stderr, "usage: relaxbench [flags] <experiment> [<experiment>...]\nrun 'go doc relaxsched/cmd/relaxbench' for the experiment list\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -72,16 +76,39 @@ func main() {
 		MaxThreads: *maxThreads,
 		Backend:    cq.Backend(*backend),
 	}
-	if err := run(flag.Arg(0), cfg, output{json: *jsonOut, w: os.Stdout}); err != nil {
-		fmt.Fprintf(os.Stderr, "relaxbench: %v\n", err)
-		os.Exit(1)
+	// Validate every experiment name before touching the -out file: a typo
+	// must not truncate a previously recorded trajectory.
+	for _, exp := range flag.Args() {
+		if !knownExperiment(exp) {
+			fmt.Fprintf(os.Stderr, "relaxbench: unknown experiment %q\n", exp)
+			os.Exit(2)
+		}
+	}
+	out := output{json: *jsonOut, w: os.Stdout}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relaxbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out.record = f
+	}
+	for _, exp := range flag.Args() {
+		if err := run(exp, cfg, out); err != nil {
+			fmt.Fprintf(os.Stderr, "relaxbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
-// output selects between human-readable tables and machine-readable JSON.
+// output selects between human-readable tables and machine-readable JSON
+// on stdout; record, if non-nil, additionally receives the JSON-lines
+// stream (the per-PR benchmark-trajectory file).
 type output struct {
-	json bool
-	w    io.Writer
+	json   bool
+	w      io.Writer
+	record io.Writer
 }
 
 // renderable is any experiment result that can print itself as a table.
@@ -91,17 +118,35 @@ type renderable interface {
 
 // emit writes one experiment result: a titled text table, or in JSON mode a
 // single {"experiment": ..., "rows"/...: ...} object per line, so `relaxbench
-// -json all` produces a JSON-lines stream.
+// -json all` produces a JSON-lines stream. The record file, when set,
+// always receives the JSON form.
 func (o output) emit(name, title string, res renderable) error {
+	if err := o.recordJSON(name, res); err != nil {
+		return err
+	}
 	if o.json {
-		return o.emitJSON(name, res)
+		return encodeJSON(o.w, name, res)
 	}
 	fmt.Fprintf(o.w, "\n== %s ==\n\n", title)
 	return res.Render(o.w)
 }
 
 func (o output) emitJSON(name string, result any) error {
-	return json.NewEncoder(o.w).Encode(struct {
+	if err := o.recordJSON(name, result); err != nil {
+		return err
+	}
+	return encodeJSON(o.w, name, result)
+}
+
+func (o output) recordJSON(name string, result any) error {
+	if o.record == nil {
+		return nil
+	}
+	return encodeJSON(o.record, name, result)
+}
+
+func encodeJSON(w io.Writer, name string, result any) error {
+	return json.NewEncoder(w).Encode(struct {
 		Experiment string `json:"experiment"`
 		Result     any    `json:"result"`
 	}{Experiment: name, Result: result})
@@ -126,21 +171,32 @@ func withErr[R renderable](f func(experiments.Config) (R, error)) func(experimen
 // experimentTable maps experiment names to drivers; fig1 and its variants
 // are dispatched separately (one sweep renders two tables).
 var experimentTable = map[string]experimentSpec{
-	"graphs":    {"Input families (Section 7 sample graphs)", noErr(experiments.Graphs)},
-	"fig2":      {"Figure 2: SSSP relaxation overhead vs. queue multiplier", noErr(func(c experiments.Config) experiments.Fig2Result { return experiments.Fig2(c, nil) })},
-	"backends":  {"Concurrent queue backends head-to-head (parallel SSSP)", noErr(experiments.Backends)},
-	"thm33":     {"Theorem 3.3: extra steps under the adversarial k-relaxed scheduler", withErr(experiments.Thm33)},
-	"thm51":     {"Theorem 5.1 / Claim 1: MultiQueue lower bound (extra steps >= (1/8) ln n)", withErr(experiments.Thm51)},
-	"thm61":     {"Theorem 6.1: relaxed SSSP pops <= n + O(k^2 dmax/wmin)", withErr(experiments.Thm61)},
-	"thm43":     {"Theorem 4.3: transactional aborts O(k^2 (C+k)^2 log n)", withErr(experiments.Thm43)},
-	"ablation":  {"Ablation: scheduler families on identical workloads", withErr(experiments.Ablation)},
-	"parinc":    {"Extension: parallel incremental execution (goroutines over concurrent relaxed queues)", withErr(experiments.ParInc)},
-	"iterative": {"Extension: greedy iterative algorithms (MIS, coloring) under relaxed schedulers", withErr(experiments.Iterative)},
-	"bnb":       {"Extension: Karp-Zhang branch-and-bound under relaxed schedulers", withErr(experiments.BnB)},
+	"graphs":     {"Input families (Section 7 sample graphs)", noErr(experiments.Graphs)},
+	"fig2":       {"Figure 2: SSSP relaxation overhead vs. queue multiplier", noErr(func(c experiments.Config) experiments.Fig2Result { return experiments.Fig2(c, nil) })},
+	"backends":   {"Concurrent queue backends head-to-head (parallel SSSP)", noErr(experiments.Backends)},
+	"batchsweep": {"Batch amortization: batch size x backend x threads (parallel SSSP)", noErr(experiments.BatchSweep)},
+	"thm33":      {"Theorem 3.3: extra steps under the adversarial k-relaxed scheduler", withErr(experiments.Thm33)},
+	"thm51":      {"Theorem 5.1 / Claim 1: MultiQueue lower bound (extra steps >= (1/8) ln n)", withErr(experiments.Thm51)},
+	"thm61":      {"Theorem 6.1: relaxed SSSP pops <= n + O(k^2 dmax/wmin)", withErr(experiments.Thm61)},
+	"thm43":      {"Theorem 4.3: transactional aborts O(k^2 (C+k)^2 log n)", withErr(experiments.Thm43)},
+	"ablation":   {"Ablation: scheduler families on identical workloads", withErr(experiments.Ablation)},
+	"parinc":     {"Extension: parallel incremental execution (goroutines over concurrent relaxed queues)", withErr(experiments.ParInc)},
+	"iterative":  {"Extension: greedy iterative algorithms (MIS, coloring) under relaxed schedulers", withErr(experiments.Iterative)},
+	"bnb":        {"Extension: Karp-Zhang branch-and-bound under relaxed schedulers", withErr(experiments.BnB)},
 }
 
 // allOrder is the order `relaxbench all` runs experiments in.
-var allOrder = []string{"graphs", "fig1", "fig2", "backends", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb"}
+var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb"}
+
+// knownExperiment reports whether exp is a name run can dispatch.
+func knownExperiment(exp string) bool {
+	switch exp {
+	case "fig1", "fig1-overhead", "fig1-speedup", "all":
+		return true
+	}
+	_, ok := experimentTable[exp]
+	return ok
+}
 
 func run(exp string, cfg experiments.Config, out output) error {
 	switch exp {
@@ -173,15 +229,18 @@ func run(exp string, cfg experiments.Config, out output) error {
 // sharing one sweep.
 func runFig1(cfg experiments.Config, out output, overheads, speedups bool) error {
 	res := experiments.Fig1(cfg)
+	name := "fig1"
+	switch {
+	case overheads && !speedups:
+		name = "fig1-overhead"
+	case speedups && !overheads:
+		name = "fig1-speedup"
+	}
 	if out.json {
-		name := "fig1"
-		switch {
-		case overheads && !speedups:
-			name = "fig1-overhead"
-		case speedups && !overheads:
-			name = "fig1-speedup"
-		}
 		return out.emitJSON(name, res)
+	}
+	if err := out.recordJSON(name, res); err != nil {
+		return err
 	}
 	if overheads {
 		fmt.Fprintf(out.w, "\n== %s ==\n\n", "Figure 1 (left): SSSP relaxation overhead vs. threads (queues = 2x threads)")

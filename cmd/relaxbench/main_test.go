@@ -16,7 +16,7 @@ import (
 func TestRunDispatchAllExperiments(t *testing.T) {
 	cfg := experiments.Config{Seed: 1, Trials: 1, GraphScale: 128, MaxThreads: 2}
 	for _, exp := range []string{
-		"graphs", "fig1", "fig1-overhead", "fig1-speedup", "fig2", "backends",
+		"graphs", "fig1", "fig1-overhead", "fig1-speedup", "fig2", "backends", "batchsweep",
 		"thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb",
 	} {
 		if err := run(exp, cfg, output{w: io.Discard}); err != nil {
@@ -93,8 +93,88 @@ func TestBackendsExperimentCoversAllBackends(t *testing.T) {
 	}
 }
 
+// The record writer must receive the JSON-lines stream even in text mode:
+// that is how BENCH_*.json trajectories are captured alongside readable
+// output.
+func TestRecordStreamAlwaysJSON(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Trials: 1, GraphScale: 512, MaxThreads: 2}
+	var text, record bytes.Buffer
+	exps := []string{"graphs", "fig1", "batchsweep"}
+	for _, exp := range exps {
+		if err := run(exp, cfg, output{w: &text, record: &record}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	if !bytes.Contains(text.Bytes(), []byte("==")) {
+		t.Fatal("stdout lost its text tables when a record writer was set")
+	}
+	sc := bufio.NewScanner(&record)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var seen []string
+	for sc.Scan() {
+		var env struct {
+			Experiment string          `json:"experiment"`
+			Result     json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("bad JSON line in record stream: %v\n%s", err, sc.Text())
+		}
+		if len(env.Result) == 0 || string(env.Result) == "null" {
+			t.Fatalf("%s: empty result payload in record stream", env.Experiment)
+		}
+		seen = append(seen, env.Experiment)
+	}
+	if len(seen) != len(exps) {
+		t.Fatalf("record stream has %d objects %v, want %d", len(seen), seen, len(exps))
+	}
+}
+
+// The batchsweep experiment must cover every backend and carry the
+// unbatched baseline, so a recorded trajectory is self-contained.
+func TestBatchSweepCoversBackendsAndBaseline(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Trials: 1, GraphScale: 512, MaxThreads: 2}
+	res := experiments.BatchSweep(cfg)
+	backends := map[string]bool{}
+	baseline := false
+	for _, row := range res.Rows {
+		backends[row.Backend] = true
+		if row.Batch == 1 {
+			baseline = true
+		}
+		if row.OpsPerSec <= 0 {
+			t.Fatalf("%s/%s batch %d: non-positive ops/sec", row.Graph, row.Backend, row.Batch)
+		}
+	}
+	for _, b := range cq.Backends() {
+		if !backends[string(b)] {
+			t.Fatalf("backend %s missing from batchsweep", b)
+		}
+	}
+	if !baseline {
+		t.Fatal("batchsweep lacks the batch=1 baseline")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("nope", experiments.SmokeConfig(), output{w: io.Discard}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// knownExperiment gates -out file creation, so it must accept exactly what
+// run dispatches: every table entry, the fig1 variants, and "all".
+func TestKnownExperimentMatchesDispatch(t *testing.T) {
+	for name := range experimentTable {
+		if !knownExperiment(name) {
+			t.Errorf("table experiment %q reported unknown", name)
+		}
+	}
+	for _, name := range []string{"fig1", "fig1-overhead", "fig1-speedup", "all"} {
+		if !knownExperiment(name) {
+			t.Errorf("dispatchable experiment %q reported unknown", name)
+		}
+	}
+	if knownExperiment("nope") {
+		t.Error("bogus experiment reported known")
 	}
 }

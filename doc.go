@@ -17,11 +17,15 @@
 //     heap-backed scheduler, an adversarial k-relaxed scheduler, a uniform
 //     top-k scheduler, a deterministic k-LSM-style batch scheduler, the
 //     MultiQueue, and a SprayList;
-//   - a pluggable concurrent relaxed-queue layer (internal/cq) with two
-//     backends — the lock-per-queue MultiQueue with 2-choice pops and a
-//     lazy lock-based skip list with spray-height pops — selectable on
-//     every parallel path via a QueueBackend, plus a shared conformance
-//     and race-stress suite (cqtest) that any future backend must pass;
+//   - a pluggable concurrent relaxed-queue layer (internal/cq) with three
+//     backends — the lock-per-queue MultiQueue with 2-choice pops, a lazy
+//     lock-based skip list with spray-height pops, and a lock-free
+//     MultiQueue whose pops CAS-steal the top of a Treiber-style immutable
+//     pairing heap — selectable on every parallel path via a QueueBackend,
+//     plus a batch layer (PushBatch/PopBatch) that amortizes one lock
+//     acquisition or CAS over a whole batch of pairs, and a shared
+//     conformance and race-stress suite (cqtest) that any future backend
+//     must pass through both the singleton and the batch path;
 //   - a rank/fairness Auditor measuring the relaxation any scheduler
 //     actually achieves;
 //   - the generic relaxed execution framework for incremental algorithms
@@ -31,7 +35,10 @@
 //     (Bowyer-Watson with a conflict graph and exact predicates);
 //   - SSSP four ways: Dijkstra, Delta-stepping, relaxed sequential-model
 //     Dijkstra (the paper's Algorithm 3), and a parallel goroutine
-//     implementation over any concurrent queue backend;
+//     implementation over any concurrent queue backend, with optional
+//     batch-amortized workers (per-worker buffers flushed batch-at-a-time)
+//     and contention-free termination detection (cache-padded per-worker
+//     in-flight counters, internal/inflight);
 //   - a transactional-model simulator (aborts under optimistic concurrent
 //     execution, Section 4 of the paper);
 //   - graph generators (uniform random, road-like grid, social-like
@@ -43,12 +50,16 @@
 //	res := relaxsched.ParallelSSSP(g, 0, 8, 2, 42)
 //	fmt.Printf("overhead %.3f\n", res.Overhead())
 //
-// To run the same computation over a different concurrent queue design:
+// To run the same computation over a different concurrent queue design,
+// with workers moving 32 pairs per queue operation:
 //
 //	res = relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{
-//		Threads: 8, QueueMultiplier: 2, Backend: relaxsched.BackendSprayList, Seed: 42,
+//		Threads: 8, QueueMultiplier: 2, Backend: relaxsched.BackendLockFree,
+//		BatchSize: 32, Seed: 42,
 //	})
 //
 // See examples/ for runnable programs and cmd/relaxbench for the
-// experiment harness that regenerates every table and figure of the paper.
+// experiment harness that regenerates every table and figure of the paper
+// and records per-PR benchmark trajectories (BENCH_*.json; see the README
+// section "Recording benchmark trajectories").
 package relaxsched

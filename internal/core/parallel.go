@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/inflight"
 	"relaxsched/internal/rng"
 )
 
@@ -21,6 +22,11 @@ type ParallelOptions struct {
 	// Backend selects the concurrent queue implementation; the zero value
 	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
 	Backend cq.Backend
+	// BatchSize is the number of labels a worker moves per queue
+	// operation: pops arrive in batches and re-insertions of blocked tasks
+	// accumulate in a per-worker buffer flushed through PushBatch. Values
+	// <= 1 disable batching (one queue operation per label).
+	BatchSize int
 	// Seed drives the queue randomness.
 	Seed uint64
 	// OnProcess, if non-nil, is invoked once per task in processing order.
@@ -37,6 +43,14 @@ type ParallelOptions struct {
 // concurrent analogue of Algorithm 2 — the regime the paper's Section 4
 // transactional model abstracts — with re-insertion playing the role of
 // the sequential model's "task stays in the scheduler".
+//
+// Termination uses cache-padded per-worker in-flight counters (see
+// internal/inflight), and processing-order slots are claimed with an
+// atomic order ticket, so runs without an OnProcess callback share no
+// contended line on the hot path: the only global synchronization left is
+// the queue itself. With OnProcess set, callback invocations (and their
+// order tickets) serialize under a mutex exactly as documented on the
+// option.
 //
 // The returned Result counts every pop as a step, so ExtraSteps again
 // measures wasted work: pops of tasks that could not be processed yet.
@@ -71,65 +85,135 @@ func ParallelRun(dag *DAG, opts ParallelOptions) (Result, error) {
 		mq.Push(seedRng, int64(i), int64(i))
 	}
 
-	var pending atomic.Int64
-	pending.Store(int64(n))
-	var steps, processedCount atomic.Int64
-	var procMu sync.Mutex // serializes OnProcess and order collection
-	order := make([]int32, 0, n)
+	counters := inflight.New(opts.Threads)
+	counters.ProduceN(0, int64(n)) // the n seed labels pushed above
+	var steps atomic.Int64
+
+	// Processing-order collection: each processed task claims the next slot
+	// of a pre-sized array via an atomic ticket. Without OnProcess that is
+	// the only write shared between workers (and each slot is written
+	// exactly once); with OnProcess, ticket claim and callback happen under
+	// procMu so the callback observes tasks in slot order.
+	order := make([]int32, n)
+	var ticket atomic.Int64
+	var procMu sync.Mutex
+
+	process := func(label int) {
+		if opts.OnProcess != nil {
+			procMu.Lock()
+			order[ticket.Add(1)-1] = int32(label)
+			opts.OnProcess(label)
+			procMu.Unlock()
+		} else {
+			order[ticket.Add(1)-1] = int32(label)
+		}
+		for _, j := range succs[label] {
+			remaining[j].Add(-1)
+		}
+	}
 
 	var wg sync.WaitGroup
 	for t := 0; t < opts.Threads; t++ {
 		wg.Add(1)
-		go func(r *rng.Xoshiro) {
+		go func(w int, r *rng.Xoshiro) {
 			defer wg.Done()
-			var localSteps int64
-			for {
-				label64, prio, ok := mq.Pop(r)
-				if !ok {
-					if pending.Load() == 0 {
-						break
-					}
-					runtime.Gosched()
-					continue
-				}
-				localSteps++
-				label := int(label64)
-				if remaining[label].Load() > 0 {
-					// Blocked: a dependency is unprocessed. Re-insert and
-					// count the wasted step. Each label has exactly one
-					// live copy, carried by this worker between the pop
-					// and the re-push.
-					mq.Push(r, label64, prio)
-					// Yield so this worker does not hot-spin re-popping the
-					// same blocked task while its dependencies are mid-flight.
-					runtime.Gosched()
-					continue
-				}
-				procMu.Lock()
-				order = append(order, int32(label))
-				if opts.OnProcess != nil {
-					opts.OnProcess(label)
-				}
-				procMu.Unlock()
-				processedCount.Add(1)
-				for _, j := range succs[label] {
-					remaining[j].Add(-1)
-				}
-				pending.Add(-1)
+			if opts.BatchSize > 1 {
+				coreWorkerBatched(mq, counters, remaining, process, w, r, opts.BatchSize, &steps)
+			} else {
+				coreWorker(mq, counters, remaining, process, w, r, &steps)
 			}
-			steps.Add(localSteps)
-		}(seedRng.Split())
+		}(t, seedRng.Split())
 	}
 	wg.Wait()
 
+	processed := ticket.Load()
 	res := Result{
 		Steps:     steps.Load(),
-		Processed: processedCount.Load(),
-		Order:     order,
+		Processed: processed,
+		Order:     order[:processed],
 	}
 	if res.Processed != int64(n) {
 		return res, fmt.Errorf("core: parallel run processed %d of %d tasks", res.Processed, n)
 	}
 	res.ExtraSteps = res.Steps - int64(n)
 	return res, nil
+}
+
+// coreWorker is the per-label (unbatched) worker loop.
+func coreWorker(mq cq.BatchQueue, counters *inflight.Counter, remaining []atomic.Int32,
+	process func(label int), w int, r *rng.Xoshiro, steps *atomic.Int64) {
+	var localSteps int64
+	for {
+		label64, prio, ok := mq.Pop(r)
+		if !ok {
+			if counters.Quiescent() {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		localSteps++
+		label := int(label64)
+		if remaining[label].Load() > 0 {
+			// Blocked: a dependency is unprocessed. Re-insert and count the
+			// wasted step. Each label has exactly one live copy, carried by
+			// this worker between the pop and the re-push.
+			mq.Push(r, label64, prio)
+			// Yield so this worker does not hot-spin re-popping the same
+			// blocked task while its dependencies are mid-flight.
+			runtime.Gosched()
+			continue
+		}
+		process(label)
+		counters.Complete(w)
+	}
+	steps.Add(localSteps)
+}
+
+// coreWorkerBatched is the batch-amortized worker loop: labels arrive up to
+// batch at a time, and blocked labels accumulate in a local re-insertion
+// buffer flushed through PushBatch at the end of every round — one
+// coordination round per batch, and no blocked label is ever parked
+// locally across rounds. That invariant is what makes the bare Quiescent
+// check below safe: the buffer is provably empty whenever PopBatch reports
+// the queue empty. A label's single live copy stays with this worker
+// between the pop and the flush, preserving the no-duplication invariant.
+func coreWorkerBatched(mq cq.BatchQueue, counters *inflight.Counter, remaining []atomic.Int32,
+	process func(label int), w int, r *rng.Xoshiro, batch int, steps *atomic.Int64) {
+	var localSteps int64
+	in := make([]cq.Pair, batch)
+	out := make([]cq.Pair, 0, batch)
+	for {
+		k := mq.PopBatch(r, in)
+		if k == 0 {
+			if counters.Quiescent() {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		blocked := 0
+		for _, p := range in[:k] {
+			localSteps++
+			label := int(p.Value)
+			if remaining[label].Load() > 0 {
+				out = append(out, p)
+				blocked++
+				continue
+			}
+			process(label)
+			counters.Complete(w)
+		}
+		if len(out) > 0 {
+			mq.PushBatch(r, out)
+			out = out[:0]
+		}
+		if blocked == k {
+			// The whole batch was blocked: yield so this worker does not
+			// hot-spin re-popping the same frontier while its dependencies
+			// are mid-flight on other workers.
+			runtime.Gosched()
+		}
+	}
+	steps.Add(localSteps)
 }

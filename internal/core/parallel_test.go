@@ -203,6 +203,86 @@ func TestParallelRunAcrossBackends(t *testing.T) {
 	}
 }
 
+func TestParallelRunBatched(t *testing.T) {
+	// The batch-amortized path must preserve every guarantee of the
+	// singleton path: all tasks processed exactly once, dependency order
+	// respected, on every backend and at several batch sizes.
+	r := rng.New(21)
+	const n = 1500
+	d := randomDAG(n, r)
+	for _, backend := range cq.Backends() {
+		for _, batch := range []int{2, 16, 128} {
+			res, err := ParallelRun(d, ParallelOptions{
+				Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 13,
+			})
+			if err != nil {
+				t.Fatalf("%s/batch%d: %v", backend, batch, err)
+			}
+			if res.Processed != n {
+				t.Fatalf("%s/batch%d: processed %d of %d", backend, batch, res.Processed, n)
+			}
+			pos := make([]int, n)
+			for i, l := range res.Order {
+				pos[l] = i
+			}
+			for j := 0; j < n; j++ {
+				for _, i := range d.Preds[j] {
+					if pos[i] > pos[j] {
+						t.Fatalf("%s/batch%d: task %d processed before ancestor %d", backend, batch, j, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRunBatchedOnProcessSerialized(t *testing.T) {
+	// The OnProcess mutex guarantee must survive batching: callbacks stay
+	// serialized and observe a dependency-respecting order.
+	const n = 1200
+	r := rng.New(31)
+	d := randomDAG(n, r)
+	processedAt := make([]int, n)
+	calls := 0
+	res, err := ParallelRun(d, ParallelOptions{
+		Threads: 4, QueueMultiplier: 2, BatchSize: 32, Seed: 17,
+		OnProcess: func(label int) {
+			processedAt[label] = calls
+			calls++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != n || calls != n {
+		t.Fatalf("processed %d, callbacks %d, want %d", res.Processed, calls, n)
+	}
+	for j := 0; j < n; j++ {
+		for _, i := range d.Preds[j] {
+			if processedAt[i] > processedAt[j] {
+				t.Fatalf("callback for %d ran before ancestor %d", j, i)
+			}
+		}
+	}
+}
+
+func TestParallelRunBatchedChainIsSerial(t *testing.T) {
+	// A chain forces every batch to come back almost entirely blocked; the
+	// re-insertion buffer must keep all labels live until their turn.
+	const n = 200
+	res, err := ParallelRun(chainDAG(n), ParallelOptions{
+		Threads: 4, QueueMultiplier: 2, BatchSize: 16, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range res.Order {
+		if int(l) != i {
+			t.Fatalf("order[%d] = %d", i, l)
+		}
+	}
+}
+
 func TestParallelRunUnknownBackend(t *testing.T) {
 	_, err := ParallelRun(NewDAG(10), ParallelOptions{
 		Threads: 2, QueueMultiplier: 2, Backend: "no-such-queue", Seed: 1,

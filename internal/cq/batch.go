@@ -1,0 +1,88 @@
+package cq
+
+import "relaxsched/internal/rng"
+
+// Pair is one (value, priority) element of a batch operation. Lower
+// priorities are better, exactly as in Queue.Push.
+type Pair struct {
+	Value    int64
+	Priority int64
+}
+
+// BatchQueue extends Queue with amortized bulk operations: one coordination
+// round (lock acquisition, CAS, shard choice) covers a whole batch of pairs
+// instead of a single one. This is the hot-path API of the parallel engine:
+// core.ParallelRun and sssp.ParallelWith buffer relaxations per worker and
+// flush them through PushBatch/PopBatch, so queue-operation cost is paid
+// once per batch rather than once per element (the ARock-style local-buffer
+// amortization named in ROADMAP.md).
+//
+// Backends implement it natively when they can genuinely amortize (the
+// MultiQueue holds one queue lock across the batch; the lock-free
+// MultiQueue folds a batch into a single root CAS). Every queue built by
+// New implements BatchQueue: backends without a native implementation are
+// wrapped in a generic fallback that loops the singleton operations, so
+// callers can always type-assert or use AsBatch.
+//
+// Batch operations follow the singleton contract: PushBatch panics on
+// ReservedPriority, PopBatch returning 0 means the structure *appeared*
+// empty (callers still need their own termination protocol), and batches
+// interleave safely with concurrent singleton Push/Pop.
+type BatchQueue interface {
+	Queue
+	// PushBatch inserts every pair. Backends may place the whole batch in
+	// one internal structure; relaxation quality degrades gracefully with
+	// batch size, it is not an error.
+	PushBatch(r *rng.Xoshiro, pairs []Pair)
+	// PopBatch removes up to len(dst) small-rank pairs into dst and
+	// returns how many were written. 0 means the queue appeared empty.
+	PopBatch(r *rng.Xoshiro, dst []Pair) int
+}
+
+// AsBatch returns q's native BatchQueue when it has one, and otherwise a
+// generic fallback whose batch operations loop the singleton Push/Pop. New
+// already applies it, so queues built through the registry always support
+// the batch API.
+func AsBatch(q Queue) BatchQueue {
+	if bq, ok := q.(BatchQueue); ok {
+		return bq
+	}
+	return &fallbackBatch{q}
+}
+
+// fallbackBatch adapts a singleton-only backend to BatchQueue. It amortizes
+// nothing — each element still pays a full queue operation — but it keeps
+// the engine's batch path uniform across backends so a backend comparison
+// isolates the data structure, not the calling convention.
+type fallbackBatch struct {
+	Queue
+}
+
+func (f *fallbackBatch) PushBatch(r *rng.Xoshiro, pairs []Pair) {
+	// Validate before inserting anything, so a reserved priority panics
+	// with the queue untouched — the same all-or-nothing behaviour as the
+	// native batch implementations.
+	for _, p := range pairs {
+		if p.Priority == ReservedPriority {
+			panic("cq: priority MaxInt64 is reserved")
+		}
+	}
+	for _, p := range pairs {
+		f.Queue.Push(r, p.Value, p.Priority)
+	}
+}
+
+func (f *fallbackBatch) PopBatch(r *rng.Xoshiro, dst []Pair) int {
+	n := 0
+	for n < len(dst) {
+		v, p, ok := f.Queue.Pop(r)
+		if !ok {
+			break
+		}
+		dst[n] = Pair{Value: v, Priority: p}
+		n++
+	}
+	return n
+}
+
+var _ BatchQueue = (*fallbackBatch)(nil)

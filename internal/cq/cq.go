@@ -6,18 +6,26 @@
 // the algorithms (sssp.Parallel) and the experiment harness can compare
 // backends head-to-head instead of hard-wiring one.
 //
-// Two backends ship today:
+// Three backends ship today:
 //
 //   - MultiQueueBackend: the lock-per-queue MultiQueue — threads x multiplier
 //     4-ary heaps, uniform 2-choice pops over cached atomic tops, TryLock with
-//     rerandomization on contention.
+//     bounded rerandomization on contention.
 //   - SprayListBackend: a lazy lock-based skip list (Herlihy-Shavit style
 //     fine-grained locking, logical deletion marks) whose Pop performs a
 //     SprayList-style randomized spray walk instead of removing the head.
+//   - LockFreeBackend: a lock-free MultiQueue — each queue is an immutable
+//     pairing heap behind one atomic root pointer (Treiber-style), and pops
+//     CAS-steal the cached top; no operation ever blocks another.
 //
-// Both are relaxed: Pop returns a small-rank element, not necessarily the
+// All are relaxed: Pop returns a small-rank element, not necessarily the
 // minimum. New backends must pass the shared conformance and race-stress
 // suite in cqtest.
+//
+// On top of the singleton contract sits the batch layer (BatchQueue):
+// PushBatch/PopBatch move whole batches per coordination round. MultiQueue
+// and LockFreeMQ amortize natively; New wraps the rest in a generic
+// fallback so every queue it builds supports the batch API.
 package cq
 
 import (
@@ -79,6 +87,9 @@ const (
 	// SprayListBackend is the lazy lock-based skip list with spray-height
 	// pops (Alistarh, Kopinsky, Li & Shavit, PPoPP 2015).
 	SprayListBackend Backend = "spraylist"
+	// LockFreeBackend is the lock-free MultiQueue: Treiber-style immutable
+	// pairing heaps per queue, CAS-stealing two-choice pops.
+	LockFreeBackend Backend = "lockfree"
 )
 
 // DefaultBackend is used when a Backend field is left at its zero value.
@@ -93,6 +104,7 @@ var registry = []struct {
 }{
 	{MultiQueueBackend, func(t, m int) Queue { return NewMultiQueue(t * m) }},
 	{SprayListBackend, func(t, m int) Queue { return NewSprayList(t * m) }},
+	{LockFreeBackend, func(t, m int) Queue { return NewLockFreeMQ(t * m) }},
 }
 
 // Backends returns every registered backend, default first.
@@ -119,12 +131,16 @@ func (b Backend) Valid() bool {
 }
 
 // New builds a queue of the given backend sized for a run with the given
-// worker count and relaxation multiplier (>= 1 each). For the MultiQueue
+// worker count and relaxation multiplier (>= 1 each). For the MultiQueues
 // the product threads*queueMultiplier is the number of internal queues (the
 // classic configuration uses multiplier 2); for the SprayList it is the
 // simulated contention width p that tunes the spray walk. An empty backend
 // selects DefaultBackend; an unknown one is an error.
-func New(b Backend, threads, queueMultiplier int) (Queue, error) {
+//
+// The returned queue always supports the batch API — the return type says
+// so: backends without native batch operations are wrapped in the generic
+// singleton-looping fallback.
+func New(b Backend, threads, queueMultiplier int) (BatchQueue, error) {
 	if threads < 1 {
 		return nil, fmt.Errorf("cq: need threads >= 1, got %d", threads)
 	}
@@ -136,7 +152,7 @@ func New(b Backend, threads, queueMultiplier int) (Queue, error) {
 	}
 	for _, e := range registry {
 		if e.name == b {
-			return e.build(threads, queueMultiplier), nil
+			return AsBatch(e.build(threads, queueMultiplier)), nil
 		}
 	}
 	return nil, fmt.Errorf("cq: unknown backend %q (have %v)", b, Backends())

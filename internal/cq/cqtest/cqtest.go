@@ -10,6 +10,12 @@
 // transiently reports empty while an element is mid-push (the
 // Pop/scanPop empty-vs-racing-pusher edge that core.ParallelRun and
 // sssp.Parallel rely on).
+//
+// It also checks the batch layer (cq.BatchQueue) through every backend:
+// PushBatch/PopBatch lose no elements, cross safely with singleton ops
+// under concurrency, degenerate to exact priority order when unrelaxed,
+// and reject the reserved priority — whether the backend implements
+// batching natively or through the generic fallback.
 package cqtest
 
 import (
@@ -49,6 +55,10 @@ func Run(t *testing.T, newQueue Factory) {
 	t.Run("ReservedPriorityPanics", func(t *testing.T) { testReservedPriorityPanics(t, newQueue) })
 	t.Run("ConcurrentValuesPreserved", func(t *testing.T) { testConcurrentValuesPreserved(t, newQueue) })
 	t.Run("RacingPushersTermination", func(t *testing.T) { testRacingPushersTermination(t, newQueue) })
+	t.Run("BatchSequentialDrain", func(t *testing.T) { testBatchSequentialDrain(t, newQueue) })
+	t.Run("BatchExactWhenUnrelaxed", func(t *testing.T) { testBatchExactWhenUnrelaxed(t, newQueue) })
+	t.Run("BatchReservedPriorityPanics", func(t *testing.T) { testBatchReservedPriorityPanics(t, newQueue) })
+	t.Run("BatchConcurrentValuesPreserved", func(t *testing.T) { testBatchConcurrentValuesPreserved(t, newQueue) })
 }
 
 // stressTimeout bounds every concurrent subtest so a termination bug shows
@@ -212,6 +222,197 @@ func testConcurrentValuesPreserved(t *testing.T, newQueue Factory) {
 	}
 	waitOrFatal(t, &wg, "concurrent push/pop stress")
 	r := rng.New(99)
+	for {
+		v, _, ok := q.Pop(r)
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if got := popped.Load(); got != goroutines*perG {
+		t.Fatalf("popped %d values total, want %d", got, goroutines*perG)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+// testBatchSequentialDrain crosses the batch and singleton paths in both
+// directions: values pushed in batches must come back out through singleton
+// pops and vice versa, with nothing lost or duplicated. Queues built by
+// cq.New always support the batch API (natively or via the generic
+// fallback); AsBatch covers factories that hand back bare queues.
+func testBatchSequentialDrain(t *testing.T, newQueue Factory) {
+	q := cq.AsBatch(newQueue(t, 2, 2))
+	r := rng.New(17)
+	const n = 2048
+	const batch = 64
+	// Half the values go in through PushBatch, half through Push.
+	buf := make([]cq.Pair, 0, batch)
+	for v := 0; v < n/2; v++ {
+		buf = append(buf, cq.Pair{Value: int64(v), Priority: int64(v % 97)})
+		if len(buf) == batch {
+			q.PushBatch(r, buf)
+			buf = buf[:0]
+		}
+	}
+	q.PushBatch(r, buf)
+	for v := n / 2; v < n; v++ {
+		q.Push(r, int64(v), int64(v%97))
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d after pushes, want %d", q.Len(), n)
+	}
+	// Half come out through PopBatch, the rest through singleton pops.
+	seen := make([]bool, n)
+	record := func(v int64) {
+		if v < 0 || v >= n {
+			t.Fatalf("popped alien value %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	got := 0
+	dst := make([]cq.Pair, batch)
+	for got < n/2 {
+		k := q.PopBatch(r, dst)
+		if k == 0 {
+			t.Fatalf("PopBatch empty after %d of %d", got, n)
+		}
+		for _, p := range dst[:k] {
+			record(p.Value)
+		}
+		got += k
+	}
+	for {
+		v, _, ok := q.Pop(r)
+		if !ok {
+			break
+		}
+		record(v)
+		got++
+	}
+	if got != n {
+		t.Fatalf("drained %d of %d values", got, n)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+	if k := q.PopBatch(r, dst); k != 0 {
+		t.Fatalf("PopBatch on empty queue returned %d", k)
+	}
+	q.PushBatch(r, nil) // empty batch is a no-op, not a panic
+	if k := q.PopBatch(r, nil); k != 0 {
+		t.Fatalf("PopBatch with empty dst returned %d", k)
+	}
+}
+
+// testBatchExactWhenUnrelaxed anchors the batch path to the same origin as
+// the singleton path: with one internal structure under sequential use,
+// PopBatch must return elements in priority order within and across
+// batches.
+func testBatchExactWhenUnrelaxed(t *testing.T, newQueue Factory) {
+	q := cq.AsBatch(newQueue(t, 1, 1))
+	r := rng.New(23)
+	const n = 512
+	perm := r.Perm(n)
+	pairs := make([]cq.Pair, 0, n)
+	for _, p := range perm {
+		pairs = append(pairs, cq.Pair{Value: int64(p), Priority: int64(p)})
+	}
+	q.PushBatch(r, pairs)
+	dst := make([]cq.Pair, 30) // deliberately not a divisor of n
+	want := int64(0)
+	for want < n {
+		k := q.PopBatch(r, dst)
+		if k == 0 {
+			t.Fatalf("queue empty after %d of %d batch pops", want, n)
+		}
+		for _, p := range dst[:k] {
+			if p.Priority != want || p.Value != want {
+				t.Fatalf("batch pop returned (v=%d, p=%d), want (%d, %d)", p.Value, p.Priority, want, want)
+			}
+			want++
+		}
+	}
+}
+
+func testBatchReservedPriorityPanics(t *testing.T, newQueue Factory) {
+	q := cq.AsBatch(newQueue(t, 1, 1))
+	r := rng.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PushBatch containing ReservedPriority did not panic")
+		}
+	}()
+	q.PushBatch(r, []cq.Pair{{Value: 1, Priority: 3}, {Value: 0, Priority: cq.ReservedPriority}})
+}
+
+// testBatchConcurrentValuesPreserved interleaves batch and singleton
+// operations across racing goroutines; afterwards every value must have
+// been popped exactly once. Run with -race for the full effect.
+func testBatchConcurrentValuesPreserved(t *testing.T, newQueue Factory) {
+	const (
+		goroutines = 8
+		perG       = 3000
+		batch      = 16
+	)
+	q := cq.AsBatch(newQueue(t, goroutines, 2))
+	seen := make([]atomic.Bool, goroutines*perG)
+	var popped atomic.Int64
+	record := func(v int64) {
+		if seen[v].Swap(true) {
+			t.Errorf("value %d popped twice", v)
+		}
+		popped.Add(1)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(g) + 1)
+			out := make([]cq.Pair, 0, batch)
+			dst := make([]cq.Pair, batch)
+			for i := 0; i < perG; i++ {
+				v := int64(g*perG + i)
+				if g%2 == 0 { // even goroutines push batches, odd singletons
+					out = append(out, cq.Pair{Value: v, Priority: int64(r.Intn(1 << 20))})
+					if len(out) == batch {
+						q.PushBatch(r, out)
+						out = out[:0]
+					}
+				} else {
+					q.Push(r, v, int64(r.Intn(1<<20)))
+				}
+				if i%3 == 2 {
+					if g%2 == 1 { // odd goroutines pop batches, even singletons
+						for _, p := range dst[:q.PopBatch(r, dst[:1+r.Intn(batch)])] {
+							record(p.Value)
+						}
+					} else if v, _, ok := q.Pop(r); ok {
+						record(v)
+					}
+				}
+			}
+			q.PushBatch(r, out)
+		}(g)
+	}
+	waitOrFatal(t, &wg, "concurrent batch/singleton stress")
+	r := rng.New(99)
+	dst := make([]cq.Pair, batch)
+	for {
+		k := q.PopBatch(r, dst)
+		if k == 0 {
+			break
+		}
+		for _, p := range dst[:k] {
+			record(p.Value)
+		}
+	}
+	// A final singleton sweep catches anything PopBatch's probes missed.
 	for {
 		v, _, ok := q.Pop(r)
 		if !ok {

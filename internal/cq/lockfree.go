@@ -1,0 +1,249 @@
+package cq
+
+import (
+	"sync/atomic"
+
+	"relaxsched/internal/rng"
+)
+
+// LockFreeMQ is a lock-free MultiQueue: the same sharded two-choice design
+// as MultiQueue, but each internal queue is a Treiber-style structure — an
+// *immutable* pairing heap published through a single atomic root pointer,
+// generalizing the Treiber stack from a list to a heap (the children list
+// of a pairing-heap node is itself an immutable Treiber-style linked list).
+//
+// Every operation is a pure function from the old heap to a new one
+// followed by one CompareAndSwap of the root:
+//
+//   - Push melds a singleton node into the loaded root and CASes;
+//   - Pop reads the roots of two random queues — the root pointer *is* the
+//     cached top, no separate priority cache can go stale — and CAS-steals
+//     the better one: a successful CAS from that root to its delete-min
+//     remainder claims the top element atomically.
+//
+// A failed CAS means another operation succeeded in the same instant, so
+// the structure is lock-free (system-wide progress is guaranteed); in the
+// terminology of Alistarh, Censor-Hillel & Shavit ("Are Lock-Free
+// Concurrent Algorithms Practically Wait-Free?", STOC 2014) the per-shard
+// contention is low enough under rerandomization that individual operations
+// complete in expected constant retries — the practical-progress argument
+// for preferring this backend when workers can be preempted mid-operation:
+// unlike the lock-per-queue MultiQueue, a descheduled worker can never
+// block pushes or pops by parking inside a critical section.
+//
+// Go's garbage collector rules out ABA on the root CAS: a node address is
+// never reused while any operation still holds it.
+//
+// Like the other backends it keeps no global element counter (Len sums the
+// per-root size fields and is exact only at quiescence).
+type LockFreeMQ struct {
+	queues []lfqueue
+}
+
+// lfqueue is one shard: an atomic root pointer, padded so neighbouring
+// roots do not share a cache line.
+type lfqueue struct {
+	_    [64]byte
+	root atomic.Pointer[lfnode]
+	_    [64]byte
+}
+
+// lfnode is an immutable pairing-heap node. Fields are never mutated after
+// publication; all updates copy the root path (O(1) nodes for meld).
+type lfnode struct {
+	prio     int64
+	val      int64
+	size     int64 // elements in this subtree, for Len
+	children *lfchild
+}
+
+// lfchild is a link of a node's immutable children list.
+type lfchild struct {
+	node *lfnode
+	next *lfchild
+}
+
+// lfMeld merges two immutable heaps, allocating one node and one child
+// link. Either argument may be nil.
+func lfMeld(a, b *lfnode) *lfnode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.prio < a.prio {
+		a, b = b, a
+	}
+	return &lfnode{
+		prio:     a.prio,
+		val:      a.val,
+		size:     a.size + b.size,
+		children: &lfchild{node: b, next: a.children},
+	}
+}
+
+// lfDeleteMin returns the heap with its root removed: the classic two-pass
+// pairing merge (meld children pairwise left to right, then fold the pairs
+// right to left).
+func lfDeleteMin(h *lfnode) *lfnode {
+	if h.children == nil {
+		return nil
+	}
+	var pairs []*lfnode
+	for c := h.children; c != nil; {
+		first := c.node
+		c = c.next
+		if c != nil {
+			first = lfMeld(first, c.node)
+			c = c.next
+		}
+		pairs = append(pairs, first)
+	}
+	merged := pairs[len(pairs)-1]
+	for i := len(pairs) - 2; i >= 0; i-- {
+		merged = lfMeld(pairs[i], merged)
+	}
+	return merged
+}
+
+// NewLockFreeMQ returns a lock-free MultiQueue with q internal queues.
+func NewLockFreeMQ(q int) *LockFreeMQ {
+	if q < 1 {
+		panic("cq: need at least one queue")
+	}
+	return &LockFreeMQ{queues: make([]lfqueue, q)}
+}
+
+// NumQueues returns the number of internal queues.
+func (c *LockFreeMQ) NumQueues() int { return len(c.queues) }
+
+// Len sums the root size fields. Only meaningful at quiescence; tests and
+// diagnostics only.
+func (c *LockFreeMQ) Len() int {
+	total := int64(0)
+	for qi := range c.queues {
+		if root := c.queues[qi].root.Load(); root != nil {
+			total += root.size
+		}
+	}
+	return int(total)
+}
+
+// Push melds a singleton into a random queue's root with one CAS. On CAS
+// failure it rerandomizes the queue choice (the lock-free analogue of the
+// MultiQueue's TryLock rerandomization) for a bounded number of attempts,
+// then sticks with one queue — further failures each certify that some
+// other operation succeeded, so progress is system-wide.
+func (c *LockFreeMQ) Push(r *rng.Xoshiro, value, priority int64) {
+	if priority == ReservedPriority {
+		panic("cq: priority MaxInt64 is reserved")
+	}
+	c.pushHeap(r, &lfnode{prio: priority, val: value, size: 1})
+}
+
+// pushHeap melds an arbitrary pre-built heap into a random queue.
+func (c *LockFreeMQ) pushHeap(r *rng.Xoshiro, h *lfnode) {
+	q := &c.queues[r.Intn(len(c.queues))]
+	for try := 0; ; try++ {
+		old := q.root.Load()
+		if q.root.CompareAndSwap(old, lfMeld(old, h)) {
+			return
+		}
+		if try < contentionAttempts {
+			q = &c.queues[r.Intn(len(c.queues))]
+		}
+	}
+}
+
+// Pop loads the roots of two random queues, picks the better top and
+// CAS-steals it: swinging the root to its delete-min remainder claims the
+// element. Probes that find both queues empty or lose the CAS rerandomize;
+// after a bounded number of attempts Pop falls back to a full scan. It is
+// PopBatch with a batch of one: the probe policy and scan fallback live
+// only there.
+func (c *LockFreeMQ) Pop(r *rng.Xoshiro) (value, priority int64, ok bool) {
+	var one [1]Pair
+	if c.PopBatch(r, one[:]) == 0 {
+		return 0, 0, false
+	}
+	return one[0].Value, one[0].Priority, true
+}
+
+// PushBatch folds the whole batch into one local heap (no shared-memory
+// traffic at all) and publishes it with a single CAS — coordination cost
+// O(1) per batch, the strongest amortization any backend offers.
+func (c *LockFreeMQ) PushBatch(r *rng.Xoshiro, pairs []Pair) {
+	if len(pairs) == 0 {
+		return
+	}
+	var batch *lfnode
+	for _, p := range pairs {
+		if p.Priority == ReservedPriority {
+			panic("cq: priority MaxInt64 is reserved")
+		}
+		batch = lfMeld(batch, &lfnode{prio: p.Priority, val: p.Value, size: 1})
+	}
+	c.pushHeap(r, batch)
+}
+
+// PopBatch CAS-steals up to len(dst) elements from the better of two
+// random queues in one shot: it computes the chain of delete-mins locally
+// and swings the root once, so a whole batch costs a single successful CAS.
+func (c *LockFreeMQ) PopBatch(r *rng.Xoshiro, dst []Pair) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	nq := len(c.queues)
+	for try := 0; try < contentionAttempts; try++ {
+		qi := &c.queues[r.Intn(nq)]
+		qj := &c.queues[r.Intn(nq)]
+		root := qi.root.Load()
+		if rj := qj.root.Load(); root == nil || (rj != nil && rj.prio < root.prio) {
+			qi, root = qj, rj
+		}
+		if root == nil {
+			continue // probed two empty queues; rerandomize
+		}
+		rest, n := lfTakeBatch(root, dst)
+		if qi.root.CompareAndSwap(root, rest) {
+			return n
+		}
+	}
+	// Probes kept losing or missing: scan all queues, still stealing a
+	// whole batch. Unlike probing, the scan retries a contended queue until
+	// it either wins or sees the queue empty, so 0 is returned only when
+	// every queue looked empty at inspection time.
+	for qi := range c.queues {
+		q := &c.queues[qi]
+		for {
+			root := q.root.Load()
+			if root == nil {
+				break
+			}
+			rest, n := lfTakeBatch(root, dst)
+			if q.root.CompareAndSwap(root, rest) {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// lfTakeBatch fills dst with successive minima of h and returns the
+// remaining heap plus the count written. Pure function: h is not mutated,
+// so the caller can retry after a failed CAS.
+func lfTakeBatch(h *lfnode, dst []Pair) (*lfnode, int) {
+	n := 0
+	for h != nil && n < len(dst) {
+		dst[n] = Pair{Value: h.val, Priority: h.prio}
+		n++
+		h = lfDeleteMin(h)
+	}
+	return h, n
+}
+
+var (
+	_ Queue      = (*LockFreeMQ)(nil)
+	_ BatchQueue = (*LockFreeMQ)(nil)
+)

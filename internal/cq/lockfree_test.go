@@ -1,0 +1,132 @@
+package cq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"relaxsched/internal/rng"
+)
+
+// The immutable pairing heap must behave persistently: delete-min on a
+// snapshot must not disturb the published heap, or a losing CAS competitor
+// would corrupt the winner's view.
+func TestLockFreeHeapIsPersistent(t *testing.T) {
+	var h *lfnode
+	for _, p := range []int64{5, 1, 9, 3, 7} {
+		h = lfMeld(h, &lfnode{prio: p, val: p, size: 1})
+	}
+	if h.size != 5 || h.prio != 1 {
+		t.Fatalf("root (prio=%d, size=%d), want (1, 5)", h.prio, h.size)
+	}
+	// Two independent delete-min chains from the same snapshot must agree.
+	for pass := 0; pass < 2; pass++ {
+		cur := h
+		for _, want := range []int64{1, 3, 5, 7, 9} {
+			if cur.prio != want {
+				t.Fatalf("pass %d: min %d, want %d", pass, cur.prio, want)
+			}
+			cur = lfDeleteMin(cur)
+		}
+		if cur != nil {
+			t.Fatalf("pass %d: heap not empty after 5 delete-mins", pass)
+		}
+	}
+	if h.size != 5 || h.prio != 1 {
+		t.Fatal("delete-min chain mutated the shared snapshot")
+	}
+}
+
+func TestLockFreeTakeBatch(t *testing.T) {
+	var h *lfnode
+	for p := int64(9); p >= 0; p-- {
+		h = lfMeld(h, &lfnode{prio: p, val: p, size: 1})
+	}
+	dst := make([]Pair, 4)
+	rest, n := lfTakeBatch(h, dst)
+	if n != 4 {
+		t.Fatalf("took %d, want 4", n)
+	}
+	for i, p := range dst {
+		if p.Priority != int64(i) {
+			t.Fatalf("dst[%d].Priority = %d, want %d", i, p.Priority, i)
+		}
+	}
+	if rest == nil || rest.size != 6 || rest.prio != 4 {
+		t.Fatalf("rest (prio=%d), want prio 4 with 6 elements", rest.prio)
+	}
+	if h.size != 10 {
+		t.Fatal("lfTakeBatch mutated its input")
+	}
+	// Taking more than the heap holds drains it and reports the true count.
+	big := make([]Pair, 16)
+	rest, n = lfTakeBatch(rest, big)
+	if n != 6 || rest != nil {
+		t.Fatalf("drain took %d (rest=%v), want 6 (nil)", n, rest)
+	}
+}
+
+// Len must track sizes through interleaved singleton and batch traffic.
+func TestLockFreeLenTracksSize(t *testing.T) {
+	q := NewLockFreeMQ(4)
+	r := rng.New(3)
+	q.PushBatch(r, []Pair{{1, 10}, {2, 20}, {3, 30}})
+	q.Push(r, 4, 5)
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	if _, _, ok := q.Pop(r); !ok {
+		t.Fatal("pop failed")
+	}
+	dst := make([]Pair, 2)
+	n := q.PopBatch(r, dst)
+	if got := q.Len(); got != 3-n {
+		t.Fatalf("Len = %d after popping 1+%d of 4", got, n)
+	}
+}
+
+// A torn CAS must never double-deliver: hammer one shard so every operation
+// contends on the same root pointer.
+func TestLockFreeSingleShardContention(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	q := NewLockFreeMQ(1) // all traffic on one root
+	seen := make([]atomic.Bool, goroutines*perG)
+	var popped atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(g) + 7)
+			for i := 0; i < perG; i++ {
+				q.Push(r, int64(g*perG+i), int64(r.Intn(1<<16)))
+				if i%2 == 1 {
+					if v, _, ok := q.Pop(r); ok {
+						if seen[v].Swap(true) {
+							t.Errorf("value %d popped twice", v)
+						}
+						popped.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	r := rng.New(1)
+	for {
+		v, _, ok := q.Pop(r)
+		if !ok {
+			break
+		}
+		if seen[v].Swap(true) {
+			t.Errorf("value %d popped twice", v)
+		}
+		popped.Add(1)
+	}
+	if got := popped.Load(); got != goroutines*perG {
+		t.Fatalf("drained %d of %d", got, goroutines*perG)
+	}
+}

@@ -64,32 +64,72 @@ func (c *MultiQueue) Len() int {
 	return total
 }
 
+// contentionAttempts bounds rerandomized optimistic attempts (TryLock for
+// the locked MultiQueue, CAS for the lock-free one) before an operation
+// stops spinning and commits to one queue. Unbounded rerandomization can
+// livelock a heavily contended structure: with every queue transiently
+// locked, a pusher could spin forever without ever parking.
+const contentionAttempts = 8
+
+// lockSomeQueue acquires and returns a random queue, using TryLock with
+// rerandomization for a bounded number of attempts and then falling back to
+// a blocking Lock on the last choice, so a push under heavy contention
+// parks instead of spinning.
+func (c *MultiQueue) lockSomeQueue(r *rng.Xoshiro) *cqueue {
+	var q *cqueue
+	for try := 0; try < contentionAttempts; try++ {
+		q = &c.queues[r.Intn(len(c.queues))]
+		if q.mu.TryLock() {
+			return q
+		}
+	}
+	q.mu.Lock()
+	return q
+}
+
 // Push inserts a (value, priority) pair into a random queue. r must be a
 // goroutine-local generator.
 func (c *MultiQueue) Push(r *rng.Xoshiro, value int64, priority int64) {
 	if priority == ReservedPriority {
 		panic("cq: priority MaxInt64 is reserved")
 	}
-	for {
-		q := &c.queues[r.Intn(len(c.queues))]
-		if !q.mu.TryLock() {
-			continue // rerandomize on contention
-		}
-		q.h.push(pair{prio: priority, val: value})
-		q.top.Store(q.h.min().prio)
-		q.mu.Unlock()
-		return
-	}
+	q := c.lockSomeQueue(r)
+	q.h.push(pair{prio: priority, val: value})
+	q.top.Store(q.h.min().prio)
+	q.mu.Unlock()
 }
 
-// Pop removes and returns the better of the tops of two random queues.
-// ok is false if the structure appeared empty; with concurrent pushers,
-// callers must use their own termination protocol (e.g. an in-flight
-// counter) rather than trusting a single !ok.
-func (c *MultiQueue) Pop(r *rng.Xoshiro) (value int64, priority int64, ok bool) {
-	const attempts = 8
+// PushBatch inserts every pair into one random queue under a single lock
+// acquisition: the TryLock round-trip and the cached-top store are paid
+// once per batch instead of once per pair.
+func (c *MultiQueue) PushBatch(r *rng.Xoshiro, pairs []Pair) {
+	if len(pairs) == 0 {
+		return
+	}
+	for _, p := range pairs {
+		if p.Priority == ReservedPriority {
+			panic("cq: priority MaxInt64 is reserved")
+		}
+	}
+	q := c.lockSomeQueue(r)
+	for _, p := range pairs {
+		q.h.push(pair{prio: p.Priority, val: p.Value})
+	}
+	q.top.Store(q.h.min().prio)
+	q.mu.Unlock()
+}
+
+// PopBatch removes up to len(dst) pairs from the better of two random
+// queues under one lock acquisition. The batch comes from a single queue,
+// so its relaxation is that of the two-choice process at batch granularity:
+// coordination cost drops by the batch size, rank quality degrades
+// gracefully with it — the trade the batchsweep experiment measures.
+func (c *MultiQueue) PopBatch(r *rng.Xoshiro, dst []Pair) int {
+	if len(dst) == 0 {
+		return 0
+	}
 	nq := len(c.queues)
-	for try := 0; try < attempts; try++ {
+	for try := 0; try < contentionAttempts; try++ {
 		i := r.Intn(nq)
 		j := r.Intn(nq)
 		ti := c.queues[i].top.Load()
@@ -106,47 +146,58 @@ func (c *MultiQueue) Pop(r *rng.Xoshiro) (value int64, priority int64, ok bool) 
 		if !q.mu.TryLock() {
 			continue
 		}
-		if q.h.len() == 0 {
-			q.top.Store(emptyTop)
-			q.mu.Unlock()
-			continue
-		}
-		it := q.h.pop()
-		if q.h.len() > 0 {
-			q.top.Store(q.h.min().prio)
-		} else {
-			q.top.Store(emptyTop)
-		}
+		n := q.popBatchLocked(dst)
 		q.mu.Unlock()
-		return it.val, it.prio, true
+		if n > 0 {
+			return n
+		}
 	}
-	// Probes kept missing (sparse occupancy or heavy contention): scan.
-	return c.scanPop()
-}
-
-// scanPop walks all queues, inspecting the cached tops lock-free and
-// locking only queues that look non-empty.
-func (c *MultiQueue) scanPop() (int64, int64, bool) {
+	// Probes kept missing: scan all queues, still batching from the first
+	// non-empty one.
 	for qi := range c.queues {
 		q := &c.queues[qi]
 		if q.top.Load() == emptyTop {
 			continue
 		}
 		q.mu.Lock()
-		if q.h.len() > 0 {
-			it := q.h.pop()
-			if q.h.len() > 0 {
-				q.top.Store(q.h.min().prio)
-			} else {
-				q.top.Store(emptyTop)
-			}
-			q.mu.Unlock()
-			return it.val, it.prio, true
-		}
-		q.top.Store(emptyTop)
+		n := q.popBatchLocked(dst)
 		q.mu.Unlock()
+		if n > 0 {
+			return n
+		}
 	}
-	return 0, 0, false
+	return 0
+}
+
+// popBatchLocked pops up to len(dst) pairs from q, which must be locked,
+// and refreshes the cached top once.
+func (q *cqueue) popBatchLocked(dst []Pair) int {
+	n := 0
+	for n < len(dst) && q.h.len() > 0 {
+		it := q.h.pop()
+		dst[n] = Pair{Value: it.val, Priority: it.prio}
+		n++
+	}
+	if q.h.len() > 0 {
+		q.top.Store(q.h.min().prio)
+	} else {
+		q.top.Store(emptyTop)
+	}
+	return n
+}
+
+// Pop removes and returns the better of the tops of two random queues.
+// ok is false if the structure appeared empty; with concurrent pushers,
+// callers must use their own termination protocol (e.g. an in-flight
+// counter) rather than trusting a single !ok. It is PopBatch with a batch
+// of one: the probe policy, lock discipline and scan fallback live only
+// there.
+func (c *MultiQueue) Pop(r *rng.Xoshiro) (value int64, priority int64, ok bool) {
+	var one [1]Pair
+	if c.PopBatch(r, one[:]) == 0 {
+		return 0, 0, false
+	}
+	return one[0].Value, one[0].Priority, true
 }
 
 // pair is a (priority, value) element of a concurrent queue.
@@ -211,4 +262,7 @@ func (h *pairHeap) pop() pair {
 	return top
 }
 
-var _ Queue = (*MultiQueue)(nil)
+var (
+	_ Queue      = (*MultiQueue)(nil)
+	_ BatchQueue = (*MultiQueue)(nil)
+)

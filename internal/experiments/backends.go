@@ -2,11 +2,54 @@ package experiments
 
 import (
 	"io"
+	"time"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/graph"
 	"relaxsched/internal/sssp"
 	"relaxsched/internal/stats"
 )
+
+// ParallelSSSPStats are trial-averaged metrics of one parallel-SSSP
+// configuration. Both BackendsRow and BatchSweepRow embed it, so a new
+// metric added here flows into every recorded trajectory (the embedding
+// keeps the JSON representation flat).
+type ParallelSSSPStats struct {
+	Overhead  float64 // tasks processed relaxed / tasks processed exact
+	OverheadE float64
+	OpsPerSec float64 // pops per second across all workers
+	Speedup   float64 // sequential Dijkstra time / parallel time
+	Millis    float64 // mean parallel wall time
+}
+
+// measureParallelSSSP is the single measurement protocol behind Backends
+// and BatchSweep: it times c.trials() parallel-SSSP runs of one
+// configuration, panics if any run's distances diverge from the exact
+// ones, and returns the averaged metrics. seedFor keeps each experiment's
+// historical seed schedule intact.
+func measureParallelSSSP(c Config, g *graph.Graph, exact sssp.Result, seqTime time.Duration,
+	opts sssp.ParallelOptions, seedFor func(trial int) uint64) ParallelSSSPStats {
+	var ov, ops, sp, ms stats.Sample
+	for trial := 0; trial < c.trials(); trial++ {
+		opts.Seed = seedFor(trial)
+		var pr sssp.ParallelResult
+		elapsed := timeIt(func() { pr = sssp.ParallelWith(g, 0, opts) })
+		if !sssp.Equal(pr.Dist, exact.Dist) {
+			panic("experiments: parallel SSSP produced wrong distances")
+		}
+		ov.Add(float64(pr.Processed) / float64(exact.Reached))
+		ops.Add(float64(pr.Popped) / elapsed.Seconds())
+		sp.Add(seqTime.Seconds() / elapsed.Seconds())
+		ms.Add(elapsed.Seconds() * 1e3) // fractional ms: runs are sub-ms at small scales
+	}
+	return ParallelSSSPStats{
+		Overhead:  ov.Mean(),
+		OverheadE: ov.StdErr(),
+		OpsPerSec: ops.Mean(),
+		Speedup:   sp.Mean(),
+		Millis:    ms.Mean(),
+	}
+}
 
 // BackendsRow is one point of the backend comparison: parallel SSSP through
 // one concurrent queue backend, on one graph family at one thread count.
@@ -14,14 +57,10 @@ import (
 // time, so it folds the backend's raw throughput and its relaxation waste
 // into one number; Overhead isolates the waste.
 type BackendsRow struct {
-	Graph     string
-	Backend   string
-	Threads   int
-	Overhead  float64 // tasks processed relaxed / tasks processed exact
-	OverheadE float64
-	OpsPerSec float64 // pops per second across all workers
-	Speedup   float64 // sequential Dijkstra time / parallel time
-	Millis    float64 // mean parallel wall time
+	Graph   string
+	Backend string
+	Threads int
+	ParallelSSSPStats
 }
 
 // BackendsResult holds the full backend x family x threads sweep.
@@ -41,35 +80,16 @@ func Backends(c Config) BackendsResult {
 		seqTime := timeIt(func() { sssp.Dijkstra(g, 0) })
 		for _, backend := range cq.Backends() {
 			for _, threads := range c.threadSweep() {
-				var ov, ops, sp, ms stats.Sample
-				for trial := 0; trial < c.trials(); trial++ {
-					seed := c.Seed ^ uint64(trial*1000+threads)
-					var pr sssp.ParallelResult
-					elapsed := timeIt(func() {
-						pr = sssp.ParallelWith(g, 0, sssp.ParallelOptions{
-							Threads:         threads,
-							QueueMultiplier: 2,
-							Backend:         backend,
-							Seed:            seed,
-						})
-					})
-					if !sssp.Equal(pr.Dist, exact.Dist) {
-						panic("experiments: parallel SSSP produced wrong distances")
-					}
-					ov.Add(float64(pr.Processed) / float64(exact.Reached))
-					ops.Add(float64(pr.Popped) / elapsed.Seconds())
-					sp.Add(seqTime.Seconds() / elapsed.Seconds())
-					ms.Add(float64(elapsed.Milliseconds()))
-				}
+				st := measureParallelSSSP(c, g, exact, seqTime, sssp.ParallelOptions{
+					Threads:         threads,
+					QueueMultiplier: 2,
+					Backend:         backend,
+				}, func(trial int) uint64 { return c.Seed ^ uint64(trial*1000+threads) })
 				res.Rows = append(res.Rows, BackendsRow{
-					Graph:     fam.Name,
-					Backend:   string(backend),
-					Threads:   threads,
-					Overhead:  ov.Mean(),
-					OverheadE: ov.StdErr(),
-					OpsPerSec: ops.Mean(),
-					Speedup:   sp.Mean(),
-					Millis:    ms.Mean(),
+					Graph:             fam.Name,
+					Backend:           string(backend),
+					Threads:           threads,
+					ParallelSSSPStats: st,
 				})
 			}
 		}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/sssp"
+	"relaxsched/internal/stats"
+)
+
+// BatchSweepSizes are the worker batch sizes the sweep covers. Size 1 is
+// the unbatched per-element protocol (the PR-1 baseline) so every recorded
+// trajectory carries its own before/after comparison.
+var BatchSweepSizes = []int{1, 8, 32, 64}
+
+// BatchSweepRow is one point of the batch-amortization sweep: parallel
+// SSSP through one backend at one worker batch size. OpsPerSec counts
+// popped pairs per second of wall time — the engine's end-to-end hot-path
+// throughput — and Overhead shows what the amortization costs in
+// relaxation quality (batched pops take whole runs from one internal
+// structure, so ranks grow with the batch).
+type BatchSweepRow struct {
+	Graph   string
+	Backend string
+	Threads int
+	Batch   int
+	ParallelSSSPStats
+}
+
+// BatchSweepResult holds the full batch x backend x threads sweep.
+type BatchSweepResult struct {
+	Rows []BatchSweepRow
+}
+
+// BatchSweep measures what per-worker batching buys each backend on
+// parallel SSSP: same graphs, same seeds, only the batch size (and with it
+// the number of coordination rounds per element) varies. Batch size 1 is
+// the paper's per-element protocol; larger sizes amortize one lock
+// acquisition or CAS over the whole batch at the price of coarser
+// relaxation. This is the experiment behind BENCH_PR2.json.
+func BatchSweep(c Config) BatchSweepResult {
+	var res BatchSweepResult
+	for fi, fam := range Families() {
+		g := fam.Gen(c, c.Seed+uint64(fi))
+		exact := sssp.Dijkstra(g, 0)
+		seqTime := timeIt(func() { sssp.Dijkstra(g, 0) })
+		for _, backend := range cq.Backends() {
+			for _, threads := range c.threadSweep() {
+				for _, batch := range BatchSweepSizes {
+					st := measureParallelSSSP(c, g, exact, seqTime, sssp.ParallelOptions{
+						Threads:         threads,
+						QueueMultiplier: 2,
+						Backend:         backend,
+						BatchSize:       batch,
+					}, func(trial int) uint64 { return c.Seed ^ uint64(trial*10000+threads*100+batch) })
+					res.Rows = append(res.Rows, BatchSweepRow{
+						Graph:             fam.Name,
+						Backend:           string(backend),
+						Threads:           threads,
+						Batch:             batch,
+						ParallelSSSPStats: st,
+					})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Render writes the batch-sweep table.
+func (r BatchSweepResult) Render(w io.Writer) error {
+	t := stats.NewTable("graph", "backend", "threads", "batch", "overhead", "stderr", "ops/sec", "speedup", "ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Graph, row.Backend, row.Threads, row.Batch, row.Overhead, row.OverheadE, row.OpsPerSec, row.Speedup, row.Millis)
+	}
+	return t.Render(w)
+}

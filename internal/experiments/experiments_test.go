@@ -40,6 +40,39 @@ func TestFig1Smoke(t *testing.T) {
 	}
 }
 
+func TestBatchSweepSmoke(t *testing.T) {
+	c := SmokeConfig()
+	res := BatchSweep(c)
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	seenBatch := map[int]bool{}
+	for _, row := range res.Rows {
+		seenBatch[row.Batch] = true
+		if row.OpsPerSec <= 0 {
+			t.Fatalf("%s/%s batch %d: non-positive ops/sec", row.Graph, row.Backend, row.Batch)
+		}
+		if row.Overhead < 0.999 {
+			t.Fatalf("%s/%s batch %d: overhead %.3f < 1", row.Graph, row.Backend, row.Batch, row.Overhead)
+		}
+	}
+	for _, b := range BatchSweepSizes {
+		if !seenBatch[b] {
+			t.Fatalf("batch size %d missing from sweep", b)
+		}
+	}
+	if !seenBatch[1] {
+		t.Fatal("unbatched baseline (batch 1) missing: trajectories need their own before/after")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "batch") {
+		t.Fatal("render missing batch column")
+	}
+}
+
 func TestFig2Smoke(t *testing.T) {
 	c := SmokeConfig()
 	res := Fig2(c, []int{2})

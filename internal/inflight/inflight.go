@@ -1,0 +1,95 @@
+// Package inflight provides the termination-detection counter shared by the
+// parallel runtimes (core.ParallelRun, sssp.ParallelWith).
+//
+// A relaxed concurrent queue cannot signal "done": Pop reporting empty is
+// inherently racy against in-flight pushers, so workers must track how many
+// produced tasks have not yet been fully processed. A single global atomic
+// counter works but becomes the dominant cache-line hot-spot: every push and
+// every pop of every worker bounces the same line. Counter eliminates the
+// contention by giving each worker its own cache-padded slot, written only
+// by that worker; the cross-worker sum-scan happens only when a worker sees
+// an apparently empty queue, which is rare on the hot path.
+//
+// A naive signed per-worker delta (producer increments its slot, consumer
+// decrements its own) admits a classic false-termination race: a scan can
+// read one slot before a production and another slot after the matching
+// consumption and see a zero sum while work is live. Counter therefore
+// keeps two monotonically non-decreasing tallies per slot — produced and
+// completed — and Quiescent scans completed before produced. Monotonicity
+// makes that double scan safe: each completed read is a lower bound at scan
+// time t0 (the instant between the two scans), each produced read an upper
+// bound at t0, and completed <= produced always holds globally, so
+// sum(completed reads) == sum(produced reads) forces both to equal the true
+// totals at t0 — a consistent instant with no live task. Since new tasks
+// are only produced while processing a live one, none can appear afterwards
+// except through queues the caller has already observed empty.
+package inflight
+
+import "sync/atomic"
+
+// slot holds one worker's monotone tallies, padded to its own cache lines
+// so neighbouring workers never false-share.
+type slot struct {
+	produced  atomic.Int64
+	completed atomic.Int64
+	_         [112]byte // pad the 16 byte payload to two 64-byte lines
+}
+
+// Counter tracks produced-versus-completed tasks across a fixed set of
+// workers. The zero value is unusable; construct with New.
+type Counter struct {
+	slots []slot
+}
+
+// New returns a counter with one padded slot per worker (workers >= 1).
+func New(workers int) *Counter {
+	if workers < 1 {
+		panic("inflight: need at least one worker")
+	}
+	return &Counter{slots: make([]slot, workers)}
+}
+
+// Produce records that worker w created one task. It must be called before
+// the task becomes visible to other workers (i.e. before the push).
+func (c *Counter) Produce(w int) {
+	c.slots[w].produced.Add(1)
+}
+
+// ProduceN records n tasks created by worker w, n >= 0.
+func (c *Counter) ProduceN(w int, n int64) {
+	if n > 0 {
+		c.slots[w].produced.Add(n)
+	}
+}
+
+// Complete records that worker w finished processing one task. It must be
+// called after every task the processing produced has been recorded with
+// Produce.
+func (c *Counter) Complete(w int) {
+	c.slots[w].completed.Add(1)
+}
+
+// Quiescent reports whether every produced task has been completed. A true
+// result is definitive (see the package comment for the double-scan
+// argument); a false result may be transient and callers should re-poll.
+func (c *Counter) Quiescent() bool {
+	var completed int64
+	for i := range c.slots {
+		completed += c.slots[i].completed.Load()
+	}
+	var produced int64
+	for i := range c.slots {
+		produced += c.slots[i].produced.Load()
+	}
+	return completed == produced
+}
+
+// Live returns a racy snapshot of produced-minus-completed tasks. For
+// diagnostics only; termination decisions must use Quiescent.
+func (c *Counter) Live() int64 {
+	var live int64
+	for i := range c.slots {
+		live += c.slots[i].produced.Load() - c.slots[i].completed.Load()
+	}
+	return live
+}

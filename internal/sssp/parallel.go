@@ -7,6 +7,7 @@ import (
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/graph"
+	"relaxsched/internal/inflight"
 	"relaxsched/internal/rng"
 )
 
@@ -20,6 +21,15 @@ type ParallelOptions struct {
 	// Backend selects the concurrent queue implementation; the zero value
 	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
 	Backend cq.Backend
+	// BatchSize is the number of (vertex, dist) pairs a worker moves per
+	// queue operation: improved edges accumulate in a per-worker buffer
+	// flushed through PushBatch, and tasks arrive PopBatch-many at a time,
+	// so one coordination round is amortized over the whole batch. Values
+	// <= 1 disable batching and run the paper's per-element protocol.
+	// Larger batches trade relaxation quality (popped ranks grow with the
+	// batch) for queue-operation throughput; relaxbench's batchsweep
+	// experiment measures the trade.
+	BatchSize int
 	// Seed drives the queue randomness.
 	Seed uint64
 }
@@ -66,9 +76,12 @@ func Parallel(g *graph.Graph, src, threads, queueMultiplier int, seed uint64) Pa
 // Workers share an atomic tentative-distance array. Since the concurrent
 // queues have no DecreaseKey, an improved distance inserts a fresh
 // (vertex, dist) pair and stale pairs are discarded on pop via the
-// curDist > dist[v] check of Algorithm 3. Termination uses an in-flight
-// task counter: a worker exits only when the queue looks empty and no task
-// is pending anywhere.
+// curDist > dist[v] check of Algorithm 3. Termination uses cache-padded
+// per-worker in-flight counters (see internal/inflight): a worker exits
+// only when the queue looks empty, its own buffers are flushed, and the
+// cross-worker double scan proves no task is pending anywhere — the
+// counter sum-scan runs only on apparent-empty, keeping the hot path free
+// of shared-counter traffic.
 func ParallelWith(g *graph.Graph, src int, opts ParallelOptions) ParallelResult {
 	threads := opts.Threads
 	if threads < 1 {
@@ -91,53 +104,21 @@ func ParallelWith(g *graph.Graph, src int, opts ParallelOptions) ParallelResult 
 	seedRng := rng.New(opts.Seed)
 	mq.Push(seedRng, int64(src), 0)
 
-	var pending atomic.Int64 // queued-but-unprocessed pairs
-	pending.Store(1)
+	counters := inflight.New(threads)
+	counters.ProduceN(0, 1) // the source pair, pushed above
 	var popped, processed atomic.Int64
 
 	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
-		go func(r *rng.Xoshiro) {
+		go func(w int, r *rng.Xoshiro) {
 			defer wg.Done()
-			var localPopped, localProcessed int64
-			for {
-				v64, curDist, ok := mq.Pop(r)
-				if !ok {
-					if pending.Load() == 0 {
-						break
-					}
-					runtime.Gosched()
-					continue
-				}
-				localPopped++
-				v := int(v64)
-				if curDist > dist[v].Load() {
-					pending.Add(-1) // stale duplicate
-					continue
-				}
-				localProcessed++
-				targets, weights := g.OutEdges(v)
-				for i := range targets {
-					u := int(targets[i])
-					nd := curDist + int64(weights[i])
-					for {
-						cur := dist[u].Load()
-						if nd >= cur {
-							break
-						}
-						if dist[u].CompareAndSwap(cur, nd) {
-							pending.Add(1)
-							mq.Push(r, int64(u), nd)
-							break
-						}
-					}
-				}
-				pending.Add(-1)
+			if opts.BatchSize > 1 {
+				ssspWorkerBatched(g, dist, mq, counters, w, r, opts.BatchSize, &popped, &processed)
+			} else {
+				ssspWorker(g, dist, mq, counters, w, r, &popped, &processed)
 			}
-			popped.Add(localPopped)
-			processed.Add(localProcessed)
-		}(seedRng.Split())
+		}(t, seedRng.Split())
 	}
 	wg.Wait()
 
@@ -154,4 +135,103 @@ func ParallelWith(g *graph.Graph, src int, opts ParallelOptions) ParallelResult 
 		}
 	}
 	return res
+}
+
+// ssspRelax relaxes every out-edge of v at distance curDist, invoking emit
+// for each improved (target, newDist) pair after recording its production.
+func ssspRelax(g *graph.Graph, dist []atomic.Int64, counters *inflight.Counter,
+	w, v int, curDist int64, emit func(u int64, nd int64)) {
+	targets, weights := g.OutEdges(v)
+	for i := range targets {
+		u := int(targets[i])
+		nd := curDist + int64(weights[i])
+		for {
+			cur := dist[u].Load()
+			if nd >= cur {
+				break
+			}
+			if dist[u].CompareAndSwap(cur, nd) {
+				counters.Produce(w)
+				emit(int64(u), nd)
+				break
+			}
+		}
+	}
+}
+
+// ssspWorker is the per-element (unbatched) worker loop — the paper's
+// Section 7 protocol, one queue operation per relaxation.
+func ssspWorker(g *graph.Graph, dist []atomic.Int64, mq cq.BatchQueue,
+	counters *inflight.Counter, w int, r *rng.Xoshiro, popped, processed *atomic.Int64) {
+	var localPopped, localProcessed int64
+	for {
+		v64, curDist, ok := mq.Pop(r)
+		if !ok {
+			if counters.Quiescent() {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		localPopped++
+		v := int(v64)
+		if curDist > dist[v].Load() {
+			counters.Complete(w) // stale duplicate
+			continue
+		}
+		localProcessed++
+		ssspRelax(g, dist, counters, w, v, curDist, func(u, nd int64) {
+			mq.Push(r, u, nd)
+		})
+		counters.Complete(w)
+	}
+	popped.Add(localPopped)
+	processed.Add(localProcessed)
+}
+
+// ssspWorkerBatched is the batch-amortized worker loop: pops arrive up to
+// batch at a time and improved edges accumulate in a local out-buffer
+// flushed through PushBatch, so the queue's coordination cost (lock
+// round-trip or CAS) is paid once per batch. The out-buffer is always
+// flushed before a termination check, so buffered pairs — already recorded
+// as produced — can never deadlock the counter protocol.
+func ssspWorkerBatched(g *graph.Graph, dist []atomic.Int64, mq cq.BatchQueue,
+	counters *inflight.Counter, w int, r *rng.Xoshiro, batch int, popped, processed *atomic.Int64) {
+	var localPopped, localProcessed int64
+	in := make([]cq.Pair, batch)
+	out := make([]cq.Pair, 0, batch)
+	for {
+		k := mq.PopBatch(r, in)
+		if k == 0 {
+			if len(out) > 0 {
+				mq.PushBatch(r, out)
+				out = out[:0]
+				continue
+			}
+			if counters.Quiescent() {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		for _, p := range in[:k] {
+			localPopped++
+			v := int(p.Value)
+			if p.Priority > dist[v].Load() {
+				counters.Complete(w) // stale duplicate
+				continue
+			}
+			localProcessed++
+			ssspRelax(g, dist, counters, w, v, p.Priority, func(u, nd int64) {
+				out = append(out, cq.Pair{Value: u, Priority: nd})
+				if len(out) >= batch {
+					mq.PushBatch(r, out)
+					out = out[:0]
+				}
+			})
+			counters.Complete(w)
+		}
+	}
+	popped.Add(localPopped)
+	processed.Add(localProcessed)
 }

@@ -278,3 +278,54 @@ func TestParallelWithAcrossBackends(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelBatchedMatchesDijkstra(t *testing.T) {
+	// The batch-amortized worker must produce exact distances on every
+	// backend at every batch size; only overhead may grow with the batch.
+	graphs := map[string]*graph.Graph{
+		"random": graph.Random(2500, 10000, 100, 41),
+		"road":   graph.Road(45, 45, 1000, 100, 42),
+	}
+	for name, g := range graphs {
+		exact := Dijkstra(g, 0)
+		for _, backend := range cq.Backends() {
+			for _, batch := range []int{2, 16, 64} {
+				res := ParallelWith(g, 0, ParallelOptions{
+					Threads: 4, QueueMultiplier: 2, Backend: backend,
+					BatchSize: batch, Seed: 9,
+				})
+				if !Equal(exact.Dist, res.Dist) {
+					t.Fatalf("%s/%s/batch%d: wrong distances", name, backend, batch)
+				}
+				if res.Processed < exact.Reached {
+					t.Fatalf("%s/%s/batch%d: processed %d < reachable %d",
+						name, backend, batch, res.Processed, exact.Reached)
+				}
+			}
+		}
+	}
+}
+
+// Property: batched parallel SSSP agrees with Dijkstra for random shapes,
+// batch sizes and backends.
+func TestParallelBatchedAgreesProperty(t *testing.T) {
+	backends := cq.Backends()
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 100 + r.Intn(400)
+		g := graph.Random(n, n*4, 1+int64(r.Intn(100)), seed)
+		src := r.Intn(n)
+		exact := Dijkstra(g, src)
+		res := ParallelWith(g, src, ParallelOptions{
+			Threads:         1 + r.Intn(8),
+			QueueMultiplier: 1 + r.Intn(3),
+			Backend:         backends[r.Intn(len(backends))],
+			BatchSize:       1 + r.Intn(64),
+			Seed:            seed,
+		})
+		return Equal(exact.Dist, res.Dist)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

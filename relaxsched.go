@@ -104,6 +104,11 @@ const (
 	// BackendSprayList is the lazy lock-based skip list with spray-height
 	// pops (SprayList, PPoPP 2015).
 	BackendSprayList = cq.SprayListBackend
+	// BackendLockFree is the lock-free MultiQueue: each internal queue is
+	// an immutable pairing heap behind one atomic root pointer
+	// (Treiber-style), and pops CAS-steal the cached top. No operation
+	// ever holds a lock, so a preempted worker cannot block the others.
+	BackendLockFree = cq.LockFreeBackend
 )
 
 // QueueBackends returns every available concurrent queue backend, default
@@ -111,7 +116,9 @@ const (
 func QueueBackends() []QueueBackend { return cq.Backends() }
 
 // ParallelRunOptions configure RunIncrementalParallel. Its Backend field
-// selects the concurrent queue implementation.
+// selects the concurrent queue implementation; its BatchSize field sets
+// how many labels a worker moves per queue operation (<= 1 disables
+// batching).
 type ParallelRunOptions = core.ParallelOptions
 
 // RunIncrementalParallel executes the task set with worker goroutines over
@@ -212,7 +219,9 @@ func ParallelSSSP(g *Graph, src, threads, queueMultiplier int, seed uint64) Para
 }
 
 // ParallelSSSPOptions configure ParallelSSSPWith; the Backend field selects
-// the concurrent queue implementation.
+// the concurrent queue implementation and the BatchSize field the number
+// of (vertex, dist) pairs a worker moves per queue operation (<= 1 runs
+// the paper's per-element protocol).
 type ParallelSSSPOptions = sssp.ParallelOptions
 
 // ParallelSSSPWith runs SSSP with worker goroutines over the selected
