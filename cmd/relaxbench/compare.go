@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"relaxsched/internal/stats"
+)
+
+// compareUsage documents the compare subcommand.
+const compareUsage = `usage: relaxbench compare OLD.json NEW.json
+
+Diffs two benchmark-trajectory files (JSON-lines as written by -out, e.g.
+BENCH_PR2.json vs BENCH_PR3.json) and prints per-experiment throughput
+deltas for every row carrying an OpsPerSec metric. Rows are matched by
+their identity columns (graph, backend, algo, scheduler, threads, n, k,
+batch); rows present on only one side are listed as added or removed.
+Exits nonzero on malformed input.`
+
+// trajectoryLine is one recorded experiment of a BENCH_*.json file.
+type trajectoryLine struct {
+	Experiment string          `json:"experiment"`
+	Result     json.RawMessage `json:"result"`
+}
+
+// identityFields are the row columns that name a configuration (as opposed
+// to measuring it), in display order. Integer-valued identity fields are
+// part of the key; everything else numeric is a metric.
+var identityFields = []string{"Graph", "Backend", "Algo", "Scheduler", "Threads", "N", "K", "Batch", "BatchSize", "Depth"}
+
+// rowKey builds the identity key of one row: the concatenation of its
+// identity columns. Rows from the two trajectories match when their keys
+// are equal within the same experiment.
+func rowKey(row map[string]any) string {
+	var parts []string
+	for _, f := range identityFields {
+		v, ok := row[f]
+		if !ok {
+			continue
+		}
+		switch x := v.(type) {
+		case string:
+			parts = append(parts, fmt.Sprintf("%s=%s", strings.ToLower(f), x))
+		case float64:
+			parts = append(parts, fmt.Sprintf("%s=%d", strings.ToLower(f), int64(x)))
+		}
+	}
+	if len(parts) == 0 {
+		return "(single row)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// readTrajectory parses one JSON-lines trajectory file into experiment
+// order and per-experiment raw results. Duplicate experiment names keep the
+// last occurrence (matching how -out overwrites a rerun's file).
+func readTrajectory(path string) (order []string, byName map[string]json.RawMessage, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	byName = make(map[string]json.RawMessage)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var tl trajectoryLine
+		if err := json.Unmarshal([]byte(line), &tl); err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: not a trajectory line: %w", path, lineNo, err)
+		}
+		if tl.Experiment == "" {
+			return nil, nil, fmt.Errorf("%s:%d: missing \"experiment\" field", path, lineNo)
+		}
+		if _, seen := byName[tl.Experiment]; !seen {
+			order = append(order, tl.Experiment)
+		}
+		byName[tl.Experiment] = tl.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(byName) == 0 {
+		return nil, nil, fmt.Errorf("%s: no experiments recorded", path)
+	}
+	return order, byName, nil
+}
+
+// rowsOf extracts the row maps of one recorded experiment result. Results
+// without a Rows array (e.g. fig1's two-table shape) yield nil — the
+// comparator skips them rather than guessing.
+func rowsOf(raw json.RawMessage) []map[string]any {
+	var result map[string]any
+	if err := json.Unmarshal(raw, &result); err != nil {
+		return nil
+	}
+	rows, ok := result["Rows"].([]any)
+	if !ok {
+		return nil
+	}
+	var out []map[string]any
+	for _, r := range rows {
+		if m, ok := r.(map[string]any); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// compare diffs two trajectory files and writes the per-experiment
+// throughput-delta tables to w. An error (malformed file, no comparable
+// data) is returned for the caller to exit nonzero on.
+func compare(oldPath, newPath string, w io.Writer) error {
+	_, oldByName, err := readTrajectory(oldPath)
+	if err != nil {
+		return err
+	}
+	newOrder, newByName, err := readTrajectory(newPath)
+	if err != nil {
+		return err
+	}
+
+	compared := 0
+	for _, name := range newOrder {
+		oldRaw, inOld := oldByName[name]
+		if !inOld {
+			fmt.Fprintf(w, "\n== %s: only in %s ==\n", name, newPath)
+			continue
+		}
+		oldRows, newRows := rowsOf(oldRaw), rowsOf(newByName[name])
+		if oldRows == nil || newRows == nil {
+			fmt.Fprintf(w, "\n== %s: no row data to compare ==\n", name)
+			continue
+		}
+		oldByKey := make(map[string]map[string]any, len(oldRows))
+		for _, r := range oldRows {
+			oldByKey[rowKey(r)] = r
+		}
+		t := stats.NewTable("row", "old ops/sec", "new ops/sec", "delta")
+		matched := 0
+		for _, nr := range newRows {
+			key := rowKey(nr)
+			or, ok := oldByKey[key]
+			if !ok {
+				t.AddRow(key, "-", metricCell(nr), "added")
+				continue
+			}
+			matched++
+			delete(oldByKey, key)
+			oldOps, okOld := metric(or)
+			newOps, okNew := metric(nr)
+			if !okOld || !okNew {
+				continue // row matched but carries no throughput metric
+			}
+			t.AddRow(key, oldOps, newOps, deltaCell(oldOps, newOps))
+		}
+		for key, or := range oldByKey {
+			t.AddRow(key, metricCell(or), "-", "removed")
+		}
+		fmt.Fprintf(w, "\n== %s: %d rows matched ==\n\n", name, matched)
+		// Metric-free experiments (e.g. parinc's extra-steps rows) still
+		// surface coverage changes: added/removed rows render even when no
+		// matched row carries OpsPerSec.
+		if t.NumRows() == 0 {
+			fmt.Fprintf(w, "(rows carry no OpsPerSec metric; nothing to diff)\n")
+			continue
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		compared++
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable rows (throughput deltas or coverage changes) between %s and %s", oldPath, newPath)
+	}
+	return nil
+}
+
+// metric extracts a row's throughput metric.
+func metric(row map[string]any) (float64, bool) {
+	v, ok := row["OpsPerSec"].(float64)
+	return v, ok
+}
+
+// metricCell renders a row's metric for the one-sided (added/removed)
+// table cells.
+func metricCell(row map[string]any) any {
+	if v, ok := metric(row); ok {
+		return v
+	}
+	return "-"
+}
+
+// deltaCell renders the relative throughput change.
+func deltaCell(oldOps, newOps float64) string {
+	if oldOps == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (newOps-oldOps)/oldOps*100)
+}

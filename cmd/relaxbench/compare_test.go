@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relaxsched/internal/experiments"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const trajOld = `{"experiment":"backends","result":{"Rows":[` +
+	`{"Graph":"road","Backend":"multiqueue","Threads":2,"Overhead":1.01,"OpsPerSec":1000000},` +
+	`{"Graph":"road","Backend":"spraylist","Threads":2,"Overhead":1.02,"OpsPerSec":500000}]}}
+{"experiment":"parinc","result":{"Rows":[{"Algo":"bstsort","Backend":"multiqueue","N":500,"Threads":2,"Extra":3}]}}
+`
+
+const trajNew = `{"experiment":"backends","result":{"Rows":[` +
+	`{"Graph":"road","Backend":"multiqueue","Threads":2,"Overhead":1.00,"OpsPerSec":1500000},` +
+	`{"Graph":"road","Backend":"lockfree","Threads":2,"Overhead":1.03,"OpsPerSec":750000}]}}
+{"experiment":"parbnb","result":{"Rows":[{"Backend":"multiqueue","Threads":2,"OpsPerSec":2000000}]}}
+`
+
+func TestCompareDeltas(t *testing.T) {
+	oldPath := writeTemp(t, "old.json", trajOld)
+	newPath := writeTemp(t, "new.json", trajNew)
+	var buf bytes.Buffer
+	if err := compare(oldPath, newPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"+50.0%", // multiqueue row: 1.0M -> 1.5M ops/sec
+		"added",  // lockfree row only in NEW
+		"removed",
+		"only in", // parbnb experiment only in NEW
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareMalformedInput(t *testing.T) {
+	good := writeTemp(t, "good.json", trajOld)
+	for name, content := range map[string]string{
+		"not-json":      "this is not json\n",
+		"no-experiment": `{"result":{"Rows":[]}}` + "\n",
+		"empty":         "",
+	} {
+		bad := writeTemp(t, name+".json", content)
+		if err := compare(good, bad, io.Discard); err == nil {
+			t.Fatalf("%s accepted as NEW", name)
+		}
+		if err := compare(bad, good, io.Discard); err == nil {
+			t.Fatalf("%s accepted as OLD", name)
+		}
+	}
+	if err := compare(good, filepath.Join(t.TempDir(), "missing.json"), io.Discard); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCompareNoThroughputRows(t *testing.T) {
+	// Files that share no experiment with an OpsPerSec metric have nothing
+	// to diff; that is an error, not silent success.
+	a := writeTemp(t, "a.json", `{"experiment":"graphs","result":{"Families":3}}`+"\n")
+	b := writeTemp(t, "b.json", `{"experiment":"graphs","result":{"Families":3}}`+"\n")
+	if err := compare(a, b, io.Discard); err == nil {
+		t.Fatal("rows-free trajectories compared successfully")
+	}
+}
+
+// TestCompareRecordedTrajectories closes the loop end-to-end: record two
+// tiny trajectories through the real -out pipeline, then diff them.
+func TestCompareRecordedTrajectories(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Trials: 1, GraphScale: 4096, MaxThreads: 2}
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i, seed := range []uint64{1, 2} {
+		cfg.Seed = seed
+		paths[i] = filepath.Join(dir, "traj"+string(rune('0'+i))+".json")
+		f, err := os.Create(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, exp := range []string{"backends", "parbnb", "parmis"} {
+			if err := run(exp, cfg, output{w: io.Discard, record: f}); err != nil {
+				t.Fatalf("%s: %v", exp, err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := compare(paths[0], paths[1], &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, exp := range []string{"backends", "parbnb", "parmis"} {
+		if !strings.Contains(buf.String(), "== "+exp) {
+			t.Fatalf("compare output missing experiment %s:\n%s", exp, buf.String())
+		}
+	}
+}
+
+func TestCompareMetricFreeCoverageChanges(t *testing.T) {
+	// Experiments whose rows carry no OpsPerSec (parinc's extra-steps rows)
+	// must still surface added/removed rows — a coverage difference between
+	// two trajectories may not disappear just because there is no
+	// throughput to diff.
+	oldPath := writeTemp(t, "old.json", `{"experiment":"parinc","result":{"Rows":[`+
+		`{"Algo":"bstsort","Backend":"multiqueue","N":500,"Threads":2,"Extra":3},`+
+		`{"Algo":"bstsort","Backend":"multiqueue","N":500,"Threads":4,"Extra":9}]}}`+"\n")
+	newPath := writeTemp(t, "new.json", `{"experiment":"parinc","result":{"Rows":[`+
+		`{"Algo":"bstsort","Backend":"multiqueue","N":500,"Threads":2,"Extra":4},`+
+		`{"Algo":"bstsort","Backend":"lockfree","N":500,"Threads":2,"Extra":5}]}}`+"\n")
+	var buf bytes.Buffer
+	if err := compare(oldPath, newPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "added") || !strings.Contains(out, "removed") {
+		t.Fatalf("coverage changes not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "1 rows matched") {
+		t.Fatalf("matched count missing:\n%s", out)
+	}
+}

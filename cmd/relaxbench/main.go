@@ -23,7 +23,17 @@
 //	parinc        parallel incremental execution wasted work (extension)
 //	iterative     greedy MIS / coloring under relaxed schedulers (extension)
 //	bnb           Karp-Zhang branch-and-bound under relaxation (extension)
+//	parbnb        parallel branch-and-bound: backends x threads (extension)
+//	parmis        parallel greedy MIS / coloring: backends x threads (extension)
 //	all           everything above
+//
+// The compare subcommand diffs two recorded trajectories:
+//
+//	relaxbench compare OLD.json NEW.json
+//
+// printing per-experiment throughput deltas (rows matched by their identity
+// columns) and exiting nonzero on malformed input — so BENCH_PR2.json vs
+// BENCH_PR3.json is a one-liner.
 //
 // Flags control workload scale; -scale 1 is the full-size run used in
 // EXPERIMENTS.md, larger values shrink the workloads proportionally.
@@ -57,13 +67,24 @@ func main() {
 		outPath    = flag.String("out", "", "also write the JSON-lines stream to this file (e.g. BENCH_PR2.json)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: relaxbench [flags] <experiment> [<experiment>...]\nrun 'go doc relaxsched/cmd/relaxbench' for the experiment list\n")
+		fmt.Fprintf(os.Stderr, "usage: relaxbench [flags] <experiment> [<experiment>...]\n       relaxbench compare OLD.json NEW.json\nrun 'go doc relaxsched/cmd/relaxbench' for the experiment list\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "compare" {
+		if flag.NArg() != 3 {
+			fmt.Fprintln(os.Stderr, compareUsage)
+			os.Exit(2)
+		}
+		if err := compare(flag.Arg(1), flag.Arg(2), os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "relaxbench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if !cq.Backend(*backend).Valid() {
 		fmt.Fprintf(os.Stderr, "relaxbench: unknown backend %q (have %v)\n", *backend, cq.Backends())
@@ -183,10 +204,12 @@ var experimentTable = map[string]experimentSpec{
 	"parinc":     {"Extension: parallel incremental execution (goroutines over concurrent relaxed queues)", withErr(experiments.ParInc)},
 	"iterative":  {"Extension: greedy iterative algorithms (MIS, coloring) under relaxed schedulers", withErr(experiments.Iterative)},
 	"bnb":        {"Extension: Karp-Zhang branch-and-bound under relaxed schedulers", withErr(experiments.BnB)},
+	"parbnb":     {"Extension: parallel branch-and-bound (engine workload, backends x threads)", withErr(experiments.ParBnB)},
+	"parmis":     {"Extension: parallel greedy MIS / coloring (engine workload, backends x threads)", withErr(experiments.ParMIS)},
 }
 
 // allOrder is the order `relaxbench all` runs experiments in.
-var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb"}
+var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis"}
 
 // knownExperiment reports whether exp is a name run can dispatch.
 func knownExperiment(exp string) bool {

@@ -26,6 +26,19 @@
 //     acquisition or CAS over a whole batch of pairs, and a shared
 //     conformance and race-stress suite (cqtest) that any future backend
 //     must pass through both the singleton and the batch path;
+//   - a generic parallel relaxed-execution engine (internal/engine) that
+//     every concurrent path is a thin workload over: the engine owns the
+//     worker loops (singleton and batch-amortized), the Ctx.Spawn task
+//     production protocol and the in-flight termination counters
+//     (internal/inflight), while a workload only implements Frontier and
+//     TryExecute. The layer stack is workloads -> engine -> cq backends:
+//     static-DAG execution (RunIncrementalParallel), parallel SSSP
+//     (ParallelSSSPWith), best-first branch-and-bound with an atomic
+//     incumbent (ParallelBranchAndBound, the Karp-Zhang dynamic-spawning
+//     workload) and greedy MIS/coloring over a random permutation
+//     (ParallelGreedyMIS, ParallelGreedyColoring) all ride the same loop,
+//     with its own conformance suite (enginetest) run against every
+//     backend;
 //   - a rank/fairness Auditor measuring the relaxation any scheduler
 //     actually achieves;
 //   - the generic relaxed execution framework for incremental algorithms
@@ -61,5 +74,8 @@
 // See examples/ for runnable programs and cmd/relaxbench for the
 // experiment harness that regenerates every table and figure of the paper
 // and records per-PR benchmark trajectories (BENCH_*.json; see the README
-// section "Recording benchmark trajectories").
+// section "Recording benchmark trajectories"; `relaxbench compare OLD NEW`
+// diffs two of them). To add a parallel workload, implement engine.Workload
+// and call engine.Run — see the README section "Adding a parallel
+// workload".
 package relaxsched

@@ -1,0 +1,139 @@
+package bnb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
+	"relaxsched/internal/rng"
+)
+
+// ParallelOptions configure a concurrent branch-and-bound run.
+type ParallelOptions struct {
+	// Threads is the number of worker goroutines (>= 1).
+	Threads int
+	// QueueMultiplier is the relaxation multiplier of the concurrent queue
+	// (>= 1; the classic MultiQueue configuration is 2).
+	QueueMultiplier int
+	// Backend selects the concurrent queue implementation; the zero value
+	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
+	Backend cq.Backend
+	// BatchSize is the number of (node, bound) pairs a worker moves per
+	// queue operation (<= 1 disables batching).
+	BatchSize int
+	// Seed drives the queue randomness.
+	Seed uint64
+	// Budget caps the number of search nodes the run may allocate (>= 1);
+	// exceeding it is an error, exactly as in the sequential Run.
+	Budget int
+}
+
+// unset is the incumbent sentinel: any real leaf cost is below it.
+const unset = int64(1) << 62
+
+// parallelSearch is the dynamic-spawning workload over the generic engine —
+// Karp–Zhang-style parallel backtracking, the workload with which relaxed
+// priority scheduling originated. Expanding a node spawns its surviving
+// children; the shared incumbent (an atomic CAS-min) prunes nodes whose
+// lower bound is no better than the best leaf seen so far. Because edge
+// costs are positive, every ancestor of the optimal leaf has strictly
+// smaller cost than any incumbent, so no scheduler relaxation or pruning
+// race can discard the optimal path — relaxation only costs extra
+// expansions, never the optimum.
+//
+// Node state does not fit in the queue's int64 value, so nodes live in a
+// pre-allocated arena indexed by an atomically-allocated id: the spawning
+// worker writes the slot before pushing the id, and the queue's internal
+// synchronization orders that write before any pop observes the id.
+type parallelSearch struct {
+	t     Tree
+	nodes []node
+	next  atomic.Int64 // arena allocation cursor
+
+	incumbent atomic.Int64
+	expanded  atomic.Int64
+	pruned    atomic.Int64
+	overflow  atomic.Bool // node budget exceeded; run result is invalid
+}
+
+func (s *parallelSearch) Frontier(emit func(value, priority int64)) {
+	s.nodes[0] = node{hash: rng.Mix64(s.t.Seed), cost: 0, depth: 0}
+	s.next.Store(1)
+	emit(0, 0)
+}
+
+func (s *parallelSearch) TryExecute(ctx *engine.Ctx, value, _ int64) engine.Status {
+	nd := s.nodes[value]
+	if nd.cost >= s.incumbent.Load() {
+		s.pruned.Add(1)
+		return engine.Discarded
+	}
+	if int(nd.depth) == s.t.Depth {
+		// Leaf: CAS-min the incumbent.
+		for {
+			cur := s.incumbent.Load()
+			if nd.cost >= cur || s.incumbent.CompareAndSwap(cur, nd.cost) {
+				break
+			}
+		}
+		return engine.Discarded
+	}
+	for c := 0; c < s.t.Branch; c++ {
+		childCost := nd.cost + s.t.edgeCost(nd.hash, c)
+		if childCost >= s.incumbent.Load() {
+			continue // prune at generation
+		}
+		id := s.next.Add(1) - 1
+		if id >= int64(len(s.nodes)) {
+			s.overflow.Store(true)
+			continue
+		}
+		s.nodes[id] = node{hash: s.t.childHash(nd.hash, c), cost: childCost, depth: nd.depth + 1}
+		ctx.Spawn(id, childCost)
+	}
+	s.expanded.Add(1)
+	return engine.Executed
+}
+
+// ParallelRun performs best-first branch-and-bound with worker goroutines
+// over a concurrent relaxed queue — the dynamic-task workload the generic
+// engine exists for, which the static-DAG runtime could not express. The
+// optimum is deterministic (it always equals Optimal's); Expanded and
+// Pruned vary with scheduling, and their excess over an exact best-first
+// search is this workload's analogue of the paper's extra steps.
+func ParallelRun(t Tree, opts ParallelOptions) (Result, error) {
+	if t.Depth < 1 || t.Branch < 2 || t.MaxEdgeCost < 1 {
+		return Result{}, fmt.Errorf("bnb: invalid tree %+v", t)
+	}
+	if opts.Budget < 1 {
+		return Result{}, fmt.Errorf("bnb: need Budget >= 1, got %d", opts.Budget)
+	}
+	s := &parallelSearch{t: t, nodes: make([]node, opts.Budget)}
+	s.incumbent.Store(unset)
+
+	stats, err := engine.Run(s, engine.Options{
+		Threads:         opts.Threads,
+		QueueMultiplier: opts.QueueMultiplier,
+		Backend:         opts.Backend,
+		BatchSize:       opts.BatchSize,
+		Seed:            opts.Seed,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("bnb: %w", err)
+	}
+	res := Result{
+		Expanded: s.expanded.Load(),
+		Pruned:   s.pruned.Load(),
+		Pops:     stats.Popped,
+	}
+	if s.overflow.Load() {
+		return res, fmt.Errorf("bnb: exceeded node budget %d", opts.Budget)
+	}
+	best := s.incumbent.Load()
+	if best >= unset {
+		return res, fmt.Errorf("bnb: no leaf reached")
+	}
+	res.Best = best
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package bnb
+
+import (
+	"testing"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/sched"
+)
+
+func testTree(seed uint64) Tree {
+	return Tree{Depth: 7, Branch: 3, MaxEdgeCost: 50, Seed: seed}
+}
+
+func TestParallelRunFindsOptimum(t *testing.T) {
+	tree := testTree(7)
+	want := Optimal(tree)
+	res, err := ParallelRun(tree, ParallelOptions{
+		Threads: 4, QueueMultiplier: 2, Seed: 1, Budget: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != want {
+		t.Fatalf("Best = %d, want %d", res.Best, want)
+	}
+	if res.Expanded < 1 || res.Pops < res.Expanded+res.Pruned {
+		t.Fatalf("implausible accounting: %+v", res)
+	}
+}
+
+func TestParallelRunAcrossBackendsAndBatches(t *testing.T) {
+	// Every backend and both batching modes must reach the same optimum;
+	// only the wasted expansions may differ.
+	tree := testTree(21)
+	want := Optimal(tree)
+	for _, backend := range cq.Backends() {
+		for _, batch := range []int{0, 8, 64} {
+			res, err := ParallelRun(tree, ParallelOptions{
+				Threads: 4, QueueMultiplier: 2, Backend: backend,
+				BatchSize: batch, Seed: 3, Budget: 1 << 16,
+			})
+			if err != nil {
+				t.Fatalf("%s/batch%d: %v", backend, batch, err)
+			}
+			if res.Best != want {
+				t.Fatalf("%s/batch%d: Best = %d, want %d", backend, batch, res.Best, want)
+			}
+		}
+	}
+}
+
+func TestParallelRunMatchesSequentialOptimum(t *testing.T) {
+	// The sequential scheduler-driven search and the parallel engine search
+	// must agree on the optimum for several trees.
+	for seed := uint64(1); seed <= 5; seed++ {
+		tree := testTree(seed)
+		seq, err := Run(tree, sched.NewExact(1<<16), 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ParallelRun(tree, ParallelOptions{
+			Threads: 3, QueueMultiplier: 2, Seed: seed, Budget: 1 << 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Best != seq.Best {
+			t.Fatalf("seed %d: parallel Best = %d, sequential %d", seed, par.Best, seq.Best)
+		}
+	}
+}
+
+func TestParallelRunSingleThreadNearExact(t *testing.T) {
+	// One thread, one queue: pops are exact by priority, so the search is
+	// plain best-first. Ties at the pruning boundary may break differently
+	// than in the sequential scheduler, so allow a small slack, but the
+	// expansion counts must stay in the same ballpark (no relaxation
+	// blow-up can occur with an exact queue).
+	tree := testTree(9)
+	seq, err := Run(tree, sched.NewExact(1<<16), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelRun(tree, ParallelOptions{
+		Threads: 1, QueueMultiplier: 1, Seed: 2, Budget: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Best != seq.Best {
+		t.Fatalf("Best = %d, want %d", par.Best, seq.Best)
+	}
+	if par.Expanded > seq.Expanded+seq.Expanded/10+8 {
+		t.Fatalf("exact single queue expanded %d, sequential %d", par.Expanded, seq.Expanded)
+	}
+}
+
+func TestParallelRunBudgetExceeded(t *testing.T) {
+	tree := testTree(5)
+	if _, err := ParallelRun(tree, ParallelOptions{
+		Threads: 4, QueueMultiplier: 2, Seed: 1, Budget: 8,
+	}); err == nil {
+		t.Fatal("tiny budget accepted")
+	}
+}
+
+func TestParallelRunInvalidOptions(t *testing.T) {
+	tree := testTree(1)
+	if _, err := ParallelRun(Tree{}, ParallelOptions{Threads: 1, QueueMultiplier: 1, Budget: 16}); err == nil {
+		t.Fatal("invalid tree accepted")
+	}
+	if _, err := ParallelRun(tree, ParallelOptions{Threads: 0, QueueMultiplier: 1, Budget: 16}); err == nil {
+		t.Fatal("Threads 0 accepted")
+	}
+	if _, err := ParallelRun(tree, ParallelOptions{Threads: 1, QueueMultiplier: 0, Budget: 16}); err == nil {
+		t.Fatal("QueueMultiplier 0 accepted")
+	}
+	if _, err := ParallelRun(tree, ParallelOptions{Threads: 1, QueueMultiplier: 1, Budget: 0}); err == nil {
+		t.Fatal("Budget 0 accepted")
+	}
+	if _, err := ParallelRun(tree, ParallelOptions{
+		Threads: 1, QueueMultiplier: 1, Budget: 16, Backend: "no-such-queue",
+	}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

@@ -2,13 +2,11 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"relaxsched/internal/cq"
-	"relaxsched/internal/inflight"
-	"relaxsched/internal/rng"
+	"relaxsched/internal/engine"
 )
 
 // ParallelOptions configure a ParallelRun.
@@ -36,184 +34,108 @@ type ParallelOptions struct {
 	OnProcess func(label int)
 }
 
-// ParallelRun executes the task set concurrently: worker goroutines pop
-// labels from a concurrent relaxed queue (any cq backend), process them
-// when all their dependencies are satisfied, and re-insert them otherwise.
-// This is the
-// concurrent analogue of Algorithm 2 — the regime the paper's Section 4
-// transactional model abstracts — with re-insertion playing the role of
-// the sequential model's "task stays in the scheduler".
-//
-// Termination uses cache-padded per-worker in-flight counters (see
-// internal/inflight), and processing-order slots are claimed with an
-// atomic order ticket, so runs without an OnProcess callback share no
-// contended line on the hot path: the only global synchronization left is
-// the queue itself. With OnProcess set, callback invocations (and their
-// order tickets) serialize under a mutex exactly as documented on the
-// option.
-//
-// The returned Result counts every pop as a step, so ExtraSteps again
-// measures wasted work: pops of tasks that could not be processed yet.
-// AdjacentInversions is not measured in the concurrent run (first-return
-// order is not well defined across racing workers) and is reported as 0.
-func ParallelRun(dag *DAG, opts ParallelOptions) (Result, error) {
-	if err := dag.Validate(); err != nil {
-		return Result{}, err
-	}
-	if opts.Threads < 1 {
-		return Result{}, fmt.Errorf("core: ParallelRun needs Threads >= 1")
-	}
-	if opts.QueueMultiplier < 1 {
-		return Result{}, fmt.Errorf("core: ParallelRun needs QueueMultiplier >= 1")
-	}
-	mq, err := cq.New(opts.Backend, opts.Threads, opts.QueueMultiplier)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: %w", err)
-	}
-	n := dag.N
-	remaining := make([]atomic.Int32, n)
-	succs := make([][]int32, n)
-	for j := 0; j < n; j++ {
-		remaining[j].Store(int32(len(dag.Preds[j])))
-		for _, i := range dag.Preds[j] {
-			succs[i] = append(succs[i], int32(j))
-		}
-	}
-
-	seedRng := rng.New(opts.Seed)
-	for i := 0; i < n; i++ {
-		mq.Push(seedRng, int64(i), int64(i))
-	}
-
-	counters := inflight.New(opts.Threads)
-	counters.ProduceN(0, int64(n)) // the n seed labels pushed above
-	var steps atomic.Int64
+// dagWorkload is the static-DAG workload over the generic engine: every
+// label is seeded up-front at priority = label, a popped label is Blocked
+// until all its predecessors have been processed, and processing decrements
+// the successors' remaining-predecessor counters. Nothing is ever spawned —
+// the engine's re-insertion of Blocked pops is exactly Algorithm 2's "task
+// stays in the scheduler".
+type dagWorkload struct {
+	remaining []atomic.Int32
+	succs     [][]int32
 
 	// Processing-order collection: each processed task claims the next slot
 	// of a pre-sized array via an atomic ticket. Without OnProcess that is
 	// the only write shared between workers (and each slot is written
 	// exactly once); with OnProcess, ticket claim and callback happen under
 	// procMu so the callback observes tasks in slot order.
-	order := make([]int32, n)
-	var ticket atomic.Int64
-	var procMu sync.Mutex
+	order     []int32
+	ticket    atomic.Int64
+	procMu    sync.Mutex
+	onProcess func(label int)
+}
 
-	process := func(label int) {
-		if opts.OnProcess != nil {
-			procMu.Lock()
-			order[ticket.Add(1)-1] = int32(label)
-			opts.OnProcess(label)
-			procMu.Unlock()
-		} else {
-			order[ticket.Add(1)-1] = int32(label)
-		}
-		for _, j := range succs[label] {
-			remaining[j].Add(-1)
+func newDAGWorkload(dag *DAG, onProcess func(label int)) *dagWorkload {
+	n := dag.N
+	w := &dagWorkload{
+		remaining: make([]atomic.Int32, n),
+		succs:     make([][]int32, n),
+		order:     make([]int32, n),
+		onProcess: onProcess,
+	}
+	for j := 0; j < n; j++ {
+		w.remaining[j].Store(int32(len(dag.Preds[j])))
+		for _, i := range dag.Preds[j] {
+			w.succs[i] = append(w.succs[i], int32(j))
 		}
 	}
+	return w
+}
 
-	var wg sync.WaitGroup
-	for t := 0; t < opts.Threads; t++ {
-		wg.Add(1)
-		go func(w int, r *rng.Xoshiro) {
-			defer wg.Done()
-			if opts.BatchSize > 1 {
-				coreWorkerBatched(mq, counters, remaining, process, w, r, opts.BatchSize, &steps)
-			} else {
-				coreWorker(mq, counters, remaining, process, w, r, &steps)
-			}
-		}(t, seedRng.Split())
+func (d *dagWorkload) Frontier(emit func(value, priority int64)) {
+	for i := range d.order {
+		emit(int64(i), int64(i))
 	}
-	wg.Wait()
+}
 
-	processed := ticket.Load()
+func (d *dagWorkload) TryExecute(_ *engine.Ctx, value, _ int64) engine.Status {
+	label := int(value)
+	if d.remaining[label].Load() > 0 {
+		return engine.Blocked
+	}
+	if d.onProcess != nil {
+		d.procMu.Lock()
+		d.order[d.ticket.Add(1)-1] = int32(label)
+		d.onProcess(label)
+		d.procMu.Unlock()
+	} else {
+		d.order[d.ticket.Add(1)-1] = int32(label)
+	}
+	for _, j := range d.succs[label] {
+		d.remaining[j].Add(-1)
+	}
+	return engine.Executed
+}
+
+// ParallelRun executes the task set concurrently: worker goroutines pop
+// labels from a concurrent relaxed queue (any cq backend), process them
+// when all their dependencies are satisfied, and re-insert them otherwise.
+// It is a thin static-DAG workload over the generic relaxed-execution
+// engine (internal/engine), which owns the worker loop, the batching
+// buffers and the in-flight termination protocol; see that package for the
+// execution model. The serialized-OnProcess guarantee documented on
+// ParallelOptions is layered here, in the workload.
+//
+// The returned Result counts every pop as a step, so ExtraSteps again
+// measures wasted work: pops of tasks that could not be processed yet.
+// AdjacentInversions is undefined engine-wide for parallel runs
+// (first-return order is not well defined across racing workers) and is
+// reported as 0.
+func ParallelRun(dag *DAG, opts ParallelOptions) (Result, error) {
+	if err := dag.Validate(); err != nil {
+		return Result{}, err
+	}
+	wl := newDAGWorkload(dag, opts.OnProcess)
+	stats, err := engine.Run(wl, engine.Options{
+		Threads:         opts.Threads,
+		QueueMultiplier: opts.QueueMultiplier,
+		Backend:         opts.Backend,
+		BatchSize:       opts.BatchSize,
+		Seed:            opts.Seed,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	n := int64(dag.N)
+	processed := wl.ticket.Load()
 	res := Result{
-		Steps:     steps.Load(),
+		Steps:     stats.Popped,
 		Processed: processed,
-		Order:     order[:processed],
+		Order:     wl.order[:processed],
 	}
-	if res.Processed != int64(n) {
-		return res, fmt.Errorf("core: parallel run processed %d of %d tasks", res.Processed, n)
+	if processed != n {
+		return res, fmt.Errorf("core: parallel run processed %d of %d tasks", processed, n)
 	}
-	res.ExtraSteps = res.Steps - int64(n)
+	res.ExtraSteps = res.Steps - n
 	return res, nil
-}
-
-// coreWorker is the per-label (unbatched) worker loop.
-func coreWorker(mq cq.BatchQueue, counters *inflight.Counter, remaining []atomic.Int32,
-	process func(label int), w int, r *rng.Xoshiro, steps *atomic.Int64) {
-	var localSteps int64
-	for {
-		label64, prio, ok := mq.Pop(r)
-		if !ok {
-			if counters.Quiescent() {
-				break
-			}
-			runtime.Gosched()
-			continue
-		}
-		localSteps++
-		label := int(label64)
-		if remaining[label].Load() > 0 {
-			// Blocked: a dependency is unprocessed. Re-insert and count the
-			// wasted step. Each label has exactly one live copy, carried by
-			// this worker between the pop and the re-push.
-			mq.Push(r, label64, prio)
-			// Yield so this worker does not hot-spin re-popping the same
-			// blocked task while its dependencies are mid-flight.
-			runtime.Gosched()
-			continue
-		}
-		process(label)
-		counters.Complete(w)
-	}
-	steps.Add(localSteps)
-}
-
-// coreWorkerBatched is the batch-amortized worker loop: labels arrive up to
-// batch at a time, and blocked labels accumulate in a local re-insertion
-// buffer flushed through PushBatch at the end of every round — one
-// coordination round per batch, and no blocked label is ever parked
-// locally across rounds. That invariant is what makes the bare Quiescent
-// check below safe: the buffer is provably empty whenever PopBatch reports
-// the queue empty. A label's single live copy stays with this worker
-// between the pop and the flush, preserving the no-duplication invariant.
-func coreWorkerBatched(mq cq.BatchQueue, counters *inflight.Counter, remaining []atomic.Int32,
-	process func(label int), w int, r *rng.Xoshiro, batch int, steps *atomic.Int64) {
-	var localSteps int64
-	in := make([]cq.Pair, batch)
-	out := make([]cq.Pair, 0, batch)
-	for {
-		k := mq.PopBatch(r, in)
-		if k == 0 {
-			if counters.Quiescent() {
-				break
-			}
-			runtime.Gosched()
-			continue
-		}
-		blocked := 0
-		for _, p := range in[:k] {
-			localSteps++
-			label := int(p.Value)
-			if remaining[label].Load() > 0 {
-				out = append(out, p)
-				blocked++
-				continue
-			}
-			process(label)
-			counters.Complete(w)
-		}
-		if len(out) > 0 {
-			mq.PushBatch(r, out)
-			out = out[:0]
-		}
-		if blocked == k {
-			// The whole batch was blocked: yield so this worker does not
-			// hot-spin re-popping the same frontier while its dependencies
-			// are mid-flight on other workers.
-			runtime.Gosched()
-		}
-	}
-	steps.Add(localSteps)
 }

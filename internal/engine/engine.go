@@ -1,0 +1,291 @@
+// Package engine is the generic parallel relaxed-execution engine behind
+// every concurrent path in this repository. It owns the worker loop that
+// core.ParallelRun, sssp.ParallelWith, bnb.ParallelRun and mis.ParallelGreedyMIS
+// all used to hand-roll: pop a (value, priority) pair from a concurrent
+// relaxed queue (any cq backend), hand it to the workload, and either
+// complete it, re-insert it (dependencies unmet), or push the tasks it
+// spawned — with batch-amortized queue traffic and contention-free
+// termination detection shared by every workload.
+//
+// An algorithm plugs in by implementing Workload: Frontier emits the
+// initial task pairs, and TryExecute attempts one popped task, spawning
+// follow-up tasks through Ctx.Spawn. Static-DAG execution (a blocked task
+// reports Blocked and is re-inserted), relaxation-spawning searches like
+// SSSP (stale pops report Discarded, improvements spawn fresh pairs), and
+// dynamic branch-and-bound (children spawned under an incumbent bound) are
+// all ~100-line workloads over the same loop, so backend and batching
+// comparisons measure the data structure, never the calling convention.
+//
+// Termination uses cache-padded per-worker in-flight counters (see
+// internal/inflight): a worker exits only when the queue looks empty, its
+// own buffers are flushed, and the cross-worker double scan proves no task
+// is pending anywhere. The counter sum-scan runs only on apparent-empty,
+// keeping the hot path free of shared-counter traffic.
+//
+// Engine-wide caveat: no well-defined global processing order exists across
+// racing workers, so order-sensitive metrics of the sequential model —
+// core.Result.AdjacentInversions in particular — are undefined in parallel
+// runs and reported as zero by every adapter.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/inflight"
+	"relaxsched/internal/rng"
+)
+
+// Status is the outcome of one TryExecute attempt.
+type Status int8
+
+const (
+	// Executed: the task ran and is complete; anything it spawned through
+	// Ctx.Spawn enters the queue.
+	Executed Status = iota
+	// Discarded: the task is complete but did no work (e.g. a stale SSSP
+	// duplicate, a pruned branch-and-bound node). Distinguished from
+	// Executed only for accounting.
+	Discarded
+	// Blocked: the task cannot run yet (an unprocessed dependency); the
+	// engine re-inserts the same (value, priority) pair and counts the pop
+	// as wasted work. A Blocked task must not spawn.
+	Blocked
+)
+
+// Workload is the algorithm-side contract of the engine. Implementations
+// must be safe for concurrent TryExecute calls from opts.Threads workers;
+// the engine provides no serialization beyond the queue itself (workloads
+// needing ordered side effects layer their own, as core's OnProcess does).
+type Workload interface {
+	// Frontier emits the initial (value, priority) pairs. It runs once,
+	// before any worker starts, on the engine's goroutine.
+	Frontier(emit func(value, priority int64))
+	// TryExecute attempts the popped task. New tasks are spawned through
+	// ctx.Spawn (never from a Blocked attempt); ctx is worker-local and
+	// must not escape the call.
+	TryExecute(ctx *Ctx, value, priority int64) Status
+}
+
+// Options configure a Run. They are the common knobs the former per-package
+// runtimes each re-declared.
+type Options struct {
+	// Threads is the number of worker goroutines (>= 1).
+	Threads int
+	// QueueMultiplier is the relaxation multiplier of the concurrent queue
+	// (>= 1; the classic MultiQueue configuration is 2, giving
+	// Threads * QueueMultiplier internal queues).
+	QueueMultiplier int
+	// Backend selects the concurrent queue implementation; the zero value
+	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
+	Backend cq.Backend
+	// BatchSize is the number of pairs a worker moves per queue operation:
+	// pops arrive in batches, and spawned or re-inserted pairs accumulate
+	// in a per-worker buffer flushed through PushBatch. Values <= 1
+	// disable batching (one queue operation per pair).
+	BatchSize int
+	// Seed drives the queue randomness (one split-off stream per worker).
+	Seed uint64
+}
+
+// Stats is the engine's execution accounting, summed over all workers.
+// Every pop is counted exactly once as Executed, Discarded or Reinserted.
+type Stats struct {
+	// Popped is the total number of pairs popped.
+	Popped int64
+	// Executed counts pops whose TryExecute returned Executed.
+	Executed int64
+	// Discarded counts pops consumed without work (stale or pruned).
+	Discarded int64
+	// Reinserted counts Blocked pops put back into the queue — the
+	// engine-level analogue of the paper's extra steps.
+	Reinserted int64
+}
+
+// Ctx is the worker-local spawn context handed to TryExecute. Spawned pairs
+// are recorded in the termination counter before they become visible to
+// other workers, so the workload never touches the counter protocol.
+type Ctx struct {
+	// Worker is this worker's index in [0, Threads); workloads may use it
+	// to shard their own per-worker state.
+	Worker int
+
+	r        *rng.Xoshiro
+	mq       cq.BatchQueue
+	counters *inflight.Counter
+	out      []cq.Pair // deferred pushes (batched mode only)
+	batch    int
+}
+
+// Spawn enqueues a new task. In batched mode the pair lands in the worker's
+// out-buffer, flushed through PushBatch when full (and always before a
+// termination check); unbatched it is pushed immediately.
+func (c *Ctx) Spawn(value, priority int64) {
+	c.counters.Produce(c.Worker)
+	if c.batch > 1 {
+		c.buffer(cq.Pair{Value: value, Priority: priority})
+	} else {
+		c.mq.Push(c.r, value, priority)
+	}
+}
+
+// buffer appends a pair to the out-buffer, flushing when it reaches the
+// batch size so the buffer never grows beyond one batch.
+func (c *Ctx) buffer(p cq.Pair) {
+	c.out = append(c.out, p)
+	if len(c.out) >= c.batch {
+		c.flush()
+	}
+}
+
+// flush pushes the out-buffer as one batch.
+func (c *Ctx) flush() {
+	if len(c.out) > 0 {
+		c.mq.PushBatch(c.r, c.out)
+		c.out = c.out[:0]
+	}
+}
+
+// Run executes the workload to quiescence: workers pop from the selected
+// concurrent relaxed queue and call TryExecute until every produced task —
+// seed frontier, spawns and re-insertions alike — has been completed.
+//
+// Every pop counts into Stats exactly once, so adapters can derive their
+// historical metrics (core's Steps, sssp's Popped/Processed) without
+// touching the loop.
+func Run(wl Workload, opts Options) (Stats, error) {
+	if opts.Threads < 1 {
+		return Stats{}, fmt.Errorf("engine: need Threads >= 1, got %d", opts.Threads)
+	}
+	if opts.QueueMultiplier < 1 {
+		return Stats{}, fmt.Errorf("engine: need QueueMultiplier >= 1, got %d", opts.QueueMultiplier)
+	}
+	mq, err := cq.New(opts.Backend, opts.Threads, opts.QueueMultiplier)
+	if err != nil {
+		return Stats{}, fmt.Errorf("engine: %w", err)
+	}
+
+	seedRng := rng.New(opts.Seed)
+	counters := inflight.New(opts.Threads)
+	wl.Frontier(func(value, priority int64) {
+		// Produce before the push makes the pair visible, exactly as
+		// Ctx.Spawn does on the hot path.
+		counters.Produce(0)
+		mq.Push(seedRng, value, priority)
+	})
+
+	var total Stats
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for t := 0; t < opts.Threads; t++ {
+		wg.Add(1)
+		go func(w int, r *rng.Xoshiro) {
+			defer wg.Done()
+			ctx := &Ctx{Worker: w, r: r, mq: mq, counters: counters, batch: opts.BatchSize}
+			var local Stats
+			if opts.BatchSize > 1 {
+				ctx.out = make([]cq.Pair, 0, opts.BatchSize)
+				workerBatched(wl, ctx, &local)
+			} else {
+				worker(wl, ctx, &local)
+			}
+			mu.Lock()
+			total.Popped += local.Popped
+			total.Executed += local.Executed
+			total.Discarded += local.Discarded
+			total.Reinserted += local.Reinserted
+			mu.Unlock()
+		}(t, seedRng.Split())
+	}
+	wg.Wait()
+	return total, nil
+}
+
+// worker is the per-pair (unbatched) loop: one queue operation per pair.
+// This is the concurrent analogue of the paper's Algorithm 2 — the regime
+// its Section 4 transactional model abstracts — with re-insertion playing
+// the role of the sequential model's "task stays in the scheduler".
+func worker(wl Workload, ctx *Ctx, local *Stats) {
+	mq, r, counters, w := ctx.mq, ctx.r, ctx.counters, ctx.Worker
+	for {
+		value, priority, ok := mq.Pop(r)
+		if !ok {
+			if counters.Quiescent() {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		local.Popped++
+		switch wl.TryExecute(ctx, value, priority) {
+		case Executed:
+			local.Executed++
+			counters.Complete(w)
+		case Discarded:
+			local.Discarded++
+			counters.Complete(w)
+		default: // Blocked
+			// Re-insert and count the wasted pop. Each pair has exactly one
+			// live copy, carried by this worker between the pop and the
+			// re-push, then yield so this worker does not hot-spin
+			// re-popping the same blocked task while its dependencies are
+			// mid-flight.
+			local.Reinserted++
+			mq.Push(r, value, priority)
+			runtime.Gosched()
+		}
+	}
+}
+
+// workerBatched is the batch-amortized loop: pairs arrive up to BatchSize
+// at a time, and spawned or blocked pairs accumulate in the worker's
+// out-buffer, flushed through PushBatch when full — so the queue's
+// coordination cost (lock round-trip or CAS) is paid once per batch. The
+// buffer is always flushed before a termination check, so a parked pair —
+// recorded as produced, never completed — can never deadlock the counter
+// protocol: Quiescent stays false until its worker flushes and the pair is
+// eventually processed.
+func workerBatched(wl Workload, ctx *Ctx, local *Stats) {
+	mq, r, counters, w := ctx.mq, ctx.r, ctx.counters, ctx.Worker
+	in := make([]cq.Pair, ctx.batch)
+	for {
+		k := mq.PopBatch(r, in)
+		if k == 0 {
+			if len(ctx.out) > 0 {
+				ctx.flush()
+				continue
+			}
+			if counters.Quiescent() {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		blocked := 0
+		for _, p := range in[:k] {
+			local.Popped++
+			switch wl.TryExecute(ctx, p.Value, p.Priority) {
+			case Executed:
+				local.Executed++
+				counters.Complete(w)
+			case Discarded:
+				local.Discarded++
+				counters.Complete(w)
+			default: // Blocked
+				local.Reinserted++
+				blocked++
+				ctx.buffer(p)
+			}
+		}
+		if blocked == k {
+			// The whole batch was blocked: flush the re-insertions now and
+			// yield, so this worker neither parks the frontier's only live
+			// copies while idle nor hot-spins re-popping them while their
+			// dependencies are mid-flight on other workers.
+			ctx.flush()
+			runtime.Gosched()
+		}
+	}
+}

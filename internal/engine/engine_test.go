@@ -1,0 +1,133 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"relaxsched/internal/bnb"
+	"relaxsched/internal/core"
+	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
+	"relaxsched/internal/engine/enginetest"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sssp"
+)
+
+// TestConformance runs the shared synthetic suite (flat frontier,
+// spawn-heavy termination, dependency chain, duplicate discard) against
+// every registered cq backend. Run with -race in CI.
+func TestConformance(t *testing.T) {
+	for _, backend := range cq.Backends() {
+		t.Run(string(backend), func(t *testing.T) { enginetest.Run(t, backend) })
+	}
+}
+
+// randomDAG builds a layered random dependency DAG over n labels.
+func randomDAG(n int, r *rng.Xoshiro) *core.DAG {
+	d := core.NewDAG(n)
+	for j := 1; j < n; j++ {
+		for _, back := range []int{1 + r.Intn(j), 1 + r.Intn(j)} {
+			if r.Intn(3) > 0 {
+				d.AddDep(j-back, j)
+			}
+		}
+	}
+	return d
+}
+
+// TestWorkloadConformance drives the three production workload families —
+// static DAG (core), relaxation-spawning SSSP, and dynamic branch-and-bound
+// — through their public adapters on every backend x batch-size cell, and
+// checks each against its sequential ground truth. This is the engine-level
+// analogue of cqtest: a new backend (or engine change) is safe for every
+// parallel path exactly when this grid passes under -race.
+func TestWorkloadConformance(t *testing.T) {
+	const n = 900
+	dag := randomDAG(n, rng.New(5))
+	g := graph.Random(800, 3200, 100, 7)
+	exact := sssp.Dijkstra(g, 0)
+	tree := bnb.Tree{Depth: 7, Branch: 3, MaxEdgeCost: 60, Seed: 9}
+	optimum := bnb.Optimal(tree)
+
+	for _, backend := range cq.Backends() {
+		for _, batch := range []int{0, 16} {
+			t.Run(fmt.Sprintf("%s/batch%d", backend, batch), func(t *testing.T) {
+				run, err := core.ParallelRun(dag, core.ParallelOptions{
+					Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 1,
+				})
+				if err != nil {
+					t.Fatalf("static-DAG batch %d: %v", batch, err)
+				}
+				if run.Processed != n {
+					t.Fatalf("static-DAG batch %d: processed %d of %d", batch, run.Processed, n)
+				}
+				pos := make([]int, n)
+				for i, l := range run.Order {
+					pos[l] = i
+				}
+				for j := 0; j < n; j++ {
+					for _, i := range dag.Preds[j] {
+						if pos[i] > pos[j] {
+							t.Fatalf("static-DAG batch %d: task %d before ancestor %d", batch, j, i)
+						}
+					}
+				}
+
+				pr := sssp.ParallelWith(g, 0, sssp.ParallelOptions{
+					Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 2,
+				})
+				if !sssp.Equal(pr.Dist, exact.Dist) {
+					t.Fatalf("sssp batch %d: distances diverge from Dijkstra", batch)
+				}
+
+				br, err := bnb.ParallelRun(tree, bnb.ParallelOptions{
+					Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch,
+					Seed: 3, Budget: 1 << 16,
+				})
+				if err != nil {
+					t.Fatalf("bnb batch %d: %v", batch, err)
+				}
+				if br.Best != optimum {
+					t.Fatalf("bnb batch %d: Best = %d, want %d", batch, br.Best, optimum)
+				}
+			})
+		}
+	}
+}
+
+func TestRunInvalidOptions(t *testing.T) {
+	wl := &noopWorkload{}
+	if _, err := engine.Run(wl, engine.Options{Threads: 0, QueueMultiplier: 1}); err == nil {
+		t.Fatal("Threads 0 accepted")
+	}
+	if _, err := engine.Run(wl, engine.Options{Threads: 1, QueueMultiplier: 0}); err == nil {
+		t.Fatal("QueueMultiplier 0 accepted")
+	}
+	if _, err := engine.Run(wl, engine.Options{Threads: 1, QueueMultiplier: 1, Backend: "no-such-queue"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestRunEmptyFrontier(t *testing.T) {
+	// A workload with nothing to do must terminate immediately on every
+	// backend, batched or not.
+	for _, backend := range cq.Backends() {
+		for _, batch := range []int{0, 8} {
+			st, err := engine.Run(&noopWorkload{}, engine.Options{
+				Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 1,
+			})
+			if err != nil {
+				t.Fatalf("%s/batch%d: %v", backend, batch, err)
+			}
+			if st != (engine.Stats{}) {
+				t.Fatalf("%s/batch%d: non-zero stats %+v for empty workload", backend, batch, st)
+			}
+		}
+	}
+}
+
+type noopWorkload struct{}
+
+func (noopWorkload) Frontier(func(value, priority int64))               {}
+func (noopWorkload) TryExecute(*engine.Ctx, int64, int64) engine.Status { return engine.Executed }

@@ -1,0 +1,245 @@
+// Package enginetest is the shared conformance and race-stress suite for
+// the generic relaxed-execution engine, mirroring internal/cq/cqtest: run
+// it (with -race in CI) against every cq backend, and a backend is known to
+// drive the engine correctly exactly when enginetest.Run accepts it.
+//
+// The suite exercises the engine contract with synthetic workloads chosen
+// to stress each clause in isolation:
+//
+//   - a flat frontier (pure drain: every seeded task executed exactly once);
+//   - a spawn-heavy tree (dynamic task creation: termination must hold while
+//     every pop multiplies the pending work, the regime that breaks naive
+//     "queue looked empty" exits);
+//   - a dependency chain (worst-case re-insertion: at most one task is
+//     runnable at any time, so blocked pops recycle constantly and the
+//     batched path must keep parked pairs live);
+//   - a duplicate-discard workload (the Discarded status: stale pops are
+//     consumed without work, exactly SSSP's staleness filter).
+//
+// Real-workload conformance (static-DAG, SSSP, branch-and-bound through
+// their public adapters) lives in the engine's external test, which sweeps
+// this suite's same backend x batch grid.
+package enginetest
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
+)
+
+// batchSizes is the batching grid every subtest sweeps: the singleton path,
+// a small batch and a batch large enough to cover whole subproblems.
+var batchSizes = []int{0, 4, 64}
+
+// Run executes the full conformance and stress suite against the backend.
+func Run(t *testing.T, backend cq.Backend) {
+	t.Run("FlatFrontier", func(t *testing.T) { testFlatFrontier(t, backend) })
+	t.Run("SpawnHeavyTermination", func(t *testing.T) { testSpawnHeavyTermination(t, backend) })
+	t.Run("DependencyChain", func(t *testing.T) { testDependencyChain(t, backend) })
+	t.Run("DuplicateDiscard", func(t *testing.T) { testDuplicateDiscard(t, backend) })
+}
+
+func opts(backend cq.Backend, threads, batch int, seed uint64) engine.Options {
+	return engine.Options{
+		Threads: threads, QueueMultiplier: 2, Backend: backend,
+		BatchSize: batch, Seed: seed,
+	}
+}
+
+// checkStats verifies the engine's accounting identity: every pop is
+// counted exactly once as Executed, Discarded or Reinserted.
+func checkStats(t *testing.T, st engine.Stats) {
+	t.Helper()
+	if st.Popped != st.Executed+st.Discarded+st.Reinserted {
+		t.Fatalf("stats do not sum: %+v", st)
+	}
+}
+
+// flatWorkload seeds n independent tasks and spawns nothing.
+type flatWorkload struct {
+	n    int
+	hits []atomic.Int32
+}
+
+func (w *flatWorkload) Frontier(emit func(value, priority int64)) {
+	for i := 0; i < w.n; i++ {
+		emit(int64(i), int64(i))
+	}
+}
+
+func (w *flatWorkload) TryExecute(_ *engine.Ctx, value, _ int64) engine.Status {
+	w.hits[value].Add(1)
+	return engine.Executed
+}
+
+func testFlatFrontier(t *testing.T, backend cq.Backend) {
+	const n = 4000
+	for _, batch := range batchSizes {
+		w := &flatWorkload{n: n, hits: make([]atomic.Int32, n)}
+		st, err := engine.Run(w, opts(backend, 4, batch, 1))
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		checkStats(t, st)
+		if st.Executed != n || st.Popped != n {
+			t.Fatalf("batch %d: executed %d, popped %d, want %d", batch, st.Executed, st.Popped, n)
+		}
+		for i := range w.hits {
+			if got := w.hits[i].Load(); got != 1 {
+				t.Fatalf("batch %d: task %d executed %d times", batch, i, got)
+			}
+		}
+	}
+}
+
+// treeWorkload spawns a complete tree of the given depth and branching:
+// every executed task at depth < depth spawns branch children. Total tasks
+// = (branch^(depth+1) - 1) / (branch - 1). Values encode the depth so the
+// workload needs no shared node state — the spawn-heavy regime where every
+// pop multiplies the pending work, which is exactly what the termination
+// protocol must survive.
+type treeWorkload struct {
+	depth, branch int
+	executed      atomic.Int64
+}
+
+func (w *treeWorkload) Frontier(emit func(value, priority int64)) {
+	emit(0, 0) // value = depth of the node
+}
+
+func (w *treeWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.Status {
+	w.executed.Add(1)
+	if int(value) < w.depth {
+		for c := 0; c < w.branch; c++ {
+			ctx.Spawn(value+1, priority+1)
+		}
+	}
+	return engine.Executed
+}
+
+func testSpawnHeavyTermination(t *testing.T, backend cq.Backend) {
+	const depth, branch = 8, 3
+	want := int64(0)
+	for d, pow := 0, int64(1); d <= depth; d, pow = d+1, pow*branch {
+		want += pow
+	}
+	for _, batch := range batchSizes {
+		for _, threads := range []int{1, 4, 8} {
+			w := &treeWorkload{depth: depth, branch: branch}
+			st, err := engine.Run(w, opts(backend, threads, batch, uint64(7+threads)))
+			if err != nil {
+				t.Fatalf("threads %d batch %d: %v", threads, batch, err)
+			}
+			checkStats(t, st)
+			if got := w.executed.Load(); got != want {
+				t.Fatalf("threads %d batch %d: executed %d of %d spawned tasks", threads, batch, got, want)
+			}
+			if st.Executed != want {
+				t.Fatalf("threads %d batch %d: stats.Executed = %d, want %d", threads, batch, st.Executed, want)
+			}
+		}
+	}
+}
+
+// chainWorkload is the worst-case static dependency structure: task i is
+// Blocked until task i-1 has executed, so at most one task is ever
+// runnable and every other pop recycles through re-insertion.
+type chainWorkload struct {
+	n    int
+	done []atomic.Bool
+}
+
+func (w *chainWorkload) Frontier(emit func(value, priority int64)) {
+	for i := 0; i < w.n; i++ {
+		emit(int64(i), int64(i))
+	}
+}
+
+func (w *chainWorkload) TryExecute(_ *engine.Ctx, value, _ int64) engine.Status {
+	if value > 0 && !w.done[value-1].Load() {
+		return engine.Blocked
+	}
+	if w.done[value].Swap(true) {
+		// A second execution of the same task means a pair was duplicated.
+		panic("enginetest: chain task executed twice")
+	}
+	return engine.Executed
+}
+
+func testDependencyChain(t *testing.T, backend cq.Backend) {
+	const n = 300
+	for _, batch := range batchSizes {
+		w := &chainWorkload{n: n, done: make([]atomic.Bool, n)}
+		st, err := engine.Run(w, opts(backend, 4, batch, 3))
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		checkStats(t, st)
+		if st.Executed != n {
+			t.Fatalf("batch %d: executed %d of %d", batch, st.Executed, n)
+		}
+		if st.Reinserted != st.Popped-n {
+			t.Fatalf("batch %d: reinserted %d, popped %d, executed %d", batch, st.Reinserted, st.Popped, n)
+		}
+		for i := range w.done {
+			if !w.done[i].Load() {
+				t.Fatalf("batch %d: task %d never executed", batch, i)
+			}
+		}
+	}
+}
+
+// dupWorkload spawns every child twice and discards the second arrival —
+// the duplicate-insertion-plus-staleness-filter pattern of DecreaseKey-free
+// SSSP, exercising the Discarded status under concurrency.
+type dupWorkload struct {
+	levels int
+	width  int
+	seen   []atomic.Bool
+}
+
+func (w *dupWorkload) Frontier(emit func(value, priority int64)) {
+	for i := 0; i < w.width; i++ {
+		emit(int64(i), 0) // level-0 ids: [0, width)
+	}
+}
+
+func (w *dupWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.Status {
+	if w.seen[value].Swap(true) {
+		return engine.Discarded
+	}
+	level := int(value) / w.width
+	if level+1 < w.levels {
+		next := int64((level+1)*w.width + int(value)%w.width)
+		ctx.Spawn(next, priority+1)
+		ctx.Spawn(next, priority+2) // duplicate: must be discarded on arrival
+	}
+	return engine.Executed
+}
+
+func testDuplicateDiscard(t *testing.T, backend cq.Backend) {
+	const levels, width = 40, 50
+	for _, batch := range batchSizes {
+		w := &dupWorkload{levels: levels, width: width, seen: make([]atomic.Bool, levels*width)}
+		st, err := engine.Run(w, opts(backend, 4, batch, 11))
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		checkStats(t, st)
+		if st.Executed != levels*width {
+			t.Fatalf("batch %d: executed %d, want %d", batch, st.Executed, levels*width)
+		}
+		// Each of the (levels-1)*width deeper tasks was spawned twice; one
+		// copy executes, the other is discarded.
+		if want := int64((levels - 1) * width); st.Discarded != want {
+			t.Fatalf("batch %d: discarded %d, want %d", batch, st.Discarded, want)
+		}
+		for i := range w.seen {
+			if !w.seen[i].Load() {
+				t.Fatalf("batch %d: task %d never arrived", batch, i)
+			}
+		}
+	}
+}

@@ -305,3 +305,54 @@ func TestConfigSweeps(t *testing.T) {
 		t.Fatal("default maxThreads")
 	}
 }
+
+func TestParBnBSmoke(t *testing.T) {
+	c := SmokeConfig()
+	res, err := ParBnB(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if res.ExactExpanded < 1 {
+		t.Fatalf("exact expanded %v", res.ExactExpanded)
+	}
+	for _, row := range res.Rows {
+		if row.OpsPerSec <= 0 {
+			t.Fatalf("non-positive throughput: %+v", row)
+		}
+		if row.Expanded < res.ExactExpanded/2 {
+			t.Fatalf("implausibly few expansions: %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParMISSmoke(t *testing.T) {
+	c := SmokeConfig()
+	res, err := ParMIS(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	algos := map[string]bool{}
+	for _, row := range res.Rows {
+		algos[row.Algo] = true
+		if row.Extra < 0 || row.OpsPerSec <= 0 {
+			t.Fatalf("implausible row: %+v", row)
+		}
+	}
+	if !algos["greedy-mis"] || !algos["greedy-coloring"] {
+		t.Fatalf("missing an algorithm: %v", algos)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"io"
+
+	"relaxsched/internal/bnb"
+	"relaxsched/internal/cq"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/stats"
+)
+
+// ParBnBRow is one point of the parallel branch-and-bound experiment: the
+// Karp-Zhang dynamic-task workload on the generic engine, through one
+// concurrent queue backend at one thread count. WorkOverhead is
+// (expanded + pruned) relative to the exact best-first search — this
+// workload's analogue of the paper's extra steps — and OpsPerSec counts
+// pops per second of wall time, folding raw queue throughput and
+// speculation waste into one comparable number.
+type ParBnBRow struct {
+	Backend      string
+	Threads      int
+	Expanded     float64
+	Pruned       float64
+	WorkOverhead float64
+	OverheadErr  float64
+	OpsPerSec    float64
+	Millis       float64
+}
+
+// ParBnBResult holds the backend x threads sweep.
+type ParBnBResult struct {
+	ExactExpanded float64
+	Rows          []ParBnBRow
+}
+
+// ParBnB sweeps thread counts for parallel best-first branch-and-bound
+// across every concurrent queue backend (or only c.Backend when one is
+// selected). Every run must reach the exact optimum; only the wasted
+// expansions vary with relaxation.
+func ParBnB(c Config) (ParBnBResult, error) {
+	var res ParBnBResult
+	depth := 11
+	if c.scale() >= 16 {
+		depth = 8
+	}
+	budget := 1 << 20
+	if c.scale() >= 16 {
+		budget = 1 << 16
+	}
+	tree := bnb.Tree{Depth: depth, Branch: 3, MaxEdgeCost: 100, Seed: c.Seed}
+	exact, err := bnb.Run(tree, sched.NewExact(budget), budget)
+	if err != nil {
+		return res, err
+	}
+	res.ExactExpanded = float64(exact.Expanded)
+	exactWork := float64(exact.Expanded + exact.Pruned)
+
+	backends := cq.Backends()
+	if c.Backend != "" {
+		backends = []cq.Backend{c.Backend}
+	}
+	for _, backend := range backends {
+		for _, threads := range c.threadSweep() {
+			var work, exp, prn, ops, ms stats.Sample
+			for trial := 0; trial < c.trials(); trial++ {
+				var r bnb.Result
+				var runErr error
+				elapsed := timeIt(func() {
+					r, runErr = bnb.ParallelRun(tree, bnb.ParallelOptions{
+						Threads:         threads,
+						QueueMultiplier: 2,
+						Backend:         backend,
+						Seed:            c.Seed + uint64(trial*17+threads),
+						Budget:          budget,
+					})
+				})
+				if runErr != nil {
+					return res, runErr
+				}
+				if r.Best != exact.Best {
+					return res, errWrongOptimum
+				}
+				work.Add(float64(r.Expanded+r.Pruned) / exactWork)
+				exp.Add(float64(r.Expanded))
+				prn.Add(float64(r.Pruned))
+				ops.Add(float64(r.Pops) / elapsed.Seconds())
+				ms.Add(elapsed.Seconds() * 1e3)
+			}
+			res.Rows = append(res.Rows, ParBnBRow{
+				Backend: string(backend), Threads: threads,
+				Expanded: exp.Mean(), Pruned: prn.Mean(),
+				WorkOverhead: work.Mean(), OverheadErr: work.StdErr(),
+				OpsPerSec: ops.Mean(), Millis: ms.Mean(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the parallel branch-and-bound table.
+func (r ParBnBResult) Render(w io.Writer) error {
+	t := stats.NewTable("backend", "threads", "expanded", "pruned", "work-overhead", "stderr", "ops/sec", "ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Backend, row.Threads, row.Expanded, row.Pruned, row.WorkOverhead, row.OverheadErr, row.OpsPerSec, row.Millis)
+	}
+	return t.Render(w)
+}

@@ -61,61 +61,75 @@ func NewWorkload(g *graph.Graph, seed uint64) *Workload {
 	return &Workload{G: g, Perm: perm, LabelOf: labelOf, DAG: dag}
 }
 
+// misOnProcess returns the greedy-MIS state update: a vertex joins the set
+// iff no already-processed neighbour is in it. It is the single OnProcess
+// body shared by the sequential (GreedyMIS) and parallel (ParallelGreedyMIS)
+// executions — both frameworks guarantee dependency order and serialized
+// invocation, which is exactly what the closure relies on.
+func misOnProcess(w *Workload, inMIS []bool) func(label int) {
+	return func(label int) {
+		v := w.Perm[label]
+		targets, _ := w.G.OutEdges(v)
+		for _, u := range targets {
+			if inMIS[u] {
+				return
+			}
+		}
+		inMIS[v] = true
+	}
+}
+
 // GreedyMIS runs greedy maximal independent set over the workload through
 // the given scheduler and returns the membership vector (indexed by vertex
 // id) together with the framework's execution metrics.
 func GreedyMIS(w *Workload, s sched.Scheduler) ([]bool, core.Result, error) {
 	inMIS := make([]bool, w.G.NumNodes)
-	res, err := core.Run(w.DAG, s, core.Options{
-		OnProcess: func(label int) {
-			v := w.Perm[label]
-			targets, _ := w.G.OutEdges(v)
-			for _, u := range targets {
-				if inMIS[u] {
-					return
-				}
-			}
-			inMIS[v] = true
-		},
-	})
+	res, err := core.Run(w.DAG, s, core.Options{OnProcess: misOnProcess(w, inMIS)})
 	return inMIS, res, err
+}
+
+// coloringOnProcess returns the first-fit coloring state update (smallest
+// color unused by any already-processed neighbour), shared by the
+// sequential (GreedyColoring) and parallel (ParallelGreedyColoring)
+// executions. The colors slice must be initialized to -1. The scratch
+// buffer is reused across calls, which is safe because both frameworks
+// serialize OnProcess invocations.
+func coloringOnProcess(w *Workload, colors []int32) func(label int) {
+	var scratch []bool
+	return func(label int) {
+		v := w.Perm[label]
+		targets, _ := w.G.OutEdges(v)
+		deg := len(targets)
+		if cap(scratch) < deg+1 {
+			scratch = make([]bool, deg+1)
+		}
+		used := scratch[:deg+1]
+		for i := range used {
+			used[i] = false
+		}
+		for _, u := range targets {
+			if c := colors[u]; c >= 0 && int(c) <= deg {
+				used[c] = true
+			}
+		}
+		for c := range used {
+			if !used[c] {
+				colors[v] = int32(c)
+				return
+			}
+		}
+	}
 }
 
 // GreedyColoring runs greedy (first-fit) coloring over the workload
 // through the given scheduler. It returns the color of each vertex
 // (indexed by vertex id, colors from 0) and the execution metrics.
 func GreedyColoring(w *Workload, s sched.Scheduler) ([]int32, core.Result, error) {
-	n := w.G.NumNodes
-	colors := make([]int32, n)
+	colors := make([]int32, w.G.NumNodes)
 	for i := range colors {
 		colors[i] = -1
 	}
-	var scratch []bool
-	res, err := core.Run(w.DAG, s, core.Options{
-		OnProcess: func(label int) {
-			v := w.Perm[label]
-			targets, _ := w.G.OutEdges(v)
-			deg := len(targets)
-			if cap(scratch) < deg+1 {
-				scratch = make([]bool, deg+1)
-			}
-			used := scratch[:deg+1]
-			for i := range used {
-				used[i] = false
-			}
-			for _, u := range targets {
-				if c := colors[u]; c >= 0 && int(c) <= deg {
-					used[c] = true
-				}
-			}
-			for c := range used {
-				if !used[c] {
-					colors[v] = int32(c)
-					return
-				}
-			}
-		},
-	})
+	res, err := core.Run(w.DAG, s, core.Options{OnProcess: coloringOnProcess(w, colors)})
 	return colors, res, err
 }
 

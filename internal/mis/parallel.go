@@ -1,0 +1,48 @@
+package mis
+
+import (
+	"fmt"
+
+	"relaxsched/internal/core"
+)
+
+// ParallelGreedyMIS runs greedy maximal independent set over the workload
+// with worker goroutines on the generic relaxed-execution engine: the
+// permutation's dependency DAG rides core.ParallelRun (a static-DAG
+// workload), and the membership update — the same misOnProcess closure the
+// sequential execution uses — runs in the serialized OnProcess callback, so
+// it observes every earlier-ordered neighbour exactly as the sequential
+// greedy algorithm does. The resulting set is identical to the sequential
+// one — only the wasted work (ExtraSteps) varies with the backend, thread
+// count and batch size.
+//
+// opts.OnProcess must be nil; it is owned by the algorithm here.
+func ParallelGreedyMIS(w *Workload, opts core.ParallelOptions) ([]bool, core.Result, error) {
+	if opts.OnProcess != nil {
+		return nil, core.Result{}, fmt.Errorf("mis: OnProcess is owned by ParallelGreedyMIS")
+	}
+	inMIS := make([]bool, w.G.NumNodes)
+	opts.OnProcess = misOnProcess(w, inMIS)
+	res, err := core.ParallelRun(w.DAG, opts)
+	return inMIS, res, err
+}
+
+// ParallelGreedyColoring runs greedy (first-fit) coloring over the workload
+// with worker goroutines, exactly as ParallelGreedyMIS runs MIS (and with
+// the same shared coloringOnProcess closure as the sequential execution):
+// the colors match the sequential greedy coloring of the same permutation,
+// and only the wasted work varies.
+//
+// opts.OnProcess must be nil; it is owned by the algorithm here.
+func ParallelGreedyColoring(w *Workload, opts core.ParallelOptions) ([]int32, core.Result, error) {
+	if opts.OnProcess != nil {
+		return nil, core.Result{}, fmt.Errorf("mis: OnProcess is owned by ParallelGreedyColoring")
+	}
+	colors := make([]int32, w.G.NumNodes)
+	for i := range colors {
+		colors[i] = -1
+	}
+	opts.OnProcess = coloringOnProcess(w, colors)
+	res, err := core.ParallelRun(w.DAG, opts)
+	return colors, res, err
+}

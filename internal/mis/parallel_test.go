@@ -1,0 +1,79 @@
+package mis
+
+import (
+	"testing"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/cq"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/sched"
+)
+
+func TestParallelGreedyMISMatchesSequential(t *testing.T) {
+	// The parallel run must produce exactly the sequential greedy set of
+	// the same permutation: dependency order pins the result.
+	g := graph.Random(1200, 3600, 10, 5)
+	w := NewWorkload(g, 7)
+	seqSet, _, err := GreedyMIS(w, sched.NewExact(g.NumNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range cq.Backends() {
+		for _, batch := range []int{0, 16} {
+			parSet, res, err := ParallelGreedyMIS(w, core.ParallelOptions{
+				Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 3,
+			})
+			if err != nil {
+				t.Fatalf("%s/batch%d: %v", backend, batch, err)
+			}
+			if err := VerifyMIS(g, parSet); err != nil {
+				t.Fatalf("%s/batch%d: %v", backend, batch, err)
+			}
+			for v := range parSet {
+				if parSet[v] != seqSet[v] {
+					t.Fatalf("%s/batch%d: vertex %d differs from sequential greedy", backend, batch, v)
+				}
+			}
+			if res.Processed != int64(g.NumNodes) {
+				t.Fatalf("%s/batch%d: processed %d of %d", backend, batch, res.Processed, g.NumNodes)
+			}
+		}
+	}
+}
+
+func TestParallelGreedyColoringMatchesSequential(t *testing.T) {
+	g := graph.Random(1000, 4000, 10, 11)
+	w := NewWorkload(g, 13)
+	seqColors, _, err := GreedyColoring(w, sched.NewExact(g.NumNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range cq.Backends() {
+		parColors, _, err := ParallelGreedyColoring(w, core.ParallelOptions{
+			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 17,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if err := VerifyColoring(g, parColors); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		for v := range parColors {
+			if parColors[v] != seqColors[v] {
+				t.Fatalf("%s: vertex %d colored %d, sequential %d", backend, v, parColors[v], seqColors[v])
+			}
+		}
+	}
+}
+
+func TestParallelGreedyRejectsCallerOnProcess(t *testing.T) {
+	g := graph.Random(100, 200, 10, 3)
+	w := NewWorkload(g, 1)
+	opts := core.ParallelOptions{Threads: 2, QueueMultiplier: 2, OnProcess: func(int) {}}
+	if _, _, err := ParallelGreedyMIS(w, opts); err == nil {
+		t.Fatal("caller OnProcess accepted by ParallelGreedyMIS")
+	}
+	if _, _, err := ParallelGreedyColoring(w, opts); err == nil {
+		t.Fatal("caller OnProcess accepted by ParallelGreedyColoring")
+	}
+}

@@ -1,14 +1,11 @@
 package sssp
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/graph"
-	"relaxsched/internal/inflight"
-	"relaxsched/internal/rng"
 )
 
 // ParallelOptions configure a concurrent SSSP run.
@@ -70,168 +67,87 @@ func Parallel(g *graph.Graph, src, threads, queueMultiplier int, seed uint64) Pa
 	})
 }
 
+// ssspWorkload is the relaxation-spawning workload over the generic engine:
+// the frontier is the single source pair, a popped (vertex, dist) pair is
+// Discarded when stale (curDist > dist[v], Algorithm 3's staleness check)
+// and otherwise relaxes its out-edges, spawning a fresh pair per improved
+// distance. Since the concurrent queues have no DecreaseKey, improvements
+// insert duplicates and staleness filtering on pop keeps the search exact.
+type ssspWorkload struct {
+	g    *graph.Graph
+	dist []atomic.Int64
+	src  int
+}
+
+func (s *ssspWorkload) Frontier(emit func(value, priority int64)) {
+	emit(int64(s.src), 0)
+}
+
+func (s *ssspWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.Status {
+	v := int(value)
+	if priority > s.dist[v].Load() {
+		return engine.Discarded // stale duplicate
+	}
+	targets, weights := s.g.OutEdges(v)
+	for i := range targets {
+		u := int(targets[i])
+		nd := priority + int64(weights[i])
+		for {
+			cur := s.dist[u].Load()
+			if nd >= cur {
+				break
+			}
+			if s.dist[u].CompareAndSwap(cur, nd) {
+				ctx.Spawn(int64(u), nd)
+				break
+			}
+		}
+	}
+	return engine.Executed
+}
+
 // ParallelWith runs SSSP from src with opts.Threads worker goroutines over
-// the selected concurrent relaxed queue backend.
-//
-// Workers share an atomic tentative-distance array. Since the concurrent
-// queues have no DecreaseKey, an improved distance inserts a fresh
-// (vertex, dist) pair and stale pairs are discarded on pop via the
-// curDist > dist[v] check of Algorithm 3. Termination uses cache-padded
-// per-worker in-flight counters (see internal/inflight): a worker exits
-// only when the queue looks empty, its own buffers are flushed, and the
-// cross-worker double scan proves no task is pending anywhere — the
-// counter sum-scan runs only on apparent-empty, keeping the hot path free
-// of shared-counter traffic.
+// the selected concurrent relaxed queue backend. It is a thin workload over
+// the generic relaxed-execution engine (internal/engine), which owns the
+// worker loop, the per-worker batching buffers and the in-flight-counter
+// termination protocol; workers share only the atomic tentative-distance
+// array this adapter provides.
 func ParallelWith(g *graph.Graph, src int, opts ParallelOptions) ParallelResult {
-	threads := opts.Threads
-	if threads < 1 {
+	if opts.Threads < 1 {
 		panic("sssp: Parallel needs threads >= 1")
 	}
 	if opts.QueueMultiplier < 1 {
 		panic("sssp: Parallel needs queueMultiplier >= 1")
 	}
-	mq, err := cq.New(opts.Backend, threads, opts.QueueMultiplier)
+	n := g.NumNodes
+	wl := &ssspWorkload{g: g, dist: make([]atomic.Int64, n), src: src}
+	for i := range wl.dist {
+		wl.dist[i].Store(Inf)
+	}
+	wl.dist[src].Store(0)
+
+	stats, err := engine.Run(wl, engine.Options{
+		Threads:         opts.Threads,
+		QueueMultiplier: opts.QueueMultiplier,
+		Backend:         opts.Backend,
+		BatchSize:       opts.BatchSize,
+		Seed:            opts.Seed,
+	})
 	if err != nil {
 		panic("sssp: " + err.Error())
 	}
-	n := g.NumNodes
-	dist := make([]atomic.Int64, n)
-	for i := range dist {
-		dist[i].Store(Inf)
-	}
-	dist[src].Store(0)
-
-	seedRng := rng.New(opts.Seed)
-	mq.Push(seedRng, int64(src), 0)
-
-	counters := inflight.New(threads)
-	counters.ProduceN(0, 1) // the source pair, pushed above
-	var popped, processed atomic.Int64
-
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(w int, r *rng.Xoshiro) {
-			defer wg.Done()
-			if opts.BatchSize > 1 {
-				ssspWorkerBatched(g, dist, mq, counters, w, r, opts.BatchSize, &popped, &processed)
-			} else {
-				ssspWorker(g, dist, mq, counters, w, r, &popped, &processed)
-			}
-		}(t, seedRng.Split())
-	}
-	wg.Wait()
 
 	res := ParallelResult{
 		Dist:      make([]int64, n),
-		Popped:    popped.Load(),
-		Processed: processed.Load(),
+		Popped:    stats.Popped,
+		Processed: stats.Executed,
 	}
-	for i := range dist {
-		d := dist[i].Load()
+	for i := range wl.dist {
+		d := wl.dist[i].Load()
 		res.Dist[i] = d
 		if d < Inf {
 			res.Reached++
 		}
 	}
 	return res
-}
-
-// ssspRelax relaxes every out-edge of v at distance curDist, invoking emit
-// for each improved (target, newDist) pair after recording its production.
-func ssspRelax(g *graph.Graph, dist []atomic.Int64, counters *inflight.Counter,
-	w, v int, curDist int64, emit func(u int64, nd int64)) {
-	targets, weights := g.OutEdges(v)
-	for i := range targets {
-		u := int(targets[i])
-		nd := curDist + int64(weights[i])
-		for {
-			cur := dist[u].Load()
-			if nd >= cur {
-				break
-			}
-			if dist[u].CompareAndSwap(cur, nd) {
-				counters.Produce(w)
-				emit(int64(u), nd)
-				break
-			}
-		}
-	}
-}
-
-// ssspWorker is the per-element (unbatched) worker loop — the paper's
-// Section 7 protocol, one queue operation per relaxation.
-func ssspWorker(g *graph.Graph, dist []atomic.Int64, mq cq.BatchQueue,
-	counters *inflight.Counter, w int, r *rng.Xoshiro, popped, processed *atomic.Int64) {
-	var localPopped, localProcessed int64
-	for {
-		v64, curDist, ok := mq.Pop(r)
-		if !ok {
-			if counters.Quiescent() {
-				break
-			}
-			runtime.Gosched()
-			continue
-		}
-		localPopped++
-		v := int(v64)
-		if curDist > dist[v].Load() {
-			counters.Complete(w) // stale duplicate
-			continue
-		}
-		localProcessed++
-		ssspRelax(g, dist, counters, w, v, curDist, func(u, nd int64) {
-			mq.Push(r, u, nd)
-		})
-		counters.Complete(w)
-	}
-	popped.Add(localPopped)
-	processed.Add(localProcessed)
-}
-
-// ssspWorkerBatched is the batch-amortized worker loop: pops arrive up to
-// batch at a time and improved edges accumulate in a local out-buffer
-// flushed through PushBatch, so the queue's coordination cost (lock
-// round-trip or CAS) is paid once per batch. The out-buffer is always
-// flushed before a termination check, so buffered pairs — already recorded
-// as produced — can never deadlock the counter protocol.
-func ssspWorkerBatched(g *graph.Graph, dist []atomic.Int64, mq cq.BatchQueue,
-	counters *inflight.Counter, w int, r *rng.Xoshiro, batch int, popped, processed *atomic.Int64) {
-	var localPopped, localProcessed int64
-	in := make([]cq.Pair, batch)
-	out := make([]cq.Pair, 0, batch)
-	for {
-		k := mq.PopBatch(r, in)
-		if k == 0 {
-			if len(out) > 0 {
-				mq.PushBatch(r, out)
-				out = out[:0]
-				continue
-			}
-			if counters.Quiescent() {
-				break
-			}
-			runtime.Gosched()
-			continue
-		}
-		for _, p := range in[:k] {
-			localPopped++
-			v := int(p.Value)
-			if p.Priority > dist[v].Load() {
-				counters.Complete(w) // stale duplicate
-				continue
-			}
-			localProcessed++
-			ssspRelax(g, dist, counters, w, v, p.Priority, func(u, nd int64) {
-				out = append(out, cq.Pair{Value: u, Priority: nd})
-				if len(out) >= batch {
-					mq.PushBatch(r, out)
-					out = out[:0]
-				}
-			})
-			counters.Complete(w)
-		}
-	}
-	popped.Add(localPopped)
-	processed.Add(localProcessed)
 }

@@ -287,6 +287,22 @@ func GreedyColoring(w *GreedyWorkload, s Scheduler) ([]int32, RunResult, error) 
 	return mis.GreedyColoring(w, s)
 }
 
+// ParallelGreedyMIS computes the greedy maximal independent set of the
+// workload's permutation with worker goroutines over a concurrent relaxed
+// queue (the generic engine's static-DAG workload). The set is identical to
+// the sequential greedy one; only the wasted work varies. opts.OnProcess
+// must be nil — it is owned by the algorithm.
+func ParallelGreedyMIS(w *GreedyWorkload, opts ParallelRunOptions) ([]bool, RunResult, error) {
+	return mis.ParallelGreedyMIS(w, opts)
+}
+
+// ParallelGreedyColoring computes the greedy (first-fit) coloring of the
+// workload's permutation with worker goroutines; the colors match the
+// sequential greedy coloring. opts.OnProcess must be nil.
+func ParallelGreedyColoring(w *GreedyWorkload, opts ParallelRunOptions) ([]int32, RunResult, error) {
+	return mis.ParallelGreedyColoring(w, opts)
+}
+
 // VerifyMIS checks independence and maximality.
 func VerifyMIS(g *Graph, inMIS []bool) error { return mis.VerifyMIS(g, inMIS) }
 
@@ -305,6 +321,19 @@ type BnBResult = bnb.Result
 // optimum. budget caps scheduler slots (size the scheduler accordingly).
 func BranchAndBound(t BnBTree, s Scheduler, budget int) (BnBResult, error) {
 	return bnb.Run(t, s, budget)
+}
+
+// ParallelBnBOptions configure ParallelBranchAndBound: worker count, queue
+// multiplier, concurrent queue Backend, BatchSize, Seed and the node
+// Budget.
+type ParallelBnBOptions = bnb.ParallelOptions
+
+// ParallelBranchAndBound performs best-first branch-and-bound with worker
+// goroutines over a concurrent relaxed queue — the Karp-Zhang dynamic-task
+// workload on the generic engine. The optimum is deterministic; expanded
+// and pruned counts vary with scheduling.
+func ParallelBranchAndBound(t BnBTree, opts ParallelBnBOptions) (BnBResult, error) {
+	return bnb.ParallelRun(t, opts)
 }
 
 // TxnConfig parameterizes the transactional-model simulation.

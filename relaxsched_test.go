@@ -272,3 +272,45 @@ func TestFacadeQueueBackends(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeParallelWorkloads(t *testing.T) {
+	// The engine-backed parallel workloads added with internal/engine:
+	// branch-and-bound (dynamic spawning) and greedy MIS/coloring (static
+	// DAG over the permutation), through every backend.
+	tree := relaxsched.BnBTree{Depth: 6, Branch: 3, MaxEdgeCost: 40, Seed: 5}
+	seq, err := relaxsched.BranchAndBound(tree, relaxsched.NewExactScheduler(1<<14), 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := relaxsched.RandomGraph(600, 1800, 10, 3)
+	w := relaxsched.NewGreedyWorkload(g, 11)
+	for _, backend := range relaxsched.QueueBackends() {
+		par, err := relaxsched.ParallelBranchAndBound(tree, relaxsched.ParallelBnBOptions{
+			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 1, Budget: 1 << 14,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if par.Best != seq.Best {
+			t.Fatalf("%s: parallel Best = %d, sequential %d", backend, par.Best, seq.Best)
+		}
+		inSet, _, err := relaxsched.ParallelGreedyMIS(w, relaxsched.ParallelRunOptions{
+			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if err := relaxsched.VerifyMIS(g, inSet); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		colors, _, err := relaxsched.ParallelGreedyColoring(w, relaxsched.ParallelRunOptions{
+			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if err := relaxsched.VerifyColoring(g, colors); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+	}
+}

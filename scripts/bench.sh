@@ -1,22 +1,26 @@
 #!/bin/sh
-# Record this PR's benchmark trajectory: the backends head-to-head and the
-# batch-amortization sweep, as a JSON-lines file at the repository root.
-# Override the workload with SCALE / TRIALS / MAXTHREADS, e.g.
+# Record this PR's benchmark trajectory: the backends head-to-head, the
+# batch-amortization sweep, the parallel-incremental extra-steps rows, and
+# the two engine workloads added in PR 3 (parallel branch-and-bound and
+# parallel greedy MIS/coloring), as a JSON-lines file at the repository
+# root. Override the workload with SCALE / TRIALS / MAXTHREADS, e.g.
 #
 #   SCALE=16 MAXTHREADS=8 scripts/bench.sh
 #
 # SCALE divides the full-size workloads (bigger = quicker); MAXTHREADS caps
 # the thread sweep (oversubscribing the local core count is fine and still
-# exercises contention).
+# exercises contention). Diff two recorded trajectories with
+#
+#   relaxbench compare BENCH_PR2.json BENCH_PR3.json
 set -eu
 cd "$(dirname "$0")/.."
 
 SCALE="${SCALE:-64}"
 TRIALS="${TRIALS:-3}"
 MAXTHREADS="${MAXTHREADS:-4}"
-OUT="${OUT:-BENCH_PR2.json}"
+OUT="${OUT:-BENCH_PR3.json}"
 
 go run ./cmd/relaxbench \
     -scale "$SCALE" -trials "$TRIALS" -maxthreads "$MAXTHREADS" \
-    -out "$OUT" backends batchsweep
+    -out "$OUT" backends batchsweep parinc parbnb parmis
 echo "wrote $OUT" >&2
