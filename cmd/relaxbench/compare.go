@@ -12,14 +12,18 @@ import (
 )
 
 // compareUsage documents the compare subcommand.
-const compareUsage = `usage: relaxbench compare OLD.json NEW.json
+const compareUsage = `usage: relaxbench compare [-threshold PCT] OLD.json NEW.json
 
 Diffs two benchmark-trajectory files (JSON-lines as written by -out, e.g.
-BENCH_PR2.json vs BENCH_PR3.json) and prints per-experiment throughput
+BENCH_PR3.json vs BENCH_PR4.json) and prints per-experiment throughput
 deltas for every row carrying an OpsPerSec metric. Rows are matched by
 their identity columns (graph, backend, algo, scheduler, threads, n, k,
 batch); rows present on only one side are listed as added or removed.
-Exits nonzero on malformed input.`
+Exits nonzero on malformed input.
+
+With -threshold PCT (>= 0), compare also exits nonzero when any matched
+row's OpsPerSec regressed by strictly more than PCT percent — the CI
+regression gate. A row that regresses by exactly PCT passes.`
 
 // trajectoryLine is one recorded experiment of a BENCH_*.json file.
 type trajectoryLine struct {
@@ -116,10 +120,28 @@ func rowsOf(raw json.RawMessage) []map[string]any {
 	return out
 }
 
+// regression is one matched row whose throughput dropped beyond the
+// threshold.
+type regression struct {
+	experiment string
+	key        string
+	pct        float64
+}
+
 // compare diffs two trajectory files and writes the per-experiment
-// throughput-delta tables to w. An error (malformed file, no comparable
-// data) is returned for the caller to exit nonzero on.
+// throughput-delta tables to w, with compareThreshold disabled.
 func compare(oldPath, newPath string, w io.Writer) error {
+	return compareThreshold(oldPath, newPath, -1, w)
+}
+
+// compareThreshold diffs two trajectory files and writes the
+// per-experiment throughput-delta tables to w. An error (malformed file,
+// no comparable data) is returned for the caller to exit nonzero on.
+// A non-negative threshold additionally turns regressions into errors:
+// any matched row whose OpsPerSec dropped by strictly more than threshold
+// percent fails the comparison (after all tables are rendered, so the
+// report is complete either way).
+func compareThreshold(oldPath, newPath string, threshold float64, w io.Writer) error {
 	_, oldByName, err := readTrajectory(oldPath)
 	if err != nil {
 		return err
@@ -130,6 +152,7 @@ func compare(oldPath, newPath string, w io.Writer) error {
 	}
 
 	compared := 0
+	var regressions []regression
 	for _, name := range newOrder {
 		oldRaw, inOld := oldByName[name]
 		if !inOld {
@@ -162,6 +185,11 @@ func compare(oldPath, newPath string, w io.Writer) error {
 				continue // row matched but carries no throughput metric
 			}
 			t.AddRow(key, oldOps, newOps, deltaCell(oldOps, newOps))
+			if threshold >= 0 && oldOps > 0 {
+				if pct := (oldOps - newOps) / oldOps * 100; pct > threshold {
+					regressions = append(regressions, regression{experiment: name, key: key, pct: pct})
+				}
+			}
 		}
 		for key, or := range oldByKey {
 			t.AddRow(key, metricCell(or), "-", "removed")
@@ -181,6 +209,13 @@ func compare(oldPath, newPath string, w io.Writer) error {
 	}
 	if compared == 0 {
 		return fmt.Errorf("no comparable rows (throughput deltas or coverage changes) between %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(w, "\n== regressions beyond %.4g%% ==\n\n", threshold)
+		for _, r := range regressions {
+			fmt.Fprintf(w, "  %s: %s: -%.1f%%\n", r.experiment, r.key, r.pct)
+		}
+		return fmt.Errorf("%d row(s) regressed OpsPerSec by more than %.4g%%", len(regressions), threshold)
 	}
 	return nil
 }

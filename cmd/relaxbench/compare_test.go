@@ -52,6 +52,60 @@ func TestCompareDeltas(t *testing.T) {
 	}
 }
 
+// TestCompareThreshold drives the regression gate through its three
+// regimes: a regression within the threshold passes, one beyond it fails
+// (after the full report is still rendered), and a regression of exactly
+// the threshold is "by more than PCT" only for smaller PCT — the boundary
+// passes.
+func TestCompareThreshold(t *testing.T) {
+	// multiqueue row: 1.0M -> 0.9M ops/sec = exactly a 10% regression.
+	// spraylist row: 0.5M -> 0.6M = improvement, never a regression.
+	oldPath := writeTemp(t, "old.json", trajOld)
+	newPath := writeTemp(t, "new.json", `{"experiment":"backends","result":{"Rows":[`+
+		`{"Graph":"road","Backend":"multiqueue","Threads":2,"Overhead":1.0,"OpsPerSec":900000},`+
+		`{"Graph":"road","Backend":"spraylist","Threads":2,"Overhead":1.0,"OpsPerSec":600000}]}}`+"\n")
+
+	t.Run("pass", func(t *testing.T) {
+		if err := compareThreshold(oldPath, newPath, 15, io.Discard); err != nil {
+			t.Fatalf("10%% regression failed a 15%% threshold: %v", err)
+		}
+	})
+	t.Run("boundary", func(t *testing.T) {
+		if err := compareThreshold(oldPath, newPath, 10, io.Discard); err != nil {
+			t.Fatalf("exactly-10%% regression failed a 10%% threshold: %v", err)
+		}
+	})
+	t.Run("fail", func(t *testing.T) {
+		var buf bytes.Buffer
+		err := compareThreshold(oldPath, newPath, 9.5, &buf)
+		if err == nil {
+			t.Fatal("10% regression passed a 9.5% threshold")
+		}
+		if !strings.Contains(err.Error(), "regressed") {
+			t.Fatalf("unhelpful error: %v", err)
+		}
+		// The delta tables and the offending row must still be reported.
+		for _, want := range []string{"-10.0%", "regressions beyond", "multiqueue"} {
+			if !strings.Contains(buf.String(), want) {
+				t.Fatalf("failure report missing %q:\n%s", want, buf.String())
+			}
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		if err := compareThreshold(oldPath, newPath, -1, io.Discard); err != nil {
+			t.Fatalf("negative threshold must disable the gate: %v", err)
+		}
+	})
+	t.Run("improvements-never-fail", func(t *testing.T) {
+		up := writeTemp(t, "up.json", `{"experiment":"backends","result":{"Rows":[`+
+			`{"Graph":"road","Backend":"multiqueue","Threads":2,"OpsPerSec":2000000},`+
+			`{"Graph":"road","Backend":"spraylist","Threads":2,"OpsPerSec":2000000}]}}`+"\n")
+		if err := compareThreshold(oldPath, up, 0, io.Discard); err != nil {
+			t.Fatalf("pure improvement failed a 0%% threshold: %v", err)
+		}
+	})
+}
+
 func TestCompareMalformedInput(t *testing.T) {
 	good := writeTemp(t, "good.json", trajOld)
 	for name, content := range map[string]string{

@@ -25,15 +25,19 @@
 //	bnb           Karp-Zhang branch-and-bound under relaxation (extension)
 //	parbnb        parallel branch-and-bound: backends x threads (extension)
 //	parmis        parallel greedy MIS / coloring: backends x threads (extension)
+//	pardelaunay   parallel Delaunay triangulation: backends x threads,
+//	              mesh verified against the sequential result (extension)
 //	all           everything above
 //
 // The compare subcommand diffs two recorded trajectories:
 //
-//	relaxbench compare OLD.json NEW.json
+//	relaxbench compare [-threshold PCT] OLD.json NEW.json
 //
 // printing per-experiment throughput deltas (rows matched by their identity
-// columns) and exiting nonzero on malformed input — so BENCH_PR2.json vs
-// BENCH_PR3.json is a one-liner.
+// columns) and exiting nonzero on malformed input — so BENCH_PR3.json vs
+// BENCH_PR4.json is a one-liner. With -threshold PCT it also exits nonzero
+// when any matched row regresses OpsPerSec by strictly more than PCT
+// percent, which is how CI gates on recorded trajectories.
 //
 // Flags control workload scale; -scale 1 is the full-size run used in
 // EXPERIMENTS.md, larger values shrink the workloads proportionally.
@@ -67,7 +71,7 @@ func main() {
 		outPath    = flag.String("out", "", "also write the JSON-lines stream to this file (e.g. BENCH_PR2.json)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: relaxbench [flags] <experiment> [<experiment>...]\n       relaxbench compare OLD.json NEW.json\nrun 'go doc relaxsched/cmd/relaxbench' for the experiment list\n")
+		fmt.Fprintf(os.Stderr, "usage: relaxbench [flags] <experiment> [<experiment>...]\n       relaxbench compare [-threshold PCT] OLD.json NEW.json\nrun 'go doc relaxsched/cmd/relaxbench' for the experiment list\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,11 +80,18 @@ func main() {
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "compare" {
-		if flag.NArg() != 3 {
+		cmp := flag.NewFlagSet("compare", flag.ExitOnError)
+		threshold := cmp.Float64("threshold", -1, "exit nonzero when any matched row regresses OpsPerSec by more than this percentage (negative = report only)")
+		cmp.Usage = func() {
+			fmt.Fprintln(os.Stderr, compareUsage)
+			cmp.PrintDefaults()
+		}
+		cmp.Parse(flag.Args()[1:])
+		if cmp.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, compareUsage)
 			os.Exit(2)
 		}
-		if err := compare(flag.Arg(1), flag.Arg(2), os.Stdout); err != nil {
+		if err := compareThreshold(cmp.Arg(0), cmp.Arg(1), *threshold, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "relaxbench: compare: %v\n", err)
 			os.Exit(1)
 		}
@@ -192,24 +203,25 @@ func withErr[R renderable](f func(experiments.Config) (R, error)) func(experimen
 // experimentTable maps experiment names to drivers; fig1 and its variants
 // are dispatched separately (one sweep renders two tables).
 var experimentTable = map[string]experimentSpec{
-	"graphs":     {"Input families (Section 7 sample graphs)", noErr(experiments.Graphs)},
-	"fig2":       {"Figure 2: SSSP relaxation overhead vs. queue multiplier", noErr(func(c experiments.Config) experiments.Fig2Result { return experiments.Fig2(c, nil) })},
-	"backends":   {"Concurrent queue backends head-to-head (parallel SSSP)", noErr(experiments.Backends)},
-	"batchsweep": {"Batch amortization: batch size x backend x threads (parallel SSSP)", noErr(experiments.BatchSweep)},
-	"thm33":      {"Theorem 3.3: extra steps under the adversarial k-relaxed scheduler", withErr(experiments.Thm33)},
-	"thm51":      {"Theorem 5.1 / Claim 1: MultiQueue lower bound (extra steps >= (1/8) ln n)", withErr(experiments.Thm51)},
-	"thm61":      {"Theorem 6.1: relaxed SSSP pops <= n + O(k^2 dmax/wmin)", withErr(experiments.Thm61)},
-	"thm43":      {"Theorem 4.3: transactional aborts O(k^2 (C+k)^2 log n)", withErr(experiments.Thm43)},
-	"ablation":   {"Ablation: scheduler families on identical workloads", withErr(experiments.Ablation)},
-	"parinc":     {"Extension: parallel incremental execution (goroutines over concurrent relaxed queues)", withErr(experiments.ParInc)},
-	"iterative":  {"Extension: greedy iterative algorithms (MIS, coloring) under relaxed schedulers", withErr(experiments.Iterative)},
-	"bnb":        {"Extension: Karp-Zhang branch-and-bound under relaxed schedulers", withErr(experiments.BnB)},
-	"parbnb":     {"Extension: parallel branch-and-bound (engine workload, backends x threads)", withErr(experiments.ParBnB)},
-	"parmis":     {"Extension: parallel greedy MIS / coloring (engine workload, backends x threads)", withErr(experiments.ParMIS)},
+	"graphs":      {"Input families (Section 7 sample graphs)", noErr(experiments.Graphs)},
+	"fig2":        {"Figure 2: SSSP relaxation overhead vs. queue multiplier", noErr(func(c experiments.Config) experiments.Fig2Result { return experiments.Fig2(c, nil) })},
+	"backends":    {"Concurrent queue backends head-to-head (parallel SSSP)", noErr(experiments.Backends)},
+	"batchsweep":  {"Batch amortization: batch size x backend x threads (parallel SSSP)", noErr(experiments.BatchSweep)},
+	"thm33":       {"Theorem 3.3: extra steps under the adversarial k-relaxed scheduler", withErr(experiments.Thm33)},
+	"thm51":       {"Theorem 5.1 / Claim 1: MultiQueue lower bound (extra steps >= (1/8) ln n)", withErr(experiments.Thm51)},
+	"thm61":       {"Theorem 6.1: relaxed SSSP pops <= n + O(k^2 dmax/wmin)", withErr(experiments.Thm61)},
+	"thm43":       {"Theorem 4.3: transactional aborts O(k^2 (C+k)^2 log n)", withErr(experiments.Thm43)},
+	"ablation":    {"Ablation: scheduler families on identical workloads", withErr(experiments.Ablation)},
+	"parinc":      {"Extension: parallel incremental execution (goroutines over concurrent relaxed queues)", withErr(experiments.ParInc)},
+	"iterative":   {"Extension: greedy iterative algorithms (MIS, coloring) under relaxed schedulers", withErr(experiments.Iterative)},
+	"bnb":         {"Extension: Karp-Zhang branch-and-bound under relaxed schedulers", withErr(experiments.BnB)},
+	"parbnb":      {"Extension: parallel branch-and-bound (engine workload, backends x threads)", withErr(experiments.ParBnB)},
+	"parmis":      {"Extension: parallel greedy MIS / coloring (engine workload, backends x threads)", withErr(experiments.ParMIS)},
+	"pardelaunay": {"Extension: parallel Delaunay triangulation (on-line DAG discovery, backends x threads)", withErr(experiments.ParDelaunay)},
 }
 
 // allOrder is the order `relaxbench all` runs experiments in.
-var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis"}
+var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay"}
 
 // knownExperiment reports whether exp is a name run can dispatch.
 func knownExperiment(exp string) bool {

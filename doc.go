@@ -35,10 +35,18 @@
 //     static-DAG execution (RunIncrementalParallel), parallel SSSP
 //     (ParallelSSSPWith), best-first branch-and-bound with an atomic
 //     incumbent (ParallelBranchAndBound, the Karp-Zhang dynamic-spawning
-//     workload) and greedy MIS/coloring over a random permutation
-//     (ParallelGreedyMIS, ParallelGreedyColoring) all ride the same loop,
-//     with its own conformance suite (enginetest) run against every
-//     backend;
+//     workload), greedy MIS/coloring over a random permutation
+//     (ParallelGreedyMIS, ParallelGreedyColoring) and parallel Delaunay
+//     triangulation (ParallelTriangulate) all ride the same loop, with its
+//     own conformance suite (enginetest) run against every backend.
+//     Delaunay is the first workload with *on-line dependency discovery*:
+//     instead of a pre-built or seeded DAG, an insertion finds its
+//     conflicts during execution — it claims its Bowyer-Watson cavity
+//     through per-triangle atomic claim states and reports Blocked when a
+//     racing insertion owns part of it, while destroyed triangles carry
+//     redirects so later insertions re-locate by the Guibas-Knuth history
+//     walk; the mesh is verified equal to the sequential Triangulate
+//     output (MeshesEqual);
 //   - a rank/fairness Auditor measuring the relaxation any scheduler
 //     actually achieves;
 //   - the generic relaxed execution framework for incremental algorithms

@@ -59,6 +59,7 @@ func Run(t *testing.T, newQueue Factory) {
 	t.Run("BatchExactWhenUnrelaxed", func(t *testing.T) { testBatchExactWhenUnrelaxed(t, newQueue) })
 	t.Run("BatchReservedPriorityPanics", func(t *testing.T) { testBatchReservedPriorityPanics(t, newQueue) })
 	t.Run("BatchConcurrentValuesPreserved", func(t *testing.T) { testBatchConcurrentValuesPreserved(t, newQueue) })
+	t.Run("ScalingSmoke", func(t *testing.T) { testScalingSmoke(t, newQueue) })
 }
 
 // stressTimeout bounds every concurrent subtest so a termination bug shows
@@ -426,6 +427,73 @@ func testBatchConcurrentValuesPreserved(t *testing.T, newQueue Factory) {
 	if q.Len() != 0 {
 		t.Fatalf("Len = %d after drain", q.Len())
 	}
+}
+
+// testScalingSmoke guards against the failure mode whose fix this suite
+// postdates: per-pop cost growing with the simulated contention width
+// until adding threads *lowers* pop throughput (the SprayList's negative
+// thread-scaling recorded through BENCH_PR3.json — every pop paid a
+// full-height search to unlink its victim, and failed claims rescanned
+// from the head). It prefills a threads-wide queue and times a full drain
+// by one popper vs threads poppers; the concurrent drain must retain a
+// quarter of the single-popper rate. The tolerance is deliberately
+// generous — this runs under -race, on shared CI machines, and on 1-core
+// containers where extra poppers are pure oversubscription — so it trips
+// on collapses, not on regressions of degree.
+func testScalingSmoke(t *testing.T, newQueue Factory) {
+	const (
+		threads   = 4
+		n         = 24000
+		tolerance = 0.25
+	)
+	measure := func(poppers int) float64 {
+		// Same queue shape in both runs — only the popper count varies, so
+		// the comparison isolates concurrent-drain behaviour from the
+		// structure's p parameter.
+		q := newQueue(t, threads, 2)
+		r := rng.New(9)
+		for i := 0; i < n; i++ {
+			q.Push(r, int64(i), int64(r.Intn(1<<20)))
+		}
+		var popped atomic.Int64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < poppers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rr := rng.New(uint64(100 + g))
+				for popped.Load() < n {
+					if _, _, ok := q.Pop(rr); ok {
+						popped.Add(1)
+					}
+				}
+			}(g)
+		}
+		waitOrFatal(t, &wg, "scaling-smoke drain")
+		elapsed := time.Since(start)
+		if got := popped.Load(); got != n {
+			t.Fatalf("%d poppers drained %d of %d", poppers, got, n)
+		}
+		return float64(n) / elapsed.Seconds()
+	}
+	// Best-of-two per configuration: a single sample is at the mercy of a
+	// GC cycle or a noisy CI neighbour.
+	best := func(poppers int) float64 {
+		a, b := measure(poppers), measure(poppers)
+		if a > b {
+			return a
+		}
+		return b
+	}
+	single := best(1)
+	multi := best(threads)
+	if multi < single*tolerance {
+		t.Fatalf("pop throughput collapsed with poppers: %d poppers %.2g pops/s vs 1 popper %.2g pops/s (tolerance %.2gx)",
+			threads, multi, single, tolerance)
+	}
+	t.Logf("drain throughput: 1 popper %.3g pops/s, %d poppers %.3g pops/s (%.2fx)",
+		single, threads, multi, multi/single)
 }
 
 func testRacingPushersTermination(t *testing.T, newQueue Factory) {

@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"relaxsched/internal/rng"
@@ -32,7 +33,11 @@ import (
 // block pushes or pops by parking inside a critical section.
 //
 // Go's garbage collector rules out ABA on the root CAS: a node address is
-// never reused while any operation still holds it.
+// never reused while any operation still holds it. For the same reason
+// nodes cannot go on a free list — an unlinked root may still be traversed
+// by a racing pop — so allocation is amortized instead: every operation
+// borrows a bump-allocator arena from a sync.Pool (see lfArena) and pays
+// one malloc per 256 nodes rather than two per meld.
 //
 // Like the other backends it keeps no global element counter (Len sums the
 // per-root size fields and is exact only at quiescence).
@@ -63,47 +68,85 @@ type lfchild struct {
 	next *lfchild
 }
 
+// lfArena is a per-operation bump allocator for heap nodes and child
+// links, borrowed from a sync.Pool for the duration of one queue
+// operation. Every meld allocates one node and one link; before the arena
+// that meant two mallocs (plus a pairs slice per delete-min) on every
+// Push/Pop — the dominant cost of this backend (ROADMAP's open item on its
+// raw-throughput gap to the locked MultiQueue). Chunks are handed out
+// slot-by-slot and never reused: nodes are immutable and shared between
+// published heap versions, so reclamation stays the garbage collector's
+// job (no ABA), and the arena only amortizes allocation — one malloc per
+// lfArenaChunk nodes. The trade-off is retention granularity: a chunk
+// stays reachable while any node in it is, which is bounded by the queue's
+// live contents plus in-flight operations.
+type lfArena struct {
+	nodes []lfnode
+	links []lfchild
+	pairs []*lfnode // lfDeleteMin's pairing-pass scratch, reused across calls
+}
+
+const lfArenaChunk = 256
+
+var lfArenaPool = sync.Pool{New: func() any { return new(lfArena) }}
+
+func (a *lfArena) node(prio, val, size int64, children *lfchild) *lfnode {
+	if len(a.nodes) == 0 {
+		a.nodes = make([]lfnode, lfArenaChunk)
+	}
+	n := &a.nodes[0]
+	a.nodes = a.nodes[1:]
+	n.prio, n.val, n.size, n.children = prio, val, size, children
+	return n
+}
+
+func (a *lfArena) link(node *lfnode, next *lfchild) *lfchild {
+	if len(a.links) == 0 {
+		a.links = make([]lfchild, lfArenaChunk)
+	}
+	l := &a.links[0]
+	a.links = a.links[1:]
+	l.node, l.next = node, next
+	return l
+}
+
 // lfMeld merges two immutable heaps, allocating one node and one child
-// link. Either argument may be nil.
-func lfMeld(a, b *lfnode) *lfnode {
-	if a == nil {
-		return b
+// link from the arena. Either heap argument may be nil.
+func lfMeld(a *lfArena, x, y *lfnode) *lfnode {
+	if x == nil {
+		return y
 	}
-	if b == nil {
-		return a
+	if y == nil {
+		return x
 	}
-	if b.prio < a.prio {
-		a, b = b, a
+	if y.prio < x.prio {
+		x, y = y, x
 	}
-	return &lfnode{
-		prio:     a.prio,
-		val:      a.val,
-		size:     a.size + b.size,
-		children: &lfchild{node: b, next: a.children},
-	}
+	return a.node(x.prio, x.val, x.size+y.size, a.link(y, x.children))
 }
 
 // lfDeleteMin returns the heap with its root removed: the classic two-pass
 // pairing merge (meld children pairwise left to right, then fold the pairs
 // right to left).
-func lfDeleteMin(h *lfnode) *lfnode {
+func lfDeleteMin(a *lfArena, h *lfnode) *lfnode {
 	if h.children == nil {
 		return nil
 	}
-	var pairs []*lfnode
+	pairs := a.pairs[:0]
 	for c := h.children; c != nil; {
 		first := c.node
 		c = c.next
 		if c != nil {
-			first = lfMeld(first, c.node)
+			first = lfMeld(a, first, c.node)
 			c = c.next
 		}
 		pairs = append(pairs, first)
 	}
 	merged := pairs[len(pairs)-1]
 	for i := len(pairs) - 2; i >= 0; i-- {
-		merged = lfMeld(pairs[i], merged)
+		merged = lfMeld(a, pairs[i], merged)
 	}
+	a.pairs = pairs[:0]
 	return merged
 }
 
@@ -139,15 +182,17 @@ func (c *LockFreeMQ) Push(r *rng.Xoshiro, value, priority int64) {
 	if priority == ReservedPriority {
 		panic("cq: priority MaxInt64 is reserved")
 	}
-	c.pushHeap(r, &lfnode{prio: priority, val: value, size: 1})
+	a := lfArenaPool.Get().(*lfArena)
+	c.pushHeap(a, r, a.node(priority, value, 1, nil))
+	lfArenaPool.Put(a)
 }
 
 // pushHeap melds an arbitrary pre-built heap into a random queue.
-func (c *LockFreeMQ) pushHeap(r *rng.Xoshiro, h *lfnode) {
+func (c *LockFreeMQ) pushHeap(a *lfArena, r *rng.Xoshiro, h *lfnode) {
 	q := &c.queues[r.Intn(len(c.queues))]
 	for try := 0; ; try++ {
 		old := q.root.Load()
-		if q.root.CompareAndSwap(old, lfMeld(old, h)) {
+		if q.root.CompareAndSwap(old, lfMeld(a, old, h)) {
 			return
 		}
 		if try < contentionAttempts {
@@ -177,14 +222,16 @@ func (c *LockFreeMQ) PushBatch(r *rng.Xoshiro, pairs []Pair) {
 	if len(pairs) == 0 {
 		return
 	}
+	a := lfArenaPool.Get().(*lfArena)
 	var batch *lfnode
 	for _, p := range pairs {
 		if p.Priority == ReservedPriority {
 			panic("cq: priority MaxInt64 is reserved")
 		}
-		batch = lfMeld(batch, &lfnode{prio: p.Priority, val: p.Value, size: 1})
+		batch = lfMeld(a, batch, a.node(p.Priority, p.Value, 1, nil))
 	}
-	c.pushHeap(r, batch)
+	c.pushHeap(a, r, batch)
+	lfArenaPool.Put(a)
 }
 
 // PopBatch CAS-steals up to len(dst) elements from the better of two
@@ -194,6 +241,8 @@ func (c *LockFreeMQ) PopBatch(r *rng.Xoshiro, dst []Pair) int {
 	if len(dst) == 0 {
 		return 0
 	}
+	a := lfArenaPool.Get().(*lfArena)
+	defer lfArenaPool.Put(a)
 	nq := len(c.queues)
 	for try := 0; try < contentionAttempts; try++ {
 		qi := &c.queues[r.Intn(nq)]
@@ -205,7 +254,7 @@ func (c *LockFreeMQ) PopBatch(r *rng.Xoshiro, dst []Pair) int {
 		if root == nil {
 			continue // probed two empty queues; rerandomize
 		}
-		rest, n := lfTakeBatch(root, dst)
+		rest, n := lfTakeBatch(a, root, dst)
 		if qi.root.CompareAndSwap(root, rest) {
 			return n
 		}
@@ -221,7 +270,7 @@ func (c *LockFreeMQ) PopBatch(r *rng.Xoshiro, dst []Pair) int {
 			if root == nil {
 				break
 			}
-			rest, n := lfTakeBatch(root, dst)
+			rest, n := lfTakeBatch(a, root, dst)
 			if q.root.CompareAndSwap(root, rest) {
 				return n
 			}
@@ -233,12 +282,12 @@ func (c *LockFreeMQ) PopBatch(r *rng.Xoshiro, dst []Pair) int {
 // lfTakeBatch fills dst with successive minima of h and returns the
 // remaining heap plus the count written. Pure function: h is not mutated,
 // so the caller can retry after a failed CAS.
-func lfTakeBatch(h *lfnode, dst []Pair) (*lfnode, int) {
+func lfTakeBatch(a *lfArena, h *lfnode, dst []Pair) (*lfnode, int) {
 	n := 0
 	for h != nil && n < len(dst) {
 		dst[n] = Pair{Value: h.val, Priority: h.prio}
 		n++
-		h = lfDeleteMin(h)
+		h = lfDeleteMin(a, h)
 	}
 	return h, n
 }

@@ -12,9 +12,10 @@ import (
 // snapshot must not disturb the published heap, or a losing CAS competitor
 // would corrupt the winner's view.
 func TestLockFreeHeapIsPersistent(t *testing.T) {
+	a := new(lfArena)
 	var h *lfnode
 	for _, p := range []int64{5, 1, 9, 3, 7} {
-		h = lfMeld(h, &lfnode{prio: p, val: p, size: 1})
+		h = lfMeld(a, h, a.node(p, p, 1, nil))
 	}
 	if h.size != 5 || h.prio != 1 {
 		t.Fatalf("root (prio=%d, size=%d), want (1, 5)", h.prio, h.size)
@@ -26,7 +27,7 @@ func TestLockFreeHeapIsPersistent(t *testing.T) {
 			if cur.prio != want {
 				t.Fatalf("pass %d: min %d, want %d", pass, cur.prio, want)
 			}
-			cur = lfDeleteMin(cur)
+			cur = lfDeleteMin(a, cur)
 		}
 		if cur != nil {
 			t.Fatalf("pass %d: heap not empty after 5 delete-mins", pass)
@@ -38,12 +39,13 @@ func TestLockFreeHeapIsPersistent(t *testing.T) {
 }
 
 func TestLockFreeTakeBatch(t *testing.T) {
+	a := new(lfArena)
 	var h *lfnode
 	for p := int64(9); p >= 0; p-- {
-		h = lfMeld(h, &lfnode{prio: p, val: p, size: 1})
+		h = lfMeld(a, h, a.node(p, p, 1, nil))
 	}
 	dst := make([]Pair, 4)
-	rest, n := lfTakeBatch(h, dst)
+	rest, n := lfTakeBatch(a, h, dst)
 	if n != 4 {
 		t.Fatalf("took %d, want 4", n)
 	}
@@ -60,7 +62,7 @@ func TestLockFreeTakeBatch(t *testing.T) {
 	}
 	// Taking more than the heap holds drains it and reports the true count.
 	big := make([]Pair, 16)
-	rest, n = lfTakeBatch(rest, big)
+	rest, n = lfTakeBatch(a, rest, big)
 	if n != 6 || rest != nil {
 		t.Fatalf("drain took %d (rest=%v), want 6 (nil)", n, rest)
 	}

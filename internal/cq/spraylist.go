@@ -13,18 +13,29 @@ import (
 // lock-based skip list (Herlihy & Shavit's fine-grained-locking skip list:
 // lock-free wait-free traversals over atomic next pointers, per-node locks
 // and logical-deletion marks for updates). Pop does not remove the head:
-// it performs the SprayList spray walk (Alistarh, Kopinsky, Li & Shavit,
-// PPoPP 2015) — start ~log2(p) levels up, take uniform jumps of length up
-// to log2(p), descend two levels per hop — landing on one of the roughly
-// O(p log^3 p) smallest elements with high probability. Relaxation thus
-// comes from randomized *selection inside one structure*, where the
+// it performs a SprayList-style spray walk (Alistarh, Kopinsky, Li &
+// Shavit, PPoPP 2015) — start ~log2(p) levels up, take uniform jumps of
+// length up to log2(p)+2, descend two levels per hop with a final level-0
+// hop — landing on one of the roughly O(p log p) smallest elements, well
+// inside the O(p log^3 p) prefix the original analysis permits. Relaxation
+// thus comes from randomized *selection inside one structure*, where the
 // MultiQueue gets it from two-choice probing *across shards*; the two
 // backends bracket the design space the paper's Section 7 discusses.
 //
-// Like the original, a pop behaves exactly (takes the true front) with
-// probability 1/p, playing the role of the paper's cleaner threads: without
-// it, short nodes pile up in front of the first tall node and become
-// unreachable by sprays. p = 1 therefore degenerates to an exact queue.
+// Like the original, a spray pop only *marks* its victim (logical
+// deletion: one CAS, no locks, no search); physical unlinking is deferred
+// to the cleaner role. A coin decides between spraying and playing
+// cleaner: the cleaner batch-retires the marked prefix under a single
+// head-lock acquisition — searchless, because the first node's
+// predecessors are all the head sentinel — and takes the first live node,
+// the exact DeleteMin. Without cleaning, dead and short nodes would pile
+// up in front of the first tall node and become unreachable by sprays;
+// with it, every node is unlinked exactly once, amortized one searchless
+// unlink per pop. The cleaner coin lands at ~1/2 rather than the paper's
+// 1/p: with claims this cheap the exact path is the *inexpensive* pop, it
+// keeps the dead prefix short, and under contention its CAS losers probe
+// forward to the next live node instead of serializing on the head.
+// p = 1 therefore degenerates to an exact queue.
 //
 // Elements are ordered by (priority, unique sequence number), so duplicate
 // values and equal priorities are fine. There is no global size counter
@@ -34,24 +45,68 @@ type SprayList struct {
 	head *snode
 	tail *snode
 	seq  atomic.Uint64
-	p    int // simulated contention width; tunes spray height and cleaner rate
+	// maxLvl is an upper bound on the tallest live tower, raised (never
+	// lowered) before a tower links in. find and spray start here instead
+	// of at sprayMaxHeight, so traversals pay for the list's actual height,
+	// not the 24-level ceiling.
+	maxLvl atomic.Int32
+	p      int // simulated contention width; tunes spray height and cleaner rate
+	// cleanerCoins is the numerator of the cleaner-pop rate
+	// (cleanerCoins/p), held at ~1/2 across p: the marked backlog is
+	// proportional to the gap between cleans, and at the paper's 1/p rate
+	// it grows long enough to drag every bottom-level walk through it —
+	// the exact pops stay cheap (searchless claim + batched prefix sweep)
+	// and degrade into forward probing, not serialization, when their CAS
+	// loses.
+	cleanerCoins int
 }
 
 // sprayMaxHeight bounds skip-list towers; 2^24 expected elements.
 const sprayMaxHeight = 24
 
 // snode is a skip-list node. next pointers are atomic so traversals run
-// without locks; mu guards structural changes at this node, marked is the
-// logical-deletion flag and fullyLinked flips once every level is linked.
+// without locks; mu guards structural changes at this node (its next
+// pointers are only written by holders of mu), and fullyLinked flips once
+// every level is linked.
+//
+// Logical and physical deletion are separate: marked means popped (a bare
+// CAS claims it; the element is gone from the queue's contents the moment
+// it flips), unlinked means a cleaner has physically removed the node from
+// every level. A marked-but-linked node is a valid predecessor for Push
+// and unlink — only unlinked predecessors force a re-search, and those
+// disappear from find's view the moment the flag is set, so structural
+// retries always make progress.
 type snode struct {
 	prio int64
 	val  int64
 	seq  uint64 // unique; (prio, seq) totally orders nodes
 
 	mu          sync.Mutex
-	marked      atomic.Bool
+	marked      atomic.Bool // logically deleted (popped)
+	unlinked    atomic.Bool // physically removed; written only under mu
 	fullyLinked atomic.Bool
 	next        []atomic.Pointer[snode] // length = topLevel+1
+}
+
+// shortTower is the tower height threshold below which a node's next array
+// is allocated inline with the node (one object instead of two): a
+// geometric(1/2) height is < 4 for 93.75% of nodes, and the push-side
+// allocation rate is a measurable share of queue throughput.
+const shortTower = 4
+
+// newSnode allocates a node with a tower of topLevel+1 next pointers,
+// inline for short towers.
+func newSnode(prio, val int64, seq uint64, topLevel int) *snode {
+	if topLevel < shortTower {
+		c := &struct {
+			n   snode
+			arr [shortTower]atomic.Pointer[snode]
+		}{}
+		c.n.prio, c.n.val, c.n.seq = prio, val, seq
+		c.n.next = c.arr[:topLevel+1]
+		return &c.n
+	}
+	return &snode{prio: prio, val: val, seq: seq, next: make([]atomic.Pointer[snode], topLevel+1)}
 }
 
 // before reports whether n orders strictly before the key (prio, seq).
@@ -72,6 +127,10 @@ func NewSprayList(p int) *SprayList {
 		head: &snode{prio: math.MinInt64, seq: 0, next: make([]atomic.Pointer[snode], sprayMaxHeight)},
 		tail: &snode{prio: math.MaxInt64, seq: math.MaxUint64},
 		p:    p,
+	}
+	s.cleanerCoins = 1
+	if p >= 4 {
+		s.cleanerCoins = p / 2
 	}
 	s.head.fullyLinked.Store(true)
 	s.tail.fullyLinked.Store(true)
@@ -99,9 +158,12 @@ func (s *SprayList) Len() int {
 // find locates the predecessor and successor of key (prio, seq) at every
 // level, without locking. preds[lvl] is the rightmost node before the key,
 // succs[lvl] the following node (possibly tail).
+// Levels above maxLvl hold no nodes (the bound is raised before any tower
+// links in), so skipping them loses nothing; callers must only consult
+// preds/succs at levels <= the maxLvl they observed.
 func (s *SprayList) find(prio int64, seq uint64, preds, succs *[sprayMaxHeight]*snode) {
 	pred := s.head
-	for lvl := sprayMaxHeight - 1; lvl >= 0; lvl-- {
+	for lvl := int(s.maxLvl.Load()); lvl >= 0; lvl-- {
 		curr := pred.next[lvl].Load()
 		for curr != s.tail && curr.before(prio, seq) {
 			pred = curr
@@ -132,13 +194,22 @@ func unlockPreds(preds *[sprayMaxHeight]*snode, highest int) {
 
 // Push inserts a (value, priority) pair. r must be goroutine-local; it
 // drives the tower height. Locks are acquired per level in descending key
-// order (the same global order remove uses), so Push cannot deadlock.
+// order; cleanFront, the only other multi-lock path, inverts that order
+// but only ever *tries* its second lock, so Push cannot deadlock.
 func (s *SprayList) Push(r *rng.Xoshiro, value, priority int64) {
 	if priority == ReservedPriority {
 		panic("cq: priority MaxInt64 is reserved")
 	}
 	seq := s.seq.Add(1)
 	topLevel := randomLevel(r)
+	// Raise the height bound before searching, so find (ours and every
+	// concurrent one) covers this tower's levels from here on.
+	for {
+		cur := s.maxLvl.Load()
+		if cur >= int32(topLevel) || s.maxLvl.CompareAndSwap(cur, int32(topLevel)) {
+			break
+		}
+	}
 	var preds, succs [sprayMaxHeight]*snode
 	for {
 		s.find(priority, seq, &preds, &succs)
@@ -155,13 +226,18 @@ func (s *SprayList) Push(r *rng.Xoshiro, value, priority int64) {
 				highestLocked = lvl
 				prevPred = pred
 			}
-			valid = !pred.marked.Load() && !succ.marked.Load() && pred.next[lvl].Load() == succ
+			// Marked (logically deleted but still linked) neighbours are
+			// fine: a concurrent unlink serializes with this link through
+			// the pred's lock and re-reads pred.next under it, so the new
+			// node cannot be bypassed. Only an *unlinked* pred — whose next
+			// pointers lead out of the list — forces a re-search.
+			valid = !pred.unlinked.Load() && pred.next[lvl].Load() == succ
 		}
 		if !valid {
 			unlockPreds(&preds, highestLocked)
 			continue // a neighbour changed underneath us; re-search
 		}
-		nn := &snode{prio: priority, val: value, seq: seq, next: make([]atomic.Pointer[snode], topLevel+1)}
+		nn := newSnode(priority, value, seq, topLevel)
 		for lvl := 0; lvl <= topLevel; lvl++ {
 			nn.next[lvl].Store(succs[lvl])
 		}
@@ -174,108 +250,157 @@ func (s *SprayList) Push(r *rng.Xoshiro, value, priority int64) {
 	}
 }
 
-// remove logically then physically deletes victim. It returns false if
-// another pop already claimed it. The victim's lock is held while its
-// predecessors are locked; victim orders after every predecessor, so the
-// global descending-key lock order is preserved and remove cannot deadlock
-// with Push or other removes.
-func (s *SprayList) remove(victim *snode) bool {
-	if !victim.fullyLinked.Load() {
-		return false
-	}
-	victim.mu.Lock()
-	if victim.marked.Load() {
-		victim.mu.Unlock()
-		return false
-	}
-	victim.marked.Store(true) // claimed; no competing pop can return it now
-	topLevel := len(victim.next) - 1
-	var preds, succs [sprayMaxHeight]*snode
-	for {
-		s.find(victim.prio, victim.seq, &preds, &succs)
-		highestLocked := -1
-		var prevPred *snode
-		valid := true
-		for lvl := 0; valid && lvl <= topLevel; lvl++ {
-			pred := preds[lvl]
-			if pred != prevPred {
-				pred.mu.Lock()
-				highestLocked = lvl
-				prevPred = pred
-			}
-			valid = !pred.marked.Load() && pred.next[lvl].Load() == victim
-		}
-		if !valid {
-			unlockPreds(&preds, highestLocked)
-			continue
-		}
-		for lvl := topLevel; lvl >= 0; lvl-- {
-			preds[lvl].next[lvl].Store(victim.next[lvl].Load())
-		}
-		unlockPreds(&preds, highestLocked)
-		victim.mu.Unlock()
-		return true
-	}
+// claim logically deletes victim: one CAS, no locks, no search. A claimed
+// node is popped — it just has not been physically unlinked yet; that work
+// is deferred to the cleaner (popFront). It returns false if a racing pop
+// claimed victim first (or victim is still half-linked).
+func (s *SprayList) claim(victim *snode) bool {
+	return victim.fullyLinked.Load() && victim.marked.CompareAndSwap(false, true)
 }
 
-// Pop removes and returns a small-rank pair via a spray walk. With
-// probability 1/p it instead takes the true front (the cleaner role). ok
-// is false if the list appeared empty; as with every cq backend, racing
-// pushers require a caller-side termination protocol.
+// cleanFront physically unlinks the marked prefix — every logically
+// deleted node at the front of the list — under a single head-lock
+// acquisition. The first node's predecessor at every one of its levels is
+// the head sentinel, so no search is ever needed: unlinking is a straight
+// redirect of head.next. Victims are taken with TryLock (the head-first
+// acquisition inverts the global descending-key lock order, so waiting
+// could deadlock against Push; trying cannot) — a busy victim just ends
+// the sweep, and the next cleaner finishes the job.
+func (s *SprayList) cleanFront() {
+	if x := s.head.next[0].Load(); x == s.tail || !x.marked.Load() {
+		return // nothing to clean; skip the lock
+	}
+	s.head.mu.Lock()
+	for {
+		x := s.head.next[0].Load()
+		if x == s.tail || !x.marked.Load() || !x.fullyLinked.Load() {
+			break
+		}
+		if !x.mu.TryLock() {
+			break // a push is linking behind x; let the next sweep retire it
+		}
+		// x is the first node, so head is its pred at every level it
+		// occupies; holding head.mu and x.mu freezes both sides of the
+		// bypass (a node's next pointers are only written under its mu).
+		top := len(x.next) - 1
+		for lvl := top; lvl >= 0; lvl-- {
+			s.head.next[lvl].Store(x.next[lvl].Load())
+		}
+		x.unlinked.Store(true)
+		x.mu.Unlock()
+	}
+	s.head.mu.Unlock()
+}
+
+// Pop removes and returns a small-rank pair via a spray walk followed by a
+// single mark (claim) — no search, no physical unlinking; the deferred
+// unlink work is done by the cleaner pops. On the cleaner coin (see
+// cleanerCoins) a pop plays cleaner instead and takes the true front
+// (popFront). ok is false if the list appeared empty; as with every cq
+// backend, racing pushers require a caller-side termination protocol.
+//
+// When the landed-on node is already claimed by a racing pop, Pop probes
+// forward along the bottom level to the next live nodes instead of
+// respraying — contended pops diffuse rightward rather than piling back
+// onto the same front region. (Before this scheme, every pop paid a
+// full-height search to unlink its victim, failures rescanned from the
+// head, and per-pop cost grew with p — the cause of the negative thread
+// scaling the benchmark trajectory recorded through PR 3.)
 func (s *SprayList) Pop(r *rng.Xoshiro) (value, priority int64, ok bool) {
-	if s.p == 1 || r.Intn(s.p) == 0 {
+	if s.p == 1 || r.Intn(s.p) < s.cleanerCoins {
 		return s.popFront()
 	}
-	const attempts = 4
-	for try := 0; try < attempts; try++ {
-		n := s.spray(r)
-		if n == nil {
-			break // looked empty; let popFront decide
+	const (
+		sprays = 2 // fresh walks before conceding to popFront
+		probes = 8 // live nodes tried per walk, moving right from the landing
+	)
+	for try := 0; try < sprays; try++ {
+		x := s.spray(r)
+		for probe := 0; x != nil && probe < probes; probe++ {
+			if s.claim(x) {
+				return x.val, x.prio, true
+			}
+			x = s.nextLive(x)
 		}
-		if s.remove(n) {
-			return n.val, n.prio, true
-		}
-		// Another pop claimed the landed-on node; respray.
 	}
 	return s.popFront()
 }
 
-// popFront removes the first live node — the exact DeleteMin.
+// nextLive returns the first live node after x at the bottom level, or nil
+// when only the tail remains.
+func (s *SprayList) nextLive(x *snode) *snode {
+	x = x.next[0].Load()
+	for x != s.tail && (x.marked.Load() || !x.fullyLinked.Load()) {
+		x = x.next[0].Load()
+	}
+	if x == s.tail {
+		return nil
+	}
+	return x
+}
+
+// popFront is the cleaner: it retires the marked prefix (cleanFront), then
+// walks the bottom level and claims the first live node — the exact
+// DeleteMin. The claimed node itself is left for the next sweep, so a pop
+// never searches: spray pops are a walk plus one CAS, cleaner pops one
+// head-lock sweep plus a walk, amortized one searchless unlink per pop.
+// Sequential (p = 1) use takes this path exclusively and never loses a
+// claim, so the unrelaxed configuration stays exact.
 func (s *SprayList) popFront() (int64, int64, bool) {
-	for {
-		x := s.head.next[0].Load()
-		for x != s.tail && (x.marked.Load() || !x.fullyLinked.Load()) {
-			x = x.next[0].Load()
-		}
-		if x == s.tail {
-			return 0, 0, false
-		}
-		if s.remove(x) {
+	s.cleanFront()
+	x := s.head.next[0].Load()
+	for x != s.tail {
+		if !x.marked.Load() && x.fullyLinked.Load() && s.claim(x) {
 			return x.val, x.prio, true
 		}
-		// Lost the race for the front node; rescan from the head.
+		x = x.next[0].Load()
 	}
+	return 0, 0, false
 }
 
 // spray performs the randomized walk and returns a candidate live node, or
-// nil if the list looked empty from where the walk ended. Parameters follow
-// the original paper's shape (and the sequential model in
-// internal/spraylist): start ~log2(p) levels up, uniform jumps of up to
-// max(1, log2(p)) nodes per level, descend two levels per hop, always
-// finishing with a level-0 hop so height-1 nodes stay reachable.
+// nil if the list looked empty from where the walk ended. Shape: enter
+// ~log2(p) levels up (capped to the list's actual height), take one
+// near-uniform jump of up to maxJump nodes there, drop to the bottom level
+// and take one more — a jump of j nodes at level l passes ~j*2^l elements,
+// so the entry-level jump spreads the landing over Θ(p) ranks (inside the
+// O(p log^3 p) prefix the SprayList analysis permits) and the bottom jump
+// smooths within the band it chose. Both jump lengths are sliced out of a
+// single 64-bit draw: the walk is the pop hot path, and one rng call per
+// level was a measurable share of it.
 func (s *SprayList) spray(r *rng.Xoshiro) *snode {
 	logp := bits.Len(uint(s.p - 1)) // ceil(log2 p)
-	maxJump := logp
-	if maxJump < 1 {
-		maxJump = 1
-	}
+	// The jump budget is a constant: the entry level (~log2 p) alone
+	// carries the p-scaling, each node passed there covering ~p elements,
+	// so the landing spreads over Θ(p) ranks at an identical per-pop walk
+	// cost for every p. (A log-p-scaled budget made pops measurably dearer
+	// exactly at the thread counts the spray exists to serve.) The width
+	// still comfortably separates p concurrent sprays; claims are bare
+	// CASes, so residual collisions cost only the forward probe.
+	const maxJump = 4
 	lvl := logp
+	if top := int(s.maxLvl.Load()); lvl > top {
+		lvl = top
+	}
 	if lvl > sprayMaxHeight-1 {
 		lvl = sprayMaxHeight - 1
 	}
+	// Two-level walk: all the rank spread comes from one long jump at the
+	// entry level (each node passed there covers ~2^lvl elements), and a
+	// short bottom-level jump smooths the landing inside the band the top
+	// jump chose. This costs ~maxJump node visits at *every* p — the
+	// multi-level descent's visit count grew with log p, which showed up
+	// directly as per-pop cost at higher thread counts — while the landing
+	// stays spread over Θ(p log p) ranks. Forward probing and the cleaner
+	// pops cover the nodes the coarse bands skip.
+	draw := r.Uint64()
 	x := s.head
 	for {
-		jumps := r.Intn(maxJump + 1)
+		// Multiply-shift maps 8 fresh bits onto [0, maxJump] with bias
+		// below 1/2^8 — a plain modulo of a 4-bit slice made jump 0 a
+		// third more likely than the rest, measurably crowding the front.
+		jumps := int((draw & 255) * uint64(maxJump+1) >> 8)
+		draw >>= 8
 		for j := 0; j < jumps; j++ {
 			if lvl >= len(x.next) {
 				break
@@ -289,10 +414,7 @@ func (s *SprayList) spray(r *rng.Xoshiro) *snode {
 		if lvl == 0 {
 			break
 		}
-		lvl -= 2
-		if lvl < 0 {
-			lvl = 0
-		}
+		lvl = 0
 	}
 	if x == s.head {
 		x = s.head.next[0].Load()

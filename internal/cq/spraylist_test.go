@@ -59,21 +59,33 @@ func TestSprayListSprayReturnsLiveNode(t *testing.T) {
 	}
 }
 
-func TestSprayListRemoveClaimsOnce(t *testing.T) {
+func TestSprayListClaimOnceAndCleanFront(t *testing.T) {
 	s := NewSprayList(2)
 	r := rng.New(4)
 	s.Push(r, 42, 7)
+	s.Push(r, 43, 9)
 	victim := s.head.next[0].Load()
 	if victim == s.tail {
 		t.Fatal("pushed node not linked")
 	}
-	if !s.remove(victim) {
-		t.Fatal("first remove failed")
+	if !s.claim(victim) {
+		t.Fatal("first claim failed")
 	}
-	if s.remove(victim) {
-		t.Fatal("second remove of the same node succeeded")
+	if s.claim(victim) {
+		t.Fatal("second claim of the same node succeeded")
 	}
-	if s.Len() != 0 {
-		t.Fatalf("Len = %d after remove", s.Len())
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after claim, want 1", s.Len())
+	}
+	s.cleanFront()
+	if !victim.unlinked.Load() {
+		t.Fatal("claimed front node not physically unlinked by cleanFront")
+	}
+	if got := s.head.next[0].Load(); got == victim {
+		t.Fatal("claimed node still physically linked after cleanFront")
+	}
+	s.cleanFront() // idempotent: nothing marked at the front is a no-op
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after second cleanFront, want 1", s.Len())
 	}
 }

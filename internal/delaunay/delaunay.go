@@ -74,10 +74,37 @@ func New(points []geom.Point) *Triangulation {
 	}
 	copy(t.pts, points)
 
-	// Super-triangle far outside the bounding box.
+	sa, sb, sc := superVertices(points)
+	t.pts = append(t.pts, sa, sb, sc)
+
+	root := tri{
+		v:     [3]int32{int32(n), int32(n + 1), int32(n + 2)},
+		nb:    [3]int32{-1, -1, -1},
+		alive: true,
+	}
+	// Ensure CCW.
+	if geom.Orient2D(sa, sb, sc) != geom.Positive {
+		root.v[1], root.v[2] = root.v[2], root.v[1]
+	}
+	root.pts = make([]int32, n)
+	for i := range root.pts {
+		root.pts[i] = int32(i)
+	}
+	t.tris = append(t.tris, root)
+	t.visit = append(t.visit, 0)
+	for i := range t.conflict {
+		t.conflict[i] = 0
+	}
+	return t
+}
+
+// superVertices returns the three vertices of a super-triangle lying far
+// outside the bounding box of points, so no input point's circumcircle
+// relationship with real triangles is disturbed by the artificial corners.
+func superVertices(points []geom.Point) (sa, sb, sc geom.Point) {
 	minX, minY := 0.0, 0.0
 	maxX, maxY := 1.0, 1.0
-	if n > 0 {
+	if len(points) > 0 {
 		minX, minY = points[0].X, points[0].Y
 		maxX, maxY = minX, minY
 		for _, p := range points[1:] {
@@ -104,30 +131,10 @@ func New(points []geom.Point) *Triangulation {
 	}
 	cx, cy := (minX+maxX)/2, (minY+maxY)/2
 	const m = 1e6
-	sa := geom.Point{X: cx - 3*m*span, Y: cy - m*span}
-	sb := geom.Point{X: cx + 3*m*span, Y: cy - m*span}
-	sc := geom.Point{X: cx, Y: cy + 3*m*span}
-	t.pts = append(t.pts, sa, sb, sc)
-
-	root := tri{
-		v:     [3]int32{int32(n), int32(n + 1), int32(n + 2)},
-		nb:    [3]int32{-1, -1, -1},
-		alive: true,
-	}
-	// Ensure CCW.
-	if geom.Orient2D(sa, sb, sc) != geom.Positive {
-		root.v[1], root.v[2] = root.v[2], root.v[1]
-	}
-	root.pts = make([]int32, n)
-	for i := range root.pts {
-		root.pts[i] = int32(i)
-	}
-	t.tris = append(t.tris, root)
-	t.visit = append(t.visit, 0)
-	for i := range t.conflict {
-		t.conflict[i] = 0
-	}
-	return t
+	sa = geom.Point{X: cx - 3*m*span, Y: cy - m*span}
+	sb = geom.Point{X: cx + 3*m*span, Y: cy - m*span}
+	sc = geom.Point{X: cx, Y: cy + 3*m*span}
+	return sa, sb, sc
 }
 
 // OnDepend registers a callback invoked as f(i, j) whenever the insertion

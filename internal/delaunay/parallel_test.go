@@ -1,0 +1,134 @@
+package delaunay
+
+import (
+	"fmt"
+	"testing"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/geom"
+	"relaxsched/internal/rng"
+)
+
+// TestParallelDeterminism is the mesh-identity gate: for the same point set
+// and permutation, ParallelTriangulate must produce exactly Triangulate's
+// mesh on every backend, thread count and batch size — the Delaunay
+// triangulation of points in general position is unique, so any divergence
+// is a lost or corrupted insertion. Run with -race in CI.
+func TestParallelDeterminism(t *testing.T) {
+	const n = 600
+	pts := randomPoints(n, 42)
+	order := rng.New(7).Perm(n)
+	want, err := Triangulate(pts, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range cq.Backends() {
+		for _, batch := range []int{0, 16} {
+			for _, threads := range []int{1, 4, 8} {
+				name := fmt.Sprintf("%s/batch%d/threads%d", backend, batch, threads)
+				t.Run(name, func(t *testing.T) {
+					got, res, err := ParallelTriangulate(pts, order, ParallelOptions{
+						Threads: threads, QueueMultiplier: 2, Backend: backend,
+						BatchSize: batch, Seed: uint64(3 + threads),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Inserted != n {
+						t.Fatalf("inserted %d of %d", res.Inserted, n)
+					}
+					if res.Pops != res.Inserted+res.Blocked {
+						t.Fatalf("accounting: pops %d != inserted %d + blocked %d", res.Pops, res.Inserted, res.Blocked)
+					}
+					if !MeshesEqual(got, want) {
+						t.Fatalf("parallel mesh (%d triangles) differs from sequential (%d)", len(got), len(want))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelDelaunayProperty re-verifies the empty-circumcircle property
+// directly (not just against the sequential mesh) on a fresh point set.
+func TestParallelDelaunayProperty(t *testing.T) {
+	const n = 250
+	pts := randomPoints(n, 99)
+	tris, _, err := ParallelTriangulate(pts, nil, ParallelOptions{
+		Threads: 4, QueueMultiplier: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range tris {
+		a, b, c := pts[tr.A], pts[tr.B], pts[tr.C]
+		for p := 0; p < n; p++ {
+			if p == tr.A || p == tr.B || p == tr.C {
+				continue
+			}
+			if geom.InCircle(a, b, c, pts[p]) == geom.Positive {
+				t.Fatalf("point %d inside circumcircle of (%d,%d,%d)", p, tr.A, tr.B, tr.C)
+			}
+		}
+	}
+}
+
+func TestParallelFewPoints(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		pts := randomPoints(n, 5)
+		got, res, err := ParallelTriangulate(pts, nil, ParallelOptions{
+			Threads: 2, QueueMultiplier: 1, Seed: 9,
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := Triangulate(pts, nil)
+		if err != nil {
+			t.Fatalf("n=%d: sequential: %v", n, err)
+		}
+		if !MeshesEqual(got, want) {
+			t.Fatalf("n=%d: parallel mesh differs from sequential", n)
+		}
+		if res.Inserted != int64(n) {
+			t.Fatalf("n=%d: inserted %d", n, res.Inserted)
+		}
+	}
+}
+
+func TestParallelDuplicatePointFails(t *testing.T) {
+	pts := randomPoints(50, 11)
+	pts = append(pts, pts[17]) // exact duplicate
+	if _, _, err := ParallelTriangulate(pts, nil, ParallelOptions{
+		Threads: 4, QueueMultiplier: 2, Seed: 2,
+	}); err == nil {
+		t.Fatal("duplicate point accepted")
+	}
+}
+
+func TestParallelInvalidOptions(t *testing.T) {
+	pts := randomPoints(10, 1)
+	if _, _, err := ParallelTriangulate(pts, nil, ParallelOptions{Threads: 0, QueueMultiplier: 1}); err == nil {
+		t.Fatal("Threads 0 accepted")
+	}
+	if _, _, err := ParallelTriangulate(pts, []int{1, 2, 3}, ParallelOptions{Threads: 1, QueueMultiplier: 1}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, _, err := ParallelTriangulate(pts, []int{0, 0, 1, 2, 3, 4, 5, 6, 7, 8}, ParallelOptions{Threads: 1, QueueMultiplier: 1}); err == nil {
+		t.Fatal("non-permutation order accepted")
+	}
+}
+
+func TestMeshesEqual(t *testing.T) {
+	a := []Triangle{{A: 0, B: 1, C: 2}, {A: 1, B: 3, C: 2}}
+	b := []Triangle{{A: 2, B: 1, C: 3}, {A: 1, B: 2, C: 0}} // rotated + reordered
+	if !MeshesEqual(a, b) {
+		t.Fatal("rotated/reordered meshes reported unequal")
+	}
+	c := []Triangle{{A: 0, B: 2, C: 1}, {A: 1, B: 3, C: 2}} // flipped orientation
+	if MeshesEqual(a, c) {
+		t.Fatal("orientation-flipped meshes reported equal")
+	}
+	if MeshesEqual(a, a[:1]) {
+		t.Fatal("different-size meshes reported equal")
+	}
+}

@@ -32,11 +32,33 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/inflight"
 	"relaxsched/internal/rng"
 )
+
+// Idle backoff for workers that keep finding the queue empty: a few
+// Gosched yields first (another worker's push is usually in flight), then
+// short sleeps. The sleep matters under oversubscription — spinning idle
+// workers otherwise steal scheduler timeslices from the workers actually
+// producing tasks during frontier ramp-up and drain, which shows up
+// directly as wall time when threads exceed cores.
+const (
+	idleYields = 4
+	idleSleep  = 20 * time.Microsecond
+)
+
+// idleWait is the shared empty-queue backoff: yield for the first
+// idleYields consecutive empties, sleep after that.
+func idleWait(idle int) {
+	if idle < idleYields {
+		runtime.Gosched()
+	} else {
+		time.Sleep(idleSleep)
+	}
+}
 
 // Status is the outcome of one TryExecute attempt.
 type Status int8
@@ -209,15 +231,18 @@ func Run(wl Workload, opts Options) (Stats, error) {
 // the role of the sequential model's "task stays in the scheduler".
 func worker(wl Workload, ctx *Ctx, local *Stats) {
 	mq, r, counters, w := ctx.mq, ctx.r, ctx.counters, ctx.Worker
+	idle := 0
 	for {
 		value, priority, ok := mq.Pop(r)
 		if !ok {
 			if counters.Quiescent() {
 				break
 			}
-			runtime.Gosched()
+			idleWait(idle)
+			idle++
 			continue
 		}
+		idle = 0
 		local.Popped++
 		switch wl.TryExecute(ctx, value, priority) {
 		case Executed:
@@ -250,6 +275,7 @@ func worker(wl Workload, ctx *Ctx, local *Stats) {
 func workerBatched(wl Workload, ctx *Ctx, local *Stats) {
 	mq, r, counters, w := ctx.mq, ctx.r, ctx.counters, ctx.Worker
 	in := make([]cq.Pair, ctx.batch)
+	idle := 0
 	for {
 		k := mq.PopBatch(r, in)
 		if k == 0 {
@@ -260,9 +286,11 @@ func workerBatched(wl Workload, ctx *Ctx, local *Stats) {
 			if counters.Quiescent() {
 				break
 			}
-			runtime.Gosched()
+			idleWait(idle)
+			idle++
 			continue
 		}
+		idle = 0
 		blocked := 0
 		for _, p := range in[:k] {
 			local.Popped++

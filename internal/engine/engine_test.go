@@ -7,8 +7,10 @@ import (
 	"relaxsched/internal/bnb"
 	"relaxsched/internal/core"
 	"relaxsched/internal/cq"
+	"relaxsched/internal/delaunay"
 	"relaxsched/internal/engine"
 	"relaxsched/internal/engine/enginetest"
+	"relaxsched/internal/geom"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/rng"
 	"relaxsched/internal/sssp"
@@ -36,12 +38,13 @@ func randomDAG(n int, r *rng.Xoshiro) *core.DAG {
 	return d
 }
 
-// TestWorkloadConformance drives the three production workload families —
-// static DAG (core), relaxation-spawning SSSP, and dynamic branch-and-bound
-// — through their public adapters on every backend x batch-size cell, and
-// checks each against its sequential ground truth. This is the engine-level
-// analogue of cqtest: a new backend (or engine change) is safe for every
-// parallel path exactly when this grid passes under -race.
+// TestWorkloadConformance drives the four production workload families —
+// static DAG (core), relaxation-spawning SSSP, dynamic branch-and-bound,
+// and on-line-discovery parallel Delaunay — through their public adapters
+// on every backend x batch-size cell, and checks each against its
+// sequential ground truth. This is the engine-level analogue of cqtest: a
+// new backend (or engine change) is safe for every parallel path exactly
+// when this grid passes under -race.
 func TestWorkloadConformance(t *testing.T) {
 	const n = 900
 	dag := randomDAG(n, rng.New(5))
@@ -49,6 +52,15 @@ func TestWorkloadConformance(t *testing.T) {
 	exact := sssp.Dijkstra(g, 0)
 	tree := bnb.Tree{Depth: 7, Branch: 3, MaxEdgeCost: 60, Seed: 9}
 	optimum := bnb.Optimal(tree)
+	ptsRng := rng.New(13)
+	pts := make([]geom.Point, 400)
+	for i := range pts {
+		pts[i] = geom.Point{X: ptsRng.Float64(), Y: ptsRng.Float64()}
+	}
+	mesh, err := delaunay.Triangulate(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, backend := range cq.Backends() {
 		for _, batch := range []int{0, 16} {
@@ -90,6 +102,19 @@ func TestWorkloadConformance(t *testing.T) {
 				}
 				if br.Best != optimum {
 					t.Fatalf("bnb batch %d: Best = %d, want %d", batch, br.Best, optimum)
+				}
+
+				dm, dres, err := delaunay.ParallelTriangulate(pts, nil, delaunay.ParallelOptions{
+					Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 4,
+				})
+				if err != nil {
+					t.Fatalf("delaunay batch %d: %v", batch, err)
+				}
+				if dres.Inserted != int64(len(pts)) {
+					t.Fatalf("delaunay batch %d: inserted %d of %d", batch, dres.Inserted, len(pts))
+				}
+				if !delaunay.MeshesEqual(dm, mesh) {
+					t.Fatalf("delaunay batch %d: mesh differs from sequential", batch)
 				}
 			})
 		}

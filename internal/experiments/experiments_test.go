@@ -356,3 +356,28 @@ func TestParMISSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParDelaunaySmoke(t *testing.T) {
+	c := SmokeConfig()
+	res, err := ParDelaunay(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	backends := map[string]bool{}
+	for _, row := range res.Rows {
+		backends[row.Backend] = true
+		if row.Blocked < 0 || row.OpsPerSec <= 0 || row.N < 256 {
+			t.Fatalf("implausible row: %+v", row)
+		}
+	}
+	if len(backends) != 3 {
+		t.Fatalf("expected all 3 backends, got %v", backends)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

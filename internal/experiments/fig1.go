@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"io"
+	"runtime"
 	"time"
 
 	"relaxsched/internal/sssp"
@@ -87,7 +88,13 @@ func (r Fig1Result) RenderSpeedups(w io.Writer) error {
 	return t.Render(w)
 }
 
+// timeIt times one trial with the garbage collector run beforehand, so the
+// timed window measures the workload and not the luck of where the
+// previous trials' collection cycle lands — on millisecond-scale trials a
+// mid-run GC multiplies the sample by several times and dominates the
+// row's mean.
 func timeIt(f func()) time.Duration {
+	runtime.GC()
 	start := time.Now()
 	f()
 	return time.Since(start)

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/delaunay"
+	"relaxsched/internal/geom"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/stats"
+)
+
+// ParDelaunayRow is one point of the parallel-Delaunay experiment: the
+// on-line-dependency-discovery workload (randomized incremental
+// Bowyer-Watson over per-triangle claim states) on the generic engine,
+// through one concurrent queue backend at one thread count. Blocked counts
+// pops whose cavity claim lost to a racing insertion and were re-inserted
+// — this workload's extra steps, discovered during execution rather than
+// read off a pre-built DAG — and OpsPerSec counts pops per second of wall
+// time.
+type ParDelaunayRow struct {
+	Backend     string
+	N           int
+	Threads     int
+	Blocked     float64
+	BlockedErr  float64
+	BlockedRate float64 // Blocked / N
+	OpsPerSec   float64
+	Millis      float64
+}
+
+// ParDelaunayResult holds the backend x threads sweep.
+type ParDelaunayResult struct {
+	Rows []ParDelaunayRow
+}
+
+// randomPointSet draws n uniform points in the unit square. The generator
+// order doubles as the random insertion order of the randomized
+// incremental algorithm.
+func randomPointSet(n int, seed uint64) []geom.Point {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return pts
+}
+
+// ParDelaunay sweeps thread counts for parallel Delaunay triangulation
+// across every concurrent queue backend (or only c.Backend when one is
+// selected). The mesh is verified on every run: the Delaunay triangulation
+// of points in general position is unique, so the parallel mesh must equal
+// the sequential Triangulate mesh triangle for triangle — the sweep then
+// measures only blocked-claim waste and throughput.
+func ParDelaunay(c Config) (ParDelaunayResult, error) {
+	var res ParDelaunayResult
+	n := 20000 / c.scale()
+	if n < 256 {
+		n = 256
+	}
+	backends := cq.Backends()
+	if c.Backend != "" {
+		backends = []cq.Backend{c.Backend}
+	}
+	// One point set (and its sequential ground-truth mesh) per trial,
+	// shared across the backend and thread sweeps.
+	points := make([][]geom.Point, c.trials())
+	meshes := make([][]delaunay.Triangle, c.trials())
+	for trial := range points {
+		points[trial] = randomPointSet(n, c.Seed+uint64(trial*13+n))
+		mesh, err := delaunay.Triangulate(points[trial], nil)
+		if err != nil {
+			return res, fmt.Errorf("pardelaunay: sequential triangulation: %w", err)
+		}
+		meshes[trial] = mesh
+	}
+	for _, backend := range backends {
+		for _, threads := range c.threadSweep() {
+			var blocked, ops, ms stats.Sample
+			for trial := 0; trial < c.trials(); trial++ {
+				var pr delaunay.ParallelResult
+				var mesh []delaunay.Triangle
+				var runErr error
+				elapsed := timeIt(func() {
+					mesh, pr, runErr = delaunay.ParallelTriangulate(points[trial], nil, delaunay.ParallelOptions{
+						Threads:         threads,
+						QueueMultiplier: 2,
+						Backend:         backend,
+						Seed:            c.Seed + uint64(trial*41+threads),
+					})
+				})
+				if runErr != nil {
+					return res, fmt.Errorf("pardelaunay: %s/%d threads: %w", backend, threads, runErr)
+				}
+				if !delaunay.MeshesEqual(mesh, meshes[trial]) {
+					return res, fmt.Errorf("pardelaunay: %s/%d threads: mesh differs from sequential triangulation", backend, threads)
+				}
+				blocked.Add(float64(pr.Blocked))
+				ops.Add(float64(pr.Pops) / elapsed.Seconds())
+				ms.Add(elapsed.Seconds() * 1e3)
+			}
+			res.Rows = append(res.Rows, ParDelaunayRow{
+				Backend: string(backend), N: n, Threads: threads,
+				Blocked: blocked.Mean(), BlockedErr: blocked.StdErr(),
+				BlockedRate: blocked.Mean() / float64(n),
+				OpsPerSec:   ops.Mean(), Millis: ms.Mean(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the parallel-Delaunay table.
+func (r ParDelaunayResult) Render(w io.Writer) error {
+	t := stats.NewTable("backend", "n", "threads", "blocked", "stderr", "blocked/n", "ops/sec", "ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Backend, row.N, row.Threads, row.Blocked, row.BlockedErr, row.BlockedRate, row.OpsPerSec, row.Millis)
+	}
+	return t.Render(w)
+}

@@ -254,6 +254,32 @@ func DelaunayDAG(points []Point) (*DAG, error) {
 	return dag, err
 }
 
+// ParallelDelaunayOptions configure ParallelTriangulate: worker count,
+// queue multiplier, concurrent queue Backend, BatchSize and Seed.
+type ParallelDelaunayOptions = delaunay.ParallelOptions
+
+// ParallelDelaunayResult is the wasted-work accounting of a parallel
+// triangulation: Pops, Inserted, Blocked (cavity claims lost to racing
+// insertions and re-inserted — this workload's extra steps) and Tris.
+type ParallelDelaunayResult = delaunay.ParallelResult
+
+// ParallelTriangulate computes the Delaunay triangulation with worker
+// goroutines over a concurrent relaxed queue — the engine workload whose
+// dependency DAG is discovered *during* execution: an insertion locates
+// its conflict triangle through the history of destroyed triangles, claims
+// the Bowyer-Watson cavity via per-triangle atomic claim states, and is
+// re-inserted when a racing insertion owns part of it. Insertions are
+// prioritized by permutation index (order as in Triangulate; nil = 0..n-1).
+// For points in general position the mesh equals Triangulate's for any
+// schedule — compare with MeshesEqual, as triangle order differs.
+func ParallelTriangulate(points []Point, order []int, opts ParallelDelaunayOptions) ([]Triangle, ParallelDelaunayResult, error) {
+	return delaunay.ParallelTriangulate(points, order, opts)
+}
+
+// MeshesEqual reports whether two meshes contain the same triangles,
+// ignoring order and vertex rotation.
+func MeshesEqual(a, b []Triangle) bool { return delaunay.MeshesEqual(a, b) }
+
 // BSTSort sorts keys by binary-search-tree insertion (the paper's
 // comparison-sorting incremental algorithm).
 func BSTSort(keys []int64) []int64 { return bstsort.Sort(keys) }

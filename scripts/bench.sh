@@ -1,26 +1,31 @@
 #!/bin/sh
 # Record this PR's benchmark trajectory: the backends head-to-head, the
 # batch-amortization sweep, the parallel-incremental extra-steps rows, and
-# the two engine workloads added in PR 3 (parallel branch-and-bound and
-# parallel greedy MIS/coloring), as a JSON-lines file at the repository
-# root. Override the workload with SCALE / TRIALS / MAXTHREADS, e.g.
+# the engine workloads (parallel branch-and-bound, parallel greedy
+# MIS/coloring, and — new in PR 4 — parallel Delaunay with on-line
+# dependency discovery), as a JSON-lines file at the repository root.
+# Override the workload with SCALE / TRIALS / MAXTHREADS, e.g.
 #
 #   SCALE=16 MAXTHREADS=8 scripts/bench.sh
 #
 # SCALE divides the full-size workloads (bigger = quicker); MAXTHREADS caps
 # the thread sweep (oversubscribing the local core count is fine and still
-# exercises contention). Diff two recorded trajectories with
+# exercises contention). TRIALS trades recording time for row stability.
+# Diff two recorded trajectories with
 #
-#   relaxbench compare BENCH_PR2.json BENCH_PR3.json
+#   relaxbench compare BENCH_PR3.json BENCH_PR4.json
+#
+# and gate on regressions with `compare -threshold PCT` (see CI's
+# bench-smoke job).
 set -eu
 cd "$(dirname "$0")/.."
 
 SCALE="${SCALE:-64}"
-TRIALS="${TRIALS:-3}"
+TRIALS="${TRIALS:-5}"
 MAXTHREADS="${MAXTHREADS:-4}"
-OUT="${OUT:-BENCH_PR3.json}"
+OUT="${OUT:-BENCH_PR4.json}"
 
 go run ./cmd/relaxbench \
     -scale "$SCALE" -trials "$TRIALS" -maxthreads "$MAXTHREADS" \
-    -out "$OUT" backends batchsweep parinc parbnb parmis
+    -out "$OUT" backends batchsweep parinc parbnb parmis pardelaunay
 echo "wrote $OUT" >&2
