@@ -18,7 +18,8 @@ Diffs two benchmark-trajectory files (JSON-lines as written by -out, e.g.
 BENCH_PR3.json vs BENCH_PR4.json) and prints per-experiment throughput
 deltas for every row carrying an OpsPerSec metric. Rows are matched by
 their identity columns (graph, backend, algo, scheduler, threads, n, k,
-batch); rows present on only one side are listed as added or removed.
+batch, producers, rate); rows present on only one side are listed as added
+or removed.
 Exits nonzero on malformed input.
 
 With -threshold PCT (>= 0), compare also exits nonzero when any matched
@@ -34,7 +35,7 @@ type trajectoryLine struct {
 // identityFields are the row columns that name a configuration (as opposed
 // to measuring it), in display order. Integer-valued identity fields are
 // part of the key; everything else numeric is a metric.
-var identityFields = []string{"Graph", "Backend", "Algo", "Scheduler", "Threads", "N", "K", "Batch", "BatchSize", "Depth"}
+var identityFields = []string{"Graph", "Backend", "Algo", "Scheduler", "Threads", "N", "K", "Batch", "BatchSize", "Depth", "Producers", "Rate"}
 
 // rowKey builds the identity key of one row: the concatenation of its
 // identity columns. Rows from the two trajectories match when their keys

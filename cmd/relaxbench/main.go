@@ -27,6 +27,11 @@
 //	parmis        parallel greedy MIS / coloring: backends x threads (extension)
 //	pardelaunay   parallel Delaunay triangulation: backends x threads,
 //	              mesh verified against the sequential result (extension)
+//	stream        streaming top-k job scheduler: external producers emit
+//	              prioritized jobs at a configurable arrival rate while
+//	              workers drain — backends x threads x arrival rates, with
+//	              the rank error of the executed order vs. the true
+//	              priority order per row (extension)
 //	all           everything above
 //
 // The compare subcommand diffs two recorded trajectories:
@@ -218,10 +223,11 @@ var experimentTable = map[string]experimentSpec{
 	"parbnb":      {"Extension: parallel branch-and-bound (engine workload, backends x threads)", withErr(experiments.ParBnB)},
 	"parmis":      {"Extension: parallel greedy MIS / coloring (engine workload, backends x threads)", withErr(experiments.ParMIS)},
 	"pardelaunay": {"Extension: parallel Delaunay triangulation (on-line DAG discovery, backends x threads)", withErr(experiments.ParDelaunay)},
+	"stream":      {"Extension: streaming top-k job scheduler (external producers, backends x threads x arrival rates)", withErr(experiments.Stream)},
 }
 
 // allOrder is the order `relaxbench all` runs experiments in.
-var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay"}
+var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay", "stream"}
 
 // knownExperiment reports whether exp is a name run can dispatch.
 func knownExperiment(exp string) bool {

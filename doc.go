@@ -46,7 +46,19 @@
 //     racing insertion owns part of it, while destroyed triangles carry
 //     redirects so later insertions re-locate by the Guibas-Knuth history
 //     walk; the mesh is verified equal to the sequential Triangulate
-//     output (MeshesEqual);
+//     output (MeshesEqual). Since PR 5 the engine is also an *open system*:
+//     external Producer handles (engine.Start + NewProducer) stream
+//     prioritized tasks into the queue from outside the worker pool while
+//     workers drain, with termination redefined as "all producers closed
+//     and in-flight quiescent" (the producer tallies join internal/
+//     inflight's provably safe double scan);
+//   - a streaming top-k job scheduler on top of the external producers
+//     (NewTopKStream for a caller-driven stream with JobProducer handles,
+//     StreamTopK for the self-driving benchmark): producer goroutines emit
+//     prioritized jobs at a configurable arrival rate, workers execute in
+//     relaxed priority order, every job is verified to execute exactly
+//     once, and the result reports the rank error of the executed order
+//     against the true priority order;
 //   - a rank/fairness Auditor measuring the relaxation any scheduler
 //     actually achieves;
 //   - the generic relaxed execution framework for incremental algorithms

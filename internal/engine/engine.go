@@ -22,6 +22,15 @@
 // is pending anywhere. The counter sum-scan runs only on apparent-empty,
 // keeping the hot path free of shared-counter traffic.
 //
+// Closed-world runs (Run) are the default: every task is born from the
+// frontier or from Ctx.Spawn inside a worker. Start opens the system to
+// external producers — Producer handles created with Execution.NewProducer
+// stream prioritized tasks into the queue while workers drain — and
+// termination is then redefined as "all declared producers closed AND
+// in-flight quiescent" (the producer tallies and an open-producer count
+// join the same double scan; see internal/inflight's package comment for
+// why the extension stays provably safe).
+//
 // Engine-wide caveat: no well-defined global processing order exists across
 // racing workers, so order-sensitive metrics of the sequential model —
 // core.Result.AdjacentInversions in particular — are undefined in parallel
@@ -31,7 +40,6 @@ package engine
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"relaxsched/internal/cq"
@@ -106,10 +114,18 @@ type Options struct {
 	// BatchSize is the number of pairs a worker moves per queue operation:
 	// pops arrive in batches, and spawned or re-inserted pairs accumulate
 	// in a per-worker buffer flushed through PushBatch. Values <= 1
-	// disable batching (one queue operation per pair).
+	// disable batching (one queue operation per pair). Producers batch the
+	// same way: their pushes buffer until BatchSize pairs accumulate.
 	BatchSize int
-	// Seed drives the queue randomness (one split-off stream per worker).
+	// Seed drives the queue randomness (one split-off stream per worker and
+	// per producer).
 	Seed uint64
+	// Producers declares how many external producer handles will be created
+	// with Execution.NewProducer (>= 0). With a non-zero count the execution
+	// is an open system: termination additionally waits for every declared
+	// producer to be created and closed. Run requires 0 (closed world); use
+	// Start for streaming executions.
+	Producers int
 }
 
 // Stats is the engine's execution accounting, summed over all workers.
@@ -126,6 +142,44 @@ type Stats struct {
 	Reinserted int64
 }
 
+// pushBuf is the batch-amortized push path shared by worker Ctxs and
+// external Producers: with batch > 1, pairs accumulate in the out-buffer
+// and flush through one PushBatch when it fills (so the buffer never grows
+// beyond one batch); otherwise every push is a direct queue operation. It
+// is single-goroutine, like the rng stream it carries.
+type pushBuf struct {
+	r     *rng.Xoshiro
+	mq    cq.BatchQueue
+	out   []cq.Pair // deferred pushes (batched mode only)
+	batch int
+}
+
+// push inserts one pair, buffered or direct per the batch mode.
+func (b *pushBuf) push(value, priority int64) {
+	if b.batch > 1 {
+		b.buffer(cq.Pair{Value: value, Priority: priority})
+	} else {
+		b.mq.Push(b.r, value, priority)
+	}
+}
+
+// buffer appends a pair to the out-buffer, flushing when it reaches the
+// batch size.
+func (b *pushBuf) buffer(p cq.Pair) {
+	b.out = append(b.out, p)
+	if len(b.out) >= b.batch {
+		b.flush()
+	}
+}
+
+// flush pushes the out-buffer as one batch.
+func (b *pushBuf) flush() {
+	if len(b.out) > 0 {
+		b.mq.PushBatch(b.r, b.out)
+		b.out = b.out[:0]
+	}
+}
+
 // Ctx is the worker-local spawn context handed to TryExecute. Spawned pairs
 // are recorded in the termination counter before they become visible to
 // other workers, so the workload never touches the counter protocol.
@@ -134,11 +188,8 @@ type Ctx struct {
 	// to shard their own per-worker state.
 	Worker int
 
-	r        *rng.Xoshiro
-	mq       cq.BatchQueue
 	counters *inflight.Counter
-	out      []cq.Pair // deferred pushes (batched mode only)
-	batch    int
+	pushBuf
 }
 
 // Spawn enqueues a new task. In batched mode the pair lands in the worker's
@@ -146,51 +197,56 @@ type Ctx struct {
 // termination check); unbatched it is pushed immediately.
 func (c *Ctx) Spawn(value, priority int64) {
 	c.counters.Produce(c.Worker)
-	if c.batch > 1 {
-		c.buffer(cq.Pair{Value: value, Priority: priority})
-	} else {
-		c.mq.Push(c.r, value, priority)
-	}
-}
-
-// buffer appends a pair to the out-buffer, flushing when it reaches the
-// batch size so the buffer never grows beyond one batch.
-func (c *Ctx) buffer(p cq.Pair) {
-	c.out = append(c.out, p)
-	if len(c.out) >= c.batch {
-		c.flush()
-	}
-}
-
-// flush pushes the out-buffer as one batch.
-func (c *Ctx) flush() {
-	if len(c.out) > 0 {
-		c.mq.PushBatch(c.r, c.out)
-		c.out = c.out[:0]
-	}
+	c.push(value, priority)
 }
 
 // Run executes the workload to quiescence: workers pop from the selected
 // concurrent relaxed queue and call TryExecute until every produced task —
-// seed frontier, spawns and re-insertions alike — has been completed.
+// seed frontier, spawns and re-insertions alike — has been completed. It is
+// the closed-world entry point (all tasks are born from the frontier or
+// Ctx.Spawn); opts.Producers must be 0. For open-system executions fed by
+// external producers, use Start.
 //
 // Every pop counts into Stats exactly once, so adapters can derive their
 // historical metrics (core's Steps, sssp's Popped/Processed) without
 // touching the loop.
 func Run(wl Workload, opts Options) (Stats, error) {
+	if opts.Producers != 0 {
+		return Stats{}, fmt.Errorf("engine: Run is closed-world (Producers = %d); use Start", opts.Producers)
+	}
+	e, err := Start(wl, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	return e.Wait(), nil
+}
+
+// Start validates the options, seeds the frontier and launches the worker
+// pool, returning an Execution handle. With opts.Producers > 0 the run is
+// an open system: the caller creates exactly that many Producer handles
+// with NewProducer, feeds the frontier through them, closes each, and then
+// Wait returns once every task — seeded, spawned and streamed alike — has
+// been completed. Workers never park: an idle worker backs off (bounded
+// yields and sleeps, see idleWait) but keeps re-polling the queue, so a
+// late-arriving push is picked up within one backoff period and a producer
+// closing while every worker is asleep still terminates promptly.
+func Start(wl Workload, opts Options) (*Execution, error) {
 	if opts.Threads < 1 {
-		return Stats{}, fmt.Errorf("engine: need Threads >= 1, got %d", opts.Threads)
+		return nil, fmt.Errorf("engine: need Threads >= 1, got %d", opts.Threads)
 	}
 	if opts.QueueMultiplier < 1 {
-		return Stats{}, fmt.Errorf("engine: need QueueMultiplier >= 1, got %d", opts.QueueMultiplier)
+		return nil, fmt.Errorf("engine: need QueueMultiplier >= 1, got %d", opts.QueueMultiplier)
+	}
+	if opts.Producers < 0 {
+		return nil, fmt.Errorf("engine: need Producers >= 0, got %d", opts.Producers)
 	}
 	mq, err := cq.New(opts.Backend, opts.Threads, opts.QueueMultiplier)
 	if err != nil {
-		return Stats{}, fmt.Errorf("engine: %w", err)
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 
 	seedRng := rng.New(opts.Seed)
-	counters := inflight.New(opts.Threads)
+	counters := inflight.NewOpen(opts.Threads, opts.Producers)
 	wl.Frontier(func(value, priority int64) {
 		// Produce before the push makes the pair visible, exactly as
 		// Ctx.Spawn does on the hot path.
@@ -198,14 +254,20 @@ func Run(wl Workload, opts Options) (Stats, error) {
 		mq.Push(seedRng, value, priority)
 	})
 
-	var total Stats
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	e := &Execution{
+		mq:       mq,
+		counters: counters,
+		seedRng:  seedRng,
+		threads:  opts.Threads,
+		batch:    opts.BatchSize,
+		declared: opts.Producers,
+	}
 	for t := 0; t < opts.Threads; t++ {
-		wg.Add(1)
+		e.wg.Add(1)
 		go func(w int, r *rng.Xoshiro) {
-			defer wg.Done()
-			ctx := &Ctx{Worker: w, r: r, mq: mq, counters: counters, batch: opts.BatchSize}
+			defer e.wg.Done()
+			ctx := &Ctx{Worker: w, counters: counters,
+				pushBuf: pushBuf{r: r, mq: mq, batch: opts.BatchSize}}
 			var local Stats
 			if opts.BatchSize > 1 {
 				ctx.out = make([]cq.Pair, 0, opts.BatchSize)
@@ -213,16 +275,15 @@ func Run(wl Workload, opts Options) (Stats, error) {
 			} else {
 				worker(wl, ctx, &local)
 			}
-			mu.Lock()
-			total.Popped += local.Popped
-			total.Executed += local.Executed
-			total.Discarded += local.Discarded
-			total.Reinserted += local.Reinserted
-			mu.Unlock()
+			e.mu.Lock()
+			e.total.Popped += local.Popped
+			e.total.Executed += local.Executed
+			e.total.Discarded += local.Discarded
+			e.total.Reinserted += local.Reinserted
+			e.mu.Unlock()
 		}(t, seedRng.Split())
 	}
-	wg.Wait()
-	return total, nil
+	return e, nil
 }
 
 // worker is the per-pair (unbatched) loop: one queue operation per pair.

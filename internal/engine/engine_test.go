@@ -13,6 +13,7 @@ import (
 	"relaxsched/internal/geom"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
 	"relaxsched/internal/sssp"
 )
 
@@ -38,13 +39,13 @@ func randomDAG(n int, r *rng.Xoshiro) *core.DAG {
 	return d
 }
 
-// TestWorkloadConformance drives the four production workload families —
+// TestWorkloadConformance drives the five production workload families —
 // static DAG (core), relaxation-spawning SSSP, dynamic branch-and-bound,
-// and on-line-discovery parallel Delaunay — through their public adapters
-// on every backend x batch-size cell, and checks each against its
-// sequential ground truth. This is the engine-level analogue of cqtest: a
-// new backend (or engine change) is safe for every parallel path exactly
-// when this grid passes under -race.
+// on-line-discovery parallel Delaunay, and the open-system streaming top-k
+// scheduler — through their public adapters on every backend x batch-size
+// cell, and checks each against its sequential ground truth. This is the
+// engine-level analogue of cqtest: a new backend (or engine change) is
+// safe for every parallel path exactly when this grid passes under -race.
 func TestWorkloadConformance(t *testing.T) {
 	const n = 900
 	dag := randomDAG(n, rng.New(5))
@@ -115,6 +116,20 @@ func TestWorkloadConformance(t *testing.T) {
 				}
 				if !delaunay.MeshesEqual(dm, mesh) {
 					t.Fatalf("delaunay batch %d: mesh differs from sequential", batch)
+				}
+
+				sr, err := sched.ParallelTopK(sched.TopKRunOptions{
+					StreamOptions: sched.StreamOptions{
+						Threads: 4, QueueMultiplier: 2, Backend: backend,
+						BatchSize: batch, Seed: 5, Producers: 2,
+					},
+					JobsPerProducer: 300,
+				})
+				if err != nil {
+					t.Fatalf("stream batch %d: %v", batch, err)
+				}
+				if sr.Jobs != 600 {
+					t.Fatalf("stream batch %d: executed %d of 600 jobs", batch, sr.Jobs)
 				}
 			})
 		}

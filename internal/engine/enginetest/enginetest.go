@@ -14,7 +14,14 @@
 //     runnable at any time, so blocked pops recycle constantly and the
 //     batched path must keep parked pairs live);
 //   - a duplicate-discard workload (the Discarded status: stale pops are
-//     consumed without work, exactly SSSP's staleness filter).
+//     consumed without work, exactly SSSP's staleness filter);
+//   - a streaming workload (open system: external producers push prioritized
+//     tasks while workers drain, termination waits for every producer to
+//     close on top of in-flight quiescence);
+//   - the producer-close-versus-idle-worker race (producers stay silent long
+//     enough for every worker to fall into sleep backoff, then push a late
+//     burst — or nothing at all — and close; the execution must pick up the
+//     late arrivals and terminate).
 //
 // Real-workload conformance (static-DAG, SSSP, branch-and-bound through
 // their public adapters) lives in the engine's external test, which sweeps
@@ -24,6 +31,7 @@ package enginetest
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/engine"
@@ -39,6 +47,8 @@ func Run(t *testing.T, backend cq.Backend) {
 	t.Run("SpawnHeavyTermination", func(t *testing.T) { testSpawnHeavyTermination(t, backend) })
 	t.Run("DependencyChain", func(t *testing.T) { testDependencyChain(t, backend) })
 	t.Run("DuplicateDiscard", func(t *testing.T) { testDuplicateDiscard(t, backend) })
+	t.Run("StreamingProducers", func(t *testing.T) { testStreamingProducers(t, backend) })
+	t.Run("ProducerCloseIdleRace", func(t *testing.T) { testProducerCloseIdleRace(t, backend) })
 }
 
 func opts(backend cq.Backend, threads, batch int, seed uint64) engine.Options {
@@ -217,6 +227,131 @@ func (w *dupWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.
 		ctx.Spawn(next, priority+2) // duplicate: must be discarded on arrival
 	}
 	return engine.Executed
+}
+
+// streamWorkload is the open-system workload: an empty frontier (every
+// task arrives from an external producer) and executed tasks optionally
+// spawning one follow-up, so the scan has to prove quiescence over worker
+// *and* producer tallies at once.
+type streamWorkload struct {
+	n     int // producer-born task ids: [0, n); spawned children: [n, 2n)
+	spawn bool
+	hits  []atomic.Int32
+}
+
+func (w *streamWorkload) Frontier(func(value, priority int64)) {}
+
+func (w *streamWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.Status {
+	w.hits[value].Add(1)
+	if w.spawn && value < int64(w.n) {
+		ctx.Spawn(value+int64(w.n), priority+1)
+	}
+	return engine.Executed
+}
+
+// testStreamingProducers runs the full open-system contract: several
+// producers (singleton pushes, batch pushes and a mid-stream Flush) feed
+// the frontier while 4 workers drain, executed tasks spawn children, and
+// after Wait every producer-born and spawned task must have executed
+// exactly once.
+func testStreamingProducers(t *testing.T, backend cq.Backend) {
+	const n, producers = 3000, 3
+	for _, batch := range batchSizes {
+		w := &streamWorkload{n: n, spawn: true, hits: make([]atomic.Int32, 2*n)}
+		o := opts(backend, 4, batch, 17)
+		o.Producers = producers
+		e, err := engine.Start(w, o)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		done := make(chan struct{}, producers)
+		for p := 0; p < producers; p++ {
+			go func(p int, prod *engine.Producer) {
+				defer func() { done <- struct{}{} }()
+				defer prod.Close()
+				lo, hi := p*n/producers, (p+1)*n/producers
+				var pairs []cq.Pair
+				for i := lo; i < hi; i++ {
+					switch i % 3 {
+					case 0:
+						prod.Push(int64(i), int64(i))
+					case 1:
+						pairs = append(pairs, cq.Pair{Value: int64(i), Priority: int64(i)})
+					default:
+						prod.Push(int64(i), int64(i))
+						prod.Flush()
+					}
+					if len(pairs) >= 32 {
+						prod.PushBatch(pairs)
+						pairs = pairs[:0]
+					}
+				}
+				prod.PushBatch(pairs)
+			}(p, e.NewProducer())
+		}
+		st := e.Wait()
+		for i := 0; i < producers; i++ {
+			<-done
+		}
+		checkStats(t, engine.Stats{
+			Popped: st.Popped, Executed: st.Executed,
+			Discarded: st.Discarded, Reinserted: st.Reinserted,
+		})
+		if st.Executed != 2*n {
+			t.Fatalf("batch %d: executed %d, want %d", batch, st.Executed, 2*n)
+		}
+		for i := range w.hits {
+			if got := w.hits[i].Load(); got != 1 {
+				t.Fatalf("batch %d: task %d executed %d times", batch, i, got)
+			}
+		}
+	}
+}
+
+// testProducerCloseIdleRace is the nasty termination edge: with an empty
+// frontier and a silent producer, every worker falls through its yield
+// budget into sleep backoff. The producer then either pushes a late burst
+// and closes, or closes without ever pushing. Workers must wake out of
+// idle backoff for the late arrivals and the execution must terminate —
+// a parked "queue looked empty" exit would either lose the burst or hang.
+func testProducerCloseIdleRace(t *testing.T, backend cq.Backend) {
+	const late = 200
+	for _, batch := range batchSizes {
+		for _, burst := range []int{0, late} {
+			w := &streamWorkload{n: late, hits: make([]atomic.Int32, late)}
+			o := opts(backend, 4, batch, 23)
+			o.Producers = 1
+			e, err := engine.Start(w, o)
+			if err != nil {
+				t.Fatalf("batch %d: %v", batch, err)
+			}
+			p := e.NewProducer()
+			go func(burst int) {
+				// Long enough that every worker has exhausted its yield
+				// budget and is cycling through sleep backoff.
+				time.Sleep(3 * time.Millisecond)
+				for i := 0; i < burst; i++ {
+					p.Push(int64(i), int64(i))
+				}
+				p.Close()
+			}(burst)
+			terminated := make(chan engine.Stats)
+			go func() { terminated <- e.Wait() }()
+			select {
+			case st := <-terminated:
+				if st.Executed != int64(burst) {
+					t.Fatalf("batch %d burst %d: executed %d", batch, burst, st.Executed)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("batch %d burst %d: close raced idle workers into a hang", batch, burst)
+			}
+			for i := 0; i < burst; i++ {
+				if got := w.hits[i].Load(); got != 1 {
+					t.Fatalf("batch %d burst %d: task %d executed %d times", batch, burst, i, got)
+				}
+			}
+		}
+	}
 }
 
 func testDuplicateDiscard(t *testing.T, backend cq.Backend) {

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"sync"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/inflight"
+	"relaxsched/internal/rng"
+)
+
+// Execution is a running engine instance as returned by Start: the worker
+// pool is live, and the caller holds the handle to create producers and to
+// wait for termination. The closed-world Run is Start followed by Wait with
+// zero producers.
+type Execution struct {
+	mq       cq.BatchQueue
+	counters *inflight.Counter
+	threads  int
+	batch    int
+	declared int
+
+	// mu guards seedRng (Split mutates it) and created; Start finishes its
+	// own splits before returning, so worker streams never race these.
+	mu      sync.Mutex
+	seedRng *rng.Xoshiro
+	created int
+
+	total    Stats
+	wg       sync.WaitGroup
+	waitOnce sync.Once
+}
+
+// NewProducer returns the next of the Options.Producers declared external
+// producer handles; it panics when called more than that many times. It is
+// safe to call from any goroutine, but each returned Producer must then be
+// used by a single goroutine at a time.
+//
+// Because the open-producer count starts at the declared total, the
+// execution cannot terminate before every declared producer has been
+// created and closed — there is no window in which a late NewProducer races
+// a finished run.
+func (e *Execution) NewProducer() *Producer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.created >= e.declared {
+		panic("engine: NewProducer called more times than Options.Producers declared")
+	}
+	slot := e.threads + e.created
+	e.created++
+	p := &Producer{
+		counters: e.counters,
+		slot:     slot,
+		pushBuf:  pushBuf{r: e.seedRng.Split(), mq: e.mq, batch: e.batch},
+	}
+	if e.batch > 1 {
+		p.out = make([]cq.Pair, 0, e.batch)
+	}
+	return p
+}
+
+// Wait blocks until the execution terminates — every declared producer
+// created and closed, and every produced task completed — and returns the
+// summed worker stats. It is idempotent: concurrent and repeated calls all
+// return the same totals.
+func (e *Execution) Wait() Stats {
+	e.waitOnce.Do(e.wg.Wait)
+	// No lock needed: wg.Wait orders every worker's final accumulation
+	// before this read, and total is never written afterwards.
+	return e.total
+}
+
+// Producer feeds the frontier of a running execution from outside the
+// worker pool — the open-system analogue of Ctx.Spawn. Like Ctx it is
+// single-goroutine: create one producer per feeding goroutine (handing a
+// producer from the creating goroutine to its user is fine). Pairs are
+// recorded in the termination counter before they become visible, so the
+// streaming arrival never races the double-scan termination protocol.
+//
+// With Options.BatchSize > 1 pushes accumulate in a producer-local buffer
+// flushed through the queue's PushBatch when full — the same one-
+// coordination-round-per-batch amortization the workers use — and Close
+// flushes whatever remains. Push and PushBatch panic once the producer is
+// closed; Close itself is idempotent.
+type Producer struct {
+	counters *inflight.Counter
+	slot     int
+	closed   bool
+	pushBuf
+}
+
+// Push streams one (value, priority) pair into the execution. It panics if
+// the producer has been closed.
+func (p *Producer) Push(value, priority int64) {
+	if p.closed {
+		panic("engine: Push on closed Producer")
+	}
+	p.counters.Produce(p.slot)
+	p.push(value, priority)
+}
+
+// PushBatch streams every pair in one queue operation. Any buffered Push
+// pairs are flushed first so arrival order is preserved per producer. It
+// panics if the producer has been closed.
+func (p *Producer) PushBatch(pairs []cq.Pair) {
+	if p.closed {
+		panic("engine: PushBatch on closed Producer")
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	p.flush()
+	p.counters.ProduceN(p.slot, int64(len(pairs)))
+	p.mq.PushBatch(p.r, pairs)
+}
+
+// Flush makes every buffered pair visible to the workers without closing
+// the producer. Useful when a batching producer goes quiet for a while: a
+// buffered pair is counted as in-flight, so leaving it parked keeps the
+// execution from terminating (it cannot deadlock — Close flushes — but it
+// delays the buffered jobs arbitrarily).
+func (p *Producer) Flush() {
+	if p.closed {
+		return
+	}
+	p.flush()
+}
+
+// Close flushes any buffered pairs and marks the producer done. Once every
+// declared producer has closed and the queue drains, the workers terminate.
+// Close is idempotent: a second Close is a no-op.
+func (p *Producer) Close() {
+	if p.closed {
+		return
+	}
+	p.flush()
+	p.closed = true
+	p.counters.CloseProducer()
+}

@@ -357,6 +357,47 @@ func TestParMISSmoke(t *testing.T) {
 	}
 }
 
+func TestStreamSmoke(t *testing.T) {
+	c := SmokeConfig()
+	res, err := Stream(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(c.threadSweep()) * len(StreamRates); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	backends := map[string]bool{}
+	rates := map[int]bool{}
+	for _, row := range res.Rows {
+		backends[row.Backend] = true
+		rates[row.Rate] = true
+		if row.OpsPerSec <= 0 || row.N < 500 || row.Producers != streamProducers {
+			t.Fatalf("implausible row: %+v", row)
+		}
+		if row.MeanRankErr < 0 || row.MaxRankErr < row.MeanRankErr || float64(row.N) <= row.MaxRankErr {
+			t.Fatalf("implausible rank error: %+v", row)
+		}
+		if row.RankErrPerJob < 0 || row.RankErrPerJob >= 1 {
+			t.Fatalf("rank error per job out of [0, 1): %+v", row)
+		}
+	}
+	if len(backends) != 3 {
+		t.Fatalf("expected all 3 backends, got %v", backends)
+	}
+	for _, r := range StreamRates {
+		if !rates[r] {
+			t.Fatalf("arrival rate %d missing from sweep", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rank-err") {
+		t.Fatal("render missing rank-error column")
+	}
+}
+
 func TestParDelaunaySmoke(t *testing.T) {
 	c := SmokeConfig()
 	res, err := ParDelaunay(c)

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/stats"
+)
+
+// StreamRow is one point of the streaming top-k experiment: the open-system
+// engine workload (external producers emit prioritized jobs at a fixed
+// arrival rate while workers drain in relaxed priority order) through one
+// concurrent queue backend at one thread count and one per-producer arrival
+// rate (jobs/sec; 0 = unthrottled). Every run is verified — each streamed
+// job executed exactly once — before its row is recorded.
+//
+// MeanRankErr is the job-wise |executed position - true priority position|
+// averaged over the N streamed jobs; RankErrPerJob normalizes it by N so
+// rows are comparable across scales. Under throttled arrivals the error
+// floor comes from arrival order (a top job arriving last cannot run
+// first), under unthrottled arrivals from the queue's relaxation — the
+// sweep spans both regimes.
+type StreamRow struct {
+	Backend       string
+	Threads       int
+	Producers     int
+	Rate          int // per-producer arrival rate in jobs/sec; 0 = unthrottled
+	N             int // total jobs streamed
+	MeanRankErr   float64
+	MeanRankErrE  float64
+	MaxRankErr    float64
+	RankErrPerJob float64 // MeanRankErr / N
+	OpsPerSec     float64 // jobs executed per second of wall time
+	Millis        float64
+}
+
+// StreamResult holds the backend x threads x arrival-rate sweep.
+type StreamResult struct {
+	Rows []StreamRow
+}
+
+// StreamRates is the per-producer arrival-rate sweep in jobs/sec: an
+// unthrottled drain (queue relaxation dominates the rank error), a fast
+// stream and a slow stream (arrival order dominates).
+var StreamRates = []int{0, 50000, 5000}
+
+// streamProducers is the number of arrival goroutines per run.
+const streamProducers = 2
+
+// Stream sweeps the streaming top-k job scheduler across every concurrent
+// queue backend (or only c.Backend when one is selected), thread counts and
+// arrival rates. This is the first open-system experiment: unlike every
+// other engine workload the frontier is fed from outside the worker pool,
+// so the rows measure relaxed priority scheduling under live arrivals —
+// the serving regime the MultiQueue/SprayList designs target.
+func Stream(c Config) (StreamResult, error) {
+	var res StreamResult
+	jobsPerProducer := 30000 / c.scale()
+	if jobsPerProducer < 250 {
+		jobsPerProducer = 250
+	}
+	total := streamProducers * jobsPerProducer
+	backends := cq.Backends()
+	if c.Backend != "" {
+		backends = []cq.Backend{c.Backend}
+	}
+	for _, backend := range backends {
+		for _, threads := range c.threadSweep() {
+			for _, rate := range StreamRates {
+				var mean, maxE, ops, ms stats.Sample
+				for trial := 0; trial < c.trials(); trial++ {
+					var sr sched.StreamResult
+					var runErr error
+					elapsed := timeIt(func() {
+						sr, runErr = sched.ParallelTopK(sched.TopKRunOptions{
+							StreamOptions: sched.StreamOptions{
+								Threads:         threads,
+								QueueMultiplier: 2,
+								Backend:         backend,
+								Seed:            c.Seed + uint64(trial*59+threads*7+rate),
+								Producers:       streamProducers,
+							},
+							JobsPerProducer: jobsPerProducer,
+							Rate:            rate,
+						})
+					})
+					if runErr != nil {
+						return res, fmt.Errorf("stream: %s/%d threads/rate %d: %w", backend, threads, rate, runErr)
+					}
+					mean.Add(sr.MeanRankError)
+					maxE.Add(float64(sr.MaxRankError))
+					ops.Add(float64(sr.Jobs) / elapsed.Seconds())
+					ms.Add(elapsed.Seconds() * 1e3)
+				}
+				res.Rows = append(res.Rows, StreamRow{
+					Backend: string(backend), Threads: threads,
+					Producers: streamProducers, Rate: rate, N: total,
+					MeanRankErr: mean.Mean(), MeanRankErrE: mean.StdErr(),
+					MaxRankErr:    maxE.Mean(),
+					RankErrPerJob: mean.Mean() / float64(total),
+					OpsPerSec:     ops.Mean(), Millis: ms.Mean(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes the streaming-scheduler table.
+func (r StreamResult) Render(w io.Writer) error {
+	t := stats.NewTable("backend", "threads", "producers", "rate/s", "jobs", "rank-err", "stderr", "max", "err/job", "ops/sec", "ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Backend, row.Threads, row.Producers, row.Rate, row.N,
+			row.MeanRankErr, row.MeanRankErrE, row.MaxRankErr, row.RankErrPerJob, row.OpsPerSec, row.Millis)
+	}
+	return t.Render(w)
+}

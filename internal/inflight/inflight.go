@@ -23,6 +23,24 @@
 // totals at t0 — a consistent instant with no live task. Since new tasks
 // are only produced while processing a live one, none can appear afterwards
 // except through queues the caller has already observed empty.
+//
+// # Open systems: external producers
+//
+// The closed-world argument above assumes tasks are only born while a
+// worker processes a live one. Streaming executions break that: external
+// producers push tasks from outside the worker set at arbitrary times.
+// NewOpen extends the counter with producer slots (tally-only: producers
+// record Produce, never Complete) and an open-producer count, initialized
+// to the declared producer total and decremented by CloseProducer.
+//
+// Quiescent reads the open count before the double scan, which is what
+// keeps the proof intact: open == 0 means every producer's final Produce
+// happened before its CloseProducer, which happened before this load, so
+// the monotone produced tallies scanned afterwards already include every
+// externally born task — the system is closed-world again from the load
+// onward, and the original argument applies unchanged. (Reading it last
+// would admit a race: a producer could push between the produced scan and
+// the open-count read.)
 package inflight
 
 import "sync/atomic"
@@ -36,17 +54,40 @@ type slot struct {
 }
 
 // Counter tracks produced-versus-completed tasks across a fixed set of
-// workers. The zero value is unusable; construct with New.
+// workers, plus (for open systems) a fixed set of external producers. The
+// zero value is unusable; construct with New or NewOpen.
 type Counter struct {
 	slots []slot
+	// open counts external producers that have not yet called CloseProducer.
+	// It sits on its own padded line: Quiescent loads it on every scan, and
+	// it must not false-share with any tally slot.
+	_    [64]byte
+	open atomic.Int64
+	_    [56]byte
 }
 
-// New returns a counter with one padded slot per worker (workers >= 1).
+// New returns a closed-world counter with one padded slot per worker
+// (workers >= 1): no external producers, Quiescent is the pure double scan.
 func New(workers int) *Counter {
+	return NewOpen(workers, 0)
+}
+
+// NewOpen returns a counter for an open system: workers worker slots
+// (indices [0, workers)) followed by producers external producer slots
+// (indices [workers, workers+producers)), with the open-producer count
+// initialized to producers. Producer slots are tally-only — the tasks they
+// Produce are Completed by worker slots — and Quiescent stays false until
+// every declared producer has called CloseProducer.
+func NewOpen(workers, producers int) *Counter {
 	if workers < 1 {
 		panic("inflight: need at least one worker")
 	}
-	return &Counter{slots: make([]slot, workers)}
+	if producers < 0 {
+		panic("inflight: negative producer count")
+	}
+	c := &Counter{slots: make([]slot, workers+producers)}
+	c.open.Store(int64(producers))
+	return c
 }
 
 // Produce records that worker w created one task. It must be called before
@@ -69,10 +110,27 @@ func (c *Counter) Complete(w int) {
 	c.slots[w].completed.Add(1)
 }
 
-// Quiescent reports whether every produced task has been completed. A true
-// result is definitive (see the package comment for the double-scan
-// argument); a false result may be transient and callers should re-poll.
+// CloseProducer records that one external producer will produce no more
+// tasks. It must be called after the producer's final Produce, exactly once
+// per declared producer; it panics if called more times than NewOpen
+// declared.
+func (c *Counter) CloseProducer() {
+	if c.open.Add(-1) < 0 {
+		panic("inflight: CloseProducer without an open producer")
+	}
+}
+
+// Open returns the number of external producers not yet closed.
+func (c *Counter) Open() int64 { return c.open.Load() }
+
+// Quiescent reports whether every producer has closed and every produced
+// task has been completed. A true result is definitive (see the package
+// comment for the double-scan argument and why the open-producer count is
+// read first); a false result may be transient and callers should re-poll.
 func (c *Counter) Quiescent() bool {
+	if c.open.Load() != 0 {
+		return false
+	}
 	var completed int64
 	for i := range c.slots {
 		completed += c.slots[i].completed.Load()

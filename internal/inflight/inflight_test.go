@@ -36,6 +36,64 @@ func TestSequentialAccounting(t *testing.T) {
 	}
 }
 
+func TestOpenProducerAccounting(t *testing.T) {
+	// 2 workers + 2 external producer slots. Quiescent must stay false —
+	// even with zero tasks anywhere — until both producers close.
+	c := NewOpen(2, 2)
+	if c.Quiescent() {
+		t.Fatal("quiescent with two open producers")
+	}
+	if c.Open() != 2 {
+		t.Fatalf("Open = %d, want 2", c.Open())
+	}
+	c.Produce(2) // producer slot 0 streams one task
+	c.CloseProducer()
+	if c.Quiescent() {
+		t.Fatal("quiescent with one open producer and a live task")
+	}
+	c.Complete(0) // a worker completes the streamed task
+	if c.Quiescent() {
+		t.Fatal("quiescent with one producer still open")
+	}
+	c.ProduceN(3, 4) // producer slot 1 streams a batch
+	c.CloseProducer()
+	if c.Open() != 0 {
+		t.Fatalf("Open = %d, want 0", c.Open())
+	}
+	if c.Quiescent() {
+		t.Fatal("quiescent with four live streamed tasks")
+	}
+	if c.Live() != 4 {
+		t.Fatalf("Live = %d, want 4", c.Live())
+	}
+	for i := 0; i < 4; i++ {
+		c.Complete(1)
+	}
+	if !c.Quiescent() {
+		t.Fatal("not quiescent after all producers closed and tasks drained")
+	}
+}
+
+func TestCloseProducerOverrunPanics(t *testing.T) {
+	c := NewOpen(1, 1)
+	c.CloseProducer()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("extra CloseProducer did not panic")
+		}
+	}()
+	c.CloseProducer()
+}
+
+func TestNewOpenValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative producer count accepted")
+		}
+	}()
+	NewOpen(1, -1)
+}
+
 func TestSlotPadding(t *testing.T) {
 	// Each slot must span at least two cache lines so the produced and
 	// completed words of different workers never share a line.

@@ -1,0 +1,298 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
+	"relaxsched/internal/rng"
+)
+
+// This file is the streaming top-k job scheduler: the first open-system
+// workload on the relaxed-execution engine. Where every other workload
+// seeds its frontier up front (closed world), here producer goroutines
+// stream prioritized jobs into the queue *while* workers drain it in
+// relaxed priority order — the serving scenario the MultiQueue and
+// SprayList designs target. The sequential model in this package bounds
+// the rank of each ApproxGetMin; the streaming scheduler measures the
+// end-to-end analogue, the rank error of the executed order against the
+// true priority order of all jobs.
+
+// StreamOptions configure a streaming execution (NewTopKStream).
+type StreamOptions struct {
+	// Threads is the number of worker goroutines (>= 1).
+	Threads int
+	// QueueMultiplier is the relaxation multiplier of the concurrent queue
+	// (>= 1; the classic MultiQueue configuration is 2).
+	QueueMultiplier int
+	// Backend selects the concurrent queue implementation; the zero value
+	// is cq.DefaultBackend.
+	Backend cq.Backend
+	// BatchSize is the number of jobs moved per queue operation, on both
+	// sides: workers pop job batches, and producer pushes buffer until
+	// BatchSize jobs accumulate (flushed on Close). Values <= 1 disable
+	// batching.
+	BatchSize int
+	// Seed drives the queue randomness (one split-off stream per worker and
+	// per producer).
+	Seed uint64
+	// Producers is the number of JobProducer handles that will be created
+	// with NewProducer (>= 1). The stream terminates only after every
+	// declared producer has been created and closed.
+	Producers int
+	// Execute, if non-nil, is the job body run by the executing worker.
+	// It must be safe for concurrent calls from Threads workers.
+	Execute func(worker int, job, priority int64)
+}
+
+// StreamResult summarizes a finished streaming execution.
+type StreamResult struct {
+	// Jobs is the number of jobs executed (every pushed job exactly once).
+	Jobs int64
+	// Popped is the total number of queue pops across all workers; for this
+	// workload it equals Jobs (no job is ever blocked or discarded).
+	Popped int64
+	// ExecutedPriorities lists job priorities in global execution order.
+	ExecutedPriorities []int64
+	// MeanRankError and MaxRankError measure how far the executed order
+	// strays from the true priority order of the full job set: job-wise
+	// |executed position - priority-sorted position|, averaged and maxed.
+	// Under streaming this folds two effects together — the queue's
+	// relaxation and the arrival order (a top-priority job arriving last
+	// cannot execute first, whatever the queue does) — which is exactly the
+	// open-system quantity the scheduler is judged on.
+	MeanRankError float64
+	MaxRankError  int64
+}
+
+// topkWorkload records the global execution order of streamed jobs. Each
+// worker appends to its own padded log; the global position comes from one
+// atomic ticket, claimed at execution time.
+type topkWorkload struct {
+	execute func(worker int, job, priority int64)
+	next    atomic.Int64
+	logs    []execLog
+}
+
+// execRecord is one executed job: its global execution ticket and priority.
+type execRecord struct {
+	pos      int64
+	priority int64
+}
+
+// execLog is one worker's private execution log, padded so neighbouring
+// workers' append bookkeeping never false-shares.
+type execLog struct {
+	recs []execRecord
+	_    [104]byte // pad the 24-byte slice header to two 64-byte lines
+}
+
+func (w *topkWorkload) Frontier(func(value, priority int64)) {
+	// Open system: every job arrives through a producer.
+}
+
+func (w *topkWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.Status {
+	if w.execute != nil {
+		w.execute(ctx.Worker, value, priority)
+	}
+	pos := w.next.Add(1) - 1
+	l := &w.logs[ctx.Worker]
+	l.recs = append(l.recs, execRecord{pos: pos, priority: priority})
+	return engine.Executed
+}
+
+// TopKStream is a live streaming execution: workers are draining jobs in
+// relaxed priority order while the holder streams more in through
+// JobProducer handles. Obtain one with NewTopKStream, create and close all
+// declared producers, then Wait for the result.
+type TopKStream struct {
+	exec *engine.Execution
+	wl   *topkWorkload
+}
+
+// NewTopKStream launches the worker pool of a streaming top-k execution.
+// Lower priority values are served first, approximately: workers pop from a
+// concurrent relaxed queue, so each pop returns one of the smallest-priority
+// pending jobs rather than the exact minimum.
+func NewTopKStream(opts StreamOptions) (*TopKStream, error) {
+	if opts.Producers < 1 {
+		return nil, fmt.Errorf("sched: streaming needs Producers >= 1, got %d", opts.Producers)
+	}
+	// Validated again by engine.Start, but the per-worker logs are
+	// allocated first — check here so bad options error instead of
+	// panicking in makeslice.
+	if opts.Threads < 1 {
+		return nil, fmt.Errorf("sched: streaming needs Threads >= 1, got %d", opts.Threads)
+	}
+	wl := &topkWorkload{execute: opts.Execute, logs: make([]execLog, opts.Threads)}
+	exec, err := engine.Start(wl, engine.Options{
+		Threads:         opts.Threads,
+		QueueMultiplier: opts.QueueMultiplier,
+		Backend:         opts.Backend,
+		BatchSize:       opts.BatchSize,
+		Seed:            opts.Seed,
+		Producers:       opts.Producers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	return &TopKStream{exec: exec, wl: wl}, nil
+}
+
+// NewProducer returns the next declared producer handle (panics beyond
+// StreamOptions.Producers). Each handle must be used by one goroutine at a
+// time; create one per arrival stream.
+func (s *TopKStream) NewProducer() *JobProducer {
+	return &JobProducer{p: s.exec.NewProducer()}
+}
+
+// Wait blocks until every declared producer has closed and every streamed
+// job has executed, then returns the merged execution order and its
+// rank-error summary.
+func (s *TopKStream) Wait() StreamResult {
+	st := s.exec.Wait()
+	exec := make([]int64, s.wl.next.Load())
+	for i := range s.wl.logs {
+		for _, rec := range s.wl.logs[i].recs {
+			exec[rec.pos] = rec.priority
+		}
+	}
+	mean, maxErr := rankErrors(exec)
+	return StreamResult{
+		Jobs:               st.Executed,
+		Popped:             st.Popped,
+		ExecutedPriorities: exec,
+		MeanRankError:      mean,
+		MaxRankError:       maxErr,
+	}
+}
+
+// JobProducer streams prioritized jobs into a TopKStream from one
+// goroutine. Push after Close panics; Close is idempotent.
+type JobProducer struct {
+	p *engine.Producer
+}
+
+// Push streams one job. Lower priorities are executed first (approximately).
+func (p *JobProducer) Push(job, priority int64) { p.p.Push(job, priority) }
+
+// Flush makes any batched-but-buffered jobs visible to the workers without
+// closing the producer.
+func (p *JobProducer) Flush() { p.p.Flush() }
+
+// Close marks this arrival stream finished; once all producers close and
+// the queue drains, Wait returns.
+func (p *JobProducer) Close() { p.p.Close() }
+
+// rankErrors computes the displacement of an executed priority sequence
+// from its sorted order: idx[ideal] is the execution position of the job
+// that should have run ideal-th (ties broken by execution order, which is
+// the kindest consistent assignment), and each job contributes
+// |ideal - idx[ideal]|.
+func rankErrors(exec []int64) (mean float64, max int64) {
+	n := len(exec)
+	if n == 0 {
+		return 0, 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return exec[idx[a]] < exec[idx[b]] })
+	var sum int64
+	for ideal, pos := range idx {
+		d := int64(ideal) - int64(pos)
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	return float64(sum) / float64(n), max
+}
+
+// TopKRunOptions configure ParallelTopK, the self-driving streaming
+// benchmark: StreamOptions.Producers arrival goroutines each emit
+// JobsPerProducer jobs at Rate jobs per second.
+type TopKRunOptions struct {
+	// StreamOptions configure the underlying stream. Execute must be nil —
+	// the harness owns it for exactly-once verification.
+	StreamOptions
+	// JobsPerProducer is the number of jobs each producer emits (>= 1).
+	JobsPerProducer int
+	// Rate is each producer's arrival rate in jobs per second; 0 streams
+	// unthrottled. Rate-limited producers follow an absolute schedule
+	// (job i of a producer is released at start + i/Rate), so pacing does
+	// not drift with sleep overshoot.
+	Rate int
+}
+
+// ParallelTopK runs the streaming top-k job scheduler end to end: producer
+// goroutines emit jobs with uniformly random distinct priorities at the
+// configured arrival rate, workers execute them in relaxed priority order,
+// and the result reports the rank error of the executed order against the
+// true priority order. Every job is verified to execute exactly once; a
+// lost or duplicated job is an error, not a statistic.
+func ParallelTopK(opts TopKRunOptions) (StreamResult, error) {
+	if opts.Execute != nil {
+		return StreamResult{}, fmt.Errorf("sched: ParallelTopK owns Execute; found non-nil")
+	}
+	if opts.JobsPerProducer < 1 {
+		return StreamResult{}, fmt.Errorf("sched: need JobsPerProducer >= 1, got %d", opts.JobsPerProducer)
+	}
+	if opts.Rate < 0 {
+		return StreamResult{}, fmt.Errorf("sched: need Rate >= 0, got %d", opts.Rate)
+	}
+	// NewTopKStream re-checks this, but the hits array is sized from it
+	// first — reject here so bad options error instead of panicking.
+	if opts.Producers < 1 {
+		return StreamResult{}, fmt.Errorf("sched: streaming needs Producers >= 1, got %d", opts.Producers)
+	}
+	total := opts.Producers * opts.JobsPerProducer
+	hits := make([]atomic.Int32, total)
+	so := opts.StreamOptions
+	so.Execute = func(_ int, job, _ int64) { hits[job].Add(1) }
+	s, err := NewTopKStream(so)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	// Distinct priorities via a random permutation of [0, total): the
+	// priority value doubles as the job's position in the true priority
+	// order, so the rank-error accounting is exact.
+	priorities := rng.New(rng.Mix64(opts.Seed) ^ 0x73747265616d).Perm(total)
+	var interval time.Duration
+	if opts.Rate > 0 {
+		interval = time.Second / time.Duration(opts.Rate)
+	}
+	for p := 0; p < opts.Producers; p++ {
+		go func(p int, prod *JobProducer) {
+			defer prod.Close()
+			start := time.Now()
+			base := p * opts.JobsPerProducer
+			for i := 0; i < opts.JobsPerProducer; i++ {
+				if interval > 0 {
+					if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				job := base + i
+				prod.Push(int64(job), int64(priorities[job]))
+			}
+		}(p, s.NewProducer())
+	}
+	res := s.Wait()
+	if res.Jobs != int64(total) {
+		return res, fmt.Errorf("sched: executed %d of %d streamed jobs", res.Jobs, total)
+	}
+	for job := range hits {
+		if got := hits[job].Load(); got != 1 {
+			return res, fmt.Errorf("sched: job %d executed %d times", job, got)
+		}
+	}
+	return res, nil
+}

@@ -73,6 +73,49 @@ type Auditor = sched.Auditor
 // the rank histogram.
 func NewAuditor(inner Scheduler, histWidth int) *Auditor { return sched.NewAuditor(inner, histWidth) }
 
+// TopKStreamOptions configure a streaming top-k execution: worker count,
+// queue multiplier, concurrent queue Backend, BatchSize (applied on both
+// the worker and the producer side), Seed, the number of declared
+// Producers, and an optional per-job Execute body.
+type TopKStreamOptions = sched.StreamOptions
+
+// TopKStreamResult summarizes a finished streaming execution: executed job
+// count, the priorities in global execution order, and the mean/max rank
+// error of that order against the true priority order.
+type TopKStreamResult = sched.StreamResult
+
+// TopKStream is a live streaming execution: workers drain jobs in relaxed
+// priority order while JobProducer handles stream more in.
+type TopKStream = sched.TopKStream
+
+// JobProducer streams prioritized jobs into a TopKStream from a single
+// goroutine: Push feeds jobs (buffered per BatchSize, Flush forces
+// visibility), Close marks the arrival stream finished. Push after Close
+// panics; Close is idempotent.
+type JobProducer = sched.JobProducer
+
+// NewTopKStream opens the engine to external producers — the open-system
+// counterpart of the closed-world parallel paths, whose tasks are all born
+// inside workers via spawning. It launches the worker pool immediately;
+// create exactly opts.Producers handles with NewProducer, stream and close
+// each, then Wait for the result. Termination is "all producers closed AND
+// all streamed jobs executed".
+func NewTopKStream(opts TopKStreamOptions) (*TopKStream, error) { return sched.NewTopKStream(opts) }
+
+// StreamTopKOptions configure StreamTopK: the embedded TopKStreamOptions
+// plus JobsPerProducer and the per-producer arrival Rate in jobs/sec
+// (0 = unthrottled).
+type StreamTopKOptions = sched.TopKRunOptions
+
+// StreamTopK runs the self-driving streaming top-k benchmark: Producers
+// goroutines emit JobsPerProducer jobs each with distinct random priorities
+// at the configured arrival rate, workers execute in relaxed priority
+// order, and every job is verified to execute exactly once. The result's
+// rank error measures how far the executed order strayed from the true
+// priority order — the open-system analogue of the sequential model's
+// RankBound.
+func StreamTopK(opts StreamTopKOptions) (TopKStreamResult, error) { return sched.ParallelTopK(opts) }
+
 // DAG is a dependency DAG over tasks labelled 0..N-1 in priority order.
 type DAG = core.DAG
 

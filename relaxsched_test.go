@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"relaxsched"
@@ -312,5 +313,45 @@ func TestFacadeParallelWorkloads(t *testing.T) {
 		if err := relaxsched.VerifyColoring(g, colors); err != nil {
 			t.Fatalf("%s: %v", backend, err)
 		}
+	}
+}
+
+func TestFacadeStreamTopK(t *testing.T) {
+	// The streaming (open-system) scheduler through the facade: the
+	// self-driving harness on every backend, and a manually driven
+	// JobProducer handle.
+	for _, backend := range relaxsched.QueueBackends() {
+		res, err := relaxsched.StreamTopK(relaxsched.StreamTopKOptions{
+			StreamOptions: relaxsched.TopKStreamOptions{
+				Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 7, Producers: 2,
+			},
+			JobsPerProducer: 300,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if res.Jobs != 600 {
+			t.Fatalf("%s: executed %d of 600 jobs", backend, res.Jobs)
+		}
+		if res.MeanRankError < 0 || res.MaxRankError >= 600 {
+			t.Fatalf("%s: implausible rank error %v/%d", backend, res.MeanRankError, res.MaxRankError)
+		}
+	}
+
+	var executed atomic.Int64
+	s, err := relaxsched.NewTopKStream(relaxsched.TopKStreamOptions{
+		Threads: 2, QueueMultiplier: 2, Seed: 3, Producers: 1,
+		Execute: func(_ int, _, _ int64) { executed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.NewProducer()
+	for i := 0; i < 200; i++ {
+		p.Push(int64(i), int64(i%37))
+	}
+	p.Close()
+	if res := s.Wait(); res.Jobs != 200 || executed.Load() != 200 {
+		t.Fatalf("jobs %d, executed %d, want 200", res.Jobs, executed.Load())
 	}
 }

@@ -2,8 +2,10 @@
 # Record this PR's benchmark trajectory: the backends head-to-head, the
 # batch-amortization sweep, the parallel-incremental extra-steps rows, and
 # the engine workloads (parallel branch-and-bound, parallel greedy
-# MIS/coloring, and — new in PR 4 — parallel Delaunay with on-line
-# dependency discovery), as a JSON-lines file at the repository root.
+# MIS/coloring, parallel Delaunay with on-line dependency discovery, and —
+# new in PR 5 — the streaming top-k job scheduler: external producers at
+# swept arrival rates, rank error per row), as a JSON-lines file at the
+# repository root.
 # Override the workload with SCALE / TRIALS / MAXTHREADS, e.g.
 #
 #   SCALE=16 MAXTHREADS=8 scripts/bench.sh
@@ -23,9 +25,9 @@ cd "$(dirname "$0")/.."
 SCALE="${SCALE:-64}"
 TRIALS="${TRIALS:-5}"
 MAXTHREADS="${MAXTHREADS:-4}"
-OUT="${OUT:-BENCH_PR4.json}"
+OUT="${OUT:-BENCH_PR5.json}"
 
 go run ./cmd/relaxbench \
     -scale "$SCALE" -trials "$TRIALS" -maxthreads "$MAXTHREADS" \
-    -out "$OUT" backends batchsweep parinc parbnb parmis pardelaunay
+    -out "$OUT" backends batchsweep parinc parbnb parmis pardelaunay stream
 echo "wrote $OUT" >&2
