@@ -17,9 +17,12 @@ const compareUsage = `usage: relaxbench compare [-threshold PCT] OLD.json NEW.js
 Diffs two benchmark-trajectory files (JSON-lines as written by -out, e.g.
 BENCH_PR3.json vs BENCH_PR4.json) and prints per-experiment throughput
 deltas for every row carrying an OpsPerSec metric. Rows are matched by
-their identity columns (graph, backend, algo, scheduler, threads, n, k,
-batch, producers, rate); rows present on only one side are listed as added
-or removed.
+their identity columns (graph, backend, algo, scheduler, placement,
+threads, n, k, batch, producers, rate); rows present on only one side are
+listed as added or removed. When both sides record the host environment
+(NumCPU / GOMAXPROCS) and matched rows disagree, compare prints a warning:
+throughput deltas across different core counts reflect hardware at least
+as much as code.
 Exits nonzero on malformed input.
 
 With -threshold PCT (>= 0), compare also exits nonzero when any matched
@@ -35,7 +38,7 @@ type trajectoryLine struct {
 // identityFields are the row columns that name a configuration (as opposed
 // to measuring it), in display order. Integer-valued identity fields are
 // part of the key; everything else numeric is a metric.
-var identityFields = []string{"Graph", "Backend", "Algo", "Scheduler", "Threads", "N", "K", "Batch", "BatchSize", "Depth", "Producers", "Rate"}
+var identityFields = []string{"Graph", "Backend", "Algo", "Scheduler", "Placement", "Threads", "N", "K", "Batch", "BatchSize", "Depth", "Producers", "Rate"}
 
 // rowKey builds the identity key of one row: the concatenation of its
 // identity columns. Rows from the two trajectories match when their keys
@@ -154,6 +157,7 @@ func compareThreshold(oldPath, newPath string, threshold float64, w io.Writer) e
 
 	compared := 0
 	var regressions []regression
+	hostWarned := make(map[string]bool) // one warning per old/new host pairing
 	for _, name := range newOrder {
 		oldRaw, inOld := oldByName[name]
 		if !inOld {
@@ -180,6 +184,10 @@ func compareThreshold(oldPath, newPath string, threshold float64, w io.Writer) e
 			}
 			matched++
 			delete(oldByKey, key)
+			if warning, ok := hostMismatch(or, nr); ok && !hostWarned[warning] {
+				hostWarned[warning] = true
+				fmt.Fprintf(w, "\nwarning: %s — throughput deltas may reflect hardware, not code\n", warning)
+			}
 			oldOps, okOld := metric(or)
 			newOps, okNew := metric(nr)
 			if !okOld || !okNew {
@@ -219,6 +227,26 @@ func compareThreshold(oldPath, newPath string, threshold float64, w io.Writer) e
 		return fmt.Errorf("%d row(s) regressed OpsPerSec by more than %.4g%%", len(regressions), threshold)
 	}
 	return nil
+}
+
+// hostMismatch compares the host-environment columns of two matched rows.
+// It reports a human-readable description when both rows carry the fields
+// and any value differs; rows recorded before the fields existed (or
+// metric-free rows) compare silently.
+func hostMismatch(or, nr map[string]any) (string, bool) {
+	fields := []string{"NumCPU", "GOMAXPROCS"}
+	var diffs []string
+	for _, f := range fields {
+		ov, okOld := or[f].(float64)
+		nv, okNew := nr[f].(float64)
+		if okOld && okNew && ov != nv {
+			diffs = append(diffs, fmt.Sprintf("%s %d vs %d", f, int(ov), int(nv)))
+		}
+	}
+	if len(diffs) == 0 {
+		return "", false
+	}
+	return "matched rows measured on different hosts (" + strings.Join(diffs, ", ") + ")", true
 }
 
 // metric extracts a row's throughput metric.

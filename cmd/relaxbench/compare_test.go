@@ -52,6 +52,49 @@ func TestCompareDeltas(t *testing.T) {
 	}
 }
 
+// Matched rows that record different host environments must produce a
+// visible warning (once per distinct pairing), and rows without the
+// columns — trajectories recorded before they existed — must not.
+func TestCompareHostMismatchWarning(t *testing.T) {
+	oldHost := `{"experiment":"backends","result":{"Rows":[` +
+		`{"Graph":"road","Backend":"multiqueue","Threads":2,"OpsPerSec":1000000,"NumCPU":8,"GOMAXPROCS":8},` +
+		`{"Graph":"road","Backend":"spraylist","Threads":2,"OpsPerSec":900000,"NumCPU":8,"GOMAXPROCS":8}]}}
+`
+	newHost := `{"experiment":"backends","result":{"Rows":[` +
+		`{"Graph":"road","Backend":"multiqueue","Threads":2,"OpsPerSec":400000,"NumCPU":1,"GOMAXPROCS":1},` +
+		`{"Graph":"road","Backend":"spraylist","Threads":2,"OpsPerSec":350000,"NumCPU":1,"GOMAXPROCS":1}]}}
+`
+	var buf bytes.Buffer
+	if err := compare(writeTemp(t, "old.json", oldHost), writeTemp(t, "new.json", newHost), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "NumCPU 8 vs 1") {
+		t.Fatalf("compare output missing host-mismatch warning:\n%s", out)
+	}
+	if strings.Count(out, "warning:") != 1 {
+		t.Fatalf("want exactly one warning for one host pairing:\n%s", out)
+	}
+
+	// Same hosts: silent.
+	buf.Reset()
+	if err := compare(writeTemp(t, "same.json", oldHost), writeTemp(t, "same2.json", oldHost), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "warning:") {
+		t.Fatalf("unexpected warning for identical hosts:\n%s", buf.String())
+	}
+
+	// Old trajectory predates the host columns: silent.
+	buf.Reset()
+	if err := compare(writeTemp(t, "old2.json", trajOld), writeTemp(t, "new2.json", newHost), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "warning:") {
+		t.Fatalf("unexpected warning when old rows lack host columns:\n%s", buf.String())
+	}
+}
+
 // TestCompareThreshold drives the regression gate through its three
 // regimes: a regression within the threshold passes, one beyond it fails
 // (after the full report is still rendered), and a regression of exactly

@@ -32,6 +32,9 @@
 //	              workers drain — backends x threads x arrival rates, with
 //	              the rank error of the executed order vs. the true
 //	              priority order per row (extension)
+//	affinity      shard-affine vs. uniform handle placement on the
+//	              lock-free backend: a pure queue microbenchmark isolating
+//	              the home-shard cache-locality effect (extension)
 //	all           everything above
 //
 // The compare subcommand diffs two recorded trajectories:
@@ -52,6 +55,14 @@
 // experiment on stdout. -out FILE additionally writes the same JSON-lines
 // stream to FILE regardless of -json, which is how the per-PR BENCH_*.json
 // trajectories at the repository root are recorded (see scripts/bench.sh).
+//
+// -cpuprofile FILE and -memprofile FILE capture pprof profiles of the
+// selected experiments (the CPU profile spans every experiment run; the
+// heap profile is written after the last one), so hot-path work on the
+// queue backends can be profiled without ad-hoc patching:
+//
+//	relaxbench -scale 64 -cpuprofile cpu.pprof backends
+//	go tool pprof cpu.pprof
 package main
 
 import (
@@ -60,6 +71,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/experiments"
@@ -74,6 +87,8 @@ func main() {
 		backend    = flag.String("backend", "", fmt.Sprintf("concurrent queue backend for parallel experiments (%v; empty = default)", cq.Backends()))
 		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
 		outPath    = flag.String("out", "", "also write the JSON-lines stream to this file (e.g. BENCH_PR2.json)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile spanning all selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the last experiment) to this file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: relaxbench [flags] <experiment> [<experiment>...]\n       relaxbench compare [-threshold PCT] OLD.json NEW.json\nrun 'go doc relaxsched/cmd/relaxbench' for the experiment list\n")
@@ -131,9 +146,35 @@ func main() {
 		defer f.Close()
 		out.record = f
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relaxbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "relaxbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	for _, exp := range flag.Args() {
 		if err := run(exp, cfg, out); err != nil {
 			fmt.Fprintf(os.Stderr, "relaxbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relaxbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "relaxbench: memprofile: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -224,10 +265,11 @@ var experimentTable = map[string]experimentSpec{
 	"parmis":      {"Extension: parallel greedy MIS / coloring (engine workload, backends x threads)", withErr(experiments.ParMIS)},
 	"pardelaunay": {"Extension: parallel Delaunay triangulation (on-line DAG discovery, backends x threads)", withErr(experiments.ParDelaunay)},
 	"stream":      {"Extension: streaming top-k job scheduler (external producers, backends x threads x arrival rates)", withErr(experiments.Stream)},
+	"affinity":    {"Extension: shard-affine vs. uniform handle placement (lock-free backend microbenchmark)", noErr(experiments.Affinity)},
 }
 
 // allOrder is the order `relaxbench all` runs experiments in.
-var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay", "stream"}
+var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay", "stream", "affinity"}
 
 // knownExperiment reports whether exp is a name run can dispatch.
 func knownExperiment(exp string) bool {

@@ -20,12 +20,20 @@
 //   - a pluggable concurrent relaxed-queue layer (internal/cq) with three
 //     backends — the lock-per-queue MultiQueue with 2-choice pops, a lazy
 //     lock-based skip list with spray-height pops, and a lock-free
-//     MultiQueue whose pops CAS-steal the top of a Treiber-style immutable
-//     pairing heap — selectable on every parallel path via a QueueBackend,
-//     plus a batch layer (PushBatch/PopBatch) that amortizes one lock
-//     acquisition or CAS over a whole batch of pairs, and a shared
-//     conformance and race-stress suite (cqtest) that any future backend
-//     must pass through both the singleton and the batch path;
+//     MultiQueue of mutable pairing-heap shards (a pop privatizes a whole
+//     shard by swapping its root to nil, harvests minima in place, and
+//     republishes the remainder; detached nodes are retired through
+//     epoch-based reclamation, internal/epoch, and reused from per-worker
+//     free lists so steady-state operation allocates nothing) — selectable
+//     on every parallel path via a QueueBackend, plus a batch layer
+//     (PushBatch/PopBatch) that amortizes one lock acquisition or CAS over
+//     a whole batch of pairs, a handle layer (Handle/HandleQueue) through
+//     which workers pin per-worker state — on the lock-free backend a
+//     handle carries an epoch slot and a home shard, giving shard-affine
+//     placement with two-choice stealing (ablated against uniform
+//     placement by the affinity experiment) — and a shared conformance,
+//     allocation and race-stress suite (cqtest) that any future backend
+//     must pass through the singleton, batch and handle paths;
 //   - a generic parallel relaxed-execution engine (internal/engine) that
 //     every concurrent path is a thin workload over: the engine owns the
 //     worker loops (singleton and batch-amortized), the Ctx.Spawn task

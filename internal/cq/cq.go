@@ -14,9 +14,11 @@
 //   - SprayListBackend: a lazy lock-based skip list (Herlihy-Shavit style
 //     fine-grained locking, logical deletion marks) whose Pop performs a
 //     SprayList-style randomized spray walk instead of removing the head.
-//   - LockFreeBackend: a lock-free MultiQueue — each queue is an immutable
-//     pairing heap behind one atomic root pointer (Treiber-style), and pops
-//     CAS-steal the cached top; no operation ever blocks another.
+//   - LockFreeBackend: a lock-free MultiQueue — each queue is a mutable
+//     pairing heap behind one atomic root pointer, taken whole by Swap and
+//     republished by CAS (ownership transfer), with epoch-based node
+//     reclamation and per-worker shard-affine handles; no operation ever
+//     blocks another.
 //
 // All are relaxed: Pop returns a small-rank element, not necessarily the
 // minimum. New backends must pass the shared conformance and race-stress
@@ -87,8 +89,9 @@ const (
 	// SprayListBackend is the lazy lock-based skip list with spray-height
 	// pops (Alistarh, Kopinsky, Li & Shavit, PPoPP 2015).
 	SprayListBackend Backend = "spraylist"
-	// LockFreeBackend is the lock-free MultiQueue: Treiber-style immutable
-	// pairing heaps per queue, CAS-stealing two-choice pops.
+	// LockFreeBackend is the lock-free MultiQueue: mutable pairing heaps
+	// taken and republished through one atomic root per queue, epoch-based
+	// node reclamation (internal/epoch) and shard-affine worker handles.
 	LockFreeBackend Backend = "lockfree"
 )
 

@@ -60,6 +60,8 @@ func Run(t *testing.T, newQueue Factory) {
 	t.Run("BatchReservedPriorityPanics", func(t *testing.T) { testBatchReservedPriorityPanics(t, newQueue) })
 	t.Run("BatchConcurrentValuesPreserved", func(t *testing.T) { testBatchConcurrentValuesPreserved(t, newQueue) })
 	t.Run("ScalingSmoke", func(t *testing.T) { testScalingSmoke(t, newQueue) })
+	t.Run("HandleConformance", func(t *testing.T) { testHandleConformance(t, newQueue) })
+	t.Run("AllocSteadyState", func(t *testing.T) { testAllocSteadyState(t, newQueue) })
 }
 
 // stressTimeout bounds every concurrent subtest so a termination bug shows
@@ -494,6 +496,150 @@ func testScalingSmoke(t *testing.T, newQueue Factory) {
 	}
 	t.Logf("drain throughput: 1 popper %.3g pops/s, %d poppers %.3g pops/s (%.2fx)",
 		single, threads, multi, multi/single)
+}
+
+// testHandleConformance runs the per-worker session path (cq.HandleFor)
+// through every backend: handle-less backends get the pass-through wrapper,
+// handle backends (cq.HandleQueue) get real sessions with epoch slots and
+// home shards. Each worker routes all its traffic through one pinned handle
+// — exactly the engine's usage — racing queue-level operations from a
+// coordinator; every value must come back exactly once, and Close must
+// leave the remaining workers fully operational (the worker-death case).
+func testHandleConformance(t *testing.T, newQueue Factory) {
+	const (
+		workers = 8
+		perW    = 3000
+	)
+	q := cq.AsBatch(newQueue(t, workers, 2))
+	// Value space: workers*perW from the main loops, 64 per surviving
+	// worker, perW from the coordinator.
+	seen := make([]atomic.Bool, workers*perW+workers*64+perW)
+	var popped atomic.Int64
+	record := func(v int64) {
+		if seen[v].Swap(true) {
+			t.Errorf("value %d popped twice", v)
+		}
+		popped.Add(1)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := cq.HandleFor(q)
+			r := rng.New(uint64(g) + 1)
+			dst := make([]cq.Pair, 8)
+			for i := 0; i < perW; i++ {
+				v := int64(g*perW + i)
+				if i%4 == 3 {
+					h.PushBatch(r, []cq.Pair{{Value: v, Priority: int64(r.Intn(1 << 20))}})
+				} else {
+					h.Push(r, v, int64(r.Intn(1<<20)))
+				}
+				switch i % 3 {
+				case 1:
+					if v, _, ok := h.Pop(r); ok {
+						record(v)
+					}
+				case 2:
+					for _, p := range dst[:h.PopBatch(r, dst)] {
+						record(p.Value)
+					}
+				}
+			}
+			if g%2 == 0 {
+				h.Close() // half the workers die early with live elements around
+			} else {
+				defer h.Close()
+				// Survivors keep operating after the early closers are gone.
+				for i := 0; i < 64; i++ {
+					h.Push(r, int64(workers*perW+g*64+i), int64(r.Intn(1<<20)))
+					if v, _, ok := h.Pop(r); ok {
+						record(v)
+					}
+				}
+			}
+		}(g)
+	}
+	// Queue-level traffic interleaves with the handles throughout.
+	wg.Add(1)
+	var coordPushed atomic.Int64
+	go func() {
+		defer wg.Done()
+		r := rng.New(777)
+		for i := 0; i < perW; i++ {
+			q.Push(r, int64(workers*perW+workers*64+i), int64(r.Intn(1<<20)))
+			coordPushed.Add(1)
+			if i%2 == 1 {
+				if v, _, ok := q.Pop(r); ok {
+					record(v)
+				}
+			}
+		}
+	}()
+	waitOrFatal(t, &wg, "handle conformance stress")
+	// Drain through a fresh handle — it must see everything, including
+	// elements pushed by since-closed handles.
+	h := cq.HandleFor(q)
+	defer h.Close()
+	r := rng.New(99)
+	dst := make([]cq.Pair, 32)
+	for {
+		k := h.PopBatch(r, dst)
+		if k == 0 {
+			break
+		}
+		for _, p := range dst[:k] {
+			record(p.Value)
+		}
+	}
+	total := int64(workers*perW) + int64(workers/2)*64 + coordPushed.Load()
+	if got := popped.Load(); got != total {
+		t.Fatalf("recovered %d of %d values through handles", got, total)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+// testAllocSteadyState measures per-operation heap allocations of a warm
+// push/pop cycle through one handle. Backends that declare node recycling
+// (cq.Recycler) are gated: once the reclamation pipeline matures, pops must
+// feed pushes, so steady-state traffic stays well under one allocation per
+// operation. Other backends just get their baseline recorded — visibility,
+// not a gate, since per-op allocation is only a contract where reuse is the
+// point of the design.
+func testAllocSteadyState(t *testing.T, newQueue Factory) {
+	raw := newQueue(t, 2, 2)
+	q := cq.AsBatch(raw)
+	h := cq.HandleFor(q)
+	defer h.Close()
+	r := rng.New(41)
+	// Keep a standing population so pops always succeed, then warm the
+	// reclamation pipeline past its grace period.
+	for i := int64(0); i < 4096; i++ {
+		h.Push(r, i, int64(r.Intn(1<<16)))
+	}
+	for i := 0; i < 8192; i++ {
+		h.Push(r, int64(i), int64(r.Intn(1<<16)))
+		h.Pop(r)
+	}
+	perOp := testing.AllocsPerRun(2000, func() {
+		h.Push(r, 1, int64(r.Intn(1<<16)))
+		h.Pop(r)
+	}) / 2
+	rec, ok := raw.(cq.Recycler)
+	if ok && rec.RecyclesNodes() {
+		// 0.25 leaves room for amortized noise (retirement-bin growth, free
+		// list reslicing) while still requiring that the overwhelming
+		// majority of operations reuse nodes.
+		if perOp > 0.25 {
+			t.Fatalf("recycling backend allocated %.3f allocs/op in steady state; node reuse is not working", perOp)
+		}
+		t.Logf("steady-state allocations: %.3f allocs/op (gated <= 0.25)", perOp)
+	} else {
+		t.Logf("steady-state allocations: %.3f allocs/op (baseline, not gated)", perOp)
+	}
 }
 
 func testRacingPushersTermination(t *testing.T, newQueue Factory) {

@@ -4,295 +4,432 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"relaxsched/internal/epoch"
 	"relaxsched/internal/rng"
 )
 
-// LockFreeMQ is a lock-free MultiQueue: the same sharded two-choice design
-// as MultiQueue, but each internal queue is a Treiber-style structure — an
-// *immutable* pairing heap published through a single atomic root pointer,
-// generalizing the Treiber stack from a list to a heap (the children list
-// of a pairing-heap node is itself an immutable Treiber-style linked list).
+// LockFreeMQ is a nonblocking MultiQueue over mutable, reusable
+// pairing-heap nodes. Each shard publishes its heap through a single atomic
+// root pointer, and every mutation follows the ownership-transfer pattern:
 //
-// Every operation is a pure function from the old heap to a new one
-// followed by one CompareAndSwap of the root:
+//   - take: one atomic Swap(nil) detaches the shard's entire heap, making
+//     the caller its exclusive owner — the lock-free analogue of acquiring
+//     the shard lock, except the Swap itself is wait-free and a preempted
+//     owner can never block anyone (other operations simply see an
+//     apparently empty shard and take their traffic elsewhere, exactly the
+//     redirection the two-choice protocol performs anyway);
+//   - mutate: the owner melds, deletes minima and reuses nodes with plain
+//     in-place pointer surgery — no copying, no allocation on pop;
+//   - publish: one CompareAndSwap(nil, heap) re-links the result; if a
+//     concurrent publish got there first, the owner Swaps that heap out and
+//     melds it in before retrying. Only nil-compare CASes and unconditional
+//     Swaps touch the roots, so node reuse can never cause ABA.
 //
-//   - Push melds a singleton node into the loaded root and CASes;
-//   - Pop reads the roots of two random queues — the root pointer *is* the
-//     cached top, no separate priority cache can go stale — and CAS-steals
-//     the better one: a successful CAS from that root to its delete-min
-//     remainder claims the top element atomically.
+// The predecessor of this design kept shards as *immutable* pairing heaps:
+// safe to share, but every pop copied O(children) nodes to build the
+// remainder and no node could ever be reused in place, so allocation could
+// only be amortized through sync.Pool bump arenas (the gap ROADMAP tracked
+// against the locked MultiQueue). Mutability removes the copies; what it
+// needs in exchange is safe reclamation, because one read path still runs
+// on shared nodes: the two-choice probe dereferences the prio of roots it
+// does not own. internal/epoch provides it — probes run inside an epoch
+// critical section, popped nodes are retired to the popper's epoch slot,
+// and after the grace period they return through the slot's free list to be
+// reinitialized by later pushes ("Are Lock-Free Concurrent Algorithms
+// Practically Wait-Free?" gives the scheduling argument for why those
+// critical sections stay short and reuse stays fast in practice).
 //
-// A failed CAS means another operation succeeded in the same instant, so
-// the structure is lock-free (system-wide progress is guaranteed); in the
-// terminology of Alistarh, Censor-Hillel & Shavit ("Are Lock-Free
-// Concurrent Algorithms Practically Wait-Free?", STOC 2014) the per-shard
-// contention is low enough under rerandomization that individual operations
-// complete in expected constant retries — the practical-progress argument
-// for preferring this backend when workers can be preempted mid-operation:
-// unlike the lock-per-queue MultiQueue, a descheduled worker can never
-// block pushes or pops by parking inside a critical section.
+// Epoch slots and free lists need a worker identity, so the backend hands
+// out per-worker sessions: NewHandle returns a Handle carrying an epoch
+// slot and a home shard. Handles are also where shard-affine placement
+// lives: a handle's pushes always publish to its home shard and its pops
+// probe home-first (home top vs one uniformly random top, preserving
+// two-choice rank quality), so a worker's hot path keeps hitting cache
+// lines it already owns instead of scattering across all shards — the
+// per-core-data discipline of ddtxn applied to the MultiQueue. The plain
+// Queue/BatchQueue methods still work for identity-less callers by
+// borrowing an anonymous pooled handle per operation.
 //
-// Go's garbage collector rules out ABA on the root CAS: a node address is
-// never reused while any operation still holds it. For the same reason
-// nodes cannot go on a free list — an unlinked root may still be traversed
-// by a racing pop — so allocation is amortized instead: every operation
-// borrows a bump-allocator arena from a sync.Pool (see lfArena) and pays
-// one malloc per 256 nodes rather than two per meld.
-//
-// Like the other backends it keeps no global element counter (Len sums the
-// per-root size fields and is exact only at quiescence).
+// Like the other backends it keeps no global element counter; Len sums
+// per-shard atomic sizes and is exact only at quiescence.
 type LockFreeMQ struct {
-	queues []lfqueue
+	queues []lfshard
+	dom    *epoch.Domain[lfnode]
+	// nextHome deals out home shards round-robin as handles are created, so
+	// engine workers 0..T-1 land on distinct shards whenever there are at
+	// least as many shards as workers (the registry builds threads *
+	// multiplier >= threads of them).
+	nextHome atomic.Uint64
+	// affine disables home-shard preference when false (uniform two-choice
+	// everywhere) — the ablation knob behind NewLockFreeMQUniform.
+	affine bool
+	// anon pools single-operation handles for the plain Queue/BatchQueue
+	// methods; sync.Pool's per-P caching gives even anonymous callers
+	// stable epoch slots and home shards.
+	anon sync.Pool
 }
 
-// lfqueue is one shard: an atomic root pointer, padded so neighbouring
-// roots do not share a cache line.
-type lfqueue struct {
+// lfshard is one shard: an atomic heap root plus an element count, padded
+// so neighbouring shards never share a cache line.
+type lfshard struct {
 	_    [64]byte
 	root atomic.Pointer[lfnode]
-	_    [64]byte
+	size atomic.Int64
+	_    [48]byte
 }
 
-// lfnode is an immutable pairing-heap node. Fields are never mutated after
-// publication; all updates copy the root path (O(1) nodes for meld).
+// lfnode is a mutable pairing-heap node: child points at the leftmost
+// child, sibling links the children of one parent. prio and val are
+// written only while the node is unpublished (a fresh or epoch-matured
+// reused node); child and sibling are only mutated by a shard owner, so
+// the sole shared read — a probe loading root.prio — races nothing.
 type lfnode struct {
-	prio     int64
-	val      int64
-	size     int64 // elements in this subtree, for Len
-	children *lfchild
+	prio    int64
+	val     int64
+	child   *lfnode
+	sibling *lfnode
 }
 
-// lfchild is a link of a node's immutable children list.
-type lfchild struct {
-	node *lfnode
-	next *lfchild
+// lfMeld links two owned heaps in place: the worse root becomes the better
+// root's leftmost child. Either argument may be nil; the melded root's own
+// sibling link is left untouched (callers keep roots sibling-free).
+func lfMeld(a, b *lfnode) *lfnode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.prio < a.prio {
+		a, b = b, a
+	}
+	b.sibling = a.child
+	a.child = b
+	return a
 }
 
-// lfArena is a per-operation bump allocator for heap nodes and child
-// links, borrowed from a sync.Pool for the duration of one queue
-// operation. Every meld allocates one node and one link; before the arena
-// that meant two mallocs (plus a pairs slice per delete-min) on every
-// Push/Pop — the dominant cost of this backend (ROADMAP's open item on its
-// raw-throughput gap to the locked MultiQueue). Chunks are handed out
-// slot-by-slot and never reused: nodes are immutable and shared between
-// published heap versions, so reclamation stays the garbage collector's
-// job (no ABA), and the arena only amortizes allocation — one malloc per
-// lfArenaChunk nodes. The trade-off is retention granularity: a chunk
-// stays reachable while any node in it is, which is bounded by the queue's
-// live contents plus in-flight operations.
-type lfArena struct {
-	nodes []lfnode
-	links []lfchild
-	pairs []*lfnode // lfDeleteMin's pairing-pass scratch, reused across calls
-}
-
-const lfArenaChunk = 256
-
-var lfArenaPool = sync.Pool{New: func() any { return new(lfArena) }}
-
-func (a *lfArena) node(prio, val, size int64, children *lfchild) *lfnode {
-	if len(a.nodes) == 0 {
-		a.nodes = make([]lfnode, lfArenaChunk)
-	}
-	n := &a.nodes[0]
-	a.nodes = a.nodes[1:]
-	n.prio, n.val, n.size, n.children = prio, val, size, children
-	return n
-}
-
-func (a *lfArena) link(node *lfnode, next *lfchild) *lfchild {
-	if len(a.links) == 0 {
-		a.links = make([]lfchild, lfArenaChunk)
-	}
-	l := &a.links[0]
-	a.links = a.links[1:]
-	l.node, l.next = node, next
-	return l
-}
-
-// lfMeld merges two immutable heaps, allocating one node and one child
-// link from the arena. Either heap argument may be nil.
-func lfMeld(a *lfArena, x, y *lfnode) *lfnode {
-	if x == nil {
-		return y
-	}
-	if y == nil {
-		return x
-	}
-	if y.prio < x.prio {
-		x, y = y, x
-	}
-	return a.node(x.prio, x.val, x.size+y.size, a.link(y, x.children))
-}
-
-// lfDeleteMin returns the heap with its root removed: the classic two-pass
-// pairing merge (meld children pairwise left to right, then fold the pairs
-// right to left).
-func lfDeleteMin(a *lfArena, h *lfnode) *lfnode {
-	if h.children == nil {
-		return nil
-	}
-	pairs := a.pairs[:0]
-	for c := h.children; c != nil; {
-		first := c.node
-		c = c.next
-		if c != nil {
-			first = lfMeld(a, first, c.node)
-			c = c.next
+// lfDeleteMin removes the root of an owned heap in place: the classic
+// two-pass pairing merge (meld children pairwise left to right, fold right
+// to left), using the children's own sibling links as the pass-two stack —
+// no allocation, no copying. The detached root's links are cleared; the
+// caller retires it.
+func lfDeleteMin(h *lfnode) *lfnode {
+	c := h.child
+	h.child = nil
+	var stack *lfnode // melded pairs, chained by sibling, most recent first
+	for c != nil {
+		a := c
+		b := a.sibling
+		if b == nil {
+			a.sibling = stack
+			stack = a
+			break
 		}
-		pairs = append(pairs, first)
+		next := b.sibling
+		a.sibling, b.sibling = nil, nil
+		m := lfMeld(a, b)
+		m.sibling = stack
+		stack = m
+		c = next
 	}
-	merged := pairs[len(pairs)-1]
-	for i := len(pairs) - 2; i >= 0; i-- {
-		merged = lfMeld(a, pairs[i], merged)
+	var merged *lfnode
+	for stack != nil {
+		next := stack.sibling
+		stack.sibling = nil
+		merged = lfMeld(merged, stack)
+		stack = next
 	}
-	a.pairs = pairs[:0]
 	return merged
 }
 
-// NewLockFreeMQ returns a lock-free MultiQueue with q internal queues.
+// NewLockFreeMQ returns a lock-free MultiQueue with q internal shards and
+// shard-affine handle placement.
 func NewLockFreeMQ(q int) *LockFreeMQ {
+	return newLockFreeMQ(q, true)
+}
+
+// NewLockFreeMQUniform returns the same structure with affinity disabled:
+// every handle probes and publishes uniformly at random, exactly the
+// classic MultiQueue placement. It exists for the affinity ablation
+// experiment and for tests; production callers want NewLockFreeMQ.
+func NewLockFreeMQUniform(q int) *LockFreeMQ {
+	return newLockFreeMQ(q, false)
+}
+
+func newLockFreeMQ(q int, affine bool) *LockFreeMQ {
 	if q < 1 {
 		panic("cq: need at least one queue")
 	}
-	return &LockFreeMQ{queues: make([]lfqueue, q)}
+	c := &LockFreeMQ{
+		queues: make([]lfshard, q),
+		dom:    epoch.NewDomain[lfnode](),
+		affine: affine,
+	}
+	c.anon.New = func() any { return c.NewHandle() }
+	return c
 }
 
-// NumQueues returns the number of internal queues.
+// NumQueues returns the number of internal shards.
 func (c *LockFreeMQ) NumQueues() int { return len(c.queues) }
 
-// Len sums the root size fields. Only meaningful at quiescence; tests and
-// diagnostics only.
+// RecyclesNodes reports that this backend reuses nodes in place — the
+// cqtest allocation-regression suite gates steady-state allocations only on
+// backends that claim so.
+func (c *LockFreeMQ) RecyclesNodes() bool { return true }
+
+// Len sums the per-shard element counts. Only meaningful at quiescence;
+// tests and diagnostics only.
 func (c *LockFreeMQ) Len() int {
 	total := int64(0)
 	for qi := range c.queues {
-		if root := c.queues[qi].root.Load(); root != nil {
-			total += root.size
-		}
+		total += c.queues[qi].size.Load()
 	}
 	return int(total)
 }
 
-// Push melds a singleton into a random queue's root with one CAS. On CAS
-// failure it rerandomizes the queue choice (the lock-free analogue of the
-// MultiQueue's TryLock rerandomization) for a bounded number of attempts,
-// then sticks with one queue — further failures each certify that some
-// other operation succeeded, so progress is system-wide.
+// NewHandle returns a per-worker session: an epoch slot for reclamation
+// and a round-robin home shard for affinity. Single-goroutine; Close when
+// the worker exits.
+func (c *LockFreeMQ) NewHandle() Handle {
+	return &lfHandle{
+		q:    c,
+		slot: c.dom.Register(),
+		home: int((c.nextHome.Add(1) - 1) % uint64(len(c.queues))),
+	}
+}
+
+// borrow takes an anonymous pooled handle for one plain Queue/BatchQueue
+// operation.
+func (c *LockFreeMQ) borrow() *lfHandle {
+	return c.anon.Get().(*lfHandle)
+}
+
+// Push inserts one pair through an anonymous handle.
 func (c *LockFreeMQ) Push(r *rng.Xoshiro, value, priority int64) {
+	h := c.borrow()
+	h.Push(r, value, priority)
+	c.anon.Put(h)
+}
+
+// Pop removes a small-rank pair through an anonymous handle.
+func (c *LockFreeMQ) Pop(r *rng.Xoshiro) (value, priority int64, ok bool) {
+	h := c.borrow()
+	value, priority, ok = h.Pop(r)
+	c.anon.Put(h)
+	return
+}
+
+// PushBatch inserts the whole batch through an anonymous handle.
+func (c *LockFreeMQ) PushBatch(r *rng.Xoshiro, pairs []Pair) {
+	h := c.borrow()
+	h.PushBatch(r, pairs)
+	c.anon.Put(h)
+}
+
+// PopBatch removes up to len(dst) pairs through an anonymous handle.
+func (c *LockFreeMQ) PopBatch(r *rng.Xoshiro, dst []Pair) int {
+	h := c.borrow()
+	n := h.PopBatch(r, dst)
+	c.anon.Put(h)
+	return n
+}
+
+// lfHandle is one worker's session: its epoch slot (reclamation identity)
+// and home shard (placement identity). Single-goroutine.
+type lfHandle struct {
+	q    *LockFreeMQ
+	slot *epoch.Slot[lfnode]
+	home int
+}
+
+// Close releases the epoch slot for reuse by a future handle. The home
+// shard needs no release — affinity is advisory, elements in it stay
+// poppable by everyone.
+func (h *lfHandle) Close() { h.slot.Close() }
+
+// publish re-links an owned heap into a shard. The fast path is one CAS
+// against an empty root; on interference the racing heap is swapped out
+// and melded in, so no element is ever abandoned. Each retry certifies
+// that another operation published in the meantime — system-wide progress.
+func publish(s *lfshard, h *lfnode) {
+	for {
+		if s.root.CompareAndSwap(nil, h) {
+			return
+		}
+		if old := s.root.Swap(nil); old != nil {
+			h = lfMeld(old, h)
+		}
+	}
+}
+
+// shard returns the handle's placement choice for a push: the home shard
+// under affinity, a uniformly random one otherwise.
+func (h *lfHandle) shard(r *rng.Xoshiro) *lfshard {
+	if h.q.affine {
+		return &h.q.queues[h.home]
+	}
+	return &h.q.queues[r.Intn(len(h.q.queues))]
+}
+
+// newNode reinitializes a reused (or freshly allocated) node. Safe exactly
+// because the epoch grace period has passed: no probe can still hold the
+// node, so rewriting prio races nothing.
+func (h *lfHandle) newNode(value, priority int64) *lfnode {
+	n := h.slot.Alloc()
+	n.prio, n.val, n.child, n.sibling = priority, value, nil, nil
+	return n
+}
+
+// Push publishes a singleton node — reusing a reclaimed one when available
+// — to the handle's placement shard.
+func (h *lfHandle) Push(r *rng.Xoshiro, value, priority int64) {
 	if priority == ReservedPriority {
 		panic("cq: priority MaxInt64 is reserved")
 	}
-	a := lfArenaPool.Get().(*lfArena)
-	c.pushHeap(a, r, a.node(priority, value, 1, nil))
-	lfArenaPool.Put(a)
+	s := h.shard(r)
+	publish(s, h.newNode(value, priority))
+	s.size.Add(1)
 }
 
-// pushHeap melds an arbitrary pre-built heap into a random queue.
-func (c *LockFreeMQ) pushHeap(a *lfArena, r *rng.Xoshiro, h *lfnode) {
-	q := &c.queues[r.Intn(len(c.queues))]
-	for try := 0; ; try++ {
-		old := q.root.Load()
-		if q.root.CompareAndSwap(old, lfMeld(a, old, h)) {
-			return
-		}
-		if try < contentionAttempts {
-			q = &c.queues[r.Intn(len(c.queues))]
-		}
-	}
-}
-
-// Pop loads the roots of two random queues, picks the better top and
-// CAS-steals it: swinging the root to its delete-min remainder claims the
-// element. Probes that find both queues empty or lose the CAS rerandomize;
-// after a bounded number of attempts Pop falls back to a full scan. It is
-// PopBatch with a batch of one: the probe policy and scan fallback live
-// only there.
-func (c *LockFreeMQ) Pop(r *rng.Xoshiro) (value, priority int64, ok bool) {
-	var one [1]Pair
-	if c.PopBatch(r, one[:]) == 0 {
-		return 0, 0, false
-	}
-	return one[0].Value, one[0].Priority, true
-}
-
-// PushBatch folds the whole batch into one local heap (no shared-memory
-// traffic at all) and publishes it with a single CAS — coordination cost
-// O(1) per batch, the strongest amortization any backend offers.
-func (c *LockFreeMQ) PushBatch(r *rng.Xoshiro, pairs []Pair) {
+// PushBatch melds the whole batch into one owned heap — no shared-memory
+// traffic at all — and publishes it in one round: the strongest
+// amortization any backend offers, now allocation-free in steady state.
+func (h *lfHandle) PushBatch(r *rng.Xoshiro, pairs []Pair) {
 	if len(pairs) == 0 {
 		return
 	}
-	a := lfArenaPool.Get().(*lfArena)
 	var batch *lfnode
 	for _, p := range pairs {
 		if p.Priority == ReservedPriority {
 			panic("cq: priority MaxInt64 is reserved")
 		}
-		batch = lfMeld(a, batch, a.node(p.Priority, p.Value, 1, nil))
+		batch = lfMeld(batch, h.newNode(p.Value, p.Priority))
 	}
-	c.pushHeap(a, r, batch)
-	lfArenaPool.Put(a)
+	s := h.shard(r)
+	publish(s, batch)
+	s.size.Add(int64(len(pairs)))
 }
 
-// PopBatch CAS-steals up to len(dst) elements from the better of two
-// random queues in one shot: it computes the chain of delete-mins locally
-// and swings the root once, so a whole batch costs a single successful CAS.
-func (c *LockFreeMQ) PopBatch(r *rng.Xoshiro, dst []Pair) int {
+// Pop is PopBatch with a batch of one: the probe policy and scan fallback
+// live only there.
+func (h *lfHandle) Pop(r *rng.Xoshiro) (value, priority int64, ok bool) {
+	var one [1]Pair
+	if h.PopBatch(r, one[:]) == 0 {
+		return 0, 0, false
+	}
+	return one[0].Value, one[0].Priority, true
+}
+
+// better compares the tops of two shards inside an epoch critical section
+// — the one place a worker dereferences nodes it does not own, and exactly
+// what the grace period protects — returning the shard with the smaller
+// top, or nil if both appeared empty.
+func (h *lfHandle) better(a, b *lfshard) *lfshard {
+	h.slot.Enter()
+	ra, rb := a.root.Load(), b.root.Load()
+	var s *lfshard
+	switch {
+	case ra == nil && rb == nil:
+		s = nil
+	case ra == nil:
+		s = b
+	case rb == nil:
+		s = a
+	case rb.prio < ra.prio:
+		s = b
+	default:
+		s = a
+	}
+	h.slot.Exit()
+	return s
+}
+
+// PopBatch detaches the better of two probed shards' heaps, takes up to
+// len(dst) successive minima in place (each detached root is retired to
+// the handle's epoch slot for eventual reuse), and republishes the
+// remainder. Under affinity the first probe pairs the home shard with one
+// random shard — two-choice quality, cache-local on the common path; later
+// probes and the non-affine mode draw both uniformly. After bounded probe
+// attempts it falls back to a full scan, so 0 is returned only when every
+// shard looked empty at inspection time.
+func (h *lfHandle) PopBatch(r *rng.Xoshiro, dst []Pair) int {
 	if len(dst) == 0 {
 		return 0
 	}
-	a := lfArenaPool.Get().(*lfArena)
-	defer lfArenaPool.Put(a)
-	nq := len(c.queues)
+	q := h.q
+	nq := len(q.queues)
 	for try := 0; try < contentionAttempts; try++ {
-		qi := &c.queues[r.Intn(nq)]
-		qj := &c.queues[r.Intn(nq)]
-		root := qi.root.Load()
-		if rj := qj.root.Load(); root == nil || (rj != nil && rj.prio < root.prio) {
-			qi, root = qj, rj
+		var a *lfshard
+		if q.affine && try == 0 {
+			a = &q.queues[h.home]
+		} else {
+			a = &q.queues[r.Intn(nq)]
 		}
-		if root == nil {
-			continue // probed two empty queues; rerandomize
+		s := h.better(a, &q.queues[r.Intn(nq)])
+		if s == nil {
+			// Both probes empty: go straight to the authoritative scan.
+			// Retrying the random probes would just make apparent-empty pops
+			// — the termination protocol's hot case — pay contentionAttempts
+			// rounds for nothing; the attempts budget is for losing takes.
+			break
 		}
-		rest, n := lfTakeBatch(a, root, dst)
-		if qi.root.CompareAndSwap(root, rest) {
+		if n := h.takeFrom(s, dst); n > 0 {
 			return n
 		}
 	}
-	// Probes kept losing or missing: scan all queues, still stealing a
-	// whole batch. Unlike probing, the scan retries a contended queue until
-	// it either wins or sees the queue empty, so 0 is returned only when
-	// every queue looked empty at inspection time.
-	for qi := range c.queues {
-		q := &c.queues[qi]
-		for {
-			root := q.root.Load()
-			if root == nil {
-				break
-			}
-			rest, n := lfTakeBatch(a, root, dst)
-			if q.root.CompareAndSwap(root, rest) {
-				return n
-			}
+	// Probes kept missing or losing takes: scan every shard. takeFrom
+	// returns 0 only if the Swap found the root nil, so a zero scan means
+	// every shard looked empty at its inspection instant.
+	for qi := range q.queues {
+		if n := h.takeFrom(&q.queues[qi], dst); n > 0 {
+			return n
 		}
 	}
 	return 0
 }
 
-// lfTakeBatch fills dst with successive minima of h and returns the
-// remaining heap plus the count written. Pure function: h is not mutated,
-// so the caller can retry after a failed CAS.
-func lfTakeBatch(a *lfArena, h *lfnode, dst []Pair) (*lfnode, int) {
-	n := 0
-	for h != nil && n < len(dst) {
-		dst[n] = Pair{Value: h.val, Priority: h.prio}
-		n++
-		h = lfDeleteMin(a, h)
+// takeFrom detaches s's heap, harvests up to len(dst) minima in place and
+// republishes the remainder. The popped roots are retired — after the
+// epoch grace period they come back through the slot's free list.
+func (h *lfHandle) takeFrom(s *lfshard, dst []Pair) int {
+	// Load-only fast path: an apparently empty shard costs a read, not an
+	// atomic RMW on its root cache line. This is what idle workers hammer
+	// while the termination double scan converges.
+	if s.root.Load() == nil {
+		return 0
 	}
-	return h, n
+	root := s.root.Swap(nil)
+	if root == nil {
+		return 0
+	}
+	n := 0
+	for root != nil && n < len(dst) {
+		dst[n] = Pair{Value: root.val, Priority: root.prio}
+		n++
+		rest := lfDeleteMin(root)
+		h.slot.Retire(root)
+		root = rest
+	}
+	if root != nil {
+		publish(s, root)
+	}
+	s.size.Add(-int64(n))
+	return n
 }
 
 var (
-	_ Queue      = (*LockFreeMQ)(nil)
-	_ BatchQueue = (*LockFreeMQ)(nil)
+	_ Queue       = (*LockFreeMQ)(nil)
+	_ BatchQueue  = (*LockFreeMQ)(nil)
+	_ HandleQueue = (*LockFreeMQ)(nil)
+	_ Handle      = (*lfHandle)(nil)
 )
+
+// Recycler is implemented by backends whose nodes are reused in place
+// after safe-reclamation grace periods. cqtest uses it to decide whether
+// steady-state allocations are gated (recycling backends must show reuse)
+// or merely recorded as a baseline.
+type Recycler interface {
+	// RecyclesNodes reports whether steady-state push/pop traffic reuses
+	// nodes instead of allocating.
+	RecyclesNodes() bool
+}

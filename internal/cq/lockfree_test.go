@@ -8,67 +8,52 @@ import (
 	"relaxsched/internal/rng"
 )
 
-// The immutable pairing heap must behave persistently: delete-min on a
-// snapshot must not disturb the published heap, or a losing CAS competitor
-// would corrupt the winner's view.
-func TestLockFreeHeapIsPersistent(t *testing.T) {
-	a := new(lfArena)
+// buildHeap melds fresh singleton nodes for the given priorities.
+func buildHeap(prios ...int64) *lfnode {
 	var h *lfnode
-	for _, p := range []int64{5, 1, 9, 3, 7} {
-		h = lfMeld(a, h, a.node(p, p, 1, nil))
+	for _, p := range prios {
+		h = lfMeld(h, &lfnode{prio: p, val: p})
 	}
-	if h.size != 5 || h.prio != 1 {
-		t.Fatalf("root (prio=%d, size=%d), want (1, 5)", h.prio, h.size)
+	return h
+}
+
+// The in-place pairing heap must deliver minima in order through repeated
+// delete-min, with the detached root's links cleared for retirement.
+func TestLockFreeHeapDeleteMinOrder(t *testing.T) {
+	h := buildHeap(5, 1, 9, 3, 7)
+	if h.prio != 1 {
+		t.Fatalf("root prio = %d, want 1", h.prio)
 	}
-	// Two independent delete-min chains from the same snapshot must agree.
-	for pass := 0; pass < 2; pass++ {
-		cur := h
-		for _, want := range []int64{1, 3, 5, 7, 9} {
-			if cur.prio != want {
-				t.Fatalf("pass %d: min %d, want %d", pass, cur.prio, want)
-			}
-			cur = lfDeleteMin(a, cur)
+	for _, want := range []int64{1, 3, 5, 7, 9} {
+		if h.prio != want {
+			t.Fatalf("min %d, want %d", h.prio, want)
 		}
-		if cur != nil {
-			t.Fatalf("pass %d: heap not empty after 5 delete-mins", pass)
+		root := h
+		h = lfDeleteMin(h)
+		if root.child != nil || root.sibling != nil {
+			t.Fatalf("detached root %d kept links (child=%v sibling=%v)", want, root.child, root.sibling)
 		}
 	}
-	if h.size != 5 || h.prio != 1 {
-		t.Fatal("delete-min chain mutated the shared snapshot")
+	if h != nil {
+		t.Fatal("heap not empty after 5 delete-mins")
 	}
 }
 
-func TestLockFreeTakeBatch(t *testing.T) {
-	a := new(lfArena)
-	var h *lfnode
-	for p := int64(9); p >= 0; p-- {
-		h = lfMeld(a, h, a.node(p, p, 1, nil))
+// lfMeld must keep roots sibling-free and handle nil on either side.
+func TestLockFreeMeld(t *testing.T) {
+	a := &lfnode{prio: 2}
+	if lfMeld(nil, a) != a || lfMeld(a, nil) != a {
+		t.Fatal("meld with nil must return the other heap")
 	}
-	dst := make([]Pair, 4)
-	rest, n := lfTakeBatch(a, h, dst)
-	if n != 4 {
-		t.Fatalf("took %d, want 4", n)
-	}
-	for i, p := range dst {
-		if p.Priority != int64(i) {
-			t.Fatalf("dst[%d].Priority = %d, want %d", i, p.Priority, i)
-		}
-	}
-	if rest == nil || rest.size != 6 || rest.prio != 4 {
-		t.Fatalf("rest (prio=%d), want prio 4 with 6 elements", rest.prio)
-	}
-	if h.size != 10 {
-		t.Fatal("lfTakeBatch mutated its input")
-	}
-	// Taking more than the heap holds drains it and reports the true count.
-	big := make([]Pair, 16)
-	rest, n = lfTakeBatch(a, rest, big)
-	if n != 6 || rest != nil {
-		t.Fatalf("drain took %d (rest=%v), want 6 (nil)", n, rest)
+	b := &lfnode{prio: 1}
+	m := lfMeld(a, b)
+	if m != b || m.sibling != nil || m.child != a {
+		t.Fatal("meld did not link the worse root as leftmost child")
 	}
 }
 
-// Len must track sizes through interleaved singleton and batch traffic.
+// Len must track sizes through interleaved singleton and batch traffic on
+// the plain queue-level API.
 func TestLockFreeLenTracksSize(t *testing.T) {
 	q := NewLockFreeMQ(4)
 	r := rng.New(3)
@@ -87,8 +72,106 @@ func TestLockFreeLenTracksSize(t *testing.T) {
 	}
 }
 
-// A torn CAS must never double-deliver: hammer one shard so every operation
-// contends on the same root pointer.
+// Handles must honour the same contract as the queue methods and
+// interleave with them; home shards are advisory, so one handle's pushes
+// must be poppable through another handle and through the plain API.
+func TestLockFreeHandleInterleaving(t *testing.T) {
+	q := NewLockFreeMQ(4)
+	r := rng.New(11)
+	h1 := q.NewHandle()
+	h2 := q.NewHandle()
+	defer h1.Close()
+	defer h2.Close()
+
+	h1.Push(r, 1, 10)
+	h1.PushBatch(r, []Pair{{2, 20}, {3, 30}})
+	q.Push(r, 4, 40)
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	seen := map[int64]bool{}
+	if v, _, ok := h2.Pop(r); !ok {
+		t.Fatal("h2.Pop failed with 4 elements present")
+	} else {
+		seen[v] = true
+	}
+	dst := make([]Pair, 8)
+	n := h1.PopBatch(r, dst)
+	for _, p := range dst[:n] {
+		seen[p.Value] = true
+	}
+	if v, _, ok := q.Pop(r); ok {
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("recovered %d distinct values, want 4 (%v)", len(seen), seen)
+	}
+	if _, _, ok := h2.Pop(r); ok {
+		t.Fatal("pop succeeded on a drained queue")
+	}
+}
+
+// The uniform (affinity-off) variant must satisfy the same contract.
+func TestLockFreeUniformVariant(t *testing.T) {
+	q := NewLockFreeMQUniform(4)
+	if q.RecyclesNodes() != true {
+		t.Fatal("uniform variant must still recycle nodes")
+	}
+	r := rng.New(5)
+	h := q.NewHandle()
+	defer h.Close()
+	for i := int64(0); i < 100; i++ {
+		h.Push(r, i, i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	got := 0
+	for {
+		if _, _, ok := h.Pop(r); !ok {
+			break
+		}
+		got++
+	}
+	if got != 100 {
+		t.Fatalf("drained %d of 100", got)
+	}
+}
+
+// Steady-state traffic through a handle must reuse retired nodes by
+// pointer identity: after the epoch pipeline warms up, pops feed pushes.
+func TestLockFreeNodeReuse(t *testing.T) {
+	q := NewLockFreeMQ(1)
+	r := rng.New(9)
+	h := q.NewHandle().(*lfHandle)
+	defer h.Close()
+
+	// Warm up: cycle enough push/pop pairs for retirement bins to mature
+	// into the free list (advance happens every 64 retires, grace is 2).
+	for i := int64(0); i < 1024; i++ {
+		h.Push(r, i, i)
+		h.Pop(r)
+	}
+	// Now track identity: the node backing a push must eventually be one we
+	// popped earlier.
+	seen := make(map[*lfnode]bool)
+	reused := 0
+	for i := int64(0); i < 512; i++ {
+		n := h.slot.Alloc()
+		if seen[n] {
+			reused++
+		}
+		h.slot.Retire(n)
+		seen[n] = true
+	}
+	if reused == 0 {
+		t.Fatal("no node was ever reused through the epoch free list")
+	}
+}
+
+// A torn publish must never double-deliver or lose elements: hammer one
+// shard so every operation contends on the same root pointer, mixing
+// handle and queue-level traffic.
 func TestLockFreeSingleShardContention(t *testing.T) {
 	const (
 		goroutines = 8
@@ -103,10 +186,16 @@ func TestLockFreeSingleShardContention(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			r := rng.New(uint64(g) + 7)
+			h := q.NewHandle()
+			defer h.Close()
 			for i := 0; i < perG; i++ {
-				q.Push(r, int64(g*perG+i), int64(r.Intn(1<<16)))
+				if g%2 == 0 {
+					h.Push(r, int64(g*perG+i), int64(r.Intn(1<<16)))
+				} else {
+					q.Push(r, int64(g*perG+i), int64(r.Intn(1<<16)))
+				}
 				if i%2 == 1 {
-					if v, _, ok := q.Pop(r); ok {
+					if v, _, ok := h.Pop(r); ok {
 						if seen[v].Swap(true) {
 							t.Errorf("value %d popped twice", v)
 						}

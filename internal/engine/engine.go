@@ -145,11 +145,15 @@ type Stats struct {
 // pushBuf is the batch-amortized push path shared by worker Ctxs and
 // external Producers: with batch > 1, pairs accumulate in the out-buffer
 // and flush through one PushBatch when it fills (so the buffer never grows
-// beyond one batch); otherwise every push is a direct queue operation. It
-// is single-goroutine, like the rng stream it carries.
+// beyond one batch); otherwise every push is a direct queue operation. All
+// queue traffic flows through a per-worker cq.Handle, so backends with
+// worker identity (epoch-reclamation slots, shard-affine placement — the
+// lock-free MultiQueue) get a pinned session per worker and per producer;
+// handle-less backends see a zero-cost pass-through. It is
+// single-goroutine, like the rng stream and handle it carries.
 type pushBuf struct {
 	r     *rng.Xoshiro
-	mq    cq.BatchQueue
+	mq    cq.Handle
 	out   []cq.Pair // deferred pushes (batched mode only)
 	batch int
 }
@@ -247,12 +251,14 @@ func Start(wl Workload, opts Options) (*Execution, error) {
 
 	seedRng := rng.New(opts.Seed)
 	counters := inflight.NewOpen(opts.Threads, opts.Producers)
+	seedHandle := cq.HandleFor(mq)
 	wl.Frontier(func(value, priority int64) {
 		// Produce before the push makes the pair visible, exactly as
 		// Ctx.Spawn does on the hot path.
 		counters.Produce(0)
-		mq.Push(seedRng, value, priority)
+		seedHandle.Push(seedRng, value, priority)
 	})
+	seedHandle.Close()
 
 	e := &Execution{
 		mq:       mq,
@@ -266,8 +272,10 @@ func Start(wl Workload, opts Options) (*Execution, error) {
 		e.wg.Add(1)
 		go func(w int, r *rng.Xoshiro) {
 			defer e.wg.Done()
+			h := cq.HandleFor(mq)
+			defer h.Close()
 			ctx := &Ctx{Worker: w, counters: counters,
-				pushBuf: pushBuf{r: r, mq: mq, batch: opts.BatchSize}}
+				pushBuf: pushBuf{r: r, mq: h, batch: opts.BatchSize}}
 			var local Stats
 			if opts.BatchSize > 1 {
 				ctx.out = make([]cq.Pair, 0, opts.BatchSize)

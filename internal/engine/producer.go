@@ -50,7 +50,7 @@ func (e *Execution) NewProducer() *Producer {
 	p := &Producer{
 		counters: e.counters,
 		slot:     slot,
-		pushBuf:  pushBuf{r: e.seedRng.Split(), mq: e.mq, batch: e.batch},
+		pushBuf:  pushBuf{r: e.seedRng.Split(), mq: cq.HandleFor(e.mq), batch: e.batch},
 	}
 	if e.batch > 1 {
 		p.out = make([]cq.Pair, 0, e.batch)
@@ -125,14 +125,16 @@ func (p *Producer) Flush() {
 	p.flush()
 }
 
-// Close flushes any buffered pairs and marks the producer done. Once every
-// declared producer has closed and the queue drains, the workers terminate.
-// Close is idempotent: a second Close is a no-op.
+// Close flushes any buffered pairs, releases the producer's queue handle
+// (its epoch slot, on backends that have one) and marks the producer done.
+// Once every declared producer has closed and the queue drains, the workers
+// terminate. Close is idempotent: a second Close is a no-op.
 func (p *Producer) Close() {
 	if p.closed {
 		return
 	}
 	p.flush()
+	p.mq.Close()
 	p.closed = true
 	p.counters.CloseProducer()
 }

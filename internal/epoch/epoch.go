@@ -1,0 +1,247 @@
+// Package epoch implements epoch-based memory reclamation (EBR) for
+// lock-free data structures that want to reuse nodes in place.
+//
+// Go's garbage collector already rules out use-after-free, so unlike EBR in
+// unmanaged languages this package is not a safety mechanism for *freeing* —
+// it is a performance mechanism for *reusing*: a node detached from a
+// lock-free structure cannot be reinitialized for a new element while some
+// racing reader may still dereference its old fields (a data race, and a
+// correctness hazard for any field the reader interprets). EBR bounds that
+// window. Readers wrap each traversal in a critical section (Slot.Enter /
+// Slot.Exit); writers Retire detached nodes; a retired node returns to its
+// slot's free list — and becomes eligible for Slot.Alloc — only after a
+// grace period of two global-epoch advances, by which point every critical
+// section that could have observed it has exited. Anything never reclaimed
+// (an abandoned slot's retirement lists, a dropped free list) simply falls
+// back to the garbage collector, so no path here can leak unboundedly.
+//
+// "Are Lock-Free Concurrent Algorithms Practically Wait-Free?" (Alistarh,
+// Censor-Hillel & Shavit, STOC 2014) supplies the scheduling argument for
+// why this stays cheap in practice: under uniform-ish scheduling, critical
+// sections are short and every slot keeps observing the current epoch, so
+// the global epoch advances steadily and retirement lists stay small.
+//
+// # Protocol
+//
+// A Domain carries a global epoch counter and a grow-only set of
+// cache-padded per-worker Slots. A reader pins its slot to the current
+// global epoch on Enter and unpins on Exit. The epoch advances (by one)
+// only when every pinned slot has observed the current value, so at global
+// epoch g+2 no reader can still be inside a critical section that started
+// at epoch g. Retired nodes are tagged with the epoch at retirement and
+// move to the free list once the global epoch is two ahead of the tag.
+// Advancing is amortized: every advanceEvery-th Retire on a slot attempts
+// one advance and collects that slot's matured retirement bins.
+//
+// The safety argument mirrors the classic three-epoch scheme: a reader can
+// only reach nodes that were still linked when it pinned; a node unlinked
+// after the pin is retired with a tag no older than the reader's pinned
+// epoch, and the reader's pin blocks the two advances needed to mature that
+// tag. A reader pinned at a stale epoch blocks all advances (the scan
+// demands equality with the current epoch), which is conservative — a
+// liveness delay, never a safety violation — and self-heals on Exit.
+//
+// Slots are single-goroutine: Enter, Exit, Retire, Alloc and Close must all
+// be called by the slot's current owner. Close releases any pinned epoch
+// (so a dying worker can never stall the domain) and returns the slot to
+// the domain for reuse by a future Register; its pending retirement lists
+// and free list stay with the slot for the next owner.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// advanceEvery is the number of Retires between a slot's amortized
+// advance-and-collect attempts. Smaller values shrink the reuse pipeline
+// (fewer nodes parked in retirement bins) at the cost of more scans; the
+// scan is O(slots), so 64 keeps it well off any hot path.
+const advanceEvery = 64
+
+// grace is the number of global-epoch advances between a node's retirement
+// and its eligibility for reuse. Two is the classic minimum: one advance
+// certifies that no critical section from the retirement epoch is still
+// running, the second that none straddling the advance itself is.
+const grace = 2
+
+// bins is the number of per-slot retirement bins. Retirement tags within a
+// slot span at most grace+1 distinct epochs before the tagging bin matures,
+// so three bins indexed by epoch modulo three never collide.
+const bins = grace + 1
+
+// Domain is one reclamation scope: a global epoch plus the slots enrolled
+// in it. Structures sharing a Domain share grace periods; independent
+// structures should use independent Domains so one structure's stalled
+// reader cannot delay another's reuse. The zero value is unusable;
+// construct with NewDomain.
+type Domain[T any] struct {
+	// global is the epoch counter. It sits on its own cache line: every
+	// Enter loads it, and it must not false-share with the registry below.
+	global atomic.Uint64
+	_      [56]byte
+	// slots is the grow-only registry snapshot read lock-free by advance
+	// scans; mu guards growth and slot ownership hand-off.
+	slots atomic.Pointer[[]*Slot[T]]
+	mu    sync.Mutex
+}
+
+// NewDomain returns an empty reclamation domain.
+func NewDomain[T any]() *Domain[T] {
+	d := &Domain[T]{}
+	d.slots.Store(&[]*Slot[T]{})
+	return d
+}
+
+// Epoch returns the current global epoch. Diagnostics and tests only.
+func (d *Domain[T]) Epoch() uint64 { return d.global.Load() }
+
+// Slots returns the number of slots ever registered (in use or reusable).
+// Diagnostics and tests only.
+func (d *Domain[T]) Slots() int { return len(*d.slots.Load()) }
+
+// Register returns a slot for one worker, reusing a previously Closed slot
+// when one is available and growing the registry otherwise. The returned
+// slot must be used by a single goroutine at a time and given back with
+// Close when the worker is done.
+func (d *Domain[T]) Register() *Slot[T] {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := *d.slots.Load()
+	for _, s := range cur {
+		if !s.inUse {
+			s.inUse = true
+			return s
+		}
+	}
+	s := &Slot[T]{dom: d}
+	s.inUse = true
+	next := make([]*Slot[T], len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = s
+	d.slots.Store(&next)
+	return s
+}
+
+// tryAdvance attempts one global-epoch advance and returns the epoch
+// afterwards. The advance succeeds only when every pinned slot has observed
+// the current epoch; a failed CAS means another slot advanced first, which
+// serves the same purpose.
+func (d *Domain[T]) tryAdvance() uint64 {
+	g := d.global.Load()
+	for _, s := range *d.slots.Load() {
+		if st := s.state.Load(); st&1 != 0 && st>>1 != g {
+			return g // a pinned slot has not observed g yet
+		}
+	}
+	d.global.CompareAndSwap(g, g+1)
+	return d.global.Load()
+}
+
+// retireBin is one epoch's worth of a slot's retired nodes.
+type retireBin[T any] struct {
+	epoch uint64
+	items []*T
+}
+
+// Slot is one worker's enrollment in a Domain: a published pin state
+// scanned by advancers, plus owner-local retirement bins and a free list.
+// All methods are single-goroutine (the owner's); only the pin state is
+// shared, and it is padded so neighbouring slots never false-share.
+type Slot[T any] struct {
+	_ [64]byte
+	// state is the published pin: epoch<<1|1 while inside a critical
+	// section, 0 while not.
+	state atomic.Uint64
+	_     [56]byte
+
+	dom     *Domain[T]
+	retired [bins]retireBin[T]
+	free    []*T
+	retires int
+	inUse   bool // guarded by dom.mu
+}
+
+// Enter begins a critical section: every shared-node dereference until the
+// matching Exit is protected from concurrent reuse. Critical sections must
+// not nest and should be short — a long pin stalls reuse domain-wide.
+func (s *Slot[T]) Enter() {
+	s.state.Store(s.dom.global.Load()<<1 | 1)
+}
+
+// Exit ends the critical section begun by Enter.
+func (s *Slot[T]) Exit() {
+	s.state.Store(0)
+}
+
+// Retire hands a node detached from the shared structure to the
+// reclamation pipeline. The caller must have unlinked the node (no new
+// reader can reach it) before retiring it; racing readers that still hold
+// it are exactly what the grace period waits out. Every advanceEvery-th
+// call attempts a global advance and collects matured bins into the free
+// list.
+func (s *Slot[T]) Retire(p *T) {
+	g := s.dom.global.Load()
+	b := &s.retired[g%bins]
+	if b.epoch != g {
+		// The bin last held nodes retired grace+1 or more epochs ago; they
+		// matured long since, so recycling the bin frees them first.
+		s.free = append(s.free, b.items...)
+		clearPtrs(b.items)
+		b.items = b.items[:0]
+		b.epoch = g
+	}
+	b.items = append(b.items, p)
+	s.retires++
+	if s.retires >= advanceEvery {
+		s.retires = 0
+		s.collect(s.dom.tryAdvance())
+	}
+}
+
+// collect moves every matured bin (retired at least grace advances ago)
+// into the free list.
+func (s *Slot[T]) collect(g uint64) {
+	for i := range s.retired {
+		b := &s.retired[i]
+		if len(b.items) > 0 && b.epoch+grace <= g {
+			s.free = append(s.free, b.items...)
+			clearPtrs(b.items)
+			b.items = b.items[:0]
+		}
+	}
+}
+
+// Alloc returns a node for reuse: from the slot's free list when one has
+// matured, freshly allocated otherwise. The caller must fully reinitialize
+// a reused node — its fields still hold the previous element's values.
+func (s *Slot[T]) Alloc() *T {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return p
+	}
+	return new(T)
+}
+
+// Close releases the slot: any pinned epoch is unpinned (a worker dying
+// inside a critical section must not stall the domain forever) and the
+// slot becomes reusable by a future Register. Pending retirement bins and
+// the free list stay with the slot for its next owner; if no owner ever
+// comes, the garbage collector reclaims them. The owner must not use the
+// slot after Close.
+func (s *Slot[T]) Close() {
+	s.state.Store(0)
+	s.dom.mu.Lock()
+	s.inUse = false
+	s.dom.mu.Unlock()
+}
+
+// clearPtrs nils a pointer slice so the retained backing array does not
+// pin freed-and-handed-off nodes against the garbage collector.
+func clearPtrs[T any](ps []*T) {
+	for i := range ps {
+		ps[i] = nil
+	}
+}

@@ -1,0 +1,225 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// node is the test payload; val doubles as the reuse-race detector field in
+// the stress test.
+type node struct {
+	val int64
+}
+
+// drain runs enough retire traffic through s to mature everything retired
+// before the call, assuming no other slot is pinned.
+func drain(s *Slot[node]) {
+	for i := 0; i < grace+1; i++ {
+		s.collect(s.dom.tryAdvance())
+	}
+}
+
+// Retired nodes must come back through Alloc — by pointer identity — once
+// the grace period has passed under quiescence.
+func TestReuseAfterGrace(t *testing.T) {
+	d := NewDomain[node]()
+	s := d.Register()
+	retired := make(map[*node]bool)
+	for i := 0; i < 3*advanceEvery; i++ {
+		p := &node{val: int64(i)}
+		retired[p] = true
+		s.Retire(p)
+	}
+	drain(s)
+	reused := 0
+	for i := 0; i < 3*advanceEvery; i++ {
+		if retired[s.Alloc()] {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("no retired node was ever reused after the grace period")
+	}
+	if d.Epoch() == 0 {
+		t.Fatal("global epoch never advanced under quiescent retirement")
+	}
+}
+
+// A reader pinned at epoch g permits at most one advance (to g+1, which is
+// why the grace period is two) and must block any reuse of nodes retired
+// after it pinned; Exit releases the dam.
+func TestPinnedReaderBlocksReuse(t *testing.T) {
+	d := NewDomain[node]()
+	reader := d.Register()
+	writer := d.Register()
+
+	reader.Enter()
+	g0 := d.Epoch()
+	victim := &node{val: 7}
+	writer.Retire(victim)
+	for i := 0; i < 4*advanceEvery; i++ {
+		writer.Retire(&node{})
+	}
+	if g := d.Epoch(); g > g0+1 {
+		t.Fatalf("epoch advanced %d -> %d past a pinned reader (max one advance allowed)", g0, g)
+	}
+	for i := 0; i < 8*advanceEvery; i++ {
+		if writer.Alloc() == victim {
+			t.Fatal("node retired after the pin was reused while the reader was pinned")
+		}
+	}
+
+	reader.Exit()
+	for i := 0; i < 4*advanceEvery; i++ {
+		writer.Retire(&node{})
+	}
+	if g := d.Epoch(); g == g0 {
+		t.Fatal("epoch did not advance after the reader exited")
+	}
+}
+
+// Close must release a pinned epoch — the worker-death case — so the rest
+// of the domain can advance and reuse again.
+func TestCloseReleasesPinnedEpoch(t *testing.T) {
+	d := NewDomain[node]()
+	dying := d.Register()
+	writer := d.Register()
+
+	dying.Enter()
+	g0 := d.Epoch()
+	for i := 0; i < 4*advanceEvery; i++ {
+		writer.Retire(&node{})
+	}
+	stalled := d.Epoch()
+	if stalled > g0+1 {
+		t.Fatalf("epoch advanced %d -> %d past a pinned slot (max one advance allowed)", g0, stalled)
+	}
+	dying.Close() // worker dies mid-critical-section
+	for i := 0; i < 4*advanceEvery; i++ {
+		writer.Retire(&node{})
+	}
+	if g := d.Epoch(); g <= stalled {
+		t.Fatalf("epoch stuck at %d after Close released the pin", g)
+	}
+}
+
+// Register must reuse Closed slots instead of growing the registry, and the
+// recycled slot's free list must carry over to its next owner.
+func TestSlotReuseAfterClose(t *testing.T) {
+	d := NewDomain[node]()
+	s := d.Register()
+	victim := &node{val: 3}
+	s.Retire(victim)
+	drain(s)
+	s.Close()
+
+	if n := d.Slots(); n != 1 {
+		t.Fatalf("registry holds %d slots, want 1", n)
+	}
+	s2 := d.Register()
+	if s2 != s {
+		t.Fatal("Register did not reuse the closed slot")
+	}
+	if n := d.Slots(); n != 1 {
+		t.Fatalf("registry grew to %d slots on reuse", n)
+	}
+	found := false
+	for i := 0; i < 4 && !found; i++ {
+		found = s2.Alloc() == victim
+	}
+	if !found {
+		t.Fatal("recycled slot lost its matured free list")
+	}
+	// With s2 live, a second Register must grow the registry.
+	s3 := d.Register()
+	if s3 == s2 {
+		t.Fatal("Register handed out a slot that is still in use")
+	}
+	if n := d.Slots(); n != 2 {
+		t.Fatalf("registry holds %d slots, want 2", n)
+	}
+}
+
+// Quiescent retirement — one slot, no pins anywhere — must recycle every
+// batch without unbounded buildup: after the pipeline warms up, the number
+// of nodes parked in retirement bins stays bounded by a few advance batches.
+func TestRetirementUnderQuiescence(t *testing.T) {
+	d := NewDomain[node]()
+	s := d.Register()
+	const (
+		total  = 20 * advanceEvery
+		window = 4 // live nodes in flight between Alloc and Retire
+	)
+	allocs := 0
+	live := make([]*node, 0, window+1)
+	for i := 0; i < total; i++ {
+		p := s.Alloc()
+		if p.val == 0 { // fresh allocation (reused nodes carry the stamp)
+			allocs++
+			p.val = 1
+		}
+		live = append(live, p)
+		if len(live) > window {
+			old := live[0]
+			live = live[:copy(live, live[1:])]
+			s.Retire(old)
+		}
+	}
+	// The steady-state pipeline holds at most bins*advanceEvery nodes, so
+	// fresh allocations must flatline well below the total.
+	if allocs > (grace+2)*advanceEvery {
+		t.Fatalf("%d of %d iterations allocated fresh nodes; reuse pipeline never matured", allocs, total)
+	}
+}
+
+// Concurrent advance/retire/reuse under -race: readers pin and dereference
+// nodes published in shared cells while writers swap them out, retire them
+// and reuse matured ones (rewriting their fields). The race detector
+// certifies the grace period: a reused node's reinitialization must never
+// race a pinned reader's dereference.
+func TestConcurrentAdvanceRetireReuse(t *testing.T) {
+	const (
+		workers = 8
+		cells   = 16
+		iters   = 20000
+	)
+	d := NewDomain[node]()
+	var shared [cells]atomic.Pointer[node]
+	for i := range shared {
+		shared[i].Store(&node{val: int64(i)})
+	}
+	var sum atomic.Int64 // consume reads so they cannot be elided
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := d.Register()
+			defer s.Close()
+			for i := 0; i < iters; i++ {
+				cell := &shared[(w*31+i)%cells]
+				if (w+i)%3 == 0 {
+					// Writer: publish a (possibly reused) node, retire the
+					// displaced one.
+					n := s.Alloc()
+					n.val = int64(w*iters + i)
+					if old := cell.Swap(n); old != nil {
+						s.Retire(old)
+					}
+				} else {
+					// Reader: dereference under pin.
+					s.Enter()
+					if p := cell.Load(); p != nil {
+						sum.Add(p.val)
+					}
+					s.Exit()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Epoch() == 0 {
+		t.Fatal("global epoch never advanced during the stress run")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/stats"
+)
+
+// AffinityRow is one point of the shard-affinity ablation: the lock-free
+// MultiQueue hammered by per-worker handles with home-shard placement
+// either on ("affine": pushes publish to the worker's home shard, pops
+// probe home + one random shard) or off ("uniform": the classic
+// two-choice MultiQueue placement, both probes uniformly random). The
+// workload is a pure queue microbenchmark — a standing population cycled
+// through push/pop pairs — so the rows isolate the placement policy's
+// cache-locality effect from any algorithmic workload. OpsPerSec counts
+// individual queue operations (pushes + pops) per second across workers.
+type AffinityRow struct {
+	Placement  string // "affine" | "uniform"
+	Threads    int
+	OpsPerSec  float64
+	OpsPerSecE float64
+	Millis     float64
+	HostEnv
+}
+
+// AffinityResult holds the placement x threads sweep.
+type AffinityResult struct {
+	Rows []AffinityRow
+}
+
+// Affinity measures what home-shard placement buys the lock-free backend:
+// same structure, same shard count, same epoch reclamation — only the
+// handles' placement policy differs. On multi-core hosts affine placement
+// keeps each worker's hot path on shard cache lines it already owns; on a
+// 1-core container the rows mostly certify that affinity costs nothing
+// (the HostEnv columns record which regime a trajectory measured).
+func Affinity(c Config) AffinityResult {
+	var res AffinityResult
+	opsPerWorker := 400000 / c.scale()
+	if opsPerWorker < 4000 {
+		opsPerWorker = 4000
+	}
+	variants := []struct {
+		name  string
+		build func(shards int) *cq.LockFreeMQ
+	}{
+		{"affine", cq.NewLockFreeMQ},
+		{"uniform", cq.NewLockFreeMQUniform},
+	}
+	for _, v := range variants {
+		for _, threads := range c.threadSweep() {
+			var ops, ms stats.Sample
+			for trial := 0; trial < c.trials(); trial++ {
+				elapsed := timeIt(func() {
+					runAffinityTrial(v.build(threads*2), threads, opsPerWorker,
+						c.Seed^uint64(trial*1000+threads))
+				})
+				totalOps := 2 * threads * opsPerWorker // each iteration is one push + one pop
+				ops.Add(float64(totalOps) / elapsed.Seconds())
+				ms.Add(elapsed.Seconds() * 1e3)
+			}
+			res.Rows = append(res.Rows, AffinityRow{
+				Placement: v.name, Threads: threads,
+				OpsPerSec: ops.Mean(), OpsPerSecE: ops.StdErr(),
+				Millis:  ms.Mean(),
+				HostEnv: Host(),
+			})
+		}
+	}
+	return res
+}
+
+// runAffinityTrial prefills the queue with one batch per worker and cycles
+// push/pop pairs through per-worker handles — the engine's access pattern
+// with the workload stripped out. A pop may transiently fail while another
+// worker holds a shard's heap privatized mid-operation, so failed pops
+// retry; the element count is verified once at the end.
+func runAffinityTrial(q *cq.LockFreeMQ, threads, opsPerWorker int, seed uint64) {
+	const standing = 512 // per-worker standing population
+	seedR := rng.New(seed)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int, r *rng.Xoshiro) {
+			defer wg.Done()
+			h := q.NewHandle()
+			defer h.Close()
+			pairs := make([]cq.Pair, standing)
+			for i := range pairs {
+				pairs[i] = cq.Pair{Value: int64(w*standing + i), Priority: int64(r.Intn(1 << 20))}
+			}
+			h.PushBatch(r, pairs)
+			for i := 0; i < opsPerWorker; i++ {
+				h.Push(r, int64(i), int64(r.Intn(1<<20)))
+				for {
+					if _, _, ok := h.Pop(r); ok {
+						break
+					}
+					// Transiently empty: every shard was privatized by racing
+					// pops at inspection time. The standing population
+					// guarantees a retry eventually lands.
+				}
+			}
+		}(w, seedR.Split())
+	}
+	wg.Wait()
+	if got, want := q.Len(), threads*standing; got != want {
+		panic(fmt.Sprintf("experiments: affinity trial ended with %d elements, want %d", got, want))
+	}
+}
+
+// Render writes the affinity-ablation table.
+func (r AffinityResult) Render(w io.Writer) error {
+	t := stats.NewTable("placement", "threads", "ops/sec", "stderr", "ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Placement, row.Threads, row.OpsPerSec, row.OpsPerSecE, row.Millis)
+	}
+	return t.Render(w)
+}

@@ -20,6 +20,7 @@ type ParallelSSSPStats struct {
 	OpsPerSec float64 // pops per second across all workers
 	Speedup   float64 // sequential Dijkstra time / parallel time
 	Millis    float64 // mean parallel wall time
+	HostEnv
 }
 
 // measureParallelSSSP is the single measurement protocol behind Backends
@@ -48,6 +49,7 @@ func measureParallelSSSP(c Config, g *graph.Graph, exact sssp.Result, seqTime ti
 		OpsPerSec: ops.Mean(),
 		Speedup:   sp.Mean(),
 		Millis:    ms.Mean(),
+		HostEnv:   Host(),
 	}
 }
 

@@ -13,6 +13,22 @@ import (
 	"relaxsched/internal/graph"
 )
 
+// HostEnv records the execution environment a measured row came from.
+// Every row carrying a throughput metric embeds it, so recorded
+// trajectories are self-describing: `relaxbench compare` warns when
+// matched rows were measured on different core counts instead of silently
+// attributing hardware differences to the code (the standing caveat for
+// trajectories recorded on 1-core containers).
+type HostEnv struct {
+	NumCPU     int `json:"NumCPU"`
+	GoMaxProcs int `json:"GOMAXPROCS"`
+}
+
+// Host samples the current execution environment.
+func Host() HostEnv {
+	return HostEnv{NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+}
+
 // Config controls workload sizes so the same drivers scale from unit-test
 // smoke runs to full reproduction runs.
 type Config struct {

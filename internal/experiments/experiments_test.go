@@ -422,3 +422,31 @@ func TestParDelaunaySmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAffinitySmoke(t *testing.T) {
+	c := SmokeConfig()
+	res := Affinity(c)
+	if want := 2 * len(c.threadSweep()); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	placements := map[string]bool{}
+	for _, row := range res.Rows {
+		placements[row.Placement] = true
+		if row.OpsPerSec <= 0 || row.Millis <= 0 {
+			t.Fatalf("implausible row: %+v", row)
+		}
+		if row.NumCPU < 1 || row.GoMaxProcs < 1 {
+			t.Fatalf("row missing host environment: %+v", row)
+		}
+	}
+	if !placements["affine"] || !placements["uniform"] {
+		t.Fatalf("expected both placements, got %v", placements)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "placement") {
+		t.Fatal("render missing placement column")
+	}
+}

@@ -25,6 +25,7 @@ type ParBnBRow struct {
 	OverheadErr  float64
 	OpsPerSec    float64
 	Millis       float64
+	HostEnv
 }
 
 // ParBnBResult holds the backend x threads sweep.
@@ -91,6 +92,7 @@ func ParBnB(c Config) (ParBnBResult, error) {
 				Expanded: exp.Mean(), Pruned: prn.Mean(),
 				WorkOverhead: work.Mean(), OverheadErr: work.StdErr(),
 				OpsPerSec: ops.Mean(), Millis: ms.Mean(),
+				HostEnv: Host(),
 			})
 		}
 	}

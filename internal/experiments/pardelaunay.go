@@ -28,6 +28,7 @@ type ParDelaunayRow struct {
 	BlockedRate float64 // Blocked / N
 	OpsPerSec   float64
 	Millis      float64
+	HostEnv
 }
 
 // ParDelaunayResult holds the backend x threads sweep.
@@ -105,6 +106,7 @@ func ParDelaunay(c Config) (ParDelaunayResult, error) {
 				Blocked: blocked.Mean(), BlockedErr: blocked.StdErr(),
 				BlockedRate: blocked.Mean() / float64(n),
 				OpsPerSec:   ops.Mean(), Millis: ms.Mean(),
+				HostEnv: Host(),
 			})
 		}
 	}

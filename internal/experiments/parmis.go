@@ -27,6 +27,7 @@ type ParMISRow struct {
 	ExtraRate float64 // Extra / N
 	OpsPerSec float64
 	Millis    float64
+	HostEnv
 }
 
 // ParMISResult holds the algo x backend x threads sweep.
@@ -104,6 +105,7 @@ func ParMIS(c Config) (ParMISResult, error) {
 					Extra: extra.Mean(), ExtraErr: extra.StdErr(),
 					ExtraRate: extra.Mean() / float64(n),
 					OpsPerSec: ops.Mean(), Millis: ms.Mean(),
+					HostEnv: Host(),
 				})
 			}
 		}

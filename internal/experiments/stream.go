@@ -34,6 +34,7 @@ type StreamRow struct {
 	RankErrPerJob float64 // MeanRankErr / N
 	OpsPerSec     float64 // jobs executed per second of wall time
 	Millis        float64
+	HostEnv
 }
 
 // StreamResult holds the backend x threads x arrival-rate sweep.
@@ -101,6 +102,7 @@ func Stream(c Config) (StreamResult, error) {
 					MaxRankErr:    maxE.Mean(),
 					RankErrPerJob: mean.Mean() / float64(total),
 					OpsPerSec:     ops.Mean(), Millis: ms.Mean(),
+					HostEnv: Host(),
 				})
 			}
 		}

@@ -1,11 +1,12 @@
 #!/bin/sh
 # Record this PR's benchmark trajectory: the backends head-to-head, the
-# batch-amortization sweep, the parallel-incremental extra-steps rows, and
-# the engine workloads (parallel branch-and-bound, parallel greedy
-# MIS/coloring, parallel Delaunay with on-line dependency discovery, and —
-# new in PR 5 — the streaming top-k job scheduler: external producers at
-# swept arrival rates, rank error per row), as a JSON-lines file at the
-# repository root.
+# batch-amortization sweep, the parallel-incremental extra-steps rows, the
+# engine workloads (parallel branch-and-bound, parallel greedy
+# MIS/coloring, parallel Delaunay with on-line dependency discovery, the
+# streaming top-k job scheduler), and — new in PR 6 — the shard-affinity
+# ablation of the lock-free backend (affine vs. uniform handle placement),
+# as a JSON-lines file at the repository root. Rows record the host's
+# NumCPU/GOMAXPROCS so cross-machine comparisons warn instead of misleading.
 # Override the workload with SCALE / TRIALS / MAXTHREADS, e.g.
 #
 #   SCALE=16 MAXTHREADS=8 scripts/bench.sh
@@ -25,9 +26,9 @@ cd "$(dirname "$0")/.."
 SCALE="${SCALE:-64}"
 TRIALS="${TRIALS:-5}"
 MAXTHREADS="${MAXTHREADS:-4}"
-OUT="${OUT:-BENCH_PR5.json}"
+OUT="${OUT:-BENCH_PR6.json}"
 
 go run ./cmd/relaxbench \
     -scale "$SCALE" -trials "$TRIALS" -maxthreads "$MAXTHREADS" \
-    -out "$OUT" backends batchsweep parinc parbnb parmis pardelaunay stream
+    -out "$OUT" backends batchsweep parinc parbnb parmis pardelaunay stream affinity
 echo "wrote $OUT" >&2
