@@ -35,6 +35,10 @@
 //	affinity      shard-affine vs. uniform handle placement on the
 //	              lock-free backend: a pure queue microbenchmark isolating
 //	              the home-shard cache-locality effect (extension)
+//	chaos         engine throughput under seeded fault injection (worker
+//	              stalls, forced re-insertions, poisoned tasks) vs. the
+//	              fault-free baseline, with every run's books verified
+//	              against the injector's ground truth (extension)
 //	all           everything above
 //
 // The compare subcommand diffs two recorded trajectories:
@@ -266,10 +270,11 @@ var experimentTable = map[string]experimentSpec{
 	"pardelaunay": {"Extension: parallel Delaunay triangulation (on-line DAG discovery, backends x threads)", withErr(experiments.ParDelaunay)},
 	"stream":      {"Extension: streaming top-k job scheduler (external producers, backends x threads x arrival rates)", withErr(experiments.Stream)},
 	"affinity":    {"Extension: shard-affine vs. uniform handle placement (lock-free backend microbenchmark)", noErr(experiments.Affinity)},
+	"chaos":       {"Extension: fault-injection overhead (seeded stalls, forced blocks, poisoned tasks; backends x threads)", withErr(experiments.Chaos)},
 }
 
 // allOrder is the order `relaxbench all` runs experiments in.
-var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay", "stream", "affinity"}
+var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay", "stream", "affinity", "chaos"}
 
 // knownExperiment reports whether exp is a name run can dispatch.
 func knownExperiment(exp string) bool {

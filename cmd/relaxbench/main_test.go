@@ -18,7 +18,7 @@ func TestRunDispatchAllExperiments(t *testing.T) {
 	for _, exp := range []string{
 		"graphs", "fig1", "fig1-overhead", "fig1-speedup", "fig2", "backends", "batchsweep",
 		"thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb",
-		"parbnb", "parmis", "pardelaunay", "stream", "affinity",
+		"parbnb", "parmis", "pardelaunay", "stream", "affinity", "chaos",
 	} {
 		if err := run(exp, cfg, output{w: io.Discard}); err != nil {
 			t.Fatalf("%s: %v", exp, err)

@@ -67,6 +67,15 @@
 //     relaxed priority order, every job is verified to execute exactly
 //     once, and the result reports the rank error of the executed order
 //     against the true priority order;
+//   - fault-tolerant execution as an engine contract (since PR 7):
+//     cancellation and deadlines drain gracefully to a partial result
+//     marked Interrupted (anytime branch-and-bound incumbents, anytime
+//     SSSP upper bounds, at-most-once streaming drain), a panicking task
+//     is quarantined into Result.Failures instead of crashing or wedging
+//     the run, a retry cap quarantines livelocked Blocked tasks, and a
+//     stall watchdog snapshots per-worker state when global progress
+//     stops; internal/fault is the seeded chaos injector behind the
+//     enginetest.ChaosConformance suite and the chaos experiment;
 //   - a rank/fairness Auditor measuring the relaxation any scheduler
 //     actually achieves;
 //   - the generic relaxed execution framework for incremental algorithms

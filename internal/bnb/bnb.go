@@ -59,6 +59,11 @@ type Result struct {
 	Pruned int64
 	// Pops = Expanded + Pruned + leaves popped.
 	Pops int64
+	// Interrupted reports that a deadlined ParallelRun was cut short: Best
+	// is then the incumbent at the interruption — the best leaf found so
+	// far, an anytime upper bound on the optimum rather than the optimum
+	// itself. Always false for sequential runs.
+	Interrupted bool
 }
 
 // node is the search state carried outside the scheduler, indexed by the

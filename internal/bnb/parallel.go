@@ -3,6 +3,7 @@ package bnb
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/engine"
@@ -27,6 +28,11 @@ type ParallelOptions struct {
 	// Budget caps the number of search nodes the run may allocate (>= 1);
 	// exceeding it is an error, exactly as in the sequential Run.
 	Budget int
+	// Deadline, when positive, turns the search into an anytime run: at
+	// expiry the engine drains gracefully and the Result carries the
+	// incumbent found so far, marked Interrupted. Finding no leaf before
+	// the deadline is an error.
+	Deadline time.Duration
 }
 
 // unset is the incumbent sentinel: any real leaf cost is below it.
@@ -118,20 +124,28 @@ func ParallelRun(t Tree, opts ParallelOptions) (Result, error) {
 		Backend:         opts.Backend,
 		BatchSize:       opts.BatchSize,
 		Seed:            opts.Seed,
+		Deadline:        opts.Deadline,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("bnb: %w", err)
 	}
 	res := Result{
-		Expanded: s.expanded.Load(),
-		Pruned:   s.pruned.Load(),
-		Pops:     stats.Popped,
+		Expanded:    s.expanded.Load(),
+		Pruned:      s.pruned.Load(),
+		Pops:        stats.Popped,
+		Interrupted: stats.Interrupted,
+	}
+	if stats.Failed > 0 {
+		return res, fmt.Errorf("bnb: %d tasks quarantined (first: %v)", stats.Failed, stats.Failures[0].Err)
 	}
 	if s.overflow.Load() {
 		return res, fmt.Errorf("bnb: exceeded node budget %d", opts.Budget)
 	}
 	best := s.incumbent.Load()
 	if best >= unset {
+		if res.Interrupted {
+			return res, fmt.Errorf("bnb: deadline expired before any leaf was reached")
+		}
 		return res, fmt.Errorf("bnb: no leaf reached")
 	}
 	res.Best = best

@@ -1,7 +1,9 @@
 package bnb
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/sched"
@@ -122,5 +124,37 @@ func TestParallelRunInvalidOptions(t *testing.T) {
 		Threads: 1, QueueMultiplier: 1, Budget: 16, Backend: "no-such-queue",
 	}); err == nil {
 		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestParallelRunDeadlineAnytime: a deadlined search over a tree far too
+// large to exhaust in time must return promptly with the anytime contract —
+// either an incumbent found so far (an upper bound on the optimum, marked
+// Interrupted) or the explicit no-leaf-before-deadline error. Near-uniform
+// edge costs keep bound pruning weak, so a depth-20 ternary tree (~3.5G
+// nodes) can never be exhausted: the deadline is the only way out.
+func TestParallelRunDeadlineAnytime(t *testing.T) {
+	tree := Tree{Depth: 20, Branch: 3, MaxEdgeCost: 2, Seed: 5}
+	start := time.Now()
+	res, err := ParallelRun(tree, ParallelOptions{
+		Threads: 4, QueueMultiplier: 2, Seed: 11,
+		Budget:   2 << 20,
+		Deadline: time.Millisecond,
+	})
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("deadlined run took %v", d)
+	}
+	if err != nil {
+		if !strings.Contains(err.Error(), "deadline") {
+			t.Fatalf("unexpected error from deadlined run: %v", err)
+		}
+		return
+	}
+	if !res.Interrupted {
+		t.Fatal("a 3.5G-node search reported natural completion")
+	}
+	// Every edge costs at least 1, so any real leaf costs at least Depth.
+	if res.Best < int64(tree.Depth) {
+		t.Fatalf("interrupted incumbent %d below the depth-%d floor", res.Best, tree.Depth)
 	}
 }

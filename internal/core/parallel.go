@@ -133,6 +133,11 @@ func ParallelRun(dag *DAG, opts ParallelOptions) (Result, error) {
 		Processed: processed,
 		Order:     wl.order[:processed],
 	}
+	if stats.Failed > 0 {
+		// A task (or an OnProcess callback) panicked; the engine contained
+		// and quarantined it, so report the failure instead of crashing.
+		return res, fmt.Errorf("core: %d tasks quarantined (first: %v)", stats.Failed, stats.Failures[0].Err)
+	}
 	if processed != n {
 		return res, fmt.Errorf("core: parallel run processed %d of %d tasks", processed, n)
 	}

@@ -61,6 +61,7 @@ func Run(t *testing.T, newQueue Factory) {
 	t.Run("BatchConcurrentValuesPreserved", func(t *testing.T) { testBatchConcurrentValuesPreserved(t, newQueue) })
 	t.Run("ScalingSmoke", func(t *testing.T) { testScalingSmoke(t, newQueue) })
 	t.Run("HandleConformance", func(t *testing.T) { testHandleConformance(t, newQueue) })
+	t.Run("HandleInjectedDeath", func(t *testing.T) { testHandleInjectedDeath(t, newQueue) })
 	t.Run("AllocSteadyState", func(t *testing.T) { testAllocSteadyState(t, newQueue) })
 }
 
@@ -599,6 +600,120 @@ func testHandleConformance(t *testing.T, newQueue Factory) {
 	}
 	if q.Len() != 0 {
 		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+// testHandleInjectedDeath drives seeded chaos through pinned handles and
+// kills half of them abruptly mid-run: a doomed worker stalls (a scheduler
+// hiccup at the worst moment) at a seeded point and then Closes its handle
+// with its own live elements still in the queue and the rest of its
+// workload never pushed. The contract under test is the worker-death
+// clause of cq.HandleQueue: a closed handle must hand its session state
+// (epoch slot, accumulated free list) back to the queue, so survivors and
+// a post-mortem fresh handle recover every pushed value exactly once —
+// and, for recycling backends, node reuse must keep working after the
+// deaths: a leaked epoch pin would dam reclamation and drive steady-state
+// allocations back up to one per push.
+func testHandleInjectedDeath(t *testing.T, newQueue Factory) {
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	raw := newQueue(t, workers, 2)
+	q := cq.AsBatch(raw)
+	seen := make([]atomic.Bool, workers*perW)
+	var popped atomic.Int64
+	record := func(v int64) {
+		if seen[v].Swap(true) {
+			t.Errorf("value %d popped twice", v)
+		}
+		popped.Add(1)
+	}
+	// Written by each worker before wg.Done, read after the Wait — the
+	// WaitGroup provides the happens-before edge.
+	pushed := make([]int64, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := cq.HandleFor(q)
+			r := rng.New(uint64(g)*0x9e3779b97f4a7c15 + 555)
+			deathAt := perW/4 + r.Intn(perW/2)
+			count := int64(0)
+			dst := make([]cq.Pair, 8)
+			for i := 0; i < perW; i++ {
+				if g%2 == 0 && i == deathAt {
+					// Injected death: stall, then die without draining.
+					time.Sleep(time.Duration(r.Intn(200)) * time.Microsecond)
+					h.Close()
+					pushed[g] = count
+					return
+				}
+				v := int64(g*perW + i)
+				if i%4 == 3 {
+					h.PushBatch(r, []cq.Pair{{Value: v, Priority: int64(r.Intn(1 << 20))}})
+				} else {
+					h.Push(r, v, int64(r.Intn(1<<20)))
+				}
+				count++
+				switch i % 3 {
+				case 1:
+					if v, _, ok := h.Pop(r); ok {
+						record(v)
+					}
+				case 2:
+					for _, p := range dst[:h.PopBatch(r, dst)] {
+						record(p.Value)
+					}
+				}
+			}
+			h.Close()
+			pushed[g] = count
+		}(g)
+	}
+	waitOrFatal(t, &wg, "injected-death stress")
+	// Post-mortem: a fresh handle must see every surviving element,
+	// including those pushed by the since-dead handles.
+	h := cq.HandleFor(q)
+	defer h.Close()
+	r := rng.New(4242)
+	dst := make([]cq.Pair, 32)
+	for {
+		k := h.PopBatch(r, dst)
+		if k == 0 {
+			break
+		}
+		for _, p := range dst[:k] {
+			record(p.Value)
+		}
+	}
+	var total int64
+	for _, c := range pushed {
+		total += c
+	}
+	if got := popped.Load(); got != total {
+		t.Fatalf("recovered %d of %d values pushed before the deaths", got, total)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after post-mortem drain", q.Len())
+	}
+	// Reclamation liveness after the deaths: with every doomed handle
+	// closed, retired nodes must still mature into free lists. A dead
+	// handle that kept an epoch pinned would block reuse forever.
+	if rec, ok := raw.(cq.Recycler); ok && rec.RecyclesNodes() {
+		for i := 0; i < 8192; i++ {
+			h.Push(r, int64(i%perW), int64(r.Intn(1<<16)))
+			h.Pop(r)
+		}
+		perOp := testing.AllocsPerRun(2000, func() {
+			h.Push(r, 1, int64(r.Intn(1<<16)))
+			h.Pop(r)
+		}) / 2
+		if perOp > 0.25 {
+			t.Fatalf("post-death steady state allocated %.3f allocs/op; the dead handles blocked reclamation", perOp)
+		}
+		t.Logf("post-death steady-state allocations: %.3f allocs/op (gated <= 0.25)", perOp)
 	}
 }
 

@@ -451,6 +451,9 @@ func ParallelTriangulate(points []geom.Point, order []int, opts ParallelOptions)
 	if w.err != nil {
 		return nil, res, w.err
 	}
+	if stats.Failed > 0 {
+		return nil, res, fmt.Errorf("delaunay: %d insertions quarantined (first: %v)", stats.Failed, stats.Failures[0].Err)
+	}
 	if stats.Executed != int64(w.n) {
 		return nil, res, fmt.Errorf("delaunay: parallel run inserted %d of %d points", stats.Executed, w.n)
 	}

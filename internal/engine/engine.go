@@ -31,6 +31,23 @@
 // join the same double scan; see internal/inflight's package comment for
 // why the extension stays provably safe).
 //
+// # Failure semantics
+//
+// The engine is fault-tolerant by contract, not by luck. Execution.Stop
+// (or Options.Deadline) requests a graceful drain: workers stop popping,
+// flush their buffers and exit, late Producer pushes are absorbed, and
+// Wait returns a partial Result marked Interrupted — every workload is
+// thereby anytime. A TryExecute panic is recovered and the task
+// quarantined into Result.Failures (never re-inserted, never lost from
+// the books); Options.MaxBlockedRetries quarantines tasks that re-insert
+// forever. Options.StallTimeout arms a watchdog that detects global
+// no-progress — including blocked-livelock, where re-insertion churn
+// keeps the queue busy without completing anything — and either aborts
+// the run with a diagnostic StallReport or hands the report to
+// Options.OnStall. Options.Injector is the fault-injection seam
+// (internal/fault) the chaos suite drives all of this through; see
+// enginetest.ChaosConformance for the invariants.
+//
 // Engine-wide caveat: no well-defined global processing order exists across
 // racing workers, so order-sensitive metrics of the sequential model —
 // core.Result.AdjacentInversions in particular — are undefined in parallel
@@ -49,23 +66,34 @@ import (
 
 // Idle backoff for workers that keep finding the queue empty: a few
 // Gosched yields first (another worker's push is usually in flight), then
-// short sleeps. The sleep matters under oversubscription — spinning idle
-// workers otherwise steal scheduler timeslices from the workers actually
-// producing tasks during frontier ramp-up and drain, which shows up
-// directly as wall time when threads exceed cores.
+// sleeps that escalate exponentially from idleSleepBase up to idleSleepCap.
+// The sleep matters under oversubscription — spinning idle workers
+// otherwise steal scheduler timeslices from the workers actually producing
+// tasks during frontier ramp-up and drain, which shows up directly as wall
+// time when threads exceed cores. The escalation matters on long drains
+// (one slow task, everyone else idle): a flat 20µs sleep still burns a
+// timeslice 50,000 times a second per idle worker, while the cap keeps the
+// worst-case wakeup latency for a late burst at ~1ms.
 const (
-	idleYields = 4
-	idleSleep  = 20 * time.Microsecond
+	idleYields    = 4
+	idleSleepBase = 20 * time.Microsecond
+	idleSleepCap  = time.Millisecond
 )
 
 // idleWait is the shared empty-queue backoff: yield for the first
-// idleYields consecutive empties, sleep after that.
+// idleYields consecutive empties, then sleep with exponential escalation.
+// Callers reset their idle count to 0 on any successful pop, so a burst
+// after a long quiet stretch restores the fast path immediately.
 func idleWait(idle int) {
 	if idle < idleYields {
 		runtime.Gosched()
-	} else {
-		time.Sleep(idleSleep)
+		return
 	}
+	d := idleSleepBase << uint(idle-idleYields)
+	if d <= 0 || d > idleSleepCap {
+		d = idleSleepCap
+	}
+	time.Sleep(d)
 }
 
 // Status is the outcome of one TryExecute attempt.
@@ -126,10 +154,38 @@ type Options struct {
 	// producer to be created and closed. Run requires 0 (closed world); use
 	// Start for streaming executions.
 	Producers int
+	// Deadline, when positive, bounds the run's wall time: Deadline after
+	// Start the execution stops itself exactly as if Stop had been called,
+	// and Run/Wait return a partial Result marked Interrupted with
+	// best-so-far stats. Zero means no deadline.
+	Deadline time.Duration
+	// MaxBlockedRetries, when positive, caps how many times one (value,
+	// priority) pair may be re-inserted as Blocked: the attempt after the
+	// cap quarantines the pair (FailureKind RetriesExhausted) instead of
+	// re-inserting it, so a task whose dependency can never be satisfied
+	// bounds the run instead of livelocking it. Zero disables the cap.
+	MaxBlockedRetries int
+	// StallTimeout, when positive, arms the stall watchdog: if the global
+	// progress tally (tasks produced + completed — re-insertion churn does
+	// not count) stays flat for this long, the watchdog captures a
+	// StallReport and either delivers it to OnStall or, with OnStall nil,
+	// aborts the run (Stop, with the report on the Result). Zero disables
+	// the watchdog.
+	StallTimeout time.Duration
+	// OnStall, when non-nil, receives each stall report instead of the
+	// watchdog aborting; it runs on the watchdog goroutine and owns the
+	// policy (log and wait, or call Execution.Stop). Ignored when
+	// StallTimeout is zero.
+	OnStall func(*StallReport)
+	// Injector is the fault-injection seam (nil in production): every
+	// popped task is shown to it before execution. See Injector and
+	// internal/fault.
+	Injector Injector
 }
 
 // Stats is the engine's execution accounting, summed over all workers.
-// Every pop is counted exactly once as Executed, Discarded or Reinserted.
+// Every pop is counted exactly once as Executed, Discarded, Reinserted or
+// Failed.
 type Stats struct {
 	// Popped is the total number of pairs popped.
 	Popped int64
@@ -140,6 +196,9 @@ type Stats struct {
 	// Reinserted counts Blocked pops put back into the queue — the
 	// engine-level analogue of the paper's extra steps.
 	Reinserted int64
+	// Failed counts quarantined pops: TryExecute panics and exhausted
+	// blocked-retry budgets. The pairs themselves are in Result.Failures.
+	Failed int64
 }
 
 // pushBuf is the batch-amortized push path shared by worker Ctxs and
@@ -206,21 +265,22 @@ func (c *Ctx) Spawn(value, priority int64) {
 
 // Run executes the workload to quiescence: workers pop from the selected
 // concurrent relaxed queue and call TryExecute until every produced task —
-// seed frontier, spawns and re-insertions alike — has been completed. It is
-// the closed-world entry point (all tasks are born from the frontier or
-// Ctx.Spawn); opts.Producers must be 0. For open-system executions fed by
-// external producers, use Start.
+// seed frontier, spawns and re-insertions alike — has been completed, or
+// until the run is cut short (Options.Deadline, a watchdog abort), in which
+// case the Result is marked Interrupted. It is the closed-world entry point
+// (all tasks are born from the frontier or Ctx.Spawn); opts.Producers must
+// be 0. For open-system executions fed by external producers, use Start.
 //
 // Every pop counts into Stats exactly once, so adapters can derive their
 // historical metrics (core's Steps, sssp's Popped/Processed) without
 // touching the loop.
-func Run(wl Workload, opts Options) (Stats, error) {
+func Run(wl Workload, opts Options) (Result, error) {
 	if opts.Producers != 0 {
-		return Stats{}, fmt.Errorf("engine: Run is closed-world (Producers = %d); use Start", opts.Producers)
+		return Result{}, fmt.Errorf("engine: Run is closed-world (Producers = %d); use Start", opts.Producers)
 	}
 	e, err := Start(wl, opts)
 	if err != nil {
-		return Stats{}, err
+		return Result{}, err
 	}
 	return e.Wait(), nil
 }
@@ -261,12 +321,16 @@ func Start(wl Workload, opts Options) (*Execution, error) {
 	seedHandle.Close()
 
 	e := &Execution{
-		mq:       mq,
-		counters: counters,
-		seedRng:  seedRng,
-		threads:  opts.Threads,
-		batch:    opts.BatchSize,
-		declared: opts.Producers,
+		mq:         mq,
+		counters:   counters,
+		seedRng:    seedRng,
+		threads:    opts.Threads,
+		batch:      opts.BatchSize,
+		declared:   opts.Producers,
+		workers:    make([]workerState, opts.Threads),
+		maxRetries: opts.MaxBlockedRetries,
+		injector:   opts.Injector,
+		donec:      make(chan struct{}),
 	}
 	for t := 0; t < opts.Threads; t++ {
 		e.wg.Add(1)
@@ -276,57 +340,84 @@ func Start(wl Workload, opts Options) (*Execution, error) {
 			defer h.Close()
 			ctx := &Ctx{Worker: w, counters: counters,
 				pushBuf: pushBuf{r: r, mq: h, batch: opts.BatchSize}}
-			var local Stats
+			ws := &e.workers[w]
 			if opts.BatchSize > 1 {
 				ctx.out = make([]cq.Pair, 0, opts.BatchSize)
-				workerBatched(wl, ctx, &local)
+				e.workerBatched(wl, ctx, ws)
 			} else {
-				worker(wl, ctx, &local)
+				e.worker(wl, ctx, ws)
 			}
-			e.mu.Lock()
-			e.total.Popped += local.Popped
-			e.total.Executed += local.Executed
-			e.total.Discarded += local.Discarded
-			e.total.Reinserted += local.Reinserted
-			e.mu.Unlock()
+			ws.phase.Store(int32(PhaseExited))
 		}(t, seedRng.Split())
 	}
+	// The donec closer is the fan-in the watchdog and deadline timer hang
+	// off; spawn it only when someone is listening.
+	if opts.StallTimeout > 0 || opts.Deadline > 0 {
+		go func() {
+			e.wg.Wait()
+			close(e.donec)
+		}()
+	}
+	if opts.Deadline > 0 {
+		e.deadline = time.AfterFunc(opts.Deadline, e.Stop)
+	}
+	if opts.StallTimeout > 0 {
+		go e.watchdog(opts.StallTimeout, opts.OnStall)
+	}
 	return e, nil
+}
+
+// stopDrain is the shared graceful-exit check at the top of both worker
+// loops: once Stop (or the deadline, or a watchdog abort) has fired, the
+// worker flushes its out-buffer — every spawned pair it carries becomes
+// queue-visible, so the partial run's accounting stays consistent — and
+// exits without popping again. The run is marked Interrupted unless the
+// counters already prove quiescence (a Stop that landed after the work was
+// done interrupts nothing).
+func (e *Execution) stopDrain(ctx *Ctx) bool {
+	if !e.stopped.Load() {
+		return false
+	}
+	ctx.flush()
+	if !e.counters.Quiescent() {
+		e.interrupted.Store(true)
+	}
+	return true
 }
 
 // worker is the per-pair (unbatched) loop: one queue operation per pair.
 // This is the concurrent analogue of the paper's Algorithm 2 — the regime
 // its Section 4 transactional model abstracts — with re-insertion playing
 // the role of the sequential model's "task stays in the scheduler".
-func worker(wl Workload, ctx *Ctx, local *Stats) {
-	mq, r, counters, w := ctx.mq, ctx.r, ctx.counters, ctx.Worker
+func (e *Execution) worker(wl Workload, ctx *Ctx, ws *workerState) {
+	mq, r, counters := ctx.mq, ctx.r, ctx.counters
 	idle := 0
 	for {
+		if e.stopDrain(ctx) {
+			break
+		}
 		value, priority, ok := mq.Pop(r)
 		if !ok {
+			ws.emptyPops.Add(1)
 			if counters.Quiescent() {
 				break
 			}
+			ws.phase.Store(int32(PhaseIdle))
 			idleWait(idle)
 			idle++
 			continue
 		}
+		if idle > 0 {
+			ws.phase.Store(int32(PhaseRunning))
+		}
 		idle = 0
-		local.Popped++
-		switch wl.TryExecute(ctx, value, priority) {
-		case Executed:
-			local.Executed++
-			counters.Complete(w)
-		case Discarded:
-			local.Discarded++
-			counters.Complete(w)
-		default: // Blocked
-			// Re-insert and count the wasted pop. Each pair has exactly one
-			// live copy, carried by this worker between the pop and the
-			// re-push, then yield so this worker does not hot-spin
-			// re-popping the same blocked task while its dependencies are
-			// mid-flight.
-			local.Reinserted++
+		ws.popped.Add(1)
+		if e.attempt(wl, ctx, ws, value, priority) {
+			// Re-insert the blocked pair and count the wasted pop. Each
+			// pair has exactly one live copy, carried by this worker
+			// between the pop and the re-push, then yield so this worker
+			// does not hot-spin re-popping the same blocked task while its
+			// dependencies are mid-flight.
 			mq.Push(r, value, priority)
 			runtime.Gosched()
 		}
@@ -341,13 +432,17 @@ func worker(wl Workload, ctx *Ctx, local *Stats) {
 // recorded as produced, never completed — can never deadlock the counter
 // protocol: Quiescent stays false until its worker flushes and the pair is
 // eventually processed.
-func workerBatched(wl Workload, ctx *Ctx, local *Stats) {
-	mq, r, counters, w := ctx.mq, ctx.r, ctx.counters, ctx.Worker
+func (e *Execution) workerBatched(wl Workload, ctx *Ctx, ws *workerState) {
+	mq, r, counters := ctx.mq, ctx.r, ctx.counters
 	in := make([]cq.Pair, ctx.batch)
 	idle := 0
 	for {
+		if e.stopDrain(ctx) {
+			break
+		}
 		k := mq.PopBatch(r, in)
 		if k == 0 {
+			ws.emptyPops.Add(1)
 			if len(ctx.out) > 0 {
 				ctx.flush()
 				continue
@@ -355,23 +450,19 @@ func workerBatched(wl Workload, ctx *Ctx, local *Stats) {
 			if counters.Quiescent() {
 				break
 			}
+			ws.phase.Store(int32(PhaseIdle))
 			idleWait(idle)
 			idle++
 			continue
 		}
+		if idle > 0 {
+			ws.phase.Store(int32(PhaseRunning))
+		}
 		idle = 0
 		blocked := 0
 		for _, p := range in[:k] {
-			local.Popped++
-			switch wl.TryExecute(ctx, p.Value, p.Priority) {
-			case Executed:
-				local.Executed++
-				counters.Complete(w)
-			case Discarded:
-				local.Discarded++
-				counters.Complete(w)
-			default: // Blocked
-				local.Reinserted++
+			ws.popped.Add(1)
+			if e.attempt(wl, ctx, ws, p.Value, p.Priority) {
 				blocked++
 				ctx.buffer(p)
 			}

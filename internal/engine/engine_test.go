@@ -18,11 +18,24 @@ import (
 )
 
 // TestConformance runs the shared synthetic suite (flat frontier,
-// spawn-heavy termination, dependency chain, duplicate discard) against
-// every registered cq backend. Run with -race in CI.
+// spawn-heavy termination, dependency chain, duplicate discard, plus the
+// robustness tests: Stop/Deadline drains, panic quarantine, retry cap,
+// stall watchdog, producer-versus-stop races) against every registered cq
+// backend. Run with -race in CI.
 func TestConformance(t *testing.T) {
 	for _, backend := range cq.Backends() {
 		t.Run(string(backend), func(t *testing.T) { enginetest.Run(t, backend) })
+	}
+}
+
+// TestChaosConformance runs the seeded fault-injection suite — worker
+// stalls, forced Blocked returns, injected poison panics, delayed producer
+// closes — for every workload family x every registered backend, asserting
+// exactly-once execution, exact quarantine accounting and termination. The
+// seeds are fixed (see enginetest.chaosSeeds) so CI failures reproduce.
+func TestChaosConformance(t *testing.T) {
+	for _, backend := range cq.Backends() {
+		t.Run(string(backend), func(t *testing.T) { enginetest.ChaosConformance(t, backend) })
 	}
 }
 
@@ -160,8 +173,8 @@ func TestRunEmptyFrontier(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/batch%d: %v", backend, batch, err)
 			}
-			if st != (engine.Stats{}) {
-				t.Fatalf("%s/batch%d: non-zero stats %+v for empty workload", backend, batch, st)
+			if st.Stats != (engine.Stats{}) || st.Interrupted || len(st.Failures) != 0 || st.Stall != nil {
+				t.Fatalf("%s/batch%d: non-zero result %+v for empty workload", backend, batch, st)
 			}
 		}
 	}

@@ -1,0 +1,338 @@
+package enginetest
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
+	"relaxsched/internal/fault"
+	"relaxsched/internal/rng"
+)
+
+// ChaosConformance is the seeded fault-injection suite: every synthetic
+// workload family runs under a deterministic internal/fault plan — worker
+// stalls (the practically-wait-free adversary), forced Blocked returns and
+// injected poison-task panics, plus delayed producer closes on the
+// streaming workload — against the given backend, and the suite asserts the
+// invariants that define a fault-tolerant engine:
+//
+//   - exactly-once: every clean task executes exactly once, under any
+//     interleaving of stalls and forced re-insertions;
+//   - quarantine accounting: the quarantined set is exactly the poison
+//     values that were reached (a poisoned task's never-born descendants
+//     are neither executed nor quarantined), every failure carries the
+//     Panicked kind, and Stats.Failed matches;
+//   - termination: the run always quiesces — no injected fault may wedge
+//     the double-scan protocol (CI runs this under -race).
+//
+// Run it for every registered cq backend, as engine_test.TestChaosConformance
+// does.
+func ChaosConformance(t *testing.T, backend cq.Backend) {
+	t.Run("FlatPoison", func(t *testing.T) { testChaosFlat(t, backend) })
+	t.Run("ColumnSpawnPoison", func(t *testing.T) { testChaosColumns(t, backend) })
+	t.Run("DependencyChainChurn", func(t *testing.T) { testChaosChain(t, backend) })
+	t.Run("DuplicateDiscardChurn", func(t *testing.T) { testChaosDup(t, backend) })
+	t.Run("StreamingPoison", func(t *testing.T) { testChaosStreaming(t, backend) })
+}
+
+// chaosSeeds is the fixed seed set CI pins; two seeds double the explored
+// interleavings without doubling much wall time.
+var chaosSeeds = []uint64{101, 202}
+
+// chaosBatches trims the batch grid for chaos runs: the singleton path and
+// one genuinely batched configuration.
+var chaosBatches = []int{0, 16}
+
+// chaosPlan is the base fault mix: a stall roughly every 7th pop per worker
+// (up to 100µs — long enough to overlap real work, short enough to keep the
+// suite fast), a forced Blocked roughly every 5th pop capped at 2 per
+// value, and the given poison set.
+func chaosPlan(seed uint64, poison map[int64]bool) fault.Plan {
+	return fault.Plan{
+		Seed:            seed,
+		StallEvery:      7,
+		MaxStall:        100 * time.Microsecond,
+		BlockEvery:      5,
+		MaxForcedBlocks: 2,
+		Poison:          poison,
+	}
+}
+
+// runChaos executes one workload under one fault plan and runs the common
+// assertions: accounting identity, clean termination (no interruption, no
+// stall report) and quarantine exactly matching the poison values the
+// injector actually fired.
+func runChaos(t *testing.T, wl engine.Workload, o engine.Options, plan fault.Plan) (engine.Result, *fault.Injector) {
+	t.Helper()
+	in := fault.New(plan, o.Threads)
+	o.Injector = in
+	st, err := engine.Run(wl, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentity(t, st)
+	if st.Interrupted {
+		t.Fatalf("chaos run marked Interrupted: %+v", st.Stats)
+	}
+	if st.Stall != nil {
+		t.Fatalf("unexpected stall report: %+v", st.Stall)
+	}
+	fired := in.Fired()
+	if int64(len(fired)) != st.Failed {
+		t.Fatalf("injector fired %d poisons but %d tasks quarantined", len(fired), st.Failed)
+	}
+	seen := make(map[int64]bool)
+	for _, f := range st.Failures {
+		if f.Kind != engine.Panicked {
+			t.Fatalf("chaos failure kind %v, want Panicked: %+v", f.Kind, f)
+		}
+		if !fired[f.Value] {
+			t.Fatalf("task %d quarantined but the injector never poisoned it", f.Value)
+		}
+		if seen[f.Value] {
+			t.Fatalf("task %d quarantined twice", f.Value)
+		}
+		seen[f.Value] = true
+	}
+	return st, in
+}
+
+// runChaosOpen is runChaos for an execution the caller feeds via producers:
+// feed is invoked after Start with the Execution handle and must return
+// once every producer is closed.
+func runChaosOpen(t *testing.T, wl engine.Workload, o engine.Options, plan fault.Plan, feed func(*engine.Execution)) (engine.Result, *fault.Injector) {
+	t.Helper()
+	in := fault.New(plan, o.Threads)
+	o.Injector = in
+	e, err := engine.Start(wl, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(e)
+	st := waitBounded(t, e, 60*time.Second, "chaos streaming")
+	checkIdentity(t, st)
+	if st.Interrupted {
+		t.Fatalf("chaos run marked Interrupted: %+v", st.Stats)
+	}
+	fired := in.Fired()
+	if int64(len(fired)) != st.Failed {
+		t.Fatalf("injector fired %d poisons but %d tasks quarantined", len(fired), st.Failed)
+	}
+	for _, f := range st.Failures {
+		if f.Kind != engine.Panicked || !fired[f.Value] {
+			t.Fatalf("unexpected chaos failure %+v", f)
+		}
+	}
+	return st, in
+}
+
+// testChaosFlat: independent tasks, so every poison value is reached and
+// the quarantine set must equal the full poison set; with no natural
+// blocking, every re-insertion is injector-forced.
+func testChaosFlat(t *testing.T, backend cq.Backend) {
+	const n, stride = 2000, 131
+	poison := make(map[int64]bool)
+	for i := int64(0); i < n; i += stride {
+		poison[i] = true
+	}
+	for _, seed := range chaosSeeds {
+		for _, batch := range chaosBatches {
+			w := &flatWorkload{n: n, hits: make([]atomic.Int32, n)}
+			st, in := runChaos(t, w, opts(backend, 4, batch, seed), chaosPlan(seed, poison))
+			if st.Failed != int64(len(poison)) {
+				t.Fatalf("seed %d batch %d: quarantined %d, want all %d poisons", seed, batch, st.Failed, len(poison))
+			}
+			if st.Executed != int64(n-len(poison)) {
+				t.Fatalf("seed %d batch %d: executed %d, want %d", seed, batch, st.Executed, n-len(poison))
+			}
+			if st.Reinserted != in.ForcedBlocks() {
+				t.Fatalf("seed %d batch %d: reinserted %d but injector forced %d blocks",
+					seed, batch, st.Reinserted, in.ForcedBlocks())
+			}
+			for i := range w.hits {
+				want := int32(1)
+				if poison[int64(i)] {
+					want = 0
+				}
+				if got := w.hits[i].Load(); got != want {
+					t.Fatalf("seed %d batch %d: task %d executed %d times, want %d", seed, batch, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// columnWorkload is the chaos spawn workload: width independent columns,
+// cell (level, col) has id level*width+col and spawns the cell above it.
+// Unique ids make quarantine sets exact, and poisoning a cell kills its
+// whole remaining column — the expected reachable set is computable.
+type columnWorkload struct {
+	width, levels int
+	hits          []atomic.Int32
+}
+
+func (w *columnWorkload) Frontier(emit func(value, priority int64)) {
+	for c := 0; c < w.width; c++ {
+		emit(int64(c), 0)
+	}
+}
+
+func (w *columnWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.Status {
+	w.hits[value].Add(1)
+	if int(value)+w.width < w.width*w.levels {
+		ctx.Spawn(value+int64(w.width), priority+1)
+	}
+	return engine.Executed
+}
+
+// testChaosColumns: poison one cell in some columns; the cells below it
+// must execute, the poisoned cell must be quarantined, and the cells above
+// it must never be born (neither executed nor quarantined).
+func testChaosColumns(t *testing.T, backend cq.Backend) {
+	const width, levels = 40, 30
+	poisonLevel := make(map[int]int) // col -> poisoned level, one per column
+	poison := make(map[int64]bool)
+	for c := 0; c < width; c += 5 {
+		lvl := 1 + (c*7)%(levels-1)
+		poisonLevel[c] = lvl
+		poison[int64(lvl*width+c)] = true
+	}
+	for _, seed := range chaosSeeds {
+		for _, batch := range chaosBatches {
+			w := &columnWorkload{width: width, levels: levels, hits: make([]atomic.Int32, width*levels)}
+			st, _ := runChaos(t, w, opts(backend, 4, batch, seed), chaosPlan(seed, poison))
+			if st.Failed != int64(len(poison)) {
+				t.Fatalf("seed %d batch %d: quarantined %d, want all %d poisons (one per column, always reachable)",
+					seed, batch, st.Failed, len(poison))
+			}
+			for id := range w.hits {
+				lvl, col := id/width, id%width
+				want := int32(1)
+				if pl, ok := poisonLevel[col]; ok && lvl >= pl {
+					want = 0 // the poisoned cell and everything above it
+				}
+				if got := w.hits[id].Load(); got != want {
+					t.Fatalf("seed %d batch %d: cell (level %d, col %d) executed %d times, want %d",
+						seed, batch, lvl, col, got, want)
+				}
+			}
+		}
+	}
+}
+
+// testChaosChain: the worst-case re-insertion workload under stalls and
+// forced blocks — no poison (a poisoned chain link would justly wedge every
+// later task); the chain's own executed-twice panic doubles as the
+// exactly-once assertion.
+func testChaosChain(t *testing.T, backend cq.Backend) {
+	const n = 200
+	for _, seed := range chaosSeeds {
+		for _, batch := range chaosBatches {
+			w := &chainWorkload{n: n, done: make([]atomic.Bool, n)}
+			st, in := runChaos(t, w, opts(backend, 4, batch, seed), chaosPlan(seed, nil))
+			if st.Executed != n {
+				t.Fatalf("seed %d batch %d: executed %d of %d", seed, batch, st.Executed, n)
+			}
+			if st.Reinserted < in.ForcedBlocks() {
+				t.Fatalf("seed %d batch %d: reinserted %d < %d injector-forced blocks",
+					seed, batch, st.Reinserted, in.ForcedBlocks())
+			}
+			for i := range w.done {
+				if !w.done[i].Load() {
+					t.Fatalf("seed %d batch %d: task %d never executed", seed, batch, i)
+				}
+			}
+		}
+	}
+}
+
+// testChaosDup: duplicate spawns plus staleness discards under churn; the
+// executed and discarded totals must come out exact despite forced blocks
+// recycling arbitrary copies.
+func testChaosDup(t *testing.T, backend cq.Backend) {
+	const levels, width = 20, 30
+	for _, seed := range chaosSeeds {
+		for _, batch := range chaosBatches {
+			w := &dupWorkload{levels: levels, width: width, seen: make([]atomic.Bool, levels*width)}
+			st, _ := runChaos(t, w, opts(backend, 4, batch, seed), chaosPlan(seed, nil))
+			if st.Executed != levels*width {
+				t.Fatalf("seed %d batch %d: executed %d, want %d", seed, batch, st.Executed, levels*width)
+			}
+			if want := int64((levels - 1) * width); st.Discarded != want {
+				t.Fatalf("seed %d batch %d: discarded %d, want %d", seed, batch, st.Discarded, want)
+			}
+		}
+	}
+}
+
+// testChaosStreaming: the open system under chaos — three producers with
+// seeded delayed closes feed base tasks [0, n), each spawning child id+n;
+// poisoned base tasks kill their child, poisoned children die alone.
+func testChaosStreaming(t *testing.T, backend cq.Backend) {
+	const n, producers = 1500, 3
+	basePoison := make(map[int64]bool)
+	for i := int64(0); i < n; i += 173 {
+		basePoison[i] = true
+	}
+	childPoison := make(map[int64]bool)
+	for i := int64(250); i < n; i += 250 {
+		if !basePoison[i] {
+			childPoison[n+i] = true
+		}
+	}
+	poison := make(map[int64]bool, len(basePoison)+len(childPoison))
+	for v := range basePoison {
+		poison[v] = true
+	}
+	for v := range childPoison {
+		poison[v] = true
+	}
+	for _, seed := range chaosSeeds {
+		for _, batch := range chaosBatches {
+			w := &streamWorkload{n: n, spawn: true, hits: make([]atomic.Int32, 2*n)}
+			o := opts(backend, 4, batch, seed)
+			o.Producers = producers
+			feed := func(e *engine.Execution) {
+				done := make(chan struct{}, producers)
+				delayRng := rng.New(seed ^ 0xc4a05)
+				for p := 0; p < producers; p++ {
+					delay := time.Duration(delayRng.Uint64()%2000) * time.Microsecond
+					go func(p int, prod *engine.Producer, delay time.Duration) {
+						defer func() { done <- struct{}{} }()
+						lo, hi := p*n/producers, (p+1)*n/producers
+						for i := lo; i < hi; i++ {
+							prod.Push(int64(i), int64(i))
+						}
+						// Delayed close: the producer goes silent with the close
+						// outstanding while workers drain into idle backoff.
+						time.Sleep(delay)
+						prod.Close()
+					}(p, e.NewProducer(), delay)
+				}
+				for i := 0; i < producers; i++ {
+					<-done
+				}
+			}
+			st, _ := runChaosOpen(t, w, o, chaosPlan(seed, poison), feed)
+			if st.Failed != int64(len(poison)) {
+				t.Fatalf("seed %d batch %d: quarantined %d, want %d", seed, batch, st.Failed, len(poison))
+			}
+			wantExec := int64(2*n - 2*len(basePoison) - len(childPoison))
+			if st.Executed != wantExec {
+				t.Fatalf("seed %d batch %d: executed %d, want %d", seed, batch, st.Executed, wantExec)
+			}
+			for id := range w.hits {
+				want := int32(1)
+				v := int64(id)
+				if poison[v] || (v >= n && basePoison[v-n]) {
+					want = 0 // poisoned, or the never-spawned child of a poisoned base
+				}
+				if got := w.hits[id].Load(); got != want {
+					t.Fatalf("seed %d batch %d: task %d executed %d times, want %d", seed, batch, id, got, want)
+				}
+			}
+		}
+	}
+}

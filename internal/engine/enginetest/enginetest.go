@@ -21,7 +21,19 @@
 //   - the producer-close-versus-idle-worker race (producers stay silent long
 //     enough for every worker to fall into sleep backoff, then push a late
 //     burst — or nothing at all — and close; the execution must pick up the
-//     late arrivals and terminate).
+//     late arrivals and terminate);
+//   - the failure-semantics clauses (robust.go): Stop and Deadline drain to
+//     a partial Interrupted result within a bounded time, panicking tasks
+//     are quarantined without crashing or wedging the run, the
+//     MaxBlockedRetries cap ends blocked-livelock, the stall watchdog
+//     aborts (or reports, via OnStall) a globally stuck execution, and a
+//     Producer's Close-flush races Stop without stranding counted pairs.
+//
+// ChaosConformance (chaos.go) composes all of the above: the workload
+// families re-run under seeded internal/fault plans — injected stalls,
+// forced Blocked returns, poison-task panics, delayed producer closes —
+// and the suite asserts exactly-once accounting against the injector's
+// ground truth on every backend.
 //
 // Real-workload conformance (static-DAG, SSSP, branch-and-bound through
 // their public adapters) lives in the engine's external test, which sweeps
@@ -49,6 +61,15 @@ func Run(t *testing.T, backend cq.Backend) {
 	t.Run("DuplicateDiscard", func(t *testing.T) { testDuplicateDiscard(t, backend) })
 	t.Run("StreamingProducers", func(t *testing.T) { testStreamingProducers(t, backend) })
 	t.Run("ProducerCloseIdleRace", func(t *testing.T) { testProducerCloseIdleRace(t, backend) })
+	t.Run("StopDrains", func(t *testing.T) { testStopDrains(t, backend) })
+	t.Run("StopAfterCompletion", func(t *testing.T) { testStopAfterCompletion(t, backend) })
+	t.Run("DeadlineInterrupts", func(t *testing.T) { testDeadlineInterrupts(t, backend) })
+	t.Run("PanicQuarantine", func(t *testing.T) { testPanicQuarantine(t, backend) })
+	t.Run("RetryCap", func(t *testing.T) { testRetryCap(t, backend) })
+	t.Run("WatchdogAborts", func(t *testing.T) { testWatchdogAborts(t, backend) })
+	t.Run("WatchdogCallback", func(t *testing.T) { testWatchdogCallback(t, backend) })
+	t.Run("ProducerAbsorbAfterStop", func(t *testing.T) { testProducerAbsorbAfterStop(t, backend) })
+	t.Run("ProducerCloseStopRace", func(t *testing.T) { testProducerCloseStopRace(t, backend) })
 }
 
 func opts(backend cq.Backend, threads, batch int, seed uint64) engine.Options {
@@ -58,12 +79,27 @@ func opts(backend cq.Backend, threads, batch int, seed uint64) engine.Options {
 	}
 }
 
-// checkStats verifies the engine's accounting identity: every pop is
-// counted exactly once as Executed, Discarded or Reinserted.
-func checkStats(t *testing.T, st engine.Stats) {
+// checkStats verifies the engine's accounting identity — every pop is
+// counted exactly once as Executed, Discarded, Reinserted or Failed — and
+// that a fault-free run reports a clean Result: no quarantined tasks (a
+// workload panic silently swallowed into Failures would otherwise pass), no
+// interruption, no stall report.
+func checkStats(t *testing.T, st engine.Result) {
 	t.Helper()
-	if st.Popped != st.Executed+st.Discarded+st.Reinserted {
-		t.Fatalf("stats do not sum: %+v", st)
+	if st.Popped != st.Executed+st.Discarded+st.Reinserted+st.Failed {
+		t.Fatalf("stats do not sum: %+v", st.Stats)
+	}
+	if int64(len(st.Failures)) != st.Failed {
+		t.Fatalf("Failed = %d but len(Failures) = %d", st.Failed, len(st.Failures))
+	}
+	if len(st.Failures) != 0 {
+		t.Fatalf("unexpected quarantined tasks: %+v", st.Failures)
+	}
+	if st.Interrupted {
+		t.Fatalf("run unexpectedly marked Interrupted")
+	}
+	if st.Stall != nil {
+		t.Fatalf("unexpected stall report: %+v", st.Stall)
 	}
 }
 
@@ -293,10 +329,7 @@ func testStreamingProducers(t *testing.T, backend cq.Backend) {
 		for i := 0; i < producers; i++ {
 			<-done
 		}
-		checkStats(t, engine.Stats{
-			Popped: st.Popped, Executed: st.Executed,
-			Discarded: st.Discarded, Reinserted: st.Reinserted,
-		})
+		checkStats(t, st)
 		if st.Executed != 2*n {
 			t.Fatalf("batch %d: executed %d, want %d", batch, st.Executed, 2*n)
 		}
@@ -335,7 +368,7 @@ func testProducerCloseIdleRace(t *testing.T, backend cq.Backend) {
 				}
 				p.Close()
 			}(burst)
-			terminated := make(chan engine.Stats)
+			terminated := make(chan engine.Result)
 			go func() { terminated <- e.Wait() }()
 			select {
 			case st := <-terminated:

@@ -1,0 +1,437 @@
+package enginetest
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
+)
+
+// This file is the robustness half of the suite: cancellation (Stop and
+// Options.Deadline), panic containment and quarantine, the blocked-retry
+// cap, the stall watchdog, and the producer-versus-stop races. The seeded
+// chaos sweeps that compose all of these live in chaos.go.
+
+// drainBound is the test-enforced ceiling on how long a Stop or Deadline
+// drain may take before Wait returns. The engine's guarantee is "each
+// worker finishes at most its already-popped batch"; the bound is generous
+// for CI noise but still catches a drain that waits for the whole queue.
+const drainBound = 5 * time.Second
+
+// checkIdentity verifies the accounting identity on a Result that is
+// allowed to carry failures or an interruption (checkStats is for clean
+// runs only).
+func checkIdentity(t *testing.T, st engine.Result) {
+	t.Helper()
+	if st.Popped != st.Executed+st.Discarded+st.Reinserted+st.Failed {
+		t.Fatalf("stats do not sum: %+v", st.Stats)
+	}
+	if int64(len(st.Failures)) != st.Failed {
+		t.Fatalf("Failed = %d but len(Failures) = %d", st.Failed, len(st.Failures))
+	}
+}
+
+// waitBounded asserts Wait returns within bound and hands back the Result.
+func waitBounded(t *testing.T, e *engine.Execution, bound time.Duration, what string) engine.Result {
+	t.Helper()
+	done := make(chan engine.Result, 1)
+	go func() { done <- e.Wait() }()
+	select {
+	case st := <-done:
+		return st
+	case <-time.After(bound):
+		t.Fatalf("%s: Wait did not return within %v", what, bound)
+		return engine.Result{}
+	}
+}
+
+// slowWorkload is a flat frontier whose tasks each burn a little wall time,
+// so a mid-run Stop always lands with work outstanding.
+type slowWorkload struct {
+	n     int
+	delay time.Duration
+	hits  []atomic.Int32
+}
+
+func (w *slowWorkload) Frontier(emit func(value, priority int64)) {
+	for i := 0; i < w.n; i++ {
+		emit(int64(i), int64(i))
+	}
+}
+
+func (w *slowWorkload) TryExecute(_ *engine.Ctx, value, _ int64) engine.Status {
+	time.Sleep(w.delay)
+	w.hits[value].Add(1)
+	return engine.Executed
+}
+
+// perpetualWorkload never terminates on its own: every executed task spawns
+// a successor, keeping the live count constant forever. Only a Deadline or
+// Stop can end it.
+type perpetualWorkload struct {
+	width    int
+	executed atomic.Int64
+}
+
+func (w *perpetualWorkload) Frontier(emit func(value, priority int64)) {
+	for i := 0; i < w.width; i++ {
+		emit(int64(i), int64(i))
+	}
+}
+
+func (w *perpetualWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.Status {
+	w.executed.Add(1)
+	ctx.Spawn(value+int64(w.width), priority+1)
+	return engine.Executed
+}
+
+// stuckWorkload is one task that is Blocked forever — the livelock the
+// retry cap bounds and the stall the watchdog must diagnose.
+type stuckWorkload struct{}
+
+func (stuckWorkload) Frontier(emit func(value, priority int64)) { emit(7, 7) }
+func (stuckWorkload) TryExecute(*engine.Ctx, int64, int64) engine.Status {
+	return engine.Blocked
+}
+
+// panickyWorkload panics on every value divisible by stride — real panics
+// from workload code, not injected ones.
+type panickyWorkload struct {
+	n, stride int
+	hits      []atomic.Int32
+}
+
+func (w *panickyWorkload) Frontier(emit func(value, priority int64)) {
+	for i := 0; i < w.n; i++ {
+		emit(int64(i), int64(i))
+	}
+}
+
+func (w *panickyWorkload) TryExecute(_ *engine.Ctx, value, _ int64) engine.Status {
+	if value%int64(w.stride) == 0 {
+		panic("enginetest: poison task")
+	}
+	w.hits[value].Add(1)
+	return engine.Executed
+}
+
+// testStopDrains: Stop mid-run must return a partial Result, marked
+// Interrupted, within the drain bound, with exactly-once accounting for
+// everything that did execute.
+func testStopDrains(t *testing.T, backend cq.Backend) {
+	const n = 20000
+	for _, batch := range batchSizes {
+		w := &slowWorkload{n: n, delay: 50 * time.Microsecond, hits: make([]atomic.Int32, n)}
+		e, err := engine.Start(w, opts(backend, 4, batch, 31))
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+		start := time.Now()
+		e.Stop()
+		st := waitBounded(t, e, drainBound, "Stop")
+		if d := time.Since(start); d > drainBound {
+			t.Fatalf("batch %d: drain took %v", batch, d)
+		}
+		checkIdentity(t, st)
+		if !st.Interrupted {
+			t.Fatalf("batch %d: mid-run Stop not marked Interrupted (executed %d of %d)", batch, st.Executed, n)
+		}
+		if st.Executed == int64(n) {
+			t.Fatalf("batch %d: Stop landed after all %d tasks; shorten the fuse", batch, n)
+		}
+		var hits int64
+		for i := range w.hits {
+			switch got := w.hits[i].Load(); got {
+			case 0:
+			case 1:
+				hits++
+			default:
+				t.Fatalf("batch %d: task %d executed %d times", batch, i, got)
+			}
+		}
+		if hits != st.Executed {
+			t.Fatalf("batch %d: %d tasks ran but stats say %d executed", batch, hits, st.Executed)
+		}
+	}
+}
+
+// testDeadlineInterrupts: a workload that never terminates on its own must
+// be cut off by Options.Deadline.
+func testDeadlineInterrupts(t *testing.T, backend cq.Backend) {
+	for _, batch := range batchSizes {
+		w := &perpetualWorkload{width: 32}
+		o := opts(backend, 4, batch, 37)
+		o.Deadline = 10 * time.Millisecond
+		e, err := engine.Start(w, o)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		st := waitBounded(t, e, drainBound, "Deadline")
+		checkIdentity(t, st)
+		if !st.Interrupted {
+			t.Fatalf("batch %d: deadline expiry not marked Interrupted", batch)
+		}
+		if st.Executed == 0 {
+			t.Fatalf("batch %d: nothing executed before the deadline", batch)
+		}
+		if got := w.executed.Load(); got != st.Executed {
+			t.Fatalf("batch %d: workload saw %d executions, stats say %d", batch, got, st.Executed)
+		}
+	}
+}
+
+// testPanicQuarantine: real TryExecute panics must quarantine the poisoned
+// pairs — never crash the process, never stall termination, never lose a
+// clean task.
+func testPanicQuarantine(t *testing.T, backend cq.Backend) {
+	const n, stride = 2000, 97
+	want := int64((n + stride - 1) / stride) // values 0, 97, ... below n
+	for _, batch := range batchSizes {
+		w := &panickyWorkload{n: n, stride: stride, hits: make([]atomic.Int32, n)}
+		st, err := engine.Run(w, opts(backend, 4, batch, 41))
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		checkIdentity(t, st)
+		if st.Interrupted {
+			t.Fatalf("batch %d: panic containment marked the run Interrupted", batch)
+		}
+		if st.Failed != want {
+			t.Fatalf("batch %d: quarantined %d tasks, want %d", batch, st.Failed, want)
+		}
+		if st.Executed != int64(n)-want {
+			t.Fatalf("batch %d: executed %d, want %d", batch, st.Executed, int64(n)-want)
+		}
+		seen := make(map[int64]bool)
+		for _, f := range st.Failures {
+			if f.Kind != engine.Panicked {
+				t.Fatalf("batch %d: failure kind %v, want Panicked", batch, f.Kind)
+			}
+			if f.Err == nil {
+				t.Fatalf("batch %d: quarantined task %d has nil error", batch, f.Value)
+			}
+			if f.Value%stride != 0 || seen[f.Value] {
+				t.Fatalf("batch %d: unexpected or duplicate quarantined value %d", batch, f.Value)
+			}
+			seen[f.Value] = true
+		}
+		for i := range w.hits {
+			want := int32(1)
+			if i%stride == 0 {
+				want = 0
+			}
+			if got := w.hits[i].Load(); got != want {
+				t.Fatalf("batch %d: task %d executed %d times, want %d", batch, i, got, want)
+			}
+		}
+	}
+}
+
+// testRetryCap: a permanently Blocked task must be quarantined after
+// MaxBlockedRetries re-insertions, turning a livelock into termination.
+func testRetryCap(t *testing.T, backend cq.Backend) {
+	const cap = 32
+	for _, batch := range batchSizes {
+		o := opts(backend, 2, batch, 43)
+		o.MaxBlockedRetries = cap
+		e, err := engine.Start(stuckWorkload{}, o)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		st := waitBounded(t, e, drainBound, "RetryCap")
+		checkIdentity(t, st)
+		if st.Interrupted {
+			t.Fatalf("batch %d: retry-cap quarantine marked Interrupted", batch)
+		}
+		if st.Failed != 1 || len(st.Failures) != 1 {
+			t.Fatalf("batch %d: failures %+v, want exactly the stuck task", batch, st.Failures)
+		}
+		f := st.Failures[0]
+		if f.Kind != engine.RetriesExhausted || !errors.Is(f.Err, engine.ErrRetriesExhausted) {
+			t.Fatalf("batch %d: failure %+v, want RetriesExhausted", batch, f)
+		}
+		if f.Value != 7 || f.Priority != 7 {
+			t.Fatalf("batch %d: quarantined (%d, %d), want (7, 7)", batch, f.Value, f.Priority)
+		}
+		if st.Reinserted != cap {
+			t.Fatalf("batch %d: reinserted %d times, want exactly the %d budget", batch, st.Reinserted, cap)
+		}
+	}
+}
+
+// testWatchdogAborts: with no OnStall handler, a flat progress tally for
+// StallTimeout must abort the run with a diagnostic report attached.
+func testWatchdogAborts(t *testing.T, backend cq.Backend) {
+	const timeout = 25 * time.Millisecond
+	for _, batch := range batchSizes {
+		o := opts(backend, 4, batch, 47)
+		o.StallTimeout = timeout
+		e, err := engine.Start(stuckWorkload{}, o)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		st := waitBounded(t, e, drainBound, "Watchdog")
+		checkIdentity(t, st)
+		if !st.Interrupted {
+			t.Fatalf("batch %d: watchdog abort not marked Interrupted", batch)
+		}
+		rep := st.Stall
+		if rep == nil {
+			t.Fatalf("batch %d: no stall report on an aborted run", batch)
+		}
+		if rep.NoProgressFor < timeout {
+			t.Fatalf("batch %d: report after only %v flat, timeout %v", batch, rep.NoProgressFor, timeout)
+		}
+		if rep.Live != 1 {
+			t.Fatalf("batch %d: report Live = %d, want the 1 stuck task", batch, rep.Live)
+		}
+		if len(rep.Workers) != 4 {
+			t.Fatalf("batch %d: report has %d worker snapshots, want 4", batch, len(rep.Workers))
+		}
+	}
+}
+
+// testWatchdogCallback: with OnStall set the watchdog reports instead of
+// aborting, and the callback owns the stop policy.
+func testWatchdogCallback(t *testing.T, backend cq.Backend) {
+	o := opts(backend, 2, 0, 53)
+	o.StallTimeout = 25 * time.Millisecond
+	var fired atomic.Int32
+	stallc := make(chan struct{}, 4)
+	o.OnStall = func(rep *engine.StallReport) {
+		fired.Add(1)
+		select {
+		case stallc <- struct{}{}:
+		default:
+		}
+	}
+	e, err := engine.Start(stuckWorkload{}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stallc:
+	case <-time.After(drainBound):
+		t.Fatal("watchdog never delivered a stall report")
+	}
+	e.Stop()
+	st := waitBounded(t, e, drainBound, "WatchdogCallback")
+	checkIdentity(t, st)
+	if !st.Interrupted {
+		t.Fatal("Stop after stall report not marked Interrupted")
+	}
+	if st.Stall == nil {
+		t.Fatal("Result.Stall nil although OnStall fired")
+	}
+	if fired.Load() == 0 {
+		t.Fatal("OnStall never fired")
+	}
+}
+
+// testProducerAbsorbAfterStop: pushes racing (or following) a Stop are
+// absorbed — no panic, no stranded in-flight counts, and the run still
+// terminates once the producer closes.
+func testProducerAbsorbAfterStop(t *testing.T, backend cq.Backend) {
+	for _, batch := range batchSizes {
+		w := &streamWorkload{n: 100, hits: make([]atomic.Int32, 100)}
+		o := opts(backend, 2, batch, 59)
+		o.Producers = 1
+		e, err := engine.Start(w, o)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		p := e.NewProducer()
+		e.Stop()
+		for i := 0; i < 100; i++ {
+			p.Push(int64(i), int64(i)) // must be absorbed, not panic
+		}
+		p.Close()
+		st := waitBounded(t, e, drainBound, "AbsorbAfterStop")
+		checkIdentity(t, st)
+		if st.Executed != 0 {
+			t.Fatalf("batch %d: %d absorbed pushes executed", batch, st.Executed)
+		}
+		for i := range w.hits {
+			if w.hits[i].Load() != 0 {
+				t.Fatalf("batch %d: absorbed task %d ran", batch, i)
+			}
+		}
+	}
+}
+
+// testProducerCloseStopRace is the close-versus-stop regression test: a
+// batching producer with pairs parked in its buffer closes while Stop lands
+// at an arbitrary point. Whatever the interleaving, no task may be lost
+// into a counted-but-invisible state (Wait must return) and no task may run
+// twice.
+func testProducerCloseStopRace(t *testing.T, backend cq.Backend) {
+	const n = 400
+	for round := 0; round < 8; round++ {
+		w := &streamWorkload{n: n, hits: make([]atomic.Int32, n)}
+		o := opts(backend, 2, 8, uint64(61+round)) // batch 8: pushes park in the buffer
+		o.Producers = 1
+		e, err := engine.Start(w, o)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		p := e.NewProducer()
+		closed := make(chan struct{})
+		go func() {
+			defer close(closed)
+			for i := 0; i < n; i++ {
+				p.Push(int64(i), int64(i))
+			}
+			p.Close()
+		}()
+		// Stop at a different point in the stream each round, including
+		// before the first push (round 0) and likely after the close.
+		time.Sleep(time.Duration(round) * 100 * time.Microsecond)
+		e.Stop()
+		<-closed
+		st := waitBounded(t, e, drainBound, "CloseStopRace")
+		checkIdentity(t, st)
+		var hits int64
+		for i := range w.hits {
+			switch got := w.hits[i].Load(); got {
+			case 0:
+			case 1:
+				hits++
+			default:
+				t.Fatalf("round %d: task %d executed %d times", round, i, got)
+			}
+		}
+		if hits != st.Executed {
+			t.Fatalf("round %d: %d tasks ran but stats say %d executed", round, hits, st.Executed)
+		}
+	}
+}
+
+// testStopAfterCompletion: a Stop that lands after the run has already
+// quiesced must not mark the Result Interrupted.
+func testStopAfterCompletion(t *testing.T, backend cq.Backend) {
+	const n = 200
+	w := &flatWorkload{n: n, hits: make([]atomic.Int32, n)}
+	o := opts(backend, 2, 0, 67)
+	o.Producers = 1
+	e, err := engine.Start(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.NewProducer()
+	p.Close()
+	// First Wait rides the run to natural quiescence; the Stop afterwards
+	// must change nothing about the (idempotent) Result.
+	st := waitBounded(t, e, drainBound, "StopAfterCompletion")
+	e.Stop()
+	st2 := e.Wait()
+	if st.Interrupted || st2.Interrupted {
+		t.Fatalf("Stop after completion marked Interrupted: %+v", st2.Stats)
+	}
+	if st2.Executed != n {
+		t.Fatalf("executed %d of %d", st2.Executed, n)
+	}
+}

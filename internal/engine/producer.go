@@ -2,6 +2,8 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/inflight"
@@ -9,9 +11,9 @@ import (
 )
 
 // Execution is a running engine instance as returned by Start: the worker
-// pool is live, and the caller holds the handle to create producers and to
-// wait for termination. The closed-world Run is Start followed by Wait with
-// zero producers.
+// pool is live, and the caller holds the handle to create producers, to
+// Stop the run early and to wait for termination. The closed-world Run is
+// Start followed by Wait with zero producers.
 type Execution struct {
 	mq       cq.BatchQueue
 	counters *inflight.Counter
@@ -25,7 +27,29 @@ type Execution struct {
 	seedRng *rng.Xoshiro
 	created int
 
-	total    Stats
+	// workers are the per-worker shared stat blocks (see watchdog.go):
+	// written by their worker, read by the watchdog and Wait.
+	workers []workerState
+
+	// Failure machinery (interrupt.go).
+	maxRetries int
+	retries    retryTracker
+	injector   Injector
+	failMu     sync.Mutex
+	failures   []Failure
+
+	// stopped is the cooperative interruption flag (Stop, deadline,
+	// watchdog abort); interrupted records that a worker actually exited
+	// before quiescence because of it.
+	stopped     atomic.Bool
+	interrupted atomic.Bool
+	deadline    *time.Timer
+	// stall is the latest watchdog report; donec closes when every worker
+	// has exited (allocated only when a watchdog or deadline is armed).
+	stall atomic.Pointer[StallReport]
+	donec chan struct{}
+
+	result   Result
 	wg       sync.WaitGroup
 	waitOnce sync.Once
 }
@@ -48,6 +72,7 @@ func (e *Execution) NewProducer() *Producer {
 	slot := e.threads + e.created
 	e.created++
 	p := &Producer{
+		exec:     e,
 		counters: e.counters,
 		slot:     slot,
 		pushBuf:  pushBuf{r: e.seedRng.Split(), mq: cq.HandleFor(e.mq), batch: e.batch},
@@ -59,14 +84,34 @@ func (e *Execution) NewProducer() *Producer {
 }
 
 // Wait blocks until the execution terminates — every declared producer
-// created and closed, and every produced task completed — and returns the
-// summed worker stats. It is idempotent: concurrent and repeated calls all
-// return the same totals.
-func (e *Execution) Wait() Stats {
-	e.waitOnce.Do(e.wg.Wait)
-	// No lock needed: wg.Wait orders every worker's final accumulation
-	// before this read, and total is never written afterwards.
-	return e.total
+// created and closed, and every produced task completed, or a Stop/Deadline
+// drain finished — and returns the Result. It is idempotent: concurrent and
+// repeated calls all return the same Result.
+func (e *Execution) Wait() Result {
+	e.waitOnce.Do(func() {
+		e.wg.Wait()
+		if e.deadline != nil {
+			e.deadline.Stop()
+		}
+		// wg.Wait orders every worker's final counter writes before these
+		// reads, and nothing below is written afterwards.
+		var st Stats
+		for w := range e.workers {
+			ws := &e.workers[w]
+			st.Popped += ws.popped.Load()
+			st.Executed += ws.executed.Load()
+			st.Discarded += ws.discarded.Load()
+			st.Reinserted += ws.reinserted.Load()
+			st.Failed += ws.failed.Load()
+		}
+		e.result = Result{
+			Stats:       st,
+			Interrupted: e.interrupted.Load(),
+			Failures:    e.failures,
+			Stall:       e.stall.Load(),
+		}
+	})
+	return e.result
 }
 
 // Producer feeds the frontier of a running execution from outside the
@@ -81,7 +126,17 @@ func (e *Execution) Wait() Stats {
 // coordination-round-per-batch amortization the workers use — and Close
 // flushes whatever remains. Push and PushBatch panic once the producer is
 // closed; Close itself is idempotent.
+//
+// Once the execution has been stopped (Execution.Stop, the Deadline, or a
+// watchdog abort) pushes are absorbed: Push and PushBatch become no-ops —
+// the pairs are neither counted nor enqueued — so a producer goroutine
+// racing the interruption never panics and never strands uncompletable
+// in-flight counts. Pairs already buffered before the stop are still
+// flushed to the queue by Close (flush-then-close is atomic with respect to
+// Stop: either a pair was absorbed and left no trace, or it was counted and
+// reaches the queue).
 type Producer struct {
+	exec     *Execution
 	counters *inflight.Counter
 	slot     int
 	closed   bool
@@ -89,10 +144,14 @@ type Producer struct {
 }
 
 // Push streams one (value, priority) pair into the execution. It panics if
-// the producer has been closed.
+// the producer has been closed, and is silently absorbed once the
+// execution has been stopped.
 func (p *Producer) Push(value, priority int64) {
 	if p.closed {
 		panic("engine: Push on closed Producer")
+	}
+	if p.exec.stopped.Load() {
+		return
 	}
 	p.counters.Produce(p.slot)
 	p.push(value, priority)
@@ -100,15 +159,16 @@ func (p *Producer) Push(value, priority int64) {
 
 // PushBatch streams every pair in one queue operation. Any buffered Push
 // pairs are flushed first so arrival order is preserved per producer. It
-// panics if the producer has been closed.
+// panics if the producer has been closed, and is silently absorbed once
+// the execution has been stopped (buffered pairs are still flushed).
 func (p *Producer) PushBatch(pairs []cq.Pair) {
 	if p.closed {
 		panic("engine: PushBatch on closed Producer")
 	}
-	if len(pairs) == 0 {
+	p.flush()
+	if len(pairs) == 0 || p.exec.stopped.Load() {
 		return
 	}
-	p.flush()
 	p.counters.ProduceN(p.slot, int64(len(pairs)))
 	p.mq.PushBatch(p.r, pairs)
 }

@@ -187,7 +187,7 @@ func TestRunRejectsProducers(t *testing.T) {
 // even though it never pushes: open count, not task count, gates the exit.
 func TestUnusedProducerGatesTermination(t *testing.T) {
 	e, _ := startRecording(t, 1, 1, 0)
-	done := make(chan engine.Stats)
+	done := make(chan engine.Result)
 	go func() { done <- e.Wait() }()
 	select {
 	case <-done:

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The stall watchdog is the engine's answer to a wedged worker or a
+// starved backend: a monitor goroutine samples the global progress tally
+// (tasks produced + tasks completed, the same monotone counters the
+// termination protocol scans), and when it does not move for
+// Options.StallTimeout the watchdog captures a diagnostic snapshot —
+// per-worker state and tallies, queue-empty observations, an inflight scan
+// — and either hands it to Options.OnStall or aborts the run with the
+// report attached to the Result. Re-insertion churn (blocked tasks cycling
+// through the queue) deliberately does not count as progress: a run where
+// every pop comes back Blocked is exactly the livelock the watchdog exists
+// to diagnose.
+
+// WorkerPhase is a worker's last published state, sampled by the watchdog.
+type WorkerPhase int32
+
+const (
+	// PhaseRunning: the worker popped a task since it last went idle.
+	PhaseRunning WorkerPhase = iota
+	// PhaseIdle: the worker is in empty-queue backoff.
+	PhaseIdle
+	// PhaseExited: the worker's loop has returned.
+	PhaseExited
+)
+
+// String names the phase for reports.
+func (p WorkerPhase) String() string {
+	switch p {
+	case PhaseRunning:
+		return "running"
+	case PhaseIdle:
+		return "idle"
+	case PhaseExited:
+		return "exited"
+	default:
+		return "unknown"
+	}
+}
+
+// WorkerSnapshot is one worker's state in a stall report.
+type WorkerSnapshot struct {
+	Worker int
+	Phase  WorkerPhase
+	// Popped..Failed mirror Stats for this worker alone.
+	Popped, Executed, Discarded, Reinserted, Failed int64
+	// EmptyPops counts pops that found the queue apparently empty — a
+	// worker with a huge EmptyPops share while tasks are live points at a
+	// starved or wedged backend rather than a livelocked workload.
+	EmptyPops int64
+}
+
+// StallReport is the diagnostic snapshot the watchdog captures when global
+// progress stops.
+type StallReport struct {
+	// NoProgressFor is how long the progress tally had been flat when the
+	// snapshot was taken (at least Options.StallTimeout).
+	NoProgressFor time.Duration
+	// Produced and Completed are the global monotone tallies at capture;
+	// Live is their difference — tasks produced but never completed, the
+	// work the run is stuck on.
+	Produced, Completed, Live int64
+	// OpenProducers counts declared external producers not yet closed; a
+	// stall with open producers and zero live tasks is a producer that
+	// went silent without closing.
+	OpenProducers int64
+	// QueueLen is a racy scan of the queue's stored-pair count. Live pairs
+	// missing from the queue are parked in worker buffers or mid-flight.
+	QueueLen int
+	// Workers snapshots every worker's phase and tallies.
+	Workers []WorkerSnapshot
+}
+
+// workerState is one worker's shared stat block: written only by its
+// worker (uncontended atomic adds on a private line), read by the watchdog
+// and by Wait's final accumulation. Padded so neighbouring workers never
+// false-share.
+type workerState struct {
+	_          [64]byte
+	popped     atomic.Int64
+	executed   atomic.Int64
+	discarded  atomic.Int64
+	reinserted atomic.Int64
+	failed     atomic.Int64
+	emptyPops  atomic.Int64
+	phase      atomic.Int32
+	_          [68]byte // pad the 52-byte payload to two 64-byte lines
+}
+
+// snapshot reads one worker's published state. Racy by design — the
+// watchdog wants a cheap consistent-enough view, not a barrier.
+func (ws *workerState) snapshot(w int) WorkerSnapshot {
+	return WorkerSnapshot{
+		Worker:     w,
+		Phase:      WorkerPhase(ws.phase.Load()),
+		Popped:     ws.popped.Load(),
+		Executed:   ws.executed.Load(),
+		Discarded:  ws.discarded.Load(),
+		Reinserted: ws.reinserted.Load(),
+		Failed:     ws.failed.Load(),
+		EmptyPops:  ws.emptyPops.Load(),
+	}
+}
+
+// stallReport captures the full diagnostic snapshot.
+func (e *Execution) stallReport(flatFor time.Duration) *StallReport {
+	rep := &StallReport{
+		NoProgressFor: flatFor,
+		Live:          e.counters.Live(),
+		OpenProducers: e.counters.Open(),
+		QueueLen:      e.mq.Len(),
+	}
+	rep.Produced, rep.Completed = e.counters.Tallies()
+	rep.Workers = make([]WorkerSnapshot, len(e.workers))
+	for w := range e.workers {
+		rep.Workers[w] = e.workers[w].snapshot(w)
+	}
+	return rep
+}
+
+// watchdog is the monitor loop, launched by Start when Options.StallTimeout
+// is set. It samples progress at a fraction of the timeout, and on a flat
+// stretch of at least StallTimeout captures a report: with OnStall set the
+// report is delivered (repeatedly, once per further flat stretch) and the
+// run continues — the callback owns the policy and may call Stop; without
+// OnStall the watchdog aborts the run itself. The loop exits when the
+// workers do (donec) or after an abort.
+func (e *Execution) watchdog(timeout time.Duration, onStall func(*StallReport)) {
+	interval := timeout / 8
+	if interval < 100*time.Microsecond {
+		interval = 100 * time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	last := e.counters.Progress()
+	flatSince := time.Now()
+	for {
+		select {
+		case <-e.donec:
+			return
+		case <-ticker.C:
+		}
+		cur := e.counters.Progress()
+		if cur != last {
+			last, flatSince = cur, time.Now()
+			continue
+		}
+		if flat := time.Since(flatSince); flat >= timeout {
+			rep := e.stallReport(flat)
+			e.stall.Store(rep)
+			if onStall == nil {
+				e.Stop()
+				return
+			}
+			onStall(rep)
+			// Re-arm: another full flat timeout before the next report.
+			flatSince = time.Now()
+		}
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"relaxsched/internal/rng"
 )
 
 // node is the test payload; val doubles as the reuse-race detector field in
@@ -221,5 +224,92 @@ func TestConcurrentAdvanceRetireReuse(t *testing.T) {
 	wg.Wait()
 	if d.Epoch() == 0 {
 		t.Fatal("global epoch never advanced during the stress run")
+	}
+}
+
+// Injected worker death under seeded chaos: workers pin, stall inside
+// critical sections, retire and reuse concurrently, and a doomed subset
+// dies at a seeded point — deliberately while pinned, the worst case. The
+// domain must survive the carnage: Close releases every dead pin so the
+// epoch keeps advancing for whoever remains, and the registry reuses the
+// abandoned slots instead of growing. This is the memory-reclamation half
+// of the engine's fault model — a worker killed mid-operation (see
+// internal/fault) must never dam reclamation for the survivors.
+func TestInjectedDeathMidChaos(t *testing.T) {
+	const (
+		workers = 8
+		cells   = 16
+		iters   = 4000
+	)
+	d := NewDomain[node]()
+	var shared [cells]atomic.Pointer[node]
+	for i := range shared {
+		shared[i].Store(&node{val: int64(i)})
+	}
+	var sum atomic.Int64 // consume reads so they cannot be elided
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := d.Register()
+			r := rng.New(uint64(w)*0x9e3779b97f4a7c15 + 99)
+			deathAt := -1
+			if w%2 == 0 {
+				deathAt = iters/4 + int(r.Uint64()%uint64(iters/2))
+			}
+			for i := 0; i < iters; i++ {
+				if i == deathAt {
+					// Injected death mid-critical-section: pin, stall as if
+					// preempted, then die without ever calling Exit.
+					s.Enter()
+					time.Sleep(time.Duration(r.Uint64()%100) * time.Microsecond)
+					s.Close()
+					return
+				}
+				cell := &shared[(w*31+i)%cells]
+				if (w+i)%3 == 0 {
+					n := s.Alloc()
+					n.val = int64(w*iters + i)
+					if old := cell.Swap(n); old != nil {
+						s.Retire(old)
+					}
+				} else {
+					s.Enter()
+					if r.Uint64()%64 == 0 {
+						// Stall inside the critical section: the pin must
+						// hold the grace period open across the sleep.
+						time.Sleep(time.Duration(r.Uint64()%20) * time.Microsecond)
+					}
+					if p := cell.Load(); p != nil {
+						sum.Add(p.val)
+					}
+					s.Exit()
+				}
+			}
+			s.Close()
+		}(w)
+	}
+	wg.Wait()
+
+	// Every slot is closed now; the registry must not have grown past one
+	// slot per worker (late registrants may have reused an early death's
+	// slot, so fewer is fine).
+	if n := d.Slots(); n > workers {
+		t.Fatalf("registry grew to %d slots for %d workers", n, workers)
+	}
+	// Liveness post-mortem: a fresh slot (recycled from a dead worker) must
+	// be able to advance the epoch — no dead slot may still dam the domain.
+	post := d.Register()
+	defer post.Close()
+	if n := d.Slots(); n > workers {
+		t.Fatalf("Register grew the registry to %d slots despite %d closed slots", n, workers)
+	}
+	g0 := d.Epoch()
+	for i := 0; i < 4*advanceEvery; i++ {
+		post.Retire(&node{val: -1})
+	}
+	if g := d.Epoch(); g <= g0 {
+		t.Fatalf("epoch stuck at %d after all deaths; a closed slot still pins it", g0)
 	}
 }

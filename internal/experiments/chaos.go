@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
+	"relaxsched/internal/fault"
+	"relaxsched/internal/stats"
+)
+
+// ChaosRow is one point of the fault-injection experiment: a flat task set
+// run through the engine on one backend at one thread count under one
+// seeded fault plan (internal/fault). The fault columns are identity —
+// StallEvery/BlockEvery/Poison name the plan, so trajectories gate the
+// faulted rows against the same faulted rows — and every run is verified
+// before its row is recorded: each task executed exactly once or
+// quarantined exactly once, re-insertions equal to the injector's forced
+// blocks, quarantines equal to its fired poisons.
+//
+// OpsPerSec counts executed (surviving) tasks per second of wall time, so
+// the faulted rows report the throughput cost of containment — stalled
+// workers, re-inserted blocks, recovered panics — relative to the
+// fault-free baseline row (StallEvery = BlockEvery = Poison = 0).
+type ChaosRow struct {
+	Backend    string
+	Threads    int
+	StallEvery int // every Nth task per worker stalls (0 = no stalls)
+	BlockEvery int // every Nth task per worker is forced Blocked (0 = none)
+	Poison     int // number of poisoned (panicking) values in the plan
+	N          int // tasks seeded
+	Executed   int64
+	Failed     int64   // quarantined tasks (== Poison, verified)
+	Reinserted int64   // forced-block re-insertions (== injector count, verified)
+	OpsPerSec  float64 // executed tasks per second of wall time
+	Millis     float64
+	HostEnv
+}
+
+// ChaosResult holds the backend x threads x fault-plan sweep.
+type ChaosResult struct {
+	Rows []ChaosRow
+}
+
+// chaosFlat is the flat workload under fault injection: n independent
+// tasks, each counting its executions so the driver can assert
+// exactly-once delivery after the run. Forced blocks and poisons come from
+// the injector, never from the workload, so the injector's own counters
+// are the ground truth the engine's accounting is checked against.
+type chaosFlat struct {
+	n    int
+	hits []atomic.Int32
+}
+
+func (w *chaosFlat) Frontier(emit func(value, priority int64)) {
+	for i := 0; i < w.n; i++ {
+		emit(int64(i), int64(i))
+	}
+}
+
+func (w *chaosFlat) TryExecute(_ *engine.Ctx, value, _ int64) engine.Status {
+	w.hits[value].Add(1)
+	return engine.Executed
+}
+
+// chaosPlans is the fault-plan sweep: a fault-free baseline, a
+// stall+block plan (containment overhead without failures), and the full
+// plan with poisoned tasks (quarantine on top). Stall lengths are kept
+// short so the sweep measures machinery, not sleep time.
+func chaosPlans(n int, seed uint64) []fault.Plan {
+	poison := make(map[int64]bool)
+	for i := 0; i < n; i += 101 {
+		poison[int64(i)] = true
+	}
+	return []fault.Plan{
+		{},
+		{Seed: seed, StallEvery: 7, MaxStall: 50 * time.Microsecond, BlockEvery: 5, MaxForcedBlocks: 2},
+		{Seed: seed, StallEvery: 7, MaxStall: 50 * time.Microsecond, BlockEvery: 5, MaxForcedBlocks: 2, Poison: poison},
+	}
+}
+
+// planArmed reports whether the plan injects anything.
+func planArmed(p fault.Plan) bool {
+	return p.StallEvery > 0 || p.BlockEvery > 0 || len(p.Poison) > 0
+}
+
+// Chaos sweeps the engine's fault-containment machinery across every
+// concurrent queue backend (or only c.Backend when one is selected),
+// thread counts and seeded fault plans. It is the measured counterpart of
+// enginetest.ChaosConformance: the conformance suite proves the invariants
+// hold, this experiment records what holding them costs.
+func Chaos(c Config) (ChaosResult, error) {
+	var res ChaosResult
+	n := 100000 / c.scale()
+	if n < 2000 {
+		n = 2000
+	}
+	backends := cq.Backends()
+	if c.Backend != "" {
+		backends = []cq.Backend{c.Backend}
+	}
+	for _, backend := range backends {
+		for _, threads := range c.threadSweep() {
+			for _, plan := range chaosPlans(n, c.Seed) {
+				var ops, ms stats.Sample
+				var exec, failed, reins int64
+				for trial := 0; trial < c.trials(); trial++ {
+					wl := &chaosFlat{n: n, hits: make([]atomic.Int32, n)}
+					opts := engine.Options{
+						Threads:         threads,
+						QueueMultiplier: 2,
+						Backend:         backend,
+						Seed:            c.Seed + uint64(trial*31+threads),
+					}
+					var in *fault.Injector
+					if planArmed(plan) {
+						p := plan
+						p.Seed = plan.Seed + uint64(trial)
+						in = fault.New(p, threads)
+						opts.Injector = in
+					}
+					var st engine.Result
+					var runErr error
+					elapsed := timeIt(func() { st, runErr = engine.Run(wl, opts) })
+					if runErr != nil {
+						return res, fmt.Errorf("chaos: %s/%d threads: %w", backend, threads, runErr)
+					}
+					if err := verifyChaosRun(wl, in, st, plan); err != nil {
+						return res, fmt.Errorf("chaos: %s/%d threads: %w", backend, threads, err)
+					}
+					exec, failed, reins = st.Executed, st.Failed, st.Reinserted
+					ops.Add(float64(st.Executed) / elapsed.Seconds())
+					ms.Add(elapsed.Seconds() * 1e3)
+				}
+				res.Rows = append(res.Rows, ChaosRow{
+					Backend: string(backend), Threads: threads,
+					StallEvery: plan.StallEvery, BlockEvery: plan.BlockEvery,
+					Poison: len(plan.Poison), N: n,
+					Executed: exec, Failed: failed, Reinserted: reins,
+					OpsPerSec: ops.Mean(), Millis: ms.Mean(),
+					HostEnv: Host(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// verifyChaosRun checks one faulted run against the injector's ground
+// truth: the engine's books must balance exactly even under injection.
+func verifyChaosRun(wl *chaosFlat, in *fault.Injector, st engine.Result, plan fault.Plan) error {
+	if st.Interrupted || st.Stall != nil {
+		return fmt.Errorf("run interrupted or stalled under injection: %+v", st.Stats)
+	}
+	var fired, forced int64
+	if in != nil {
+		fired = in.Panics()
+		forced = in.ForcedBlocks()
+		if f := int64(len(in.Fired())); f != fired {
+			return fmt.Errorf("injector fired %d poisons but counted %d panics", f, fired)
+		}
+	}
+	// Flat task set: every poisoned value is popped eventually, so every
+	// poison in the plan must have fired.
+	if fired != int64(len(plan.Poison)) {
+		return fmt.Errorf("%d of %d poisons fired", fired, len(plan.Poison))
+	}
+	if st.Failed != fired {
+		return fmt.Errorf("quarantined %d tasks, injector fired %d poisons", st.Failed, fired)
+	}
+	if st.Reinserted != forced {
+		return fmt.Errorf("reinserted %d, injector forced %d blocks", st.Reinserted, forced)
+	}
+	if st.Executed != int64(wl.n)-fired {
+		return fmt.Errorf("executed %d of %d tasks with %d quarantined", st.Executed, wl.n, fired)
+	}
+	for i := range wl.hits {
+		want := int32(1)
+		if plan.Poison[int64(i)] {
+			want = 0 // poisons panic before the workload runs
+		}
+		if got := wl.hits[i].Load(); got != want {
+			return fmt.Errorf("task %d executed %d times, want %d", i, got, want)
+		}
+	}
+	return nil
+}
+
+// Render writes the fault-injection table.
+func (r ChaosResult) Render(w io.Writer) error {
+	t := stats.NewTable("backend", "threads", "stall-every", "block-every", "poison", "n", "executed", "failed", "reinserted", "ops/sec", "ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Backend, row.Threads, row.StallEvery, row.BlockEvery, row.Poison,
+			row.N, row.Executed, row.Failed, row.Reinserted, row.OpsPerSec, row.Millis)
+	}
+	return t.Render(w)
+}

@@ -450,3 +450,55 @@ func TestAffinitySmoke(t *testing.T) {
 		t.Fatal("render missing placement column")
 	}
 }
+
+func TestChaosSmoke(t *testing.T) {
+	c := SmokeConfig()
+	res, err := Chaos(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(c.threadSweep()) * 3; len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	backends := map[string]bool{}
+	sawBaseline, sawPoison := false, false
+	for _, row := range res.Rows {
+		backends[row.Backend] = true
+		if row.OpsPerSec <= 0 || row.N < 2000 || row.Executed <= 0 {
+			t.Fatalf("implausible row: %+v", row)
+		}
+		if row.Executed+row.Failed != int64(row.N) {
+			t.Fatalf("books do not balance: %+v", row)
+		}
+		if row.Poison == 0 {
+			sawBaseline = sawBaseline || row.StallEvery == 0
+			if row.Failed != 0 {
+				t.Fatalf("quarantines without poison: %+v", row)
+			}
+		} else {
+			sawPoison = true
+			if row.Failed != int64(row.Poison) {
+				t.Fatalf("Failed = %d, want %d poisons: %+v", row.Failed, row.Poison, row)
+			}
+		}
+		if row.StallEvery == 0 && row.BlockEvery == 0 && row.Reinserted != 0 {
+			t.Fatalf("re-insertions on the fault-free plan: %+v", row)
+		}
+		if row.NumCPU < 1 || row.GoMaxProcs < 1 {
+			t.Fatalf("row missing host environment: %+v", row)
+		}
+	}
+	if len(backends) != 3 {
+		t.Fatalf("expected all 3 backends, got %v", backends)
+	}
+	if !sawBaseline || !sawPoison {
+		t.Fatal("plan sweep missing the baseline or the poison plan")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "poison") {
+		t.Fatal("render missing poison column")
+	}
+}

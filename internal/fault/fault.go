@@ -1,0 +1,198 @@
+// Package fault is the deterministic chaos-injection harness for the
+// relaxed-execution engine: a seed-driven implementation of the
+// engine.Injector seam that perturbs a run with the adversary of the
+// practically-wait-free model — stalled threads — plus the two failure
+// modes the engine's robustness machinery must contain, injected panics and
+// forced Blocked returns.
+//
+// Everything an Injector does is a pure function of its Plan (seed
+// included) and the sequence of Inspect calls it observes. The interleaving
+// of those calls is scheduler-dependent, so two runs are not bit-identical;
+// what the seed buys is a reproducible *distribution* of faults and, more
+// importantly, hard invariants the chaos suites assert regardless of
+// interleaving:
+//
+//   - a poisoned value panics on its first execution attempt and never
+//     again (the engine quarantines it), so the quarantine set must equal
+//     exactly the set of poisoned values that were reached;
+//   - forced Blocked returns are capped per value (MaxForcedBlocks), so
+//     injection alone can never exhaust a task's retry budget or livelock
+//     the run — every non-poisoned task still executes exactly once;
+//   - stalls only delay, never change, an outcome.
+//
+// The injector keeps per-worker state in padded slots (Inspect for worker w
+// is always called from worker w's goroutine) and counts every fault it
+// actually injected, so tests can cross-check the engine's accounting
+// against ground truth.
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relaxsched/internal/engine"
+	"relaxsched/internal/rng"
+)
+
+// Plan is a declarative fault schedule. The zero value injects nothing;
+// each field arms one fault class independently.
+type Plan struct {
+	// Seed drives every pseudo-random decision (stall lengths, which Nth
+	// tasks stall or block). Same plan, same seed => same fault
+	// distribution.
+	Seed uint64
+
+	// StallEvery > 0 stalls roughly every StallEvery-th inspected task per
+	// worker for a uniform duration in (0, MaxStall] — the stalled-thread
+	// adversary. MaxStall must be > 0 when StallEvery is set.
+	StallEvery int
+	MaxStall   time.Duration
+
+	// BlockEvery > 0 forces roughly every BlockEvery-th inspected task per
+	// worker to report Blocked without executing, exercising re-insertion.
+	// Each distinct value is forced at most MaxForcedBlocks times in total
+	// (across all workers), so forced blocks are always finite and — kept
+	// below the engine's MaxBlockedRetries — never trip the retry cap on
+	// their own. MaxForcedBlocks must be > 0 when BlockEvery is set.
+	BlockEvery      int
+	MaxForcedBlocks int
+
+	// Poison values panic on their first execution attempt. The engine must
+	// quarantine each exactly once; the injector never fires the same value
+	// twice, so a re-appearing poisoned value would surface as a lost or
+	// duplicated task in the suite's exactly-once accounting.
+	Poison map[int64]bool
+}
+
+// workerSlot is one worker's private injection state, padded so neighbours
+// never false-share. Only worker w's goroutine touches slot w.
+type workerSlot struct {
+	_         [64]byte
+	r         *rng.Xoshiro
+	inspected int64
+	_         [40]byte
+}
+
+// Injector implements engine.Injector for a Plan. Construct with New; use
+// one Injector per execution.
+type Injector struct {
+	plan  Plan
+	slots []workerSlot
+
+	// mu guards the cross-worker maps: forced-block budgets and the set of
+	// poison values already fired. Both are off the hot path — they are
+	// touched only when a fault class is armed and its trigger hits.
+	mu     sync.Mutex
+	blocks map[int64]int
+	fired  map[int64]bool
+
+	stalls  atomic.Int64
+	forced  atomic.Int64
+	panics  atomic.Int64
+	stalled atomic.Int64 // total injected stall time, nanoseconds
+}
+
+// New returns an Injector executing plan across workers worker goroutines
+// (pass the execution's Options.Threads). It panics on an incoherent plan.
+func New(plan Plan, workers int) *Injector {
+	if plan.StallEvery > 0 && plan.MaxStall <= 0 {
+		panic("fault: StallEvery set without MaxStall")
+	}
+	if plan.BlockEvery > 0 && plan.MaxForcedBlocks <= 0 {
+		panic("fault: BlockEvery set without MaxForcedBlocks")
+	}
+	if workers < 1 {
+		panic("fault: need at least one worker")
+	}
+	in := &Injector{
+		plan:   plan,
+		slots:  make([]workerSlot, workers),
+		blocks: make(map[int64]int),
+		fired:  make(map[int64]bool),
+	}
+	for w := range in.slots {
+		in.slots[w].r = rng.New(rng.Mix64(plan.Seed ^ uint64(w)*0x9e3779b97f4a7c15))
+	}
+	return in
+}
+
+// Inspect implements engine.Injector: it decides the fault directives for
+// one popped task. Calls for worker w always come from worker w's
+// goroutine; calls for different workers are concurrent.
+func (in *Injector) Inspect(worker int, value, _ int64) engine.Injection {
+	s := &in.slots[worker]
+	s.inspected++
+	var inj engine.Injection
+
+	if in.plan.Poison[value] && in.firePoison(value) {
+		in.panics.Add(1)
+		inj.Panic = true
+		// A panicking attempt never reaches the workload; stalling first is
+		// still meaningful (a thread dying mid-stall), blocking is not.
+	}
+
+	if in.plan.StallEvery > 0 && s.inspected%int64(in.plan.StallEvery) == 0 {
+		d := time.Duration(s.r.Uint64()%uint64(in.plan.MaxStall)) + 1
+		in.stalls.Add(1)
+		in.stalled.Add(int64(d))
+		inj.Stall = d
+	}
+
+	if !inj.Panic && in.plan.BlockEvery > 0 && s.inspected%int64(in.plan.BlockEvery) == 0 {
+		if in.takeBlockBudget(value) {
+			in.forced.Add(1)
+			inj.ForceBlocked = true
+		}
+	}
+	return inj
+}
+
+// firePoison reports whether this attempt is the value's first — only the
+// first panics, so the engine sees each poison value die exactly once.
+func (in *Injector) firePoison(value int64) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fired[value] {
+		return false
+	}
+	in.fired[value] = true
+	return true
+}
+
+// takeBlockBudget consumes one of the value's MaxForcedBlocks tokens.
+func (in *Injector) takeBlockBudget(value int64) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.blocks[value] >= in.plan.MaxForcedBlocks {
+		return false
+	}
+	in.blocks[value]++
+	return true
+}
+
+// Stalls returns how many stalls were injected.
+func (in *Injector) Stalls() int64 { return in.stalls.Load() }
+
+// StalledFor returns the total injected stall time.
+func (in *Injector) StalledFor() time.Duration { return time.Duration(in.stalled.Load()) }
+
+// ForcedBlocks returns how many Blocked returns were forced.
+func (in *Injector) ForcedBlocks() int64 { return in.forced.Load() }
+
+// Panics returns how many panics were injected.
+func (in *Injector) Panics() int64 { return in.panics.Load() }
+
+// Fired returns the set of poison values that actually panicked — the
+// exact quarantine set a fault-tolerant engine must report. (A poison value
+// the workload never reached, e.g. the descendant of another poisoned
+// task, fires nothing and must not be quarantined.)
+func (in *Injector) Fired() map[int64]bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[int64]bool, len(in.fired))
+	for v := range in.fired {
+		out[v] = true
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"relaxsched/internal/engine"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := New(Plan{Seed: 1}, 4)
+	for w := 0; w < 4; w++ {
+		for i := int64(0); i < 1000; i++ {
+			if inj := in.Inspect(w, i, i); inj != (engine.Injection{}) {
+				t.Fatalf("zero plan injected %+v for worker %d value %d", inj, w, i)
+			}
+		}
+	}
+	if in.Stalls() != 0 || in.ForcedBlocks() != 0 || in.Panics() != 0 {
+		t.Fatalf("zero plan recorded faults: %d stalls, %d blocks, %d panics",
+			in.Stalls(), in.ForcedBlocks(), in.Panics())
+	}
+}
+
+func TestPoisonFiresExactlyOnce(t *testing.T) {
+	in := New(Plan{Seed: 7, Poison: map[int64]bool{42: true, 99: true}}, 2)
+	panics := 0
+	// The same poisoned value inspected repeatedly, from both workers.
+	for i := 0; i < 10; i++ {
+		for w := 0; w < 2; w++ {
+			if in.Inspect(w, 42, 0).Panic {
+				panics++
+			}
+		}
+	}
+	if panics != 1 {
+		t.Fatalf("poison value 42 panicked %d times, want 1", panics)
+	}
+	if !in.Inspect(0, 99, 0).Panic {
+		t.Fatal("poison value 99 did not panic on first inspect")
+	}
+	if in.Inspect(0, 7, 0).Panic {
+		t.Fatal("non-poison value panicked")
+	}
+	if in.Panics() != 2 {
+		t.Fatalf("Panics() = %d, want 2", in.Panics())
+	}
+	fired := in.Fired()
+	if len(fired) != 2 || !fired[42] || !fired[99] {
+		t.Fatalf("Fired() = %v, want {42, 99}", fired)
+	}
+}
+
+func TestForcedBlocksRespectPerValueCap(t *testing.T) {
+	// BlockEvery=1 tries to block every inspection; the per-value cap must
+	// still bound the total per value.
+	const cap = 3
+	in := New(Plan{Seed: 5, BlockEvery: 1, MaxForcedBlocks: cap}, 2)
+	blocks := 0
+	for i := 0; i < 50; i++ {
+		for w := 0; w < 2; w++ {
+			if in.Inspect(w, 11, 0).ForceBlocked {
+				blocks++
+			}
+		}
+	}
+	if blocks != cap {
+		t.Fatalf("value 11 force-blocked %d times, want %d", blocks, cap)
+	}
+	if !in.Inspect(0, 12, 0).ForceBlocked {
+		t.Fatal("fresh value not force-blocked despite BlockEvery=1")
+	}
+	if in.ForcedBlocks() != cap+1 {
+		t.Fatalf("ForcedBlocks() = %d, want %d", in.ForcedBlocks(), cap+1)
+	}
+}
+
+func TestStallsBoundedAndCounted(t *testing.T) {
+	const maxStall = 500 * time.Microsecond
+	in := New(Plan{Seed: 3, StallEvery: 4, MaxStall: maxStall}, 1)
+	var stalls int64
+	var total time.Duration
+	for i := int64(0); i < 400; i++ {
+		inj := in.Inspect(0, i, 0)
+		if inj.Stall < 0 || inj.Stall > maxStall {
+			t.Fatalf("stall %v outside (0, %v]", inj.Stall, maxStall)
+		}
+		if inj.Stall > 0 {
+			stalls++
+			total += inj.Stall
+		}
+	}
+	if stalls != 100 {
+		t.Fatalf("StallEvery=4 over 400 inspections stalled %d times, want 100", stalls)
+	}
+	if in.Stalls() != stalls || in.StalledFor() != total {
+		t.Fatalf("counters (%d, %v) disagree with observed (%d, %v)",
+			in.Stalls(), in.StalledFor(), stalls, total)
+	}
+}
+
+func TestDeterministicAcrossInjectors(t *testing.T) {
+	plan := Plan{Seed: 123, StallEvery: 3, MaxStall: time.Millisecond, BlockEvery: 5, MaxForcedBlocks: 2}
+	a, b := New(plan, 2), New(plan, 2)
+	for w := 0; w < 2; w++ {
+		for i := int64(0); i < 500; i++ {
+			if ia, ib := a.Inspect(w, i, i), b.Inspect(w, i, i); ia != ib {
+				t.Fatalf("worker %d value %d: %+v vs %+v", w, i, ia, ib)
+			}
+		}
+	}
+	// Distinct seeds must diverge somewhere.
+	c := New(Plan{Seed: 124, StallEvery: 3, MaxStall: time.Millisecond}, 1)
+	d := New(Plan{Seed: 125, StallEvery: 3, MaxStall: time.Millisecond}, 1)
+	same := true
+	for i := int64(0); i < 300; i++ {
+		if c.Inspect(0, i, i) != d.Inspect(0, i, i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stall schedules")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		plan    Plan
+		workers int
+	}{
+		{"stall without max", Plan{StallEvery: 2}, 1},
+		{"block without cap", Plan{BlockEvery: 2}, 1},
+		{"zero workers", Plan{}, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", c.name)
+				}
+			}()
+			New(c.plan, c.workers)
+		}()
+	}
+}

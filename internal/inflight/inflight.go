@@ -151,3 +151,26 @@ func (c *Counter) Live() int64 {
 	}
 	return live
 }
+
+// Tallies returns racy snapshots of the global produced and completed
+// sums. For diagnostics only.
+func (c *Counter) Tallies() (produced, completed int64) {
+	for i := range c.slots {
+		produced += c.slots[i].produced.Load()
+		completed += c.slots[i].completed.Load()
+	}
+	return produced, completed
+}
+
+// Progress returns a racy monotone progress measure: the sum of every
+// produced and completed tally. It only ever grows, and it grows exactly
+// when a task is born or finishes — re-insertion churn (a popped task
+// pushed back unchanged) moves neither tally, so a flat Progress over time
+// means the system is doing no real work. Stall watchdogs key off this.
+func (c *Counter) Progress() int64 {
+	var sum int64
+	for i := range c.slots {
+		sum += c.slots[i].produced.Load() + c.slots[i].completed.Load()
+	}
+	return sum
+}

@@ -43,6 +43,11 @@ type StreamOptions struct {
 	// with NewProducer (>= 1). The stream terminates only after every
 	// declared producer has been created and closed.
 	Producers int
+	// Deadline, when positive, bounds the stream's wall time: at expiry
+	// the workers drain gracefully (exactly as TopKStream.Stop), producer
+	// pushes are absorbed, and the result is marked Interrupted. Zero
+	// means no deadline.
+	Deadline time.Duration
 	// Execute, if non-nil, is the job body run by the executing worker.
 	// It must be safe for concurrent calls from Threads workers.
 	Execute func(worker int, job, priority int64)
@@ -57,6 +62,11 @@ type StreamResult struct {
 	Popped int64
 	// ExecutedPriorities lists job priorities in global execution order.
 	ExecutedPriorities []int64
+	// Interrupted reports that the stream was stopped (TopKStream.Stop or
+	// StreamOptions.Deadline) before every streamed job executed: the
+	// result is a valid account of the jobs served so far, at-most-once
+	// instead of exactly-once.
+	Interrupted bool
 	// MeanRankError and MaxRankError measure how far the executed order
 	// strays from the true priority order of the full job set: job-wise
 	// |executed position - priority-sorted position|, averaged and maxed.
@@ -135,6 +145,7 @@ func NewTopKStream(opts StreamOptions) (*TopKStream, error) {
 		BatchSize:       opts.BatchSize,
 		Seed:            opts.Seed,
 		Producers:       opts.Producers,
+		Deadline:        opts.Deadline,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
@@ -149,9 +160,15 @@ func (s *TopKStream) NewProducer() *JobProducer {
 	return &JobProducer{p: s.exec.NewProducer()}
 }
 
+// Stop requests a graceful drain of the stream: workers stop popping and
+// exit, further producer pushes are absorbed (not panics — producers may
+// keep streaming and Close normally), and Wait returns the jobs served so
+// far, marked Interrupted. Safe from any goroutine; idempotent.
+func (s *TopKStream) Stop() { s.exec.Stop() }
+
 // Wait blocks until every declared producer has closed and every streamed
-// job has executed, then returns the merged execution order and its
-// rank-error summary.
+// job has executed — or until a Stop/Deadline drain finishes — then
+// returns the merged execution order and its rank-error summary.
 func (s *TopKStream) Wait() StreamResult {
 	st := s.exec.Wait()
 	exec := make([]int64, s.wl.next.Load())
@@ -164,6 +181,7 @@ func (s *TopKStream) Wait() StreamResult {
 	return StreamResult{
 		Jobs:               st.Executed,
 		Popped:             st.Popped,
+		Interrupted:        st.Interrupted,
 		ExecutedPriorities: exec,
 		MeanRankError:      mean,
 		MaxRankError:       maxErr,
@@ -286,6 +304,16 @@ func ParallelTopK(opts TopKRunOptions) (StreamResult, error) {
 		}(p, s.NewProducer())
 	}
 	res := s.Wait()
+	if res.Interrupted {
+		// A Deadline drain relaxes exactly-once to at-most-once: the jobs
+		// that did run must still be unique, but the tail may be unserved.
+		for job := range hits {
+			if got := hits[job].Load(); got > 1 {
+				return res, fmt.Errorf("sched: job %d executed %d times", job, got)
+			}
+		}
+		return res, nil
+	}
 	if res.Jobs != int64(total) {
 		return res, fmt.Errorf("sched: executed %d of %d streamed jobs", res.Jobs, total)
 	}

@@ -175,3 +175,54 @@ func TestTopKStreamManualProducer(t *testing.T) {
 		}
 	}
 }
+
+// TestTopKStreamStop: stopping a live stream mid-arrival must drain
+// gracefully — the producer's remaining pushes are absorbed without
+// panicking, Wait returns the jobs served so far marked Interrupted, and
+// nothing executes twice.
+func TestTopKStreamStop(t *testing.T) {
+	const jobs = 50000
+	got := make([]atomic.Int32, jobs)
+	s, err := NewTopKStream(StreamOptions{
+		Threads: 2, QueueMultiplier: 2, Seed: 3, Producers: 1,
+		Execute: func(_ int, job, _ int64) {
+			time.Sleep(20 * time.Microsecond)
+			got[job].Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.NewProducer()
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		for i := 0; i < jobs; i++ {
+			p.Push(int64(i), int64(i))
+		}
+		p.Close()
+	}()
+	time.Sleep(2 * time.Millisecond)
+	s.Stop()
+	res := s.Wait()
+	<-closed
+	if !res.Interrupted {
+		t.Fatalf("mid-stream Stop not marked Interrupted (%d jobs served)", res.Jobs)
+	}
+	if res.Jobs >= jobs {
+		t.Fatalf("all %d jobs served despite the Stop; shorten the fuse", jobs)
+	}
+	var served int64
+	for i := range got {
+		switch n := got[i].Load(); n {
+		case 0:
+		case 1:
+			served++
+		default:
+			t.Fatalf("job %d executed %d times", i, n)
+		}
+	}
+	if served != res.Jobs {
+		t.Fatalf("%d jobs ran but result says %d", served, res.Jobs)
+	}
+}

@@ -2,6 +2,7 @@ package sssp
 
 import (
 	"sync/atomic"
+	"time"
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/engine"
@@ -29,6 +30,11 @@ type ParallelOptions struct {
 	BatchSize int
 	// Seed drives the queue randomness.
 	Seed uint64
+	// Deadline, when positive, bounds the run's wall time: at expiry the
+	// engine drains gracefully and the result is marked Interrupted. The
+	// partial distances are still valid upper bounds (relaxation only ever
+	// lowers them), making a deadlined run an anytime SSSP.
+	Deadline time.Duration
 }
 
 // ParallelResult carries the output and work accounting of a concurrent
@@ -46,6 +52,14 @@ type ParallelResult struct {
 	Processed int64
 	// Reached is the number of vertices with finite distance.
 	Reached int64
+	// Interrupted reports that the run was cut short (ParallelOptions.
+	// Deadline): Dist holds valid upper bounds, but some vertices may not
+	// have converged to their true distance yet.
+	Interrupted bool
+	// Failed counts quarantined relaxation tasks (TryExecute panics
+	// contained by the engine); nonzero values indicate a workload bug but
+	// no longer crash the process.
+	Failed int64
 }
 
 // Overhead returns Processed / Reached, the paper's overhead metric.
@@ -132,15 +146,18 @@ func ParallelWith(g *graph.Graph, src int, opts ParallelOptions) ParallelResult 
 		Backend:         opts.Backend,
 		BatchSize:       opts.BatchSize,
 		Seed:            opts.Seed,
+		Deadline:        opts.Deadline,
 	})
 	if err != nil {
 		panic("sssp: " + err.Error())
 	}
 
 	res := ParallelResult{
-		Dist:      make([]int64, n),
-		Popped:    stats.Popped,
-		Processed: stats.Executed,
+		Dist:        make([]int64, n),
+		Popped:      stats.Popped,
+		Processed:   stats.Executed,
+		Interrupted: stats.Interrupted,
+		Failed:      stats.Failed,
 	}
 	for i := range wl.dist {
 		d := wl.dist[i].Load()

@@ -3,6 +3,7 @@ package sssp
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/graph"
@@ -327,5 +328,35 @@ func TestParallelBatchedAgreesProperty(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParallelDeadlineAnytime: a deadlined run on a graph far too large to
+// finish in time must come back Interrupted, and its partial distances must
+// be valid upper bounds on the exact ones — every finite tentative distance
+// is the length of a real path, so the deadline only costs convergence,
+// never soundness.
+func TestParallelDeadlineAnytime(t *testing.T) {
+	g := graph.Random(150_000, 900_000, 100, 77)
+	exact := Dijkstra(g, 0)
+	res := ParallelWith(g, 0, ParallelOptions{
+		Threads:         4,
+		QueueMultiplier: 2,
+		Seed:            7,
+		Deadline:        500 * time.Microsecond,
+	})
+	if !res.Interrupted {
+		t.Skip("run finished inside a 500µs deadline; machine too fast for this fixture")
+	}
+	if res.Failed != 0 {
+		t.Fatalf("deadlined run quarantined %d tasks", res.Failed)
+	}
+	if res.Dist[0] != 0 {
+		t.Fatalf("source distance %d after interrupt", res.Dist[0])
+	}
+	for v, d := range res.Dist {
+		if d < exact.Dist[v] {
+			t.Fatalf("vertex %d: partial distance %d below exact %d", v, d, exact.Dist[v])
+		}
 	}
 }
