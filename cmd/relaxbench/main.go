@@ -31,7 +31,8 @@
 //	              prioritized jobs at a configurable arrival rate while
 //	              workers drain — backends x threads x arrival rates, with
 //	              the rank error of the executed order vs. the true
-//	              priority order per row (extension)
+//	              priority order and the p50/p99/p999 sojourn-latency
+//	              quantiles per row (extension)
 //	affinity      shard-affine vs. uniform handle placement on the
 //	              lock-free backend: a pure queue microbenchmark isolating
 //	              the home-shard cache-locality effect (extension)
@@ -39,6 +40,11 @@
 //	              stalls, forced re-insertions, poisoned tasks) vs. the
 //	              fault-free baseline, with every run's books verified
 //	              against the injector's ground truth (extension)
+//	idlecost      idle CPU cost and wake-up latency of the engine's idle
+//	              strategies: a stream held idle under parking vs. spinning
+//	              workers, then hit with a burst — process CPU over the
+//	              quiet window next to the burst's sojourn-latency
+//	              quantiles (extension)
 //	all           everything above
 //
 // The compare subcommand diffs two recorded trajectories:
@@ -271,10 +277,11 @@ var experimentTable = map[string]experimentSpec{
 	"stream":      {"Extension: streaming top-k job scheduler (external producers, backends x threads x arrival rates)", withErr(experiments.Stream)},
 	"affinity":    {"Extension: shard-affine vs. uniform handle placement (lock-free backend microbenchmark)", noErr(experiments.Affinity)},
 	"chaos":       {"Extension: fault-injection overhead (seeded stalls, forced blocks, poisoned tasks; backends x threads)", withErr(experiments.Chaos)},
+	"idlecost":    {"Extension: idle CPU cost and wake-up latency of the parking vs. spinning idle strategies", withErr(experiments.IdleCost)},
 }
 
 // allOrder is the order `relaxbench all` runs experiments in.
-var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay", "stream", "affinity", "chaos"}
+var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay", "stream", "affinity", "chaos", "idlecost"}
 
 // knownExperiment reports whether exp is a name run can dispatch.
 func knownExperiment(exp string) bool {

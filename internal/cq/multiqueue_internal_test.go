@@ -1,0 +1,109 @@
+package cq
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relaxsched/internal/rng"
+)
+
+// With every internal queue held by someone else, Push must exhaust its
+// bounded TryLock attempts and park on a blocking Lock — not spin — and
+// complete as soon as a queue frees up. This is the bounded-livelock
+// guarantee lockSomeQueue documents: under total contention a pusher costs
+// a lock wait, never an unbounded rerandomization loop.
+func TestPushFallsBackToBlockingLock(t *testing.T) {
+	c := NewMultiQueue(4)
+	for i := range c.queues {
+		c.queues[i].mu.Lock()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Push(rng.New(7), 1, 1)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Push completed with every queue locked")
+	case <-time.After(20 * time.Millisecond):
+		// Parked in the blocking fallback, as intended.
+	}
+	// Release every queue: whichever one the fallback committed to, the
+	// parked Push acquires it and finishes.
+	for i := range c.queues {
+		c.queues[i].mu.Unlock()
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Push did not complete after the queues were released")
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d after the fallback push, want 1", got)
+	}
+}
+
+// PushBatch shares lockSomeQueue, so the same fallback must hold for the
+// batched path.
+func TestPushBatchFallsBackToBlockingLock(t *testing.T) {
+	c := NewMultiQueue(2)
+	for i := range c.queues {
+		c.queues[i].mu.Lock()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.PushBatch(rng.New(9), []Pair{{Value: 1, Priority: 1}, {Value: 2, Priority: 2}})
+	}()
+	select {
+	case <-done:
+		t.Fatal("PushBatch completed with every queue locked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	for i := range c.queues {
+		c.queues[i].mu.Unlock()
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("PushBatch did not complete after the queues were released")
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d after the fallback batch push, want 2", got)
+	}
+}
+
+// BenchmarkPushSingleQueueContended drives every worker at a one-queue
+// MultiQueue: nearly all TryLock attempts fail, so the per-push cost is
+// dominated by rerandomized retries and the blocking fallback — the path
+// TestPushFallsBackToBlockingLock proves correct, priced here. Compare
+// with BenchmarkPushSpreadUncontended to see what the fallback costs
+// relative to the optimistic hit path.
+func BenchmarkPushSingleQueueContended(b *testing.B) {
+	c := NewMultiQueue(1)
+	var seed atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(seed.Add(1))
+		i := int64(0)
+		for pb.Next() {
+			c.Push(r, i, i)
+			i++
+		}
+	})
+}
+
+// BenchmarkPushSpreadUncontended is the optimistic baseline: far more
+// queues than pushers, so the first TryLock almost always lands.
+func BenchmarkPushSpreadUncontended(b *testing.B) {
+	c := NewMultiQueue(64)
+	var seed atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(seed.Add(1))
+		i := int64(0)
+		for pb.Next() {
+			c.Push(r, i, i)
+			i++
+		}
+	})
+}

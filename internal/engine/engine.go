@@ -26,10 +26,43 @@
 // frontier or from Ctx.Spawn inside a worker. Start opens the system to
 // external producers — Producer handles created with Execution.NewProducer
 // stream prioritized tasks into the queue while workers drain — and
-// termination is then redefined as "all declared producers closed AND
+// termination is then redefined as "all registered producers closed AND
 // in-flight quiescent" (the producer tallies and an open-producer count
 // join the same double scan; see internal/inflight's package comment for
-// why the extension stays provably safe).
+// why the extension stays provably safe). Producers may be declared up
+// front (Options.Producers) or registered dynamically after Start with
+// NewProducer/TryNewProducer; the first observed quiescence seals the
+// execution, so a late registration fails cleanly instead of streaming
+// into a terminated pool.
+//
+// # Idle path: parking, not polling
+//
+// An idle worker does not poll. After a short backoff prefix (a few
+// yields, then a few escalating sleeps — the fast path for sub-millisecond
+// gaps), it parks on a per-worker slot in an internal/park lot and
+// consumes no CPU until an event wakes it. Options.IdleStrategy selects
+// the legacy bounded-sleep polling loop instead (IdleSpin), for
+// benchmarking the difference.
+//
+// Parking is only sound if no worker can sleep while work it should serve
+// is, or becomes, visible. The invariant maintained here is: every action
+// that makes tasks queue-visible to an idle worker is followed by a wake —
+// Ctx.Spawn pushes and out-buffer flushes wake one worker per pair,
+// Producer.Push/PushBatch/Flush wake after their pushes, Producer.Close
+// and Stop broadcast (WakeAll), and a worker that observes quiescence
+// broadcasts before exiting so its parked peers re-check and exit too. The
+// one deliberate exception is a worker re-inserting its own Blocked pair:
+// it keeps responsibility for that pair itself — it continues looping, and
+// its own park path rechecks the queue before sleeping — so no wake is
+// needed. On the parking side, a worker about to park samples its wakeup
+// token, and after announcing itself parked re-checks (park.Lot's cancel
+// callback) the stop flag, the termination scan and the queue's
+// authoritative Len — so a push that raced ahead of the announce is always
+// seen, and a wake that raced behind it always lands (the token/sema
+// protocol; internal/park's package comment carries the lost-wakeup
+// proof). Termination remains exact: parked workers hold no tasks and no
+// buffered pairs (buffers are flushed before the first idle pop), so the
+// inflight double scan's truth is unaffected by who is asleep.
 //
 // # Failure semantics
 //
@@ -61,6 +94,7 @@ import (
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/inflight"
+	"relaxsched/internal/park"
 	"relaxsched/internal/rng"
 )
 
@@ -70,14 +104,26 @@ import (
 // The sleep matters under oversubscription — spinning idle workers
 // otherwise steal scheduler timeslices from the workers actually producing
 // tasks during frontier ramp-up and drain, which shows up directly as wall
-// time when threads exceed cores. The escalation matters on long drains
-// (one slow task, everyone else idle): a flat 20µs sleep still burns a
-// timeslice 50,000 times a second per idle worker, while the cap keeps the
-// worst-case wakeup latency for a late burst at ~1ms.
+// time when threads exceed cores. Under the default IdlePark strategy the
+// escalation is cut short: after parkAfterSleeps sleeps the worker parks
+// and costs nothing until a wake. Under IdleSpin the escalation runs to
+// idleSleepCap and stays there — the cap bounds both the polling rate
+// (1 kHz per idle worker) and the worst-case wakeup latency for a late
+// burst at ~1ms.
 const (
 	idleYields    = 4
 	idleSleepBase = 20 * time.Microsecond
 	idleSleepCap  = time.Millisecond
+	// idleShiftCap clamps the escalation exponent: idleSleepBase << 6 is
+	// the first value past idleSleepCap, so larger idle counts add nothing
+	// (and must not feed an unbounded shift).
+	idleShiftCap = 6
+	// parkAfterSleeps is the backoff prefix under IdlePark: after this many
+	// escalating sleeps (20/40/80µs) the worker parks. Long enough that
+	// sub-millisecond gaps in a busy stream never pay a park/unpark round
+	// trip, short enough that a genuinely idle worker reaches zero CPU in
+	// well under a millisecond.
+	parkAfterSleeps = 3
 )
 
 // idleWait is the shared empty-queue backoff: yield for the first
@@ -89,12 +135,31 @@ func idleWait(idle int) {
 		runtime.Gosched()
 		return
 	}
-	d := idleSleepBase << uint(idle-idleYields)
-	if d <= 0 || d > idleSleepCap {
+	exp := idle - idleYields
+	if exp > idleShiftCap {
+		exp = idleShiftCap
+	}
+	d := idleSleepBase << uint(exp)
+	if d > idleSleepCap {
 		d = idleSleepCap
 	}
 	time.Sleep(d)
 }
+
+// IdleStrategy selects what a worker does when the queue stays empty.
+type IdleStrategy int8
+
+const (
+	// IdlePark (the default): back off briefly, then park on the engine's
+	// wakeup lot. An idle execution consumes no CPU; pushes wake parked
+	// workers directly.
+	IdlePark IdleStrategy = iota
+	// IdleSpin: the legacy polling loop — exponential sleeps capped at
+	// idleSleepCap, re-polling forever. Kept as a benchmark baseline (the
+	// idlecost experiment measures it against IdlePark) and an escape
+	// hatch.
+	IdleSpin
+)
 
 // Status is the outcome of one TryExecute attempt.
 type Status int8
@@ -152,8 +217,27 @@ type Options struct {
 	// with Execution.NewProducer (>= 0). With a non-zero count the execution
 	// is an open system: termination additionally waits for every declared
 	// producer to be created and closed. Run requires 0 (closed world); use
-	// Start for streaming executions.
+	// Start for streaming executions. Additional producers beyond the
+	// declared count may be registered dynamically after Start — but an
+	// execution with zero declared producers and an empty frontier
+	// terminates immediately, so a service that starts idle must declare at
+	// least one producer to hold the pool open.
 	Producers int
+	// IdleStrategy selects the workers' empty-queue behavior: IdlePark
+	// (zero value, the default) parks idle workers on an event-driven
+	// wakeup lot; IdleSpin keeps the legacy bounded-sleep polling loop.
+	IdleStrategy IdleStrategy
+	// MinWorkers and MaxWorkers, when MaxWorkers > 0, make the worker pool
+	// elastic: MaxWorkers goroutines are created, Threads of them start
+	// active, and a controller grows the active set toward MaxWorkers under
+	// sustained queue depth and shrinks it toward max(MinWorkers, 1) when
+	// the queue stays empty. Deactivated workers retire to parked reserve
+	// (they still finish any task they pop, so correctness never depends on
+	// the controller) and rejoin within one wake. Requires MinWorkers <=
+	// Threads <= MaxWorkers and IdleStrategy == IdlePark. MaxWorkers == 0
+	// (the default) keeps the fixed pool of exactly Threads workers.
+	MinWorkers int
+	MaxWorkers int
 	// Deadline, when positive, bounds the run's wall time: Deadline after
 	// Start the execution stops itself exactly as if Stop had been called,
 	// and Run/Wait return a partial Result marked Interrupted with
@@ -210,9 +294,14 @@ type Stats struct {
 // lock-free MultiQueue) get a pinned session per worker and per producer;
 // handle-less backends see a zero-cost pass-through. It is
 // single-goroutine, like the rng stream and handle it carries.
+//
+// Every path that makes pairs queue-visible wakes parked workers right
+// after (the engine's no-stranded-worker invariant); with nobody parked a
+// wake is a single atomic load.
 type pushBuf struct {
 	r     *rng.Xoshiro
 	mq    cq.Handle
+	lot   *park.Lot
 	out   []cq.Pair // deferred pushes (batched mode only)
 	batch int
 }
@@ -223,6 +312,7 @@ func (b *pushBuf) push(value, priority int64) {
 		b.buffer(cq.Pair{Value: value, Priority: priority})
 	} else {
 		b.mq.Push(b.r, value, priority)
+		b.lot.Wake(1)
 	}
 }
 
@@ -235,11 +325,14 @@ func (b *pushBuf) buffer(p cq.Pair) {
 	}
 }
 
-// flush pushes the out-buffer as one batch.
+// flush pushes the out-buffer as one batch and wakes one parked worker per
+// flushed pair (capped at the parked population by Wake itself).
 func (b *pushBuf) flush() {
 	if len(b.out) > 0 {
+		n := len(b.out)
 		b.mq.PushBatch(b.r, b.out)
 		b.out = b.out[:0]
+		b.lot.Wake(n)
 	}
 }
 
@@ -287,13 +380,15 @@ func Run(wl Workload, opts Options) (Result, error) {
 
 // Start validates the options, seeds the frontier and launches the worker
 // pool, returning an Execution handle. With opts.Producers > 0 the run is
-// an open system: the caller creates exactly that many Producer handles
-// with NewProducer, feeds the frontier through them, closes each, and then
-// Wait returns once every task — seeded, spawned and streamed alike — has
-// been completed. Workers never park: an idle worker backs off (bounded
-// yields and sleeps, see idleWait) but keeps re-polling the queue, so a
-// late-arriving push is picked up within one backoff period and a producer
-// closing while every worker is asleep still terminates promptly.
+// an open system: the caller creates that many Producer handles with
+// NewProducer (plus any later dynamic ones), feeds the frontier through
+// them, closes each, and then Wait returns once every task — seeded,
+// spawned and streamed alike — has been completed. Under the default
+// IdlePark strategy idle workers park and consume no CPU; every push wakes
+// them, a producer closing while every worker is parked broadcasts, and
+// the first worker to observe quiescence broadcasts before exiting, so
+// termination stays prompt with nobody polling (see the package comment
+// for the full argument).
 func Start(wl Workload, opts Options) (*Execution, error) {
 	if opts.Threads < 1 {
 		return nil, fmt.Errorf("engine: need Threads >= 1, got %d", opts.Threads)
@@ -304,17 +399,32 @@ func Start(wl Workload, opts Options) (*Execution, error) {
 	if opts.Producers < 0 {
 		return nil, fmt.Errorf("engine: need Producers >= 0, got %d", opts.Producers)
 	}
-	mq, err := cq.New(opts.Backend, opts.Threads, opts.QueueMultiplier)
+	if opts.MaxWorkers < 0 || opts.MinWorkers < 0 {
+		return nil, fmt.Errorf("engine: need MinWorkers, MaxWorkers >= 0, got %d, %d", opts.MinWorkers, opts.MaxWorkers)
+	}
+	pool := opts.Threads
+	if opts.MaxWorkers > 0 {
+		if opts.MaxWorkers < opts.Threads || opts.MinWorkers > opts.Threads {
+			return nil, fmt.Errorf("engine: elastic pool needs MinWorkers <= Threads <= MaxWorkers, got %d <= %d <= %d",
+				opts.MinWorkers, opts.Threads, opts.MaxWorkers)
+		}
+		if opts.IdleStrategy != IdlePark {
+			return nil, fmt.Errorf("engine: elastic workers require IdleStrategy == IdlePark (retired workers live in parked reserve)")
+		}
+		pool = opts.MaxWorkers
+	}
+	mq, err := cq.New(opts.Backend, pool, opts.QueueMultiplier)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 
 	seedRng := rng.New(opts.Seed)
-	counters := inflight.NewOpen(opts.Threads, opts.Producers)
+	counters := inflight.NewOpen(pool, opts.Producers)
 	seedHandle := cq.HandleFor(mq)
 	wl.Frontier(func(value, priority int64) {
 		// Produce before the push makes the pair visible, exactly as
-		// Ctx.Spawn does on the hot path.
+		// Ctx.Spawn does on the hot path. No wake needed: workers have not
+		// launched yet, so nobody can be parked.
 		counters.Produce(0)
 		seedHandle.Push(seedRng, value, priority)
 	})
@@ -323,23 +433,29 @@ func Start(wl Workload, opts Options) (*Execution, error) {
 	e := &Execution{
 		mq:         mq,
 		counters:   counters,
+		lot:        park.NewLot(pool),
+		strategy:   opts.IdleStrategy,
 		seedRng:    seedRng,
 		threads:    opts.Threads,
+		pool:       pool,
+		minWorkers: max(opts.MinWorkers, 1),
+		elastic:    opts.MaxWorkers > 0,
 		batch:      opts.BatchSize,
 		declared:   opts.Producers,
-		workers:    make([]workerState, opts.Threads),
+		workers:    make([]workerState, pool),
 		maxRetries: opts.MaxBlockedRetries,
 		injector:   opts.Injector,
 		donec:      make(chan struct{}),
 	}
-	for t := 0; t < opts.Threads; t++ {
+	e.active.Store(int32(opts.Threads))
+	for t := 0; t < pool; t++ {
 		e.wg.Add(1)
 		go func(w int, r *rng.Xoshiro) {
 			defer e.wg.Done()
 			h := cq.HandleFor(mq)
 			defer h.Close()
 			ctx := &Ctx{Worker: w, counters: counters,
-				pushBuf: pushBuf{r: r, mq: h, batch: opts.BatchSize}}
+				pushBuf: pushBuf{r: r, mq: h, lot: e.lot, batch: opts.BatchSize}}
 			ws := &e.workers[w]
 			if opts.BatchSize > 1 {
 				ctx.out = make([]cq.Pair, 0, opts.BatchSize)
@@ -350,9 +466,9 @@ func Start(wl Workload, opts Options) (*Execution, error) {
 			ws.phase.Store(int32(PhaseExited))
 		}(t, seedRng.Split())
 	}
-	// The donec closer is the fan-in the watchdog and deadline timer hang
-	// off; spawn it only when someone is listening.
-	if opts.StallTimeout > 0 || opts.Deadline > 0 {
+	// The donec closer is the fan-in the watchdog, deadline timer and
+	// elastic controller hang off; spawn it only when someone is listening.
+	if opts.StallTimeout > 0 || opts.Deadline > 0 || e.elastic {
 		go func() {
 			e.wg.Wait()
 			close(e.donec)
@@ -364,7 +480,86 @@ func Start(wl Workload, opts Options) (*Execution, error) {
 	if opts.StallTimeout > 0 {
 		go e.watchdog(opts.StallTimeout, opts.OnStall)
 	}
+	if e.elastic {
+		go e.controller()
+	}
 	return e, nil
+}
+
+// controller is the elastic-pool policy loop: it samples live (queued or
+// executing) task counts and resizes the active worker set between
+// minWorkers and the pool size. Growth is aggressive — a sustained backlog
+// beyond ~2 tasks per active worker doubles the set and wakes the reserve,
+// so a burst ramps to full width within a couple of ticks — while shrink
+// is lazy (a steady empty queue retires one worker per quiet stretch),
+// since an over-wide idle pool costs nothing once parked. Correctness
+// never depends on this loop: retired workers park exactly like idle
+// active ones, still finish any task they pop, and every worker re-checks
+// the queue on wake regardless of its active status.
+func (e *Execution) controller() {
+	const (
+		tick        = time.Millisecond
+		shrinkAfter = 50 // quiet ticks (~50ms) per single-worker retire
+	)
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	quiet := 0
+	for {
+		select {
+		case <-e.donec:
+			return
+		case <-ticker.C:
+		}
+		live := e.counters.Live()
+		act := int(e.active.Load())
+		switch {
+		case live > int64(2*act) && act < e.pool:
+			grown := min(act*2, e.pool)
+			e.active.Store(int32(grown))
+			e.lot.Wake(grown - act)
+			quiet = 0
+		case live == 0 && act > e.minWorkers:
+			if quiet++; quiet >= shrinkAfter {
+				e.active.Store(int32(act - 1))
+				quiet = 0
+			}
+		default:
+			quiet = 0
+		}
+	}
+}
+
+// idle is the shared empty-queue path, called with the worker's out-buffer
+// already flushed (the loops flush before any idle step, so a parked
+// worker never holds invisible pairs) and the phase published as Idle. It
+// returns the next idle count. Under IdleSpin it is the legacy bounded
+// backoff. Under IdlePark the backoff prefix runs first — unless the
+// worker has been retired by the elastic controller, which parks at once —
+// and then the worker parks: sample the wakeup token, take the cheap outs
+// (a stop or visible quiescence is about to end the loop anyway; a
+// non-empty queue means a push already landed), announce, and let
+// park.Lot's cancel callback re-check all three *after* the announce —
+// the ordering the lost-wakeup proof in internal/park requires. On wake
+// the idle count resets to 0: a woken worker always re-polls the queue at
+// full speed at least once before it can park again, so a wake handed to
+// it by a producer is never re-parked away without a pop attempt.
+func (e *Execution) idle(ctx *Ctx, ws *workerState, idle int) int {
+	retired := e.elastic && ctx.Worker >= int(e.active.Load())
+	if e.strategy != IdlePark || (!retired && idle < idleYields+parkAfterSleeps) {
+		idleWait(idle)
+		return idle + 1
+	}
+	w := ctx.Worker
+	tok := e.lot.Token(w)
+	if e.stopped.Load() || e.counters.Quiescent() || e.mq.Len() != 0 {
+		return idle + 1
+	}
+	ws.phase.Store(int32(PhaseParked))
+	e.lot.Park(w, tok, func() bool {
+		return e.stopped.Load() || e.mq.Len() != 0 || e.counters.Quiescent()
+	})
+	ws.phase.Store(int32(PhaseIdle))
+	return 0
 }
 
 // stopDrain is the shared graceful-exit check at the top of both worker
@@ -400,11 +595,13 @@ func (e *Execution) worker(wl Workload, ctx *Ctx, ws *workerState) {
 		if !ok {
 			ws.emptyPops.Add(1)
 			if counters.Quiescent() {
+				// Broadcast before exiting: parked peers re-run this same
+				// check on wake, observe the sealed quiescence and exit too.
+				e.lot.WakeAll()
 				break
 			}
 			ws.phase.Store(int32(PhaseIdle))
-			idleWait(idle)
-			idle++
+			idle = e.idle(ctx, ws, idle)
 			continue
 		}
 		if idle > 0 {
@@ -448,11 +645,13 @@ func (e *Execution) workerBatched(wl Workload, ctx *Ctx, ws *workerState) {
 				continue
 			}
 			if counters.Quiescent() {
+				// Broadcast before exiting: parked peers re-run this same
+				// check on wake, observe the sealed quiescence and exit too.
+				e.lot.WakeAll()
 				break
 			}
 			ws.phase.Store(int32(PhaseIdle))
-			idleWait(idle)
-			idle++
+			idle = e.idle(ctx, ws, idle)
 			continue
 		}
 		if idle > 0 {

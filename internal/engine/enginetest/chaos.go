@@ -35,6 +35,7 @@ func ChaosConformance(t *testing.T, backend cq.Backend) {
 	t.Run("DependencyChainChurn", func(t *testing.T) { testChaosChain(t, backend) })
 	t.Run("DuplicateDiscardChurn", func(t *testing.T) { testChaosDup(t, backend) })
 	t.Run("StreamingPoison", func(t *testing.T) { testChaosStreaming(t, backend) })
+	t.Run("ParkedPeerFaults", func(t *testing.T) { testChaosParkedPeers(t, backend) })
 }
 
 // chaosSeeds is the fixed seed set CI pins; two seeds double the explored
@@ -262,6 +263,72 @@ func testChaosDup(t *testing.T, backend cq.Backend) {
 			}
 			if want := int64((levels - 1) * width); st.Discarded != want {
 				t.Fatalf("seed %d batch %d: discarded %d, want %d", seed, batch, st.Discarded, want)
+			}
+		}
+	}
+}
+
+// testChaosParkedPeers: faults fire into a parked pool. The producer goes
+// silent between waves until every worker is parked on the idle lot, then
+// the next wave — stall-laced and carrying poison — lands on sleeping
+// peers. Every wake in this test starts from a genuine park, not a backoff
+// spin, so it exercises the paths the other chaos workloads mostly miss:
+// poison panics on freshly woken workers, injected stalls while the rest
+// of the pool is still asleep (the waker must not depend on any peer being
+// live), and the close-while-parked termination broadcast. Exactly-once,
+// quarantine accounting and clean termination must all survive it.
+func testChaosParkedPeers(t *testing.T, backend cq.Backend) {
+	const threads, waves, perWave = 4, 5, 300
+	const n = waves * perWave
+	poison := make(map[int64]bool)
+	for i := int64(0); i < n; i += 97 {
+		poison[i] = true
+	}
+	for _, seed := range chaosSeeds {
+		for _, batch := range chaosBatches {
+			w := &streamWorkload{n: n, hits: make([]atomic.Int32, 2*n)}
+			o := opts(backend, threads, batch, seed)
+			o.Producers = 1
+			feed := func(e *engine.Execution) {
+				p := e.NewProducer()
+				for wave := 0; wave < waves; wave++ {
+					// Silence until the whole pool is parked. All-parked
+					// also proves the previous wave fully drained: a worker
+					// only parks after observing an empty queue, and with
+					// every worker asleep no task can be mid-execution.
+					deadline := time.Now().Add(20 * time.Second)
+					for e.ParkedWorkers() != threads {
+						if time.Now().After(deadline) {
+							t.Fatalf("seed %d batch %d wave %d: only %d of %d workers parked",
+								seed, batch, wave, e.ParkedWorkers(), threads)
+						}
+						time.Sleep(50 * time.Microsecond)
+					}
+					lo := wave * perWave
+					for i := 0; i < perWave; i++ {
+						p.Push(int64(lo+i), int64(lo+i))
+					}
+					p.Flush()
+				}
+				p.Close()
+			}
+			st, _ := runChaosOpen(t, w, o, chaosPlan(seed, poison), feed)
+			if st.Failed != int64(len(poison)) {
+				t.Fatalf("seed %d batch %d: quarantined %d, want all %d poisons",
+					seed, batch, st.Failed, len(poison))
+			}
+			if want := int64(n - len(poison)); st.Executed != want {
+				t.Fatalf("seed %d batch %d: executed %d, want %d", seed, batch, st.Executed, want)
+			}
+			for i := 0; i < n; i++ {
+				want := int32(1)
+				if poison[int64(i)] {
+					want = 0
+				}
+				if got := w.hits[i].Load(); got != want {
+					t.Fatalf("seed %d batch %d: task %d executed %d times, want %d",
+						seed, batch, i, got, want)
+				}
 			}
 		}
 	}

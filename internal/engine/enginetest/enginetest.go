@@ -61,6 +61,10 @@ func Run(t *testing.T, backend cq.Backend) {
 	t.Run("DuplicateDiscard", func(t *testing.T) { testDuplicateDiscard(t, backend) })
 	t.Run("StreamingProducers", func(t *testing.T) { testStreamingProducers(t, backend) })
 	t.Run("ProducerCloseIdleRace", func(t *testing.T) { testProducerCloseIdleRace(t, backend) })
+	t.Run("ParkWakeRace", func(t *testing.T) { testParkWakeRace(t, backend) })
+	t.Run("IdleParksWorkers", func(t *testing.T) { testIdleParksWorkers(t, backend) })
+	t.Run("DynamicProducers", func(t *testing.T) { testDynamicProducers(t, backend) })
+	t.Run("ElasticWorkers", func(t *testing.T) { testElasticWorkers(t, backend) })
 	t.Run("StopDrains", func(t *testing.T) { testStopDrains(t, backend) })
 	t.Run("StopAfterCompletion", func(t *testing.T) { testStopAfterCompletion(t, backend) })
 	t.Run("DeadlineInterrupts", func(t *testing.T) { testDeadlineInterrupts(t, backend) })
@@ -272,12 +276,20 @@ func (w *dupWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.
 type streamWorkload struct {
 	n     int // producer-born task ids: [0, n); spawned children: [n, 2n)
 	spawn bool
-	hits  []atomic.Int32
+	// cost, when set, is slept per task: tests that need a backlog to
+	// accumulate (elastic growth) use it to bound the drain rate, so the
+	// producer outruns the workers on every backend regardless of the
+	// relative speed of its Push.
+	cost time.Duration
+	hits []atomic.Int32
 }
 
 func (w *streamWorkload) Frontier(func(value, priority int64)) {}
 
 func (w *streamWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.Status {
+	if w.cost > 0 {
+		time.Sleep(w.cost)
+	}
 	w.hits[value].Add(1)
 	if w.spawn && value < int64(w.n) {
 		ctx.Spawn(value+int64(w.n), priority+1)
@@ -383,6 +395,256 @@ func testProducerCloseIdleRace(t *testing.T, backend cq.Backend) {
 					t.Fatalf("batch %d burst %d: task %d executed %d times", batch, burst, i, got)
 				}
 			}
+		}
+	}
+}
+
+// testParkWakeRace aims producer bursts at the exact window where the last
+// worker commits to parking: each round waits until every worker is parked
+// (or on the way down), then fires a burst with no warning. A lost wakeup
+// strands the burst and the round times out; a miscounted wake loses jobs.
+// Swept over seeds x batch sizes per backend so the park/wake interleaving
+// varies; the burst alternates singleton pushes, batch pushes and
+// push-then-flush so every producer-side wake path is exercised.
+func testParkWakeRace(t *testing.T, backend cq.Backend) {
+	const (
+		rounds    = 40
+		burst     = 64
+		threads   = 4
+		parkGrace = 10 * time.Second
+	)
+	for _, seed := range []uint64{29, 31} {
+		for _, batch := range batchSizes {
+			total := rounds * burst
+			w := &streamWorkload{n: total, hits: make([]atomic.Int32, total)}
+			o := opts(backend, threads, batch, seed)
+			o.Producers = 1
+			e, err := engine.Start(w, o)
+			if err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+			p := e.NewProducer()
+			executed := func() int64 {
+				var n int64
+				for i := range w.hits {
+					n += int64(w.hits[i].Load())
+				}
+				return n
+			}
+			deadline := time.Now().Add(parkGrace)
+			for r := 0; r < rounds; r++ {
+				// Wait for the pool to wind down: all workers parked. Round 0
+				// parks out of launch; later rounds park out of a drain —
+				// both sides of the race get hit. If parking itself wedges
+				// (workers never all park), the deadline catches that too.
+				for e.ParkedWorkers() != threads {
+					if time.Now().After(deadline) {
+						t.Fatalf("seed %d batch %d round %d: %d/%d workers parked after %v",
+							seed, batch, r, e.ParkedWorkers(), threads, parkGrace)
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+				base := int64(r * burst)
+				switch r % 3 {
+				case 0:
+					for i := int64(0); i < burst; i++ {
+						p.Push(base+i, base+i)
+					}
+					p.Flush()
+				case 1:
+					pairs := make([]cq.Pair, burst)
+					for i := range pairs {
+						pairs[i] = cq.Pair{Value: base + int64(i), Priority: base + int64(i)}
+					}
+					p.PushBatch(pairs)
+				default:
+					for i := int64(0); i < burst; i++ {
+						p.Push(base+i, base+i)
+						if i%7 == 0 {
+							p.Flush()
+						}
+					}
+					p.Flush()
+				}
+				want := base + burst
+				deadline = time.Now().Add(parkGrace)
+				for executed() != want {
+					if time.Now().After(deadline) {
+						t.Fatalf("seed %d batch %d round %d: %d of %d burst jobs executed after %v — lost wakeup",
+							seed, batch, r, executed()-base, burst, parkGrace)
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			p.Close()
+			st := e.Wait()
+			checkStats(t, st)
+			if st.Executed != int64(total) {
+				t.Fatalf("seed %d batch %d: executed %d of %d", seed, batch, st.Executed, total)
+			}
+			for i := range w.hits {
+				if got := w.hits[i].Load(); got != 1 {
+					t.Fatalf("seed %d batch %d: task %d executed %d times", seed, batch, i, got)
+				}
+			}
+		}
+	}
+}
+
+// testIdleParksWorkers is the idle-cost acceptance test: an open execution
+// with a silent producer must park every worker (no sleep-loop polling),
+// stay parked, and still serve and terminate correctly afterwards.
+func testIdleParksWorkers(t *testing.T, backend cq.Backend) {
+	const threads = 4
+	w := &streamWorkload{n: 100, hits: make([]atomic.Int32, 100)}
+	o := opts(backend, threads, 0, 37)
+	o.Producers = 1
+	e, err := engine.Start(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.NewProducer()
+	deadline := time.Now().Add(10 * time.Second)
+	for e.ParkedWorkers() != threads {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers parked on an idle execution", e.ParkedWorkers(), threads)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Parked is stable while nothing arrives: no worker self-wakes to poll.
+	time.Sleep(20 * time.Millisecond)
+	if got := e.ParkedWorkers(); got != threads {
+		t.Fatalf("parked pool did not stay parked: %d/%d", got, threads)
+	}
+	for i := 0; i < 100; i++ {
+		p.Push(int64(i), int64(i))
+	}
+	p.Close()
+	st := e.Wait()
+	checkStats(t, st)
+	if st.Executed != 100 {
+		t.Fatalf("executed %d of 100 after unpark", st.Executed)
+	}
+}
+
+// testDynamicProducers exercises registration after Start: one declared
+// producer holds the system open while extra producers register
+// dynamically, stream and close — from multiple goroutines, racing the
+// declared producer's close. Every streamed job must execute exactly once,
+// and registration after termination must fail cleanly.
+func testDynamicProducers(t *testing.T, backend cq.Backend) {
+	const n, dynamics = 2000, 3
+	for _, batch := range batchSizes {
+		w := &streamWorkload{n: n, hits: make([]atomic.Int32, n)}
+		o := opts(backend, 4, batch, 41)
+		o.Producers = 1 // the anchor: holds termination open during registration
+		e, err := engine.Start(w, o)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		anchor := e.NewProducer()
+		done := make(chan struct{}, dynamics)
+		per := n / (dynamics + 1)
+		for d := 0; d < dynamics; d++ {
+			go func(d int) {
+				defer func() { done <- struct{}{} }()
+				prod, err := e.TryNewProducer()
+				if err != nil {
+					t.Errorf("batch %d: dynamic registration failed: %v", batch, err)
+					return
+				}
+				defer prod.Close()
+				lo := (d + 1) * per
+				for i := lo; i < lo+per; i++ {
+					prod.Push(int64(i), int64(i))
+				}
+			}(d)
+		}
+		for i := 0; i < per; i++ {
+			anchor.Push(int64(i), int64(i))
+		}
+		for d := 0; d < dynamics; d++ {
+			<-done
+		}
+		anchor.Close()
+		st := e.Wait()
+		checkStats(t, st)
+		want := int64(per * (dynamics + 1))
+		if st.Executed != want {
+			t.Fatalf("batch %d: executed %d, want %d", batch, st.Executed, want)
+		}
+		if _, err := e.TryNewProducer(); err == nil {
+			t.Fatalf("batch %d: TryNewProducer succeeded after termination", batch)
+		}
+	}
+}
+
+// testElasticWorkers runs an elastic pool (MinWorkers/MaxWorkers) through
+// idle and burst phases: idle retires the pool to parked reserve, a
+// sustained backlog must grow the active set, and every job still executes
+// exactly once. Correctness is asserted throughout; the growth assertion
+// gives the controller a generous window.
+func testElasticWorkers(t *testing.T, backend cq.Backend) {
+	// Per-task cost bounds the drain rate (2 active workers serve at most
+	// ~2 tasks per sleep quantum), so the producer builds a backlog far
+	// beyond 2 tasks/worker on every backend, however fast or slow its
+	// Push is relative to a pop.
+	const n = 8000
+	w := &streamWorkload{n: n, cost: 20 * time.Microsecond, hits: make([]atomic.Int32, n)}
+	o := opts(backend, 2, 0, 43)
+	o.Producers = 1
+	o.MinWorkers = 1
+	o.MaxWorkers = 8
+	o.Threads = 2
+	e, err := engine.Start(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ActiveWorkers(); got != 2 {
+		t.Fatalf("initial active set = %d, want Threads = 2", got)
+	}
+	p := e.NewProducer()
+	// Idle phase: the whole pool (all MaxWorkers goroutines) parks.
+	deadline := time.Now().Add(10 * time.Second)
+	for e.ParkedWorkers() != 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle elastic pool parked %d/8 workers", e.ParkedWorkers())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Burst phase: the backlog spans many controller ticks (n tasks at
+	// cost each, against 2 active workers); the controller must widen the
+	// active set while the jobs drain.
+	grew := make(chan int, 1)
+	go func() {
+		best := 0
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			if a := e.ActiveWorkers(); a > best {
+				best = a
+				if best > 2 {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		grew <- best
+	}()
+	for i := 0; i < n; i++ {
+		p.Push(int64(i), int64(i))
+	}
+	if best := <-grew; best <= 2 {
+		t.Errorf("active set never grew beyond %d under sustained backlog", best)
+	}
+	p.Close()
+	st := e.Wait()
+	checkStats(t, st)
+	if st.Executed != n {
+		t.Fatalf("executed %d of %d", st.Executed, n)
+	}
+	for i := range w.hits {
+		if got := w.hits[i].Load(); got != 1 {
+			t.Fatalf("task %d executed %d times", i, got)
 		}
 	}
 }

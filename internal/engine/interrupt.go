@@ -108,9 +108,13 @@ type Injector interface {
 // everything executed so far. Stop is safe to call from any goroutine,
 // idempotent, and a no-op after the run has already terminated (the Result
 // is then not marked Interrupted). The drain is bounded: each worker
-// finishes at most its already-popped batch before exiting.
+// finishes at most its already-popped batch before exiting. Parked workers
+// are woken so the drain never waits on a sleeping worker: the broadcast
+// follows the stopped store, so a woken (or about-to-park) worker is
+// guaranteed to observe the flag and exit through stopDrain.
 func (e *Execution) Stop() {
 	e.stopped.Store(true)
+	e.lot.WakeAll()
 }
 
 // Stopped reports whether Stop (or the deadline, or a watchdog abort) has

@@ -1,14 +1,21 @@
 package engine
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/inflight"
+	"relaxsched/internal/park"
 	"relaxsched/internal/rng"
 )
+
+// ErrTerminated is returned by TryNewProducer once the execution has
+// terminated: quiescence was observed and sealed, the workers are exiting
+// or gone, and no new producer may stream into the pool.
+var ErrTerminated = errors.New("engine: execution already terminated")
 
 // Execution is a running engine instance as returned by Start: the worker
 // pool is live, and the caller holds the handle to create producers, to
@@ -17,9 +24,19 @@ import (
 type Execution struct {
 	mq       cq.BatchQueue
 	counters *inflight.Counter
+	lot      *park.Lot
+	strategy IdleStrategy
 	threads  int
 	batch    int
 	declared int
+
+	// Elastic pool state: pool is the goroutine count (MaxWorkers, or
+	// Threads when not elastic); active is the controller-managed size of
+	// the non-retired worker set.
+	pool       int
+	minWorkers int
+	elastic    bool
+	active     atomic.Int32
 
 	// mu guards seedRng (Split mutates it) and created; Start finishes its
 	// own splits before returning, so worker streams never race these.
@@ -54,33 +71,66 @@ type Execution struct {
 	waitOnce sync.Once
 }
 
-// NewProducer returns the next of the Options.Producers declared external
-// producer handles; it panics when called more than that many times. It is
-// safe to call from any goroutine, but each returned Producer must then be
-// used by a single goroutine at a time.
-//
-// Because the open-producer count starts at the declared total, the
-// execution cannot terminate before every declared producer has been
-// created and closed — there is no window in which a late NewProducer races
-// a finished run.
+// NewProducer returns an external producer handle. The first
+// Options.Producers calls claim the declared registrations (the execution
+// cannot terminate before every declared producer has been created and
+// closed, so these never race a finished run); further calls register
+// dynamically and panic if the execution has already terminated — use
+// TryNewProducer where that race is expected. It is safe to call from any
+// goroutine, but each returned Producer must then be used by a single
+// goroutine at a time.
 func (e *Execution) NewProducer() *Producer {
+	p, err := e.TryNewProducer()
+	if err != nil {
+		panic("engine: NewProducer on a terminated execution (declare producers up front, or use TryNewProducer)")
+	}
+	return p
+}
+
+// TryNewProducer returns an external producer handle, registering it
+// dynamically once the declared count is exhausted. It fails with
+// ErrTerminated if the execution has already terminated: the registration
+// handshake (inflight's seal; see that package's comment) guarantees that
+// a success here means the workers will serve everything the producer
+// streams, and a terminated execution yields this error rather than a
+// silently dead producer. On a stopped-but-unfinished execution it still
+// succeeds, returning a producer whose pushes are absorbed — the same
+// semantics every live producer has after Stop.
+func (e *Execution) TryNewProducer() (*Producer, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.created >= e.declared {
-		panic("engine: NewProducer called more times than Options.Producers declared")
+	var ps *inflight.ProducerSlot
+	if e.created < e.declared {
+		ps = e.counters.Attach()
+	} else {
+		var ok bool
+		if ps, ok = e.counters.Register(); !ok {
+			return nil, ErrTerminated
+		}
 	}
-	slot := e.threads + e.created
 	e.created++
 	p := &Producer{
-		exec:     e,
-		counters: e.counters,
-		slot:     slot,
-		pushBuf:  pushBuf{r: e.seedRng.Split(), mq: cq.HandleFor(e.mq), batch: e.batch},
+		exec:    e,
+		slot:    ps,
+		pushBuf: pushBuf{r: e.seedRng.Split(), mq: cq.HandleFor(e.mq), lot: e.lot, batch: e.batch},
 	}
 	if e.batch > 1 {
 		p.out = make([]cq.Pair, 0, e.batch)
 	}
-	return p
+	return p, nil
+}
+
+// ParkedWorkers returns the number of workers currently parked on the
+// idle lot. Racy by nature; exact when the execution is externally idle
+// (tests and idle-cost measurements read it then).
+func (e *Execution) ParkedWorkers() int {
+	return e.lot.Parked()
+}
+
+// ActiveWorkers returns the elastic controller's current active-set size
+// (Threads when the pool is not elastic).
+func (e *Execution) ActiveWorkers() int {
+	return int(e.active.Load())
 }
 
 // Wait blocks until the execution terminates — every declared producer
@@ -136,10 +186,9 @@ func (e *Execution) Wait() Result {
 // Stop: either a pair was absorbed and left no trace, or it was counted and
 // reaches the queue).
 type Producer struct {
-	exec     *Execution
-	counters *inflight.Counter
-	slot     int
-	closed   bool
+	exec   *Execution
+	slot   *inflight.ProducerSlot
+	closed bool
 	pushBuf
 }
 
@@ -153,7 +202,7 @@ func (p *Producer) Push(value, priority int64) {
 	if p.exec.stopped.Load() {
 		return
 	}
-	p.counters.Produce(p.slot)
+	p.slot.Produce()
 	p.push(value, priority)
 }
 
@@ -169,8 +218,9 @@ func (p *Producer) PushBatch(pairs []cq.Pair) {
 	if len(pairs) == 0 || p.exec.stopped.Load() {
 		return
 	}
-	p.counters.ProduceN(p.slot, int64(len(pairs)))
+	p.slot.ProduceN(int64(len(pairs)))
 	p.mq.PushBatch(p.r, pairs)
+	p.lot.Wake(len(pairs))
 }
 
 // Flush makes every buffered pair visible to the workers without closing
@@ -187,8 +237,11 @@ func (p *Producer) Flush() {
 
 // Close flushes any buffered pairs, releases the producer's queue handle
 // (its epoch slot, on backends that have one) and marks the producer done.
-// Once every declared producer has closed and the queue drains, the workers
-// terminate. Close is idempotent: a second Close is a no-op.
+// Once every registered producer has closed and the queue drains, the
+// workers terminate. Closing broadcasts to parked workers: the close that
+// completes the termination condition may land while every worker is
+// asleep, and the woken workers re-run the quiescence scan and exit. Close
+// is idempotent: a second Close is a no-op.
 func (p *Producer) Close() {
 	if p.closed {
 		return
@@ -196,5 +249,6 @@ func (p *Producer) Close() {
 	p.flush()
 	p.mq.Close()
 	p.closed = true
-	p.counters.CloseProducer()
+	p.slot.Close()
+	p.lot.WakeAll()
 }

@@ -157,15 +157,45 @@ func TestProducerDoubleCloseSafe(t *testing.T) {
 	}
 }
 
-func TestNewProducerBeyondDeclaredPanics(t *testing.T) {
+// NewProducer beyond the declared count registers dynamically: the extra
+// producer's stream must be fully served, and termination must wait for it.
+func TestNewProducerBeyondDeclaredRegisters(t *testing.T) {
+	const n = 100
+	e, wl := startRecording(t, n, 1, 0)
+	declared := e.NewProducer()
+	dynamic := e.NewProducer() // beyond Options.Producers: dynamic registration
+	for i := 0; i < n/2; i++ {
+		declared.Push(int64(i), int64(i))
+		dynamic.Push(int64(n/2+i), int64(n/2+i))
+	}
+	declared.Close()
+	dynamic.Close()
+	st := e.Wait()
+	if st.Executed != n {
+		t.Fatalf("executed %d, want %d", st.Executed, n)
+	}
+	for i := range wl.hits {
+		if got := wl.hits[i].Load(); got != 1 {
+			t.Fatalf("job %d executed %d times", i, got)
+		}
+	}
+}
+
+// After termination the registration handshake must fail: TryNewProducer
+// returns ErrTerminated, NewProducer panics.
+func TestNewProducerAfterTermination(t *testing.T) {
 	e, _ := startRecording(t, 1, 1, 0)
 	p := e.NewProducer()
+	p.Push(0, 0)
+	p.Close()
+	e.Wait()
+	if _, err := e.TryNewProducer(); err != engine.ErrTerminated {
+		t.Fatalf("TryNewProducer after termination: err = %v, want ErrTerminated", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewProducer beyond Options.Producers did not panic")
+			t.Fatal("NewProducer after termination did not panic")
 		}
-		p.Close()
-		e.Wait()
 	}()
 	e.NewProducer()
 }

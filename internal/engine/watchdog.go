@@ -15,7 +15,9 @@ import (
 // report attached to the Result. Re-insertion churn (blocked tasks cycling
 // through the queue) deliberately does not count as progress: a run where
 // every pop comes back Blocked is exactly the livelock the watchdog exists
-// to diagnose.
+// to diagnose. Conversely, flat progress with zero live tasks is not a
+// stall at all — it is an idle service whose workers are parked waiting
+// for arrivals — so a stall additionally requires live unfinished work.
 
 // WorkerPhase is a worker's last published state, sampled by the watchdog.
 type WorkerPhase int32
@@ -27,6 +29,10 @@ const (
 	PhaseIdle
 	// PhaseExited: the worker's loop has returned.
 	PhaseExited
+	// PhaseParked: the worker is parked on the idle lot, consuming nothing
+	// until a wake. Parked is the healthy idle state, not a stall: the
+	// watchdog only reports when live tasks exist that nobody is finishing.
+	PhaseParked
 )
 
 // String names the phase for reports.
@@ -38,6 +44,8 @@ func (p WorkerPhase) String() string {
 		return "idle"
 	case PhaseExited:
 		return "exited"
+	case PhaseParked:
+		return "parked"
 	default:
 		return "unknown"
 	}
@@ -70,8 +78,13 @@ type StallReport struct {
 	// went silent without closing.
 	OpenProducers int64
 	// QueueLen is a racy scan of the queue's stored-pair count. Live pairs
-	// missing from the queue are parked in worker buffers or mid-flight.
+	// missing from the queue are held in worker buffers or mid-flight.
 	QueueLen int
+	// ParkedWorkers counts workers parked on the idle lot at capture.
+	// Parked workers with Live > 0 and QueueLen == 0 point at work held by
+	// a wedged peer or a batching producer that went quiet without Flush —
+	// the parked ones have nothing visible to pop and are healthy.
+	ParkedWorkers int
 	// Workers snapshots every worker's phase and tallies.
 	Workers []WorkerSnapshot
 }
@@ -114,6 +127,7 @@ func (e *Execution) stallReport(flatFor time.Duration) *StallReport {
 		Live:          e.counters.Live(),
 		OpenProducers: e.counters.Open(),
 		QueueLen:      e.mq.Len(),
+		ParkedWorkers: e.lot.Parked(),
 	}
 	rep.Produced, rep.Completed = e.counters.Tallies()
 	rep.Workers = make([]WorkerSnapshot, len(e.workers))
@@ -148,6 +162,17 @@ func (e *Execution) watchdog(timeout time.Duration, onStall func(*StallReport)) 
 		cur := e.counters.Progress()
 		if cur != last {
 			last, flatSince = cur, time.Now()
+			continue
+		}
+		// Flat progress alone is not a stall: an idle open system — all
+		// arrivals served, producers quiet, workers parked — is flat and
+		// healthy, and must not trip the watchdog (parked != stalled). A
+		// stall requires live unfinished work going nowhere. Live here is
+		// exact, not racy: any concurrent produce or complete would have
+		// moved Progress, contradicting the flat stretch that got us here.
+		// (A closed-or-closing system with Live == 0 is quiescent and about
+		// to terminate on its own — also not a stall.)
+		if e.counters.Live() == 0 {
 			continue
 		}
 		if flat := time.Since(flatSince); flat >= timeout {

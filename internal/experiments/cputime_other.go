@@ -1,0 +1,8 @@
+//go:build !linux && !darwin
+
+package experiments
+
+// processCPUTime is unsupported off linux/darwin: the idle-cost experiment
+// still runs (wake latency and drain time are portable) but reports CPU
+// consumption as unavailable.
+func processCPUTime() (int64, bool) { return 0, false }

@@ -1,0 +1,17 @@
+//go:build linux || darwin
+
+package experiments
+
+import "syscall"
+
+// processCPUTime returns the process's cumulative user+system CPU time in
+// nanoseconds via getrusage(RUSAGE_SELF). The idle-cost experiment diffs
+// two readings across a quiet window: with parked workers the delta should
+// be near zero, with spinning workers it is the polling bill.
+func processCPUTime() (int64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano(), true
+}

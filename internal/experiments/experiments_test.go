@@ -502,3 +502,64 @@ func TestChaosSmoke(t *testing.T) {
 		t.Fatal("render missing poison column")
 	}
 }
+
+func TestIdleCostSmoke(t *testing.T) {
+	res, err := IdleCost(SmokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per idle strategy", len(res.Rows))
+	}
+	seen := map[string]IdleCostRow{}
+	for _, row := range res.Rows {
+		seen[row.Strategy] = row
+		if row.WakeP50Us <= 0 || row.WakeP99Us < row.WakeP50Us || row.DrainMs <= 0 {
+			t.Fatalf("implausible wake/drain metrics: %+v", row)
+		}
+		if row.CPUMillis < 0 != (row.CPUPct < 0) {
+			t.Fatalf("CPU columns disagree on support: %+v", row)
+		}
+	}
+	if _, ok := seen["park"]; !ok {
+		t.Fatalf("no park row: %+v", res.Rows)
+	}
+	if _, ok := seen["spin"]; !ok {
+		t.Fatalf("no spin row: %+v", res.Rows)
+	}
+	var buf strings.Builder
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "idle-cpu-ms") {
+		t.Fatalf("render missing columns:\n%s", buf.String())
+	}
+}
+
+// The headline claim of the parking idle path, asserted where CPU clocks
+// exist: an idle execution with parked workers consumes (close to) no CPU.
+// The spin row is not asserted against — capped-backoff polling cost varies
+// with the host — but parked idleness must stay under a hard absolute
+// ceiling, a fraction of one core over the window.
+func TestIdleCostParkedIsNearZero(t *testing.T) {
+	c := SmokeConfig()
+	c.Trials = 1
+	res, err := IdleCost(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Strategy != "park" {
+			continue
+		}
+		if row.CPUMillis < 0 {
+			t.Skip("process CPU time unsupported on this platform")
+		}
+		// 30ms smoke window; parked workers do nothing, so even with
+		// runtime background noise the process should burn well under a
+		// fifth of one core.
+		if row.CPUPct > 20 {
+			t.Fatalf("parked idle burned %.1f%% CPU over %.0fms, want ~0: %+v", row.CPUPct, row.WindowMs, row)
+		}
+	}
+}

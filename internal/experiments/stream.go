@@ -34,6 +34,14 @@ type StreamRow struct {
 	RankErrPerJob float64 // MeanRankErr / N
 	OpsPerSec     float64 // jobs executed per second of wall time
 	Millis        float64
+	// P50Us, P99Us and P999Us are per-job sojourn-latency quantiles
+	// (push-to-execute, microseconds, trial means) from the engine's
+	// fixed-bucket histogram — the streaming SLO columns next to the rank
+	// error: relaxation trades ordering fidelity for latency/throughput,
+	// and these rows show both sides of that trade.
+	P50Us  float64
+	P99Us  float64
+	P999Us float64
 	HostEnv
 }
 
@@ -70,7 +78,7 @@ func Stream(c Config) (StreamResult, error) {
 	for _, backend := range backends {
 		for _, threads := range c.threadSweep() {
 			for _, rate := range StreamRates {
-				var mean, maxE, ops, ms stats.Sample
+				var mean, maxE, ops, ms, p50, p99, p999 stats.Sample
 				for trial := 0; trial < c.trials(); trial++ {
 					var sr sched.StreamResult
 					var runErr error
@@ -94,6 +102,9 @@ func Stream(c Config) (StreamResult, error) {
 					maxE.Add(float64(sr.MaxRankError))
 					ops.Add(float64(sr.Jobs) / elapsed.Seconds())
 					ms.Add(elapsed.Seconds() * 1e3)
+					p50.Add(float64(sr.LatencyP50) / 1e3)
+					p99.Add(float64(sr.LatencyP99) / 1e3)
+					p999.Add(float64(sr.LatencyP999) / 1e3)
 				}
 				res.Rows = append(res.Rows, StreamRow{
 					Backend: string(backend), Threads: threads,
@@ -102,6 +113,7 @@ func Stream(c Config) (StreamResult, error) {
 					MaxRankErr:    maxE.Mean(),
 					RankErrPerJob: mean.Mean() / float64(total),
 					OpsPerSec:     ops.Mean(), Millis: ms.Mean(),
+					P50Us: p50.Mean(), P99Us: p99.Mean(), P999Us: p999.Mean(),
 					HostEnv: Host(),
 				})
 			}
@@ -112,10 +124,11 @@ func Stream(c Config) (StreamResult, error) {
 
 // Render writes the streaming-scheduler table.
 func (r StreamResult) Render(w io.Writer) error {
-	t := stats.NewTable("backend", "threads", "producers", "rate/s", "jobs", "rank-err", "stderr", "max", "err/job", "ops/sec", "ms")
+	t := stats.NewTable("backend", "threads", "producers", "rate/s", "jobs", "rank-err", "stderr", "max", "err/job", "ops/sec", "p50us", "p99us", "p999us", "ms")
 	for _, row := range r.Rows {
 		t.AddRow(row.Backend, row.Threads, row.Producers, row.Rate, row.N,
-			row.MeanRankErr, row.MeanRankErrE, row.MaxRankErr, row.RankErrPerJob, row.OpsPerSec, row.Millis)
+			row.MeanRankErr, row.MeanRankErrE, row.MaxRankErr, row.RankErrPerJob, row.OpsPerSec,
+			row.P50Us, row.P99Us, row.P999Us, row.Millis)
 	}
 	return t.Render(w)
 }

@@ -1,5 +1,5 @@
 // Package inflight provides the termination-detection counter shared by the
-// parallel runtimes (core.ParallelRun, sssp.ParallelWith).
+// parallel runtimes (internal/engine and everything built on it).
 //
 // A relaxed concurrent queue cannot signal "done": Pop reporting empty is
 // inherently racy against in-flight pushers, so workers must track how many
@@ -24,29 +24,70 @@
 // are only produced while processing a live one, none can appear afterwards
 // except through queues the caller has already observed empty.
 //
-// # Open systems: external producers
+// # Open systems: dynamic external producers
 //
 // The closed-world argument above assumes tasks are only born while a
 // worker processes a live one. Streaming executions break that: external
-// producers push tasks from outside the worker set at arbitrary times.
-// NewOpen extends the counter with producer slots (tally-only: producers
-// record Produce, never Complete) and an open-producer count, initialized
-// to the declared producer total and decremented by CloseProducer.
+// producers push tasks from outside the worker set at arbitrary times, and
+// — since this package learned dynamic registration — may come into
+// existence at arbitrary times too. The producer-side state lives in one
+// atomic word with three fields:
 //
-// Quiescent reads the open count before the double scan, which is what
-// keeps the proof intact: open == 0 means every producer's final Produce
-// happened before its CloseProducer, which happened before this load, so
-// the monotone produced tallies scanned afterwards already include every
-// externally born task — the system is closed-world again from the load
-// onward, and the original argument applies unchanged. (Reading it last
-// would admit a race: a producer could push between the produced scan and
-// the open-count read.)
+//	bit 0        sealed    — termination has been observed; final
+//	bits 1..31   open      — producers registered but not yet closed
+//	bits 32..63  registered — producers ever registered (monotone)
+//
+// Register CASes open+1 and registered+1 in one step (failing permanently
+// once sealed), appends a fresh tally slot to an immutable producer-slot
+// list (RCU: readers load an atomic pointer, writers copy-append under a
+// mutex), and hands the producer its slot. Producer slots are tally-only —
+// the tasks they Produce are Completed by worker slots — and a producer's
+// Close decrements open after its final Produce.
+//
+// Quiescent loads the state word first: sealed short-circuits true, open
+// != 0 short-circuits false. Open == 0 means every registered producer's
+// final Produce happened before its Close, which happened before this
+// load, so the monotone produced tallies scanned afterwards already
+// include every externally born task — the system is closed-world again
+// from the load onward, and the double-scan argument applies unchanged.
+// (The producer-slot list is loaded after the state word; a slot is
+// published before its producer's first Produce, which precedes that
+// producer's Close, which precedes the load — so the list covers every
+// producer that ever produced.)
+//
+// The scan alone is not enough once producers are dynamic: "quiescent now"
+// can be invalidated a nanosecond later by a fresh Register, and workers
+// that act on a stale true would abandon a live stream. Sealing closes
+// that race: after a successful double scan, Quiescent CASes the sealed
+// bit onto the exact state word it loaded before scanning. If any
+// registration happened since the load, the monotone registered field has
+// changed, the CAS fails, and the scan re-polls — the monotonicity is
+// precisely what defeats the ABA where a producer registers, streams,
+// closes and drains between load and CAS, restoring open == 0 with tallies
+// this scan never saw (completed == produced could then hold again while
+// the scan's member sums are stale). Once sealed, Quiescent is true
+// forever and Register fails forever: termination is a stable property,
+// and the engine's NewProducer-after-termination turns into a clean error
+// instead of a stranded stream.
 package inflight
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// slot holds one worker's monotone tallies, padded to its own cache lines
-// so neighbouring workers never false-share.
+const (
+	sealedBit = uint64(1)
+	openShift = 1
+	openMask  = uint64(1)<<31 - 1
+	regShift  = 32
+)
+
+// openCount extracts the open-producer field of a state word.
+func openCount(st uint64) int64 { return int64(st >> openShift & openMask) }
+
+// slot holds one tally pair, padded to its own cache lines so neighbouring
+// workers never false-share.
 type slot struct {
 	produced  atomic.Int64
 	completed atomic.Int64
@@ -54,16 +95,20 @@ type slot struct {
 }
 
 // Counter tracks produced-versus-completed tasks across a fixed set of
-// workers, plus (for open systems) a fixed set of external producers. The
-// zero value is unusable; construct with New or NewOpen.
+// workers, plus (for open systems) a dynamic set of external producers.
+// The zero value is unusable; construct with New or NewOpen.
 type Counter struct {
 	slots []slot
-	// open counts external producers that have not yet called CloseProducer.
-	// It sits on its own padded line: Quiescent loads it on every scan, and
-	// it must not false-share with any tally slot.
-	_    [64]byte
-	open atomic.Int64
-	_    [56]byte
+	// state is the packed sealed/open/registered word (see package
+	// comment). Own padded line: Quiescent loads it on every scan, and it
+	// must not false-share with any tally slot.
+	_     [64]byte
+	state atomic.Uint64
+	_     [56]byte
+	// mu serializes producer-slot appends; prods is the RCU snapshot the
+	// scan reads without locking.
+	mu    sync.Mutex
+	prods atomic.Pointer[[]*slot]
 }
 
 // New returns a closed-world counter with one padded slot per worker
@@ -72,12 +117,13 @@ func New(workers int) *Counter {
 	return NewOpen(workers, 0)
 }
 
-// NewOpen returns a counter for an open system: workers worker slots
-// (indices [0, workers)) followed by producers external producer slots
-// (indices [workers, workers+producers)), with the open-producer count
-// initialized to producers. Producer slots are tally-only — the tasks they
-// Produce are Completed by worker slots — and Quiescent stays false until
-// every declared producer has called CloseProducer.
+// NewOpen returns a counter for an open system with workers worker slots
+// (indices [0, workers)) and producers pre-registered external producers:
+// the open and registered counts start at producers, and the first
+// producers Attach calls claim those registrations without touching the
+// state word. Quiescent stays false until every pre-registered producer
+// has been attached and closed. Producers registered later with Register
+// extend the open set dynamically.
 func NewOpen(workers, producers int) *Counter {
 	if workers < 1 {
 		panic("inflight: need at least one worker")
@@ -85,9 +131,86 @@ func NewOpen(workers, producers int) *Counter {
 	if producers < 0 {
 		panic("inflight: negative producer count")
 	}
-	c := &Counter{slots: make([]slot, workers+producers)}
-	c.open.Store(int64(producers))
+	c := &Counter{slots: make([]slot, workers)}
+	c.state.Store(uint64(producers)<<openShift | uint64(producers)<<regShift)
+	empty := make([]*slot, 0)
+	c.prods.Store(&empty)
 	return c
+}
+
+// attach publishes a fresh producer slot into the RCU list.
+func (c *Counter) attach() *ProducerSlot {
+	s := &slot{}
+	c.mu.Lock()
+	old := *c.prods.Load()
+	list := make([]*slot, len(old)+1)
+	copy(list, old)
+	list[len(old)] = s
+	c.prods.Store(&list)
+	c.mu.Unlock()
+	return &ProducerSlot{c: c, s: s}
+}
+
+// Attach claims one of the registrations declared to NewOpen: the caller
+// guarantees fewer Attach calls than the declared producer count (the
+// engine tracks this under its own lock). The producer's open slot was
+// counted at construction, so the system cannot have sealed — attaching
+// only publishes the tally slot.
+func (c *Counter) Attach() *ProducerSlot {
+	return c.attach()
+}
+
+// Register adds a producer dynamically: open and registered increment
+// together in one CAS, so a concurrent Quiescent either observes the new
+// open producer or fails its seal CAS on the changed registered count. It
+// returns ok == false permanently once the counter has sealed — the
+// execution terminated — and the caller must not produce.
+func (c *Counter) Register() (p *ProducerSlot, ok bool) {
+	for {
+		st := c.state.Load()
+		if st&sealedBit != 0 {
+			return nil, false
+		}
+		if c.state.CompareAndSwap(st, st+1<<openShift+1<<regShift) {
+			return c.attach(), true
+		}
+	}
+}
+
+// ProducerSlot is one external producer's handle on the counter: tally
+// Produce calls through it before each push, then Close exactly once.
+// Like the producer it backs, it is single-goroutine.
+type ProducerSlot struct {
+	c *Counter
+	s *slot
+}
+
+// Produce records one task created by this producer. It must be called
+// before the task becomes visible to workers (i.e. before the push).
+func (p *ProducerSlot) Produce() {
+	p.s.produced.Add(1)
+}
+
+// ProduceN records n tasks created by this producer, n >= 0.
+func (p *ProducerSlot) ProduceN(n int64) {
+	if n > 0 {
+		p.s.produced.Add(n)
+	}
+}
+
+// Close records that this producer will produce no more tasks. It must be
+// called after the producer's final Produce, exactly once; it panics if
+// the counter has no open producers to close.
+func (p *ProducerSlot) Close() {
+	for {
+		st := p.c.state.Load()
+		if openCount(st) == 0 {
+			panic("inflight: Close without an open producer")
+		}
+		if p.c.state.CompareAndSwap(st, st-1<<openShift) {
+			return
+		}
+	}
 }
 
 // Produce records that worker w created one task. It must be called before
@@ -110,27 +233,28 @@ func (c *Counter) Complete(w int) {
 	c.slots[w].completed.Add(1)
 }
 
-// CloseProducer records that one external producer will produce no more
-// tasks. It must be called after the producer's final Produce, exactly once
-// per declared producer; it panics if called more times than NewOpen
-// declared.
-func (c *Counter) CloseProducer() {
-	if c.open.Add(-1) < 0 {
-		panic("inflight: CloseProducer without an open producer")
-	}
-}
+// Open returns the number of registered producers not yet closed.
+func (c *Counter) Open() int64 { return openCount(c.state.Load()) }
 
-// Open returns the number of external producers not yet closed.
-func (c *Counter) Open() int64 { return c.open.Load() }
+// Sealed reports whether termination has been observed: Quiescent returned
+// true at least once, and every future Register fails.
+func (c *Counter) Sealed() bool { return c.state.Load()&sealedBit != 0 }
 
 // Quiescent reports whether every producer has closed and every produced
-// task has been completed. A true result is definitive (see the package
-// comment for the double-scan argument and why the open-producer count is
-// read first); a false result may be transient and callers should re-poll.
+// task has been completed. A true result is definitive and permanent: the
+// counter seals, so no later Register can resurrect the system (see the
+// package comment for the double-scan argument, why the state word is read
+// first, and why sealing CASes against the monotone registered count). A
+// false result may be transient and callers should re-poll.
 func (c *Counter) Quiescent() bool {
-	if c.open.Load() != 0 {
+	st := c.state.Load()
+	if st&sealedBit != 0 {
+		return true
+	}
+	if openCount(st) != 0 {
 		return false
 	}
+	prods := *c.prods.Load()
 	var completed int64
 	for i := range c.slots {
 		completed += c.slots[i].completed.Load()
@@ -139,7 +263,18 @@ func (c *Counter) Quiescent() bool {
 	for i := range c.slots {
 		produced += c.slots[i].produced.Load()
 	}
-	return completed == produced
+	for _, s := range prods {
+		produced += s.produced.Load()
+	}
+	if completed != produced {
+		return false
+	}
+	if c.state.CompareAndSwap(st, st|sealedBit) {
+		return true
+	}
+	// The seal lost a race: either another scanner sealed (quiescent
+	// stands) or a producer registered mid-scan (it does not).
+	return c.state.Load()&sealedBit != 0
 }
 
 // Live returns a racy snapshot of produced-minus-completed tasks. For
@@ -148,6 +283,9 @@ func (c *Counter) Live() int64 {
 	var live int64
 	for i := range c.slots {
 		live += c.slots[i].produced.Load() - c.slots[i].completed.Load()
+	}
+	for _, s := range *c.prods.Load() {
+		live += s.produced.Load()
 	}
 	return live
 }
@@ -159,6 +297,9 @@ func (c *Counter) Tallies() (produced, completed int64) {
 		produced += c.slots[i].produced.Load()
 		completed += c.slots[i].completed.Load()
 	}
+	for _, s := range *c.prods.Load() {
+		produced += s.produced.Load()
+	}
 	return produced, completed
 }
 
@@ -166,11 +307,17 @@ func (c *Counter) Tallies() (produced, completed int64) {
 // produced and completed tally. It only ever grows, and it grows exactly
 // when a task is born or finishes — re-insertion churn (a popped task
 // pushed back unchanged) moves neither tally, so a flat Progress over time
-// means the system is doing no real work. Stall watchdogs key off this.
+// means the system is completing no work. Note that flat Progress does not
+// by itself mean stuck: an idle open system (parked workers, quiet
+// producers, zero live tasks) is flat and healthy. Stall watchdogs key off
+// Progress and Live together.
 func (c *Counter) Progress() int64 {
 	var sum int64
 	for i := range c.slots {
 		sum += c.slots[i].produced.Load() + c.slots[i].completed.Load()
+	}
+	for _, s := range *c.prods.Load() {
+		sum += s.produced.Load()
 	}
 	return sum
 }

@@ -9,9 +9,6 @@ import (
 
 func TestSequentialAccounting(t *testing.T) {
 	c := New(2)
-	if !c.Quiescent() {
-		t.Fatal("fresh counter not quiescent")
-	}
 	c.Produce(0)
 	if c.Quiescent() {
 		t.Fatal("quiescent with one live task")
@@ -19,25 +16,41 @@ func TestSequentialAccounting(t *testing.T) {
 	if c.Live() != 1 {
 		t.Fatalf("Live = %d, want 1", c.Live())
 	}
-	c.Complete(1) // completed by a different worker than the producer
-	if !c.Quiescent() {
-		t.Fatal("not quiescent after completion")
-	}
 	c.ProduceN(0, 5)
 	c.ProduceN(1, 0)
-	if c.Live() != 5 {
-		t.Fatalf("Live = %d, want 5", c.Live())
+	if c.Live() != 6 {
+		t.Fatalf("Live = %d, want 6", c.Live())
 	}
+	c.Complete(1) // completed by a different worker than the producer
 	for i := 0; i < 5; i++ {
 		c.Complete(i % 2)
 	}
 	if !c.Quiescent() {
 		t.Fatal("not quiescent after draining")
 	}
+	// Quiescence seals: the counter is now terminal.
+	if !c.Sealed() {
+		t.Fatal("quiescent counter not sealed")
+	}
+}
+
+func TestFreshClosedWorldSealsImmediately(t *testing.T) {
+	// A closed-world counter with nothing produced is quiescent (an empty
+	// frontier terminates at once), and the observation is permanent.
+	c := New(1)
+	if !c.Quiescent() {
+		t.Fatal("fresh closed-world counter not quiescent")
+	}
+	if !c.Sealed() {
+		t.Fatal("observed quiescence did not seal")
+	}
+	if _, ok := c.Register(); ok {
+		t.Fatal("Register succeeded on a sealed counter")
+	}
 }
 
 func TestOpenProducerAccounting(t *testing.T) {
-	// 2 workers + 2 external producer slots. Quiescent must stay false —
+	// 2 workers + 2 pre-registered producers. Quiescent must stay false —
 	// even with zero tasks anywhere — until both producers close.
 	c := NewOpen(2, 2)
 	if c.Quiescent() {
@@ -46,8 +59,9 @@ func TestOpenProducerAccounting(t *testing.T) {
 	if c.Open() != 2 {
 		t.Fatalf("Open = %d, want 2", c.Open())
 	}
-	c.Produce(2) // producer slot 0 streams one task
-	c.CloseProducer()
+	p0, p1 := c.Attach(), c.Attach()
+	p0.Produce() // producer 0 streams one task
+	p0.Close()
 	if c.Quiescent() {
 		t.Fatal("quiescent with one open producer and a live task")
 	}
@@ -55,8 +69,8 @@ func TestOpenProducerAccounting(t *testing.T) {
 	if c.Quiescent() {
 		t.Fatal("quiescent with one producer still open")
 	}
-	c.ProduceN(3, 4) // producer slot 1 streams a batch
-	c.CloseProducer()
+	p1.ProduceN(4) // producer 1 streams a batch
+	p1.Close()
 	if c.Open() != 0 {
 		t.Fatalf("Open = %d, want 0", c.Open())
 	}
@@ -66,6 +80,10 @@ func TestOpenProducerAccounting(t *testing.T) {
 	if c.Live() != 4 {
 		t.Fatalf("Live = %d, want 4", c.Live())
 	}
+	produced, completed := c.Tallies()
+	if produced != 5 || completed != 1 {
+		t.Fatalf("Tallies = (%d, %d), want (5, 1)", produced, completed)
+	}
 	for i := 0; i < 4; i++ {
 		c.Complete(1)
 	}
@@ -74,15 +92,47 @@ func TestOpenProducerAccounting(t *testing.T) {
 	}
 }
 
-func TestCloseProducerOverrunPanics(t *testing.T) {
+func TestDynamicRegistration(t *testing.T) {
+	// Zero producers declared: the counter starts closed-world, a dynamic
+	// Register opens it, and sealing permanently refuses late arrivals.
+	c := NewOpen(1, 0)
+	p, ok := c.Register()
+	if !ok {
+		t.Fatal("Register failed on an unsealed counter")
+	}
+	if c.Open() != 1 {
+		t.Fatalf("Open = %d, want 1", c.Open())
+	}
+	if c.Quiescent() {
+		t.Fatal("quiescent with a dynamically registered open producer")
+	}
+	p.Produce()
+	p.Close()
+	if c.Quiescent() {
+		t.Fatal("quiescent with the streamed task live")
+	}
+	c.Complete(0)
+	if !c.Quiescent() {
+		t.Fatal("not quiescent after close and drain")
+	}
+	if _, ok := c.Register(); ok {
+		t.Fatal("Register succeeded after seal")
+	}
+	if !c.Quiescent() {
+		t.Fatal("sealed counter stopped reporting quiescent")
+	}
+}
+
+func TestCloseOverrunPanics(t *testing.T) {
 	c := NewOpen(1, 1)
-	c.CloseProducer()
+	p := c.Attach()
+	p.Close()
 	defer func() {
 		if recover() == nil {
-			t.Fatal("extra CloseProducer did not panic")
+			t.Fatal("extra Close did not panic")
 		}
 	}()
-	c.CloseProducer()
+	p.Close()
 }
 
 func TestNewOpenValidation(t *testing.T) {
@@ -161,5 +211,65 @@ func TestNeverFalselyQuiescent(t *testing.T) {
 	c.Complete(workers - 1)
 	if !c.Quiescent() {
 		t.Fatal("not quiescent after the pinned task completed")
+	}
+}
+
+// TestRegisterSealRace races dynamic registrations against termination
+// scans: every registration must either succeed — and then its stream is
+// fully served before any true Quiescent — or fail against a sealed
+// counter. A registration that succeeds after a seal, or a seal that lands
+// while a registered producer still has live work, is a protocol violation.
+func TestRegisterSealRace(t *testing.T) {
+	const attempts = 2000
+	for round := 0; round < 20; round++ {
+		c := NewOpen(1, 0)
+		var registered, served atomic.Int64
+		var violation atomic.Bool
+		var wg sync.WaitGroup
+		// Scanner: a worker polling for termination, completing any tasks
+		// it can see (Live > 0 means a producer's push landed).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if c.Live() > 0 {
+					c.Complete(0)
+					served.Add(1)
+					continue
+				}
+				if c.Quiescent() {
+					return
+				}
+			}
+		}()
+		// Registrars: hammer Register; each success produces one task and
+		// closes. After the first failure the counter must be sealed.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				p, ok := c.Register()
+				if !ok {
+					if !c.Sealed() {
+						violation.Store(true)
+					}
+					return
+				}
+				registered.Add(1)
+				p.Produce()
+				p.Close()
+			}
+		}()
+		wg.Wait()
+		if violation.Load() {
+			t.Fatal("Register failed on an unsealed counter")
+		}
+		if !c.Sealed() {
+			t.Fatal("counter not sealed after scanner exit")
+		}
+		if served.Load() != registered.Load() {
+			t.Fatalf("round %d: %d registered streams, %d served — the seal abandoned live work",
+				round, registered.Load(), served.Load())
+		}
 	}
 }

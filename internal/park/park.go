@@ -1,0 +1,206 @@
+// Package park is a futex-style parking lot for worker goroutines: the
+// event-driven idle path behind the engine's "idle service burns no CPU"
+// guarantee. A worker that keeps finding its queue empty parks on its own
+// cache-padded slot and consumes nothing — no polling loop, no timer —
+// until a producer-side Wake unparks it.
+//
+// # The lost-wakeup problem
+//
+// The entire difficulty is the race between "the queue looked empty" and
+// "a push just made it non-empty": a waker that cannot see the about-to-
+// park worker will not wake it, and a parker that cannot see the
+// just-pushed item will sleep on a non-empty queue — a stranded worker.
+// The lot closes the race with the classic announce-then-recheck protocol,
+// plus a per-slot wakeup token for cheap cancellation:
+//
+//	parker                          waker
+//	------                          -----
+//	tok := Token(w)                 make work visible (push)
+//	recheck queue (cheap outs)      if Parked() == 0: return   (fast path)
+//	Park(w, tok, cancel):           scan slots; claim a parked one
+//	  announce: parked=true, n++      (CAS parked true->false)
+//	  if seq != tok: abort          bump the slot's seq token
+//	  if cancel():   abort          signal the slot's sema
+//	  sleep on sema
+//
+// Why no wakeup is ever lost (all Go atomics are sequentially consistent,
+// so every execution has one total order over them):
+//
+//   - If the waker's fast-path load saw Parked() == 0, the load precedes
+//     every announce of every currently-parking worker in the total order
+//     (an announce increments the count before the parker sleeps, and the
+//     count cannot have been decremented again for a worker that is still
+//     asleep). The waker's push precedes its load, so it precedes those
+//     announces — and the parker's cancel() runs after its announce, so
+//     cancel() observes the pushed work and aborts the park. The waker may
+//     skip waking only workers that are guaranteed to recheck.
+//   - If the waker saw Parked() != 0 it claims a parked slot: the CAS on
+//     the slot's parked flag is the exactly-once handoff, the seq bump
+//     cancels a parker that announced but has not yet slept, and the
+//     1-buffered sema covers the remaining window — a signal sent before
+//     the parker's receive is buffered, so the receive returns
+//     immediately. A parked slot is claimed by at most one waker per park
+//     episode (the CAS), so the sema never holds more than one signal and
+//     a blocking send cannot block.
+//   - A parker that aborts after announcing un-announces by the same CAS;
+//     if the CAS fails a waker already claimed it, and the parker drains
+//     the (possibly still in-flight) sema signal before returning, so the
+//     next park episode starts with an empty sema.
+//
+// The contract this imposes on callers: every action that makes work
+// visible to a potentially-parking consumer must be followed by a Wake (or
+// WakeAll), and every parker must re-examine the condition it is waiting
+// on inside the cancel callback — after the announce — not only before
+// Park. Callers that follow both rules never strand a worker; see
+// internal/engine for the full termination argument layered on top.
+//
+// The hot path is deliberately cheap: a Wake with nobody parked is one
+// atomic load of a line that is only written on park/unpark transitions
+// (so it stays in shared state in every cache during busy operation), and
+// parking itself allocates nothing and performs no syscalls beyond the
+// runtime's own goroutine blocking.
+package park
+
+import "sync/atomic"
+
+// parkSlot is one worker's park state, padded so neighbouring workers'
+// park/wake traffic never false-shares.
+type parkSlot struct {
+	// seq is the wakeup token: bumped by every wake directed at this slot,
+	// sampled by the worker before it commits to parking.
+	seq atomic.Uint64
+	// parked announces "this worker is committed to sleeping"; set by the
+	// parker, cleared exactly once per episode by whoever ends it (a
+	// claiming waker or the aborting parker itself).
+	parked atomic.Bool
+	// sema carries the wake signal. 1-buffered: a wake racing the parker's
+	// commit-to-sleep parks the signal in the buffer instead of losing it.
+	sema chan struct{}
+	_    [104]byte // pad the ~24-byte payload to two 64-byte lines
+}
+
+// Lot is a parking lot with one slot per worker. The zero value is
+// unusable; construct with NewLot.
+type Lot struct {
+	slots []parkSlot
+	// nparked counts slots whose parked flag is set — the waker fast path.
+	// Own padded line: read on every Wake, written only on transitions.
+	_       [64]byte
+	nparked atomic.Int64
+	_       [56]byte
+	// next rotates Wake's scan start so repeated single wakes spread over
+	// the parked set instead of hammering slot 0.
+	next atomic.Uint64
+	_    [56]byte
+}
+
+// NewLot returns a lot with n slots, for workers indexed [0, n).
+func NewLot(n int) *Lot {
+	l := &Lot{slots: make([]parkSlot, n)}
+	for i := range l.slots {
+		l.slots[i].sema = make(chan struct{}, 1)
+	}
+	return l
+}
+
+// Token samples worker w's wakeup token. Call it before the caller's own
+// "is there really nothing to do" rechecks; a wake that lands after the
+// sample bumps the token and the subsequent Park aborts instead of
+// sleeping.
+func (l *Lot) Token(w int) uint64 {
+	return l.slots[w].seq.Load()
+}
+
+// Park blocks worker w until a wake claims it, and returns true. It
+// returns false without sleeping if the slot's token no longer equals tok
+// (a wake already landed) or if cancel reports there is work to do.
+// cancel runs after the slot is announced as parked — that ordering is
+// what makes a concurrent waker's fast-path skip safe (see the package
+// comment) — so it must recheck the caller's actual wait condition, not
+// cached state. Only worker w may call Park(w, ...).
+func (l *Lot) Park(w int, tok uint64, cancel func() bool) bool {
+	s := &l.slots[w]
+	if s.seq.Load() != tok {
+		return false
+	}
+	// Announce before the final recheck: from here until the flag is
+	// cleared, every waker either sees nparked != 0 and can claim this
+	// slot, or completed its fast-path load before this increment — in
+	// which case its work is visible to cancel() below.
+	s.parked.Store(true)
+	l.nparked.Add(1)
+	if s.seq.Load() != tok || cancel() {
+		if s.parked.CompareAndSwap(true, false) {
+			l.nparked.Add(-1)
+			return false
+		}
+		// A waker claimed the slot between the announce and the abort: its
+		// signal is in flight (or buffered). Consume it so the next park
+		// episode starts clean; the send cannot be far — the claimant
+		// signals right after its CAS.
+		<-s.sema
+		return false
+	}
+	<-s.sema
+	return true
+}
+
+// wake claims and signals slot i if it is parked, reporting success.
+func (l *Lot) wake(i int) bool {
+	s := &l.slots[i]
+	if !s.parked.Load() {
+		return false
+	}
+	if !s.parked.CompareAndSwap(true, false) {
+		return false
+	}
+	l.nparked.Add(-1)
+	s.seq.Add(1)
+	s.sema <- struct{}{} // 1-buffered and drained per episode: never blocks
+	return true
+}
+
+// Wake unparks up to n parked workers and returns how many it woke. With
+// nobody parked it is a single atomic load. Callers invoke it after making
+// work visible; waking fewer than n because fewer were parked is fine (the
+// unparked are awake and will find the work themselves).
+func (l *Lot) Wake(n int) int {
+	if n <= 0 || l.nparked.Load() == 0 {
+		return 0
+	}
+	woken := 0
+	start := int(l.next.Add(1) % uint64(len(l.slots)))
+	for i := 0; i < len(l.slots) && woken < n; i++ {
+		idx := start + i
+		if idx >= len(l.slots) {
+			idx -= len(l.slots)
+		}
+		if l.wake(idx) {
+			woken++
+		}
+	}
+	return woken
+}
+
+// WakeAll unparks every parked worker: the shutdown/termination broadcast
+// (stop requested, quiescence reached, a producer closed). With nobody
+// parked it is a single atomic load.
+func (l *Lot) WakeAll() int {
+	if l.nparked.Load() == 0 {
+		return 0
+	}
+	woken := 0
+	for i := range l.slots {
+		if l.wake(i) {
+			woken++
+		}
+	}
+	return woken
+}
+
+// Parked returns the number of currently parked workers. Racy by nature;
+// exact whenever the system is externally quiescent (no park or wake in
+// flight), which is when diagnostics and idle-cost measurements read it.
+func (l *Lot) Parked() int {
+	return int(l.nparked.Load())
+}

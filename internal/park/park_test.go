@@ -1,0 +1,264 @@
+package park
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func never() bool { return false }
+
+func TestParkWake(t *testing.T) {
+	l := NewLot(2)
+	if l.Parked() != 0 {
+		t.Fatalf("fresh lot has %d parked", l.Parked())
+	}
+	done := make(chan bool)
+	tok := l.Token(0)
+	go func() { done <- l.Park(0, tok, never) }()
+	// Wait for the announce, then wake.
+	for l.Parked() == 0 {
+		time.Sleep(10 * time.Microsecond)
+	}
+	if n := l.Wake(1); n != 1 {
+		t.Fatalf("Wake(1) woke %d", n)
+	}
+	if !<-done {
+		t.Fatal("Park returned false after a genuine wake")
+	}
+	if l.Parked() != 0 {
+		t.Fatalf("%d parked after wake", l.Parked())
+	}
+}
+
+func TestStaleTokenAbortsPark(t *testing.T) {
+	l := NewLot(1)
+	tok := l.Token(0)
+	// A wake that lands between Token and Park bumps the token; Park must
+	// return immediately even though nobody will signal the sema again.
+	l.slots[0].seq.Add(1)
+	if l.Park(0, tok, never) {
+		t.Fatal("Park slept on a stale token")
+	}
+	if l.Parked() != 0 {
+		t.Fatalf("%d parked after aborted park", l.Parked())
+	}
+}
+
+func TestCancelAbortsPark(t *testing.T) {
+	l := NewLot(1)
+	calls := 0
+	ok := l.Park(0, l.Token(0), func() bool { calls++; return true })
+	if ok {
+		t.Fatal("Park slept despite cancel")
+	}
+	if calls != 1 {
+		t.Fatalf("cancel ran %d times, want 1", calls)
+	}
+	if l.Parked() != 0 {
+		t.Fatalf("%d parked after cancelled park", l.Parked())
+	}
+	// The slot must be reusable: a normal park/wake cycle still works.
+	done := make(chan bool)
+	tok := l.Token(0)
+	go func() { done <- l.Park(0, tok, never) }()
+	for l.Parked() == 0 {
+		time.Sleep(10 * time.Microsecond)
+	}
+	l.WakeAll()
+	if !<-done {
+		t.Fatal("Park aborted after a prior cancelled episode")
+	}
+}
+
+func TestWakeAll(t *testing.T) {
+	const n = 8
+	l := NewLot(n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l.Park(w, l.Token(w), never)
+		}(w)
+	}
+	for l.Parked() != n {
+		time.Sleep(10 * time.Microsecond)
+	}
+	if woken := l.WakeAll(); woken != n {
+		t.Fatalf("WakeAll woke %d of %d", woken, n)
+	}
+	wg.Wait()
+	if l.Parked() != 0 {
+		t.Fatalf("%d still parked after WakeAll", l.Parked())
+	}
+}
+
+func TestWakeDistributes(t *testing.T) {
+	// Wake(1) called n times with n parked workers must wake all of them:
+	// the rotating scan may not repeatedly claim the same slot.
+	const n = 4
+	l := NewLot(n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l.Park(w, l.Token(w), never)
+		}(w)
+	}
+	for l.Parked() != n {
+		time.Sleep(10 * time.Microsecond)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += l.Wake(1)
+	}
+	if total != n {
+		t.Fatalf("n single wakes woke %d of %d", total, n)
+	}
+	wg.Wait()
+}
+
+func TestWakeWithNobodyParked(t *testing.T) {
+	l := NewLot(4)
+	if n := l.Wake(1); n != 0 {
+		t.Fatalf("Wake woke %d with nobody parked", n)
+	}
+	if n := l.WakeAll(); n != 0 {
+		t.Fatalf("WakeAll woke %d with nobody parked", n)
+	}
+	if n := l.Wake(0); n != 0 {
+		t.Fatalf("Wake(0) woke %d", n)
+	}
+}
+
+func TestSlotPadding(t *testing.T) {
+	if s := unsafe.Sizeof(parkSlot{}); s < 128 {
+		t.Fatalf("parkSlot is %d bytes, want >= 128", s)
+	}
+}
+
+// TestNoLostWakeup is the adversarial schedule the token protocol exists
+// for: a consumer repeatedly parks on "no work", a producer publishes work
+// and wakes, timed so wakes constantly race the announce. If a wake is
+// ever lost the consumer sleeps on pending work and the test times out.
+func TestNoLostWakeup(t *testing.T) {
+	const rounds = 20000
+	l := NewLot(1)
+	var work atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		consumed := 0
+		for consumed < rounds {
+			if work.Load() > 0 {
+				work.Add(-1)
+				consumed++
+				continue
+			}
+			tok := l.Token(0)
+			if work.Load() > 0 {
+				continue
+			}
+			l.Park(0, tok, func() bool { return work.Load() > 0 })
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		work.Add(1) // make work visible...
+		l.Wake(1)   // ...then wake: the caller contract
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer stranded: a wakeup was lost")
+	}
+}
+
+// TestNoLostWakeupFanIn drives many producers and consumers through one
+// lot under racing parks, wakes and cancels.
+func TestNoLostWakeupFanIn(t *testing.T) {
+	const (
+		consumers = 4
+		producers = 4
+		perProd   = 5000
+	)
+	l := NewLot(consumers)
+	var work atomic.Int64
+	var consumed atomic.Int64
+	total := int64(producers * perProd)
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for consumed.Load() < total {
+				if v := work.Load(); v > 0 && work.CompareAndSwap(v, v-1) {
+					consumed.Add(1)
+					continue
+				}
+				tok := l.Token(c)
+				if work.Load() > 0 || consumed.Load() >= total {
+					continue
+				}
+				l.Park(c, tok, func() bool {
+					return work.Load() > 0 || consumed.Load() >= total
+				})
+			}
+			// Exiting consumers release their peers, exactly as engine
+			// workers broadcast on observed quiescence.
+			l.WakeAll()
+		}(c)
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				work.Add(1)
+				l.Wake(1)
+			}
+		}()
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("stranded: consumed %d of %d, %d parked", consumed.Load(), total, l.Parked())
+	}
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d of %d", consumed.Load(), total)
+	}
+}
+
+func BenchmarkWakeNobodyParked(b *testing.B) {
+	l := NewLot(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Wake(1)
+	}
+}
+
+func BenchmarkParkWakeRoundTrip(b *testing.B) {
+	l := NewLot(1)
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			l.Park(0, l.Token(0), func() bool { return stop.Load() })
+		}
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for l.Wake(1) == 0 && !stop.Load() {
+			// Spin until the partner has parked again.
+		}
+	}
+	stop.Store(true)
+	l.WakeAll()
+	<-done
+}

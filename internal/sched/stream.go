@@ -9,6 +9,7 @@ import (
 	"relaxsched/internal/cq"
 	"relaxsched/internal/engine"
 	"relaxsched/internal/rng"
+	"relaxsched/internal/stats"
 )
 
 // This file is the streaming top-k job scheduler: the first open-system
@@ -48,6 +49,24 @@ type StreamOptions struct {
 	// pushes are absorbed, and the result is marked Interrupted. Zero
 	// means no deadline.
 	Deadline time.Duration
+	// IdleStrategy selects the workers' idle path (engine.IdlePark, the
+	// zero value, parks idle workers on the wakeup lot; engine.IdleSpin
+	// polls). A streaming scheduler with bursty arrivals wants the default.
+	IdleStrategy engine.IdleStrategy
+	// MinWorkers and MaxWorkers, when MaxWorkers > 0, enable the engine's
+	// elastic worker pool: the active set starts at Threads and the
+	// controller grows it toward MaxWorkers under backlog, shrinking back
+	// toward MinWorkers when the stream goes quiet. Requires
+	// MinWorkers <= Threads <= MaxWorkers and the parking idle strategy.
+	MinWorkers int
+	MaxWorkers int
+	// LatencyJobs, when positive, enables per-job sojourn-latency tracking
+	// for jobs with ids in [0, LatencyJobs): JobProducer.Push timestamps
+	// the arrival, the executing worker records push-to-execute time in a
+	// fixed-bucket histogram (no per-job allocation), and the result
+	// carries the p50/p99/p999 quantiles. Jobs with ids outside the range
+	// execute normally but are not measured.
+	LatencyJobs int
 	// Execute, if non-nil, is the job body run by the executing worker.
 	// It must be safe for concurrent calls from Threads workers.
 	Execute func(worker int, job, priority int64)
@@ -76,6 +95,11 @@ type StreamResult struct {
 	// open-system quantity the scheduler is judged on.
 	MeanRankError float64
 	MaxRankError  int64
+	// LatencyP50, LatencyP99 and LatencyP999 are quantiles of the push-to-
+	// execute sojourn time over the jobs StreamOptions.LatencyJobs tracked
+	// (zero when tracking was off or no tracked job executed). Quantiles
+	// come from a log-bucketed histogram, accurate to ~±12.5%.
+	LatencyP50, LatencyP99, LatencyP999 time.Duration
 }
 
 // topkWorkload records the global execution order of streamed jobs. Each
@@ -85,6 +109,21 @@ type topkWorkload struct {
 	execute func(worker int, job, priority int64)
 	next    atomic.Int64
 	logs    []execLog
+	// Latency tracking, nil when StreamOptions.LatencyJobs == 0: arrivals[j]
+	// holds job j's push timestamp (ns since base, atomically stored by its
+	// producer before the push becomes queue-visible, so the executing
+	// worker always reads it populated), and lats[w] is worker w's private
+	// latency histogram — fixed-size, allocation-free Add on the hot path.
+	base     time.Time
+	arrivals []atomic.Int64
+	lats     []latHist
+}
+
+// latHist pads a worker's histogram to a cache-line multiple so adjacent
+// workers' bucket increments never false-share.
+type latHist struct {
+	h stats.Hist
+	_ [56]byte // Hist is 2056 bytes; round up to 33 64-byte lines
 }
 
 // execRecord is one executed job: its global execution ticket and priority.
@@ -105,6 +144,11 @@ func (w *topkWorkload) Frontier(func(value, priority int64)) {
 }
 
 func (w *topkWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine.Status {
+	if w.arrivals != nil && value >= 0 && value < int64(len(w.arrivals)) {
+		if at := w.arrivals[value].Load(); at != 0 {
+			w.lats[ctx.Worker].h.Add(int64(time.Since(w.base)) - at)
+		}
+	}
 	if w.execute != nil {
 		w.execute(ctx.Worker, value, priority)
 	}
@@ -137,7 +181,19 @@ func NewTopKStream(opts StreamOptions) (*TopKStream, error) {
 	if opts.Threads < 1 {
 		return nil, fmt.Errorf("sched: streaming needs Threads >= 1, got %d", opts.Threads)
 	}
-	wl := &topkWorkload{execute: opts.Execute, logs: make([]execLog, opts.Threads)}
+	// With an elastic pool the worker index ranges over the full pool
+	// (MaxWorkers), not just the initially active Threads — size every
+	// per-worker structure by the pool.
+	pool := opts.Threads
+	if opts.MaxWorkers > pool {
+		pool = opts.MaxWorkers
+	}
+	wl := &topkWorkload{execute: opts.Execute, logs: make([]execLog, pool)}
+	if opts.LatencyJobs > 0 {
+		wl.base = time.Now()
+		wl.arrivals = make([]atomic.Int64, opts.LatencyJobs)
+		wl.lats = make([]latHist, pool)
+	}
 	exec, err := engine.Start(wl, engine.Options{
 		Threads:         opts.Threads,
 		QueueMultiplier: opts.QueueMultiplier,
@@ -146,6 +202,9 @@ func NewTopKStream(opts StreamOptions) (*TopKStream, error) {
 		Seed:            opts.Seed,
 		Producers:       opts.Producers,
 		Deadline:        opts.Deadline,
+		IdleStrategy:    opts.IdleStrategy,
+		MinWorkers:      opts.MinWorkers,
+		MaxWorkers:      opts.MaxWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
@@ -157,7 +216,7 @@ func NewTopKStream(opts StreamOptions) (*TopKStream, error) {
 // StreamOptions.Producers). Each handle must be used by one goroutine at a
 // time; create one per arrival stream.
 func (s *TopKStream) NewProducer() *JobProducer {
-	return &JobProducer{p: s.exec.NewProducer()}
+	return &JobProducer{p: s.exec.NewProducer(), wl: s.wl}
 }
 
 // Stop requests a graceful drain of the stream: workers stop popping and
@@ -178,7 +237,7 @@ func (s *TopKStream) Wait() StreamResult {
 		}
 	}
 	mean, maxErr := rankErrors(exec)
-	return StreamResult{
+	res := StreamResult{
 		Jobs:               st.Executed,
 		Popped:             st.Popped,
 		Interrupted:        st.Interrupted,
@@ -186,16 +245,41 @@ func (s *TopKStream) Wait() StreamResult {
 		MeanRankError:      mean,
 		MaxRankError:       maxErr,
 	}
+	if s.wl.lats != nil {
+		// Workers have exited (engine Wait returned), so the per-worker
+		// histograms are quiescent; merge and extract the SLO quantiles.
+		var h stats.Hist
+		for i := range s.wl.lats {
+			h.Merge(&s.wl.lats[i].h)
+		}
+		res.LatencyP50 = time.Duration(h.Quantile(0.50))
+		res.LatencyP99 = time.Duration(h.Quantile(0.99))
+		res.LatencyP999 = time.Duration(h.Quantile(0.999))
+	}
+	return res
 }
 
 // JobProducer streams prioritized jobs into a TopKStream from one
 // goroutine. Push after Close panics; Close is idempotent.
 type JobProducer struct {
-	p *engine.Producer
+	p  *engine.Producer
+	wl *topkWorkload
 }
 
 // Push streams one job. Lower priorities are executed first (approximately).
-func (p *JobProducer) Push(job, priority int64) { p.p.Push(job, priority) }
+// When the job id is latency-tracked (StreamOptions.LatencyJobs) the
+// arrival is timestamped here, before the push — sojourn time includes any
+// producer-side batching delay, which is part of the latency a client sees.
+func (p *JobProducer) Push(job, priority int64) {
+	if p.wl.arrivals != nil && job >= 0 && job < int64(len(p.wl.arrivals)) {
+		at := int64(time.Since(p.wl.base))
+		if at == 0 {
+			at = 1 // 0 means "never pushed" to the reader; 1ns skew is noise
+		}
+		p.wl.arrivals[job].Store(at)
+	}
+	p.p.Push(job, priority)
+}
 
 // Flush makes any batched-but-buffered jobs visible to the workers without
 // closing the producer.
@@ -275,6 +359,9 @@ func ParallelTopK(opts TopKRunOptions) (StreamResult, error) {
 	hits := make([]atomic.Int32, total)
 	so := opts.StreamOptions
 	so.Execute = func(_ int, job, _ int64) { hits[job].Add(1) }
+	// Job ids are dense in [0, total), so every job is latency-tracked and
+	// the result's SLO quantiles cover the whole run.
+	so.LatencyJobs = total
 	s, err := NewTopKStream(so)
 	if err != nil {
 		return StreamResult{}, err

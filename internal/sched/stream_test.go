@@ -226,3 +226,48 @@ func TestTopKStreamStop(t *testing.T) {
 		t.Fatalf("%d jobs ran but result says %d", served, res.Jobs)
 	}
 }
+
+// Latency SLO quantiles: every tracked job has a positive sojourn time
+// (the 0-means-untracked sentinel never leaks through as a zero latency)
+// and the quantiles are ordered p50 <= p99 <= p999.
+func TestParallelTopKLatencyQuantiles(t *testing.T) {
+	res, err := ParallelTopK(TopKRunOptions{
+		StreamOptions: StreamOptions{
+			Threads: 2, QueueMultiplier: 2, Seed: 41, Producers: 2,
+		},
+		JobsPerProducer: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP99 <= 0 || res.LatencyP999 <= 0 {
+		t.Fatalf("latency quantiles not populated: p50=%v p99=%v p999=%v",
+			res.LatencyP50, res.LatencyP99, res.LatencyP999)
+	}
+	if res.LatencyP50 > res.LatencyP99 || res.LatencyP99 > res.LatencyP999 {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v p999=%v",
+			res.LatencyP50, res.LatencyP99, res.LatencyP999)
+	}
+}
+
+// The elastic pool options thread through to the engine: worker indices
+// range over MaxWorkers, so the per-worker logs and latency histograms must
+// be pool-sized (an undersized slice panics the run).
+func TestTopKStreamElasticPool(t *testing.T) {
+	res, err := ParallelTopK(TopKRunOptions{
+		StreamOptions: StreamOptions{
+			Threads: 2, QueueMultiplier: 2, Seed: 43, Producers: 4,
+			MinWorkers: 1, MaxWorkers: 8,
+		},
+		JobsPerProducer: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 8000 {
+		t.Fatalf("executed %d of 8000 jobs", res.Jobs)
+	}
+	if res.LatencyP50 <= 0 {
+		t.Fatalf("latency tracking dead under the elastic pool: p50=%v", res.LatencyP50)
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Buckets must tile the value space: consecutive bucket indices, contiguous
+// non-overlapping ranges, and bucketOf(bucketLow(i)) == i.
+func TestHistBucketsTile(t *testing.T) {
+	for i := 0; i < 252; i++ {
+		if got := bucketOf(bucketLow(i)); got != i {
+			t.Fatalf("bucketOf(bucketLow(%d)) = %d", i, got)
+		}
+		if i > 0 && bucketLow(i) <= bucketLow(i-1) {
+			t.Fatalf("bucketLow not strictly increasing at %d: %d <= %d", i, bucketLow(i), bucketLow(i-1))
+		}
+		if i > 0 {
+			// The value just below this bucket's low must land in the previous bucket.
+			if got := bucketOf(bucketLow(i) - 1); got != i-1 {
+				t.Fatalf("bucketOf(bucketLow(%d)-1) = %d, want %d", i, got, i-1)
+			}
+		}
+	}
+	if got := bucketOf(^uint64(0)); got != 251 {
+		t.Fatalf("bucketOf(max) = %d, want 251", got)
+	}
+}
+
+// The relative bucket width must stay within a quarter octave for v >= 8.
+func TestHistResolution(t *testing.T) {
+	for _, v := range []uint64{8, 100, 1000, 12345, 1 << 20, 1 << 40, 1 << 62} {
+		i := bucketOf(v)
+		lo, hi := bucketLow(i), bucketLow(i+1)
+		if v < lo || v >= hi {
+			t.Fatalf("v=%d outside its bucket [%d, %d)", v, lo, hi)
+		}
+		if width := float64(hi-lo) / float64(lo); width > 0.251 {
+			t.Fatalf("v=%d: bucket width %.3f of low edge, want <= 0.25", v, width)
+		}
+	}
+}
+
+func TestHistExactSmallValues(t *testing.T) {
+	var h Hist
+	for v := int64(0); v < 4; v++ {
+		h.Add(v)
+	}
+	for q, want := range map[float64]int64{0.0: 0, 0.3: 1, 0.6: 2, 0.9: 3} {
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%.1f) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHistEmptyAndNegative(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.N() != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	h.Add(-5) // clock-skew clamp
+	if h.N() != 1 || h.Quantile(0.5) != 0 {
+		t.Fatalf("negative observation: N=%d p50=%d, want 1, 0", h.N(), h.Quantile(0.5))
+	}
+}
+
+// Quantile estimates must land within the documented ~12.5% relative error
+// of the exact order statistics on a heavy-tailed sample.
+func TestHistQuantileAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var h Hist
+	vals := make([]int64, 0, 200000)
+	for i := 0; i < cap(vals); i++ {
+		// Log-uniform over ~6 decades: exercises many octaves.
+		v := int64(1) << (r.Intn(40) + 4)
+		v += r.Int63n(v)
+		vals = append(vals, v)
+		h.Add(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := h.Quantile(q)
+		rel := float64(got-exact) / float64(exact)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.13 {
+			t.Fatalf("Quantile(%g) = %d, exact %d: relative error %.3f > 0.13", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, all Hist
+	for i := int64(0); i < 1000; i++ {
+		v := i * 37
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("Quantile(%g): merged %d != direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func BenchmarkHistAdd(b *testing.B) {
+	var h Hist
+	for i := 0; i < b.N; i++ {
+		h.Add(int64(i)*2654435761 + 17)
+	}
+}

@@ -3,12 +3,15 @@
 # batch-amortization sweep, the parallel-incremental extra-steps rows, the
 # engine workloads (parallel branch-and-bound, parallel greedy
 # MIS/coloring, parallel Delaunay with on-line dependency discovery, the
-# streaming top-k job scheduler), the shard-affinity ablation of the
-# lock-free backend, and — new in PR 7 — the fault-injection sweep (seeded
-# stalls, forced re-insertions, poisoned tasks vs. the fault-free
-# baseline), as a JSON-lines file at the repository root. Rows record the
-# host's NumCPU/GOMAXPROCS so cross-machine comparisons warn instead of
-# misleading. Override the workload with SCALE / TRIALS / MAXTHREADS, e.g.
+# streaming top-k job scheduler — its rows now carrying p50/p99/p999
+# sojourn-latency columns), the shard-affinity ablation of the lock-free
+# backend, the fault-injection sweep (seeded stalls, forced re-insertions,
+# poisoned tasks vs. the fault-free baseline), and — new in PR 8 — the
+# idle-cost rows (parking vs. spinning idle strategies: idle-window CPU
+# next to burst wake-up latency), as a JSON-lines file at the repository
+# root. Rows record the host's NumCPU/GOMAXPROCS so cross-machine
+# comparisons warn instead of misleading. Override the workload with
+# SCALE / TRIALS / MAXTHREADS, e.g.
 #
 #   SCALE=16 MAXTHREADS=8 scripts/bench.sh
 #
@@ -26,7 +29,7 @@
 #
 # Diff two recorded trajectories with
 #
-#   relaxbench compare BENCH_PR6.json BENCH_PR7.json
+#   relaxbench compare BENCH_PR7.json BENCH_PR8.json
 #
 # and gate on regressions with `compare -threshold PCT` (see CI's
 # bench-smoke job).
@@ -36,10 +39,10 @@ cd "$(dirname "$0")/.."
 SCALE="${SCALE:-64}"
 TRIALS="${TRIALS:-5}"
 MAXTHREADS="${MAXTHREADS:-4}"
-OUT="${OUT:-BENCH_PR7.json}"
+OUT="${OUT:-BENCH_PR8.json}"
 BUDGET="${BUDGET:-600}"
 
-EXPERIMENTS="backends batchsweep parinc parbnb parmis pardelaunay stream affinity chaos"
+EXPERIMENTS="backends batchsweep parinc parbnb parmis pardelaunay stream affinity chaos idlecost"
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
