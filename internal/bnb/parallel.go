@@ -77,6 +77,7 @@ func (s *parallelSearch) TryExecute(ctx *engine.Ctx, value, _ int64) engine.Stat
 	}
 	if int(nd.depth) == s.t.Depth {
 		// Leaf: CAS-min the incumbent.
+		//relax:allow spinbound: monotone CAS-min; every failure means another worker lowered the incumbent, and the bound check exits
 		for {
 			cur := s.incumbent.Load()
 			if nd.cost >= cur || s.incumbent.CompareAndSwap(cur, nd.cost) {

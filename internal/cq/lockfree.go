@@ -252,6 +252,7 @@ func (h *lfHandle) Close() { h.slot.Close() }
 // and melded in, so no element is ever abandoned. Each retry certifies
 // that another operation published in the meantime — system-wide progress.
 func publish(s *lfshard, h *lfnode) {
+	//relax:allow spinbound: lock-free by construction — each failed CAS certifies another operation published to this shard (see comment above)
 	for {
 		if s.root.CompareAndSwap(nil, h) {
 			return
@@ -282,6 +283,8 @@ func (h *lfHandle) newNode(value, priority int64) *lfnode {
 
 // Push publishes a singleton node — reusing a reclaimed one when available
 // — to the handle's placement shard.
+//
+//relax:hotpath
 func (h *lfHandle) Push(r *rng.Xoshiro, value, priority int64) {
 	if priority == ReservedPriority {
 		panic("cq: priority MaxInt64 is reserved")
@@ -294,6 +297,8 @@ func (h *lfHandle) Push(r *rng.Xoshiro, value, priority int64) {
 // PushBatch melds the whole batch into one owned heap — no shared-memory
 // traffic at all — and publishes it in one round: the strongest
 // amortization any backend offers, now allocation-free in steady state.
+//
+//relax:hotpath
 func (h *lfHandle) PushBatch(r *rng.Xoshiro, pairs []Pair) {
 	if len(pairs) == 0 {
 		return
@@ -312,6 +317,8 @@ func (h *lfHandle) PushBatch(r *rng.Xoshiro, pairs []Pair) {
 
 // Pop is PopBatch with a batch of one: the probe policy and scan fallback
 // live only there.
+//
+//relax:hotpath
 func (h *lfHandle) Pop(r *rng.Xoshiro) (value, priority int64, ok bool) {
 	var one [1]Pair
 	if h.PopBatch(r, one[:]) == 0 {
@@ -324,6 +331,8 @@ func (h *lfHandle) Pop(r *rng.Xoshiro) (value, priority int64, ok bool) {
 // — the one place a worker dereferences nodes it does not own, and exactly
 // what the grace period protects — returning the shard with the smaller
 // top, or nil if both appeared empty.
+//
+//relax:hotpath
 func (h *lfHandle) better(a, b *lfshard) *lfshard {
 	h.slot.Enter()
 	ra, rb := a.root.Load(), b.root.Load()
@@ -352,6 +361,8 @@ func (h *lfHandle) better(a, b *lfshard) *lfshard {
 // probes and the non-affine mode draw both uniformly. After bounded probe
 // attempts it falls back to a full scan, so 0 is returned only when every
 // shard looked empty at inspection time.
+//
+//relax:hotpath
 func (h *lfHandle) PopBatch(r *rng.Xoshiro, dst []Pair) int {
 	if len(dst) == 0 {
 		return 0
@@ -391,6 +402,8 @@ func (h *lfHandle) PopBatch(r *rng.Xoshiro, dst []Pair) int {
 // takeFrom detaches s's heap, harvests up to len(dst) minima in place and
 // republishes the remainder. The popped roots are retired — after the
 // epoch grace period they come back through the slot's free list.
+//
+//relax:hotpath
 func (h *lfHandle) takeFrom(s *lfshard, dst []Pair) int {
 	// Load-only fast path: an apparently empty shard costs a read, not an
 	// atomic RMW on its root cache line. This is what idle workers hammer

@@ -29,11 +29,14 @@ type MultiQueue struct {
 const emptyTop = ReservedPriority
 
 type cqueue struct {
-	_   [64]byte // pad to keep hot mutexes on separate cache lines
-	mu  sync.Mutex
-	h   pairHeap
+	_  [64]byte // guard line: keeps the previous element's tail off mu
+	mu sync.Mutex
+	h  pairHeap
+	_  [32]byte // close out the mu+heap line
+	// top is read lock-free by every 2-choice probe; its own line keeps
+	// probe traffic from bouncing the lock holder's mu/heap line.
 	top atomic.Int64
-	_   [64]byte
+	_   [56]byte
 }
 
 // NewMultiQueue returns a concurrent MultiQueue with q internal queues.
@@ -75,6 +78,8 @@ const contentionAttempts = 8
 // rerandomization for a bounded number of attempts and then falling back to
 // a blocking Lock on the last choice, so a push under heavy contention
 // parks instead of spinning.
+//
+//relax:hotpath
 func (c *MultiQueue) lockSomeQueue(r *rng.Xoshiro) *cqueue {
 	var q *cqueue
 	for try := 0; try < contentionAttempts; try++ {
@@ -83,12 +88,14 @@ func (c *MultiQueue) lockSomeQueue(r *rng.Xoshiro) *cqueue {
 			return q
 		}
 	}
-	q.mu.Lock()
+	q.mu.Lock() //relax:allow pinregion: bounded-contention fallback — after contentionAttempts TryLock misses, parking on one queue beats unbounded spinning
 	return q
 }
 
 // Push inserts a (value, priority) pair into a random queue. r must be a
 // goroutine-local generator.
+//
+//relax:hotpath
 func (c *MultiQueue) Push(r *rng.Xoshiro, value int64, priority int64) {
 	if priority == ReservedPriority {
 		panic("cq: priority MaxInt64 is reserved")
@@ -102,6 +109,8 @@ func (c *MultiQueue) Push(r *rng.Xoshiro, value int64, priority int64) {
 // PushBatch inserts every pair into one random queue under a single lock
 // acquisition: the TryLock round-trip and the cached-top store are paid
 // once per batch instead of once per pair.
+//
+//relax:hotpath
 func (c *MultiQueue) PushBatch(r *rng.Xoshiro, pairs []Pair) {
 	if len(pairs) == 0 {
 		return
@@ -124,6 +133,8 @@ func (c *MultiQueue) PushBatch(r *rng.Xoshiro, pairs []Pair) {
 // so its relaxation is that of the two-choice process at batch granularity:
 // coordination cost drops by the batch size, rank quality degrades
 // gracefully with it — the trade the batchsweep experiment measures.
+//
+//relax:hotpath
 func (c *MultiQueue) PopBatch(r *rng.Xoshiro, dst []Pair) int {
 	if len(dst) == 0 {
 		return 0
@@ -159,7 +170,7 @@ func (c *MultiQueue) PopBatch(r *rng.Xoshiro, dst []Pair) int {
 		if q.top.Load() == emptyTop {
 			continue
 		}
-		q.mu.Lock()
+		q.mu.Lock() //relax:allow pinregion: authoritative-scan fallback — a blocking take here is what bounds the probe loop above
 		n := q.popBatchLocked(dst)
 		q.mu.Unlock()
 		if n > 0 {
@@ -192,6 +203,8 @@ func (q *cqueue) popBatchLocked(dst []Pair) int {
 // counter) rather than trusting a single !ok. It is PopBatch with a batch
 // of one: the probe policy, lock discipline and scan fallback live only
 // there.
+//
+//relax:hotpath
 func (c *MultiQueue) Pop(r *rng.Xoshiro) (value int64, priority int64, ok bool) {
 	var one [1]Pair
 	if c.PopBatch(r, one[:]) == 0 {

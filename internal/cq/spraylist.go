@@ -204,6 +204,7 @@ func (s *SprayList) Push(r *rng.Xoshiro, value, priority int64) {
 	topLevel := randomLevel(r)
 	// Raise the height bound before searching, so find (ours and every
 	// concurrent one) covers this tower's levels from here on.
+	//relax:allow spinbound: monotone CAS-max; a failure means another push raised the bound, and the >= check exits
 	for {
 		cur := s.maxLvl.Load()
 		if cur >= int32(topLevel) || s.maxLvl.CompareAndSwap(cur, int32(topLevel)) {
@@ -271,6 +272,7 @@ func (s *SprayList) cleanFront() {
 		return // nothing to clean; skip the lock
 	}
 	s.head.mu.Lock()
+	//relax:allow spinbound: bounded by the marked prefix — each iteration unlinks one node or breaks, and a failed TryLock ends the sweep
 	for {
 		x := s.head.next[0].Load()
 		if x == s.tail || !x.marked.Load() || !x.fullyLinked.Load() {

@@ -102,7 +102,7 @@ type workerState struct {
 	failed     atomic.Int64
 	emptyPops  atomic.Int64
 	phase      atomic.Int32
-	_          [68]byte // pad the 52-byte payload to two 64-byte lines
+	_          [76]byte // pad the 52-byte payload to two 64-byte lines
 }
 
 // snapshot reads one worker's published state. Racy by design — the

@@ -84,6 +84,7 @@ type Domain[T any] struct {
 	// scans; mu guards growth and slot ownership hand-off.
 	slots atomic.Pointer[[]*Slot[T]]
 	mu    sync.Mutex
+	_     [48]byte // end the registry line so an adjacent Domain can't share it
 }
 
 // NewDomain returns an empty reclamation domain.
@@ -159,7 +160,8 @@ type Slot[T any] struct {
 	retired [bins]retireBin[T]
 	free    []*T
 	retires int
-	inUse   bool // guarded by dom.mu
+	inUse   bool     // guarded by dom.mu
+	_       [55]byte // round the owner-local tail up to a full line
 }
 
 // Enter begins a critical section: every shared-node dereference until the

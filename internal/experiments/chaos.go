@@ -50,6 +50,8 @@ type ChaosResult struct {
 // exactly-once delivery after the run. Forced blocks and poisons come from
 // the injector, never from the workload, so the injector's own counters
 // are the ground truth the engine's accounting is checked against.
+//
+//relax:allow conformance: harness-internal synthetic workload, exercised by this package's own chaos tests (in the CI -race matrix), not a production workload family for the engine grid
 type chaosFlat struct {
 	n    int
 	hits []atomic.Int32

@@ -71,7 +71,7 @@ type workerSlot struct {
 	_         [64]byte
 	r         *rng.Xoshiro
 	inspected int64
-	_         [40]byte
+	_         [48]byte
 }
 
 // Injector implements engine.Injector for a Plan. Construct with New; use

@@ -99,16 +99,17 @@ type slot struct {
 // The zero value is unusable; construct with New or NewOpen.
 type Counter struct {
 	slots []slot
+	_     [40]byte // close out the slots header's line
 	// state is the packed sealed/open/registered word (see package
 	// comment). Own padded line: Quiescent loads it on every scan, and it
 	// must not false-share with any tally slot.
-	_     [64]byte
 	state atomic.Uint64
 	_     [56]byte
 	// mu serializes producer-slot appends; prods is the RCU snapshot the
 	// scan reads without locking.
 	mu    sync.Mutex
 	prods atomic.Pointer[[]*slot]
+	_     [48]byte
 }
 
 // New returns a closed-world counter with one padded slot per worker
@@ -166,6 +167,7 @@ func (c *Counter) Attach() *ProducerSlot {
 // returns ok == false permanently once the counter has sealed — the
 // execution terminated — and the caller must not produce.
 func (c *Counter) Register() (p *ProducerSlot, ok bool) {
+	//relax:allow spinbound: each failed CAS certifies another register/close/seal committed on the state word — system-wide progress
 	for {
 		st := c.state.Load()
 		if st&sealedBit != 0 {
@@ -187,11 +189,15 @@ type ProducerSlot struct {
 
 // Produce records one task created by this producer. It must be called
 // before the task becomes visible to workers (i.e. before the push).
+//
+//relax:hotpath
 func (p *ProducerSlot) Produce() {
 	p.s.produced.Add(1)
 }
 
 // ProduceN records n tasks created by this producer, n >= 0.
+//
+//relax:hotpath
 func (p *ProducerSlot) ProduceN(n int64) {
 	if n > 0 {
 		p.s.produced.Add(n)
@@ -202,6 +208,7 @@ func (p *ProducerSlot) ProduceN(n int64) {
 // called after the producer's final Produce, exactly once; it panics if
 // the counter has no open producers to close.
 func (p *ProducerSlot) Close() {
+	//relax:allow spinbound: each failed CAS certifies another register/close/seal committed on the state word — system-wide progress
 	for {
 		st := p.c.state.Load()
 		if openCount(st) == 0 {
@@ -215,11 +222,15 @@ func (p *ProducerSlot) Close() {
 
 // Produce records that worker w created one task. It must be called before
 // the task becomes visible to other workers (i.e. before the push).
+//
+//relax:hotpath
 func (c *Counter) Produce(w int) {
 	c.slots[w].produced.Add(1)
 }
 
 // ProduceN records n tasks created by worker w, n >= 0.
+//
+//relax:hotpath
 func (c *Counter) ProduceN(w int, n int64) {
 	if n > 0 {
 		c.slots[w].produced.Add(n)
@@ -229,6 +240,8 @@ func (c *Counter) ProduceN(w int, n int64) {
 // Complete records that worker w finished processing one task. It must be
 // called after every task the processing produced has been recorded with
 // Produce.
+//
+//relax:hotpath
 func (c *Counter) Complete(w int) {
 	c.slots[w].completed.Add(1)
 }

@@ -83,9 +83,9 @@ type parkSlot struct {
 // unusable; construct with NewLot.
 type Lot struct {
 	slots []parkSlot
+	_     [40]byte // close out the slots header's line
 	// nparked counts slots whose parked flag is set — the waker fast path.
 	// Own padded line: read on every Wake, written only on transitions.
-	_       [64]byte
 	nparked atomic.Int64
 	_       [56]byte
 	// next rotates Wake's scan start so repeated single wakes spread over
@@ -118,6 +118,8 @@ func (l *Lot) Token(w int) uint64 {
 // what makes a concurrent waker's fast-path skip safe (see the package
 // comment) — so it must recheck the caller's actual wait condition, not
 // cached state. Only worker w may call Park(w, ...).
+//
+//relax:hotpath
 func (l *Lot) Park(w int, tok uint64, cancel func() bool) bool {
 	s := &l.slots[w]
 	if s.seq.Load() != tok {
@@ -138,14 +140,16 @@ func (l *Lot) Park(w int, tok uint64, cancel func() bool) bool {
 		// signal is in flight (or buffered). Consume it so the next park
 		// episode starts clean; the send cannot be far — the claimant
 		// signals right after its CAS.
-		<-s.sema
+		<-s.sema //relax:allow pinregion: draining the claimed wake token is bounded — the claimant's send is already in flight
 		return false
 	}
-	<-s.sema
+	<-s.sema //relax:allow pinregion: this receive IS the park — blocking here is the function's whole purpose
 	return true
 }
 
 // wake claims and signals slot i if it is parked, reporting success.
+//
+//relax:hotpath
 func (l *Lot) wake(i int) bool {
 	s := &l.slots[i]
 	if !s.parked.Load() {
@@ -156,7 +160,8 @@ func (l *Lot) wake(i int) bool {
 	}
 	l.nparked.Add(-1)
 	s.seq.Add(1)
-	s.sema <- struct{}{} // 1-buffered and drained per episode: never blocks
+	//relax:allow pinregion: 1-buffered and drained per episode — the send lands in the buffer, never blocks
+	s.sema <- struct{}{}
 	return true
 }
 
@@ -164,6 +169,8 @@ func (l *Lot) wake(i int) bool {
 // nobody parked it is a single atomic load. Callers invoke it after making
 // work visible; waking fewer than n because fewer were parked is fine (the
 // unparked are awake and will find the work themselves).
+//
+//relax:hotpath
 func (l *Lot) Wake(n int) int {
 	if n <= 0 || l.nparked.Load() == 0 {
 		return 0
@@ -185,6 +192,8 @@ func (l *Lot) Wake(n int) int {
 // WakeAll unparks every parked worker: the shutdown/termination broadcast
 // (stop requested, quiescence reached, a producer closed). With nobody
 // parked it is a single atomic load.
+//
+//relax:hotpath
 func (l *Lot) WakeAll() int {
 	if l.nparked.Load() == 0 {
 		return 0

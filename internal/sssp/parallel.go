@@ -106,6 +106,7 @@ func (s *ssspWorkload) TryExecute(ctx *engine.Ctx, value, priority int64) engine
 	for i := range targets {
 		u := int(targets[i])
 		nd := priority + int64(weights[i])
+		//relax:allow spinbound: monotone CAS-min on dist[u]; every failure means another worker tightened it, and nd >= cur exits
 		for {
 			cur := s.dist[u].Load()
 			if nd >= cur {

@@ -53,6 +53,8 @@ func bucketLow(i int) uint64 {
 // Add records one observation. Negative durations (clock skew between the
 // arrival and execution timestamps) clamp to zero rather than corrupting a
 // high bucket.
+//
+//relax:hotpath
 func (h *Hist) Add(v int64) {
 	if v < 0 {
 		v = 0

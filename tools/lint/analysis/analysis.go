@@ -1,0 +1,68 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis framework: an Analyzer bundles a named
+// check, a Pass hands it one type-checked package, and Report emits
+// position-anchored diagnostics.
+//
+// Only the subset the relaxlint suite needs is implemented — single-pass
+// analyzers over syntax plus go/types information, no Facts, no
+// SuggestedFixes — but the field and method names match x/tools exactly, so
+// swapping this package for the real one is an import rewrite, not a port.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis function: its name, documentation, and
+// entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //relax:allow
+	// suppressions. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's documentation: first sentence summary, then
+	// details.
+	Doc string
+	// Run applies the analyzer to one package. It may report diagnostics
+	// through pass.Report and may return a result for the driver (unused by
+	// relaxlint's analyzers, kept for API compatibility).
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run with the syntax trees, type information
+// and reporting sink for a single package.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations for every file in Files.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees, with comments.
+	Files []*ast.File
+	// Pkg is the package's type information.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// TypesSizes describes the target architecture's memory layout —
+	// padcheck's source of truth for struct offsets and sizes.
+	TypesSizes types.Sizes
+	// Report emits one diagnostic. The driver owns collection and exit
+	// status.
+	Report func(Diagnostic)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. Category is the
+// reporting analyzer's name (filled by the driver when empty).
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

@@ -1,0 +1,276 @@
+// Package analysistest runs an analyzer over golden test packages and
+// checks its diagnostics against // want "regex" comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest convention: each expectation
+// comment names one or more quoted regexes that must match diagnostics
+// reported on that line, every expectation must be met, and every
+// diagnostic must be expected.
+//
+// Test packages live under <testdata>/src/<name>/ as plain directories (no
+// module). Imports resolve against sibling testdata packages first and fall
+// back to the standard library, type-checked from source.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"relaxsched/tools/lint/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each named package from <testdata>/src/<name>, applies the
+// analyzer, and reports mismatches between diagnostics and // want
+// expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	ld := newLoader(testdata)
+	for _, name := range pkgNames {
+		pkg, err := ld.load(name)
+		if err != nil {
+			t.Errorf("%s: loading %s: %v", a.Name, name, err)
+			continue
+		}
+		for _, e := range pkg.errs {
+			t.Errorf("%s: %s: type error in testdata: %v", a.Name, name, e)
+		}
+		if len(pkg.errs) > 0 {
+			continue
+		}
+		runOne(t, ld, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, ld *loader, a *analysis.Analyzer, pkg *tpkg) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       ld.fset,
+		Files:      pkg.files,
+		Pkg:        pkg.types,
+		TypesInfo:  pkg.info,
+		TypesSizes: ld.sizes,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: %s: analyzer error: %v", a.Name, pkg.path, err)
+		return
+	}
+
+	wants := collectWants(t, ld.fset, pkg.files)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			pos := ld.fset.Position(d.Pos)
+			if pos.Filename == w.file && pos.Line == w.line && w.rx.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", a.Name, filepath.Base(w.file), w.line, w.rx)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			pos := ld.fset.Position(d.Pos)
+			t.Errorf("%s: %s:%d: unexpected diagnostic: %s", a.Name, filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+}
+
+// want is one expectation: a regex that must match a diagnostic on a line.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+// wantRE extracts the quoted regexes of a // want comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses every // want "rx" ["rx" ...] comment in the files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var out []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %s: %v", filepath.Base(pos.Filename), pos.Line, q, err)
+						continue
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", filepath.Base(pos.Filename), pos.Line, pat, err)
+						continue
+					}
+					out = append(out, want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// splitQuoted splits a want payload into quoted tokens. Both double-quoted
+// (with escapes) and backquoted patterns are accepted, as in x/tools.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexAny(s, "\"`")
+		if start < 0 {
+			return out
+		}
+		q := s[start]
+		i := start + 1
+		for i < len(s) {
+			if q == '"' && s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == q {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return out
+		}
+		out = append(out, s[start:i+1])
+		s = s[i+1:]
+	}
+}
+
+// tpkg is one loaded testdata package.
+type tpkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+	errs  []error
+}
+
+// loader loads testdata packages with sibling-then-stdlib import
+// resolution. Standard-library packages are type-checked from source (the
+// "source" compiler importer), so the tests run in offline, vendorless
+// environments.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	sizes    types.Sizes
+	std      types.Importer
+	pkgs     map[string]*tpkg
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	return &loader{
+		testdata: testdata,
+		fset:     fset,
+		sizes:    sizes,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*tpkg),
+	}
+}
+
+func (ld *loader) load(name string) (*tpkg, error) {
+	if p, ok := ld.pkgs[name]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(name))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &tpkg{path: name}
+	ld.pkgs[name] = pkg // pre-register: import cycles surface as type errors
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.files = append(pkg.files, f)
+	}
+	if len(pkg.files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if st, err := os.Stat(filepath.Join(ld.testdata, "src", filepath.FromSlash(path))); err == nil && st.IsDir() {
+				p, err := ld.load(path)
+				if err != nil {
+					return nil, err
+				}
+				if len(p.errs) > 0 {
+					return nil, fmt.Errorf("testdata dependency %s has type errors: %v", path, p.errs[0])
+				}
+				return p.types, nil
+			}
+			return ld.std.Import(path)
+		}),
+		Sizes: ld.sizes,
+		Error: func(err error) { pkg.errs = append(pkg.errs, err) },
+	}
+	pkg.types, _ = conf.Check(name, ld.fset, pkg.files, pkg.info)
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

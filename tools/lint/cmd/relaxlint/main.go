@@ -1,0 +1,119 @@
+// Command relaxlint runs the relax analyzer suite (padcheck, atomiconly,
+// pinregion, spinbound, conformance) over a module and exits non-zero on
+// findings. It is the CI entry point; scripts/lint.sh wraps it for local
+// runs.
+//
+// Usage:
+//
+//	relaxlint [-dir path] [-grid file] [-ci file] [packages...]
+//
+// -dir is the target module root (default "."). -grid and -ci point the
+// conformance analyzer at the engine grid test file and the CI workflow;
+// they default to the repository's canonical locations under -dir and are
+// disabled ("" or missing file) gracefully. Patterns default to ./... .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"relaxsched/tools/lint/analysis"
+	"relaxsched/tools/lint/loader"
+	"relaxsched/tools/lint/relax"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "target module root")
+	grid := flag.String("grid", "", "engine conformance grid test file (default <dir>/internal/engine/engine_test.go)")
+	ci := flag.String("ci", "", "CI workflow file for the -race matrix check (default <dir>/.github/workflows/ci.yml)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *grid == "" {
+		*grid = filepath.Join(*dir, "internal", "engine", "engine_test.go")
+	}
+	if *ci == "" {
+		*ci = filepath.Join(*dir, ".github", "workflows", "ci.yml")
+	}
+	// A missing default file disables its check rather than erroring: the
+	// suite must be runnable on any module, not only this repository.
+	relax.ConformanceGridFile = fileOrEmpty(*grid)
+	relax.ConformanceCIFile = fileOrEmpty(*ci)
+
+	res, err := loader.Load(loader.Config{Dir: *dir}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relaxlint: %v\n", err)
+		os.Exit(2)
+	}
+	relax.ConformanceModulePath = res.ModulePath
+
+	broken := false
+	for _, pkg := range res.Packages {
+		for _, e := range pkg.Errors {
+			fmt.Fprintf(os.Stderr, "relaxlint: %s: %v\n", pkg.PkgPath, e)
+			broken = true
+		}
+	}
+	if broken {
+		os.Exit(2)
+	}
+
+	var diags []diag
+	for _, pkg := range res.Packages {
+		for _, a := range relax.Analyzers() {
+			pass := &analysis.Pass{
+				Analyzer:   a,
+				Fset:       res.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				TypesSizes: res.Sizes,
+				Report:     func(d analysis.Diagnostic) { diags = append(diags, diag{a.Name, d}) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "relaxlint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				broken = true
+			}
+			_ = pass
+		}
+	}
+	if broken {
+		os.Exit(2)
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := res.Fset.Position(diags[i].d.Pos), res.Fset.Position(diags[j].d.Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	for _, d := range diags {
+		pos := res.Fset.Position(d.d.Pos)
+		fmt.Printf("%s: %s: %s\n", pos, d.analyzer, d.d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "relaxlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+type diag struct {
+	analyzer string
+	d        analysis.Diagnostic
+}
+
+// fileOrEmpty returns path if it exists, else "".
+func fileOrEmpty(path string) string {
+	if _, err := os.Stat(path); err != nil {
+		return ""
+	}
+	return path
+}

@@ -1,0 +1,70 @@
+// Package lint is the root of the relaxlint module: a self-contained static
+// analysis suite that machine-checks this repository's concurrency
+// invariants — the assumptions that previously lived in comments and
+// hand-counted pad arrays.
+//
+// # Layout
+//
+//	analysis/      minimal mirror of golang.org/x/tools/go/analysis
+//	               (Analyzer, Pass, Diagnostic — identical field names)
+//	analysistest/  golden-file test runner (// want "regex" comments)
+//	loader/        go list + go/parser + go/types package loader
+//	relax/         the five analyzers (padcheck, atomiconly, pinregion,
+//	               spinbound, conformance) and the //relax: marker parsing
+//	cmd/relaxlint/ the multichecker driver CI runs over ./...
+//
+// The module is deliberately standard-library-only: the production module
+// must stay dependency-free, and the linters must build in offline,
+// vendorless environments. The analysis/analysistest/loader packages mirror
+// the x/tools API surface one-to-one so a later migration onto a pinned
+// x/tools release is an import rewrite, not a port.
+//
+// # The //relax: markers
+//
+// Analyzers read four comment markers, written like //go: directives (no
+// space after the slashes):
+//
+//	//relax:padded
+//	    On a struct type declaration: the struct claims cache-line
+//	    padding even without a literal `_ [N]byte` field. padcheck then
+//	    enforces that its size is a multiple of 64 bytes. Structs with a
+//	    blank `_ [N]byte` field are checked automatically, marker or not,
+//	    and every such pad must end exactly on a 64-byte boundary so the
+//	    payload before it owns its line.
+//
+//	//relax:hotpath
+//	    On a function declaration: the body must stay allocation- and
+//	    blocking-free. pinregion forbids make/new/&T{} allocation,
+//	    channel operations, select, goroutine launches, time.Now/Sleep/
+//	    Since, fmt calls, mutex Lock/RLock/Wait and os/syscall calls
+//	    inside it. The same rules apply between an epoch Enter() and its
+//	    Exit() without any marker.
+//
+//	//relax:owner
+//	    On a function declaration: the body is a single-owner region
+//	    (pre-publication construction, post-join teardown) where plain
+//	    access to atomically-accessed fields is intentional; atomiconly
+//	    skips it.
+//
+//	//relax:allow <analyzer>: <reason>
+//	    On the offending line or the line directly above it: suppress
+//	    that analyzer's finding here. The reason is mandatory — an allow
+//	    without one is itself a diagnostic — so every suppression stays
+//	    an auditable record of why the exception is safe.
+//
+// # Running locally
+//
+// From the repository root:
+//
+//	scripts/lint.sh            # gofmt + vet + staticcheck + relaxlint
+//
+// or directly:
+//
+//	go -C tools/lint test ./...                         # analyzer suite
+//	go -C tools/lint build -o /tmp/relaxlint ./cmd/relaxlint
+//	/tmp/relaxlint -dir . ./...                         # lint the repo
+//
+// The driver exits 1 on findings, 2 on load errors, 0 when clean. CI runs
+// exactly this in the lint job; a finding is fixed or carries an
+// //relax:allow with a reason, never ignored.
+package lint

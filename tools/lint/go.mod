@@ -1,0 +1,12 @@
+// The lint suite is its own module so the root module stays stdlib-only:
+// nothing in the production import graph may grow an external dependency
+// just because the linters needed one.
+//
+// The module is deliberately self-contained (stdlib only): the analysis,
+// analysistest and loader packages mirror the golang.org/x/tools/go/analysis
+// API surface one-to-one, so the suite builds in vendorless/offline
+// environments today and migrating onto a pinned x/tools release later is a
+// mechanical import rewrite (see doc.go).
+module relaxsched/tools/lint
+
+go 1.24

@@ -1,0 +1,277 @@
+// Package loader type-checks Go packages for the relaxlint analyzers
+// without any dependency beyond the standard library: it shells out to
+// `go list -deps -json` for build-system truth (which files, which imports,
+// dependency order) and runs go/parser + go/types over the result.
+//
+// Standard-library dependencies are type-checked from source in the same
+// sweep — `go list -deps` emits every package after its dependencies, so a
+// single forward pass with a map-backed importer resolves everything. That
+// trades a couple of seconds of stdlib checking for zero external
+// dependencies and no reliance on compiler export data, which is exactly
+// the trade an offline, vendorless lint module wants. Type errors in
+// standard-library packages are tolerated (assembly-backed or cgo-backed
+// declarations may be missing); errors in the target module's packages are
+// reported and fail the load.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Standard reports a standard-library package (not linted, only
+	// imported).
+	Standard bool
+	// GoFiles are the parsed file names (build-tag-filtered by go list).
+	GoFiles []string
+	// Files are the parsed syntax trees, parallel to GoFiles.
+	Files []*ast.File
+	// Types is the type-checked package (possibly incomplete for Standard
+	// packages with assembly or cgo parts).
+	Types *types.Package
+	// TypesInfo holds type-checker results for Files; nil for Standard
+	// packages (they are imported, not analyzed).
+	TypesInfo *types.Info
+	// Errors are the parse and type errors encountered (non-Standard
+	// packages only; Standard errors are tolerated and dropped).
+	Errors []error
+}
+
+// Config parameterizes a Load.
+type Config struct {
+	// Dir is the directory to run the build system in — the target module
+	// root. Empty means the current directory.
+	Dir string
+	// IncludeStd keeps standard-library packages in the returned slice
+	// (they are always loaded as import dependencies; this only controls
+	// whether callers see them). relaxlint leaves it false.
+	IncludeStd bool
+}
+
+// listPkg mirrors the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Result is a completed load: the requested packages plus shared state.
+type Result struct {
+	Fset       *token.FileSet
+	Packages   []*Package
+	Sizes      types.Sizes
+	ModulePath string
+	// byPath indexes every loaded package (stdlib included) by import path.
+	byPath map[string]*Package
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (r *Result) Lookup(path string) *Package { return r.byPath[path] }
+
+// Load lists patterns (plus their full dependency closure) under cfg.Dir
+// and type-checks everything in dependency order.
+func Load(cfg Config, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	goarch, err := goEnv(cfg.Dir, "GOARCH")
+	if err != nil {
+		return nil, err
+	}
+	sizes := types.SizesFor("gc", goarch)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	modPath, err := goList(cfg.Dir, "-m")
+	if err != nil {
+		// Not in a module (GOPATH mode); leave the module path empty.
+		modPath = ""
+	}
+
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var listed []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("loader: go list: %v\n%s", err, stderr.String())
+	}
+
+	res := &Result{
+		Fset:       token.NewFileSet(),
+		Sizes:      sizes,
+		ModulePath: strings.TrimSpace(modPath),
+		byPath:     make(map[string]*Package, len(listed)),
+	}
+	// go list -deps emits dependencies before dependents, so one forward
+	// pass suffices: by the time a package is checked, everything it
+	// imports is in byPath.
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			res.byPath["unsafe"] = &Package{PkgPath: "unsafe", Standard: true, Types: types.Unsafe}
+			continue
+		}
+		pkg, err := res.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		res.byPath[lp.ImportPath] = pkg
+		if !pkg.Standard || cfg.IncludeStd {
+			res.Packages = append(res.Packages, pkg)
+		}
+	}
+	return res, nil
+}
+
+// check parses and type-checks one listed package against the already
+// loaded dependency set.
+func (r *Result) check(lp *listPkg) (*Package, error) {
+	pkg := &Package{
+		PkgPath:  lp.ImportPath,
+		Dir:      lp.Dir,
+		Standard: lp.Standard,
+	}
+	if lp.Error != nil && !lp.Standard {
+		pkg.Errors = append(pkg.Errors, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err))
+	}
+	files := lp.GoFiles
+	if lp.Standard {
+		// Cgo-backed declarations live in CgoFiles; parsing them raw keeps
+		// the exported surface complete enough to import. (Unresolved C.*
+		// references surface as tolerated type errors.)
+		files = append(append([]string{}, files...), lp.CgoFiles...)
+	}
+	for _, f := range files {
+		path := f
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, f)
+		}
+		af, err := parser.ParseFile(r.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if lp.Standard {
+				continue
+			}
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		pkg.Files = append(pkg.Files, af)
+	}
+
+	var info *types.Info
+	if !lp.Standard {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+		pkg.TypesInfo = info
+	}
+	conf := types.Config{
+		Importer:    &mapImporter{res: r, importMap: lp.ImportMap},
+		Sizes:       r.Sizes,
+		FakeImportC: true,
+		Error: func(err error) {
+			if !lp.Standard {
+				pkg.Errors = append(pkg.Errors, err)
+			}
+		},
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, r.Fset, pkg.Files, info)
+	// Check returns a usable (if possibly incomplete) package even on
+	// errors; keep it so dependents can still resolve what did check.
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// mapImporter resolves imports against the already loaded set, applying
+// the importing package's vendor/ImportMap translation first.
+type mapImporter struct {
+	res       *Result
+	importMap map[string]string
+	fallback  types.Importer
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := m.res.byPath[path]; p != nil && p.Types != nil {
+		return p.Types, nil
+	}
+	// Last resort (should not happen with -deps ordering): the compiler
+	// export-data importer.
+	if m.fallback == nil {
+		m.fallback = importer.Default()
+	}
+	return m.fallback.Import(path)
+}
+
+// goEnv returns one `go env` value under dir.
+func goEnv(dir, key string) (string, error) {
+	cmd := exec.Command("go", "env", key)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("loader: go env %s: %v", key, err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// goList runs `go list args...` under dir and returns trimmed stdout.
+func goList(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(out)), nil
+}

@@ -1,0 +1,189 @@
+package relax
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"relaxsched/tools/lint/analysis"
+)
+
+// AtomiconlyAnalyzer forbids plain (non-atomic) access to fields that are
+// elsewhere accessed atomically.
+var AtomiconlyAnalyzer = &analysis.Analyzer{
+	Name: "atomiconly",
+	Doc: `check that atomically-accessed fields are never touched with plain loads/stores
+
+Two classes of field are tracked:
+
+  1. fields declared with a sync/atomic type (atomic.Int64, atomic.Uint64,
+     atomic.Bool, atomic.Pointer[T], ...): the only legal uses are method
+     calls on the field (f.x.Load()) and taking its address; a plain copy
+     or assignment of the value is a data race waiting for a reorder.
+  2. legacy fields passed by address to sync/atomic functions
+     (atomic.AddInt64(&f.x, 1)): every other access to the same field in
+     the package must also go through sync/atomic (or be an address-of).
+
+Functions marked //relax:owner are exempt: they declare single-owner
+regions (pre-publication construction, owner-exclusive teardown) where
+plain access is intentional. Everything else needs an explicit
+//relax:allow atomiconly: <reason>.`,
+	Run: runAtomiconly,
+}
+
+func runAtomiconly(pass *analysis.Pass) (interface{}, error) {
+	m := collectMarkers(pass)
+
+	// Pass 1: find every field passed by address to a sync/atomic function
+	// ("legacy" atomics over plain integer fields).
+	legacy := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicFuncCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fv := selectedField(pass, un.X); fv != nil {
+					legacy[fv] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: inside every non-owner function body, flag plain accesses to
+	// atomic.*-typed fields and to legacy fields.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if m.nodeMarked(markerOwner, fd.Doc, fd) {
+				continue
+			}
+			checkAtomicUses(pass, m, fd.Body, legacy)
+		}
+	}
+	return nil, nil
+}
+
+// checkAtomicUses walks one function body with an explicit parent stack and
+// reports field selections whose immediate context is a plain load or store.
+func checkAtomicUses(pass *analysis.Pass, m *markers, body *ast.BlockStmt, legacy map[types.Object]bool) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fv := selectedField(pass, sel)
+		if fv == nil {
+			return true
+		}
+		isAtomicTyped := isAtomicType(fv.Type())
+		if !isAtomicTyped && !legacy[fv] {
+			return true
+		}
+		if plainAccessContext(pass, stack, sel, isAtomicTyped) {
+			kind := "atomically-updated"
+			if isAtomicTyped {
+				kind = "atomic-typed"
+			}
+			reportUnlessAllowed(pass, m, sel.Sel.Pos(),
+				"plain access to %s field %s.%s (use sync/atomic, or mark the function //relax:owner)",
+				kind, fieldOwnerName(fv), fv.Name())
+		}
+		return true
+	})
+}
+
+// plainAccessContext inspects the parent chain of a tracked field selection
+// and reports whether the use is a plain load/store (true) as opposed to an
+// allowed context: address-of, or — for atomic.* typed fields — a method
+// call hanging off the field.
+func plainAccessContext(pass *analysis.Pass, stack []ast.Node, sel *ast.SelectorExpr, atomicTyped bool) bool {
+	// stack[len-1] == sel; the parent is at len-2.
+	if len(stack) < 2 {
+		return true
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND && p.X == sel {
+			return false // &f.x — handing the field to an atomic helper
+		}
+	case *ast.SelectorExpr:
+		// f.x.Load(): our selection is the X of a further selection. For an
+		// atomic.* typed field any further selection is a method (the types
+		// export no fields), which is exactly the sanctioned use.
+		if atomicTyped && p.X == sel {
+			return false
+		}
+	case *ast.StarExpr:
+		// *(&f.x) style indirection is still a plain access; fall through.
+	}
+	return true
+}
+
+// isAtomicFuncCall reports whether call invokes a function from sync/atomic
+// (atomic.AddInt64, atomic.CompareAndSwapUint64, ...).
+func isAtomicFuncCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// selectedField resolves expr to a struct field object, or nil.
+func selectedField(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isAtomicType reports whether t (or the pointee/element it names) is a
+// type declared in sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOwnerName names the struct a field belongs to, best-effort, for
+// diagnostics.
+func fieldOwnerName(fv *types.Var) string {
+	if fv.Pkg() != nil {
+		return fv.Pkg().Name()
+	}
+	return "?"
+}

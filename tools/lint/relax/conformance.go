@@ -1,0 +1,258 @@
+package relax
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+
+	"relaxsched/tools/lint/analysis"
+)
+
+// Conformance configuration — set by the driver (from flags) or by tests.
+// Empty values disable the corresponding check, so the analyzer degrades
+// gracefully when run outside the repository layout.
+var (
+	// ConformanceGridFile is the path of the engine conformance grid test
+	// file; every workload-defining package must be imported there.
+	ConformanceGridFile string
+	// ConformanceCIFile is the path of the CI workflow; its -race matrix
+	// must cover every workload-defining package.
+	ConformanceCIFile string
+	// ConformanceModulePath is the module path stripped from package paths
+	// when matching CI matrix entries.
+	ConformanceModulePath string
+)
+
+// ConformanceAnalyzer cross-checks registration points: cq backends against
+// the registry, workloads against the conformance grid and the CI -race
+// matrix.
+var ConformanceAnalyzer = &analysis.Analyzer{
+	Name: "conformance",
+	Doc: `check that every backend and workload is wired into the conformance grids
+
+Three wiring points are verified:
+
+  1. every constant of the cq Backend type appears as a registry entry —
+     an unregistered backend compiles but silently never runs under
+     cqtest or the engine grid (Backends() derives from the registry);
+  2. every package that defines an engine.Workload implementation is
+     imported by the engine conformance grid test file, whose grids range
+     over cq.Backends() x workloads; and
+  3. the CI -race matrix covers every workload-defining package.
+
+The grid file, CI file and module path are configured by the driver; unset
+paths disable their check.`,
+	Run: runConformance,
+}
+
+func runConformance(pass *analysis.Pass) (interface{}, error) {
+	m := collectMarkers(pass)
+	checkBackendRegistry(pass, m)
+	checkWorkloadWiring(pass, m)
+	return nil, nil
+}
+
+// checkBackendRegistry verifies (in the package that declares both) that
+// every Backend-typed constant's value appears in the registry literal.
+func checkBackendRegistry(pass *analysis.Pass, m *markers) {
+	backendType := pass.Pkg.Scope().Lookup("Backend")
+	registryVar := pass.Pkg.Scope().Lookup("registry")
+	if backendType == nil || registryVar == nil {
+		return
+	}
+	tn, ok := backendType.(*types.TypeName)
+	if !ok {
+		return
+	}
+
+	// Collect the constant values registered in the registry literal.
+	registered := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if pass.TypesInfo.Defs[name] != registryVar || i >= len(vs.Values) {
+					continue
+				}
+				cl, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range cl.Elts {
+					entry, ok := elt.(*ast.CompositeLit)
+					if !ok || len(entry.Elts) == 0 {
+						continue
+					}
+					for _, field := range entry.Elts {
+						fe := field
+						if kv, ok := field.(*ast.KeyValueExpr); ok {
+							fe = kv.Value
+						}
+						if tv, ok := pass.TypesInfo.Types[fe]; ok && tv.Value != nil &&
+							types.Identical(tv.Type, tn.Type()) {
+							registered[constant.StringVal(tv.Value)] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(registered) == 0 {
+		return
+	}
+
+	// Every Backend-typed constant must be registered (aliases share the
+	// value of their target, so value matching handles DefaultBackend).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || !types.Identical(c.Type(), tn.Type()) {
+						continue
+					}
+					if !registered[constant.StringVal(c.Val())] {
+						reportUnlessAllowed(pass, m, name.Pos(),
+							"backend %s (%s) is not in the registry: it will never run under cqtest or the engine grid",
+							name.Name, constant.StringVal(c.Val()))
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkWorkloadWiring verifies that packages defining engine.Workload
+// implementations are imported by the grid file and covered by the CI
+// -race matrix.
+func checkWorkloadWiring(pass *analysis.Pass, m *markers) {
+	iface := workloadInterface(pass.Pkg)
+	if iface == nil {
+		return
+	}
+	var impls []*types.TypeName
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			impls = append(impls, tn)
+		}
+	}
+	if len(impls) == 0 {
+		return
+	}
+
+	if ConformanceGridFile != "" {
+		imports, err := fileImports(ConformanceGridFile)
+		if err != nil {
+			pass.Reportf(impls[0].Pos(), "conformance grid file %s unreadable: %v", ConformanceGridFile, err)
+		} else if !imports[pass.Pkg.Path()] {
+			reportUnlessAllowed(pass, m, impls[0].Pos(),
+				"package %s defines engine.Workload implementation %s but is not imported by the conformance grid (%s)",
+				pass.Pkg.Path(), impls[0].Name(), ConformanceGridFile)
+		}
+	}
+
+	if ConformanceCIFile != "" {
+		covered, err := ciRaceCovers(ConformanceCIFile, relPkgPath(pass.Pkg.Path()))
+		if err != nil {
+			pass.Reportf(impls[0].Pos(), "CI file %s unreadable: %v", ConformanceCIFile, err)
+		} else if !covered {
+			reportUnlessAllowed(pass, m, impls[0].Pos(),
+				"package %s defines engine.Workload implementation %s but the CI -race matrix (%s) does not cover it",
+				pass.Pkg.Path(), impls[0].Name(), ConformanceCIFile)
+		}
+	}
+}
+
+// workloadInterface finds the Workload interface exported by an imported
+// package named engine; nil when the package doesn't import one.
+func workloadInterface(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Name() != "engine" {
+			continue
+		}
+		tn, ok := imp.Scope().Lookup("Workload").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+			return iface
+		}
+	}
+	return nil
+}
+
+// relPkgPath strips the configured module prefix for CI matrix matching.
+func relPkgPath(pkgPath string) string {
+	if ConformanceModulePath != "" {
+		if rel, ok := strings.CutPrefix(pkgPath, ConformanceModulePath+"/"); ok {
+			return rel
+		}
+	}
+	return pkgPath
+}
+
+// fileImports parses just the import clause of one file.
+func fileImports(path string) (map[string]bool, error) {
+	f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(f.Imports))
+	for _, imp := range f.Imports {
+		out[strings.Trim(imp.Path.Value, `"`)] = true
+	}
+	return out, nil
+}
+
+// ciRaceCovers reports whether any -race invocation line in the CI file
+// covers the package (./pkg, ./pkg/ or an ancestor ./x/... pattern).
+func ciRaceCovers(path, rel string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.Contains(line, "-race") {
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			pat, ok := strings.CutPrefix(tok, "./")
+			if !ok {
+				continue
+			}
+			if sub, wild := strings.CutSuffix(pat, "/..."); wild {
+				if rel == sub || strings.HasPrefix(rel, sub+"/") {
+					return true, nil
+				}
+				continue
+			}
+			pat = strings.TrimSuffix(pat, "/")
+			if rel == pat {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,20 @@
+package relax_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"relaxsched/tools/lint/analysistest"
+	"relaxsched/tools/lint/relax"
+)
+
+func TestConformance(t *testing.T) {
+	td := analysistest.TestData()
+	relax.ConformanceGridFile = filepath.Join(td, "grid.go")
+	relax.ConformanceCIFile = filepath.Join(td, "ci.yml")
+	relax.ConformanceModulePath = ""
+	defer func() {
+		relax.ConformanceGridFile, relax.ConformanceCIFile = "", ""
+	}()
+	analysistest.Run(t, td, relax.ConformanceAnalyzer, "cqreg", "confgood", "confbad")
+}

@@ -1,0 +1,246 @@
+package relax
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"relaxsched/tools/lint/analysis"
+)
+
+// PinregionAnalyzer forbids blocking and allocating operations inside epoch
+// pin regions and //relax:hotpath functions.
+var PinregionAnalyzer = &analysis.Analyzer{
+	Name: "pinregion",
+	Doc: `check that epoch-pinned regions and hotpath functions stay non-blocking
+
+Two region kinds are enforced:
+
+  1. the statements between an epoch pin (slot.Enter()) and the matching
+     slot.Exit() inside one function body, and
+  2. the whole body of any function marked //relax:hotpath.
+
+Inside a region the following are diagnosed: heap allocation (new, make,
+&T{...} composite literals), channel operations (send, receive, close,
+select), goroutine launches, time.Now/Since/Sleep, any fmt call, mutex
+acquisition (Lock/RLock on sync types), and known-blocking os/syscall
+calls. append is deliberately permitted: amortized growth against a
+pre-sized buffer is the repo's sanctioned pattern for batch drains.
+
+A pinned thread that blocks stalls epoch advancement for every other
+thread (reclamation stops; memory grows); a hotpath that allocates turns
+the paper's per-op tail into a GC artifact. Intentional exceptions carry
+//relax:allow pinregion: <reason>.`,
+	Run: runPinregion,
+}
+
+func runPinregion(pass *analysis.Pass) (interface{}, error) {
+	m := collectMarkers(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if m.nodeMarked(markerHotpath, fd.Doc, fd) {
+				checkRegion(pass, m, fd.Body, "hotpath function "+fd.Name.Name)
+				continue
+			}
+			checkPinSpans(pass, m, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkPinSpans finds Enter/Exit pairs at each block level and checks the
+// statements lexically between them. The matching is lexical, not
+// control-flow-aware: an Enter whose Exit lives in a deferred call pins the
+// whole rest of the block.
+func checkPinSpans(pass *analysis.Pass, m *markers, body *ast.BlockStmt) {
+	var walkBlock func(b *ast.BlockStmt)
+	walkBlock = func(b *ast.BlockStmt) {
+		pinnedFrom := -1
+		for i, stmt := range b.List {
+			enter, exit, deferred := pinStmtKind(pass, stmt)
+			switch {
+			case enter && pinnedFrom < 0:
+				pinnedFrom = i + 1
+				if deferred {
+					// defer slot.Enter() makes no sense; treat as unpinned.
+					pinnedFrom = -1
+				}
+			case exit && pinnedFrom >= 0 && !deferred:
+				for _, s := range b.List[pinnedFrom:i] {
+					checkRegion(pass, m, s, "epoch pin region")
+				}
+				pinnedFrom = -1
+			case exit && pinnedFrom >= 0 && deferred:
+				// defer slot.Exit() directly after Enter: the rest of the
+				// block is the pin region.
+				for _, s := range b.List[pinnedFrom:] {
+					if s == stmt {
+						continue
+					}
+					checkRegion(pass, m, s, "epoch pin region")
+				}
+				pinnedFrom = -1
+			}
+		}
+		if pinnedFrom >= 0 {
+			// Enter with no lexical Exit in this block: conservatively treat
+			// the remainder as pinned.
+			for _, s := range b.List[pinnedFrom:] {
+				checkRegion(pass, m, s, "epoch pin region")
+			}
+		}
+		// Recurse into nested blocks outside any pin span (spans inside them
+		// are found by the recursion; statements inside a span were already
+		// checked wholesale above).
+		for _, stmt := range b.List {
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if nb, ok := n.(*ast.BlockStmt); ok && nb != b {
+					walkBlock(nb)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walkBlock(body)
+}
+
+// pinStmtKind classifies a statement as an epoch pin enter/exit call.
+// It matches <expr>.Enter() / <expr>.Exit() where the method is declared on
+// a type from a package named "epoch" — method-set matching rather than a
+// hardcoded type name, so renames inside the epoch package stay covered.
+func pinStmtKind(pass *analysis.Pass, stmt ast.Stmt) (enter, exit, deferred bool) {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+		deferred = true
+	}
+	if call == nil {
+		return false, false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false, false, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "epoch" {
+		return false, false, false
+	}
+	switch fn.Name() {
+	case "Enter":
+		return true, false, deferred
+	case "Exit":
+		return false, true, deferred
+	}
+	return false, false, false
+}
+
+// checkRegion reports every forbidden operation under node.
+func checkRegion(pass *analysis.Pass, m *markers, node ast.Node, where string) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A closure merely defined here runs later (or elsewhere); its
+			// body is not part of this region.
+			return false
+		case *ast.GoStmt:
+			reportUnlessAllowed(pass, m, x.Pos(), "goroutine launch in %s", where)
+			return false
+		case *ast.SelectStmt:
+			reportUnlessAllowed(pass, m, x.Select, "select in %s (blocks the pinned/hot thread)", where)
+			return false
+		case *ast.SendStmt:
+			reportUnlessAllowed(pass, m, x.Arrow, "channel send in %s", where)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				reportUnlessAllowed(pass, m, x.OpPos, "channel receive in %s", where)
+			} else if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					reportUnlessAllowed(pass, m, x.Pos(), "heap allocation (&composite literal) in %s", where)
+				}
+			}
+		case *ast.CallExpr:
+			checkRegionCall(pass, m, x, where)
+		}
+		return true
+	})
+}
+
+// checkRegionCall classifies one call inside a region.
+func checkRegionCall(pass *analysis.Pass, m *markers, call *ast.CallExpr, where string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make", "new", "close":
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				verb := map[string]string{
+					"make":  "heap allocation (make)",
+					"new":   "heap allocation (new)",
+					"close": "channel close",
+				}[fun.Name]
+				reportUnlessAllowed(pass, m, call.Pos(), "%s in %s", verb, where)
+			}
+		}
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[fun.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return
+		}
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return
+		}
+		switch pkg.Path() {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Sleep", "After", "Tick":
+				reportUnlessAllowed(pass, m, call.Pos(), "time.%s in %s", fn.Name(), where)
+			}
+		case "fmt":
+			reportUnlessAllowed(pass, m, call.Pos(), "fmt.%s in %s (allocates and may lock stdout)", fn.Name(), where)
+		case "os", "syscall":
+			// Package-level calls into os/syscall from a pin region are
+			// blocking until proven otherwise.
+			reportUnlessAllowed(pass, m, call.Pos(), "%s.%s call in %s (potentially blocking syscall)", pkg.Name(), fn.Name(), where)
+		case "sync":
+			if recvIsSyncLocker(fn) {
+				switch fn.Name() {
+				case "Lock", "RLock":
+					reportUnlessAllowed(pass, m, call.Pos(), "%s.%s() mutex acquisition in %s", recvTypeName(fn), fn.Name(), where)
+				case "Wait":
+					reportUnlessAllowed(pass, m, call.Pos(), "%s.Wait() in %s (blocks)", recvTypeName(fn), where)
+				}
+			}
+		}
+	}
+}
+
+// recvIsSyncLocker reports whether fn is a method on a sync type.
+func recvIsSyncLocker(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// recvTypeName names fn's receiver type for diagnostics.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "sync"
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return "sync." + n.Obj().Name()
+	}
+	return "sync"
+}

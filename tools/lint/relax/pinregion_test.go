@@ -1,0 +1,12 @@
+package relax_test
+
+import (
+	"testing"
+
+	"relaxsched/tools/lint/analysistest"
+	"relaxsched/tools/lint/relax"
+)
+
+func TestPinregion(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), relax.PinregionAnalyzer, "pinregion")
+}

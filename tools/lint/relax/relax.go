@@ -1,0 +1,195 @@
+// Package relax is the relaxlint analyzer suite: machine-checked versions
+// of the concurrency invariants this repository used to keep in comments.
+//
+// Five analyzers ship (see their Doc strings and the module's doc.go):
+//
+//   - padcheck    — cache-line padding arithmetic, from types.Sizes
+//   - atomiconly  — atomic fields are never accessed non-atomically
+//   - pinregion   — no blocking/allocating ops under an epoch pin or in a
+//     //relax:hotpath function
+//   - spinbound   — CAS/TryLock retry loops carry a bound or a backoff
+//   - conformance — registered backends and engine workloads appear in the
+//     conformance grids and the CI -race matrix
+//
+// # Markers
+//
+// The analyzers read four //relax: comment markers (no space after //, like
+// //go: directives):
+//
+//	//relax:padded            mark a struct as cache-line padded even
+//	                          without a `_ [N]byte` field (padcheck then
+//	                          enforces its size)
+//	//relax:hotpath           mark a function as allocation- and
+//	                          blocking-free (pinregion enforces the body)
+//	//relax:owner             mark a function as a single-owner region:
+//	                          atomiconly permits plain access to atomic
+//	                          fields inside it (pre-publication init,
+//	                          owner-exclusive teardown)
+//	//relax:allow <analyzer>: <reason>
+//	                          suppress one analyzer's findings at this
+//	                          line (or this declaration). The reason is
+//	                          mandatory — suppressions are audit records.
+package relax
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"relaxsched/tools/lint/analysis"
+)
+
+// Marker names.
+const (
+	markerPadded  = "padded"
+	markerHotpath = "hotpath"
+	markerOwner   = "owner"
+	markerAllow   = "allow"
+)
+
+// allowance is one parsed //relax:allow comment.
+type allowance struct {
+	analyzer string
+	reason   string
+	line     int // line the comment is on
+	file     *token.File
+}
+
+// markers indexes every //relax: comment of one package.
+type markers struct {
+	fset *token.FileSet
+	// allows maps "filename:line" of both the comment's own line and the
+	// line above it (a marker on its own line covers the next line).
+	allows map[string]allowance
+	// marked maps comment-bearing lines to the set of bare markers
+	// (padded/hotpath/owner) present there.
+	marked map[string]map[string]bool
+}
+
+// collectMarkers scans every comment in the pass for //relax: directives.
+func collectMarkers(pass *analysis.Pass) *markers {
+	m := &markers{
+		fset:   pass.Fset,
+		allows: make(map[string]allowance),
+		marked: make(map[string]map[string]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//relax:")
+				if !ok {
+					// Also accept the marker at the tail of a wider comment
+					// ("// ... //relax:allow spinbound: reason").
+					if i := strings.Index(c.Text, "//relax:"); i >= 0 {
+						text = c.Text[i+len("//relax:"):]
+					} else {
+						continue
+					}
+				}
+				pos := pass.Fset.Position(c.Pos())
+				key := posKey(pos.Filename, pos.Line)
+				name, rest, _ := strings.Cut(text, " ")
+				name = strings.TrimSpace(name)
+				switch name {
+				case markerAllow:
+					an, reason, _ := strings.Cut(rest, ":")
+					m.allows[key] = allowance{
+						analyzer: strings.TrimSpace(an),
+						reason:   strings.TrimSpace(reason),
+						line:     pos.Line,
+					}
+				case markerPadded, markerHotpath, markerOwner:
+					if m.marked[key] == nil {
+						m.marked[key] = make(map[string]bool)
+					}
+					m.marked[key][name] = true
+				}
+			}
+		}
+	}
+	return m
+}
+
+func posKey(file string, line int) string {
+	// file:line as a map key; line numbers fit well under 7 digits.
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	for _, d := range itoa(line) {
+		b.WriteByte(d)
+	}
+	return b.String()
+}
+
+func itoa(n int) []byte {
+	if n == 0 {
+		return []byte{'0'}
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return buf[i:]
+}
+
+// allowedAt reports whether an //relax:allow for the analyzer covers the
+// given position: on the same line, or on a line of its own directly above.
+// An allow with an empty reason does not suppress — the missing audit trail
+// is itself reported by the caller via reportUnlessAllowed.
+func (m *markers) allowedAt(analyzer string, pos token.Pos) (allowance, bool) {
+	p := m.fset.Position(pos)
+	for _, line := range [...]int{p.Line, p.Line - 1} {
+		if a, ok := m.allows[posKey(p.Filename, line)]; ok && a.analyzer == analyzer {
+			return a, true
+		}
+	}
+	return allowance{}, false
+}
+
+// reportUnlessAllowed emits the diagnostic unless a well-formed
+// //relax:allow covers pos; a reason-less allow is converted into its own
+// diagnostic so suppressions can never silently rot.
+func reportUnlessAllowed(pass *analysis.Pass, m *markers, pos token.Pos, format string, args ...interface{}) {
+	if a, ok := m.allowedAt(pass.Analyzer.Name, pos); ok {
+		if a.reason == "" {
+			pass.Reportf(pos, "//relax:allow %s without a reason (suppressions must carry an audit reason: `//relax:allow %s: <why>`)",
+				pass.Analyzer.Name, pass.Analyzer.Name)
+		}
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// nodeMarked reports whether node (or its doc comment) carries the given
+// bare marker: the marker may sit on the node's first line, the line above
+// it, or any line of the doc comment group.
+func (m *markers) nodeMarked(marker string, doc *ast.CommentGroup, node ast.Node) bool {
+	p := m.fset.Position(node.Pos())
+	if m.marked[posKey(p.Filename, p.Line)][marker] || m.marked[posKey(p.Filename, p.Line-1)][marker] {
+		return true
+	}
+	if doc != nil {
+		start := m.fset.Position(doc.Pos()).Line
+		end := m.fset.Position(doc.End()).Line
+		for line := start; line <= end; line++ {
+			if m.marked[posKey(p.Filename, line)][marker] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full relaxlint suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		PadcheckAnalyzer,
+		AtomiconlyAnalyzer,
+		PinregionAnalyzer,
+		SpinboundAnalyzer,
+		ConformanceAnalyzer,
+	}
+}

@@ -1,0 +1,156 @@
+package relax
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"relaxsched/tools/lint/analysis"
+)
+
+// SpinboundAnalyzer requires every CAS/TryLock retry loop to carry an
+// escape: a loop bound, a backoff, or a park.
+var SpinboundAnalyzer = &analysis.Analyzer{
+	Name: "spinbound",
+	Doc: `check that CAS/TryLock retry loops are bounded or back off
+
+A for loop whose body performs a CompareAndSwap (method or sync/atomic
+function form) or a TryLock is a spin loop. Under contention an unbounded
+bare spin burns a core, floods the coherence fabric, and — per the
+scheduler model in the source paper — can starve the very thread holding
+the state it waits on. Every such loop must exhibit an escape hatch:
+
+  - a loop condition (for i := 0; i < n; ... bounded attempts), or
+  - a call to a backoff/parking facility in the body
+    (runtime.Gosched, time.Sleep, a park.Lot method, anything whose name
+    contains "backoff"/"park"/"wait"), or
+  - a blocking fallback (a plain Lock() after the Try phase), or
+  - a monotone-progress break (lock-free CAS loops where each failure
+    certifies another thread's progress) — those are not starvation but
+    must be annotated //relax:allow spinbound: <reason> to stay auditable.`,
+	Run: runSpinbound,
+}
+
+func runSpinbound(pass *analysis.Pass) (interface{}, error) {
+	m := collectMarkers(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			// A loop with a condition is self-bounding (the condition is the
+			// escape; bounded-attempt loops land here).
+			if loop.Cond != nil {
+				return true
+			}
+			spin, what := spinsInLoop(pass, loop)
+			if !spin {
+				return true
+			}
+			if hasEscape(pass, loop) {
+				return true
+			}
+			reportUnlessAllowed(pass, m, loop.For,
+				"unbounded spin loop around %s with no backoff/park/bound (add an escape, or annotate //relax:allow spinbound: <why each retry makes progress>)",
+				what)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// spinsInLoop reports whether the loop body (excluding nested loops and
+// closures) performs a CAS or TryLock, and names the first one found.
+func spinsInLoop(pass *analysis.Pass, loop *ast.ForStmt) (bool, string) {
+	found := ""
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			// A nested loop is its own spin site; don't blame the outer one.
+			return false
+		case *ast.CallExpr:
+			if name := casOrTryName(pass, x); name != "" {
+				found = name
+			}
+		}
+		return true
+	})
+	return found != "", found
+}
+
+// casOrTryName classifies a call as CAS/TryLock and returns a display name.
+func casOrTryName(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	switch {
+	case strings.HasPrefix(name, "CompareAndSwap"):
+		return name
+	case name == "TryLock", name == "TryRLock":
+		return name
+	}
+	return ""
+}
+
+// hasEscape reports whether the loop body contains a recognized escape:
+// scheduling yield, sleep, park, named backoff, a blocking Lock fallback,
+// or a wait on a condition/parker.
+func hasEscape(pass *analysis.Pass, loop *ast.ForStmt) bool {
+	escaped := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			// Local helpers count when their name signals intent.
+			if id, ok := call.Fun.(*ast.Ident); ok && nameSignalsEscape(id.Name) {
+				escaped = true
+			}
+			return true
+		}
+		name := sel.Sel.Name
+		if nameSignalsEscape(name) {
+			escaped = true
+			return false
+		}
+		// Qualified forms: runtime.Gosched, time.Sleep, and blocking
+		// Lock()/RLock() fallbacks after the Try phase.
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch {
+			case fn.Pkg().Path() == "runtime" && fn.Name() == "Gosched":
+				escaped = true
+			case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+				escaped = true
+			case (fn.Name() == "Lock" || fn.Name() == "RLock") && fn.Type().(*types.Signature).Recv() != nil:
+				escaped = true
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// nameSignalsEscape matches identifiers whose name declares a
+// backoff/park/wait intent.
+func nameSignalsEscape(name string) bool {
+	l := strings.ToLower(name)
+	for _, sig := range [...]string{"backoff", "park", "wait", "yield", "gosched", "sleep"} {
+		if strings.Contains(l, sig) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,9 @@
+// grid.go stands in for the engine conformance grid test file: conformance
+// checks that workload-defining packages are imported here. It is never
+// compiled (testdata is invisible to the go tool); only its import clause
+// is parsed.
+package grid
+
+import (
+	_ "confgood"
+)

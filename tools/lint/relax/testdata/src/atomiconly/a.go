@@ -1,0 +1,45 @@
+package atomiconly
+
+import "sync/atomic"
+
+type counter struct {
+	n      atomic.Int64
+	legacy int64
+	plain  int64
+}
+
+// good uses the sanctioned forms: method calls on the typed field,
+// address-of for the legacy one.
+func good(c *counter) int64 {
+	c.n.Add(1)
+	return c.n.Load() + atomic.LoadInt64(&c.legacy)
+}
+
+func badTyped(c *counter) atomic.Int64 {
+	return c.n // want `plain access to atomic-typed field atomiconly.n`
+}
+
+func badTypedWrite(c *counter) {
+	c.n = atomic.Int64{} // want `plain access to atomic-typed field atomiconly.n`
+}
+
+func badLegacy(c *counter) int64 {
+	atomic.AddInt64(&c.legacy, 1)
+	return c.legacy // want `plain access to atomically-updated field atomiconly.legacy`
+}
+
+// untracked fields stay untracked: plain is never touched atomically.
+func negative(c *counter) int64 {
+	c.plain = 7
+	return c.plain
+}
+
+//relax:owner
+func initCounter(c *counter) {
+	c.legacy = 0
+	c.n = atomic.Int64{}
+}
+
+func allowed(c *counter) int64 {
+	return c.legacy //relax:allow atomiconly: single-goroutine teardown read after workers joined
+}

@@ -1,0 +1,10 @@
+// Package confbad defines a workload that is wired into neither the grid
+// file nor the CI -race matrix.
+package confbad
+
+import "engine"
+
+type W struct{} // want `not imported by the conformance grid` `CI -race matrix .* does not cover it`
+
+func (W) Frontier(emit func(value, priority int64))             {}
+func (W) TryExecute(ctx *engine.Ctx, value, priority int64) int { return 0 }

@@ -1,0 +1,10 @@
+// Package confgood defines a workload that IS wired into the grid file and
+// the CI -race matrix — the clean case.
+package confgood
+
+import "engine"
+
+type W struct{}
+
+func (W) Frontier(emit func(value, priority int64))             {}
+func (W) TryExecute(ctx *engine.Ctx, value, priority int64) int { return 0 }

@@ -1,0 +1,20 @@
+package cqreg
+
+type Backend string
+
+const (
+	GoodBackend Backend = "good"
+	LostBackend Backend = "lost" // want `backend LostBackend \(lost\) is not in the registry`
+	//relax:allow conformance: experimental backend, registered behind a build tag elsewhere
+	HiddenBackend Backend = "hidden"
+)
+
+// DefaultBackend aliases a registered value, so value matching clears it.
+const DefaultBackend = GoodBackend
+
+var registry = []struct {
+	name  Backend
+	build func() int
+}{
+	{GoodBackend, func() int { return 0 }},
+}

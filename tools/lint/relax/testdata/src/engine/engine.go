@@ -1,0 +1,10 @@
+// Package engine is a stub of the real engine: conformance looks for the
+// Workload interface of an imported package named engine.
+package engine
+
+type Ctx struct{}
+
+type Workload interface {
+	Frontier(emit func(value, priority int64))
+	TryExecute(ctx *Ctx, value, priority int64) int
+}

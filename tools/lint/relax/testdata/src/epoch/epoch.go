@@ -1,0 +1,8 @@
+// Package epoch is a stub of the real reclamation package: pinregion
+// matches Enter/Exit methods of any type declared in a package named epoch.
+package epoch
+
+type Slot struct{ pinned bool }
+
+func (s *Slot) Enter() { s.pinned = true }
+func (s *Slot) Exit()  { s.pinned = false }

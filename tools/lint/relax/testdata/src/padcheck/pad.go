@@ -1,0 +1,54 @@
+package padcheck
+
+import "sync/atomic"
+
+// BadTail ends at 72 bytes: the trailing payload spills onto a new line.
+type BadTail struct { // want `padded struct BadTail is 72 bytes, not a multiple of 64`
+	n atomic.Int64
+	_ [56]byte
+	m int64
+}
+
+// BadPad is the mis-sized-pad case: 24 bytes of payload closed out by a
+// pad computed for 16.
+type BadPad struct { // want `padded struct BadPad is 80 bytes, not a multiple of 64`
+	head [3]int64
+	_    [48]byte // want `pad field ends at offset 72, not on a 64-byte boundary \(field starts at 24; use _ \[40\]byte\)`
+	tail int64
+}
+
+// Good is exactly one line.
+type Good struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Unpadded structs are not padcheck's business.
+type Unpadded struct {
+	a, b, c int64
+}
+
+//relax:padded
+type MarkedBad struct { // want `padded struct MarkedBad is 8 bytes, not a multiple of 64`
+	n int64
+}
+
+//relax:padded
+type MarkedGood struct {
+	n int64
+	_ [56]byte
+}
+
+//relax:allow padcheck: the tail field intentionally shares the next owner's line
+type Allowed struct {
+	n    int64
+	_    [56]byte
+	tail int64
+}
+
+//relax:allow padcheck
+type NoReason struct { // want `//relax:allow padcheck without a reason`
+	n    int64
+	_    [56]byte
+	tail int64
+}

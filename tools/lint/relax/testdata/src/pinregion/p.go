@@ -1,0 +1,62 @@
+package pinregion
+
+import (
+	"fmt"
+	"time"
+
+	"epoch"
+)
+
+type node struct{ next *node }
+
+// badPin is the alloc-under-pin case.
+func badPin(s *epoch.Slot) *node {
+	s.Enter()
+	n := &node{} // want `heap allocation \(&composite literal\) in epoch pin region`
+	s.Exit()
+	return n
+}
+
+func badPinMake(s *epoch.Slot) []int {
+	s.Enter()
+	xs := make([]int, 4) // want `heap allocation \(make\) in epoch pin region`
+	s.Exit()
+	return xs
+}
+
+// goodPin only dereferences shared nodes — exactly what a pin is for.
+func goodPin(s *epoch.Slot, n *node) *node {
+	s.Enter()
+	m := n.next
+	s.Exit()
+	return m
+}
+
+// afterExit allocates only once the pin is released.
+func afterExit(s *epoch.Slot) *node {
+	s.Enter()
+	s.Exit()
+	return &node{}
+}
+
+//relax:hotpath
+func badHot(ch chan int) {
+	t := time.Now() // want `time.Now in hotpath function badHot`
+	fmt.Println(t)  // want `fmt.Println in hotpath function badHot`
+	ch <- 1         // want `channel send in hotpath function badHot`
+}
+
+//relax:hotpath
+func goodHot(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func allowedPin(s *epoch.Slot) []int {
+	s.Enter()
+	xs := make([]int, 4) //relax:allow pinregion: buffer is preallocated in the real code; stub keeps the shape
+	s.Exit()
+	return xs
+}

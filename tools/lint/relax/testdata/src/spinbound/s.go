@@ -1,0 +1,68 @@
+package spinbound
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// badCAS is the unbounded-CAS-loop case.
+func badCAS(v *atomic.Int64) {
+	for { // want `unbounded spin loop around CompareAndSwap with no backoff/park/bound`
+		cur := v.Load()
+		if v.CompareAndSwap(cur, cur+1) {
+			return
+		}
+	}
+}
+
+func badTry(mu *sync.Mutex) {
+	for { // want `unbounded spin loop around TryLock with no backoff/park/bound`
+		if mu.TryLock() {
+			return
+		}
+	}
+}
+
+// goodBounded carries its bound in the loop condition.
+func goodBounded(v *atomic.Int64) bool {
+	for i := 0; i < 8; i++ {
+		cur := v.Load()
+		if v.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// goodYield backs off through the scheduler on every miss.
+func goodYield(v *atomic.Int64) {
+	for {
+		cur := v.Load()
+		if v.CompareAndSwap(cur, cur+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// goodFallback eventually blocks on the lock instead of spinning.
+func goodFallback(mu *sync.Mutex) {
+	for {
+		if mu.TryLock() {
+			return
+		}
+		mu.Lock()
+		return
+	}
+}
+
+func allowed(v *atomic.Int64) {
+	//relax:allow spinbound: monotone counter demo — each failed CAS certifies another increment committed
+	for {
+		cur := v.Load()
+		if v.CompareAndSwap(cur, cur+1) {
+			return
+		}
+	}
+}
