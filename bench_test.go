@@ -244,13 +244,7 @@ func BenchmarkParallelSSSP(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/batch%d", backend, batch), func(b *testing.B) {
 				var popped int64
 				for i := 0; i < b.N; i++ {
-					res := relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{
-						Threads:         4,
-						QueueMultiplier: 2,
-						Backend:         backend,
-						BatchSize:       batch,
-						Seed:            uint64(i),
-					})
+					res := relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{ExecOptions: relaxsched.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: uint64(i)}})
 					popped += res.Popped
 				}
 				b.ReportMetric(float64(popped)/b.Elapsed().Seconds(), "pops/sec")

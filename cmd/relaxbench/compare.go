@@ -18,7 +18,8 @@ Diffs two benchmark-trajectory files (JSON-lines as written by -out, e.g.
 BENCH_PR3.json vs BENCH_PR4.json) and prints per-experiment throughput
 deltas for every row carrying an OpsPerSec metric. Rows are matched by
 their identity columns (graph, backend, algo, scheduler, placement, idle
-strategy, threads, n, k, batch, producers, rate, fault-plan columns); rows
+strategy, threads, n, k, batch, producers, rate, Zipf skew, fault-plan
+columns); rows
 present on only one side are
 listed as added or removed. When both sides record the host environment
 (NumCPU / GOMAXPROCS) and matched rows disagree, compare prints a warning:
@@ -39,7 +40,7 @@ type trajectoryLine struct {
 // identityFields are the row columns that name a configuration (as opposed
 // to measuring it), in display order. Integer-valued identity fields are
 // part of the key; everything else numeric is a metric.
-var identityFields = []string{"Graph", "Backend", "Algo", "Scheduler", "Placement", "Strategy", "Threads", "N", "K", "Batch", "BatchSize", "Depth", "Producers", "Rate", "StallEvery", "BlockEvery", "Poison"}
+var identityFields = []string{"Graph", "Backend", "Algo", "Scheduler", "Placement", "Strategy", "Threads", "N", "K", "Batch", "BatchSize", "Depth", "Producers", "Rate", "StallEvery", "BlockEvery", "Poison", "Skew"}
 
 // rowKey builds the identity key of one row: the concatenation of its
 // identity columns. Rows from the two trajectories match when their keys

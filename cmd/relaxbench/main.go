@@ -277,11 +277,12 @@ var experimentTable = map[string]experimentSpec{
 	"stream":      {"Extension: streaming top-k job scheduler (external producers, backends x threads x arrival rates)", withErr(experiments.Stream)},
 	"affinity":    {"Extension: shard-affine vs. uniform handle placement (lock-free backend microbenchmark)", noErr(experiments.Affinity)},
 	"chaos":       {"Extension: fault-injection overhead (seeded stalls, forced blocks, poisoned tasks; backends x threads)", withErr(experiments.Chaos)},
+	"txn":         {"Extension: OCC transactional workload (self-certifying serializability; backends x Zipf skews x threads)", withErr(experiments.Txn)},
 	"idlecost":    {"Extension: idle CPU cost and wake-up latency of the parking vs. spinning idle strategies", withErr(experiments.IdleCost)},
 }
 
 // allOrder is the order `relaxbench all` runs experiments in.
-var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay", "stream", "affinity", "chaos", "idlecost"}
+var allOrder = []string{"graphs", "fig1", "fig2", "backends", "batchsweep", "thm33", "thm51", "thm61", "thm43", "ablation", "parinc", "iterative", "bnb", "parbnb", "parmis", "pardelaunay", "stream", "affinity", "chaos", "idlecost", "txn"}
 
 // knownExperiment reports whether exp is a name run can dispatch.
 func knownExperiment(exp string) bool {

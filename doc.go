@@ -90,7 +90,16 @@
 //     and contention-free termination detection (cache-padded per-worker
 //     in-flight counters, internal/inflight);
 //   - a transactional-model simulator (aborts under optimistic concurrent
-//     execution, Section 4 of the paper);
+//     execution, Section 4 of the paper) and, since PR 10, a real OCC
+//     transactional engine workload (ParallelTransactions): a sharded
+//     versioned KV store hammered by Zipf-skewed transactions, one
+//     optimistic attempt per TryExecute with the engine re-insert as the
+//     retry loop, a contention detector that promotes hot records to
+//     Doppel-style split/phased handling (per-worker commutative deltas
+//     reconciled at phase fences), and post-run serializability
+//     certification by replaying the commit log in ticket order — the
+//     same TxnWorkloadSpec drives the sequential Section 4 model as the
+//     conformance oracle (SimulateTransactionSpec);
 //   - graph generators (uniform random, road-like grid, social-like
 //     preferential attachment) and a DIMACS ".gr" parser.
 //
@@ -101,11 +110,15 @@
 //	fmt.Printf("overhead %.3f\n", res.Overhead())
 //
 // To run the same computation over a different concurrent queue design,
-// with workers moving 32 pairs per queue operation:
+// with workers moving 32 pairs per queue operation — the engine plumbing
+// lives in the shared ExecOptions struct every parallel options type
+// embeds:
 //
 //	res = relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{
-//		Threads: 8, QueueMultiplier: 2, Backend: relaxsched.BackendLockFree,
-//		BatchSize: 32, Seed: 42,
+//		ExecOptions: relaxsched.ExecOptions{
+//			Threads: 8, QueueMultiplier: 2,
+//			Backend: relaxsched.BackendLockFree, BatchSize: 32, Seed: 42,
+//		},
 //	})
 //
 // See examples/ for runnable programs and cmd/relaxbench for the

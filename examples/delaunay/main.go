@@ -86,9 +86,7 @@ func main() {
 	// True parallel triangulation: goroutines over a concurrent relaxed
 	// queue, dependencies discovered on line (a racing cavity claim blocks
 	// and retries). The mesh must again be the unique Delaunay one.
-	parTris, pres, err := relaxsched.ParallelTriangulate(pts, nil, relaxsched.ParallelDelaunayOptions{
-		Threads: *threads, QueueMultiplier: 2, Seed: 42,
-	})
+	parTris, pres, err := relaxsched.ParallelTriangulate(pts, nil, relaxsched.ParallelDelaunayOptions{ExecOptions: relaxsched.ExecOptions{Threads: *threads, QueueMultiplier: 2, Seed: 42}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,36 +3,23 @@ package bnb
 import (
 	"fmt"
 	"sync/atomic"
-	"time"
 
-	"relaxsched/internal/cq"
 	"relaxsched/internal/engine"
 	"relaxsched/internal/rng"
 )
 
 // ParallelOptions configure a concurrent branch-and-bound run.
 type ParallelOptions struct {
-	// Threads is the number of worker goroutines (>= 1).
-	Threads int
-	// QueueMultiplier is the relaxation multiplier of the concurrent queue
-	// (>= 1; the classic MultiQueue configuration is 2).
-	QueueMultiplier int
-	// Backend selects the concurrent queue implementation; the zero value
-	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
-	Backend cq.Backend
-	// BatchSize is the number of (node, bound) pairs a worker moves per
-	// queue operation (<= 1 disables batching).
-	BatchSize int
-	// Seed drives the queue randomness.
-	Seed uint64
+	// ExecOptions are the shared engine knobs: queue backend and relaxation
+	// multiplier, worker count, batching, seeding, and Deadline — a
+	// positive Deadline turns the search into an anytime run: at expiry
+	// the engine drains gracefully and the Result carries the incumbent
+	// found so far, marked Interrupted (finding no leaf before the
+	// deadline is an error).
+	engine.ExecOptions
 	// Budget caps the number of search nodes the run may allocate (>= 1);
 	// exceeding it is an error, exactly as in the sequential Run.
 	Budget int
-	// Deadline, when positive, turns the search into an anytime run: at
-	// expiry the engine drains gracefully and the Result carries the
-	// incumbent found so far, marked Interrupted. Finding no leaf before
-	// the deadline is an error.
-	Deadline time.Duration
 }
 
 // unset is the incumbent sentinel: any real leaf cost is below it.
@@ -119,14 +106,7 @@ func ParallelRun(t Tree, opts ParallelOptions) (Result, error) {
 	s := &parallelSearch{t: t, nodes: make([]node, opts.Budget)}
 	s.incumbent.Store(unset)
 
-	stats, err := engine.Run(s, engine.Options{
-		Threads:         opts.Threads,
-		QueueMultiplier: opts.QueueMultiplier,
-		Backend:         opts.Backend,
-		BatchSize:       opts.BatchSize,
-		Seed:            opts.Seed,
-		Deadline:        opts.Deadline,
-	})
+	stats, err := engine.Run(s, engine.Options{ExecOptions: opts.ExecOptions})
 	if err != nil {
 		return Result{}, fmt.Errorf("bnb: %w", err)
 	}

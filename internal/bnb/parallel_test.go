@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/sched"
 )
 
@@ -16,9 +17,7 @@ func testTree(seed uint64) Tree {
 func TestParallelRunFindsOptimum(t *testing.T) {
 	tree := testTree(7)
 	want := Optimal(tree)
-	res, err := ParallelRun(tree, ParallelOptions{
-		Threads: 4, QueueMultiplier: 2, Seed: 1, Budget: 1 << 16,
-	})
+	res, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Seed: 1}, Budget: 1 << 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,10 +36,7 @@ func TestParallelRunAcrossBackendsAndBatches(t *testing.T) {
 	want := Optimal(tree)
 	for _, backend := range cq.Backends() {
 		for _, batch := range []int{0, 8, 64} {
-			res, err := ParallelRun(tree, ParallelOptions{
-				Threads: 4, QueueMultiplier: 2, Backend: backend,
-				BatchSize: batch, Seed: 3, Budget: 1 << 16,
-			})
+			res, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 3}, Budget: 1 << 16})
 			if err != nil {
 				t.Fatalf("%s/batch%d: %v", backend, batch, err)
 			}
@@ -60,9 +56,7 @@ func TestParallelRunMatchesSequentialOptimum(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := ParallelRun(tree, ParallelOptions{
-			Threads: 3, QueueMultiplier: 2, Seed: seed, Budget: 1 << 16,
-		})
+		par, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 3, QueueMultiplier: 2, Seed: seed}, Budget: 1 << 16})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,9 +77,7 @@ func TestParallelRunSingleThreadNearExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := ParallelRun(tree, ParallelOptions{
-		Threads: 1, QueueMultiplier: 1, Seed: 2, Budget: 1 << 16,
-	})
+	par, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1, Seed: 2}, Budget: 1 << 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,30 +91,26 @@ func TestParallelRunSingleThreadNearExact(t *testing.T) {
 
 func TestParallelRunBudgetExceeded(t *testing.T) {
 	tree := testTree(5)
-	if _, err := ParallelRun(tree, ParallelOptions{
-		Threads: 4, QueueMultiplier: 2, Seed: 1, Budget: 8,
-	}); err == nil {
+	if _, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Seed: 1}, Budget: 8}); err == nil {
 		t.Fatal("tiny budget accepted")
 	}
 }
 
 func TestParallelRunInvalidOptions(t *testing.T) {
 	tree := testTree(1)
-	if _, err := ParallelRun(Tree{}, ParallelOptions{Threads: 1, QueueMultiplier: 1, Budget: 16}); err == nil {
+	if _, err := ParallelRun(Tree{}, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}, Budget: 16}); err == nil {
 		t.Fatal("invalid tree accepted")
 	}
-	if _, err := ParallelRun(tree, ParallelOptions{Threads: 0, QueueMultiplier: 1, Budget: 16}); err == nil {
+	if _, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 0, QueueMultiplier: 1}, Budget: 16}); err == nil {
 		t.Fatal("Threads 0 accepted")
 	}
-	if _, err := ParallelRun(tree, ParallelOptions{Threads: 1, QueueMultiplier: 0, Budget: 16}); err == nil {
+	if _, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 0}, Budget: 16}); err == nil {
 		t.Fatal("QueueMultiplier 0 accepted")
 	}
-	if _, err := ParallelRun(tree, ParallelOptions{Threads: 1, QueueMultiplier: 1, Budget: 0}); err == nil {
+	if _, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}, Budget: 0}); err == nil {
 		t.Fatal("Budget 0 accepted")
 	}
-	if _, err := ParallelRun(tree, ParallelOptions{
-		Threads: 1, QueueMultiplier: 1, Budget: 16, Backend: "no-such-queue",
-	}); err == nil {
+	if _, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1, Backend: "no-such-queue"}, Budget: 16}); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 }
@@ -136,11 +124,7 @@ func TestParallelRunInvalidOptions(t *testing.T) {
 func TestParallelRunDeadlineAnytime(t *testing.T) {
 	tree := Tree{Depth: 20, Branch: 3, MaxEdgeCost: 2, Seed: 5}
 	start := time.Now()
-	res, err := ParallelRun(tree, ParallelOptions{
-		Threads: 4, QueueMultiplier: 2, Seed: 11,
-		Budget:   2 << 20,
-		Deadline: time.Millisecond,
-	})
+	res, err := ParallelRun(tree, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Seed: 11, Deadline: time.Millisecond}, Budget: 2 << 20})
 	if d := time.Since(start); d > 30*time.Second {
 		t.Fatalf("deadlined run took %v", d)
 	}

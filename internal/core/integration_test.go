@@ -10,6 +10,7 @@ import (
 	"relaxsched/internal/bstsort"
 	"relaxsched/internal/core"
 	"relaxsched/internal/delaunay"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/geom"
 	"relaxsched/internal/rng"
 )
@@ -24,12 +25,7 @@ func TestParallelRunRebuildsBST(t *testing.T) {
 	dag, seqTree := bstsort.BuildDAG(keys)
 	for _, threads := range []int{2, 8} {
 		relTree := bstsort.NewTree(keys)
-		res, err := core.ParallelRun(dag, core.ParallelOptions{
-			Threads:         threads,
-			QueueMultiplier: 2,
-			Seed:            uint64(threads),
-			OnProcess:       func(label int) { relTree.Insert(label) },
-		})
+		res, err := core.ParallelRun(dag, core.ParallelOptions{ExecOptions: engine.ExecOptions{Threads: threads, QueueMultiplier: 2, Seed: uint64(threads)}, OnProcess: func(label int) { relTree.Insert(label) }})
 		if err != nil {
 			t.Fatalf("threads=%d: %v", threads, err)
 		}
@@ -55,16 +51,11 @@ func TestParallelRunRebuildsDelaunayMesh(t *testing.T) {
 	}
 	relTri := delaunay.New(pts)
 	insertErr := error(nil)
-	res, err := core.ParallelRun(dag, core.ParallelOptions{
-		Threads:         6,
-		QueueMultiplier: 2,
-		Seed:            7,
-		OnProcess: func(label int) {
-			if e := relTri.Insert(label); e != nil && insertErr == nil {
-				insertErr = e
-			}
-		},
-	})
+	res, err := core.ParallelRun(dag, core.ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 6, QueueMultiplier: 2, Seed: 7}, OnProcess: func(label int) {
+		if e := relTri.Insert(label); e != nil && insertErr == nil {
+			insertErr = e
+		}
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,28 +5,16 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"relaxsched/internal/cq"
 	"relaxsched/internal/engine"
 )
 
 // ParallelOptions configure a ParallelRun.
 type ParallelOptions struct {
-	// Threads is the number of worker goroutines (>= 1).
-	Threads int
-	// QueueMultiplier is the relaxation multiplier of the concurrent queue
-	// (>= 1; the classic MultiQueue configuration is 2, giving
-	// Threads * QueueMultiplier internal queues).
-	QueueMultiplier int
-	// Backend selects the concurrent queue implementation; the zero value
-	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
-	Backend cq.Backend
-	// BatchSize is the number of labels a worker moves per queue
-	// operation: pops arrive in batches and re-insertions of blocked tasks
-	// accumulate in a per-worker buffer flushed through PushBatch. Values
-	// <= 1 disable batching (one queue operation per label).
-	BatchSize int
-	// Seed drives the queue randomness.
-	Seed uint64
+	// ExecOptions are the shared engine knobs: queue backend and relaxation
+	// multiplier, worker count, batching (pops arrive in batches and
+	// re-insertions of blocked tasks accumulate in a per-worker buffer
+	// flushed through PushBatch), and seeding.
+	engine.ExecOptions
 	// OnProcess, if non-nil, is invoked once per task in processing order.
 	// Calls are serialized by an internal mutex, so the callback may touch
 	// shared algorithm state (e.g. insert into a BST or a mesh) without
@@ -116,13 +104,7 @@ func ParallelRun(dag *DAG, opts ParallelOptions) (Result, error) {
 		return Result{}, err
 	}
 	wl := newDAGWorkload(dag, opts.OnProcess)
-	stats, err := engine.Run(wl, engine.Options{
-		Threads:         opts.Threads,
-		QueueMultiplier: opts.QueueMultiplier,
-		Backend:         opts.Backend,
-		BatchSize:       opts.BatchSize,
-		Seed:            opts.Seed,
-	})
+	stats, err := engine.Run(wl, engine.Options{ExecOptions: opts.ExecOptions})
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %w", err)
 	}

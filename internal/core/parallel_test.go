@@ -6,12 +6,13 @@ import (
 	"testing/quick"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/rng"
 )
 
 func TestParallelRunNoDeps(t *testing.T) {
 	d := NewDAG(2000)
-	res, err := ParallelRun(d, ParallelOptions{Threads: 8, QueueMultiplier: 2, Seed: 1})
+	res, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 8, QueueMultiplier: 2, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestParallelRunRespectsDependencies(t *testing.T) {
 	r := rng.New(3)
 	const n = 1500
 	d := randomDAG(n, r)
-	res, err := ParallelRun(d, ParallelOptions{Threads: 8, QueueMultiplier: 2, Seed: 2})
+	res, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 8, QueueMultiplier: 2, Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestParallelRunChainIsSerial(t *testing.T) {
 	// A chain admits no parallelism; the run must still complete, in
 	// exactly sequential order, with (possibly many) wasted steps.
 	const n = 300
-	res, err := ParallelRun(chainDAG(n), ParallelOptions{Threads: 4, QueueMultiplier: 2, Seed: 5})
+	res, err := ParallelRun(chainDAG(n), ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,13 +70,10 @@ func TestParallelRunOnProcessSerialized(t *testing.T) {
 	d := randomDAG(n, r)
 	sum := 0
 	var seen []int
-	res, err := ParallelRun(d, ParallelOptions{
-		Threads: 8, QueueMultiplier: 2, Seed: 7,
-		OnProcess: func(label int) {
-			sum += label
-			seen = append(seen, label)
-		},
-	})
+	res, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 8, QueueMultiplier: 2, Seed: 7}, OnProcess: func(label int) {
+		sum += label
+		seen = append(seen, label)
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +97,7 @@ func TestParallelRunSingleThreadMatchesModelSemantics(t *testing.T) {
 	const n = 500
 	r := rng.New(11)
 	d := randomDAG(n, r)
-	res, err := ParallelRun(d, ParallelOptions{Threads: 1, QueueMultiplier: 1, Seed: 3})
+	res, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1, Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,15 +113,15 @@ func TestParallelRunSingleThreadMatchesModelSemantics(t *testing.T) {
 
 func TestParallelRunInvalidOptions(t *testing.T) {
 	d := NewDAG(5)
-	if _, err := ParallelRun(d, ParallelOptions{Threads: 0, QueueMultiplier: 1}); err == nil {
+	if _, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 0, QueueMultiplier: 1}}); err == nil {
 		t.Fatal("Threads 0 accepted")
 	}
-	if _, err := ParallelRun(d, ParallelOptions{Threads: 1, QueueMultiplier: 0}); err == nil {
+	if _, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 0}}); err == nil {
 		t.Fatal("QueueMultiplier 0 accepted")
 	}
 	bad := NewDAG(3)
 	bad.Preds[1] = append(bad.Preds[1], 2)
-	if _, err := ParallelRun(bad, ParallelOptions{Threads: 1, QueueMultiplier: 1}); err == nil {
+	if _, err := ParallelRun(bad, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}}); err == nil {
 		t.Fatal("invalid DAG accepted")
 	}
 }
@@ -135,11 +133,7 @@ func TestParallelRunProperty(t *testing.T) {
 		r := rng.New(seed)
 		n := 50 + r.Intn(400)
 		d := randomDAG(n, r)
-		res, err := ParallelRun(d, ParallelOptions{
-			Threads:         1 + r.Intn(8),
-			QueueMultiplier: 1 + r.Intn(3),
-			Seed:            seed,
-		})
+		res, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1 + r.Intn(8), QueueMultiplier: 1 + r.Intn(3), Seed: seed}})
 		if err != nil || res.Processed != int64(n) {
 			return false
 		}
@@ -167,7 +161,7 @@ func BenchmarkParallelRunRandomDAG(b *testing.B) {
 	d := randomDAG(n, r)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ParallelRun(d, ParallelOptions{Threads: 8, QueueMultiplier: 2, Seed: uint64(i)}); err != nil {
+		if _, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 8, QueueMultiplier: 2, Seed: uint64(i)}}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -180,9 +174,7 @@ func TestParallelRunAcrossBackends(t *testing.T) {
 	const n = 1200
 	d := randomDAG(n, r)
 	for _, backend := range cq.Backends() {
-		res, err := ParallelRun(d, ParallelOptions{
-			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 9,
-		})
+		res, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 9}})
 		if err != nil {
 			t.Fatalf("%s: %v", backend, err)
 		}
@@ -212,9 +204,7 @@ func TestParallelRunBatched(t *testing.T) {
 	d := randomDAG(n, r)
 	for _, backend := range cq.Backends() {
 		for _, batch := range []int{2, 16, 128} {
-			res, err := ParallelRun(d, ParallelOptions{
-				Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 13,
-			})
+			res, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 13}})
 			if err != nil {
 				t.Fatalf("%s/batch%d: %v", backend, batch, err)
 			}
@@ -244,13 +234,10 @@ func TestParallelRunBatchedOnProcessSerialized(t *testing.T) {
 	d := randomDAG(n, r)
 	processedAt := make([]int, n)
 	calls := 0
-	res, err := ParallelRun(d, ParallelOptions{
-		Threads: 4, QueueMultiplier: 2, BatchSize: 32, Seed: 17,
-		OnProcess: func(label int) {
-			processedAt[label] = calls
-			calls++
-		},
-	})
+	res, err := ParallelRun(d, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, BatchSize: 32, Seed: 17}, OnProcess: func(label int) {
+		processedAt[label] = calls
+		calls++
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,9 +257,7 @@ func TestParallelRunBatchedChainIsSerial(t *testing.T) {
 	// A chain forces every batch to come back almost entirely blocked; the
 	// re-insertion buffer must keep all labels live until their turn.
 	const n = 200
-	res, err := ParallelRun(chainDAG(n), ParallelOptions{
-		Threads: 4, QueueMultiplier: 2, BatchSize: 16, Seed: 23,
-	})
+	res, err := ParallelRun(chainDAG(n), ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, BatchSize: 16, Seed: 23}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,9 +269,7 @@ func TestParallelRunBatchedChainIsSerial(t *testing.T) {
 }
 
 func TestParallelRunUnknownBackend(t *testing.T) {
-	_, err := ParallelRun(NewDAG(10), ParallelOptions{
-		Threads: 2, QueueMultiplier: 2, Backend: "no-such-queue", Seed: 1,
-	})
+	_, err := ParallelRun(NewDAG(10), ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 2, QueueMultiplier: 2, Backend: "no-such-queue", Seed: 1}})
 	if err == nil {
 		t.Fatal("unknown backend accepted")
 	}

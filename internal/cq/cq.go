@@ -6,7 +6,7 @@
 // the algorithms (sssp.Parallel) and the experiment harness can compare
 // backends head-to-head instead of hard-wiring one.
 //
-// Three backends ship today:
+// Four backends ship today:
 //
 //   - MultiQueueBackend: the lock-per-queue MultiQueue — threads x multiplier
 //     4-ary heaps, uniform 2-choice pops over cached atomic tops, TryLock with
@@ -19,9 +19,13 @@
 //     republished by CAS (ownership transfer), with epoch-based node
 //     reclamation and per-worker shard-affine handles; no operation ever
 //     blocks another.
+//   - ExactBackend: the strict-order control — one binary heap behind one
+//     mutex, relaxation factor exactly 1. Not relaxed; it exists so every
+//     experiment can price relaxation against strict ordering on the same
+//     harness.
 //
-// All are relaxed: Pop returns a small-rank element, not necessarily the
-// minimum. New backends must pass the shared conformance and race-stress
+// All but the exact baseline are relaxed: Pop returns a small-rank
+// element, not necessarily the minimum. New backends must pass the shared conformance and race-stress
 // suite in cqtest.
 //
 // On top of the singleton contract sits the batch layer (BatchQueue):
@@ -93,6 +97,11 @@ const (
 	// taken and republished through one atomic root per queue, epoch-based
 	// node reclamation (internal/epoch) and shard-affine worker handles.
 	LockFreeBackend Backend = "lockfree"
+	// ExactBackend is the strict-order baseline: one binary heap behind one
+	// mutex, relaxation factor exactly 1. It exists as the control arm of
+	// every relaxed-vs-strict comparison — under contention its single lock
+	// is the bottleneck the relaxed backends dissipate.
+	ExactBackend Backend = "exact"
 )
 
 // DefaultBackend is used when a Backend field is left at its zero value.
@@ -108,6 +117,7 @@ var registry = []struct {
 	{MultiQueueBackend, func(t, m int) Queue { return NewMultiQueue(t * m) }},
 	{SprayListBackend, func(t, m int) Queue { return NewSprayList(t * m) }},
 	{LockFreeBackend, func(t, m int) Queue { return NewLockFreeMQ(t * m) }},
+	{ExactBackend, func(t, m int) Queue { return NewExact() }},
 }
 
 // Backends returns every registered backend, default first.

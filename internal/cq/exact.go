@@ -1,0 +1,94 @@
+package cq
+
+import (
+	"sync"
+
+	"relaxsched/internal/rng"
+)
+
+// Exact is the strict-order baseline backend: one binary heap behind one
+// mutex. Pop always returns the global minimum, so its relaxation factor is
+// exactly 1 — the k = 1 scheduler of the paper's sequential model, realized
+// concurrently. It exists to be measured against: every coordination round
+// serializes on the single lock, which is precisely the bottleneck the
+// relaxed designs (MultiQueue, SprayList, lock-free MultiQueue) exist to
+// dissipate. Workloads where relaxation should win — the contended
+// transactional workload above all — quantify the win against this
+// backend's rows.
+type Exact struct {
+	mu   sync.Mutex
+	heap []Pair
+}
+
+// NewExact returns an exact (strict priority order) mutex-heap queue.
+func NewExact() *Exact {
+	return &Exact{}
+}
+
+// Push inserts a pair; the rng stream is unused (no randomized choices).
+func (q *Exact) Push(_ *rng.Xoshiro, value, priority int64) {
+	if priority == ReservedPriority {
+		panic("cq: push of ReservedPriority")
+	}
+	q.mu.Lock()
+	q.heap = append(q.heap, Pair{Value: value, Priority: priority})
+	q.siftUp(len(q.heap) - 1)
+	q.mu.Unlock()
+}
+
+// Pop removes and returns the global minimum-priority pair.
+func (q *Exact) Pop(_ *rng.Xoshiro) (value, priority int64, ok bool) {
+	q.mu.Lock()
+	n := len(q.heap)
+	if n == 0 {
+		q.mu.Unlock()
+		return 0, 0, false
+	}
+	top := q.heap[0]
+	q.heap[0] = q.heap[n-1]
+	q.heap = q.heap[:n-1]
+	if len(q.heap) > 0 {
+		q.siftDown(0)
+	}
+	q.mu.Unlock()
+	return top.Value, top.Priority, true
+}
+
+// NumQueues reports 1: a single shared structure.
+func (q *Exact) NumQueues() int { return 1 }
+
+// Len reports the stored pair count.
+func (q *Exact) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+func (q *Exact) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.heap[parent].Priority <= q.heap[i].Priority {
+			return
+		}
+		q.heap[parent], q.heap[i] = q.heap[i], q.heap[parent]
+		i = parent
+	}
+}
+
+func (q *Exact) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < n && q.heap[l].Priority < q.heap[min].Priority {
+			min = l
+		}
+		if r < n && q.heap[r].Priority < q.heap[min].Priority {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"relaxsched/internal/cq"
 	"relaxsched/internal/engine"
 	"relaxsched/internal/geom"
 )
@@ -67,19 +66,10 @@ type ptri struct {
 
 // ParallelOptions configure a ParallelTriangulate run.
 type ParallelOptions struct {
-	// Threads is the number of worker goroutines (>= 1).
-	Threads int
-	// QueueMultiplier is the relaxation multiplier of the concurrent queue
-	// (>= 1; the classic MultiQueue configuration is 2).
-	QueueMultiplier int
-	// Backend selects the concurrent queue implementation; the zero value
-	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
-	Backend cq.Backend
-	// BatchSize is the number of insertions a worker moves per queue
-	// operation (<= 1 disables batching).
-	BatchSize int
-	// Seed drives the queue randomness.
-	Seed uint64
+	// ExecOptions are the shared engine knobs: queue backend and relaxation
+	// multiplier, worker count, batching (the number of insertions a
+	// worker moves per queue operation), and seeding.
+	engine.ExecOptions
 }
 
 // ParallelResult is the wasted-work accounting of a parallel triangulation.
@@ -432,13 +422,7 @@ func ParallelTriangulate(points []geom.Point, order []int, opts ParallelOptions)
 		w.scratch[i].byFirst = make(map[int32]int32, 8)
 		w.scratch[i].bySecond = make(map[int32]int32, 8)
 	}
-	stats, err := engine.Run(w, engine.Options{
-		Threads:         opts.Threads,
-		QueueMultiplier: opts.QueueMultiplier,
-		Backend:         opts.Backend,
-		BatchSize:       opts.BatchSize,
-		Seed:            opts.Seed,
-	})
+	stats, err := engine.Run(w, engine.Options{ExecOptions: opts.ExecOptions})
 	res := ParallelResult{
 		Inserted: stats.Executed,
 		Pops:     stats.Popped,

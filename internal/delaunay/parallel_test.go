@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/geom"
 	"relaxsched/internal/rng"
 )
@@ -27,10 +28,7 @@ func TestParallelDeterminism(t *testing.T) {
 			for _, threads := range []int{1, 4, 8} {
 				name := fmt.Sprintf("%s/batch%d/threads%d", backend, batch, threads)
 				t.Run(name, func(t *testing.T) {
-					got, res, err := ParallelTriangulate(pts, order, ParallelOptions{
-						Threads: threads, QueueMultiplier: 2, Backend: backend,
-						BatchSize: batch, Seed: uint64(3 + threads),
-					})
+					got, res, err := ParallelTriangulate(pts, order, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: threads, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: uint64(3 + threads)}})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -54,9 +52,7 @@ func TestParallelDeterminism(t *testing.T) {
 func TestParallelDelaunayProperty(t *testing.T) {
 	const n = 250
 	pts := randomPoints(n, 99)
-	tris, _, err := ParallelTriangulate(pts, nil, ParallelOptions{
-		Threads: 4, QueueMultiplier: 2, Seed: 1,
-	})
+	tris, _, err := ParallelTriangulate(pts, nil, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,9 +72,7 @@ func TestParallelDelaunayProperty(t *testing.T) {
 func TestParallelFewPoints(t *testing.T) {
 	for n := 0; n <= 3; n++ {
 		pts := randomPoints(n, 5)
-		got, res, err := ParallelTriangulate(pts, nil, ParallelOptions{
-			Threads: 2, QueueMultiplier: 1, Seed: 9,
-		})
+		got, res, err := ParallelTriangulate(pts, nil, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 2, QueueMultiplier: 1, Seed: 9}})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -98,22 +92,20 @@ func TestParallelFewPoints(t *testing.T) {
 func TestParallelDuplicatePointFails(t *testing.T) {
 	pts := randomPoints(50, 11)
 	pts = append(pts, pts[17]) // exact duplicate
-	if _, _, err := ParallelTriangulate(pts, nil, ParallelOptions{
-		Threads: 4, QueueMultiplier: 2, Seed: 2,
-	}); err == nil {
+	if _, _, err := ParallelTriangulate(pts, nil, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Seed: 2}}); err == nil {
 		t.Fatal("duplicate point accepted")
 	}
 }
 
 func TestParallelInvalidOptions(t *testing.T) {
 	pts := randomPoints(10, 1)
-	if _, _, err := ParallelTriangulate(pts, nil, ParallelOptions{Threads: 0, QueueMultiplier: 1}); err == nil {
+	if _, _, err := ParallelTriangulate(pts, nil, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 0, QueueMultiplier: 1}}); err == nil {
 		t.Fatal("Threads 0 accepted")
 	}
-	if _, _, err := ParallelTriangulate(pts, []int{1, 2, 3}, ParallelOptions{Threads: 1, QueueMultiplier: 1}); err == nil {
+	if _, _, err := ParallelTriangulate(pts, []int{1, 2, 3}, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}}); err == nil {
 		t.Fatal("short order accepted")
 	}
-	if _, _, err := ParallelTriangulate(pts, []int{0, 0, 1, 2, 3, 4, 5, 6, 7, 8}, ParallelOptions{Threads: 1, QueueMultiplier: 1}); err == nil {
+	if _, _, err := ParallelTriangulate(pts, []int{0, 0, 1, 2, 3, 4, 5, 6, 7, 8}, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}}); err == nil {
 		t.Fatal("non-permutation order accepted")
 	}
 }

@@ -192,9 +192,14 @@ type Workload interface {
 	TryExecute(ctx *Ctx, value, priority int64) Status
 }
 
-// Options configure a Run. They are the common knobs the former per-package
-// runtimes each re-declared.
-type Options struct {
+// ExecOptions are the engine knobs every parallel workload shares: queue
+// selection and relaxation, worker count, batching, seeding, the idle path
+// and the fault-tolerance machinery. Workload-facing options structs
+// (sssp.ParallelOptions, sched.StreamOptions, txn.ParallelOptions, ...)
+// embed ExecOptions instead of re-declaring these fields, so a caller
+// configures every workload the same way and new engine knobs reach every
+// workload without touching its options struct.
+type ExecOptions struct {
 	// Threads is the number of worker goroutines (>= 1).
 	Threads int
 	// QueueMultiplier is the relaxation multiplier of the concurrent queue
@@ -213,31 +218,10 @@ type Options struct {
 	// Seed drives the queue randomness (one split-off stream per worker and
 	// per producer).
 	Seed uint64
-	// Producers declares how many external producer handles will be created
-	// with Execution.NewProducer (>= 0). With a non-zero count the execution
-	// is an open system: termination additionally waits for every declared
-	// producer to be created and closed. Run requires 0 (closed world); use
-	// Start for streaming executions. Additional producers beyond the
-	// declared count may be registered dynamically after Start — but an
-	// execution with zero declared producers and an empty frontier
-	// terminates immediately, so a service that starts idle must declare at
-	// least one producer to hold the pool open.
-	Producers int
 	// IdleStrategy selects the workers' empty-queue behavior: IdlePark
 	// (zero value, the default) parks idle workers on an event-driven
 	// wakeup lot; IdleSpin keeps the legacy bounded-sleep polling loop.
 	IdleStrategy IdleStrategy
-	// MinWorkers and MaxWorkers, when MaxWorkers > 0, make the worker pool
-	// elastic: MaxWorkers goroutines are created, Threads of them start
-	// active, and a controller grows the active set toward MaxWorkers under
-	// sustained queue depth and shrinks it toward max(MinWorkers, 1) when
-	// the queue stays empty. Deactivated workers retire to parked reserve
-	// (they still finish any task they pop, so correctness never depends on
-	// the controller) and rejoin within one wake. Requires MinWorkers <=
-	// Threads <= MaxWorkers and IdleStrategy == IdlePark. MaxWorkers == 0
-	// (the default) keeps the fixed pool of exactly Threads workers.
-	MinWorkers int
-	MaxWorkers int
 	// Deadline, when positive, bounds the run's wall time: Deadline after
 	// Start the execution stops itself exactly as if Stop had been called,
 	// and Run/Wait return a partial Result marked Interrupted with
@@ -265,6 +249,34 @@ type Options struct {
 	// popped task is shown to it before execution. See Injector and
 	// internal/fault.
 	Injector Injector
+}
+
+// Options configure a Run or Start: the shared ExecOptions plus the
+// pool-shape knobs only the engine itself interprets (external producer
+// declarations and the elastic worker range).
+type Options struct {
+	ExecOptions
+	// Producers declares how many external producer handles will be created
+	// with Execution.NewProducer (>= 0). With a non-zero count the execution
+	// is an open system: termination additionally waits for every declared
+	// producer to be created and closed. Run requires 0 (closed world); use
+	// Start for streaming executions. Additional producers beyond the
+	// declared count may be registered dynamically after Start — but an
+	// execution with zero declared producers and an empty frontier
+	// terminates immediately, so a service that starts idle must declare at
+	// least one producer to hold the pool open.
+	Producers int
+	// MinWorkers and MaxWorkers, when MaxWorkers > 0, make the worker pool
+	// elastic: MaxWorkers goroutines are created, Threads of them start
+	// active, and a controller grows the active set toward MaxWorkers under
+	// sustained queue depth and shrinks it toward max(MinWorkers, 1) when
+	// the queue stays empty. Deactivated workers retire to parked reserve
+	// (they still finish any task they pop, so correctness never depends on
+	// the controller) and rejoin within one wake. Requires MinWorkers <=
+	// Threads <= MaxWorkers and IdleStrategy == IdlePark. MaxWorkers == 0
+	// (the default) keeps the fixed pool of exactly Threads workers.
+	MinWorkers int
+	MaxWorkers int
 }
 
 // Stats is the engine's execution accounting, summed over all workers.

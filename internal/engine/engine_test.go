@@ -15,6 +15,7 @@ import (
 	"relaxsched/internal/rng"
 	"relaxsched/internal/sched"
 	"relaxsched/internal/sssp"
+	"relaxsched/internal/txn"
 )
 
 // TestConformance runs the shared synthetic suite (flat frontier,
@@ -52,11 +53,13 @@ func randomDAG(n int, r *rng.Xoshiro) *core.DAG {
 	return d
 }
 
-// TestWorkloadConformance drives the five production workload families —
+// TestWorkloadConformance drives the six production workload families —
 // static DAG (core), relaxation-spawning SSSP, dynamic branch-and-bound,
-// on-line-discovery parallel Delaunay, and the open-system streaming top-k
-// scheduler — through their public adapters on every backend x batch-size
-// cell, and checks each against its sequential ground truth. This is the
+// on-line-discovery parallel Delaunay, the open-system streaming top-k
+// scheduler, and the OCC transactional workload (whose run self-certifies
+// serializability by replaying its commit log) — through their public
+// adapters on every backend x batch-size cell, and checks each against its
+// sequential ground truth. This is the
 // engine-level analogue of cqtest: a new backend (or engine change) is
 // safe for every parallel path exactly when this grid passes under -race.
 func TestWorkloadConformance(t *testing.T) {
@@ -75,13 +78,12 @@ func TestWorkloadConformance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	txnSpec := txn.WorkloadSpec{Txns: 1500, Keys: 64, Skew: 0.99, OpsPerTxn: 3, ReadFrac: 0.5, Seed: 6}
 
 	for _, backend := range cq.Backends() {
 		for _, batch := range []int{0, 16} {
 			t.Run(fmt.Sprintf("%s/batch%d", backend, batch), func(t *testing.T) {
-				run, err := core.ParallelRun(dag, core.ParallelOptions{
-					Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 1,
-				})
+				run, err := core.ParallelRun(dag, core.ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 1}})
 				if err != nil {
 					t.Fatalf("static-DAG batch %d: %v", batch, err)
 				}
@@ -100,17 +102,12 @@ func TestWorkloadConformance(t *testing.T) {
 					}
 				}
 
-				pr := sssp.ParallelWith(g, 0, sssp.ParallelOptions{
-					Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 2,
-				})
+				pr := sssp.ParallelWith(g, 0, sssp.ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 2}})
 				if !sssp.Equal(pr.Dist, exact.Dist) {
 					t.Fatalf("sssp batch %d: distances diverge from Dijkstra", batch)
 				}
 
-				br, err := bnb.ParallelRun(tree, bnb.ParallelOptions{
-					Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch,
-					Seed: 3, Budget: 1 << 16,
-				})
+				br, err := bnb.ParallelRun(tree, bnb.ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 3}, Budget: 1 << 16})
 				if err != nil {
 					t.Fatalf("bnb batch %d: %v", batch, err)
 				}
@@ -118,9 +115,7 @@ func TestWorkloadConformance(t *testing.T) {
 					t.Fatalf("bnb batch %d: Best = %d, want %d", batch, br.Best, optimum)
 				}
 
-				dm, dres, err := delaunay.ParallelTriangulate(pts, nil, delaunay.ParallelOptions{
-					Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 4,
-				})
+				dm, dres, err := delaunay.ParallelTriangulate(pts, nil, delaunay.ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 4}})
 				if err != nil {
 					t.Fatalf("delaunay batch %d: %v", batch, err)
 				}
@@ -132,10 +127,7 @@ func TestWorkloadConformance(t *testing.T) {
 				}
 
 				sr, err := sched.ParallelTopK(sched.TopKRunOptions{
-					StreamOptions: sched.StreamOptions{
-						Threads: 4, QueueMultiplier: 2, Backend: backend,
-						BatchSize: batch, Seed: 5, Producers: 2,
-					},
+					StreamOptions:   sched.StreamOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 5}, Producers: 2},
 					JobsPerProducer: 300,
 				})
 				if err != nil {
@@ -144,6 +136,14 @@ func TestWorkloadConformance(t *testing.T) {
 				if sr.Jobs != 600 {
 					t.Fatalf("stream batch %d: executed %d of 600 jobs", batch, sr.Jobs)
 				}
+
+				tr, err := txn.ParallelRun(txnSpec, txn.ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 6}})
+				if err != nil {
+					t.Fatalf("txn batch %d: %v", batch, err)
+				}
+				if tr.Commits != int64(txnSpec.Txns) {
+					t.Fatalf("txn batch %d: committed %d of %d", batch, tr.Commits, txnSpec.Txns)
+				}
 			})
 		}
 	}
@@ -151,13 +151,13 @@ func TestWorkloadConformance(t *testing.T) {
 
 func TestRunInvalidOptions(t *testing.T) {
 	wl := &noopWorkload{}
-	if _, err := engine.Run(wl, engine.Options{Threads: 0, QueueMultiplier: 1}); err == nil {
+	if _, err := engine.Run(wl, engine.Options{ExecOptions: engine.ExecOptions{Threads: 0, QueueMultiplier: 1}}); err == nil {
 		t.Fatal("Threads 0 accepted")
 	}
-	if _, err := engine.Run(wl, engine.Options{Threads: 1, QueueMultiplier: 0}); err == nil {
+	if _, err := engine.Run(wl, engine.Options{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 0}}); err == nil {
 		t.Fatal("QueueMultiplier 0 accepted")
 	}
-	if _, err := engine.Run(wl, engine.Options{Threads: 1, QueueMultiplier: 1, Backend: "no-such-queue"}); err == nil {
+	if _, err := engine.Run(wl, engine.Options{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1, Backend: "no-such-queue"}}); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 }
@@ -167,9 +167,7 @@ func TestRunEmptyFrontier(t *testing.T) {
 	// backend, batched or not.
 	for _, backend := range cq.Backends() {
 		for _, batch := range []int{0, 8} {
-			st, err := engine.Run(&noopWorkload{}, engine.Options{
-				Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 1,
-			})
+			st, err := engine.Run(&noopWorkload{}, engine.Options{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 1}})
 			if err != nil {
 				t.Fatalf("%s/batch%d: %v", backend, batch, err)
 			}

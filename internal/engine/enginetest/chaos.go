@@ -9,6 +9,7 @@ import (
 	"relaxsched/internal/engine"
 	"relaxsched/internal/fault"
 	"relaxsched/internal/rng"
+	"relaxsched/internal/txn"
 )
 
 // ChaosConformance is the seeded fault-injection suite: every synthetic
@@ -19,7 +20,9 @@ import (
 // invariants that define a fault-tolerant engine:
 //
 //   - exactly-once: every clean task executes exactly once, under any
-//     interleaving of stalls and forced re-insertions;
+//     interleaving of stalls and forced re-insertions (for the
+//     transactional workload: commits exactly once, and the commit log
+//     still certifies serializable);
 //   - quarantine accounting: the quarantined set is exactly the poison
 //     values that were reached (a poisoned task's never-born descendants
 //     are neither executed nor quarantined), every failure carries the
@@ -36,6 +39,7 @@ func ChaosConformance(t *testing.T, backend cq.Backend) {
 	t.Run("DuplicateDiscardChurn", func(t *testing.T) { testChaosDup(t, backend) })
 	t.Run("StreamingPoison", func(t *testing.T) { testChaosStreaming(t, backend) })
 	t.Run("ParkedPeerFaults", func(t *testing.T) { testChaosParkedPeers(t, backend) })
+	t.Run("TxnPoison", func(t *testing.T) { testChaosTxn(t, backend) })
 }
 
 // chaosSeeds is the fixed seed set CI pins; two seeds double the explored
@@ -329,6 +333,41 @@ func testChaosParkedPeers(t *testing.T, backend cq.Backend) {
 					t.Fatalf("seed %d batch %d: task %d executed %d times, want %d",
 						seed, batch, i, got, want)
 				}
+			}
+		}
+	}
+}
+
+// testChaosTxn: the transactional workload under chaos. Poison fires at
+// the injection seam, before TryExecute, so a poisoned transaction must be
+// quarantined without ever touching the store; every clean transaction
+// must commit despite stalls and forced re-insertions; and the commit log
+// must still certify serializable — the fault plan must not be able to
+// manufacture a non-serial history.
+func testChaosTxn(t *testing.T, backend cq.Backend) {
+	spec := txn.WorkloadSpec{Txns: 1200, Keys: 32, Skew: 0.99, OpsPerTxn: 3, ReadFrac: 0.4, Seed: 77}
+	poison := make(map[int64]bool)
+	for i := int64(0); i < int64(spec.Txns); i += 89 {
+		poison[i] = true
+	}
+	for _, seed := range chaosSeeds {
+		for _, batch := range chaosBatches {
+			wl, err := txn.NewWorkload(spec, 4, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, _ := runChaos(t, wl, opts(backend, 4, batch, seed), chaosPlan(seed, poison))
+			if st.Failed != int64(len(poison)) {
+				t.Fatalf("seed %d batch %d: quarantined %d, want all %d poisons", seed, batch, st.Failed, len(poison))
+			}
+			if want := int64(spec.Txns - len(poison)); st.Executed != want {
+				t.Fatalf("seed %d batch %d: committed %d, want %d", seed, batch, st.Executed, want)
+			}
+			if err := wl.Certify(); err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+			if got := wl.Commits(); got != st.Executed {
+				t.Fatalf("seed %d batch %d: commit log has %d entries, engine executed %d", seed, batch, got, st.Executed)
 			}
 		}
 	}

@@ -77,10 +77,10 @@ func Run(t *testing.T, backend cq.Backend) {
 }
 
 func opts(backend cq.Backend, threads, batch int, seed uint64) engine.Options {
-	return engine.Options{
+	return engine.Options{ExecOptions: engine.ExecOptions{
 		Threads: threads, QueueMultiplier: 2, Backend: backend,
 		BatchSize: batch, Seed: seed,
-	}
+	}}
 }
 
 // checkStats verifies the engine's accounting identity — every pop is

@@ -26,9 +26,7 @@ func (w *recordWorkload) TryExecute(_ *engine.Ctx, value, _ int64) engine.Status
 func startRecording(t *testing.T, n, producers, batch int) (*engine.Execution, *recordWorkload) {
 	t.Helper()
 	wl := &recordWorkload{hits: make([]atomic.Int32, n)}
-	e, err := engine.Start(wl, engine.Options{
-		Threads: 4, QueueMultiplier: 2, BatchSize: batch, Seed: 21, Producers: producers,
-	})
+	e, err := engine.Start(wl, engine.Options{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, BatchSize: batch, Seed: 21}, Producers: producers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,14 +199,10 @@ func TestNewProducerAfterTermination(t *testing.T) {
 }
 
 func TestRunRejectsProducers(t *testing.T) {
-	if _, err := engine.Run(&noopWorkload{}, engine.Options{
-		Threads: 1, QueueMultiplier: 1, Producers: 1,
-	}); err == nil {
+	if _, err := engine.Run(&noopWorkload{}, engine.Options{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}, Producers: 1}); err == nil {
 		t.Fatal("Run accepted a non-zero producer count")
 	}
-	if _, err := engine.Start(&noopWorkload{}, engine.Options{
-		Threads: 1, QueueMultiplier: 1, Producers: -1,
-	}); err == nil {
+	if _, err := engine.Start(&noopWorkload{}, engine.Options{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}, Producers: -1}); err == nil {
 		t.Fatal("Start accepted a negative producer count")
 	}
 }
@@ -230,5 +224,45 @@ func TestUnusedProducerGatesTermination(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("execution did not terminate after the producer closed")
+	}
+}
+
+// TestProducerChurnRecyclesSlots registers and closes 10k dynamic
+// producers on one execution. The inflight layer recycles a closed
+// producer's tally slot for the next TryNewProducer (see
+// inflight.Counter), so this churn must neither leak per-producer state
+// nor disturb the exactly-once accounting of the tasks the short-lived
+// producers pushed.
+func TestProducerChurnRecyclesSlots(t *testing.T) {
+	const cycles = 10000
+	e, wl := startRecording(t, cycles, 1, 0)
+	anchor := e.NewProducer() // the declared producer holds the run open
+	for i := 0; i < cycles; i++ {
+		p, err := e.TryNewProducer()
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if i%3 == 0 {
+			p.Push(int64(i), int64(i))
+		}
+		p.Close()
+	}
+	for i := 0; i < cycles; i++ {
+		if i%3 != 0 {
+			anchor.Push(int64(i), int64(i))
+		}
+	}
+	anchor.Close()
+	st := e.Wait()
+	if st.Executed != cycles {
+		t.Fatalf("executed %d, want %d", st.Executed, cycles)
+	}
+	for i := range wl.hits {
+		if got := wl.hits[i].Load(); got != 1 {
+			t.Fatalf("task %d executed %d times", i, got)
+		}
+	}
+	if _, err := e.TryNewProducer(); err != engine.ErrTerminated {
+		t.Fatalf("TryNewProducer after termination: %v, want ErrTerminated", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/sssp"
 	"relaxsched/internal/stats"
@@ -82,11 +83,11 @@ func Backends(c Config) BackendsResult {
 		seqTime := timeIt(func() { sssp.Dijkstra(g, 0) })
 		for _, backend := range cq.Backends() {
 			for _, threads := range c.threadSweep() {
-				st := measureParallelSSSP(c, g, exact, seqTime, sssp.ParallelOptions{
+				st := measureParallelSSSP(c, g, exact, seqTime, sssp.ParallelOptions{ExecOptions: engine.ExecOptions{
 					Threads:         threads,
 					QueueMultiplier: 2,
 					Backend:         backend,
-				}, func(trial int) uint64 { return c.Seed ^ uint64(trial*1000+threads) })
+				}}, func(trial int) uint64 { return c.Seed ^ uint64(trial*1000+threads) })
 				res.Rows = append(res.Rows, BackendsRow{
 					Graph:             fam.Name,
 					Backend:           string(backend),

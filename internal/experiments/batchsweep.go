@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/sssp"
 	"relaxsched/internal/stats"
 )
@@ -47,12 +48,12 @@ func BatchSweep(c Config) BatchSweepResult {
 		for _, backend := range cq.Backends() {
 			for _, threads := range c.threadSweep() {
 				for _, batch := range BatchSweepSizes {
-					st := measureParallelSSSP(c, g, exact, seqTime, sssp.ParallelOptions{
+					st := measureParallelSSSP(c, g, exact, seqTime, sssp.ParallelOptions{ExecOptions: engine.ExecOptions{
 						Threads:         threads,
 						QueueMultiplier: 2,
 						Backend:         backend,
 						BatchSize:       batch,
-					}, func(trial int) uint64 { return c.Seed ^ uint64(trial*10000+threads*100+batch) })
+					}}, func(trial int) uint64 { return c.Seed ^ uint64(trial*10000+threads*100+batch) })
 					res.Rows = append(res.Rows, BatchSweepRow{
 						Graph:             fam.Name,
 						Backend:           string(backend),

@@ -111,12 +111,12 @@ func Chaos(c Config) (ChaosResult, error) {
 				var exec, failed, reins int64
 				for trial := 0; trial < c.trials(); trial++ {
 					wl := &chaosFlat{n: n, hits: make([]atomic.Int32, n)}
-					opts := engine.Options{
+					opts := engine.Options{ExecOptions: engine.ExecOptions{
 						Threads:         threads,
 						QueueMultiplier: 2,
 						Backend:         backend,
 						Seed:            c.Seed + uint64(trial*31+threads),
-					}
+					}}
 					var in *fault.Injector
 					if planArmed(plan) {
 						p := plan

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"relaxsched/internal/cq"
 )
 
 func TestFig1Smoke(t *testing.T) {
@@ -363,7 +365,7 @@ func TestStreamSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 3 * len(c.threadSweep()) * len(StreamRates); len(res.Rows) != want {
+	if want := len(cq.Backends()) * len(c.threadSweep()) * len(StreamRates); len(res.Rows) != want {
 		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
 	}
 	backends := map[string]bool{}
@@ -381,8 +383,8 @@ func TestStreamSmoke(t *testing.T) {
 			t.Fatalf("rank error per job out of [0, 1): %+v", row)
 		}
 	}
-	if len(backends) != 3 {
-		t.Fatalf("expected all 3 backends, got %v", backends)
+	if len(backends) != len(cq.Backends()) {
+		t.Fatalf("expected all %d backends, got %v", len(cq.Backends()), backends)
 	}
 	for _, r := range StreamRates {
 		if !rates[r] {
@@ -414,8 +416,8 @@ func TestParDelaunaySmoke(t *testing.T) {
 			t.Fatalf("implausible row: %+v", row)
 		}
 	}
-	if len(backends) != 3 {
-		t.Fatalf("expected all 3 backends, got %v", backends)
+	if len(backends) != len(cq.Backends()) {
+		t.Fatalf("expected all %d backends, got %v", len(cq.Backends()), backends)
 	}
 	var buf bytes.Buffer
 	if err := res.Render(&buf); err != nil {
@@ -451,13 +453,49 @@ func TestAffinitySmoke(t *testing.T) {
 	}
 }
 
+func TestTxnSmoke(t *testing.T) {
+	c := SmokeConfig()
+	res, err := Txn(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cq.Backends()) * len(c.threadSweep()) * len(txnSkews); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	backends := map[string]bool{}
+	skews := map[string]bool{}
+	for _, row := range res.Rows {
+		backends[row.Backend] = true
+		skews[row.Skew] = true
+		if row.Commits != int64(row.N) || row.OpsPerSec <= 0 || row.Batch <= 0 {
+			t.Fatalf("implausible row: %+v", row)
+		}
+		if row.Aborts < 0 || row.AbortRatio < 0 || row.AbortRatio >= 1 {
+			t.Fatalf("implausible abort accounting: %+v", row)
+		}
+	}
+	if len(backends) != len(cq.Backends()) {
+		t.Fatalf("expected all %d backends, got %v", len(cq.Backends()), backends)
+	}
+	if len(skews) != len(txnSkews) {
+		t.Fatalf("expected all %d skews, got %v", len(txnSkews), skews)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "abort-ratio") {
+		t.Fatal("render missing abort-ratio column")
+	}
+}
+
 func TestChaosSmoke(t *testing.T) {
 	c := SmokeConfig()
 	res, err := Chaos(c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 3 * len(c.threadSweep()) * 3; len(res.Rows) != want {
+	if want := len(cq.Backends()) * len(c.threadSweep()) * 3; len(res.Rows) != want {
 		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
 	}
 	backends := map[string]bool{}
@@ -488,8 +526,8 @@ func TestChaosSmoke(t *testing.T) {
 			t.Fatalf("row missing host environment: %+v", row)
 		}
 	}
-	if len(backends) != 3 {
-		t.Fatalf("expected all 3 backends, got %v", backends)
+	if len(backends) != len(cq.Backends()) {
+		t.Fatalf("expected all %d backends, got %v", len(cq.Backends()), backends)
 	}
 	if !sawBaseline || !sawPoison {
 		t.Fatal("plan sweep missing the baseline or the poison plan")

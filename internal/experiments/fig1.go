@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"relaxsched/internal/engine"
 	"relaxsched/internal/sssp"
 	"relaxsched/internal/stats"
 )
@@ -42,12 +43,12 @@ func Fig1(c Config) Fig1Result {
 				seed := c.Seed ^ uint64(trial*1000+threads)
 				var pr sssp.ParallelResult
 				elapsed := timeIt(func() {
-					pr = sssp.ParallelWith(g, 0, sssp.ParallelOptions{
+					pr = sssp.ParallelWith(g, 0, sssp.ParallelOptions{ExecOptions: engine.ExecOptions{
 						Threads:         threads,
 						QueueMultiplier: 2,
 						Backend:         c.Backend,
 						Seed:            seed,
-					})
+					}})
 				})
 				if !sssp.Equal(pr.Dist, exact.Dist) {
 					panic("experiments: parallel SSSP produced wrong distances")

@@ -3,6 +3,7 @@ package experiments
 import (
 	"io"
 
+	"relaxsched/internal/engine"
 	"relaxsched/internal/sssp"
 	"relaxsched/internal/stats"
 )
@@ -46,12 +47,12 @@ func Fig2(c Config, threadCounts []int) Fig2Result {
 				var ov stats.Sample
 				for trial := 0; trial < c.trials(); trial++ {
 					seed := c.Seed ^ uint64(trial*131+threads*17+mult)
-					pr := sssp.ParallelWith(g, 0, sssp.ParallelOptions{
+					pr := sssp.ParallelWith(g, 0, sssp.ParallelOptions{ExecOptions: engine.ExecOptions{
 						Threads:         threads,
 						QueueMultiplier: mult,
 						Backend:         c.Backend,
 						Seed:            seed,
-					})
+					}})
 					if !sssp.Equal(pr.Dist, exact.Dist) {
 						panic("experiments: parallel SSSP produced wrong distances")
 					}

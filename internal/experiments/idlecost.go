@@ -78,13 +78,15 @@ func IdleCost(c Config) (IdleCostResult, error) {
 		cpuOK := true
 		for trial := 0; trial < c.trials(); trial++ {
 			s, err := sched.NewTopKStream(sched.StreamOptions{
-				Threads:         threads,
-				QueueMultiplier: 2,
-				Backend:         c.Backend,
-				Seed:            c.Seed + uint64(trial*13),
-				Producers:       1,
-				IdleStrategy:    strat.s,
-				LatencyJobs:     burst,
+				ExecOptions: engine.ExecOptions{
+					Threads:         threads,
+					QueueMultiplier: 2,
+					Backend:         c.Backend,
+					Seed:            c.Seed + uint64(trial*13),
+					IdleStrategy:    strat.s,
+				},
+				Producers:   1,
+				LatencyJobs: burst,
 			})
 			if err != nil {
 				return res, fmt.Errorf("idlecost: %s: %w", strat.name, err)

@@ -5,6 +5,7 @@ import (
 
 	"relaxsched/internal/bnb"
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/sched"
 	"relaxsched/internal/stats"
 )
@@ -68,11 +69,13 @@ func ParBnB(c Config) (ParBnBResult, error) {
 				var runErr error
 				elapsed := timeIt(func() {
 					r, runErr = bnb.ParallelRun(tree, bnb.ParallelOptions{
-						Threads:         threads,
-						QueueMultiplier: 2,
-						Backend:         backend,
-						Seed:            c.Seed + uint64(trial*17+threads),
-						Budget:          budget,
+						ExecOptions: engine.ExecOptions{
+							Threads:         threads,
+							QueueMultiplier: 2,
+							Backend:         backend,
+							Seed:            c.Seed + uint64(trial*17+threads),
+						},
+						Budget: budget,
 					})
 				})
 				if runErr != nil {

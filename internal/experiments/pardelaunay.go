@@ -6,6 +6,7 @@ import (
 
 	"relaxsched/internal/cq"
 	"relaxsched/internal/delaunay"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/geom"
 	"relaxsched/internal/rng"
 	"relaxsched/internal/stats"
@@ -84,12 +85,12 @@ func ParDelaunay(c Config) (ParDelaunayResult, error) {
 				var mesh []delaunay.Triangle
 				var runErr error
 				elapsed := timeIt(func() {
-					mesh, pr, runErr = delaunay.ParallelTriangulate(points[trial], nil, delaunay.ParallelOptions{
+					mesh, pr, runErr = delaunay.ParallelTriangulate(points[trial], nil, delaunay.ParallelOptions{ExecOptions: engine.ExecOptions{
 						Threads:         threads,
 						QueueMultiplier: 2,
 						Backend:         backend,
 						Seed:            c.Seed + uint64(trial*41+threads),
-					})
+					}})
 				})
 				if runErr != nil {
 					return res, fmt.Errorf("pardelaunay: %s/%d threads: %w", backend, threads, runErr)

@@ -5,6 +5,7 @@ import (
 
 	"relaxsched/internal/core"
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/stats"
 )
 
@@ -59,12 +60,12 @@ func ParInc(c Config) (ParIncResult, error) {
 			for _, threads := range c.threadSweep() {
 				var s stats.Sample
 				for trial := 0; trial < c.trials(); trial++ {
-					run, err := core.ParallelRun(dags[trial], core.ParallelOptions{
+					run, err := core.ParallelRun(dags[trial], core.ParallelOptions{ExecOptions: engine.ExecOptions{
 						Threads:         threads,
 						QueueMultiplier: 2,
 						Backend:         backend,
 						Seed:            c.Seed + uint64(trial*31+threads),
-					})
+					}})
 					if err != nil {
 						return res, err
 					}

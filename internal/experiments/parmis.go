@@ -6,6 +6,7 @@ import (
 
 	"relaxsched/internal/core"
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/mis"
 	"relaxsched/internal/stats"
@@ -49,17 +50,17 @@ func ParMIS(c Config) (ParMISResult, error) {
 	}
 	type algo struct {
 		name string
-		run  func(w *mis.Workload, opts core.ParallelOptions) (core.Result, error)
+		run  func(w *mis.Workload, opts mis.ParallelOptions) (core.Result, error)
 	}
 	algos := []algo{
-		{"greedy-mis", func(w *mis.Workload, opts core.ParallelOptions) (core.Result, error) {
+		{"greedy-mis", func(w *mis.Workload, opts mis.ParallelOptions) (core.Result, error) {
 			inSet, r, err := mis.ParallelGreedyMIS(w, opts)
 			if err != nil {
 				return r, err
 			}
 			return r, mis.VerifyMIS(w.G, inSet)
 		}},
-		{"greedy-coloring", func(w *mis.Workload, opts core.ParallelOptions) (core.Result, error) {
+		{"greedy-coloring", func(w *mis.Workload, opts mis.ParallelOptions) (core.Result, error) {
 			colors, r, err := mis.ParallelGreedyColoring(w, opts)
 			if err != nil {
 				return r, err
@@ -86,12 +87,12 @@ func ParMIS(c Config) (ParMISResult, error) {
 					var r core.Result
 					var runErr error
 					elapsed := timeIt(func() {
-						r, runErr = a.run(workloads[trial], core.ParallelOptions{
+						r, runErr = a.run(workloads[trial], mis.ParallelOptions{ExecOptions: engine.ExecOptions{
 							Threads:         threads,
 							QueueMultiplier: 2,
 							Backend:         backend,
 							Seed:            c.Seed + uint64(trial*31+threads),
-						})
+						}})
 					})
 					if runErr != nil {
 						return res, fmt.Errorf("%s/%s/%d threads: %w", a.name, backend, threads, runErr)

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/sched"
 	"relaxsched/internal/stats"
 )
@@ -85,11 +86,13 @@ func Stream(c Config) (StreamResult, error) {
 					elapsed := timeIt(func() {
 						sr, runErr = sched.ParallelTopK(sched.TopKRunOptions{
 							StreamOptions: sched.StreamOptions{
-								Threads:         threads,
-								QueueMultiplier: 2,
-								Backend:         backend,
-								Seed:            c.Seed + uint64(trial*59+threads*7+rate),
-								Producers:       streamProducers,
+								ExecOptions: engine.ExecOptions{
+									Threads:         threads,
+									QueueMultiplier: 2,
+									Backend:         backend,
+									Seed:            c.Seed + uint64(trial*59+threads*7+rate),
+								},
+								Producers: streamProducers,
 							},
 							JobsPerProducer: jobsPerProducer,
 							Rate:            rate,

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
+	"relaxsched/internal/stats"
+	"relaxsched/internal/txn"
+)
+
+// TxnRow is one point of the transactional-workload experiment: a fixed
+// stream of OCC transactions over the sharded store, run through the
+// engine on one backend at one thread count and one Zipf skew. Every run
+// is certified before its row is recorded — txn.ParallelRun replays the
+// merged commit log in ticket order and fails on any serializability
+// violation — so a row in the trajectory is a proof-carrying measurement,
+// not just a throughput number.
+//
+// Skew is an identity column and deliberately a string: the comparer keys
+// integer-valued identity fields by truncation, which would collapse the
+// 0.6 / 0.99 / 1.2 sweep into a single key.
+//
+// OpsPerSec counts committed transactions per second of wall time, so the
+// relaxed backends' advantage (fewer conflicts on hot keys because nearby
+// priorities run far apart) and the split/phased path's amortization both
+// show up in the same column the other engine workloads report.
+type TxnRow struct {
+	Backend    string
+	Skew       string // Zipf exponent of the key-access distribution (identity)
+	Threads    int
+	Batch      int // engine pop batch size (identity; amortizes queue sampling)
+	N          int // transactions committed per trial
+	Keys       int
+	Commits    int64
+	Aborts     int64   // OCC re-insertions (attempts that did not commit)
+	Promotions int64   // merged -> split transitions of hot records
+	Reconciles int64   // phase fences (split -> merged), incl. end-of-run sweep
+	AbortRatio float64 // aborts / (commits + aborts)
+	OpsPerSec  float64 // committed transactions per second of wall time
+	Millis     float64
+	HostEnv
+}
+
+// TxnResult holds the backend x skew x threads sweep.
+type TxnResult struct {
+	Rows []TxnRow
+}
+
+// txnSkews is the contention sweep: mild (0.6), the classic YCSB-style
+// hotspot (0.99), and past-unity skew (1.2) where a handful of keys absorb
+// most writes and the contention detector's split/phased path carries the
+// load.
+var txnSkews = []struct {
+	label string
+	s     float64
+}{
+	{"0.6", 0.6},
+	{"0.99", 0.99},
+	{"1.2", 1.2},
+}
+
+// txnBatch is the engine pop batch size every txn row runs at. Batched
+// pops amortize the relaxed backends' sampling cost the same way the
+// batchsweep experiment shows for SSSP; transactions tolerate the extra
+// pop-order relaxation by construction (OCC revalidates every attempt).
+const txnBatch = 16
+
+// Txn sweeps the OCC transactional workload across every concurrent queue
+// backend (or only c.Backend when one is selected), thread counts and
+// Zipf skews. It is the measured counterpart of the txn package's
+// conformance tests: those prove every run serializes, this experiment
+// records the commit throughput of doing so.
+func Txn(c Config) (TxnResult, error) {
+	var res TxnResult
+	n := 120000 / c.scale()
+	if n < 8000 {
+		n = 8000
+	}
+	keys := n / 8
+	if keys < 128 {
+		keys = 128
+	}
+	backends := cq.Backends()
+	if c.Backend != "" {
+		backends = []cq.Backend{c.Backend}
+	}
+	for _, sk := range txnSkews {
+		spec := txn.WorkloadSpec{
+			Txns:      n,
+			Keys:      keys,
+			Skew:      sk.s,
+			OpsPerTxn: 4,
+			ReadFrac:  0.5,
+			Seed:      c.Seed + 0x74786e,
+		}
+		for _, threads := range c.threadSweep() {
+			ops := make([]stats.Sample, len(backends))
+			ms := make([]stats.Sample, len(backends))
+			last := make([]txn.ParallelResult, len(backends))
+			// Backends interleave inside the trial loop, so interference
+			// from a shared host lands on every backend of a trial alike
+			// instead of biasing whichever backend happened to run during
+			// a noisy epoch — the relaxed-versus-exact comparison is the
+			// point of this sweep. Trial -1 is an untimed warm-up: the
+			// first runs of a cell pay allocator and scheduler warm-up.
+			for trial := -1; trial < c.trials(); trial++ {
+				for bi, backend := range backends {
+					opts := txn.ParallelOptions{ExecOptions: engine.ExecOptions{
+						Threads:         threads,
+						QueueMultiplier: 2,
+						Backend:         backend,
+						BatchSize:       txnBatch,
+						Seed:            c.Seed + uint64(trial*31+threads),
+					}}
+					var tr txn.ParallelResult
+					var runErr error
+					elapsed := timeIt(func() { tr, runErr = txn.ParallelRun(spec, opts) })
+					if runErr != nil {
+						return res, fmt.Errorf("txn: %s/skew %s/%d threads: %w", backend, sk.label, threads, runErr)
+					}
+					if tr.Commits != int64(n) {
+						return res, fmt.Errorf("txn: %s/skew %s/%d threads: committed %d of %d", backend, sk.label, threads, tr.Commits, n)
+					}
+					if trial < 0 {
+						continue
+					}
+					last[bi] = tr
+					ops[bi].Add(float64(tr.Commits) / elapsed.Seconds())
+					ms[bi].Add(elapsed.Seconds() * 1e3)
+				}
+			}
+			for bi, backend := range backends {
+				res.Rows = append(res.Rows, TxnRow{
+					Backend: string(backend), Skew: sk.label, Threads: threads,
+					Batch: txnBatch, N: n, Keys: keys,
+					Commits: last[bi].Commits, Aborts: last[bi].Aborts,
+					Promotions: last[bi].Promotions, Reconciles: last[bi].Reconciles,
+					AbortRatio: last[bi].AbortRatio(),
+					OpsPerSec:  ops[bi].Mean(), Millis: ms[bi].Mean(),
+					HostEnv: Host(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes the transactional-workload table.
+func (r TxnResult) Render(w io.Writer) error {
+	t := stats.NewTable("backend", "skew", "threads", "batch", "n", "keys", "commits", "aborts", "abort-ratio", "promotions", "reconciles", "ops/sec", "ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Backend, row.Skew, row.Threads, row.Batch, row.N, row.Keys,
+			row.Commits, row.Aborts, row.AbortRatio, row.Promotions, row.Reconciles,
+			row.OpsPerSec, row.Millis)
+	}
+	return t.Render(w)
+}

@@ -105,11 +105,17 @@ type Counter struct {
 	// must not false-share with any tally slot.
 	state atomic.Uint64
 	_     [56]byte
-	// mu serializes producer-slot appends; prods is the RCU snapshot the
-	// scan reads without locking.
+	// mu serializes producer-slot appends and the free stack; prods is the
+	// RCU snapshot the scan reads without locking. free holds the slots of
+	// closed producers awaiting reuse: a slot's tallies are monotone
+	// aggregates (they stay in prods and keep counting across producer
+	// generations), so recycling the slot for the next Attach/Register is
+	// safe and keeps churning register/close cycles from growing the list
+	// without bound.
 	mu    sync.Mutex
 	prods atomic.Pointer[[]*slot]
-	_     [48]byte
+	free  []*slot
+	_     [24]byte
 }
 
 // New returns a closed-world counter with one padded slot per worker
@@ -139,10 +145,20 @@ func NewOpen(workers, producers int) *Counter {
 	return c
 }
 
-// attach publishes a fresh producer slot into the RCU list.
+// attach hands out a producer slot: a recycled one from the free stack
+// when a closed producer left one behind, else a fresh slot published into
+// the RCU list. Recycled slots are already in the list — their tallies
+// simply keep accumulating for the new producer.
 func (c *Counter) attach() *ProducerSlot {
-	s := &slot{}
 	c.mu.Lock()
+	if n := len(c.free); n > 0 {
+		s := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		c.mu.Unlock()
+		return &ProducerSlot{c: c, s: s}
+	}
+	s := &slot{}
 	old := *c.prods.Load()
 	list := make([]*slot, len(old)+1)
 	copy(list, old)
@@ -206,7 +222,8 @@ func (p *ProducerSlot) ProduceN(n int64) {
 
 // Close records that this producer will produce no more tasks. It must be
 // called after the producer's final Produce, exactly once; it panics if
-// the counter has no open producers to close.
+// the counter has no open producers to close. The slot is recycled: the
+// next Attach or Register reuses it instead of growing the slot list.
 func (p *ProducerSlot) Close() {
 	//relax:allow spinbound: each failed CAS certifies another register/close/seal committed on the state word — system-wide progress
 	for {
@@ -215,9 +232,13 @@ func (p *ProducerSlot) Close() {
 			panic("inflight: Close without an open producer")
 		}
 		if p.c.state.CompareAndSwap(st, st-1<<openShift) {
-			return
+			break
 		}
 	}
+	c := p.c
+	c.mu.Lock()
+	c.free = append(c.free, p.s)
+	c.mu.Unlock()
 }
 
 // Produce records that worker w created one task. It must be called before

@@ -273,3 +273,85 @@ func TestRegisterSealRace(t *testing.T) {
 		}
 	}
 }
+
+// TestSlotRecycling churns 10k register/close cycles: every Close must
+// return its slot to the free stack and the next Register must reuse it,
+// so the RCU slot list stays at the peak number of *concurrently* open
+// producers instead of growing per registration, and the monotone tallies
+// survive the recycling (the final seal still balances).
+func TestSlotRecycling(t *testing.T) {
+	c := New(1)
+	const cycles = 10000
+	var produced int64
+	for i := 0; i < cycles; i++ {
+		p, ok := c.Register()
+		if !ok {
+			t.Fatalf("cycle %d: register failed before seal", i)
+		}
+		p.Produce()
+		produced++
+		p.Close()
+	}
+	if got := len(*c.prods.Load()); got != 1 {
+		t.Fatalf("slot list grew to %d entries over %d sequential register/close cycles, want 1 recycled slot", got, cycles)
+	}
+	// Drain the producer-born tasks through the worker slot and seal.
+	for i := int64(0); i < produced; i++ {
+		c.Complete(0)
+	}
+	if !c.Quiescent() {
+		t.Fatal("counter not quiescent after all recycled producers closed and drained")
+	}
+
+	// Concurrent churn: the list may grow to the number of goroutines, but
+	// no further.
+	c2 := New(1)
+	const workers, perWorker = 8, 1250
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p, ok := c2.Register()
+				if !ok {
+					t.Error("register failed before seal")
+					return
+				}
+				p.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(*c2.prods.Load()); got > workers {
+		t.Fatalf("slot list grew to %d entries with at most %d producers open at once", got, workers)
+	}
+	if !c2.Quiescent() {
+		t.Fatal("counter not quiescent after concurrent churn")
+	}
+}
+
+// TestRecycledSlotKeepsCounting checks the tally-transfer invariant: a
+// recycled slot's produced count is the sum over every producer generation
+// that used it, and Quiescent stays false until the whole sum is drained.
+func TestRecycledSlotKeepsCounting(t *testing.T) {
+	c := New(1)
+	p1, _ := c.Register()
+	p1.ProduceN(3)
+	p1.Close()
+	p2, _ := c.Register()
+	if p2.s != p1.s {
+		t.Fatal("second register did not recycle the closed producer's slot")
+	}
+	p2.ProduceN(2)
+	p2.Close()
+	for i := 0; i < 5; i++ {
+		if c.Quiescent() {
+			t.Fatalf("quiescent with %d tasks undrained", 5-i)
+		}
+		c.Complete(0)
+	}
+	if !c.Quiescent() {
+		t.Fatal("not quiescent after draining both generations")
+	}
+}

@@ -1,10 +1,19 @@
 package mis
 
 import (
-	"fmt"
-
 	"relaxsched/internal/core"
+	"relaxsched/internal/engine"
 )
+
+// ParallelOptions configure a ParallelGreedyMIS or ParallelGreedyColoring
+// run. Unlike core.ParallelOptions there is no OnProcess hook: the
+// serialized processing callback is owned by the algorithm here (it is the
+// membership/coloring update itself).
+type ParallelOptions struct {
+	// ExecOptions are the shared engine knobs: queue backend and relaxation
+	// multiplier, worker count, batching, and seeding.
+	engine.ExecOptions
+}
 
 // ParallelGreedyMIS runs greedy maximal independent set over the workload
 // with worker goroutines on the generic relaxed-execution engine: the
@@ -15,15 +24,12 @@ import (
 // greedy algorithm does. The resulting set is identical to the sequential
 // one — only the wasted work (ExtraSteps) varies with the backend, thread
 // count and batch size.
-//
-// opts.OnProcess must be nil; it is owned by the algorithm here.
-func ParallelGreedyMIS(w *Workload, opts core.ParallelOptions) ([]bool, core.Result, error) {
-	if opts.OnProcess != nil {
-		return nil, core.Result{}, fmt.Errorf("mis: OnProcess is owned by ParallelGreedyMIS")
-	}
+func ParallelGreedyMIS(w *Workload, opts ParallelOptions) ([]bool, core.Result, error) {
 	inMIS := make([]bool, w.G.NumNodes)
-	opts.OnProcess = misOnProcess(w, inMIS)
-	res, err := core.ParallelRun(w.DAG, opts)
+	res, err := core.ParallelRun(w.DAG, core.ParallelOptions{
+		ExecOptions: opts.ExecOptions,
+		OnProcess:   misOnProcess(w, inMIS),
+	})
 	return inMIS, res, err
 }
 
@@ -32,17 +38,14 @@ func ParallelGreedyMIS(w *Workload, opts core.ParallelOptions) ([]bool, core.Res
 // the same shared coloringOnProcess closure as the sequential execution):
 // the colors match the sequential greedy coloring of the same permutation,
 // and only the wasted work varies.
-//
-// opts.OnProcess must be nil; it is owned by the algorithm here.
-func ParallelGreedyColoring(w *Workload, opts core.ParallelOptions) ([]int32, core.Result, error) {
-	if opts.OnProcess != nil {
-		return nil, core.Result{}, fmt.Errorf("mis: OnProcess is owned by ParallelGreedyColoring")
-	}
+func ParallelGreedyColoring(w *Workload, opts ParallelOptions) ([]int32, core.Result, error) {
 	colors := make([]int32, w.G.NumNodes)
 	for i := range colors {
 		colors[i] = -1
 	}
-	opts.OnProcess = coloringOnProcess(w, colors)
-	res, err := core.ParallelRun(w.DAG, opts)
+	res, err := core.ParallelRun(w.DAG, core.ParallelOptions{
+		ExecOptions: opts.ExecOptions,
+		OnProcess:   coloringOnProcess(w, colors),
+	})
 	return colors, res, err
 }

@@ -3,8 +3,8 @@ package mis
 import (
 	"testing"
 
-	"relaxsched/internal/core"
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/sched"
 )
@@ -20,9 +20,7 @@ func TestParallelGreedyMISMatchesSequential(t *testing.T) {
 	}
 	for _, backend := range cq.Backends() {
 		for _, batch := range []int{0, 16} {
-			parSet, res, err := ParallelGreedyMIS(w, core.ParallelOptions{
-				Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 3,
-			})
+			parSet, res, err := ParallelGreedyMIS(w, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 3}})
 			if err != nil {
 				t.Fatalf("%s/batch%d: %v", backend, batch, err)
 			}
@@ -49,9 +47,7 @@ func TestParallelGreedyColoringMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, backend := range cq.Backends() {
-		parColors, _, err := ParallelGreedyColoring(w, core.ParallelOptions{
-			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 17,
-		})
+		parColors, _, err := ParallelGreedyColoring(w, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 17}})
 		if err != nil {
 			t.Fatalf("%s: %v", backend, err)
 		}
@@ -63,17 +59,5 @@ func TestParallelGreedyColoringMatchesSequential(t *testing.T) {
 				t.Fatalf("%s: vertex %d colored %d, sequential %d", backend, v, parColors[v], seqColors[v])
 			}
 		}
-	}
-}
-
-func TestParallelGreedyRejectsCallerOnProcess(t *testing.T) {
-	g := graph.Random(100, 200, 10, 3)
-	w := NewWorkload(g, 1)
-	opts := core.ParallelOptions{Threads: 2, QueueMultiplier: 2, OnProcess: func(int) {}}
-	if _, _, err := ParallelGreedyMIS(w, opts); err == nil {
-		t.Fatal("caller OnProcess accepted by ParallelGreedyMIS")
-	}
-	if _, _, err := ParallelGreedyColoring(w, opts); err == nil {
-		t.Fatal("caller OnProcess accepted by ParallelGreedyColoring")
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"relaxsched/internal/cq"
 	"relaxsched/internal/engine"
 	"relaxsched/internal/rng"
 	"relaxsched/internal/stats"
@@ -24,35 +23,19 @@ import (
 
 // StreamOptions configure a streaming execution (NewTopKStream).
 type StreamOptions struct {
-	// Threads is the number of worker goroutines (>= 1).
-	Threads int
-	// QueueMultiplier is the relaxation multiplier of the concurrent queue
-	// (>= 1; the classic MultiQueue configuration is 2).
-	QueueMultiplier int
-	// Backend selects the concurrent queue implementation; the zero value
-	// is cq.DefaultBackend.
-	Backend cq.Backend
-	// BatchSize is the number of jobs moved per queue operation, on both
-	// sides: workers pop job batches, and producer pushes buffer until
-	// BatchSize jobs accumulate (flushed on Close). Values <= 1 disable
-	// batching.
-	BatchSize int
-	// Seed drives the queue randomness (one split-off stream per worker and
-	// per producer).
-	Seed uint64
+	// ExecOptions are the shared engine knobs: queue backend and relaxation
+	// multiplier, worker count, batching (here on both sides: workers pop
+	// job batches, and producer pushes buffer until BatchSize jobs
+	// accumulate, flushed on Close), seeding, the idle path (a streaming
+	// scheduler with bursty arrivals wants the default engine.IdlePark),
+	// and Deadline — at expiry the workers drain gracefully (exactly as
+	// TopKStream.Stop), producer pushes are absorbed, and the result is
+	// marked Interrupted.
+	engine.ExecOptions
 	// Producers is the number of JobProducer handles that will be created
 	// with NewProducer (>= 1). The stream terminates only after every
 	// declared producer has been created and closed.
 	Producers int
-	// Deadline, when positive, bounds the stream's wall time: at expiry
-	// the workers drain gracefully (exactly as TopKStream.Stop), producer
-	// pushes are absorbed, and the result is marked Interrupted. Zero
-	// means no deadline.
-	Deadline time.Duration
-	// IdleStrategy selects the workers' idle path (engine.IdlePark, the
-	// zero value, parks idle workers on the wakeup lot; engine.IdleSpin
-	// polls). A streaming scheduler with bursty arrivals wants the default.
-	IdleStrategy engine.IdleStrategy
 	// MinWorkers and MaxWorkers, when MaxWorkers > 0, enable the engine's
 	// elastic worker pool: the active set starts at Threads and the
 	// controller grows it toward MaxWorkers under backlog, shrinking back
@@ -195,16 +178,10 @@ func NewTopKStream(opts StreamOptions) (*TopKStream, error) {
 		wl.lats = make([]latHist, pool)
 	}
 	exec, err := engine.Start(wl, engine.Options{
-		Threads:         opts.Threads,
-		QueueMultiplier: opts.QueueMultiplier,
-		Backend:         opts.Backend,
-		BatchSize:       opts.BatchSize,
-		Seed:            opts.Seed,
-		Producers:       opts.Producers,
-		Deadline:        opts.Deadline,
-		IdleStrategy:    opts.IdleStrategy,
-		MinWorkers:      opts.MinWorkers,
-		MaxWorkers:      opts.MaxWorkers,
+		ExecOptions: opts.ExecOptions,
+		Producers:   opts.Producers,
+		MinWorkers:  opts.MinWorkers,
+		MaxWorkers:  opts.MaxWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sched: %w", err)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 )
 
 func TestRankErrors(t *testing.T) {
@@ -34,10 +35,7 @@ func TestParallelTopKExecutesEveryJobOnce(t *testing.T) {
 	for _, backend := range cq.Backends() {
 		for _, batch := range []int{0, 16} {
 			res, err := ParallelTopK(TopKRunOptions{
-				StreamOptions: StreamOptions{
-					Threads: 4, QueueMultiplier: 2, Backend: backend,
-					BatchSize: batch, Seed: 31, Producers: 3,
-				},
+				StreamOptions:   StreamOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 31}, Producers: 3},
 				JobsPerProducer: 400,
 			})
 			if err != nil {
@@ -69,10 +67,7 @@ func TestParallelTopKExecutesEveryJobOnce(t *testing.T) {
 func TestParallelTopKExactBaseline(t *testing.T) {
 	const jobs = 600
 	res, err := ParallelTopK(TopKRunOptions{
-		StreamOptions: StreamOptions{
-			Threads: 1, QueueMultiplier: 1, Backend: cq.MultiQueueBackend,
-			BatchSize: jobs + 8, Seed: 5, Producers: 1,
-		},
+		StreamOptions:   StreamOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1, Backend: cq.MultiQueueBackend, BatchSize: jobs + 8, Seed: 5}, Producers: 1},
 		JobsPerProducer: jobs,
 	})
 	if err != nil {
@@ -87,9 +82,7 @@ func TestParallelTopKRateLimited(t *testing.T) {
 	const jobs, rate = 120, 20000
 	startedAt := time.Now()
 	res, err := ParallelTopK(TopKRunOptions{
-		StreamOptions: StreamOptions{
-			Threads: 2, QueueMultiplier: 2, Seed: 9, Producers: 2,
-		},
+		StreamOptions:   StreamOptions{ExecOptions: engine.ExecOptions{Threads: 2, QueueMultiplier: 2, Seed: 9}, Producers: 2},
 		JobsPerProducer: jobs,
 		Rate:            rate,
 	})
@@ -107,41 +100,38 @@ func TestParallelTopKRateLimited(t *testing.T) {
 }
 
 func TestStreamOptionValidation(t *testing.T) {
-	if _, err := NewTopKStream(StreamOptions{Threads: 1, QueueMultiplier: 1}); err == nil {
+	if _, err := NewTopKStream(StreamOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}}); err == nil {
 		t.Fatal("zero producers accepted")
 	}
-	if _, err := NewTopKStream(StreamOptions{Threads: 0, QueueMultiplier: 1, Producers: 1}); err == nil {
+	if _, err := NewTopKStream(StreamOptions{ExecOptions: engine.ExecOptions{Threads: 0, QueueMultiplier: 1}, Producers: 1}); err == nil {
 		t.Fatal("zero threads accepted")
 	}
 	// Negative counts must come back as errors, not makeslice panics from
 	// the allocations the options size.
-	if _, err := NewTopKStream(StreamOptions{Threads: -1, QueueMultiplier: 1, Producers: 1}); err == nil {
+	if _, err := NewTopKStream(StreamOptions{ExecOptions: engine.ExecOptions{Threads: -1, QueueMultiplier: 1}, Producers: 1}); err == nil {
 		t.Fatal("negative threads accepted")
 	}
 	if _, err := ParallelTopK(TopKRunOptions{
-		StreamOptions:   StreamOptions{Threads: 1, QueueMultiplier: 1, Producers: -2},
+		StreamOptions:   StreamOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}, Producers: -2},
 		JobsPerProducer: 1,
 	}); err == nil {
 		t.Fatal("negative producer count accepted")
 	}
 	if _, err := ParallelTopK(TopKRunOptions{
-		StreamOptions:   StreamOptions{Threads: 1, QueueMultiplier: 1, Producers: 1},
+		StreamOptions:   StreamOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}, Producers: 1},
 		JobsPerProducer: 0,
 	}); err == nil {
 		t.Fatal("zero jobs per producer accepted")
 	}
 	if _, err := ParallelTopK(TopKRunOptions{
-		StreamOptions:   StreamOptions{Threads: 1, QueueMultiplier: 1, Producers: 1},
+		StreamOptions:   StreamOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}, Producers: 1},
 		JobsPerProducer: 1,
 		Rate:            -1,
 	}); err == nil {
 		t.Fatal("negative rate accepted")
 	}
 	if _, err := ParallelTopK(TopKRunOptions{
-		StreamOptions: StreamOptions{
-			Threads: 1, QueueMultiplier: 1, Producers: 1,
-			Execute: func(int, int64, int64) {},
-		},
+		StreamOptions:   StreamOptions{ExecOptions: engine.ExecOptions{Threads: 1, QueueMultiplier: 1}, Producers: 1, Execute: func(int, int64, int64) {}},
 		JobsPerProducer: 1,
 	}); err == nil {
 		t.Fatal("caller-supplied Execute accepted by ParallelTopK")
@@ -153,10 +143,7 @@ func TestStreamOptionValidation(t *testing.T) {
 func TestTopKStreamManualProducer(t *testing.T) {
 	const jobs = 300
 	got := make([]atomic.Int32, jobs)
-	s, err := NewTopKStream(StreamOptions{
-		Threads: 3, QueueMultiplier: 2, Seed: 2, Producers: 1,
-		Execute: func(_ int, job, _ int64) { got[job].Add(1) },
-	})
+	s, err := NewTopKStream(StreamOptions{ExecOptions: engine.ExecOptions{Threads: 3, QueueMultiplier: 2, Seed: 2}, Producers: 1, Execute: func(_ int, job, _ int64) { got[job].Add(1) }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,13 +170,10 @@ func TestTopKStreamManualProducer(t *testing.T) {
 func TestTopKStreamStop(t *testing.T) {
 	const jobs = 50000
 	got := make([]atomic.Int32, jobs)
-	s, err := NewTopKStream(StreamOptions{
-		Threads: 2, QueueMultiplier: 2, Seed: 3, Producers: 1,
-		Execute: func(_ int, job, _ int64) {
-			time.Sleep(20 * time.Microsecond)
-			got[job].Add(1)
-		},
-	})
+	s, err := NewTopKStream(StreamOptions{ExecOptions: engine.ExecOptions{Threads: 2, QueueMultiplier: 2, Seed: 3}, Producers: 1, Execute: func(_ int, job, _ int64) {
+		time.Sleep(20 * time.Microsecond)
+		got[job].Add(1)
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,9 +216,7 @@ func TestTopKStreamStop(t *testing.T) {
 // and the quantiles are ordered p50 <= p99 <= p999.
 func TestParallelTopKLatencyQuantiles(t *testing.T) {
 	res, err := ParallelTopK(TopKRunOptions{
-		StreamOptions: StreamOptions{
-			Threads: 2, QueueMultiplier: 2, Seed: 41, Producers: 2,
-		},
+		StreamOptions:   StreamOptions{ExecOptions: engine.ExecOptions{Threads: 2, QueueMultiplier: 2, Seed: 41}, Producers: 2},
 		JobsPerProducer: 300,
 	})
 	if err != nil {
@@ -255,10 +237,7 @@ func TestParallelTopKLatencyQuantiles(t *testing.T) {
 // be pool-sized (an undersized slice panics the run).
 func TestTopKStreamElasticPool(t *testing.T) {
 	res, err := ParallelTopK(TopKRunOptions{
-		StreamOptions: StreamOptions{
-			Threads: 2, QueueMultiplier: 2, Seed: 43, Producers: 4,
-			MinWorkers: 1, MaxWorkers: 8,
-		},
+		StreamOptions:   StreamOptions{ExecOptions: engine.ExecOptions{Threads: 2, QueueMultiplier: 2, Seed: 43}, Producers: 4, MinWorkers: 1, MaxWorkers: 8},
 		JobsPerProducer: 2000,
 	})
 	if err != nil {

@@ -2,39 +2,23 @@ package sssp
 
 import (
 	"sync/atomic"
-	"time"
 
-	"relaxsched/internal/cq"
 	"relaxsched/internal/engine"
 	"relaxsched/internal/graph"
 )
 
 // ParallelOptions configure a concurrent SSSP run.
 type ParallelOptions struct {
-	// Threads is the number of worker goroutines (>= 1).
-	Threads int
-	// QueueMultiplier is the relaxation multiplier of the concurrent queue
-	// (>= 1; the paper uses 2 for Figure 1 and sweeps it in Figure 2).
-	QueueMultiplier int
-	// Backend selects the concurrent queue implementation; the zero value
-	// is cq.DefaultBackend (the MultiQueue with 2-choice pops).
-	Backend cq.Backend
-	// BatchSize is the number of (vertex, dist) pairs a worker moves per
-	// queue operation: improved edges accumulate in a per-worker buffer
-	// flushed through PushBatch, and tasks arrive PopBatch-many at a time,
-	// so one coordination round is amortized over the whole batch. Values
-	// <= 1 disable batching and run the paper's per-element protocol.
-	// Larger batches trade relaxation quality (popped ranks grow with the
-	// batch) for queue-operation throughput; relaxbench's batchsweep
-	// experiment measures the trade.
-	BatchSize int
-	// Seed drives the queue randomness.
-	Seed uint64
-	// Deadline, when positive, bounds the run's wall time: at expiry the
-	// engine drains gracefully and the result is marked Interrupted. The
-	// partial distances are still valid upper bounds (relaxation only ever
-	// lowers them), making a deadlined run an anytime SSSP.
-	Deadline time.Duration
+	// ExecOptions are the shared engine knobs: queue backend and relaxation
+	// multiplier (the paper uses 2 for Figure 1 and sweeps it in Figure 2),
+	// worker count, batching (improved edges accumulate in a per-worker
+	// buffer flushed through PushBatch — relaxbench's batchsweep experiment
+	// measures the quality/throughput trade), seeding, and Deadline — at
+	// expiry the engine drains gracefully and the result is marked
+	// Interrupted, with the partial distances still valid upper bounds
+	// (relaxation only ever lowers them), making a deadlined run an
+	// anytime SSSP.
+	engine.ExecOptions
 }
 
 // ParallelResult carries the output and work accounting of a concurrent
@@ -74,11 +58,11 @@ func (r ParallelResult) Overhead() float64 {
 // MultiQueue — the paper's Section 7 configuration. It is shorthand for
 // ParallelWith with the default backend.
 func Parallel(g *graph.Graph, src, threads, queueMultiplier int, seed uint64) ParallelResult {
-	return ParallelWith(g, src, ParallelOptions{
+	return ParallelWith(g, src, ParallelOptions{ExecOptions: engine.ExecOptions{
 		Threads:         threads,
 		QueueMultiplier: queueMultiplier,
 		Seed:            seed,
-	})
+	}})
 }
 
 // ssspWorkload is the relaxation-spawning workload over the generic engine:
@@ -141,14 +125,7 @@ func ParallelWith(g *graph.Graph, src int, opts ParallelOptions) ParallelResult 
 	}
 	wl.dist[src].Store(0)
 
-	stats, err := engine.Run(wl, engine.Options{
-		Threads:         opts.Threads,
-		QueueMultiplier: opts.QueueMultiplier,
-		Backend:         opts.Backend,
-		BatchSize:       opts.BatchSize,
-		Seed:            opts.Seed,
-		Deadline:        opts.Deadline,
-	})
+	stats, err := engine.Run(wl, engine.Options{ExecOptions: opts.ExecOptions})
 	if err != nil {
 		panic("sssp: " + err.Error())
 	}

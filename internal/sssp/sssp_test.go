@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"relaxsched/internal/cq"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/multiqueue"
 	"relaxsched/internal/rng"
@@ -266,9 +267,7 @@ func TestParallelWithAcrossBackends(t *testing.T) {
 	exact := Dijkstra(g, 0)
 	for _, backend := range cq.Backends() {
 		for _, threads := range []int{1, 4} {
-			res := ParallelWith(g, 0, ParallelOptions{
-				Threads: threads, QueueMultiplier: 2, Backend: backend, Seed: 5,
-			})
+			res := ParallelWith(g, 0, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: threads, QueueMultiplier: 2, Backend: backend, Seed: 5}})
 			if !Equal(exact.Dist, res.Dist) {
 				t.Fatalf("%s @%d threads: wrong distances", backend, threads)
 			}
@@ -291,10 +290,7 @@ func TestParallelBatchedMatchesDijkstra(t *testing.T) {
 		exact := Dijkstra(g, 0)
 		for _, backend := range cq.Backends() {
 			for _, batch := range []int{2, 16, 64} {
-				res := ParallelWith(g, 0, ParallelOptions{
-					Threads: 4, QueueMultiplier: 2, Backend: backend,
-					BatchSize: batch, Seed: 9,
-				})
+				res := ParallelWith(g, 0, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, BatchSize: batch, Seed: 9}})
 				if !Equal(exact.Dist, res.Dist) {
 					t.Fatalf("%s/%s/batch%d: wrong distances", name, backend, batch)
 				}
@@ -317,13 +313,7 @@ func TestParallelBatchedAgreesProperty(t *testing.T) {
 		g := graph.Random(n, n*4, 1+int64(r.Intn(100)), seed)
 		src := r.Intn(n)
 		exact := Dijkstra(g, src)
-		res := ParallelWith(g, src, ParallelOptions{
-			Threads:         1 + r.Intn(8),
-			QueueMultiplier: 1 + r.Intn(3),
-			Backend:         backends[r.Intn(len(backends))],
-			BatchSize:       1 + r.Intn(64),
-			Seed:            seed,
-		})
+		res := ParallelWith(g, src, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 1 + r.Intn(8), QueueMultiplier: 1 + r.Intn(3), Backend: backends[r.Intn(len(backends))], BatchSize: 1 + r.Intn(64), Seed: seed}})
 		return Equal(exact.Dist, res.Dist)
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
@@ -339,12 +329,7 @@ func TestParallelBatchedAgreesProperty(t *testing.T) {
 func TestParallelDeadlineAnytime(t *testing.T) {
 	g := graph.Random(150_000, 900_000, 100, 77)
 	exact := Dijkstra(g, 0)
-	res := ParallelWith(g, 0, ParallelOptions{
-		Threads:         4,
-		QueueMultiplier: 2,
-		Seed:            7,
-		Deadline:        500 * time.Microsecond,
-	})
+	res := ParallelWith(g, 0, ParallelOptions{ExecOptions: engine.ExecOptions{Threads: 4, QueueMultiplier: 2, Seed: 7, Deadline: 500 * time.Microsecond}})
 	if !res.Interrupted {
 		t.Skip("run finished inside a 500µs deadline; machine too fast for this fixture")
 	}

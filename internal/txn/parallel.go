@@ -1,0 +1,508 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"relaxsched/internal/engine"
+)
+
+// This file is the real transactional executor: the sequential model's
+// workload run for keeps over the relaxed-execution engine. Transactions
+// are the engine's tasks (value = label = priority), TryExecute is one OCC
+// attempt, and a validation failure reports Blocked so the engine's
+// re-insertion loop — bounded by ExecOptions.MaxBlockedRetries — is the
+// retry policy, exactly the role the relaxed scheduler plays in the
+// paper's Section 4 model.
+//
+// The concurrency protocol, in one place:
+//
+//  1. Read phase: observe (value, version word) per operation. Reads and
+//     merged-mode writes record the word; writes to a split record of the
+//     matching kind become deferred deposits; anything else (locked
+//     record, split record of another kind, reconcile in flight) aborts
+//     the attempt.
+//  2. Lock the merged-mode write set in key order. The lock CAS is
+//     anchored to the observed word, so locking *is* write validation.
+//  3. Claim the commit ticket. Because every lock is held across the
+//     ticket claim and the install, and every read/split observation is
+//     re-validated after the claim, ticket order is a valid serial order —
+//     the certification replay below checks exactly that.
+//  4. Validate reads and split observations (word unchanged).
+//  5. Latch split records (writers counter), re-checking the epoch; then
+//     deposit the commutative deltas into this worker's cells and release
+//     the latches. Deposits land before any install so a latch failure
+//     still aborts cleanly.
+//  6. Install merged writes and release locks with a version bump; log
+//     the commit (ticket, label, observed read values) to the worker's
+//     commit log.
+//
+// Hot records are promoted to split mode by the contention integrator
+// (record.heat) and demoted by the phase fence (record.tryReconcile),
+// which blocked readers trigger via the pressure counter — Doppel's
+// phased reconciliation with the phase change driven by contention
+// instead of a global clock.
+
+// clsRead/clsWrite/clsSplit classify one observed operation.
+const (
+	clsRead int8 = iota
+	clsWrite
+	clsSplit
+)
+
+// observation is the validation anchor for one operation of one attempt.
+type observation struct {
+	word uint64
+	val  int64
+	cls  int8
+}
+
+// commitRec is one committed transaction in a worker's commit log: enough
+// to replay the run in ticket order and re-check every read.
+type commitRec struct {
+	ticket int64
+	id     int64
+	reads  [MaxOps]int64
+}
+
+// workerLog is a per-worker commit log, padded so append bookkeeping never
+// shares a cache line across workers.
+type workerLog struct {
+	recs []commitRec
+	_    [104]byte
+}
+
+// padCounter is a cache-line-isolated atomic counter.
+type padCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Workload is the transactional engine workload: a sharded versioned KV
+// store plus the deterministic transaction stream of a WorkloadSpec. It
+// implements engine.Workload; run it through ParallelRun, or directly via
+// engine.Run/engine.Start (the conformance and chaos suites do) and call
+// Certify afterwards.
+type Workload struct {
+	gen     *Gen
+	st      *store
+	txns    []txnDesc
+	workers int
+	seeded  bool
+
+	logs []workerLog
+
+	ticket     padCounter
+	promotions padCounter
+	reconciles padCounter
+	deposits   padCounter
+}
+
+// txnDesc is one pregenerated transaction.
+type txnDesc struct {
+	ops [MaxOps]Op
+	n   int32
+}
+
+// NewWorkload pregenerates the spec's transaction stream and builds the
+// store. workers must cover every engine worker index that will run the
+// workload (the engine pool size); seeded selects the closed-world mode
+// where Frontier emits every transaction up front — with seeded false the
+// stream arrives through engine Producer handles instead.
+func NewWorkload(spec WorkloadSpec, workers int, seeded bool) (*Workload, error) {
+	g, err := NewGen(spec)
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("txn: workers = %d, want >= 1", workers)
+	}
+	w := &Workload{
+		gen:     g,
+		st:      newStore(spec.Keys, workers),
+		txns:    make([]txnDesc, spec.Txns),
+		workers: workers,
+		seeded:  seeded,
+		logs:    make([]workerLog, workers),
+	}
+	for id := range w.txns {
+		d := &w.txns[id]
+		ops := g.Ops(int64(id), d.ops[:0])
+		d.n = int32(len(ops))
+	}
+	return w, nil
+}
+
+// Frontier seeds the closed world: every transaction at priority = label.
+func (w *Workload) Frontier(emit func(value, priority int64)) {
+	if !w.seeded {
+		return
+	}
+	for id := range w.txns {
+		emit(int64(id), int64(id))
+	}
+}
+
+// TryExecute runs one OCC attempt of transaction value. Executed means
+// committed; Blocked means the attempt aborted (conflict, split-epoch
+// mismatch or phase fence) and the engine should retry it.
+func (w *Workload) TryExecute(ctx *engine.Ctx, value, _ int64) engine.Status {
+	d := &w.txns[value]
+	n := int(d.n)
+	var ob [MaxOps]observation
+
+	// 1: observe.
+	for i := 0; i < n; i++ {
+		op := d.ops[i]
+		r := w.st.rec(op.Key)
+		word := r.word.Load()
+		if word&1 != 0 {
+			if op.Kind != OpRead {
+				return w.writeConflict(r, op.Kind)
+			}
+			r.conflictHeat()
+			return engine.Blocked
+		}
+		mode := r.mode.Load()
+		if op.Kind == OpRead {
+			if mode != modeMerged {
+				return w.blockedSplit(r)
+			}
+			v := r.val.Load()
+			if r.word.Load() != word {
+				r.conflictHeat()
+				return engine.Blocked
+			}
+			ob[i] = observation{word: word, val: v, cls: clsRead}
+			continue
+		}
+		switch {
+		case mode == modeMerged:
+			// Proactive promotion: once the integrator marks the record
+			// hot, the next commutative writer to come along flips it to
+			// split mode — promotion doesn't wait for the writer that
+			// crosses the threshold to itself collide.
+			if r.heat.Load() >= promoteHeat && r.tryPromote(op.Kind, w.workers) {
+				w.promotions.n.Add(1)
+				return engine.Blocked
+			}
+			ob[i] = observation{word: word, cls: clsWrite}
+		case mode == modeSplit && r.splitKind.Load() == int32(op.Kind):
+			// Re-load pairs (word, mode): promotion bumps the word, so an
+			// unchanged word pins the split epoch the mode belongs to.
+			if r.word.Load() != word {
+				r.conflictHeat()
+				return engine.Blocked
+			}
+			ob[i] = observation{word: word, cls: clsSplit}
+		default:
+			// Reconciling, or split for a non-commuting kind: wait the
+			// epoch out like a reader would.
+			return w.blockedSplit(r)
+		}
+	}
+
+	// 2: lock merged writes in key order.
+	var order [MaxOps]int8
+	nw := 0
+	for i := 0; i < n; i++ {
+		if ob[i].cls == clsWrite {
+			order[nw] = int8(i)
+			nw++
+		}
+	}
+	for a := 1; a < nw; a++ {
+		for b := a; b > 0 && d.ops[order[b]].Key < d.ops[order[b-1]].Key; b-- {
+			order[b], order[b-1] = order[b-1], order[b]
+		}
+	}
+	for li := 0; li < nw; li++ {
+		i := order[li]
+		op := d.ops[i]
+		r := w.st.rec(op.Key)
+		if !r.lock(ob[i].word) {
+			w.unlockPrefix(d, &ob, order[:li])
+			return w.writeConflict(r, op.Kind)
+		}
+	}
+
+	// 3: ticket. Claimed after the locks and before validation, so the
+	// lock spans of conflicting committers always order their tickets.
+	ticket := w.ticket.n.Add(1) - 1
+
+	// 4: validate.
+	for i := 0; i < n; i++ {
+		switch ob[i].cls {
+		case clsRead:
+			r := w.st.rec(d.ops[i].Key)
+			if r.word.Load() != ob[i].word {
+				w.unlockPrefix(d, &ob, order[:nw])
+				r.conflictHeat()
+				return engine.Blocked
+			}
+		case clsSplit:
+			r := w.st.rec(d.ops[i].Key)
+			if r.word.Load() != ob[i].word || r.mode.Load() != modeSplit {
+				w.unlockPrefix(d, &ob, order[:nw])
+				r.conflictHeat()
+				return engine.Blocked
+			}
+		}
+	}
+
+	// 5: latch and deposit split writes. All latches are taken before any
+	// delta lands so a failed re-check aborts with nothing to undo; the
+	// latch holds the phase fence open (tryReconcile drains writers), so
+	// every deposit is collected by the reconcile that ends this epoch.
+	var latched [MaxOps]int8
+	nl := 0
+	for i := 0; i < n; i++ {
+		if ob[i].cls != clsSplit {
+			continue
+		}
+		r := w.st.rec(d.ops[i].Key)
+		r.writers.Add(1)
+		if r.word.Load() != ob[i].word || r.mode.Load() != modeSplit {
+			r.writers.Add(-1)
+			for j := 0; j < nl; j++ {
+				w.st.rec(d.ops[latched[j]].Key).writers.Add(-1)
+			}
+			w.unlockPrefix(d, &ob, order[:nw])
+			return w.blockedSplit(r)
+		}
+		latched[nl] = int8(i)
+		nl++
+	}
+	for j := 0; j < nl; j++ {
+		i := latched[j]
+		op := d.ops[i]
+		r := w.st.rec(op.Key)
+		cell := &(*r.cells.Load())[ctx.Worker]
+		switch op.Kind {
+		case OpAdd:
+			cell.add.Add(op.Arg)
+		case OpMax:
+			atomicMax(&cell.max, op.Arg)
+		case OpUnion:
+			cell.or.Or(op.Arg)
+		}
+		r.writers.Add(-1)
+	}
+	if nl > 0 {
+		w.deposits.n.Add(int64(nl))
+	}
+
+	// 6: install merged writes, release locks, log the commit.
+	for li := 0; li < nw; li++ {
+		i := order[li]
+		op := d.ops[i]
+		r := w.st.rec(op.Key)
+		r.val.Store(op.apply(r.val.Load()))
+		r.unlockBump(ob[i].word)
+	}
+	for i := 0; i < n; i++ {
+		w.st.rec(d.ops[i].Key).commitDecay()
+	}
+	lg := &w.logs[ctx.Worker]
+	cr := commitRec{ticket: ticket, id: value}
+	for i := 0; i < n; i++ {
+		if ob[i].cls == clsRead {
+			cr.reads[i] = ob[i].val
+		}
+	}
+	lg.recs = append(lg.recs, cr)
+	return engine.Executed
+}
+
+// unlockPrefix releases already-claimed write locks on the abort path,
+// restoring the pre-lock words (no version bump: nothing was installed).
+func (w *Workload) unlockPrefix(d *txnDesc, ob *[MaxOps]observation, prefix []int8) {
+	for _, i := range prefix {
+		w.st.rec(d.ops[i].Key).unlockRestore(ob[i].word)
+	}
+}
+
+// writeConflict books a write-side conflict on r and promotes it to split
+// mode once the contention integrator crosses the threshold (only
+// commutative write kinds are splittable; reads never promote).
+func (w *Workload) writeConflict(r *record, kind OpKind) engine.Status {
+	if r.conflictHeat() >= promoteHeat && kind != OpRead {
+		if r.tryPromote(kind, w.workers) {
+			w.promotions.n.Add(1)
+		}
+	}
+	return engine.Blocked
+}
+
+// blockedSplit books an attempt turned away by a split epoch. Enough
+// pressure forces the phase fence inline, so blocked readers bound how
+// long a record can stay split.
+func (w *Workload) blockedSplit(r *record) engine.Status {
+	if r.pressure.Add(1) >= reconcilePressure && r.mode.Load() == modeSplit {
+		if r.tryReconcile() {
+			w.reconciles.n.Add(1)
+		}
+	}
+	return engine.Blocked
+}
+
+// atomicMax raises *a to at least v. The CAS retry is monotone: it only
+// repeats when another depositor raised the cell, so it converges in at
+// most one step per concurrent writer.
+func atomicMax(a *atomic.Int64, v int64) {
+	//relax:allow spinbound: monotone CAS-max — each retry means another writer raised the cell, and once cur >= v the loop exits, so total retries are bounded by the number of concurrent depositors
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Certify replays the merged commit log in ticket order against a fresh
+// store and fails on the first serializability violation: a logged read
+// that disagrees with the replay, a transaction committed twice, or a
+// final store state that diverges from the replayed one. Call it only
+// after the run has quiesced; it fences any still-split records first.
+func (w *Workload) Certify() error {
+	w.reconciles.n.Add(w.st.reconcileAll())
+	var all []commitRec
+	for i := range w.logs {
+		all = append(all, w.logs[i].recs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ticket < all[j].ticket })
+	seen := make([]bool, len(w.txns))
+	replay := make([]int64, w.gen.spec.Keys)
+	for _, cr := range all {
+		if seen[cr.id] {
+			return fmt.Errorf("txn: transaction %d committed twice", cr.id)
+		}
+		seen[cr.id] = true
+		d := &w.txns[cr.id]
+		for i := 0; i < int(d.n); i++ {
+			op := d.ops[i]
+			if op.Kind == OpRead {
+				if replay[op.Key] != cr.reads[i] {
+					return fmt.Errorf("txn: serializability violation: txn %d (ticket %d) observed key %d = %d, ticket-order replay gives %d",
+						cr.id, cr.ticket, op.Key, cr.reads[i], replay[op.Key])
+				}
+				continue
+			}
+			replay[op.Key] = op.apply(replay[op.Key])
+		}
+	}
+	final := w.st.snapshot()
+	for k := range final {
+		if final[k] != replay[k] {
+			return fmt.Errorf("txn: final state diverges from ticket-order replay at key %d: store %d, replay %d",
+				k, final[k], replay[k])
+		}
+	}
+	return nil
+}
+
+// Commits reports the committed-transaction count (log length).
+func (w *Workload) Commits() int64 {
+	var n int64
+	for i := range w.logs {
+		n += int64(len(w.logs[i].recs))
+	}
+	return n
+}
+
+// ParallelOptions configure ParallelRun.
+type ParallelOptions struct {
+	// ExecOptions are the shared engine knobs: queue backend and
+	// relaxation multiplier, worker count, batching, seeding, deadline and
+	// the Blocked-retry cap (which here bounds OCC retries per
+	// transaction; 0 retries forever).
+	engine.ExecOptions
+	// Producers, when positive, streams the transactions in through that
+	// many engine Producer handles (round-robin by label, paced only by
+	// the queue) — the open-system arrival mode. 0 seeds the whole batch
+	// through the frontier instead (closed world).
+	Producers int
+}
+
+// ParallelResult is a finished parallel transactional run.
+type ParallelResult struct {
+	// Counts carries Commits/Aborts/Starts with the same semantics as the
+	// sequential model's Result: Aborts counts failed OCC attempts
+	// (engine re-insertions), Starts every attempt.
+	Counts
+	// Promotions counts merged → split phase changes; Reconciles counts
+	// the fences back (including the end-of-run sweep); SplitDeposits
+	// counts commutative deltas that took the split path instead of a
+	// lock.
+	Promotions    int64
+	Reconciles    int64
+	SplitDeposits int64
+	// Quarantined counts transactions the engine gave up on (poisoned, or
+	// over the MaxBlockedRetries cap); Interrupted reports a deadline or
+	// Stop cut the run short. Certification still covers whatever
+	// committed.
+	Quarantined int64
+	Interrupted bool
+}
+
+// ParallelRun executes the spec's transaction stream for real — OCC with
+// contention-triggered phase splitting over the relaxed engine — and then
+// certifies serializability by replaying the commit log in ticket order.
+// A certification failure is returned as an error: a run that cannot
+// prove its own serial order did not succeed.
+func ParallelRun(spec WorkloadSpec, opts ParallelOptions) (ParallelResult, error) {
+	if opts.Threads < 1 {
+		return ParallelResult{}, fmt.Errorf("txn: Threads = %d, want >= 1", opts.Threads)
+	}
+	if opts.Producers < 0 {
+		return ParallelResult{}, fmt.Errorf("txn: Producers = %d, want >= 0", opts.Producers)
+	}
+	wl, err := NewWorkload(spec, opts.Threads, opts.Producers == 0)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+
+	var st engine.Result
+	if opts.Producers == 0 {
+		st, err = engine.Run(wl, engine.Options{ExecOptions: opts.ExecOptions})
+	} else {
+		var exec *engine.Execution
+		exec, err = engine.Start(wl, engine.Options{ExecOptions: opts.ExecOptions, Producers: opts.Producers})
+		if err == nil {
+			for p := 0; p < opts.Producers; p++ {
+				go func(prod *engine.Producer, lo int) {
+					for id := lo; id < spec.Txns; id += opts.Producers {
+						prod.Push(int64(id), int64(id))
+					}
+					prod.Close()
+				}(exec.NewProducer(), p)
+			}
+			st = exec.Wait()
+		}
+	}
+	if err != nil {
+		return ParallelResult{}, fmt.Errorf("txn: %w", err)
+	}
+
+	res := ParallelResult{
+		Counts: Counts{
+			Commits: st.Executed,
+			Aborts:  st.Reinserted,
+			Starts:  st.Executed + st.Reinserted,
+		},
+		Promotions:    wl.promotions.n.Load(),
+		SplitDeposits: wl.deposits.n.Load(),
+		Quarantined:   st.Failed,
+		Interrupted:   st.Interrupted,
+	}
+	certErr := wl.Certify()
+	res.Reconciles = wl.reconciles.n.Load()
+	if certErr != nil {
+		return res, certErr
+	}
+	if !st.Interrupted && st.Failed == 0 && st.Executed != int64(spec.Txns) {
+		return res, fmt.Errorf("txn: committed %d of %d transactions", st.Executed, spec.Txns)
+	}
+	return res, nil
+}

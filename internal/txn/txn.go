@@ -47,24 +47,35 @@ type Config struct {
 	MaxStartsFactor int64
 }
 
-// Result summarizes a transactional simulation.
-type Result struct {
+// Counts is the commit/abort tally shared by the model-level simulator
+// (Simulate) and the real OCC executor (ParallelRun). Both report the same
+// quantities with the same semantics — an "abort" is an execution attempt
+// that did not commit and had to be retried — so model predictions and
+// measured runs compare field-for-field.
+type Counts struct {
 	// Commits is the number of committed transactions (= N on success).
 	Commits int64
-	// Aborts is the number of aborted executions (Theorem 4.3's quantity).
+	// Aborts is the number of aborted executions (Theorem 4.3's quantity
+	// in the model; failed OCC attempts in the parallel executor).
 	Aborts int64
-	// Starts = Commits + Aborts.
+	// Starts = Commits + Aborts: every execution attempt.
 	Starts int64
-	// Ticks is the simulated makespan.
-	Ticks int64
 }
 
-// AbortRatio returns Aborts / Commits.
-func (r Result) AbortRatio() float64 {
-	if r.Commits == 0 {
+// AbortRatio returns Aborts / Commits, the paper's headline overhead
+// metric. It is 0 when nothing committed.
+func (c Counts) AbortRatio() float64 {
+	if c.Commits == 0 {
 		return 0
 	}
-	return float64(r.Aborts) / float64(r.Commits)
+	return float64(c.Aborts) / float64(c.Commits)
+}
+
+// Result summarizes a transactional simulation.
+type Result struct {
+	Counts
+	// Ticks is the simulated makespan.
+	Ticks int64
 }
 
 type running struct {

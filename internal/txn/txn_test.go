@@ -198,7 +198,7 @@ func TestSimulationCompletesProperty(t *testing.T) {
 }
 
 func TestAbortRatio(t *testing.T) {
-	r := Result{Commits: 100, Aborts: 25}
+	r := Result{Counts: Counts{Commits: 100, Aborts: 25}}
 	if r.AbortRatio() != 0.25 {
 		t.Fatalf("ratio = %f", r.AbortRatio())
 	}

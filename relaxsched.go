@@ -8,6 +8,7 @@ import (
 	"relaxsched/internal/core"
 	"relaxsched/internal/cq"
 	"relaxsched/internal/delaunay"
+	"relaxsched/internal/engine"
 	"relaxsched/internal/geom"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/mis"
@@ -52,17 +53,61 @@ func NewBatchScheduler(n, k int) Scheduler { return sched.NewBatch(n, k) }
 // queues and c-choice probing (classic configuration: c = 2). With hashed
 // insertion (hashed = true) it supports DecreaseKey and can drive
 // RelaxedSSSP.
+//
+// Deprecated: Use NewMultiQueueWith, whose options struct names each knob.
 func NewMultiQueue(n, q, c int, hashed bool, seed uint64) Scheduler {
+	return NewMultiQueueWith(MultiQueueOptions{N: n, Queues: q, Choices: c, Hashed: hashed, Seed: seed})
+}
+
+// MultiQueueOptions configure NewMultiQueueWith.
+type MultiQueueOptions struct {
+	// N is the task-id capacity: the scheduler holds ids in [0, N).
+	N int
+	// Queues is the number of internal queues.
+	Queues int
+	// Choices is the probe width of each pop (classic configuration: 2).
+	Choices int
+	// Hashed routes each id to a fixed queue by hash instead of a random
+	// one, enabling DecreaseKey (required by RelaxedSSSP).
+	Hashed bool
+	// Seed drives queue selection.
+	Seed uint64
+}
+
+// NewMultiQueueWith returns a sequential-model MultiQueue (the paper's
+// Section 2 structure under the Section 7 implementation's parameters).
+func NewMultiQueueWith(opts MultiQueueOptions) Scheduler {
 	policy := multiqueue.RandomQueue
-	if hashed {
+	if opts.Hashed {
 		policy = multiqueue.HashedQueue
 	}
-	return multiqueue.New(n, q, c, policy, seed)
+	return multiqueue.New(opts.N, opts.Queues, opts.Choices, policy, opts.Seed)
 }
 
 // NewSprayList returns a sequential-model SprayList tuned for p simulated
 // threads.
-func NewSprayList(n, p int, seed uint64) Scheduler { return spraylist.New(n, p, seed) }
+//
+// Deprecated: Use NewSprayListWith, whose options struct names each knob.
+func NewSprayList(n, p int, seed uint64) Scheduler {
+	return NewSprayListWith(SprayListOptions{N: n, Threads: p, Seed: seed})
+}
+
+// SprayListOptions configure NewSprayListWith.
+type SprayListOptions struct {
+	// N is the task-id capacity: the scheduler holds ids in [0, N).
+	N int
+	// Threads is the simulated thread count the spray heights are tuned
+	// for.
+	Threads int
+	// Seed drives the spray randomness.
+	Seed uint64
+}
+
+// NewSprayListWith returns a sequential-model SprayList (lazy skip list
+// with spray-height pops).
+func NewSprayListWith(opts SprayListOptions) Scheduler {
+	return spraylist.New(opts.N, opts.Threads, opts.Seed)
+}
 
 // Auditor wraps a scheduler and measures the rank of every returned task
 // and the inversions suffered by the minimum, i.e. the empirical
@@ -135,6 +180,37 @@ func RunIncremental(dag *DAG, s Scheduler, opts RunOptions) (RunResult, error) {
 	return core.Run(dag, s, opts)
 }
 
+// ExecOptions are the engine knobs shared by every parallel execution
+// path: queue Backend and QueueMultiplier, Threads, BatchSize, Seed,
+// IdleStrategy, Deadline, MaxBlockedRetries, StallTimeout/OnStall and the
+// fault Injector. Every parallel options struct (ParallelSSSPOptions,
+// ParallelRunOptions, ParallelBnBOptions, ParallelMISOptions,
+// ParallelDelaunayOptions, TopKStreamOptions, ParallelTxnOptions) embeds
+// ExecOptions instead of re-declaring these fields, so the engine plumbing
+// is configured identically everywhere:
+//
+//	relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{
+//		ExecOptions: relaxsched.ExecOptions{Threads: 8, QueueMultiplier: 2},
+//	})
+//
+// Migration note: before this redesign each struct declared the fields
+// directly, so keyed literals like ParallelSSSPOptions{Threads: 8} must
+// become the nested form above. Field *reads* are unaffected — embedding
+// promotes the fields, so opts.Threads still works.
+type ExecOptions = engine.ExecOptions
+
+// IdleStrategy selects the workers' empty-queue behavior (see ExecOptions):
+// IdlePark (the default) parks idle workers on an event-driven wakeup lot,
+// IdleSpin keeps the legacy bounded-sleep polling loop.
+type IdleStrategy = engine.IdleStrategy
+
+const (
+	// IdlePark parks idle workers; an idle execution consumes no CPU.
+	IdlePark = engine.IdlePark
+	// IdleSpin polls with bounded sleeps (benchmark baseline).
+	IdleSpin = engine.IdleSpin
+)
+
 // QueueBackend names a concurrent relaxed-queue implementation used by the
 // parallel execution paths (RunIncrementalParallel, ParallelSSSP). The zero
 // value selects the default backend.
@@ -152,6 +228,10 @@ const (
 	// (Treiber-style), and pops CAS-steal the cached top. No operation
 	// ever holds a lock, so a preempted worker cannot block the others.
 	BackendLockFree = cq.LockFreeBackend
+	// BackendExact is the strict-order control: one binary heap behind one
+	// mutex, relaxation factor exactly 1. Use it to price relaxation
+	// against strict ordering on the same worker/engine harness.
+	BackendExact = cq.ExactBackend
 )
 
 // QueueBackends returns every available concurrent queue backend, default
@@ -183,21 +263,75 @@ func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 
 // RandomGraph generates an undirected uniform G(n, m) graph with weights
 // in [1, maxW].
+//
+// Deprecated: Use RandomGraphWith, whose options struct names each knob.
 func RandomGraph(n, m int, maxW int64, seed uint64) *Graph {
-	return graph.Random(n, m, maxW, seed)
+	return RandomGraphWith(RandomGraphOptions{N: n, M: m, MaxWeight: maxW, Seed: seed})
+}
+
+// RandomGraphOptions configure RandomGraphWith: N nodes, M undirected
+// edges, weights uniform in [1, MaxWeight], generation driven by Seed.
+type RandomGraphOptions struct {
+	N         int
+	M         int
+	MaxWeight int64
+	Seed      uint64
+}
+
+// RandomGraphWith generates an undirected uniform G(n, m) graph.
+func RandomGraphWith(opts RandomGraphOptions) *Graph {
+	return graph.Random(opts.N, opts.M, opts.MaxWeight, opts.Seed)
 }
 
 // RoadGraph generates a road-network-like grid graph (high diameter,
 // distance-like weights in [1, maxW], dropPerMille/1000 of the vertical
 // edges removed).
+//
+// Deprecated: Use RoadGraphWith, whose options struct names each knob.
 func RoadGraph(width, height int, maxW int64, dropPerMille int, seed uint64) *Graph {
-	return graph.Road(width, height, maxW, dropPerMille, seed)
+	return RoadGraphWith(RoadGraphOptions{
+		Width: width, Height: height, MaxWeight: maxW,
+		DropPerMille: dropPerMille, Seed: seed,
+	})
+}
+
+// RoadGraphOptions configure RoadGraphWith: a Width x Height grid with
+// distance-like weights in [1, MaxWeight] and DropPerMille/1000 of the
+// vertical edges removed (raising the diameter, as in road networks).
+type RoadGraphOptions struct {
+	Width        int
+	Height       int
+	MaxWeight    int64
+	DropPerMille int
+	Seed         uint64
+}
+
+// RoadGraphWith generates a road-network-like grid graph.
+func RoadGraphWith(opts RoadGraphOptions) *Graph {
+	return graph.Road(opts.Width, opts.Height, opts.MaxWeight, opts.DropPerMille, opts.Seed)
 }
 
 // SocialGraph generates a social-network-like preferential-attachment
 // graph with deg edges per arriving node and weights in [1, maxW].
+//
+// Deprecated: Use SocialGraphWith, whose options struct names each knob.
 func SocialGraph(n, deg int, maxW int64, seed uint64) *Graph {
-	return graph.Social(n, deg, maxW, seed)
+	return SocialGraphWith(SocialGraphOptions{N: n, Degree: deg, MaxWeight: maxW, Seed: seed})
+}
+
+// SocialGraphOptions configure SocialGraphWith: N nodes arriving with
+// Degree preferential-attachment edges each, weights in [1, MaxWeight].
+type SocialGraphOptions struct {
+	N         int
+	Degree    int
+	MaxWeight int64
+	Seed      uint64
+}
+
+// SocialGraphWith generates a social-network-like preferential-attachment
+// graph.
+func SocialGraphWith(opts SocialGraphOptions) *Graph {
+	return graph.Social(opts.N, opts.Degree, opts.MaxWeight, opts.Seed)
 }
 
 // ParseDIMACS reads a graph in the DIMACS shortest-path ".gr" format.
@@ -255,10 +389,17 @@ var errNoDecreaseKey = noDecreaseKeyError{}
 
 // ParallelSSSP runs SSSP with the given number of goroutines over a
 // concurrent MultiQueue with queueMultiplier queues per thread (the
-// paper's Section 7 implementation). Use ParallelSSSPWith to select a
-// different queue backend.
+// paper's Section 7 implementation).
+//
+// Deprecated: Use ParallelSSSPWith, whose options struct names each knob
+// and exposes the full ExecOptions surface (backend selection, batching,
+// deadlines).
 func ParallelSSSP(g *Graph, src, threads, queueMultiplier int, seed uint64) ParallelSSSPResult {
-	return sssp.Parallel(g, src, threads, queueMultiplier, seed)
+	return ParallelSSSPWith(g, src, ParallelSSSPOptions{ExecOptions: ExecOptions{
+		Threads:         threads,
+		QueueMultiplier: queueMultiplier,
+		Seed:            seed,
+	}})
 }
 
 // ParallelSSSPOptions configure ParallelSSSPWith; the Backend field selects
@@ -356,19 +497,24 @@ func GreedyColoring(w *GreedyWorkload, s Scheduler) ([]int32, RunResult, error) 
 	return mis.GreedyColoring(w, s)
 }
 
+// ParallelMISOptions configure ParallelGreedyMIS and
+// ParallelGreedyColoring: just the embedded ExecOptions — unlike
+// ParallelRunOptions there is no OnProcess hook, because the serialized
+// processing callback is the algorithm itself here.
+type ParallelMISOptions = mis.ParallelOptions
+
 // ParallelGreedyMIS computes the greedy maximal independent set of the
 // workload's permutation with worker goroutines over a concurrent relaxed
 // queue (the generic engine's static-DAG workload). The set is identical to
-// the sequential greedy one; only the wasted work varies. opts.OnProcess
-// must be nil — it is owned by the algorithm.
-func ParallelGreedyMIS(w *GreedyWorkload, opts ParallelRunOptions) ([]bool, RunResult, error) {
+// the sequential greedy one; only the wasted work varies.
+func ParallelGreedyMIS(w *GreedyWorkload, opts ParallelMISOptions) ([]bool, RunResult, error) {
 	return mis.ParallelGreedyMIS(w, opts)
 }
 
 // ParallelGreedyColoring computes the greedy (first-fit) coloring of the
 // workload's permutation with worker goroutines; the colors match the
-// sequential greedy coloring. opts.OnProcess must be nil.
-func ParallelGreedyColoring(w *GreedyWorkload, opts ParallelRunOptions) ([]int32, RunResult, error) {
+// sequential greedy coloring.
+func ParallelGreedyColoring(w *GreedyWorkload, opts ParallelMISOptions) ([]int32, RunResult, error) {
 	return mis.ParallelGreedyColoring(w, opts)
 }
 
@@ -417,4 +563,41 @@ type TxnResult = txn.Result
 // transaction aborts iff it runs concurrently with a dependency.
 func SimulateTransactions(dag *DAG, cfg TxnConfig) (TxnResult, error) {
 	return txn.Simulate(dag, cfg)
+}
+
+// TxnWorkloadSpec describes a generated transactional workload: Txns
+// transactions over Keys records, keys drawn Zipf(Skew), OpsPerTxn
+// operations per transaction at ReadFrac reads, deterministically from
+// Seed. The same spec drives both the sequential model oracle
+// (SimulateTransactionSpec) and the real parallel execution
+// (ParallelTransactions).
+type TxnWorkloadSpec = txn.WorkloadSpec
+
+// SimulateTransactionSpec runs the Section 4 transactional model over the
+// spec's conflict DAG — the sequential oracle for the parallel OCC
+// executor: same generated transactions, same conflict structure, cost
+// model instead of real execution.
+func SimulateTransactionSpec(spec TxnWorkloadSpec, cfg TxnConfig) (TxnResult, error) {
+	return txn.SimulateSpec(spec, cfg)
+}
+
+// ParallelTxnOptions configure ParallelTransactions: the embedded engine
+// ExecOptions plus the number of external Producer goroutines (0 = seed
+// the whole stream through the frontier instead).
+type ParallelTxnOptions = txn.ParallelOptions
+
+// ParallelTxnResult reports a finished parallel transactional run:
+// commit/abort/start counts plus the contention-management counters
+// (promotions to split mode, phase-fence reconciliations, split-path
+// delta deposits) and the quarantine count when retries are capped.
+type ParallelTxnResult = txn.ParallelResult
+
+// ParallelTransactions executes the generated OCC workload on the engine:
+// worker goroutines run one optimistic attempt per pop (re-insertion is
+// the retry loop), a contention detector promotes hot records to
+// split/phased handling with per-worker commutative deltas reconciled at
+// phase fences, and the finished run is certified serializable by
+// replaying its commit log in ticket order before the result is returned.
+func ParallelTransactions(spec TxnWorkloadSpec, opts ParallelTxnOptions) (ParallelTxnResult, error) {
+	return txn.ParallelRun(spec, opts)
 }

@@ -186,9 +186,7 @@ func TestFacadeGreedyAlgorithms(t *testing.T) {
 
 func TestFacadeParallelIncrementalAndTree(t *testing.T) {
 	dag := relaxsched.BSTSortDAG([]int64{5, 2, 8, 1, 9, 3, 7, 4, 6, 0})
-	res, err := relaxsched.RunIncrementalParallel(dag, relaxsched.ParallelRunOptions{
-		Threads: 4, QueueMultiplier: 2, Seed: 1,
-	})
+	res, err := relaxsched.RunIncrementalParallel(dag, relaxsched.ParallelRunOptions{ExecOptions: relaxsched.ExecOptions{Threads: 4, QueueMultiplier: 2, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,6 +236,36 @@ func TestFacadeTransactions(t *testing.T) {
 	}
 }
 
+func TestFacadeParallelTransactions(t *testing.T) {
+	spec := relaxsched.TxnWorkloadSpec{
+		Txns: 1200, Keys: 64, Skew: 0.99, OpsPerTxn: 3, ReadFrac: 0.5, Seed: 11,
+	}
+	// The sequential model oracle and the real parallel execution share
+	// the spec: the model commits everything, and so must the engine.
+	model, err := relaxsched.SimulateTransactionSpec(spec, relaxsched.TxnConfig{
+		K: 2, Workers: 2, MaxDuration: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Commits != int64(spec.Txns) {
+		t.Fatalf("model commits %d of %d", model.Commits, spec.Txns)
+	}
+	res, err := relaxsched.ParallelTransactions(spec, relaxsched.ParallelTxnOptions{
+		ExecOptions: relaxsched.ExecOptions{Threads: 4, QueueMultiplier: 2, Seed: 3},
+		Producers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != int64(spec.Txns) {
+		t.Fatalf("parallel commits %d of %d", res.Commits, spec.Txns)
+	}
+	if res.Starts != res.Commits+res.Aborts {
+		t.Fatalf("starts identity broken: %+v", res.Counts)
+	}
+}
+
 func TestFacadeQueueBackends(t *testing.T) {
 	backends := relaxsched.QueueBackends()
 	if len(backends) < 2 {
@@ -249,9 +277,7 @@ func TestFacadeQueueBackends(t *testing.T) {
 	g := relaxsched.RandomGraph(400, 2000, 100, 7)
 	exact := relaxsched.Dijkstra(g, 0)
 	for _, backend := range backends {
-		par := relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{
-			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 9,
-		})
+		par := relaxsched.ParallelSSSPWith(g, 0, relaxsched.ParallelSSSPOptions{ExecOptions: relaxsched.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 9}})
 		for i := range exact.Dist {
 			if par.Dist[i] != exact.Dist[i] {
 				t.Fatalf("%s: parallel disagrees with Dijkstra", backend)
@@ -262,9 +288,7 @@ func TestFacadeQueueBackends(t *testing.T) {
 			keys[i] = int64((i * 2654435761) % 100003)
 		}
 		dag := relaxsched.BSTSortDAG(keys)
-		run, err := relaxsched.RunIncrementalParallel(dag, relaxsched.ParallelRunOptions{
-			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 3,
-		})
+		run, err := relaxsched.RunIncrementalParallel(dag, relaxsched.ParallelRunOptions{ExecOptions: relaxsched.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 3}})
 		if err != nil {
 			t.Fatalf("%s: %v", backend, err)
 		}
@@ -286,27 +310,21 @@ func TestFacadeParallelWorkloads(t *testing.T) {
 	g := relaxsched.RandomGraph(600, 1800, 10, 3)
 	w := relaxsched.NewGreedyWorkload(g, 11)
 	for _, backend := range relaxsched.QueueBackends() {
-		par, err := relaxsched.ParallelBranchAndBound(tree, relaxsched.ParallelBnBOptions{
-			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 1, Budget: 1 << 14,
-		})
+		par, err := relaxsched.ParallelBranchAndBound(tree, relaxsched.ParallelBnBOptions{ExecOptions: relaxsched.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 1}, Budget: 1 << 14})
 		if err != nil {
 			t.Fatalf("%s: %v", backend, err)
 		}
 		if par.Best != seq.Best {
 			t.Fatalf("%s: parallel Best = %d, sequential %d", backend, par.Best, seq.Best)
 		}
-		inSet, _, err := relaxsched.ParallelGreedyMIS(w, relaxsched.ParallelRunOptions{
-			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 2,
-		})
+		inSet, _, err := relaxsched.ParallelGreedyMIS(w, relaxsched.ParallelMISOptions{ExecOptions: relaxsched.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 2}})
 		if err != nil {
 			t.Fatalf("%s: %v", backend, err)
 		}
 		if err := relaxsched.VerifyMIS(g, inSet); err != nil {
 			t.Fatalf("%s: %v", backend, err)
 		}
-		colors, _, err := relaxsched.ParallelGreedyColoring(w, relaxsched.ParallelRunOptions{
-			Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 4,
-		})
+		colors, _, err := relaxsched.ParallelGreedyColoring(w, relaxsched.ParallelMISOptions{ExecOptions: relaxsched.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 4}})
 		if err != nil {
 			t.Fatalf("%s: %v", backend, err)
 		}
@@ -322,9 +340,7 @@ func TestFacadeStreamTopK(t *testing.T) {
 	// JobProducer handle.
 	for _, backend := range relaxsched.QueueBackends() {
 		res, err := relaxsched.StreamTopK(relaxsched.StreamTopKOptions{
-			StreamOptions: relaxsched.TopKStreamOptions{
-				Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 7, Producers: 2,
-			},
+			StreamOptions:   relaxsched.TopKStreamOptions{ExecOptions: relaxsched.ExecOptions{Threads: 4, QueueMultiplier: 2, Backend: backend, Seed: 7}, Producers: 2},
 			JobsPerProducer: 300,
 		})
 		if err != nil {
@@ -339,10 +355,7 @@ func TestFacadeStreamTopK(t *testing.T) {
 	}
 
 	var executed atomic.Int64
-	s, err := relaxsched.NewTopKStream(relaxsched.TopKStreamOptions{
-		Threads: 2, QueueMultiplier: 2, Seed: 3, Producers: 1,
-		Execute: func(_ int, _, _ int64) { executed.Add(1) },
-	})
+	s, err := relaxsched.NewTopKStream(relaxsched.TopKStreamOptions{ExecOptions: relaxsched.ExecOptions{Threads: 2, QueueMultiplier: 2, Seed: 3}, Producers: 1, Execute: func(_ int, _, _ int64) { executed.Add(1) }})
 	if err != nil {
 		t.Fatal(err)
 	}

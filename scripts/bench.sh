@@ -8,9 +8,12 @@
 # backend, the fault-injection sweep (seeded stalls, forced re-insertions,
 # poisoned tasks vs. the fault-free baseline), and — new in PR 8 — the
 # idle-cost rows (parking vs. spinning idle strategies: idle-window CPU
-# next to burst wake-up latency), as a JSON-lines file at the repository
-# root. Rows record the host's NumCPU/GOMAXPROCS so cross-machine
-# comparisons warn instead of misleading. Override the workload with
+# next to burst wake-up latency), and — new in PR 10 — the OCC
+# transactional workload (backends x Zipf skews x threads, every run
+# certified serializable by replaying its commit log before the row is
+# recorded), as a JSON-lines file at the repository root. Rows record
+# the host's NumCPU/GOMAXPROCS so cross-machine comparisons warn instead
+# of misleading. Override the workload with
 # SCALE / TRIALS / MAXTHREADS, e.g.
 #
 #   SCALE=16 MAXTHREADS=8 scripts/bench.sh
@@ -29,7 +32,7 @@
 #
 # Diff two recorded trajectories with
 #
-#   relaxbench compare BENCH_PR7.json BENCH_PR8.json
+#   relaxbench compare BENCH_PR8.json BENCH_PR10.json
 #
 # and gate on regressions with `compare -threshold PCT` (see CI's
 # bench-smoke job).
@@ -39,10 +42,10 @@ cd "$(dirname "$0")/.."
 SCALE="${SCALE:-64}"
 TRIALS="${TRIALS:-5}"
 MAXTHREADS="${MAXTHREADS:-4}"
-OUT="${OUT:-BENCH_PR8.json}"
+OUT="${OUT:-BENCH_PR10.json}"
 BUDGET="${BUDGET:-600}"
 
-EXPERIMENTS="backends batchsweep parinc parbnb parmis pardelaunay stream affinity chaos idlecost"
+EXPERIMENTS="backends batchsweep parinc parbnb parmis pardelaunay stream affinity chaos idlecost txn"
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
